@@ -1,0 +1,56 @@
+"""Benchmark fixtures.
+
+Every bench regenerates one of the paper's tables or figures and prints
+the rows/series the paper reports (run with ``-s`` to see them). Heavy
+sweeps default to a representative subset; set ``REPRO_FULL=1`` for the
+complete 45-application versions.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import Characterizer, ConsolidationStudy
+from repro.sim import Machine
+from repro.workloads import all_applications
+from repro.workloads.registry import REPRESENTATIVES
+
+
+def full_sweep():
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def machine():
+    return Machine()
+
+
+@pytest.fixture(scope="session")
+def characterizer(machine):
+    return Characterizer(machine)
+
+
+@pytest.fixture(scope="session")
+def study(machine):
+    return ConsolidationStudy(machine)
+
+
+@pytest.fixture(scope="session")
+def bench_apps():
+    """The application set benches sweep: full suite or a 12-app subset."""
+    if full_sweep():
+        return all_applications()
+    subset = set(REPRESENTATIVES.values()) | {
+        "swaptions",
+        "471.omnetpp",
+        "462.libquantum",
+        "streamcluster",
+        "h2",
+        "stream_uncached",
+    }
+    return [a for a in all_applications() if a.name in subset]
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,93 @@
+"""Ablation: shrink-test variants of Algorithm 6.2, plus the threshold
+sensitivity study of Section 6.3."""
+
+import statistics as st
+
+from conftest import run_once
+
+from repro.analysis.sensitivity import (
+    run_dynamic_with_thresholds,
+    spread,
+    threshold_sensitivity,
+)
+from repro.core.dynamic import DynamicPartitionController
+from repro.runtime.harness import paper_pair_allocations
+from repro.util.tables import format_table
+from repro.workloads import get_application
+
+
+def _run_variant(machine, fg, bg, comparison):
+    controller = DynamicPartitionController(
+        fg_name=fg.name, bg_name=bg.name, comparison=comparison
+    )
+    masks = controller.masks()
+    fg_alloc, bg_alloc = paper_pair_allocations(fg, bg)
+    pair = machine.run_pair(
+        fg,
+        bg,
+        fg_alloc.with_mask(masks[fg.name]),
+        bg_alloc.with_mask(masks[bg.name]),
+        controller=controller,
+    )
+    return pair, controller
+
+
+def test_ablation_shrink_comparison_variants(benchmark, machine):
+    """Baseline-referenced vs per-step shrink tests."""
+
+    def run():
+        fg = get_application("471.omnetpp")  # smooth, cache-hungry
+        bg = get_application("batik")
+        solo = machine.run_solo(fg, threads=1).runtime_s
+        out = {}
+        for comparison in ("baseline", "per-step"):
+            pair, controller = _run_variant(machine, fg, bg, comparison)
+            out[comparison] = (
+                pair.fg.runtime_s / solo,
+                min(a.fg_ways for a in controller.actions),
+            )
+        return out
+
+    out = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["shrink test", "fg slowdown", "smallest fg allocation (ways)"],
+            [(k, f"{v[0]:.3f}", v[1]) for k, v in out.items()],
+            title="Ablation — Algorithm 6.2 shrink test: per-step drifts on "
+            "smooth MRCs (each step < THR3, total unbounded); the baseline-"
+            "referenced form bounds cumulative degradation",
+        )
+    )
+    # Per-step shrinks deeper on a knee-free curve...
+    assert out["per-step"][1] <= out["baseline"][1]
+    # ...and must never *beat* the cumulative-bounded variant for the fg.
+    assert out["baseline"][0] <= out["per-step"][0] + 1e-9
+
+
+def test_ablation_threshold_sensitivity(benchmark, machine):
+    """Section 6.3: 'results largely insensitive to small parameter
+    changes' — reproduced over a 3x3 threshold grid."""
+    points = run_once(
+        benchmark,
+        lambda: threshold_sensitivity(
+            machine, get_application("429.mcf"), get_application("batik")
+        ),
+    )
+    print()
+    print(
+        format_table(
+            ["THR1=THR2", "THR3", "fg slowdown", "bg Ginstr/s", "actions"],
+            [
+                (p.thr1, p.thr3, f"{p.fg_slowdown:.3f}", f"{p.bg_rate_ips / 1e9:.2f}", p.actions)
+                for p in points
+            ],
+            title="Ablation — controller thresholds (paper: 0.02/0.02/0.05)",
+        )
+    )
+    print(
+        f"\nfg slowdown spread across grid: {spread(points, 'fg_slowdown'):.1%}; "
+        f"bg throughput spread: {spread(points, 'bg_rate_ips'):.1%}"
+    )
+    assert spread(points, "fg_slowdown") < 0.05
+    assert spread(points, "bg_rate_ips") < 0.15

@@ -1,0 +1,66 @@
+"""Ablation: race-to-halt across the frequency/core allocation space.
+
+Section 4's framing: cores and frequency are the well-studied energy
+knobs; the measurements "strongly suggest that race-to-halt is the right
+optimization strategy for nearly all of our benchmarks" — except when
+added resources don't speed the program up.
+"""
+
+from conftest import run_once
+
+from repro.cpu.config import SandyBridgeConfig
+from repro.sim import Machine
+from repro.util.tables import format_table
+from repro.util.units import GHZ
+from repro.workloads import get_application
+
+FREQUENCIES = (1.7 * GHZ, 2.55 * GHZ, 3.4 * GHZ)
+APPS = ("swaptions", "batik", "429.mcf")
+
+
+def test_ablation_race_to_halt(benchmark):
+    def run():
+        rows = []
+        for name in APPS:
+            app = get_application(name)
+            threads = 1 if app.scalability.single_threaded else 4
+            for freq in FREQUENCIES:
+                machine = Machine(SandyBridgeConfig().at_frequency(freq))
+                result = machine.run_solo(app, threads=threads)
+                rows.append(
+                    (name, freq / GHZ, result.runtime_s, result.socket_energy_j)
+                )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["application", "GHz", "runtime (s)", "socket energy (J)"],
+            [(n, f"{f:.2f}", f"{t:.1f}", f"{e:.0f}") for n, f, t, e in rows],
+            title="Ablation — race-to-halt across frequencies "
+            "(paper Section 4: fastest is cheapest, unless memory-bound)",
+        )
+    )
+    by_app = {}
+    for name, freq, runtime, energy in rows:
+        by_app.setdefault(name, {})[freq] = (runtime, energy)
+
+    # Compute-bound apps: the top frequency minimizes both time & energy.
+    for name in ("swaptions", "batik"):
+        fast = by_app[name][3.4]
+        slow = by_app[name][1.7]
+        assert fast[0] < slow[0] and fast[1] < slow[1], name
+
+    # Race-to-halt holds everywhere: the top frequency never costs energy.
+    for name in APPS:
+        assert by_app[name][3.4][1] <= by_app[name][1.7][1], name
+
+    # But the memory-bound app barely speeds up with clock (the paper's
+    # caveat): its runtime gain is far below the compute-bound apps'.
+    def runtime_gain(name):
+        return by_app[name][1.7][0] / by_app[name][3.4][0]
+
+    assert runtime_gain("429.mcf") < 1.5
+    assert runtime_gain("swaptions") > 1.8
+    assert runtime_gain("429.mcf") < runtime_gain("swaptions")

@@ -1,0 +1,91 @@
+"""Ablation: the contention-aware scheduler's predictor vs simulation.
+
+The predictor prices a pairing from one interval solve; this bench
+measures its accuracy across representative pairs and shows the
+scheduling decisions it supports.
+"""
+
+import statistics as st
+
+from conftest import run_once
+
+from repro.runtime.harness import paper_pair_allocations
+from repro.runtime.scheduler import ContentionAwareScheduler, InterferencePredictor
+from repro.util.tables import format_table
+from repro.workloads import get_application
+from repro.workloads.registry import REPRESENTATIVES
+
+PAIRS = [
+    (fg, bg)
+    for fg in sorted(REPRESENTATIVES.values())
+    for bg in ("canneal", "stream_uncached")
+]
+
+
+def test_ablation_predictor_accuracy(benchmark, machine):
+    def run():
+        predictor = InterferencePredictor(machine)
+        rows = []
+        for fg_name, bg_name in PAIRS:
+            fg = get_application(fg_name)
+            bg = get_application(bg_name)
+            predicted = predictor.predict(fg, bg)
+            threads = 1 if fg.scalability.single_threaded else 4
+            solo = machine.run_solo(fg, threads=threads)
+            fg_alloc, bg_alloc = paper_pair_allocations(fg, bg)
+            pair = machine.run_pair(fg, bg, fg_alloc, bg_alloc)
+            actual = pair.fg.runtime_s / solo.runtime_s
+            rows.append((fg_name, bg_name, predicted.fg_slowdown, actual))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["fg", "bg", "predicted", "simulated", "error"],
+            [
+                (f, b, f"{p:.3f}", f"{a:.3f}", f"{abs(p - a):.3f}")
+                for f, b, p, a in rows
+            ],
+            title="Ablation — interference predictor (one interval solve) "
+            "vs full simulation",
+        )
+    )
+    errors = [abs(p - a) for _, _, p, a in rows]
+    print(f"\nmean abs error {st.mean(errors):.4f}, max {max(errors):.4f}")
+    assert st.mean(errors) < 0.02
+    assert max(errors) < 0.06
+
+
+def test_ablation_scheduler_decisions(benchmark, machine):
+    def run():
+        scheduler = ContentionAwareScheduler(machine, slowdown_bound=1.05)
+        queue = [
+            get_application(name)
+            for name in ("canneal", "swaptions", "462.libquantum", "dedup")
+        ]
+        return {
+            fg_name: scheduler.choose(get_application(fg_name), queue)
+            for fg_name in ("471.omnetpp", "swaptions", "462.libquantum")
+        }
+
+    decisions = run_once(benchmark, run)
+    rows = [
+        (fg, d.chosen.bg_name, "yes" if d.feasible else "no (least harm)")
+        for fg, d in decisions.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["foreground", "chosen co-runner", "within 5% budget"],
+            rows,
+            title="Ablation — contention-aware placement decisions",
+        )
+    )
+    # The sensitive foreground never gets paired with a known aggressor.
+    assert decisions["471.omnetpp"].chosen.bg_name not in (
+        "canneal",
+        "462.libquantum",
+    )
+    # An insensitive foreground tolerates anyone profitably.
+    assert decisions["swaptions"].feasible

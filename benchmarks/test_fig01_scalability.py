@@ -1,0 +1,46 @@
+"""Fig. 1 + Table 1: thread scalability of every application."""
+
+from conftest import run_once
+
+from repro.analysis import experiments as ex
+from repro.util.tables import format_table
+
+
+def test_fig01_thread_scalability(benchmark, characterizer, bench_apps):
+    curves = run_once(
+        benchmark, lambda: ex.fig01_thread_scalability(characterizer, bench_apps)
+    )
+    rows = []
+    for name, curve in sorted(curves.items()):
+        rows.append(
+            [name]
+            + [f"{curve.get(t, float('nan')):.2f}" for t in range(1, 9)]
+        )
+    print()
+    print(
+        format_table(
+            ["application"] + [f"{t}T" for t in range(1, 9)],
+            rows,
+            title="Fig. 1 — speedup vs thread count",
+        )
+    )
+
+
+def test_tab01_scalability_classes(benchmark, characterizer, bench_apps):
+    table = run_once(
+        benchmark, lambda: ex.tab01_scalability_classes(characterizer, bench_apps)
+    )
+    rows = []
+    for suite, classes in sorted(table.items()):
+        for cls in ("low", "saturated", "high"):
+            if classes[cls]:
+                rows.append([suite, cls, ", ".join(sorted(classes[cls]))])
+    print()
+    print(
+        format_table(
+            ["suite", "class", "applications"],
+            rows,
+            title="Table 1 — thread scalability classes (paper: SPEC all low; "
+            "PARSEC mostly high; DaCapo mixed)",
+        )
+    )

@@ -1,0 +1,36 @@
+"""Fig. 2: execution time vs LLC allocation for the three
+sensitivity archetypes (swaptions / tomcat / 471.omnetpp)."""
+
+from conftest import run_once
+
+from repro.analysis import experiments as ex
+from repro.util.tables import format_table
+
+
+def test_fig02_llc_sensitivity(benchmark, characterizer):
+    data = run_once(benchmark, lambda: ex.fig02_llc_sensitivity(characterizer))
+    print()
+    for app, by_threads in data.items():
+        rows = []
+        for threads, curve in sorted(by_threads.items()):
+            rows.append(
+                [f"{threads} threads"]
+                + [f"{curve[w]:.1f}" for w in range(1, 13)]
+            )
+        print(
+            format_table(
+                ["allocation"] + [f"{w * 0.5:g}MB" for w in range(1, 13)],
+                rows,
+                title=f"Fig. 2 — {app} execution time (s) vs LLC allocation",
+            )
+        )
+        print()
+
+    # Shape assertions matching the paper's three archetypes.
+    swaptions = data["swaptions"][4]
+    assert swaptions[2] / swaptions[12] < 1.03, "low utility: flat curve"
+    omnetpp = data["471.omnetpp"][1]
+    assert omnetpp[2] / omnetpp[12] > 1.2, "high utility: keeps improving"
+    for app in data:
+        one_thread = data[app][1]
+        assert one_thread[1] > one_thread[2], "0.5MB direct-mapped pathological"

@@ -1,0 +1,30 @@
+"""Fig. 3: execution time with prefetchers on, normalized to off."""
+
+from conftest import run_once
+
+from repro.analysis import experiments as ex
+from repro.util.tables import format_table
+
+
+def test_fig03_prefetcher_sensitivity(benchmark, characterizer, bench_apps):
+    data = run_once(
+        benchmark, lambda: ex.fig03_prefetch_sensitivity(characterizer, bench_apps)
+    )
+    rows = [(name, f"{v:.3f}") for name, v in sorted(data.items(), key=lambda i: i[1])]
+    print()
+    print(
+        format_table(
+            ["application", "time(pf on)/time(pf off)"],
+            rows,
+            title="Fig. 3 — prefetcher sensitivity "
+            "(paper: most ~1.0; soplex/GemsFDTD/libquantum/lbm gain most; "
+            "lusearch degrades)",
+        )
+    )
+    # Shape: the big winners are the paper's streaming SPEC codes.
+    if "462.libquantum" in data:
+        assert data["462.libquantum"] < 0.85
+    if "lusearch" in data:
+        assert data["lusearch"] > 1.0
+    insensitive = [v for v in data.values() if 0.97 <= v <= 1.03]
+    assert len(insensitive) >= len(data) // 2, "most apps are insensitive"

@@ -1,0 +1,28 @@
+"""Fig. 4: slowdown when co-running with the stream_uncached hog."""
+
+from conftest import run_once
+
+from repro.analysis import experiments as ex
+from repro.util.tables import format_table
+
+
+def test_fig04_bandwidth_sensitivity(benchmark, characterizer, bench_apps):
+    data = run_once(
+        benchmark, lambda: ex.fig04_bandwidth_sensitivity(characterizer, bench_apps)
+    )
+    rows = [(name, f"{v:.3f}") for name, v in sorted(data.items(), key=lambda i: i[1])]
+    print()
+    print(
+        format_table(
+            ["application", "time(with hog)/time(alone)"],
+            rows,
+            title="Fig. 4 — bandwidth sensitivity "
+            "(paper: DaCapo barely affected; streaming SPEC codes and the "
+            "in-house parallel apps suffer most)",
+        )
+    )
+    worst = max(data, key=data.get)
+    from repro.workloads import get_application
+
+    assert get_application(worst).bandwidth_sensitive
+    assert data[worst] > 1.3

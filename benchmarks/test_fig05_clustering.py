@@ -1,0 +1,39 @@
+"""Fig. 5 + Table 3: hierarchical clustering of the workload."""
+
+from conftest import full_sweep, run_once
+
+from repro.analysis import experiments as ex
+from repro.util.tables import format_table
+from repro.workloads import all_applications
+
+
+def test_fig05_clustering(benchmark, characterizer):
+    # Clustering always runs the full suite — Table 3 is meaningless on
+    # a subset (feature normalization is cross-application).
+    apps = all_applications()
+    out = run_once(benchmark, lambda: ex.fig05_clustering(characterizer, apps))
+    rows = [
+        [cid, out["representatives"][cid], ", ".join(members)]
+        for cid, members in out["clusters"].items()
+    ]
+    print()
+    print(
+        format_table(
+            ["cluster", "representative (medoid)", "members"],
+            rows,
+            title=f"Fig. 5 / Table 3 — single-linkage clusters "
+            f"(cut {0.45}; paper used 0.9 on measured features)",
+        )
+    )
+    from repro.core.clustering import render_dendrogram
+
+    print()
+    print(render_dendrogram(out["result"]))
+    print(
+        "\npaper's representatives:",
+        ", ".join(f"{c}={n}" for c, n in out["paper_representatives"].items()),
+    )
+    assert out["num_clusters"] >= 6
+    labels = out["result"].labels
+    rep_clusters = {labels[n] for n in out["paper_representatives"].values()}
+    assert len(rep_clusters) >= 4

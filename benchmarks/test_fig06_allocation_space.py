@@ -1,0 +1,47 @@
+"""Fig. 6: runtime / MPKI / energy over all 96 allocations for the six
+cluster representatives."""
+
+from conftest import full_sweep, run_once
+
+from repro.analysis import experiments as ex
+from repro.util.tables import format_table
+
+
+def test_fig06_allocation_space(benchmark, characterizer):
+    thread_counts = range(1, 9) if full_sweep() else (1, 2, 4, 8)
+    way_counts = range(1, 13) if full_sweep() else (1, 2, 4, 6, 9, 11, 12)
+    space = run_once(
+        benchmark,
+        lambda: ex.fig06_allocation_space(
+            characterizer, thread_counts=thread_counts, way_counts=way_counts
+        ),
+    )
+    print()
+    for app, grid in space.items():
+        rows = []
+        for (threads, ways), cell in sorted(grid.items()):
+            rows.append(
+                (
+                    threads,
+                    f"{ways * 0.5:g}",
+                    f"{cell['runtime_s']:.1f}",
+                    f"{cell['mpki']:.2f}",
+                    f"{cell['socket_energy_j'] / 1e3:.2f}",
+                    f"{cell['wall_energy_j'] / 1e3:.2f}",
+                )
+            )
+        print(
+            format_table(
+                ["threads", "LLC MB", "runtime s", "MPKI", "socket kJ", "wall kJ"],
+                rows,
+                title=f"Fig. 6 — {app}",
+            )
+        )
+        print()
+
+    # Race-to-halt shape: for every representative, the minimum-energy
+    # allocation is also (near) the minimum-runtime allocation.
+    for app, grid in space.items():
+        by_energy = min(grid.values(), key=lambda c: c["wall_energy_j"])
+        best_runtime = min(c["runtime_s"] for c in grid.values())
+        assert by_energy["runtime_s"] <= best_runtime * 1.25, app

@@ -1,0 +1,51 @@
+"""Fig. 7: wall-energy contours over the allocation space.
+
+The paper's observation: many allocations are near-optimal, and most
+applications can give up LLC ways (0.5 MB for mcf up to 4 MB for batik
+and ferret) without leaving the lowest-energy contour.
+"""
+
+from conftest import full_sweep, run_once
+
+from repro.analysis import experiments as ex
+from repro.util.tables import format_table
+
+
+def test_fig07_energy_contours(benchmark, characterizer):
+    thread_counts = range(1, 9) if full_sweep() else (1, 2, 4, 8)
+    way_counts = range(1, 13) if full_sweep() else (1, 2, 4, 6, 9, 11, 12)
+
+    def run():
+        space = ex.fig06_allocation_space(
+            characterizer, thread_counts=thread_counts, way_counts=way_counts
+        )
+        return space, ex.fig07_energy_contours(space)
+
+    space, contours = run_once(benchmark, run)
+    print()
+    yieldable = {}
+    for app, grid in contours.items():
+        near_optimal = [key for key, v in grid.items() if v <= 1.025]
+        max_ways = max(w for _, w in grid)
+        smallest_ways = min(w for _, w in near_optimal)
+        yieldable[app] = (max_ways - smallest_ways) * 0.5
+        rows = [
+            (t, f"{w * 0.5:g}", f"{grid[(t, w)]:.3f}")
+            for (t, w) in sorted(grid)
+        ]
+        print(
+            format_table(
+                ["threads", "LLC MB", "wall energy / best"],
+                rows,
+                title=f"Fig. 7 — {app} (near-optimal = within 2.5%)",
+            )
+        )
+        print()
+    print(
+        format_table(
+            ["application", "LLC MB yieldable at near-optimal energy"],
+            [(a, f"{v:g}") for a, v in yieldable.items()],
+            title="Paper: all representatives can yield 0.5-4 MB",
+        )
+    )
+    assert all(v >= 0.5 for v in yieldable.values())

@@ -1,0 +1,56 @@
+"""Fig. 9: foreground degradation under shared / fair / biased."""
+
+import statistics as st
+
+from conftest import run_once
+
+from repro.analysis import experiments as ex
+from repro.util.tables import format_table
+
+PAPER = {
+    "shared": (0.059, 0.345),
+    "fair": (0.061, 0.163),
+    "biased": (0.023, 0.074),
+}
+
+
+def test_fig09_partitioning_policies(benchmark, study):
+    rows_by_pair = run_once(benchmark, lambda: ex.fig09_partitioning_policies(study))
+    rows = [
+        [
+            f"{fg}+{bg}",
+            f"{v['shared']:.3f}",
+            f"{v['fair']:.3f}",
+            f"{v['biased']:.3f}",
+        ]
+        for (fg, bg), v in sorted(rows_by_pair.items())
+    ]
+    print()
+    print(
+        format_table(
+            ["pair", "shared", "fair", "biased"],
+            rows,
+            title="Fig. 9 — relative foreground execution time",
+        )
+    )
+    summary = []
+    for policy in ("shared", "fair", "biased"):
+        values = [v[policy] for v in rows_by_pair.values()]
+        avg, worst = st.mean(values) - 1, max(values) - 1
+        paper_avg, paper_worst = PAPER[policy]
+        summary.append(
+            (policy, f"{avg:.1%}", f"{paper_avg:.1%}", f"{worst:.1%}", f"{paper_worst:.1%}")
+        )
+    print()
+    print(
+        format_table(
+            ["policy", "avg (ours)", "avg (paper)", "worst (ours)", "worst (paper)"],
+            summary,
+            title="Fig. 9 summary",
+        )
+    )
+    shared = [v["shared"] for v in rows_by_pair.values()]
+    fair = [v["fair"] for v in rows_by_pair.values()]
+    biased = [v["biased"] for v in rows_by_pair.values()]
+    assert st.mean(biased) < st.mean(shared)
+    assert max(biased) < max(fair) < max(shared)

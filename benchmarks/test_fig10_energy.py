@@ -1,0 +1,35 @@
+"""Fig. 10: socket energy of consolidation vs sequential execution."""
+
+import statistics as st
+
+from conftest import run_once
+
+from repro.analysis import experiments as ex
+from repro.util.tables import format_table
+
+
+def test_fig10_consolidation_energy(benchmark, study):
+    rows_by_pair = run_once(benchmark, lambda: ex.fig10_consolidation_energy(study))
+    rows = [
+        [f"{fg}+{bg}", f"{v['shared']:.3f}", f"{v['fair']:.3f}", f"{v['biased']:.3f}"]
+        for (fg, bg), v in sorted(rows_by_pair.items())
+    ]
+    print()
+    print(
+        format_table(
+            ["pair", "shared", "fair", "biased"],
+            rows,
+            title="Fig. 10 — socket energy / sequential execution "
+            "(paper: avg improvement 12%, max 37%, bound 50%)",
+        )
+    )
+    for policy in ("shared", "fair", "biased"):
+        values = [v[policy] for v in rows_by_pair.values()]
+        print(
+            f"{policy}: avg improvement {1 - st.mean(values):.1%}, "
+            f"max {1 - min(values):.1%}"
+        )
+    biased = [v["biased"] for v in rows_by_pair.values()]
+    assert min(biased) >= 0.5  # theoretical bound
+    assert st.mean(biased) < 1.0  # consolidation saves energy on average
+    assert 1 - min(biased) > 0.25  # some pair saves a lot

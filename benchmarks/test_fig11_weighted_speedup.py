@@ -1,0 +1,31 @@
+"""Fig. 11: weighted speedup of consolidation over sequential."""
+
+import statistics as st
+
+from conftest import run_once
+
+from repro.analysis import experiments as ex
+from repro.util.tables import format_table
+
+
+def test_fig11_weighted_speedup(benchmark, study):
+    rows_by_pair = run_once(benchmark, lambda: ex.fig11_weighted_speedup(study))
+    rows = [
+        [f"{fg}+{bg}", f"{v['shared']:.2f}", f"{v['fair']:.2f}", f"{v['biased']:.2f}"]
+        for (fg, bg), v in sorted(rows_by_pair.items())
+    ]
+    print()
+    print(
+        format_table(
+            ["pair", "shared", "fair", "biased"],
+            rows,
+            title="Fig. 11 — weighted speedup vs sequential "
+            "(paper: biased avg 1.60, shared slightly lower)",
+        )
+    )
+    for policy in ("shared", "fair", "biased"):
+        values = [v[policy] for v in rows_by_pair.values()]
+        print(f"{policy}: avg {st.mean(values):.2f}")
+    biased = [v["biased"] for v in rows_by_pair.values()]
+    assert st.mean(biased) > 1.35
+    assert max(biased) <= 2.0 + 1e-6

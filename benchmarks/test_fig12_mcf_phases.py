@@ -1,0 +1,62 @@
+"""Fig. 12: 429.mcf MPKI phase behaviour, static vs dynamic allocation."""
+
+from conftest import run_once
+
+from repro.analysis import experiments as ex
+from repro.util.tables import format_table
+
+
+def test_fig12_mcf_phases(benchmark, machine):
+    series = run_once(
+        benchmark,
+        lambda: ex.fig12_mcf_phases(machine, way_counts=(2, 4, 6, 9, 12)),
+    )
+    print()
+    for name in ("2 ways", "4 ways", "6 ways", "9 ways", "12 ways"):
+        points = series[name]
+        rows = [
+            (f"{p['instructions'] / 1e9:.0f}G", f"{p['mpki']:.1f}") for p in points
+        ]
+        print(
+            format_table(
+                ["instructions", "MPKI"],
+                rows,
+                title=f"Fig. 12 — static {name}",
+            )
+        )
+        print()
+    dynamic = series["dynamic"]
+    rows = [
+        (f"{p['instructions'] / 1e9:.0f}G", f"{p['mpki']:.1f}", p["ways"])
+        for p in dynamic[:: max(1, len(dynamic) // 25)]
+    ]
+    print(format_table(["instructions", "MPKI", "ways"], rows, title="Fig. 12 — dynamic"))
+
+    from repro.util.plot import line_plot
+
+    plot_series = {
+        name: [(p["instructions"], p["mpki"]) for p in pts]
+        for name, pts in series.items()
+        if name in ("2 ways", "9 ways", "dynamic")
+    }
+    print()
+    print(
+        line_plot(
+            plot_series,
+            height=12,
+            width=70,
+            title="Fig. 12 — MPKI vs retired instructions",
+        )
+    )
+
+    # Phase structure: every static series alternates low/high MPKI.
+    for name in ("2 ways", "9 ways"):
+        mpkis = [p["mpki"] for p in series[name]]
+        assert max(mpkis) > 2.5 * min(mpkis)
+    # More cache compresses the high-phase MPKI (Fig. 12's ordering).
+    high2 = max(p["mpki"] for p in series["2 ways"])
+    high12 = max(p["mpki"] for p in series["12 ways"])
+    assert high2 > high12
+    # The dynamic run visits both small and large allocations.
+    ways = {p["ways"] for p in dynamic}
+    assert min(ways) <= 4 and max(ways) == 11

@@ -1,0 +1,54 @@
+"""The abstract's headline numbers, recomputed end to end."""
+
+from conftest import run_once
+
+from repro.analysis import experiments as ex
+from repro.util.tables import format_table
+
+PAPER = {
+    ("shared", "energy_improvement"): 0.10,
+    ("shared", "weighted_speedup"): 1.54,
+    ("shared", "avg_slowdown"): 0.06,
+    ("shared", "worst_slowdown"): 0.345,
+    ("biased", "energy_improvement"): 0.12,
+    ("biased", "weighted_speedup"): 1.60,
+    ("biased", "avg_slowdown"): 0.02,
+    ("biased", "worst_slowdown"): 0.07,
+    ("dynamic", "fg_gap_to_best_static"): 0.02,
+    ("dynamic", "bg_throughput_gain"): 0.19,
+    ("dynamic", "bg_throughput_shared_gain"): 0.53,
+}
+
+
+def test_headline_numbers(benchmark, study):
+    numbers = run_once(benchmark, lambda: ex.headline_numbers(study))
+    rows = []
+    for policy, metrics in numbers.items():
+        for metric, value in metrics.items():
+            paper = PAPER.get((policy, metric))
+            rows.append(
+                (
+                    policy,
+                    metric,
+                    f"{value:.3f}",
+                    f"{paper:.3f}" if paper is not None else "-",
+                )
+            )
+    print()
+    print(
+        format_table(
+            ["policy", "metric", "measured", "paper"],
+            rows,
+            title="Headline numbers (abstract / Section 8)",
+        )
+    )
+
+    # The qualitative claims that define the paper's story:
+    assert numbers["biased"]["avg_slowdown"] < numbers["shared"]["avg_slowdown"]
+    assert numbers["biased"]["worst_slowdown"] < numbers["shared"]["worst_slowdown"]
+    assert numbers["biased"]["worst_slowdown"] < 0.10
+    assert numbers["shared"]["worst_slowdown"] > 0.20
+    assert numbers["shared"]["energy_improvement"] > 0.03
+    assert numbers["biased"]["weighted_speedup"] > 1.4
+    assert numbers["dynamic"]["fg_gap_to_best_static"] < 0.02
+    assert numbers["dynamic"]["bg_throughput_max"] > 1.1

@@ -1,0 +1,29 @@
+"""Table 2: LLC-utility classes plus the >10 APKI (bold) set."""
+
+from conftest import run_once
+
+from repro.analysis import experiments as ex
+from repro.util.tables import format_table
+
+
+def test_tab02_llc_utility(benchmark, characterizer, bench_apps):
+    table = run_once(
+        benchmark, lambda: ex.tab02_llc_utility(characterizer, bench_apps)
+    )
+    bold = set(table["bold"])
+    rows = []
+    for suite, classes in sorted(table["classes"].items()):
+        for cls in ("low", "saturated", "high"):
+            names = [
+                f"*{n}*" if n in bold else n for n in sorted(classes[cls])
+            ]
+            if names:
+                rows.append([suite, cls, ", ".join(names)])
+    print()
+    print(
+        format_table(
+            ["suite", "utility", "applications (* = >10 LLC APKI)"],
+            rows,
+            title="Table 2 — LLC allocation sensitivity",
+        )
+    )

@@ -1,0 +1,60 @@
+"""Section 3 characterization on a subset of the workload.
+
+Measures thread scalability (Fig. 1), LLC sensitivity (Fig. 2),
+prefetcher sensitivity (Fig. 3), and bandwidth sensitivity (Fig. 4) for
+a handful of applications, and prints their Table 1/2 classifications.
+
+Run:  python examples/characterization.py
+"""
+
+from repro import Characterizer, get_application
+from repro.analysis.classify import classify_llc_utility, classify_scalability
+from repro.util import format_table
+
+APPS = [
+    "blackscholes",  # scales high, cache-light
+    "h2",            # low scalability (GC bound)
+    "429.mcf",       # single-threaded, cache-hungry, phased
+    "471.omnetpp",   # high LLC utility
+    "462.libquantum",  # streaming, prefetch- and bandwidth-dependent
+    "ccbench",       # latency-bound pointer chase
+]
+
+
+def main():
+    characterizer = Characterizer()
+    rows = []
+    for name in APPS:
+        app = get_application(name)
+        scal_curve = characterizer.scalability_curve(app)
+        llc_curve = characterizer.llc_curve(app)
+        rows.append(
+            (
+                name,
+                f"{scal_curve[max(scal_curve)]:.2f}x",
+                classify_scalability(scal_curve),
+                f"{llc_curve[2] / llc_curve[12]:.2f}x",
+                classify_llc_utility(llc_curve),
+                f"{characterizer.prefetch_sensitivity(app):.2f}",
+                f"{characterizer.bandwidth_sensitivity(app):.2f}",
+            )
+        )
+    print(
+        format_table(
+            [
+                "application",
+                "speedup@8T",
+                "scalability",
+                "1MB/6MB time",
+                "LLC utility",
+                "pf on/off",
+                "vs hog",
+            ],
+            rows,
+            title="Section 3 characterization (subset)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""The dynamic cache-partitioning controller in action (Section 6).
+
+Runs 429.mcf — the paper's phase-change example — in the foreground with
+a batch application behind it, under the Algorithm 6.1/6.2 controller.
+Prints the controller's reallocation trace (expansions at phase changes,
+gradual shrinking while MPKI is flat) and compares the outcome against
+the best static partition found by exhaustive sweep.
+
+Run:  python examples/dynamic_partitioning.py
+"""
+
+from repro import ConsolidationStudy
+from repro.util import format_table
+
+
+def main():
+    study = ConsolidationStudy()
+    fg, bg = "C1", "C4"  # 429.mcf foreground, fop background
+    pair, controller = study.dynamic(fg, bg)
+
+    print(f"Controller trace ({study.reps[fg].name} foreground):")
+    rows = [
+        (f"{a.time_s:.1f}", a.fg_ways, f"{a.fg_ways * 0.5:.1f}", f"{a.mpki:.1f}", a.reason)
+        for a in controller.actions[:20]
+    ]
+    print(format_table(["t (s)", "fg ways", "fg MB", "MPKI", "action"], rows))
+    if len(controller.actions) > 20:
+        print(f"... {len(controller.actions) - 20} more actions\n")
+
+    summary = study.dynamic_vs_best_static(fg, bg)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("fg slowdown (dynamic)", f"{summary['fg_slowdown_dynamic']:.3f}"),
+                ("fg slowdown (best static)", f"{summary['fg_slowdown_best_static']:.3f}"),
+                ("bg throughput vs best static", f"{summary['bg_throughput_dynamic']:.2f}"),
+                ("bg throughput of naive sharing", f"{summary['bg_throughput_shared']:.2f}"),
+            ],
+            title="Dynamic controller vs. best static partition",
+        )
+    )
+    print(
+        "\nThe controller matches the best static partition's foreground"
+        " performance without any offline profiling, and converts mcf's"
+        " low-MPKI phases into extra background throughput."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Cross-validating the two execution engines.
+
+The statistical interval engine (fast, drives the paper's full studies)
+and the address-level trace engine (slow, exact mechanism semantics) must
+tell the same story. This example:
+
+1. measures a synthetic workload's miss-ratio curve on the real cache
+   simulator at several way allocations,
+2. fits the statistical model's curve form to those measurements,
+3. shows the address-level isolation experiment (alone / shared /
+   partitioned) whose shape the interval engine reproduces at scale.
+
+Run:  python examples/engine_cross_validation.py
+"""
+
+from repro.cache.llc import WayMask
+from repro.sim.trace_engine import TraceWorkload, measure_isolation
+from repro.util import format_table, sparkline
+from repro.util.units import MB
+from repro.workloads.calibrate import fit_mrc, fit_quality, measure_mrc
+from repro.workloads.trace import StreamingTrace, ZipfTrace
+
+
+def mrc_calibration():
+    factory = lambda: ZipfTrace(25_000, 8 * MB, alpha=1.15, seed=21)
+    measured = measure_mrc(factory, way_counts=(2, 4, 6, 8, 10, 12))
+    fitted = fit_mrc(measured)
+    rows = [
+        (f"{mb:g}", f"{ratio:.3f}", f"{fitted.value(mb):.3f}")
+        for mb, ratio in sorted(measured.items())
+    ]
+    print(
+        format_table(
+            ["LLC MB", "measured miss ratio", "fitted curve"],
+            rows,
+            title="1. Miss-ratio curve: address-level measurement -> model fit",
+        )
+    )
+    print(f"   fit RMS error: {fit_quality(fitted, measured):.4f}")
+    print(
+        "   curve shape:",
+        sparkline([fitted.value(c / 2) for c in range(1, 13)]),
+        "(0.5MB..6MB)",
+    )
+
+
+def isolation_at_address_level():
+    fg = TraceWorkload(
+        "fg",
+        lambda: ZipfTrace(80_000, 6 * MB, alpha=0.9, tid=0, seed=7),
+        tid=0,
+        think_cycles=6,
+    )
+    bg = TraceWorkload(
+        "bg",
+        lambda: StreamingTrace(50_000, 32 * MB, tid=4),
+        tid=4,
+        think_cycles=0,
+    )
+    out = measure_isolation(
+        fg,
+        bg,
+        fg_mask=WayMask.contiguous(9, 0),
+        bg_mask=WayMask.contiguous(3, 9),
+        total_accesses=300_000,
+    )
+    rows = [
+        (config, f"{v['miss_ratio']:.3f}", f"{v['avg_latency']:.1f}")
+        for config, v in out.items()
+    ]
+    print(
+        format_table(
+            ["configuration", "fg LLC miss ratio", "fg avg latency (cycles)"],
+            rows,
+            title="2. The core experiment at line granularity",
+        )
+    )
+    print(
+        "   sharing lets a streaming co-runner evict the foreground's"
+        " working set; a 9/3 way split confines the damage — the exact"
+        " behaviour the interval engine's occupancy model reproduces"
+        " for the full 45-app study."
+    )
+
+
+def main():
+    mrc_calibration()
+    print()
+    isolation_at_address_level()
+
+
+if __name__ == "__main__":
+    main()

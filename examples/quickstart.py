@@ -1,0 +1,54 @@
+"""Quickstart: co-schedule two applications with and without partitioning.
+
+Reproduces the paper's core observation on one pair: naive LLC sharing
+can degrade a latency-sensitive foreground application, while a biased
+static partition protects it at nearly no background cost.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Machine, get_application, run_biased, run_fair, run_shared
+from repro.util import format_table
+
+
+def main():
+    machine = Machine()
+    foreground = get_application("471.omnetpp")  # cache-hungry, sensitive
+    background = get_application("459.GemsFDTD")  # streaming, aggressive
+
+    # Baseline: the foreground alone in its co-run slot (4 threads on 2
+    # cores, whole LLC).
+    solo = machine.run_solo(foreground, threads=1, ways=12)
+    print(f"{foreground.name} alone: {solo.runtime_s:.1f} s\n")
+
+    rows = []
+    for policy, runner in (
+        ("shared", run_shared),
+        ("fair", run_fair),
+        ("biased", run_biased),
+    ):
+        outcome = runner(machine, foreground, background)
+        rows.append(
+            (
+                policy,
+                f"{outcome.fg_ways}/{outcome.bg_ways}",
+                f"{outcome.fg_runtime_s:.1f}",
+                f"{outcome.fg_runtime_s / solo.runtime_s:.3f}",
+                f"{outcome.bg_rate_ips / 1e9:.2f}",
+            )
+        )
+    print(
+        format_table(
+            ["policy", "fg/bg ways", "fg runtime (s)", "fg slowdown", "bg Ginstr/s"],
+            rows,
+            title=f"{foreground.name} (fg) + {background.name} (bg)",
+        )
+    )
+    print(
+        "\nBiased partitioning keeps the foreground within a few percent"
+        " of running alone; naive sharing does not."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""The partitioning mechanism itself, at address level.
+
+Exercises the real cache simulator (not the statistical models) to show
+the three mechanism properties of paper Section 2.1:
+
+1. a domain can only *replace* lines within its assigned ways,
+2. any domain can *hit* on data in any way,
+3. changing an allocation never flushes data.
+
+Also replays the ccbench pointer-chase microbenchmark at several working
+set sizes to "discover" the simulated cache hierarchy's structure the
+way the real ccbench does.
+
+Run:  python examples/trace_cache_mechanism.py
+"""
+
+from repro.cache import CacheHierarchy, WayMask
+from repro.util.units import KB, MB
+from repro.workloads.trace import PointerChaseTrace, StreamingTrace
+
+
+def mechanism_demo():
+    hierarchy = CacheHierarchy()
+    llc = hierarchy.llc
+
+    # Core 0 restricted to ways 0-5, core 1 to ways 6-11.
+    llc.set_mask(0, WayMask.contiguous(6, 0))
+    llc.set_mask(1, WayMask.contiguous(6, 6))
+
+    # Core 0 streams 3 MB: its fills stay inside ways 0-5.
+    for access in StreamingTrace(3 * MB // 64, 3 * MB, tid=0):
+        hierarchy.access(access)
+    by_way = llc.occupancy_by_way()
+    print("occupancy by way after core-0 streaming:", by_way)
+    assert sum(by_way[6:]) == 0, "core 0 must not replace into ways 6-11"
+
+    # Core 1 (tid 2) hits on a line core 0 cached — hits work anywhere.
+    # Probe the most recently streamed address (older ones may have been
+    # evicted by the stream itself).
+    last_address = 0x10_0000 + 3 * MB - 64
+    result = hierarchy.access(last_address, tid=2)
+    print("core 1 probing core 0's data:", result.hit_level)
+    assert result.hit_level == "LLC", "hits must be allowed in any way"
+
+    # Reassign ways; nothing is flushed.
+    before = llc.occupancy()
+    llc.set_mask(0, WayMask.contiguous(2, 0))
+    assert llc.occupancy() == before
+    print(f"after mask shrink, occupancy unchanged at {before} lines")
+
+
+def ccbench_demo():
+    print("\nccbench-style hierarchy discovery (avg latency per load):")
+    hierarchy = CacheHierarchy()
+    for ws in (16 * KB, 128 * KB, 2 * MB, 16 * MB):
+        hierarchy.run_trace(PointerChaseTrace(30_000, ws, tid=0))  # warm up
+        totals = hierarchy.run_trace(PointerChaseTrace(30_000, ws, tid=0, seed=13))
+        avg = totals["latency"] / totals["accesses"]
+        print(f"  working set {ws // KB:6d} KB -> {avg:6.1f} cycles/load")
+
+
+if __name__ == "__main__":
+    mechanism_demo()
+    ccbench_demo()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-use-pep517`` in environments whose
+setuptools lacks the modern editable-install path (no ``wheel`` package).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

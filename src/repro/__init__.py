@@ -1,0 +1,65 @@
+"""repro — a reproduction of Cook et al., ISCA 2013.
+
+"A Hardware Evaluation of Cache Partitioning to Improve Utilization and
+Energy-Efficiency while Preserving Responsiveness."
+
+The package simulates the paper's prototype platform (a Sandy Bridge
+client chip with way-based LLC partitioning), models its 45-application
+workload, implements the shared/fair/biased static policies and the
+dynamic MPKI-driven partitioning controller (Algorithms 6.1/6.2), and
+regenerates every table and figure of the evaluation.
+
+Quickstart::
+
+    from repro import Machine, get_application, run_biased, run_shared
+
+    machine = Machine()
+    fg = get_application("471.omnetpp")
+    bg = get_application("ferret")
+    shared = run_shared(machine, fg, bg)
+    biased = run_biased(machine, fg, bg)
+    print(shared.fg_runtime_s, biased.fg_runtime_s)
+"""
+
+from repro.analysis import Characterizer, ConsolidationStudy
+from repro.core import (
+    DynamicPartitionController,
+    PhaseDetector,
+    cluster_applications,
+    run_biased,
+    run_fair,
+    run_policy,
+    run_shared,
+    sweep_static_partitions,
+)
+from repro.cpu import SandyBridgeConfig
+from repro.runtime import CoScheduleHarness, ResctrlFilesystem
+from repro.sim import Allocation, Machine
+from repro.workloads import (
+    all_applications,
+    applications_of_suite,
+    get_application,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Allocation",
+    "Characterizer",
+    "CoScheduleHarness",
+    "ConsolidationStudy",
+    "DynamicPartitionController",
+    "Machine",
+    "PhaseDetector",
+    "ResctrlFilesystem",
+    "SandyBridgeConfig",
+    "all_applications",
+    "applications_of_suite",
+    "cluster_applications",
+    "get_application",
+    "run_biased",
+    "run_fair",
+    "run_policy",
+    "run_shared",
+    "sweep_static_partitions",
+]

@@ -1,0 +1,26 @@
+"""Experiment drivers: one entry point per paper table and figure.
+
+``Characterizer`` caches the per-application measurements (Sections 3.1-
+3.4) that several figures share; ``ConsolidationStudy`` caches the
+representative-pair runs shared by Figs. 9-13 and the headline numbers.
+The ``figNN_*`` / ``tabNN_*`` functions in :mod:`repro.analysis.experiments`
+return plain data structures that the benchmark harness prints.
+"""
+
+from repro.analysis.characterize import Characterizer
+from repro.analysis.classify import (
+    classify_llc_utility,
+    classify_scalability,
+    llc_utility_table,
+    scalability_table,
+)
+from repro.analysis.consolidation import ConsolidationStudy
+
+__all__ = [
+    "Characterizer",
+    "ConsolidationStudy",
+    "classify_llc_utility",
+    "classify_scalability",
+    "llc_utility_table",
+    "scalability_table",
+]

@@ -1,0 +1,143 @@
+"""Batch evaluation: run the whole study once, keep the artifacts.
+
+``EvaluationRunner`` executes the paper's evaluation stage by stage and
+writes one JSON artifact per stage plus a manifest. Stages whose
+artifact already exists are skipped (resumability), so an interrupted
+run — or a re-run after touching only the docs — costs nothing.
+
+`python -m repro evaluate --output results/` drives it from the CLI.
+"""
+
+import json
+import os
+import statistics as st
+
+from repro.analysis import experiments as ex
+from repro.analysis.characterize import Characterizer
+from repro.analysis.classify import classify_llc_utility, classify_scalability
+from repro.analysis.consolidation import ConsolidationStudy
+from repro.sim import Machine
+from repro.util.errors import ValidationError
+from repro.workloads import all_applications
+
+MANIFEST = "manifest.json"
+
+
+class EvaluationRunner:
+    """Runs evaluation stages and persists their outputs as JSON."""
+
+    def __init__(self, output_dir, machine=None, characterizer=None, study=None):
+        self.output_dir = output_dir
+        os.makedirs(output_dir, exist_ok=True)
+        self.machine = machine or Machine()
+        self.characterizer = characterizer or Characterizer(self.machine)
+        self.study = study or ConsolidationStudy(self.machine)
+        self._stages = {
+            "classification": self._stage_classification,
+            "scalability": self._stage_scalability,
+            "policies": self._stage_policies,
+            "energy": self._stage_energy,
+            "dynamic": self._stage_dynamic,
+            "headline": self._stage_headline,
+        }
+
+    # -- driving ------------------------------------------------------------
+
+    def stage_names(self):
+        return list(self._stages)
+
+    def run(self, stages=None, force=False):
+        """Run the requested stages; returns {stage: path}.
+
+        Stages with an existing artifact are skipped unless ``force``.
+        """
+        stages = list(stages) if stages is not None else self.stage_names()
+        unknown = [s for s in stages if s not in self._stages]
+        if unknown:
+            raise ValidationError(f"unknown stages: {unknown}")
+        written = {}
+        for stage in stages:
+            path = self._path(stage)
+            if os.path.exists(path) and not force:
+                written[stage] = path
+                continue
+            payload = self._stages[stage]()
+            with open(path, "w") as handle:
+                json.dump(payload, handle, indent=1)
+            written[stage] = path
+        self._write_manifest(written)
+        return written
+
+    def _path(self, stage):
+        return os.path.join(self.output_dir, f"{stage}.json")
+
+    def _write_manifest(self, written):
+        from repro import __version__
+
+        manifest = {
+            "model_version": __version__,
+            "stages": {stage: os.path.basename(p) for stage, p in written.items()},
+        }
+        with open(os.path.join(self.output_dir, MANIFEST), "w") as handle:
+            json.dump(manifest, handle, indent=1)
+
+    # -- stages ------------------------------------------------------------------
+
+    def _stage_classification(self):
+        rows = {}
+        for app in all_applications():
+            rows[app.name] = {
+                "suite": app.suite,
+                "scalability": classify_scalability(
+                    self.characterizer.scalability_curve(app)
+                ),
+                "scalability_expected": app.expected_scalability_class,
+                "llc_utility": classify_llc_utility(
+                    self.characterizer.llc_curve(app)
+                ),
+                "llc_utility_expected": app.expected_llc_class,
+            }
+        matches = sum(
+            1
+            for row in rows.values()
+            if row["scalability"] == row["scalability_expected"]
+            and row["llc_utility"] == row["llc_utility_expected"]
+        )
+        return {"applications": rows, "matching": matches, "total": len(rows)}
+
+    def _stage_scalability(self):
+        return {
+            app.name: self.characterizer.scalability_curve(app)
+            for app in all_applications()
+        }
+
+    def _stage_policies(self):
+        rows = ex.fig09_partitioning_policies(self.study)
+        summary = {}
+        for policy in ("shared", "fair", "biased"):
+            values = [v[policy] for v in rows.values()]
+            summary[policy] = {
+                "avg_slowdown": st.mean(values) - 1,
+                "worst_slowdown": max(values) - 1,
+            }
+        return {
+            "pairs": {f"{fg}+{bg}": v for (fg, bg), v in rows.items()},
+            "summary": summary,
+        }
+
+    def _stage_energy(self):
+        energy = ex.fig10_consolidation_energy(self.study)
+        speedup = ex.fig11_weighted_speedup(self.study)
+        return {
+            "energy": {f"{fg}+{bg}": v for (fg, bg), v in energy.items()},
+            "weighted_speedup": {
+                f"{fg}+{bg}": v for (fg, bg), v in speedup.items()
+            },
+        }
+
+    def _stage_dynamic(self):
+        rows = ex.fig13_dynamic_background_throughput(self.study)
+        return {f"{fg}+{bg}": v for (fg, bg), v in rows.items()}
+
+    def _stage_headline(self):
+        return ex.headline_numbers(self.study)

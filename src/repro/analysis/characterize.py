@@ -1,0 +1,148 @@
+"""Per-application characterization (the Section 3 studies).
+
+All measurements run on a shared :class:`repro.sim.Machine` and are
+memoized, because the clustering features and several figures reuse them.
+"""
+
+from repro.runtime.harness import paper_pair_allocations
+from repro.sim.engine import Machine
+from repro.util.errors import ValidationError
+from repro.workloads import get_application
+from repro.workloads.base import ApplicationModel
+
+BANDWIDTH_HOG = "stream_uncached"
+THREAD_SWEEP = tuple(range(1, 9))
+WAY_SWEEP = tuple(range(1, 13))
+
+
+def _threads_supported(app, threads):
+    try:
+        app.scalability.validate_threads(threads)
+        return True
+    except ValidationError:
+        return False
+
+
+class Characterizer:
+    """Runs and caches the paper's characterization experiments."""
+
+    def __init__(self, machine=None):
+        self.machine = machine or Machine()
+        self._solo_cache = {}
+
+    # -- primitive measurement -------------------------------------------------
+
+    def solo_runtime(self, app, threads, ways, prefetchers_on=True):
+        key = (app.name, threads, ways, prefetchers_on)
+        if key not in self._solo_cache:
+            result = self.machine.run_solo(
+                app, threads=threads, ways=ways, prefetchers_on=prefetchers_on
+            )
+            self._solo_cache[key] = result
+        return self._solo_cache[key]
+
+    # -- Section 3.1: thread scalability ------------------------------------
+
+    def scalability_curve(self, app):
+        """{threads: speedup over 1 thread}; skips invalid counts."""
+        if app.scalability.single_threaded:
+            return {t: 1.0 for t in THREAD_SWEEP}
+        base = None
+        curve = {}
+        for threads in THREAD_SWEEP:
+            if not _threads_supported(app, threads):
+                continue
+            result = self.solo_runtime(app, threads, self.machine.config.llc_ways)
+            if base is None:
+                base = result.runtime_s
+            curve[threads] = base / result.runtime_s
+        return curve
+
+    # -- Section 3.2: LLC sensitivity -----------------------------------------
+
+    def llc_curve(self, app, threads=4):
+        """{ways: runtime_s} at a fixed thread count."""
+        threads = self._fit_threads(app, threads)
+        return {
+            ways: self.solo_runtime(app, threads, ways).runtime_s
+            for ways in WAY_SWEEP
+        }
+
+    # -- Section 3.3: prefetcher sensitivity -------------------------------------
+
+    def prefetch_sensitivity(self, app, threads=4):
+        """runtime(prefetchers on) / runtime(prefetchers off)."""
+        threads = self._fit_threads(app, threads)
+        ways = self.machine.config.llc_ways
+        on = self.solo_runtime(app, threads, ways, prefetchers_on=True)
+        off = self.solo_runtime(app, threads, ways, prefetchers_on=False)
+        return on.runtime_s / off.runtime_s
+
+    # -- Section 3.4: bandwidth sensitivity ----------------------------------------
+
+    def bandwidth_sensitivity(self, app, threads=4):
+        """runtime(next to the bandwidth hog) / runtime(alone)."""
+        if app.name == BANDWIDTH_HOG:
+            return 1.0
+        hog = get_application(BANDWIDTH_HOG)
+        threads = self._fit_threads(app, threads)
+        solo = self.solo_runtime(app, threads, self.machine.config.llc_ways)
+        fg_alloc, bg_alloc = paper_pair_allocations(
+            app, hog, llc_ways=self.machine.config.llc_ways, threads=threads
+        )
+        pair = self.machine.run_pair(app, hog, fg_alloc, bg_alloc, bg_continuous=True)
+        return pair.fg.runtime_s / solo.runtime_s
+
+    # -- Section 3.5: the 19-value feature vector ------------------------------------
+
+    def feature_vector(self, app):
+        """7 thread features + 10 LLC features + prefetch + bandwidth.
+
+        Within-application normalization first (shapes, not absolute
+        runtimes); the clustering then rescales each feature across
+        applications.
+        """
+        one_thread = self.solo_runtime(
+            app, 1, self.machine.config.llc_ways
+        ).runtime_s
+        thread_features = []
+        for threads in THREAD_SWEEP[1:]:  # 2..8 -> 7 features
+            if _threads_supported(app, threads):
+                t = self.solo_runtime(
+                    app, threads, self.machine.config.llc_ways
+                ).runtime_s
+            else:
+                t = one_thread  # irregular apps shouldn't cluster on gaps
+            thread_features.append(t / one_thread)
+
+        llc = self.llc_curve(app)
+        full = llc[max(WAY_SWEEP)]
+        llc_features = [llc[w] / full for w in range(2, 12)]  # 10 features
+
+        return thread_features + llc_features + [
+            self.prefetch_sensitivity(app),
+            self.bandwidth_sensitivity(app),
+        ]
+
+    def features_for(self, apps, exclude_pow2_only=True):
+        """Feature dict for clustering; fluidanimate-style apps excluded
+        as in Section 3.5."""
+        out = {}
+        for app in apps:
+            if isinstance(app, str):
+                app = get_application(app)
+            if exclude_pow2_only and app.scalability.pow2_only:
+                continue
+            out[app.name] = self.feature_vector(app)
+        return out
+
+    # -- helpers -----------------------------------------------------------------
+
+    @staticmethod
+    def _fit_threads(app, threads):
+        if app.scalability.single_threaded:
+            return 1
+        if isinstance(app, ApplicationModel) and app.scalability.pow2_only:
+            while threads & (threads - 1):
+                threads -= 1
+        return max(1, threads)

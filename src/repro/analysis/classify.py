@@ -1,0 +1,80 @@
+"""Classification rules behind Tables 1 and 2.
+
+The paper groups applications qualitatively; these rules make the
+grouping operational so the golden tests can enforce that the calibrated
+models land in the published categories.
+"""
+
+from repro.util.errors import ValidationError
+
+LOW, SATURATED, HIGH = "low", "saturated", "high"
+
+# Scalability thresholds: "low" barely scales at all; "high" is still
+# growing at 8 threads; everything else has saturated.
+_LOW_SPEEDUP = 1.5
+_HIGH_SPEEDUP = 3.0
+_STILL_GROWING = 1.08
+
+# LLC utility thresholds: "low" gains under 3% from 1 MB -> 6 MB; "high"
+# still gains measurably over the last megabyte (5 MB -> 6 MB).
+_LOW_TOTAL_GAIN = 0.03
+_HIGH_TAIL_GAIN = 0.005
+
+
+def classify_scalability(curve):
+    """Classify a {threads: speedup} curve (Table 1)."""
+    if not curve:
+        raise ValidationError("empty scalability curve")
+    threads = sorted(curve)
+    top = curve[threads[-1]]
+    if top < _LOW_SPEEDUP:
+        return LOW
+    earlier = [t for t in threads if t <= threads[-1] - 2]
+    reference = curve[earlier[-1]] if earlier else curve[threads[0]]
+    growth = top / reference if reference > 0 else 1.0
+    if top >= _HIGH_SPEEDUP and growth > _STILL_GROWING:
+        return HIGH
+    return SATURATED
+
+
+def classify_llc_utility(curve):
+    """Classify a {ways: runtime_s} curve (Table 2).
+
+    The pathological direct-mapped 1-way point is ignored, exactly as the
+    paper ignores the 0.5 MB case.
+    """
+    needed = {2, 10, 12}
+    if not needed.issubset(curve):
+        raise ValidationError("utility classification needs ways {2, 10, 12}")
+    total_gain = curve[2] / curve[12] - 1.0
+    tail_gain = curve[10] / curve[12] - 1.0
+    if total_gain < _LOW_TOTAL_GAIN:
+        return LOW
+    if tail_gain > _HIGH_TAIL_GAIN:
+        return HIGH
+    return SATURATED
+
+
+def scalability_table(characterizer, apps):
+    """Table 1: {suite: {class: [names]}} from measured curves."""
+    return _grouped(
+        apps,
+        lambda app: classify_scalability(characterizer.scalability_curve(app)),
+    )
+
+
+def llc_utility_table(characterizer, apps, apki_bold_threshold=10.0):
+    """Table 2: classification plus the >10 APKI bold flags."""
+    table = _grouped(
+        apps, lambda app: classify_llc_utility(characterizer.llc_curve(app))
+    )
+    bold = sorted(a.name for a in apps if a.llc_apki > apki_bold_threshold)
+    return {"classes": table, "bold": bold}
+
+
+def _grouped(apps, classify):
+    out = {}
+    for app in apps:
+        suite = out.setdefault(app.suite, {LOW: [], SATURATED: [], HIGH: []})
+        suite[classify(app)].append(app.name)
+    return out

@@ -1,0 +1,102 @@
+"""Regression comparison between two evaluation artifact sets.
+
+``python -m repro evaluate`` writes JSON artifacts; this module diffs two
+such directories (e.g. before and after a model change) and reports
+which headline quantities moved — the regression gate a maintained
+release runs in CI.
+"""
+
+import json
+import os
+from dataclasses import dataclass
+
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    stage: str
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def absolute(self):
+        return self.after - self.before
+
+    @property
+    def relative(self):
+        if self.before == 0:
+            return float("inf") if self.after else 0.0
+        return self.after / self.before - 1.0
+
+
+def _load(directory, stage):
+    path = os.path.join(directory, f"{stage}.json")
+    if not os.path.exists(path):
+        raise ValidationError(f"missing artifact {path}")
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _flatten(prefix, node, out):
+    if isinstance(node, dict):
+        for key, value in node.items():
+            _flatten(f"{prefix}.{key}" if prefix else str(key), value, out)
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        out[prefix] = float(node)
+
+
+def compare_stage(before_dir, after_dir, stage):
+    """All numeric metric deltas for one stage."""
+    before = {}
+    after = {}
+    _flatten("", _load(before_dir, stage), before)
+    _flatten("", _load(after_dir, stage), after)
+    deltas = []
+    for metric in sorted(set(before) & set(after)):
+        deltas.append(
+            MetricDelta(
+                stage=stage,
+                metric=metric,
+                before=before[metric],
+                after=after[metric],
+            )
+        )
+    return deltas
+
+
+def regressions(before_dir, after_dir, stages=("headline",), tolerance=0.02):
+    """Metrics that moved more than ``tolerance`` (relative).
+
+    Returns (moved, checked_count). An empty ``moved`` list means the
+    two runs agree within tolerance on every shared metric.
+    """
+    moved = []
+    checked = 0
+    for stage in stages:
+        for delta in compare_stage(before_dir, after_dir, stage):
+            checked += 1
+            if abs(delta.relative) > tolerance and abs(delta.absolute) > 1e-6:
+                moved.append(delta)
+    return moved, checked
+
+
+def format_deltas(deltas):
+    from repro.util.tables import format_table
+
+    rows = [
+        (
+            d.stage,
+            d.metric,
+            f"{d.before:.4f}",
+            f"{d.after:.4f}",
+            f"{d.relative:+.1%}",
+        )
+        for d in deltas
+    ]
+    return format_table(
+        ["stage", "metric", "before", "after", "change"],
+        rows,
+        title="Evaluation deltas",
+    )

@@ -1,0 +1,196 @@
+"""The representative-pair consolidation study (Sections 5 and 6).
+
+Runs every combination of the six cluster representatives as foreground/
+background pairs under each policy, caching aggressively because Figs.
+9, 10, 11 and 13 and the headline numbers all slice the same runs.
+"""
+
+from repro.core.dynamic import DynamicPartitionController
+from repro.core.metrics import energy_ratio, slowdown, weighted_speedup
+from repro.core.policies import run_biased, run_fair, run_shared, sweep_static_partitions
+from repro.runtime.harness import paper_pair_allocations
+from repro.sim.engine import Machine
+from repro.util.errors import ValidationError
+from repro.workloads.registry import representatives
+
+PAPER_THREADS = 4
+
+
+class ConsolidationStudy:
+    """Caches solo, static-policy, and dynamic runs over app pairs."""
+
+    def __init__(self, machine=None, reps=None):
+        self.machine = machine or Machine()
+        self.reps = reps or representatives()  # {"C1": app, ...}
+        self._solo_fg = {}
+        self._solo_whole = {}
+        self._continuous = {}
+        self._once = {}
+        self._sweeps = {}
+        self._dynamic = {}
+
+    # -- pair enumeration --------------------------------------------------
+
+    def cluster_ids(self):
+        return sorted(self.reps)
+
+    def ordered_pairs(self):
+        """All 36 (fg, bg) combinations of the representatives."""
+        ids = self.cluster_ids()
+        return [(f, b) for f in ids for b in ids]
+
+    def unordered_pairs(self):
+        """The 21 unordered combinations (energy/speedup studies)."""
+        ids = self.cluster_ids()
+        return [(f, b) for i, f in enumerate(ids) for b in ids[i:]]
+
+    def _apps(self, fg_id, bg_id):
+        try:
+            return self.reps[fg_id], self.reps[bg_id]
+        except KeyError as exc:
+            raise ValidationError(f"unknown cluster id {exc}") from None
+
+    # -- baselines --------------------------------------------------------------
+
+    def solo_fg(self, cluster_id):
+        """The app alone in the paper's co-run slot (4 threads, 2 cores)."""
+        if cluster_id not in self._solo_fg:
+            app = self.reps[cluster_id]
+            threads = 1 if app.scalability.single_threaded else PAPER_THREADS
+            self._solo_fg[cluster_id] = self.machine.run_solo(
+                app, threads=threads, ways=self.machine.config.llc_ways
+            )
+        return self._solo_fg[cluster_id]
+
+    def solo_whole(self, cluster_id):
+        """The app alone on the whole machine (the sequential baseline)."""
+        if cluster_id not in self._solo_whole:
+            app = self.reps[cluster_id]
+            threads = 1 if app.scalability.single_threaded else 8
+            if app.scalability.pow2_only:
+                while threads & (threads - 1):
+                    threads -= 1
+            self._solo_whole[cluster_id] = self.machine.run_solo(
+                app, threads=threads, ways=self.machine.config.llc_ways
+            )
+        return self._solo_whole[cluster_id]
+
+    # -- policies with a continuously running background -----------------------------
+
+    def sweep(self, fg_id, bg_id):
+        key = (fg_id, bg_id)
+        if key not in self._sweeps:
+            fg, bg = self._apps(fg_id, bg_id)
+            self._sweeps[key] = sweep_static_partitions(self.machine, fg, bg)
+        return self._sweeps[key]
+
+    def policy(self, fg_id, bg_id, policy):
+        """PolicyOutcome for shared/fair/biased with continuous background."""
+        key = (fg_id, bg_id, policy)
+        if key not in self._continuous:
+            fg, bg = self._apps(fg_id, bg_id)
+            if policy == "shared":
+                outcome = run_shared(self.machine, fg, bg)
+            elif policy == "fair":
+                outcome = run_fair(self.machine, fg, bg)
+            elif policy == "biased":
+                outcome = run_biased(self.machine, fg, bg, sweep=self.sweep(fg_id, bg_id))
+            else:
+                raise ValidationError(f"unknown policy {policy!r}")
+            self._continuous[key] = outcome
+        return self._continuous[key]
+
+    def fg_slowdown(self, fg_id, bg_id, policy):
+        outcome = self.policy(fg_id, bg_id, policy)
+        return slowdown(outcome.fg_runtime_s, self.solo_fg(fg_id).runtime_s)
+
+    # -- run-once mode (energy and weighted speedup) ----------------------------------
+
+    def once(self, fg_id, bg_id, policy):
+        """PairResult with both apps running exactly once under ``policy``."""
+        key = (fg_id, bg_id, policy)
+        if key not in self._once:
+            fg, bg = self._apps(fg_id, bg_id)
+            if policy == "shared":
+                fg_ways = bg_ways = self.machine.config.llc_ways
+            elif policy == "fair":
+                fg_ways = self.machine.config.llc_ways // 2
+                bg_ways = self.machine.config.llc_ways - fg_ways
+            elif policy == "biased":
+                outcome = self.policy(fg_id, bg_id, "biased")
+                fg_ways, bg_ways = outcome.fg_ways, outcome.bg_ways
+            else:
+                raise ValidationError(f"unknown policy {policy!r}")
+            fg_alloc, bg_alloc = paper_pair_allocations(
+                fg, bg, fg_ways, bg_ways, self.machine.config.llc_ways
+            )
+            self._once[key] = self.machine.run_pair(
+                fg, bg, fg_alloc, bg_alloc, bg_continuous=False
+            )
+        return self._once[key]
+
+    def energy_ratio(self, fg_id, bg_id, policy, meter="socket"):
+        pair = self.once(fg_id, bg_id, policy)
+        solos = [self.solo_whole(fg_id), self.solo_whole(bg_id)]
+        if meter == "socket":
+            return energy_ratio(
+                pair.socket_energy_j, [s.socket_energy_j for s in solos]
+            )
+        return energy_ratio(pair.wall_energy_j, [s.wall_energy_j for s in solos])
+
+    def weighted_speedup(self, fg_id, bg_id, policy):
+        """Rate-based weighted speedup (Fig. 11) for one pair."""
+        outcome = self.policy(fg_id, bg_id, policy)
+        co_rates = [outcome.pair.fg.ips, outcome.pair.bg_rate_ips]
+        solo_rates = [
+            self.solo_whole(fg_id).ips,
+            self.solo_whole(bg_id).ips,
+        ]
+        return weighted_speedup(co_rates, solo_rates)
+
+    # -- the dynamic controller (Section 6) ----------------------------------------------
+
+    def dynamic(self, fg_id, bg_id, timeline=False):
+        """PairResult for the dynamic controller run."""
+        key = (fg_id, bg_id, timeline)
+        if key not in self._dynamic:
+            fg, bg = self._apps(fg_id, bg_id)
+            # Self-pairs are cloned under an aliased name by the engine.
+            bg_name = bg.name if bg.name != fg.name else f"{bg.name}#2"
+            controller = DynamicPartitionController(
+                fg_name=fg.name,
+                bg_name=bg_name,
+                llc_ways=self.machine.config.llc_ways,
+                way_mb=self.machine.config.way_mb,
+            )
+            masks = controller.masks()
+            fg_alloc, bg_alloc = paper_pair_allocations(
+                fg, bg, llc_ways=self.machine.config.llc_ways
+            )
+            fg_alloc = fg_alloc.with_mask(masks[fg.name])
+            bg_alloc = bg_alloc.with_mask(masks[bg_name])
+            pair = self.machine.run_pair(
+                fg,
+                bg,
+                fg_alloc,
+                bg_alloc,
+                bg_continuous=True,
+                controller=controller,
+                timeline=timeline,
+            )
+            self._dynamic[key] = (pair, controller)
+        return self._dynamic[key]
+
+    def dynamic_vs_best_static(self, fg_id, bg_id):
+        """Fig. 13's quantities for one pair."""
+        pair, controller = self.dynamic(fg_id, bg_id)
+        best = self.policy(fg_id, bg_id, "biased")
+        shared = self.policy(fg_id, bg_id, "shared")
+        solo = self.solo_fg(fg_id).runtime_s
+        return {
+            "fg_slowdown_dynamic": pair.fg.runtime_s / solo,
+            "fg_slowdown_best_static": best.fg_runtime_s / solo,
+            "bg_throughput_dynamic": pair.bg_rate_ips / best.bg_rate_ips,
+            "bg_throughput_shared": shared.bg_rate_ips / best.bg_rate_ips,
+            "controller_actions": len(controller.actions),
+        }

@@ -1,0 +1,84 @@
+"""Asymmetry analysis of the pairwise slowdown matrix (Section 5.1).
+
+The paper reads Fig. 8 two ways:
+
+- *sensitive* applications suffer when anything runs behind them — a
+  dark column: average slowdown as foreground exceeds 10%;
+- *aggressive* applications hurt whatever runs in front of them — a
+  dark row: average slowdown caused as background exceeds 10%.
+
+It names both sets explicitly; ``classify_interference`` recomputes them
+from a measured matrix so the golden tests can pin the lists.
+"""
+
+from dataclasses import dataclass
+
+from repro.util.errors import ValidationError
+
+SENSITIVITY_THRESHOLD = 0.10  # the paper's "over 10%"
+MILD_THRESHOLD = 0.025  # the paper's "less than 2.5%"
+
+
+@dataclass
+class InterferenceProfile:
+    """Per-application view of the pairwise matrix."""
+
+    name: str
+    avg_slowdown_as_fg: float  # column average (sensitivity)
+    worst_slowdown_as_fg: float
+    avg_slowdown_caused_as_bg: float  # row average (aggressiveness)
+    worst_slowdown_caused_as_bg: float
+
+    @property
+    def sensitive(self):
+        return self.avg_slowdown_as_fg > SENSITIVITY_THRESHOLD
+
+    @property
+    def aggressive(self):
+        return self.avg_slowdown_caused_as_bg > SENSITIVITY_THRESHOLD
+
+    @property
+    def mild(self):
+        return self.avg_slowdown_as_fg < MILD_THRESHOLD
+
+
+def classify_interference(matrix):
+    """Build per-app interference profiles from {(fg, bg): slowdown}.
+
+    Self-pairs are excluded from averages, as the paper's heat map
+    discussion considers distinct co-runners.
+    """
+    if not matrix:
+        raise ValidationError("empty slowdown matrix")
+    names = sorted({fg for fg, _ in matrix} | {bg for _, bg in matrix})
+    profiles = {}
+    for name in names:
+        as_fg = [
+            v - 1.0 for (fg, bg), v in matrix.items() if fg == name and bg != name
+        ]
+        as_bg = [
+            v - 1.0 for (fg, bg), v in matrix.items() if bg == name and fg != name
+        ]
+        if not as_fg or not as_bg:
+            raise ValidationError(f"{name}: matrix is not complete")
+        profiles[name] = InterferenceProfile(
+            name=name,
+            avg_slowdown_as_fg=sum(as_fg) / len(as_fg),
+            worst_slowdown_as_fg=max(as_fg),
+            avg_slowdown_caused_as_bg=sum(as_bg) / len(as_bg),
+            worst_slowdown_caused_as_bg=max(as_bg),
+        )
+    return profiles
+
+
+def sensitive_applications(profiles):
+    return sorted(n for n, p in profiles.items() if p.sensitive)
+
+
+def aggressive_applications(profiles):
+    return sorted(n for n, p in profiles.items() if p.aggressive)
+
+
+def mild_applications(profiles):
+    """Apps that barely notice co-runners (the paper's ~half the suite)."""
+    return sorted(n for n, p in profiles.items() if p.mild)

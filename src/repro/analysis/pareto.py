@@ -1,0 +1,91 @@
+"""Pareto analysis of the allocation space (the Fig. 6/7 observation).
+
+"We also can see many resource allocations achieve near optimal
+execution time, indicating that there should be spare resources
+available for background work" — this module quantifies that: the
+runtime/energy Pareto frontier of the 96-allocation space, and the
+*yieldable* resources (threads and ways an application can give up while
+staying within a tolerance of its best point).
+"""
+
+from dataclasses import dataclass
+
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class AllocationPoint:
+    threads: int
+    ways: int
+    runtime_s: float
+    energy_j: float
+
+
+def _points(grid, energy_key="wall_energy_j"):
+    return [
+        AllocationPoint(
+            threads=threads,
+            ways=ways,
+            runtime_s=cell["runtime_s"],
+            energy_j=cell[energy_key],
+        )
+        for (threads, ways), cell in grid.items()
+    ]
+
+
+def pareto_frontier(grid, energy_key="wall_energy_j"):
+    """Allocations not dominated in (runtime, energy).
+
+    A point dominates another when it is no worse on both axes and
+    strictly better on one.
+    """
+    points = _points(grid, energy_key)
+    if not points:
+        raise ValidationError("empty allocation grid")
+    frontier = []
+    for p in points:
+        dominated = any(
+            (q.runtime_s <= p.runtime_s and q.energy_j <= p.energy_j)
+            and (q.runtime_s < p.runtime_s or q.energy_j < p.energy_j)
+            for q in points
+        )
+        if not dominated:
+            frontier.append(p)
+    return sorted(frontier, key=lambda p: p.runtime_s)
+
+
+def near_optimal_allocations(grid, tolerance=0.025, energy_key="wall_energy_j"):
+    """Allocations within ``tolerance`` of the best energy."""
+    points = _points(grid, energy_key)
+    if not points:
+        raise ValidationError("empty allocation grid")
+    best = min(p.energy_j for p in points)
+    return [p for p in points if p.energy_j <= best * (1 + tolerance)]
+
+
+@dataclass(frozen=True)
+class YieldableResources:
+    """What an application can give up at near-optimal energy."""
+
+    ways_yieldable: int
+    threads_yieldable: int
+    near_optimal_count: int
+    total_allocations: int
+
+    @property
+    def mb_yieldable(self):
+        return self.ways_yieldable * 0.5
+
+
+def yieldable_resources(grid, tolerance=0.025, energy_key="wall_energy_j"):
+    """The Fig. 7 quantity: resources freed without leaving the lowest-
+    energy contour."""
+    near = near_optimal_allocations(grid, tolerance, energy_key)
+    max_ways = max(w for _, w in grid)
+    max_threads = max(t for t, _ in grid)
+    return YieldableResources(
+        ways_yieldable=max_ways - min(p.ways for p in near),
+        threads_yieldable=max_threads - min(p.threads for p in near),
+        near_optimal_count=len(near),
+        total_allocations=len(grid),
+    )

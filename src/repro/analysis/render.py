@@ -1,0 +1,159 @@
+"""Text rendering of each figure's data for the CLI.
+
+The benchmarks print rich tables; the ``python -m repro figure N``
+command uses these lighter renderers so every figure is readable
+straight from a terminal without pytest.
+"""
+
+import statistics as st
+
+from repro.util.plot import heatmap, line_plot, sparkline  # noqa: F401 (sparkline used by fig01)
+from repro.util.tables import format_table
+
+
+def render_fig01(curves):
+    rows = []
+    for name, curve in sorted(curves.items()):
+        series = [curve.get(t) for t in range(1, 9)]
+        rows.append(
+            (
+                name,
+                f"{max(v for v in series if v is not None):.2f}x",
+                sparkline([v for v in series if v is not None]),
+            )
+        )
+    return format_table(
+        ["application", "peak speedup", "1..8 threads"],
+        rows,
+        title="Fig. 1 — thread scalability",
+    )
+
+
+def render_fig02(data):
+    blocks = []
+    for app, by_threads in data.items():
+        series = {
+            f"{t}T": [(w, curve[w]) for w in sorted(curve)]
+            for t, curve in sorted(by_threads.items())
+        }
+        blocks.append(
+            line_plot(
+                series,
+                height=8,
+                width=48,
+                title=f"Fig. 2 — {app}: runtime (s) vs ways",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def render_sensitivity(data, title, label):
+    biggest = max(abs(v - 1.0) for v in data.values()) or 1.0
+    rows = []
+    for name, value in sorted(data.items(), key=lambda i: i[1]):
+        bar = "#" * int(abs(value - 1.0) / biggest * 30)
+        rows.append((name, f"{value:.3f}", bar))
+    return format_table(["application", label, "|value - 1|"], rows, title=title)
+
+
+def render_fig05(out):
+    rows = [
+        (cid, out["representatives"][cid], ", ".join(members))
+        for cid, members in out["clusters"].items()
+    ]
+    return format_table(
+        ["cluster", "medoid", "members"],
+        rows,
+        title=f"Fig. 5 / Table 3 — {out['num_clusters']} clusters",
+    )
+
+
+def render_fig06(space):
+    blocks = []
+    for app, grid in space.items():
+        matrix = {
+            (threads, ways): cell["runtime_s"]
+            for (threads, ways), cell in grid.items()
+        }
+        thread_labels = sorted({t for t, _ in matrix})
+        way_labels = sorted({w for _, w in matrix})
+        blocks.append(
+            heatmap(
+                matrix,
+                thread_labels,
+                way_labels,
+                title=f"Fig. 6 — {app}: runtime (rows=threads, cols=ways; dark=slow)",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def render_fig08(matrix):
+    names = sorted({fg for fg, _ in matrix})
+    return heatmap(
+        matrix,
+        names,
+        names,
+        title="Fig. 8 — fg slowdown (rows=fg, cols=bg)",
+        lo=1.0,
+        hi=1.2,
+    )
+
+
+def render_policy_rows(rows, title, value_format="{:.3f}"):
+    table_rows = []
+    for pair, values in sorted(rows.items()):
+        table_rows.append(
+            [f"{pair[0]}+{pair[1]}"]
+            + [value_format.format(values[p]) for p in ("shared", "fair", "biased")]
+        )
+    summary = [
+        "avg:"
+        + "  ".join(
+            f" {p}={st.mean(v[p] for v in rows.values()):.3f}"
+            for p in ("shared", "fair", "biased")
+        )
+    ]
+    return (
+        format_table(["pair", "shared", "fair", "biased"], table_rows, title=title)
+        + "\n"
+        + summary[0]
+    )
+
+
+def render_fig12(series):
+    plot_series = {
+        name: [(p["instructions"], p["mpki"]) for p in points]
+        for name, points in series.items()
+    }
+    return line_plot(
+        plot_series,
+        height=12,
+        width=64,
+        title="Fig. 12 — 429.mcf MPKI vs retired instructions",
+    )
+
+
+def render_fig13(rows):
+    table_rows = [
+        (
+            f"{fg}+{bg}",
+            f"{v['bg_throughput_dynamic']:.2f}",
+            f"{v['bg_throughput_shared']:.2f}",
+            f"{v['fg_slowdown_dynamic']:.3f}",
+        )
+        for (fg, bg), v in sorted(rows.items())
+    ]
+    return format_table(
+        ["pair", "bg dyn/static", "bg shared/static", "fg slowdown (dyn)"],
+        table_rows,
+        title="Fig. 13 — dynamic partitioning",
+    )
+
+
+def render_headline(numbers):
+    rows = []
+    for policy, metrics in numbers.items():
+        for metric, value in metrics.items():
+            rows.append((policy, metric, f"{value:.3f}"))
+    return format_table(["policy", "metric", "value"], rows, title="Headline numbers")

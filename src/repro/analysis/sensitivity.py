@@ -1,0 +1,96 @@
+"""Controller parameter sensitivity (Section 6.3).
+
+"A sensitivity study to set the MPKI derivative thresholds for phase
+detection and allocation size found selected parameters: MPKI_THR1 =
+0.02, MPKI_THR2 = 0.02, and MPKI_THR3 = 0.05. We've found the results
+largely insensitive to small parameter changes."
+
+``threshold_sensitivity`` reruns a dynamic pair across a grid of
+thresholds and reports foreground slowdown and background throughput for
+each — the reproduction of that study, and a guard that our controller
+inherits the same robustness.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.dynamic import DynamicPartitionController
+from repro.core.phase import PhaseDetector
+from repro.runtime.harness import paper_pair_allocations
+from repro.util.errors import ValidationError
+
+DEFAULT_THR1_GRID = (0.01, 0.02, 0.04)
+DEFAULT_THR3_GRID = (0.03, 0.05, 0.08)
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    thr1: float
+    thr3: float
+    fg_slowdown: float
+    bg_rate_ips: float
+    actions: int
+
+
+def run_dynamic_with_thresholds(machine, fg, bg, thr1, thr2, thr3):
+    """One dynamic co-run with explicit controller thresholds."""
+    detector = PhaseDetector(thr1=thr1, thr2=thr2)
+    controller = DynamicPartitionController(
+        fg_name=fg.name,
+        bg_name=bg.name if bg.name != fg.name else f"{bg.name}#2",
+        llc_ways=machine.config.llc_ways,
+        way_mb=machine.config.way_mb,
+        thr3=thr3,
+        detector=detector,
+    )
+    masks = controller.masks()
+    fg_alloc, bg_alloc = paper_pair_allocations(
+        fg, bg, llc_ways=machine.config.llc_ways
+    )
+    pair = machine.run_pair(
+        fg,
+        bg,
+        fg_alloc.with_mask(masks[controller.fg_name]),
+        bg_alloc.with_mask(masks[controller.bg_name]),
+        bg_continuous=True,
+        controller=controller,
+    )
+    return pair, controller
+
+
+def threshold_sensitivity(
+    machine,
+    fg,
+    bg,
+    thr1_grid=DEFAULT_THR1_GRID,
+    thr3_grid=DEFAULT_THR3_GRID,
+):
+    """Sweep (THR1=THR2, THR3) grid; returns a list of SensitivityPoints."""
+    if not thr1_grid or not thr3_grid:
+        raise ValidationError("grids cannot be empty")
+    threads = 1 if fg.scalability.single_threaded else 4
+    solo = machine.run_solo(fg, threads=threads)
+    points = []
+    for thr1 in thr1_grid:
+        for thr3 in thr3_grid:
+            pair, controller = run_dynamic_with_thresholds(
+                machine, fg, bg, thr1=thr1, thr2=thr1, thr3=thr3
+            )
+            points.append(
+                SensitivityPoint(
+                    thr1=thr1,
+                    thr3=thr3,
+                    fg_slowdown=pair.fg.runtime_s / solo.runtime_s,
+                    bg_rate_ips=pair.bg_rate_ips,
+                    actions=len(controller.actions),
+                )
+            )
+    return points
+
+
+def spread(points, attribute="fg_slowdown"):
+    """Relative spread (max/min - 1) of a metric across the grid."""
+    values = [getattr(p, attribute) for p in points]
+    lo = min(values)
+    if lo <= 0:
+        raise ValidationError(f"non-positive {attribute} in the grid")
+    return max(values) / lo - 1.0

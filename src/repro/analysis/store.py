@@ -1,0 +1,85 @@
+"""Persisting characterization results across processes.
+
+The full-suite benches re-measure the same solo runs in every process.
+``CharacterizationStore`` serializes the characterizer's memoized
+RunResults to JSON so a later process (or a CI job splitting the benches)
+starts warm. Only plain measurement data is stored — results are
+reproducible, so a stale file is merely slower, never wrong (and a
+version stamp invalidates files from older model versions).
+"""
+
+import json
+import os
+
+from repro.sim.engine import RunResult
+from repro.util.errors import ValidationError
+
+STORE_VERSION = 1
+
+
+def _key_to_string(key):
+    app, threads, ways, prefetchers_on = key
+    return f"{app}|{threads}|{ways}|{int(prefetchers_on)}"
+
+
+def _key_from_string(text):
+    app, threads, ways, prefetchers_on = text.rsplit("|", 3)
+    return (app, int(threads), int(ways), bool(int(prefetchers_on)))
+
+
+def _result_to_dict(result):
+    return {
+        "name": result.name,
+        "runtime_s": result.runtime_s,
+        "instructions": result.instructions,
+        "llc_misses": result.llc_misses,
+        "llc_accesses": result.llc_accesses,
+        "socket_energy_j": result.socket_energy_j,
+        "wall_energy_j": result.wall_energy_j,
+        "avg_power_w": result.avg_power_w,
+        "pp0_energy_j": result.pp0_energy_j,
+    }
+
+
+def save_characterizer(characterizer, path, model_version=None):
+    """Write the characterizer's solo-run cache to ``path``."""
+    from repro import __version__
+
+    payload = {
+        "store_version": STORE_VERSION,
+        "model_version": model_version or __version__,
+        "runs": {
+            _key_to_string(key): _result_to_dict(result)
+            for key, result in characterizer._solo_cache.items()
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return len(payload["runs"])
+
+
+def load_characterizer(characterizer, path, model_version=None):
+    """Warm a characterizer's cache from ``path``.
+
+    Returns the number of runs loaded; 0 (and no changes) when the file
+    is absent or was written by a different model version.
+    """
+    from repro import __version__
+
+    if not os.path.exists(path):
+        return 0
+    with open(path) as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"corrupt characterization store: {exc}") from exc
+    if payload.get("store_version") != STORE_VERSION:
+        return 0
+    if payload.get("model_version") != (model_version or __version__):
+        return 0
+    loaded = 0
+    for key_text, data in payload["runs"].items():
+        key = _key_from_string(key_text)
+        characterizer._solo_cache.setdefault(key, RunResult(**data))
+        loaded += 1
+    return loaded

@@ -1,0 +1,79 @@
+"""Cache lines and memory accesses."""
+
+from dataclasses import dataclass, field
+
+LINE_SIZE = 64
+LINE_SHIFT = 6
+
+
+@dataclass
+class CacheLine:
+    """One cache line's metadata within a set.
+
+    ``sharers`` is a bitmask of cores that may hold the line in their inner
+    (L1/L2) caches; it drives back-invalidation when an inclusive LLC evicts.
+    """
+
+    tag: int = -1
+    valid: bool = False
+    dirty: bool = False
+    sharers: int = 0
+    prefetched: bool = False
+    touched_after_prefetch: bool = False
+
+    def reset(self):
+        self.tag = -1
+        self.valid = False
+        self.dirty = False
+        self.sharers = 0
+        self.prefetched = False
+        self.touched_after_prefetch = False
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """A single load or store observed by the memory system.
+
+    ``pc`` feeds the IP-based prefetcher; ``tid`` identifies the hardware
+    thread so accesses route to the right private caches and LLC way mask.
+    """
+
+    address: int
+    is_write: bool = False
+    pc: int = 0
+    tid: int = 0
+
+    @property
+    def line_address(self):
+        return self.address >> LINE_SHIFT
+
+    @property
+    def line_offset(self):
+        return self.address & (LINE_SIZE - 1)
+
+
+def line_of(address):
+    """Return the line-aligned block number of a byte address."""
+    return address >> LINE_SHIFT
+
+
+def address_of_line(line):
+    """Return the first byte address of a line-aligned block number."""
+    return line << LINE_SHIFT
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one access walked through the hierarchy."""
+
+    hit_level: str = "MEM"
+    latency: int = 0
+    llc_victim_line: int = -1
+    back_invalidations: int = 0
+    writebacks: int = 0
+    prefetches_issued: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def is_llc_miss(self):
+        return self.hit_level == "MEM"

@@ -1,0 +1,44 @@
+"""Set-index functions.
+
+The paper attributes the absence of working-set knees partly to
+"randomized LLC-indexing functions" (Section 3.2). ``HashedIndex``
+XOR-folds upper address bits into the index the way Sandy Bridge's LLC
+hash spreads accesses; ``ModuloIndex`` is the textbook power-of-two index
+used by the inner caches.
+"""
+
+from repro.util.errors import ConfigurationError
+
+
+class ModuloIndex:
+    """index = line_number mod num_sets (num_sets must be a power of two)."""
+
+    def __init__(self, num_sets):
+        if num_sets < 1 or num_sets & (num_sets - 1):
+            raise ConfigurationError("num_sets must be a positive power of two")
+        self.num_sets = num_sets
+        self._mask = num_sets - 1
+
+    def index(self, line_number):
+        return line_number & self._mask
+
+
+class HashedIndex:
+    """XOR-folded index that mixes upper address bits into the set index."""
+
+    def __init__(self, num_sets):
+        if num_sets < 1 or num_sets & (num_sets - 1):
+            raise ConfigurationError("num_sets must be a positive power of two")
+        self.num_sets = num_sets
+        self._mask = num_sets - 1
+        self._bits = num_sets.bit_length() - 1
+
+    def index(self, line_number):
+        folded = line_number
+        acc = 0
+        while folded:
+            acc ^= folded & self._mask
+            folded >>= self._bits
+        # A final multiplicative mix decorrelates strided patterns.
+        acc = (acc * 0x9E3779B1) & 0xFFFFFFFF
+        return (acc >> 8) & self._mask if self.num_sets <= (1 << 24) else acc & self._mask

@@ -1,0 +1,165 @@
+"""The four Sandy Bridge hardware prefetchers (paper Section 3.3).
+
+1. DCU IP-prefetcher — per-PC stride detection, prefetches into L1.
+2. DCU streamer — multiple reads of one line in a short window trigger a
+   prefetch of the following line into L1.
+3. MLC spatial prefetcher — completes the 128-byte-aligned line pair in L2.
+4. MLC streamer — per-4KB-page ascending/descending stream detection,
+   prefetches ahead into L2.
+
+Each prefetcher exposes ``observe(access, hit) -> [line_number, ...]`` and
+an ``enabled`` flag controlled through the MSR file (``repro.cpu.msr``).
+"""
+
+from collections import OrderedDict
+
+PAGE_SHIFT = 12 - 6  # page number of a *line* number (4 KB pages, 64 B lines)
+
+
+class _BoundedTable(OrderedDict):
+    """A small LRU-evicting table modelling finite prefetcher state."""
+
+    def __init__(self, max_entries):
+        super().__init__()
+        self.max_entries = max_entries
+
+    def put(self, key, value):
+        if key in self:
+            del self[key]
+        self[key] = value
+        if len(self) > self.max_entries:
+            self.popitem(last=False)
+
+
+class DcuIpPrefetcher:
+    """L1 prefetcher keyed by instruction pointer, detecting fixed strides."""
+
+    target = "L1"
+
+    def __init__(self, table_entries=64):
+        self.enabled = True
+        self._table = _BoundedTable(table_entries)
+
+    def observe(self, access, hit):
+        if not self.enabled or access.is_write:
+            return []
+        line = access.line_address
+        state = self._table.get(access.pc)
+        out = []
+        if state is not None:
+            last_line, last_stride, confirmed = state
+            stride = line - last_line
+            if stride != 0 and stride == last_stride:
+                if confirmed:
+                    out.append(line + stride)
+                self._table.put(access.pc, (line, stride, True))
+            else:
+                self._table.put(access.pc, (line, stride, False))
+        else:
+            self._table.put(access.pc, (line, 0, False))
+        return out
+
+
+class DcuStreamerPrefetcher:
+    """L1 next-line prefetcher triggered by repeated reads of one line."""
+
+    target = "L1"
+
+    def __init__(self, table_entries=32, trigger_reads=2):
+        self.enabled = True
+        self.trigger_reads = trigger_reads
+        self._reads = _BoundedTable(table_entries)
+
+    def observe(self, access, hit):
+        if not self.enabled or access.is_write:
+            return []
+        line = access.line_address
+        count = self._reads.get(line, 0) + 1
+        self._reads.put(line, count)
+        if count == self.trigger_reads:
+            return [line + 1]
+        return []
+
+
+class MlcSpatialPrefetcher:
+    """L2 prefetcher that completes the 128-byte-aligned line pair."""
+
+    target = "L2"
+
+    def __init__(self):
+        self.enabled = True
+
+    def observe(self, access, hit):
+        if not self.enabled:
+            return []
+        line = access.line_address
+        buddy = line ^ 1  # the other half of the aligned pair
+        return [buddy]
+
+
+class MlcStreamerPrefetcher:
+    """L2 prefetcher tracking per-page monotonic streams."""
+
+    target = "L2"
+
+    def __init__(self, table_entries=32, degree=2):
+        self.enabled = True
+        self.degree = degree
+        self._pages = _BoundedTable(table_entries)
+
+    def observe(self, access, hit):
+        if not self.enabled:
+            return []
+        line = access.line_address
+        page = line >> PAGE_SHIFT
+        state = self._pages.get(page)
+        out = []
+        if state is not None:
+            last_line, direction, confidence = state
+            step = line - last_line
+            new_dir = 1 if step > 0 else (-1 if step < 0 else direction)
+            if step != 0 and new_dir == direction:
+                confidence = min(confidence + 1, 4)
+            elif step != 0:
+                confidence = 0
+            if confidence >= 2:
+                out = [line + new_dir * (k + 1) for k in range(self.degree)]
+            self._pages.put(page, (line, new_dir, confidence))
+        else:
+            self._pages.put(page, (line, 1, 0))
+        return out
+
+
+class PrefetcherBank:
+    """The per-core collection of all four prefetchers.
+
+    ``observe_l1`` runs the DCU prefetchers on every L1 access;
+    ``observe_l2`` runs the MLC prefetchers on every access that reaches L2.
+    Both return (line_number, target_level) pairs; the hierarchy performs
+    the fills so inclusion and way masks are honoured.
+    """
+
+    def __init__(self):
+        self.dcu_ip = DcuIpPrefetcher()
+        self.dcu_streamer = DcuStreamerPrefetcher()
+        self.mlc_spatial = MlcSpatialPrefetcher()
+        self.mlc_streamer = MlcStreamerPrefetcher()
+
+    def all(self):
+        return [self.dcu_ip, self.dcu_streamer, self.mlc_spatial, self.mlc_streamer]
+
+    def set_all(self, enabled):
+        for pf in self.all():
+            pf.enabled = enabled
+
+    def observe_l1(self, access, hit):
+        out = []
+        for pf in (self.dcu_ip, self.dcu_streamer):
+            out.extend((line, pf.target) for line in pf.observe(access, hit))
+        return out
+
+    def observe_l2(self, access, hit):
+        out = []
+        for pf in (self.mlc_spatial, self.mlc_streamer):
+            out.extend((line, pf.target) for line in pf.observe(access, hit))
+        return out

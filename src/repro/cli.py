@@ -1,0 +1,375 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the workflows of the paper's evaluation:
+
+- ``list-apps`` — the 45-application workload and its classifications.
+- ``characterize APP...`` — the Section 3 studies for named apps.
+- ``run-solo APP`` — one application, one allocation, full measurements.
+- ``consolidate FG BG`` — compare shared/fair/biased (+ optionally UCP).
+- ``dynamic FG BG`` — run the Algorithm 6.1/6.2 controller, print its trace.
+- ``figure ID`` — regenerate a paper figure/table (1, 2, ..., 13, headline).
+"""
+
+import argparse
+import sys
+
+from repro.analysis import Characterizer, ConsolidationStudy
+from repro.analysis.classify import classify_llc_utility, classify_scalability
+from repro.sim import Machine
+from repro.util.errors import ReproError
+from repro.util.tables import format_table
+from repro.workloads import all_applications, get_application
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Cook et al., ISCA 2013 (cache partitioning).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    listp = sub.add_parser("list-apps", help="list the workload")
+    listp.add_argument("--suite", default=None)
+
+    char = sub.add_parser("characterize", help="Section 3 studies")
+    char.add_argument("apps", nargs="+")
+
+    desc = sub.add_parser("describe", help="show an application's model")
+    desc.add_argument("apps", nargs="+")
+
+    solo = sub.add_parser("run-solo", help="run one application alone")
+    solo.add_argument("app")
+    solo.add_argument("--threads", type=int, default=4)
+    solo.add_argument("--ways", type=int, default=12)
+
+    cons = sub.add_parser("consolidate", help="compare partitioning policies")
+    cons.add_argument("fg")
+    cons.add_argument("bg")
+    cons.add_argument("--ucp", action="store_true", help="include the UCP baseline")
+
+    dyn = sub.add_parser("dynamic", help="run the dynamic controller")
+    dyn.add_argument("fg")
+    dyn.add_argument("bg", nargs="+")
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure/table")
+    fig.add_argument("id", help="1..13 or 'headline'")
+
+    rep = sub.add_parser("report", help="full paper-vs-measured report")
+    rep.add_argument("--output", default=None, help="write to a file")
+
+    ev = sub.add_parser("evaluate", help="run the evaluation, keep artifacts")
+    ev.add_argument("--output", default="results", help="artifact directory")
+    ev.add_argument("--stages", nargs="*", default=None)
+    ev.add_argument("--force", action="store_true")
+
+    cmp_ = sub.add_parser("compare", help="diff two evaluate artifact sets")
+    cmp_.add_argument("before")
+    cmp_.add_argument("after")
+    cmp_.add_argument("--stages", nargs="*", default=["headline"])
+    cmp_.add_argument("--tolerance", type=float, default=0.02)
+
+    return parser
+
+
+def _cmd_list_apps(args, out):
+    apps = all_applications()
+    if args.suite:
+        apps = [a for a in apps if a.suite == args.suite]
+    rows = [
+        (
+            a.name,
+            a.suite,
+            a.expected_scalability_class,
+            a.expected_llc_class,
+            "yes" if a.bandwidth_sensitive else "no",
+            f"{a.llc_apki:g}",
+        )
+        for a in apps
+    ]
+    out.write(
+        format_table(
+            ["application", "suite", "scalability", "LLC utility", "bw-sensitive", "APKI"],
+            rows,
+        )
+        + "\n"
+    )
+
+
+def _cmd_characterize(args, out):
+    characterizer = Characterizer()
+    rows = []
+    for name in args.apps:
+        app = get_application(name)
+        scal = characterizer.scalability_curve(app)
+        llc = characterizer.llc_curve(app)
+        rows.append(
+            (
+                name,
+                f"{scal[max(scal)]:.2f}x",
+                classify_scalability(scal),
+                f"{llc[2] / llc[12]:.2f}x",
+                classify_llc_utility(llc),
+                f"{characterizer.prefetch_sensitivity(app):.2f}",
+                f"{characterizer.bandwidth_sensitivity(app):.2f}",
+            )
+        )
+    out.write(
+        format_table(
+            ["app", "speedup", "scal class", "1MB/6MB", "LLC class", "pf", "vs hog"],
+            rows,
+        )
+        + "\n"
+    )
+
+
+def _cmd_describe(args, out):
+    import pprint
+
+    from repro.workloads.describe import describe, validate_model_consistency
+
+    for name in args.apps:
+        out.write(pprint.pformat(describe(name), width=90, sort_dicts=False) + "\n")
+        findings = validate_model_consistency(name)
+        out.write(
+            ("model consistency: OK" if not findings else f"findings: {findings}")
+            + "\n"
+        )
+
+
+def _cmd_run_solo(args, out):
+    machine = Machine()
+    app = get_application(args.app)
+    threads = 1 if app.scalability.single_threaded else args.threads
+    result = machine.run_solo(app, threads=threads, ways=args.ways)
+    out.write(
+        format_table(
+            ["metric", "value"],
+            [
+                ("runtime (s)", f"{result.runtime_s:.2f}"),
+                ("instructions", f"{result.instructions:.3e}"),
+                ("MPKI", f"{result.mpki:.2f}"),
+                ("socket energy (kJ)", f"{result.socket_energy_j / 1e3:.2f}"),
+                ("wall energy (kJ)", f"{result.wall_energy_j / 1e3:.2f}"),
+            ],
+            title=f"{app.name}: {threads} threads, {args.ways} ways",
+        )
+        + "\n"
+    )
+
+
+def _cmd_consolidate(args, out):
+    from repro.core import run_biased, run_fair, run_shared
+
+    machine = Machine()
+    fg = get_application(args.fg)
+    bg = get_application(args.bg)
+    threads = 1 if fg.scalability.single_threaded else 4
+    solo = machine.run_solo(fg, threads=threads)
+    outcomes = [
+        run_shared(machine, fg, bg),
+        run_fair(machine, fg, bg),
+        run_biased(machine, fg, bg),
+    ]
+    if args.ucp:
+        from repro.core.ucp import run_ucp
+
+        outcomes.append(run_ucp(machine, fg, bg))
+    rows = [
+        (
+            o.policy,
+            f"{o.fg_ways}/{o.bg_ways}",
+            f"{o.fg_runtime_s / solo.runtime_s:.3f}",
+            f"{o.bg_rate_ips / 1e9:.2f}",
+        )
+        for o in outcomes
+    ]
+    out.write(
+        format_table(
+            ["policy", "fg/bg ways", "fg slowdown", "bg Ginstr/s"],
+            rows,
+            title=f"{fg.name} (fg) + {bg.name} (bg)",
+        )
+        + "\n"
+    )
+
+
+def _cmd_dynamic(args, out):
+    from repro.core.dynamic import DynamicPartitionController
+    from repro.runtime.harness import paper_pair_allocations
+
+    machine = Machine()
+    fg = get_application(args.fg)
+    backgrounds = [get_application(n) for n in args.bg]
+    if len(backgrounds) == 1:
+        bg = backgrounds[0]
+        controller = DynamicPartitionController(fg.name, bg.name)
+        masks = controller.masks()
+        fg_alloc, bg_alloc = paper_pair_allocations(fg, bg)
+        pair = machine.run_pair(
+            fg,
+            bg,
+            fg_alloc.with_mask(masks[fg.name]),
+            bg_alloc.with_mask(masks[bg.name]),
+            controller=controller,
+        )
+        bg_rate = pair.bg_rate_ips
+    else:
+        from repro.sim.allocation import Allocation
+
+        names = [b.name for b in backgrounds]
+        controller = DynamicPartitionController(fg.name, names)
+        masks = controller.masks()
+        fg_alloc = Allocation(
+            threads=1 if fg.scalability.single_threaded else 4,
+            cores=(0, 1),
+            mask=masks[fg.name],
+        )
+        bg_allocs = [
+            Allocation(
+                threads=1 if b.scalability.single_threaded else 2,
+                cores=(2 + i,),
+                mask=masks[b.name],
+            )
+            for i, b in enumerate(backgrounds[:2])
+        ]
+        group = machine.run_group(
+            fg, backgrounds[:2], fg_alloc, bg_allocs, controller=controller
+        )
+        pair = group
+        bg_rate = group.bg_rate_ips
+    rows = [
+        (f"{a.time_s:.1f}", a.fg_ways, f"{a.mpki:.1f}", a.reason)
+        for a in controller.actions[:25]
+    ]
+    out.write(format_table(["t (s)", "fg ways", "MPKI", "action"], rows) + "\n")
+    out.write(
+        f"fg runtime {pair.fg.runtime_s:.1f} s; background {bg_rate / 1e9:.2f} "
+        f"Ginstr/s; {len(controller.actions)} reallocations\n"
+    )
+
+
+def _cmd_figure(args, out):
+    from repro.analysis import experiments as ex
+    from repro.analysis import render
+    from repro.workloads.registry import REPRESENTATIVES
+
+    machine = Machine()
+    characterizer = Characterizer(machine)
+    study = ConsolidationStudy(machine)
+    subset = sorted(REPRESENTATIVES.values())
+    dispatch = {
+        "1": lambda: render.render_fig01(
+            ex.fig01_thread_scalability(characterizer)
+        ),
+        "2": lambda: render.render_fig02(ex.fig02_llc_sensitivity(characterizer)),
+        "3": lambda: render.render_sensitivity(
+            ex.fig03_prefetch_sensitivity(characterizer),
+            "Fig. 3 — prefetcher sensitivity",
+            "time(on)/time(off)",
+        ),
+        "4": lambda: render.render_sensitivity(
+            ex.fig04_bandwidth_sensitivity(characterizer),
+            "Fig. 4 — bandwidth sensitivity",
+            "time(hog)/time(alone)",
+        ),
+        "5": lambda: render.render_fig05(ex.fig05_clustering(characterizer)),
+        "6": lambda: render.render_fig06(
+            ex.fig06_allocation_space(
+                characterizer, thread_counts=(1, 2, 4, 8), way_counts=(2, 4, 6, 9, 12)
+            )
+        ),
+        "7": lambda: render.render_fig06(
+            ex.fig06_allocation_space(
+                characterizer, thread_counts=(1, 2, 4, 8), way_counts=(2, 4, 6, 9, 12)
+            )
+        ),
+        "8": lambda: render.render_fig08(
+            ex.fig08_pairwise_slowdowns(
+                machine, subset
+            )
+        ),
+        "9": lambda: render.render_policy_rows(
+            ex.fig09_partitioning_policies(study), "Fig. 9 — fg slowdown by policy"
+        ),
+        "10": lambda: render.render_policy_rows(
+            ex.fig10_consolidation_energy(study),
+            "Fig. 10 — energy vs sequential",
+        ),
+        "11": lambda: render.render_policy_rows(
+            ex.fig11_weighted_speedup(study), "Fig. 11 — weighted speedup",
+            value_format="{:.2f}",
+        ),
+        "12": lambda: render.render_fig12(
+            ex.fig12_mcf_phases(machine, way_counts=(2, 9, 12))
+        ),
+        "13": lambda: render.render_fig13(
+            ex.fig13_dynamic_background_throughput(study)
+        ),
+        "headline": lambda: render.render_headline(ex.headline_numbers(study)),
+    }
+    if args.id not in dispatch:
+        raise ReproError(f"unknown figure {args.id!r}; pick 1..13 or 'headline'")
+    out.write(dispatch[args.id]() + "\n")
+
+
+def _cmd_report(args, out):
+    from repro.analysis.report import generate_report
+
+    text = generate_report()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        out.write(f"report written to {args.output}\n")
+    else:
+        out.write(text + "\n")
+
+
+def _cmd_evaluate(args, out):
+    from repro.analysis.batch import EvaluationRunner
+
+    runner = EvaluationRunner(args.output)
+    written = runner.run(stages=args.stages, force=args.force)
+    for stage, path in written.items():
+        out.write(f"{stage}: {path}\n")
+
+
+def _cmd_compare(args, out):
+    from repro.analysis.compare import format_deltas, regressions
+
+    moved, checked = regressions(
+        args.before, args.after, stages=args.stages, tolerance=args.tolerance
+    )
+    if moved:
+        out.write(format_deltas(moved) + "\n")
+        out.write(f"{len(moved)} of {checked} metrics moved beyond tolerance\n")
+    else:
+        out.write(f"all {checked} metrics agree within {args.tolerance:.0%}\n")
+
+
+_COMMANDS = {
+    "compare": _cmd_compare,
+    "describe": _cmd_describe,
+    "evaluate": _cmd_evaluate,
+    "list-apps": _cmd_list_apps,
+    "report": _cmd_report,
+    "characterize": _cmd_characterize,
+    "run-solo": _cmd_run_solo,
+    "consolidate": _cmd_consolidate,
+    "dynamic": _cmd_dynamic,
+    "figure": _cmd_figure,
+}
+
+
+def main(argv=None, out=None):
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    try:
+        _COMMANDS[args.command](args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

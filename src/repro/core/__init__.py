@@ -1,0 +1,72 @@
+"""The paper's contribution: partitioning policies and the dynamic controller.
+
+- :mod:`repro.core.policies` — the three static policies of Section 5
+  (shared / fair / biased) and the exhaustive best-static search.
+- :mod:`repro.core.phase` — the MPKI phase detector (Algorithm 6.1).
+- :mod:`repro.core.dynamic` — the dynamic cache-partitioning controller
+  (Algorithm 6.2).
+- :mod:`repro.core.metrics` — slowdown, weighted speedup, energy
+  improvement: the quantities Figs. 9-11 and 13 report.
+- :mod:`repro.core.clustering` — the Section 3.5 single-linkage
+  clustering over 19-dimensional feature vectors.
+"""
+
+from repro.core.bandwidth_qos import QosBandwidthDomain, QosContract, apply_qos
+from repro.core.clustering import (
+    ClusterResult,
+    cluster_applications,
+    render_dendrogram,
+)
+from repro.core.dynamic import ControllerAction, DynamicPartitionController
+from repro.core.multi_fg import (
+    ForegroundRequest,
+    MultiFgPlan,
+    SlowdownBoundAllocator,
+)
+from repro.core.ucp import UcpAllocation, miss_curve, partition_ucp, run_ucp
+from repro.core.metrics import (
+    energy_ratio,
+    relative_throughput,
+    slowdown,
+    throughput_gain,
+    weighted_speedup,
+)
+from repro.core.phase import PhaseDetector
+from repro.core.policies import (
+    PolicyOutcome,
+    run_biased,
+    run_fair,
+    run_policy,
+    run_shared,
+    sweep_static_partitions,
+)
+
+__all__ = [
+    "ClusterResult",
+    "ControllerAction",
+    "DynamicPartitionController",
+    "ForegroundRequest",
+    "MultiFgPlan",
+    "PhaseDetector",
+    "PolicyOutcome",
+    "QosBandwidthDomain",
+    "QosContract",
+    "SlowdownBoundAllocator",
+    "UcpAllocation",
+    "apply_qos",
+    "miss_curve",
+    "partition_ucp",
+    "render_dendrogram",
+    "run_ucp",
+    "cluster_applications",
+    "energy_ratio",
+    "relative_throughput",
+    "run_biased",
+    "run_fair",
+    "run_policy",
+    "run_shared",
+    "slowdown",
+    "sweep_static_partitions",
+    "throughput_gain",
+    "weighted_speedup",
+]

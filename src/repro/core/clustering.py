@@ -1,0 +1,143 @@
+"""Application clustering (Section 3.5).
+
+The paper forms a 19-value feature vector per application — execution
+time versus thread count (7 features), execution time versus LLC size
+(10 features), prefetcher sensitivity (1) and bandwidth sensitivity (1) —
+normalizes every metric to [0, 1], and applies single-linkage hierarchical
+clustering (scipy), cutting the dendrogram at a linkage distance of 0.9.
+
+``cluster_applications`` takes the feature dict built by
+``repro.analysis.characterize`` so the algorithm stays decoupled from how
+features are measured.
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.cluster.hierarchy import fcluster, linkage
+
+from repro.util.errors import ValidationError
+
+EXPECTED_FEATURES = 19
+
+
+@dataclass
+class ClusterResult:
+    """Cluster assignments plus the dendrogram's linkage matrix."""
+
+    names: list
+    labels: dict  # name -> cluster id (1-based)
+    linkage_matrix: np.ndarray
+    features: np.ndarray
+    cut_distance: float
+    representatives: dict = field(default_factory=dict)  # cluster id -> name
+
+    @property
+    def num_clusters(self):
+        return len(set(self.labels.values()))
+
+    def members(self, cluster_id):
+        return [n for n, c in self.labels.items() if c == cluster_id]
+
+    def clusters(self):
+        return {c: self.members(c) for c in sorted(set(self.labels.values()))}
+
+
+def normalize_features(matrix):
+    """Scale each feature column to [0, 1] across applications."""
+    matrix = np.asarray(matrix, dtype=float)
+    lo = matrix.min(axis=0)
+    hi = matrix.max(axis=0)
+    span = np.where(hi - lo > 1e-12, hi - lo, 1.0)
+    return (matrix - lo) / span
+
+
+def cluster_applications(features_by_name, cut_distance=0.9, expected_len=None):
+    """Single-linkage clustering of the normalized feature vectors.
+
+    Args:
+        features_by_name: {application name: sequence of raw features}.
+        cut_distance: dendrogram cut (the paper uses 0.9).
+        expected_len: optional check on vector length (19 in the paper).
+    """
+    if not features_by_name:
+        raise ValidationError("need at least one application to cluster")
+    names = sorted(features_by_name)
+    lengths = {len(features_by_name[n]) for n in names}
+    if len(lengths) != 1:
+        raise ValidationError("feature vectors must all have the same length")
+    if expected_len is not None and lengths != {expected_len}:
+        raise ValidationError(
+            f"expected {expected_len}-value feature vectors, got {lengths}"
+        )
+
+    matrix = normalize_features([features_by_name[n] for n in names])
+    if len(names) == 1:
+        labels = {names[0]: 1}
+        return ClusterResult(
+            names=names,
+            labels=labels,
+            linkage_matrix=np.empty((0, 4)),
+            features=matrix,
+            cut_distance=cut_distance,
+            representatives={1: names[0]},
+        )
+
+    link = linkage(matrix, method="single", metric="euclidean")
+    assignment = fcluster(link, t=cut_distance, criterion="distance")
+    labels = {name: int(c) for name, c in zip(names, assignment)}
+    result = ClusterResult(
+        names=names,
+        labels=labels,
+        linkage_matrix=link,
+        features=matrix,
+        cut_distance=cut_distance,
+    )
+    result.representatives = _representatives(result)
+    return result
+
+
+def render_dendrogram(result, width=60):
+    """Render the linkage tree as ASCII (the Fig. 5 view).
+
+    Each merge is one line: the two clusters joined and the linkage
+    distance, drawn as a bar scaled to the maximum distance. Leaves are
+    application names; internal nodes are shown by their member count.
+    """
+    link = result.linkage_matrix
+    if link.shape[0] == 0:
+        return f"(single application: {result.names[0]})"
+    n = len(result.names)
+    labels = {i: result.names[i] for i in range(n)}
+    sizes = {i: 1 for i in range(n)}
+    max_distance = float(link[-1, 2]) or 1.0
+    lines = []
+    for merge_index, (a, b, distance, size) in enumerate(link):
+        a, b = int(a), int(b)
+        node = n + merge_index
+        label_a = labels[a] if sizes[a] == 1 else f"[{sizes[a]} apps]"
+        label_b = labels[b] if sizes[b] == 1 else f"[{sizes[b]} apps]"
+        bar = "#" * max(1, int(distance / max_distance * width))
+        marker = "*" if distance > result.cut_distance else " "
+        lines.append(
+            f"{distance:6.3f} {marker}|{bar:<{width}}| {label_a} + {label_b}"
+        )
+        labels[node] = f"[{int(size)} apps]"
+        sizes[node] = int(size)
+    lines.append(
+        f"(cut at {result.cut_distance}: merges marked '*' happen above the "
+        f"cut and separate clusters)"
+    )
+    return "\n".join(lines)
+
+
+def _representatives(result):
+    """The application closest to each cluster's centroid (Table 3 bold)."""
+    reps = {}
+    index_of = {name: i for i, name in enumerate(result.names)}
+    for cluster_id, members in result.clusters().items():
+        rows = result.features[[index_of[m] for m in members]]
+        centroid = rows.mean(axis=0)
+        distances = np.linalg.norm(rows - centroid, axis=1)
+        reps[cluster_id] = members[int(np.argmin(distances))]
+    return reps

@@ -1,0 +1,59 @@
+"""The evaluation metrics of Sections 5 and 6."""
+
+from repro.util.errors import ValidationError
+
+
+def slowdown(co_runtime_s, solo_runtime_s):
+    """Relative execution time of the foreground (1.0 = no degradation).
+
+    This is the quantity on Figs. 8 and 9's y-axes: foreground runtime
+    co-scheduled, normalized to the same allocation running alone.
+    """
+    if solo_runtime_s <= 0:
+        raise ValidationError("solo runtime must be positive")
+    return co_runtime_s / solo_runtime_s
+
+
+def weighted_speedup(co_rates_ips, solo_rates_ips):
+    """Weighted speedup of consolidation over sequential execution.
+
+    Fig. 11: the sum over both applications of (instruction rate while
+    consolidated) / (instruction rate alone on the whole machine).
+    Sequential execution scores 1.0 by construction (each app runs at
+    full speed for its share of the time); 1.6 means consolidation
+    delivered 60% more throughput. The rate formulation is the standard
+    multiprogramming metric and is insensitive to how disparate the two
+    runtimes are.
+    """
+    if len(co_rates_ips) != len(solo_rates_ips) or not co_rates_ips:
+        raise ValidationError("need matching, non-empty rate lists")
+    for rate in solo_rates_ips:
+        if rate <= 0:
+            raise ValidationError("solo rates must be positive")
+    return sum(c / s for c, s in zip(co_rates_ips, solo_rates_ips))
+
+
+def throughput_gain(solo_runtimes_s, co_makespan_s):
+    """Makespan view of consolidation: total sequential time / makespan."""
+    if co_makespan_s <= 0:
+        raise ValidationError("makespan must be positive")
+    return sum(solo_runtimes_s) / co_makespan_s
+
+
+def energy_ratio(co_energy_j, solo_energies_j):
+    """Consolidated energy normalized to sequential execution (Fig. 10).
+
+    Below 1.0 means consolidation saved energy; the theoretical lower
+    bound for two equal-length applications is 0.5.
+    """
+    total = sum(solo_energies_j)
+    if total <= 0:
+        raise ValidationError("baseline energy must be positive")
+    return co_energy_j / total
+
+
+def relative_throughput(bg_rate_ips, baseline_bg_rate_ips):
+    """Background throughput normalized to a baseline policy (Fig. 13)."""
+    if baseline_bg_rate_ips <= 0:
+        raise ValidationError("baseline background rate must be positive")
+    return bg_rate_ips / baseline_bg_rate_ips

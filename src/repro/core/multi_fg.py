@@ -1,0 +1,143 @@
+"""Multiple latency-sensitive foregrounds — the paper's future work.
+
+Section 6.3: "Supporting multiple latency-sensitive applications would
+require a more complex algorithm, as it is entirely possible for them to
+oversubscribe the cache, and in this case some component of the system
+would have to judge their relative utility." (The authors point to their
+PACORA work [5].)
+
+`SlowdownBoundAllocator` is that component: each foreground declares a
+slowdown bound; the allocator uses the applications' miss-ratio curves to
+find the smallest way allocation whose *projected* slowdown (memory-stall
+CPI model, uncontended) meets each bound, and hands the remainder to the
+background partition. When the foregrounds oversubscribe the cache, it
+arbitrates by relative utility weight: bounds are relaxed for the
+lightest-weight applications first, and the decision is reported rather
+than silently violated.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.cache.llc import WayMask
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class ForegroundRequest:
+    """One latency-sensitive application and its service contract."""
+
+    app: object  # ApplicationModel
+    slowdown_bound: float  # e.g. 1.05 = at most 5% over full-cache speed
+    utility_weight: float = 1.0
+    threads: int = 1
+
+    def __post_init__(self):
+        if self.slowdown_bound < 1.0:
+            raise ValidationError("a slowdown bound below 1.0 is unsatisfiable")
+        if self.utility_weight <= 0:
+            raise ValidationError("utility weight must be positive")
+
+
+@dataclass
+class MultiFgPlan:
+    """The allocator's decision."""
+
+    ways_by_app: dict  # name -> ways
+    masks_by_app: dict  # name -> WayMask
+    bg_mask: WayMask
+    projected_slowdowns: dict  # name -> projected slowdown at its ways
+    relaxed: list = field(default_factory=list)  # names whose bounds gave way
+
+    @property
+    def feasible(self):
+        return not self.relaxed
+
+
+def projected_slowdown(app, ways, config, threads=1, phase=None):
+    """Uncontended slowdown estimate of ``ways`` versus the full LLC.
+
+    Uses the same CPI composition as the engine, without bandwidth terms
+    (a planner runs before co-runners are known).
+    """
+    def cpi(w):
+        capacity = w * config.way_mb
+        mr = app.miss_ratio(capacity, ways=w, phase=phase)
+        apki = app.apki(phase, threads)
+        llc_lat = config.llc_latency_cycles
+        mem_lat = llc_lat + config.dram_latency_cycles
+        stall = (apki / 1000.0) * ((1 - mr) * llc_lat + mr * mem_lat) / app.mlp
+        return app.base_cpi + stall
+
+    return cpi(ways) / cpi(config.llc_ways)
+
+
+class SlowdownBoundAllocator:
+    """Plans way allocations for N foregrounds plus one background pool."""
+
+    def __init__(self, config, bg_min_ways=1):
+        self.config = config
+        if bg_min_ways < 1:
+            raise ValidationError("the background pool needs at least one way")
+        self.bg_min_ways = bg_min_ways
+
+    def minimum_ways(self, request):
+        """Smallest way count meeting the request's slowdown bound."""
+        for ways in range(1, self.config.llc_ways + 1):
+            if (
+                projected_slowdown(
+                    request.app, ways, self.config, threads=request.threads
+                )
+                <= request.slowdown_bound
+            ):
+                return ways
+        return self.config.llc_ways
+
+    def plan(self, requests):
+        """Allocate; returns a MultiFgPlan (possibly with relaxations)."""
+        if not requests:
+            raise ValidationError("need at least one foreground request")
+        names = [r.app.name for r in requests]
+        if len(set(names)) != len(names):
+            raise ValidationError("foreground applications must be distinct")
+
+        budget = self.config.llc_ways - self.bg_min_ways
+        needs = {r.app.name: self.minimum_ways(r) for r in requests}
+        relaxed = []
+
+        # Oversubscribed: strip ways from the lowest-utility apps first,
+        # one way at a time, never below 1 — and record whom we failed.
+        by_weight = sorted(requests, key=lambda r: r.utility_weight)
+        while sum(needs.values()) > budget:
+            victim = next(
+                (r for r in by_weight if needs[r.app.name] > 1), None
+            )
+            if victim is None:
+                raise ValidationError("cannot fit one way per foreground")
+            needs[victim.app.name] -= 1
+            if victim.app.name not in relaxed:
+                relaxed.append(victim.app.name)
+
+        masks = {}
+        offset = 0
+        for request in requests:
+            ways = needs[request.app.name]
+            masks[request.app.name] = WayMask.contiguous(
+                ways, offset, self.config.llc_ways
+            )
+            offset += ways
+        bg_ways = self.config.llc_ways - offset
+        bg_mask = WayMask.contiguous(bg_ways, offset, self.config.llc_ways)
+
+        slowdowns = {
+            r.app.name: projected_slowdown(
+                r.app, needs[r.app.name], self.config, threads=r.threads
+            )
+            for r in requests
+        }
+        return MultiFgPlan(
+            ways_by_app=needs,
+            masks_by_app=masks,
+            bg_mask=bg_mask,
+            projected_slowdowns=slowdowns,
+            relaxed=relaxed,
+        )

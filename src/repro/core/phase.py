@@ -1,0 +1,63 @@
+"""Phase detection from MPKI samples — the paper's Algorithm 6.1.
+
+The detector compares each 100 ms MPKI sample against a running average.
+A large deviation (> THR1) marks the start of a phase change; the change
+is considered finished once the deviation falls back below THR2. The
+published thresholds (THR1 = THR2 = 0.02) are relative deviations — the
+paper reports results "largely insensitive to small parameter changes".
+
+``update`` returns the same codes as the paper's pseudocode:
+2 = a new phase just started, 1 = still transitioning, 0 = stable.
+"""
+
+from repro.util.errors import ValidationError
+
+
+class PhaseDetector:
+    """Algorithm 6.1 over a stream of MPKI samples."""
+
+    def __init__(self, thr1=0.02, thr2=0.02, ema_alpha=0.25):
+        if thr1 <= 0 or thr2 <= 0:
+            raise ValidationError("thresholds must be positive")
+        if not 0 < ema_alpha <= 1:
+            raise ValidationError("ema_alpha must be in (0, 1]")
+        self.thr1 = thr1
+        self.thr2 = thr2
+        self.ema_alpha = ema_alpha
+        self.avg_mpki = None
+        self.new_phase = 0
+
+    def _deviation(self, mpki):
+        scale = max(abs(self.avg_mpki), 1e-9)
+        return abs(self.avg_mpki - mpki) / scale
+
+    def update(self, mpki):
+        """Feed one MPKI sample; returns 2 / 1 / 0 per Algorithm 6.1."""
+        if mpki < 0:
+            raise ValidationError("MPKI cannot be negative")
+        if self.avg_mpki is None:
+            self.avg_mpki = mpki
+            return 0
+        deviation = self._deviation(mpki)
+        if not self.new_phase:
+            result = 0
+            if deviation > self.thr1:
+                self.new_phase = 1
+                result = 2  # a new phase just started
+        else:
+            if deviation < self.thr2:
+                self.new_phase = 0
+            result = self.new_phase
+        self.avg_mpki += self.ema_alpha * (mpki - self.avg_mpki)
+        return result
+
+    def rebase(self):
+        """Accept the next sample as the new baseline.
+
+        Called by the controller after it reallocates cache: the
+        allocation change itself moves MPKI, and that self-induced step
+        must not read as an application phase change (the "hysteresis
+        effects" of Section 6.3).
+        """
+        self.avg_mpki = None
+        self.new_phase = 0

@@ -1,0 +1,99 @@
+"""The static partitioning policies of Section 5.
+
+- *shared*: no partitioning — both applications may replace anywhere.
+- *fair*: an even 6/6 way split.
+- *biased*: the best static split, found exactly as the paper does —
+  evaluate every allocation and, among those with minimum foreground
+  degradation, pick the one maximizing background throughput.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.runtime.harness import paper_pair_allocations
+from repro.util.errors import ValidationError
+
+# Foreground slowdowns within this tolerance count as "minimum
+# degradation" when choosing the biased split (measurement-noise margin).
+_BIAS_TOLERANCE = 0.005
+
+
+@dataclass
+class PolicyOutcome:
+    """A policy run: the chosen split and the resulting measurements."""
+
+    policy: str
+    fg_name: str
+    bg_name: str
+    fg_ways: int
+    bg_ways: int
+    pair: object  # PairResult
+    sweep: list = field(default_factory=list)  # (fg_ways, PairResult)
+
+    @property
+    def fg_runtime_s(self):
+        return self.pair.fg.runtime_s
+
+    @property
+    def bg_rate_ips(self):
+        return self.pair.bg_rate_ips
+
+
+def _run_split(machine, fg, bg, fg_ways, bg_ways, **kwargs):
+    fg_alloc, bg_alloc = paper_pair_allocations(
+        fg, bg, fg_ways, bg_ways, machine.config.llc_ways
+    )
+    return machine.run_pair(fg, bg, fg_alloc, bg_alloc, **kwargs)
+
+
+def run_shared(machine, fg, bg, **kwargs):
+    """No partitioning: overlapping full masks."""
+    ways = machine.config.llc_ways
+    pair = _run_split(machine, fg, bg, ways, ways, **kwargs)
+    return PolicyOutcome("shared", fg.name, bg.name, ways, ways, pair)
+
+
+def run_fair(machine, fg, bg, **kwargs):
+    """Even static split."""
+    half = machine.config.llc_ways // 2
+    pair = _run_split(machine, fg, bg, half, machine.config.llc_ways - half, **kwargs)
+    return PolicyOutcome("fair", fg.name, bg.name, half, machine.config.llc_ways - half, pair)
+
+
+def sweep_static_partitions(machine, fg, bg, **kwargs):
+    """Measure every disjoint split (fg gets 1..ways-1)."""
+    ways = machine.config.llc_ways
+    sweep = []
+    for fg_ways in range(1, ways):
+        pair = _run_split(machine, fg, bg, fg_ways, ways - fg_ways, **kwargs)
+        sweep.append((fg_ways, pair))
+    return sweep
+
+
+def run_biased(machine, fg, bg, sweep=None, **kwargs):
+    """The best static split (the paper's 'biased' policy).
+
+    Among splits whose foreground runtime is within a small tolerance of
+    the best observed, picks the one with maximum background throughput.
+    """
+    sweep = sweep or sweep_static_partitions(machine, fg, bg, **kwargs)
+    best_fg_time = min(pair.fg.runtime_s for _, pair in sweep)
+    cutoff = best_fg_time * (1.0 + _BIAS_TOLERANCE)
+    candidates = [(w, p) for w, p in sweep if p.fg.runtime_s <= cutoff]
+    fg_ways, pair = max(candidates, key=lambda item: item[1].bg_rate_ips)
+    return PolicyOutcome(
+        "biased",
+        fg.name,
+        bg.name,
+        fg_ways,
+        machine.config.llc_ways - fg_ways,
+        pair,
+        sweep=sweep,
+    )
+
+
+def run_policy(machine, fg, bg, policy, **kwargs):
+    """Dispatch by policy name ('shared' | 'fair' | 'biased')."""
+    runners = {"shared": run_shared, "fair": run_fair, "biased": run_biased}
+    if policy not in runners:
+        raise ValidationError(f"unknown policy {policy!r}")
+    return runners[policy](machine, fg, bg, **kwargs)

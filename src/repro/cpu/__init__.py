@@ -1,0 +1,29 @@
+"""The simulated Sandy Bridge client platform.
+
+Configuration constants, core/hyperthread topology, the MSR file through
+which prefetchers and the way-partitioning prototype are controlled, and
+the shared-bandwidth domains (ring interconnect, DRAM) whose contention the
+paper identifies as the unpartitionable resource (Sections 3.4, 8).
+"""
+
+from repro.cpu.bandwidth import BandwidthDomain, MemorySystem
+from repro.cpu.config import SandyBridgeConfig
+from repro.cpu.msr import (
+    IA32_L3_QOS_MASK_BASE,
+    IA32_PQR_ASSOC,
+    MISC_FEATURE_CONTROL,
+    MsrFile,
+)
+from repro.cpu.topology import CpuTopology, HyperThread
+
+__all__ = [
+    "BandwidthDomain",
+    "CpuTopology",
+    "HyperThread",
+    "IA32_L3_QOS_MASK_BASE",
+    "IA32_PQR_ASSOC",
+    "MISC_FEATURE_CONTROL",
+    "MemorySystem",
+    "MsrFile",
+    "SandyBridgeConfig",
+]

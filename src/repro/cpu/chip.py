@@ -1,0 +1,103 @@
+"""The chip: wiring the MSR file to the hardware it controls.
+
+`Chip` owns an address-level cache hierarchy and an MSR file, and makes
+register writes *do* things, the way the paper's custom BIOS and wrmsr
+calls did on the prototype:
+
+- writes to ``MISC_FEATURE_CONTROL`` toggle the four prefetchers of the
+  target logical CPU's core;
+- writes to the CAT registers (``IA32_PQR_ASSOC`` and the
+  ``IA32_L3_QOS_MASK`` family) reprogram the LLC's way masks.
+
+This closes the loop for driver-style code: a controller that only knows
+``wrmsr`` (or the resctrl layer on top of it) fully controls the
+simulated hardware.
+"""
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.llc import WayMask
+from repro.cpu.config import SandyBridgeConfig
+from repro.cpu.msr import (
+    IA32_L3_QOS_MASK_BASE,
+    IA32_PQR_ASSOC,
+    MISC_FEATURE_CONTROL,
+    PREFETCHER_BITS,
+    MsrFile,
+)
+
+_PF_BY_BIT = {
+    PREFETCHER_BITS["mlc_streamer"]: "mlc_streamer",
+    PREFETCHER_BITS["mlc_spatial"]: "mlc_spatial",
+    PREFETCHER_BITS["dcu_streamer"]: "dcu_streamer",
+    PREFETCHER_BITS["dcu_ip"]: "dcu_ip",
+}
+
+
+class Chip:
+    """The simulated package: cores, caches, and their control registers."""
+
+    def __init__(self, config=None):
+        self.config = config or SandyBridgeConfig()
+        self.hierarchy = CacheHierarchy(
+            num_cores=self.config.num_cores,
+            l1_bytes=self.config.l1_bytes,
+            l1_ways=self.config.l1_ways,
+            l2_bytes=self.config.l2_bytes,
+            l2_ways=self.config.l2_ways,
+            llc_bytes=self.config.llc_bytes,
+            llc_ways=self.config.llc_ways,
+            line_size=self.config.line_size,
+        )
+        self.msr = MsrFile(num_cpus=self.config.num_threads)
+        self.msr.add_observer(self._on_msr_write)
+        # CLOS -> way mask bits; CPU -> CLOS (hardware-side mirrors).
+        self._clos_masks = {0: WayMask.full(self.config.llc_ways).bits}
+        self._clos_of_cpu = {cpu: 0 for cpu in range(self.config.num_threads)}
+
+    # -- the hardware acting on register writes ----------------------------
+
+    def _on_msr_write(self, cpu, msr, value):
+        if msr == MISC_FEATURE_CONTROL:
+            self._apply_prefetcher_bits(cpu, value)
+        elif msr == IA32_PQR_ASSOC:
+            self._clos_of_cpu[cpu] = value
+            self._reprogram_llc()
+        elif IA32_L3_QOS_MASK_BASE <= msr < IA32_L3_QOS_MASK_BASE + 16:
+            self._clos_masks[msr - IA32_L3_QOS_MASK_BASE] = value
+            self._reprogram_llc()
+
+    def _apply_prefetcher_bits(self, cpu, value):
+        core = self.hierarchy.core_of_tid(cpu)
+        bank = self.hierarchy.prefetchers[core]
+        for bit, name in _PF_BY_BIT.items():
+            disabled = bool(value >> bit & 1)
+            getattr(bank, name).enabled = not disabled
+
+    def _reprogram_llc(self):
+        """Core's mask = mask of the CLOS its first hyperthread uses.
+
+        (Both hyperthreads of a core share a fill path on this part; a
+        split assignment takes the lower thread's class, matching how
+        the prototype resolved the ambiguity.)
+        """
+        for core in range(self.config.num_cores):
+            cpu = core * self.config.threads_per_core
+            clos = self._clos_of_cpu.get(cpu, 0)
+            bits = self._clos_masks.get(clos)
+            if not bits:
+                bits = WayMask.full(self.config.llc_ways).bits
+            self.hierarchy.set_way_mask(
+                core, WayMask.from_bits(bits, self.config.llc_ways)
+            )
+
+    # -- convenience ----------------------------------------------------------
+
+    def access(self, address, is_write=False, tid=0, pc=0):
+        return self.hierarchy.access(address, is_write=is_write, tid=tid, pc=pc)
+
+    def prefetchers_enabled(self, core):
+        bank = self.hierarchy.prefetchers[core]
+        return {name: getattr(bank, name).enabled for name in PREFETCHER_BITS}
+
+    def way_mask_of_core(self, core):
+        return self.hierarchy.llc.mask_of(core)

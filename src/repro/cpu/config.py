@@ -1,0 +1,116 @@
+"""Platform configuration mirroring the paper's prototype (Section 2.1)."""
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import ConfigurationError
+from repro.util.units import GB, GHZ, KB, MB
+
+
+@dataclass(frozen=True)
+class SandyBridgeConfig:
+    """All machine constants in one immutable object.
+
+    Defaults describe the prototype: 4 OoO cores with 2 hyperthreads each,
+    32 KB L1D + 256 KB L2 private, 6 MB 12-way inclusive LLC on a ring,
+    and client-class DDR3 bandwidth. Power-model constants are chosen so
+    socket power lands in the Sandy Bridge client envelope and race-to-halt
+    holds (Section 4).
+    """
+
+    num_cores: int = 4
+    threads_per_core: int = 2
+    frequency_hz: float = 3.4 * GHZ
+
+    l1_bytes: int = 32 * KB
+    l1_ways: int = 8
+    l2_bytes: int = 256 * KB
+    l2_ways: int = 8
+    llc_bytes: int = 6 * MB
+    llc_ways: int = 12
+    line_size: int = 64
+
+    l1_latency_cycles: int = 4
+    l2_latency_cycles: int = 12
+    llc_latency_cycles: int = 30
+    dram_latency_cycles: int = 200
+
+    dram_bandwidth_bps: float = 21.0 * GB
+    ring_bandwidth_bps: float = 96.0 * GB
+    mshrs_per_core: int = 10
+
+    # Hyperthreading: a core running 2 threads retires ``smt_throughput``
+    # times the instructions of a core running 1 thread.
+    smt_throughput: float = 1.3
+
+    # Power model (Watts). Socket = uncore + sum over active cores of
+    # (static + dynamic * utilization); see repro.energy.model.
+    uncore_static_w: float = 9.0
+    llc_static_w: float = 2.5
+    core_static_w: float = 1.5
+    core_dynamic_max_w: float = 9.5
+    socket_idle_w: float = 5.0
+
+    dram_static_w: float = 4.0
+    dram_w_per_gbps: float = 0.55
+    psu_overhead: float = 1.25
+    system_rest_w: float = 42.0
+
+    # DRAM access energy, charged per LLC miss (64B transfer).
+    dram_energy_per_miss_j: float = 20e-9
+
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.num_cores < 1 or self.threads_per_core < 1:
+            raise ConfigurationError("need at least one core and thread")
+        if self.llc_bytes % self.llc_ways:
+            raise ConfigurationError("LLC capacity must divide evenly by ways")
+
+    @property
+    def num_threads(self):
+        return self.num_cores * self.threads_per_core
+
+    @property
+    def way_bytes(self):
+        return self.llc_bytes // self.llc_ways
+
+    @property
+    def way_mb(self):
+        return self.way_bytes / MB
+
+    @property
+    def llc_mb(self):
+        return self.llc_bytes / MB
+
+    def ways_for_mb(self, mb):
+        """Smallest way count whose capacity reaches ``mb`` megabytes."""
+        ways = max(1, round(mb / self.way_mb))
+        return min(ways, self.llc_ways)
+
+    def mb_for_ways(self, ways):
+        return ways * self.way_mb
+
+    def at_frequency(self, frequency_hz):
+        """A copy of this configuration at a different core frequency.
+
+        DVFS (the Section 4 framing: core count and frequency are the
+        well-studied energy knobs). Dynamic power scales ~ f * V^2 and
+        voltage tracks frequency on this part, so the per-core dynamic
+        ceiling scales with (f/f0)^2.2; static terms stay put, which is
+        exactly why race-to-halt wins on it.
+        """
+        import dataclasses
+
+        if frequency_hz <= 0:
+            raise ConfigurationError("frequency must be positive")
+        ratio = frequency_hz / self.frequency_hz
+        return dataclasses.replace(
+            self,
+            frequency_hz=frequency_hz,
+            core_dynamic_max_w=self.core_dynamic_max_w * ratio ** 2.2,
+            # Memory latencies are fixed in wall time; their cost in core
+            # cycles scales with frequency (memory gets relatively slower
+            # as the core gets faster).
+            llc_latency_cycles=max(1, round(self.llc_latency_cycles * ratio)),
+            dram_latency_cycles=max(1, round(self.dram_latency_cycles * ratio)),
+        )

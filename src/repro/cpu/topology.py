@@ -1,0 +1,70 @@
+"""Core/hyperthread enumeration and assignment order.
+
+The paper assigns threads by filling both hyperthreads of a core before
+moving to the next core (Section 3.1), and co-scheduled experiments pin
+each application to disjoint cores. This module provides that numbering.
+"""
+
+from dataclasses import dataclass
+
+from repro.util.errors import SchedulingError, ValidationError
+
+
+@dataclass(frozen=True)
+class HyperThread:
+    """A hardware thread: (core, smt slot) with a flat OS-visible id."""
+
+    tid: int
+    core: int
+    smt: int
+
+
+class CpuTopology:
+    """Enumerates hyperthreads and provides paper-style allocation orders."""
+
+    def __init__(self, num_cores=4, threads_per_core=2):
+        if num_cores < 1 or threads_per_core < 1:
+            raise ValidationError("topology needs at least one core and thread")
+        self.num_cores = num_cores
+        self.threads_per_core = threads_per_core
+        self.threads = [
+            HyperThread(tid=c * threads_per_core + s, core=c, smt=s)
+            for c in range(num_cores)
+            for s in range(threads_per_core)
+        ]
+
+    @property
+    def num_threads(self):
+        return len(self.threads)
+
+    def thread(self, tid):
+        if not 0 <= tid < self.num_threads:
+            raise ValidationError(f"tid {tid} out of range")
+        return self.threads[tid]
+
+    def core_of(self, tid):
+        return self.thread(tid).core
+
+    def fill_order(self, count, first_core=0):
+        """The paper's order: both HTs of a core, then the next core."""
+        if count < 1 or count > self.num_threads - first_core * self.threads_per_core:
+            raise SchedulingError(
+                f"cannot place {count} threads starting at core {first_core}"
+            )
+        start = first_core * self.threads_per_core
+        return [self.threads[start + i].tid for i in range(count)]
+
+    def cores_used(self, tids):
+        return sorted({self.core_of(t) for t in tids})
+
+    def split_cores(self, num_apps=2):
+        """Disjoint, even core groups for co-scheduling (Section 5)."""
+        if num_apps < 1 or self.num_cores % num_apps:
+            raise SchedulingError(
+                f"cannot split {self.num_cores} cores {num_apps} ways evenly"
+            )
+        per = self.num_cores // num_apps
+        return [list(range(i * per, (i + 1) * per)) for i in range(num_apps)]
+
+    def tids_of_cores(self, cores):
+        return [t.tid for t in self.threads if t.core in cores]

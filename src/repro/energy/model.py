@@ -1,0 +1,105 @@
+"""The platform power model.
+
+Socket power = uncore static + LLC static + per-active-core (static +
+dynamic x utilization), plus DRAM access energy charged per miss. Wall
+power adds PSU conversion overhead, DRAM device power, and a constant
+rest-of-system term. Two properties the paper leans on fall out directly:
+
+- *Race-to-halt* (Section 4): static terms dominate idle-ish operation, so
+  finishing sooner and sleeping wins unless added resources don't speed
+  the program up.
+- *Cache allocation doesn't change socket power* (Section 4): "current
+  hardware cannot turn off power to a portion of the cache" — the LLC
+  term is static regardless of partitioning; allocation affects energy
+  only through misses and runtime.
+"""
+
+from dataclasses import dataclass
+
+from repro.util.errors import ValidationError
+from repro.util.units import GB
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Instantaneous power (Watts) split by component."""
+
+    socket_w: float
+    cores_w: float
+    llc_w: float
+    dram_w: float
+    wall_w: float
+
+    def scaled(self, factor):
+        return PowerBreakdown(
+            socket_w=self.socket_w * factor,
+            cores_w=self.cores_w * factor,
+            llc_w=self.llc_w * factor,
+            dram_w=self.dram_w * factor,
+            wall_w=self.wall_w * factor,
+        )
+
+
+class PowerModel:
+    """Computes instantaneous power from activity; integrates to energy."""
+
+    def __init__(self, config):
+        self.config = config
+
+    def socket_power(self, core_utilizations, active_cores=None):
+        """Socket (package) power given per-core utilization in [0, 1].
+
+        ``core_utilizations`` maps core id -> utilization; cores absent
+        from the map are power-gated (contribute nothing beyond the
+        package idle floor).
+        """
+        cfg = self.config
+        for core, util in core_utilizations.items():
+            if not 0.0 <= util <= 1.0:
+                raise ValidationError(f"core {core} utilization {util} not in [0,1]")
+        if active_cores is None:
+            active_cores = set(core_utilizations)
+        cores_w = sum(
+            cfg.core_static_w + cfg.core_dynamic_max_w * core_utilizations.get(c, 0.0)
+            for c in active_cores
+        )
+        if active_cores:
+            socket = cfg.uncore_static_w + cfg.llc_static_w + cores_w
+        else:
+            socket = cfg.socket_idle_w
+        return socket, cores_w
+
+    def dram_power(self, dram_traffic_bps):
+        cfg = self.config
+        return cfg.dram_static_w + cfg.dram_w_per_gbps * (dram_traffic_bps / GB)
+
+    def breakdown(self, core_utilizations, dram_traffic_bps=0.0, active_cores=None):
+        """Full instantaneous power split for the current activity."""
+        cfg = self.config
+        socket_w, cores_w = self.socket_power(core_utilizations, active_cores)
+        dram_w = self.dram_power(dram_traffic_bps)
+        wall_w = cfg.psu_overhead * (socket_w + dram_w) + cfg.system_rest_w
+        return PowerBreakdown(
+            socket_w=socket_w,
+            cores_w=cores_w,
+            llc_w=cfg.llc_static_w,
+            dram_w=dram_w,
+            wall_w=wall_w,
+        )
+
+    def idle_breakdown(self):
+        """Power of the machine with every core sleeping."""
+        cfg = self.config
+        dram_w = cfg.dram_static_w
+        wall_w = cfg.psu_overhead * (cfg.socket_idle_w + dram_w) + cfg.system_rest_w
+        return PowerBreakdown(
+            socket_w=cfg.socket_idle_w,
+            cores_w=0.0,
+            llc_w=0.0,
+            dram_w=dram_w,
+            wall_w=wall_w,
+        )
+
+    def miss_energy(self, llc_misses):
+        """DRAM access energy for a number of LLC misses (Joules)."""
+        return llc_misses * self.config.dram_energy_per_miss_j

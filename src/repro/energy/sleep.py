@@ -1,0 +1,83 @@
+"""Sleep states and the race-to-halt energy account.
+
+The paper's client scenario (Section 1): "the goal is to complete
+background work while the foreground task is active, so that the mobile
+device can quickly return to a very low-power hibernation mode". Energy
+comparisons between configurations are therefore *energy over a fixed
+horizon*: run, then sleep until the horizon.
+
+``energy_over_horizon`` makes that explicit, and ``best_allocation``
+picks the allocation minimizing it — which is how "race-to-halt" becomes
+a theorem about numbers rather than a slogan: the faster allocation wins
+whenever its extra power costs less than the sleep power it buys.
+"""
+
+from dataclasses import dataclass
+
+from repro.util.errors import ValidationError
+
+# Client-platform hibernation draw (Section 1's "very low-power mode").
+DEFAULT_SLEEP_W = 1.5
+
+
+@dataclass(frozen=True)
+class HorizonEnergy:
+    """Energy account of one allocation over a fixed horizon."""
+
+    runtime_s: float
+    active_energy_j: float
+    sleep_energy_j: float
+
+    @property
+    def total_j(self):
+        return self.active_energy_j + self.sleep_energy_j
+
+
+def energy_over_horizon(result, horizon_s, sleep_w=DEFAULT_SLEEP_W, meter="wall"):
+    """Total energy to run ``result`` and then sleep until ``horizon_s``.
+
+    Args:
+        result: a RunResult (its runtime must fit inside the horizon).
+        horizon_s: the fixed comparison window.
+        sleep_w: hibernation draw after completion.
+        meter: "wall" or "socket" — which active energy to account.
+    """
+    if horizon_s < result.runtime_s:
+        raise ValidationError(
+            f"horizon {horizon_s}s shorter than the runtime {result.runtime_s:.1f}s"
+        )
+    if sleep_w < 0:
+        raise ValidationError("sleep power cannot be negative")
+    active = result.wall_energy_j if meter == "wall" else result.socket_energy_j
+    sleep = (horizon_s - result.runtime_s) * sleep_w
+    return HorizonEnergy(
+        runtime_s=result.runtime_s,
+        active_energy_j=active,
+        sleep_energy_j=sleep,
+    )
+
+
+def best_allocation(machine, app, horizon_s, thread_counts=(1, 2, 4, 8),
+                    way_counts=(2, 6, 12), sleep_w=DEFAULT_SLEEP_W):
+    """Sweep allocations; return (allocation, HorizonEnergy) minimizing
+    total energy over the horizon.
+
+    Allocations whose runtime exceeds the horizon are infeasible and
+    skipped; raises if nothing fits.
+    """
+    best = None
+    for threads in thread_counts:
+        try:
+            app.scalability.validate_threads(threads)
+        except ValidationError:
+            continue
+        for ways in way_counts:
+            result = machine.run_solo(app, threads=threads, ways=ways)
+            if result.runtime_s > horizon_s:
+                continue
+            account = energy_over_horizon(result, horizon_s, sleep_w)
+            if best is None or account.total_j < best[1].total_j:
+                best = ((threads, ways), account)
+    if best is None:
+        raise ValidationError("no allocation completes within the horizon")
+    return best

@@ -1,0 +1,60 @@
+"""Hardware event counters.
+
+Counters are monotonic totals written by the simulation engine; consumers
+snapshot and difference them, never reading "rates" directly — the same
+discipline perf_events imposes.
+"""
+
+from repro.util.errors import ValidationError
+
+INSTRUCTIONS = "instructions"
+CYCLES = "cycles"
+LLC_ACCESSES = "llc_accesses"
+LLC_MISSES = "llc_misses"
+
+STANDARD_EVENTS = (INSTRUCTIONS, CYCLES, LLC_ACCESSES, LLC_MISSES)
+
+
+class PerfCounter:
+    """A single monotonically increasing event counter."""
+
+    def __init__(self, event):
+        self.event = event
+        self._value = 0.0
+
+    def add(self, amount):
+        if amount < 0:
+            raise ValidationError(f"{self.event}: counters are monotonic")
+        self._value += amount
+
+    @property
+    def value(self):
+        return self._value
+
+
+class CounterSet:
+    """A group of counters attached to one application/domain."""
+
+    def __init__(self, events=STANDARD_EVENTS):
+        self._counters = {event: PerfCounter(event) for event in events}
+
+    def add(self, event, amount):
+        if event not in self._counters:
+            raise ValidationError(f"event {event!r} not programmed")
+        self._counters[event].add(amount)
+
+    def read(self, event):
+        if event not in self._counters:
+            raise ValidationError(f"event {event!r} not programmed")
+        return self._counters[event].value
+
+    def snapshot(self):
+        return {event: c.value for event, c in self._counters.items()}
+
+    def delta(self, since):
+        """Difference against a previous snapshot."""
+        return {event: c.value - since.get(event, 0.0) for event, c in self._counters.items()}
+
+    @property
+    def events(self):
+        return tuple(self._counters)

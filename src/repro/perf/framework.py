@@ -1,0 +1,90 @@
+"""The phase-detection framework of Section 6.2, standalone.
+
+"We have created a software framework to monitor behavior and respond to
+phase changes by reallocating cache resources. ... The framework detects
+phase changes by looking for changes in LLC misses per kilo-instruction
+over a 100 millisecond interval."
+
+:class:`PhaseMonitoringFramework` composes an :class:`IntervalMonitor`
+over an application's counters with an Algorithm 6.1 detector and a
+callback interface, so consumers other than the cache controller (a
+scheduler, a logger, a DVFS governor) can subscribe to phase events —
+the "performance monitoring aspect" the paper expects to be reusable.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.phase import PhaseDetector
+from repro.perf.events import CounterSet
+from repro.perf.monitor import IntervalMonitor
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class PhaseEvent:
+    """One detected phase-boundary event."""
+
+    time_s: float
+    kind: str  # "phase-start" | "phase-settled"
+    mpki: float
+    sample: object  # the Sample that triggered it
+
+
+class PhaseMonitoringFramework:
+    """Counters -> 100 ms windows -> Algorithm 6.1 -> callbacks."""
+
+    def __init__(self, counters=None, period_s=0.1, detector=None):
+        self.counters = counters or CounterSet()
+        self.monitor = IntervalMonitor(self.counters, period_s=period_s)
+        self.detector = detector or PhaseDetector()
+        self.events = []
+        self._subscribers = []
+        self._in_transition = False
+
+    def subscribe(self, callback):
+        """Register ``callback(event)``; returns an unsubscribe callable."""
+        if not callable(callback):
+            raise ValidationError("subscriber must be callable")
+        self._subscribers.append(callback)
+
+        def unsubscribe():
+            self._subscribers.remove(callback)
+
+        return unsubscribe
+
+    def feed(self, dt_s, instructions, llc_misses, llc_accesses=0, cycles=0):
+        """Account activity and advance time; emits events as windows close.
+
+        Returns the PhaseEvents emitted during this advance.
+        """
+        self.counters.add("instructions", instructions)
+        self.counters.add("llc_misses", llc_misses)
+        self.counters.add("llc_accesses", llc_accesses)
+        self.counters.add("cycles", cycles)
+        emitted = []
+        for sample in self.monitor.advance(dt_s):
+            result = self.detector.update(sample.mpki)
+            if result == 2:
+                self._in_transition = True
+                emitted.append(self._emit("phase-start", sample))
+            elif result == 0 and self._in_transition:
+                self._in_transition = False
+                emitted.append(self._emit("phase-settled", sample))
+        return emitted
+
+    def _emit(self, kind, sample):
+        event = PhaseEvent(
+            time_s=sample.timestamp_s, kind=kind, mpki=sample.mpki, sample=sample
+        )
+        self.events.append(event)
+        for callback in list(self._subscribers):
+            callback(event)
+        return event
+
+    @property
+    def phase_count(self):
+        """Number of phase starts observed so far."""
+        return sum(1 for e in self.events if e.kind == "phase-start")
+
+    def mpki_history(self):
+        return [s.mpki for s in self.monitor.samples]

@@ -1,0 +1,88 @@
+"""Interval sampling over counter sets.
+
+``IntervalMonitor`` is the measurement half of the paper's phase-detection
+framework (Section 6.2): it samples a counter set on a fixed period
+(100 ms by default) and derives MPKI/IPC for each window.
+"""
+
+from dataclasses import dataclass
+
+from repro.perf.events import CYCLES, INSTRUCTIONS, LLC_ACCESSES, LLC_MISSES
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Sample:
+    """Derived metrics for one sampling window."""
+
+    timestamp_s: float
+    instructions: float
+    cycles: float
+    llc_accesses: float
+    llc_misses: float
+
+    @property
+    def mpki(self):
+        """LLC misses per kilo-instruction — the controller's input."""
+        if self.instructions <= 0:
+            return 0.0
+        return 1000.0 * self.llc_misses / self.instructions
+
+    @property
+    def apki(self):
+        if self.instructions <= 0:
+            return 0.0
+        return 1000.0 * self.llc_accesses / self.instructions
+
+    @property
+    def ipc(self):
+        if self.cycles <= 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+
+class IntervalMonitor:
+    """Samples a CounterSet every ``period_s`` of simulated time."""
+
+    def __init__(self, counters, period_s=0.1):
+        if period_s <= 0:
+            raise ValidationError("sampling period must be positive")
+        self.counters = counters
+        self.period_s = period_s
+        self.samples = []
+        self._last_snapshot = counters.snapshot()
+        self._now_s = 0.0
+        self._next_sample_s = period_s
+
+    def advance(self, dt_s):
+        """Advance simulated time; emits samples when windows close.
+
+        Returns the list of samples emitted during this advance (possibly
+        empty), so callers can react to each closed window in order.
+        """
+        if dt_s < 0:
+            raise ValidationError("time cannot go backwards")
+        self._now_s += dt_s
+        emitted = []
+        while self._next_sample_s <= self._now_s + 1e-12:
+            emitted.append(self._emit(self._next_sample_s))
+            self._next_sample_s += self.period_s
+        return emitted
+
+    def _emit(self, timestamp_s):
+        snap = self.counters.snapshot()
+        delta = {k: snap[k] - self._last_snapshot.get(k, 0.0) for k in snap}
+        self._last_snapshot = snap
+        sample = Sample(
+            timestamp_s=timestamp_s,
+            instructions=delta.get(INSTRUCTIONS, 0.0),
+            cycles=delta.get(CYCLES, 0.0),
+            llc_accesses=delta.get(LLC_ACCESSES, 0.0),
+            llc_misses=delta.get(LLC_MISSES, 0.0),
+        )
+        self.samples.append(sample)
+        return sample
+
+    @property
+    def latest(self):
+        return self.samples[-1] if self.samples else None

@@ -1,0 +1,69 @@
+"""``perf stat``-style reporting of run measurements.
+
+The paper's toolchain is libpfm/perf_events; presenting results the way
+``perf stat`` does keeps the simulated platform familiar to the same
+audience. ``format_stat`` renders a RunResult; ``format_comparison``
+renders several runs side by side with relative deltas.
+"""
+
+from repro.util.errors import ValidationError
+
+
+def _fmt(value):
+    if value >= 1e9:
+        return f"{value / 1e9:,.3f} G"
+    if value >= 1e6:
+        return f"{value / 1e6:,.3f} M"
+    return f"{value:,.0f}  "
+
+
+def format_stat(result, config=None):
+    """Render one RunResult like a ``perf stat`` summary block."""
+    if result.runtime_s <= 0:
+        raise ValidationError("cannot report a zero-length run")
+    lines = [f" Performance counter stats for '{result.name}':", ""]
+    rows = [
+        ("instructions", result.instructions, None),
+        ("LLC-loads", result.llc_accesses, None),
+        (
+            "LLC-load-misses",
+            result.llc_misses,
+            f"{100 * result.llc_misses / result.llc_accesses:.2f}% of all LLC hits"
+            if result.llc_accesses
+            else None,
+        ),
+        ("MPKI", result.mpki, None),
+        ("instructions/sec", result.ips, None),
+    ]
+    if config is not None:
+        cycles = result.runtime_s * config.frequency_hz
+        ipc = result.instructions / cycles if cycles else 0.0
+        rows.insert(1, ("cycles", cycles, f"{ipc:.2f} insn per cycle"))
+    for event, value, note in rows:
+        annotation = f"   # {note}" if note else ""
+        lines.append(f"  {_fmt(value):>14}  {event}{annotation}")
+    lines.append("")
+    lines.append(f"  {result.socket_energy_j:,.1f} Joules power/energy-pkg/")
+    if result.pp0_energy_j:
+        lines.append(f"  {result.pp0_energy_j:,.1f} Joules power/energy-cores/")
+    lines.append("")
+    lines.append(f"  {result.runtime_s:.3f} seconds time elapsed")
+    return "\n".join(lines)
+
+
+def format_comparison(results, baseline_index=0):
+    """Side-by-side comparison of runs against a baseline run."""
+    if not results:
+        raise ValidationError("nothing to compare")
+    if not 0 <= baseline_index < len(results):
+        raise ValidationError("baseline index out of range")
+    base = results[baseline_index]
+    header = f"{'run':<24}{'time (s)':>12}{'vs base':>10}{'MPKI':>10}{'pkg (J)':>12}"
+    lines = [header, "-" * len(header)]
+    for result in results:
+        ratio = result.runtime_s / base.runtime_s
+        lines.append(
+            f"{result.name:<24}{result.runtime_s:>12.2f}{ratio:>10.3f}"
+            f"{result.mpki:>10.2f}{result.socket_energy_j:>12.1f}"
+        )
+    return "\n".join(lines)

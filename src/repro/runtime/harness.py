@@ -1,0 +1,90 @@
+"""High-level co-scheduling harness.
+
+Builds the paper's standard multiprogramming configuration (Section 5):
+each application gets 4 hyperthreads on 2 dedicated cores, the foreground
+on cores {0, 1} and the background on cores {2, 3}, with an LLC policy
+applied on top (shared / fair / biased / dynamic).
+"""
+
+from repro.cache.llc import WayMask
+from repro.cpu.topology import CpuTopology
+from repro.runtime.taskset import PinRegistry
+from repro.sim.allocation import Allocation
+from repro.util.errors import SchedulingError, ValidationError
+
+
+def _threads_for(app, requested):
+    """Honour single-threaded and power-of-2-only restrictions."""
+    if app.scalability.single_threaded:
+        return 1
+    threads = requested
+    if app.scalability.pow2_only:
+        while threads & (threads - 1):
+            threads -= 1
+    return max(1, threads)
+
+
+def paper_pair_allocations(fg, bg, fg_ways=12, bg_ways=12, llc_ways=12, threads=4):
+    """The Section 5 setup: 4 threads / 2 cores each, disjoint cores.
+
+    ``fg_ways``/``bg_ways`` carve contiguous masks from opposite ends of
+    the cache; passing 12/12 gives fully shared (overlapping) masks.
+    """
+    if fg_ways < 1 or bg_ways < 1:
+        raise ValidationError("both applications need at least one way")
+    if fg_ways + bg_ways > 2 * llc_ways:
+        raise ValidationError("mask request exceeds the LLC")
+    fg_threads = _threads_for(fg, threads)
+    bg_threads = _threads_for(bg, threads)
+    fg_mask = WayMask.contiguous(fg_ways, 0, llc_ways)
+    bg_mask = WayMask.contiguous(bg_ways, llc_ways - bg_ways, llc_ways)
+    fg_alloc = Allocation(threads=fg_threads, cores=(0, 1), mask=fg_mask)
+    bg_alloc = Allocation(threads=bg_threads, cores=(2, 3), mask=bg_mask)
+    return fg_alloc, bg_alloc
+
+
+class CoScheduleHarness:
+    """Pins a foreground/background pair and runs it under a policy."""
+
+    def __init__(self, machine, resctrl=None, topology=None):
+        self.machine = machine
+        self.resctrl = resctrl
+        self.topology = topology or CpuTopology(
+            machine.config.num_cores, machine.config.threads_per_core
+        )
+        self.pins = PinRegistry(self.topology)
+
+    def setup_pair(self, fg, bg, threads=4):
+        """Pin both applications paper-style; returns (fg_tids, bg_tids)."""
+        if fg.name == bg.name:
+            raise SchedulingError("foreground and background must differ")
+        fg_tids = self.pins.pin_threads(fg.name, _threads_for(fg, threads), first_core=0)
+        bg_tids = self.pins.pin_threads(
+            bg.name, _threads_for(bg, threads), first_core=self.topology.num_cores // 2
+        )
+        if self.pins.shares_core(fg.name, bg.name):
+            raise SchedulingError("applications ended up sharing a core")
+        return fg_tids, bg_tids
+
+    def run(self, fg, bg, fg_ways=12, bg_ways=12, threads=4, **kwargs):
+        """Pin, apply masks (also via resctrl when attached), and run."""
+        self.setup_pair(fg, bg, threads)
+        fg_alloc, bg_alloc = paper_pair_allocations(
+            fg, bg, fg_ways, bg_ways, self.machine.config.llc_ways, threads
+        )
+        if self.resctrl is not None:
+            self._program_resctrl(fg, bg, fg_alloc, bg_alloc)
+        try:
+            return self.machine.run_pair(fg, bg, fg_alloc, bg_alloc, **kwargs)
+        finally:
+            self.pins.unpin(fg.name)
+            self.pins.unpin(bg.name)
+
+    def _program_resctrl(self, fg, bg, fg_alloc, bg_alloc):
+        groups = self.resctrl.groups()
+        fg_group = groups.get("fg") or self.resctrl.create_group("fg")
+        bg_group = groups.get("bg") or self.resctrl.create_group("bg")
+        fg_group.set_mask(fg_alloc.mask)
+        bg_group.set_mask(bg_alloc.mask)
+        fg_group.assign_cpus(self.pins.tids_of(fg.name))
+        bg_group.assign_cpus(self.pins.tids_of(bg.name))

@@ -1,0 +1,141 @@
+"""End-to-end consolidation planning.
+
+The capstone API tying the pieces into the workflow the paper's
+introduction describes: a latency-sensitive foreground with a slowdown
+budget, a queue of batch work, and a machine whose idle resources are
+money. The planner:
+
+1. sizes the foreground's LLC partition from its miss-ratio curve
+   (:class:`~repro.core.multi_fg.SlowdownBoundAllocator`),
+2. picks the batch job whose co-execution the interference predictor
+   prices within budget (:class:`~repro.runtime.scheduler`),
+3. if capacity isolation cannot meet the budget (a bandwidth-sensitive
+   foreground), attaches the Section 8 bandwidth-QoS contract,
+4. and can execute the plan to verify the prediction.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.bandwidth_qos import QosContract, apply_qos
+from repro.core.multi_fg import ForegroundRequest, SlowdownBoundAllocator
+from repro.runtime.harness import paper_pair_allocations
+from repro.runtime.scheduler import InterferencePredictor
+from repro.util.errors import ValidationError
+
+
+@dataclass
+class ConsolidationPlan:
+    """The planner's decision for one foreground + batch queue."""
+
+    fg_name: str
+    bg_name: str
+    fg_ways: int
+    bg_ways: int
+    predicted_fg_slowdown: float
+    predicted_bg_rate_ips: float
+    qos_contract: object = None  # QosContract or None
+    rejected: list = field(default_factory=list)  # (bg_name, slowdown)
+
+    @property
+    def uses_qos(self):
+        return self.qos_contract is not None
+
+
+class ConsolidationPlanner:
+    """Plans and executes foreground/batch consolidation."""
+
+    def __init__(self, machine, qos_reservation=0.35):
+        self.machine = machine
+        self.allocator = SlowdownBoundAllocator(machine.config)
+        self.predictor = InterferencePredictor(machine)
+        self.qos_reservation = qos_reservation
+
+    def plan(self, fg, batch_queue, slowdown_bound=1.05, allow_qos=True):
+        """Build a plan; raises if no candidate fits even with QoS."""
+        if not batch_queue:
+            raise ValidationError("need at least one batch candidate")
+        request = ForegroundRequest(
+            fg,
+            slowdown_bound,
+            threads=1 if fg.scalability.single_threaded else 4,
+        )
+        # Floor at 2 ways (1 MB): a single way is direct-mapped and
+        # pathological (Section 3.2) — the same floor Algorithm 6.2 uses.
+        fg_ways = max(self.allocator.minimum_ways(request), 2)
+        fg_ways = min(fg_ways, self.machine.config.llc_ways - 1)
+        bg_ways = self.machine.config.llc_ways - fg_ways
+
+        rejected = []
+        best = None
+        for bg in batch_queue:
+            prediction = self.predictor.predict(fg, bg, fg_ways, bg_ways)
+            if prediction.fg_slowdown <= slowdown_bound:
+                if best is None or prediction.bg_rate_ips > best.bg_rate_ips:
+                    best = prediction
+            else:
+                rejected.append((bg.name, prediction.fg_slowdown))
+        if best is not None:
+            return ConsolidationPlan(
+                fg_name=fg.name,
+                bg_name=best.bg_name,
+                fg_ways=fg_ways,
+                bg_ways=bg_ways,
+                predicted_fg_slowdown=best.fg_slowdown,
+                predicted_bg_rate_ips=best.bg_rate_ips,
+                rejected=rejected,
+            )
+        if not allow_qos:
+            raise ValidationError(
+                f"no batch candidate fits a {slowdown_bound:.2f} bound; "
+                f"rejected: {rejected}"
+            )
+        # Capacity isolation was not enough: the foreground is bandwidth
+        # sensitive. Attach the QoS contract and re-price.
+        contract = QosContract(
+            fg.name, reserved_fraction=self.qos_reservation, latency_priority=True
+        )
+        restore = apply_qos(self.machine, [contract])
+        try:
+            best = None
+            for bg in batch_queue:
+                prediction = self.predictor.predict(fg, bg, fg_ways, bg_ways)
+                if prediction.fg_slowdown <= slowdown_bound and (
+                    best is None or prediction.bg_rate_ips > best.bg_rate_ips
+                ):
+                    best = prediction
+        finally:
+            restore()
+        if best is None:
+            raise ValidationError(
+                f"no batch candidate fits a {slowdown_bound:.2f} bound even "
+                f"with bandwidth QoS; rejected: {rejected}"
+            )
+        return ConsolidationPlan(
+            fg_name=fg.name,
+            bg_name=best.bg_name,
+            fg_ways=fg_ways,
+            bg_ways=bg_ways,
+            predicted_fg_slowdown=best.fg_slowdown,
+            predicted_bg_rate_ips=best.bg_rate_ips,
+            qos_contract=contract,
+            rejected=rejected,
+        )
+
+    def execute(self, plan, fg, bg):
+        """Run a plan; returns (PairResult, measured fg slowdown)."""
+        if fg.name != plan.fg_name or bg.name != plan.bg_name.split("#")[0]:
+            raise ValidationError("plan does not match the given applications")
+        threads = 1 if fg.scalability.single_threaded else 4
+        solo = self.machine.run_solo(fg, threads=threads)
+        fg_alloc, bg_alloc = paper_pair_allocations(
+            fg, bg, plan.fg_ways, plan.bg_ways, self.machine.config.llc_ways
+        )
+        restore = None
+        if plan.uses_qos:
+            restore = apply_qos(self.machine, [plan.qos_contract])
+        try:
+            pair = self.machine.run_pair(fg, bg, fg_alloc, bg_alloc)
+        finally:
+            if restore is not None:
+                restore()
+        return pair, pair.fg.runtime_s / solo.runtime_s

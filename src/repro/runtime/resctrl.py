@@ -1,0 +1,148 @@
+"""A resctrl-style control interface over the partitioning hardware.
+
+On shipping Intel parts, Cache Allocation Technology is driven through the
+``/sys/fs/resctrl`` filesystem: control groups with a ``schemata`` file
+("L3:0=ff0"), a ``cpus``/``tasks`` file, and ``mon_data`` occupancy
+counters. The paper's prototype predates that interface, but a production
+version of its controller would be written against it — so this module
+provides an in-memory equivalent whose writes land on the simulated MSR
+file, letting the dynamic controller be expressed exactly as it would be
+on real CAT hardware.
+"""
+
+import re
+
+from repro.cache.llc import WayMask
+from repro.cpu.msr import MsrFile
+from repro.util.errors import SchedulingError, ValidationError
+
+_SCHEMATA_RE = re.compile(r"^L3:0=([0-9a-fA-F]+)$")
+
+
+def parse_schemata(text, num_ways=12):
+    """Parse a one-line L3 schemata string into a WayMask."""
+    match = _SCHEMATA_RE.match(text.strip())
+    if not match:
+        raise ValidationError(f"malformed schemata {text!r}")
+    bits = int(match.group(1), 16)
+    if bits >= 1 << num_ways:
+        raise ValidationError(f"mask 0x{bits:x} wider than {num_ways} ways")
+    mask = WayMask.from_bits(bits, num_ways)
+    ways = sorted(mask.ways)
+    if ways != list(range(ways[0], ways[0] + len(ways))):
+        raise ValidationError("resctrl requires contiguous way masks")
+    return mask
+
+
+def format_schemata(mask):
+    return f"L3:0={mask.bits:x}"
+
+
+class ResctrlGroup:
+    """One control group: a CLOS, its schemata, and its CPUs."""
+
+    def __init__(self, name, clos, filesystem):
+        self.name = name
+        self.clos = clos
+        self._fs = filesystem
+        self._cpus = set()
+
+    # -- schemata ----------------------------------------------------------
+
+    @property
+    def schemata(self):
+        return format_schemata(self.mask)
+
+    @schemata.setter
+    def schemata(self, text):
+        self.set_mask(parse_schemata(text, self._fs.num_ways))
+
+    @property
+    def mask(self):
+        bits = self._fs.msr.clos_mask(self.clos)
+        if bits == 0:  # never programmed: default to all ways
+            return WayMask.full(self._fs.num_ways)
+        return WayMask.from_bits(bits, self._fs.num_ways)
+
+    def set_mask(self, mask):
+        self._fs.msr.set_clos_mask(self.clos, mask.bits)
+
+    def set_ways(self, count, offset=0):
+        self.set_mask(WayMask.contiguous(count, offset, self._fs.num_ways))
+
+    # -- cpus -----------------------------------------------------------------
+
+    @property
+    def cpus(self):
+        return sorted(self._cpus)
+
+    def assign_cpus(self, cpus):
+        for cpu in cpus:
+            current = self._fs.group_of_cpu(cpu)
+            if current is not None and current is not self:
+                current._cpus.discard(cpu)
+            self._fs.msr.set_clos(cpu, self.clos)
+            self._cpus.add(cpu)
+
+    # -- monitoring (mon_data) ---------------------------------------------------
+
+    def llc_occupancy_bytes(self):
+        """mon_data/.../llc_occupancy equivalent, fed by the engine."""
+        return self._fs.occupancy_bytes.get(self.name, 0)
+
+
+class ResctrlFilesystem:
+    """The mount point: the default group plus created control groups."""
+
+    MAX_GROUPS = 4  # the prototype exposes one CLOS per core
+
+    def __init__(self, msr=None, num_ways=12):
+        self.msr = msr or MsrFile()
+        self.num_ways = num_ways
+        self.occupancy_bytes = {}
+        self._groups = {}
+        self.default_group = ResctrlGroup("", clos=0, filesystem=self)
+        self.default_group.set_mask(WayMask.full(num_ways))
+        self._groups[""] = self.default_group
+
+    def create_group(self, name):
+        if not name or "/" in name:
+            raise ValidationError(f"invalid group name {name!r}")
+        if name in self._groups:
+            raise SchedulingError(f"group {name!r} already exists")
+        if len(self._groups) >= self.MAX_GROUPS:
+            raise SchedulingError("out of hardware classes of service")
+        group = ResctrlGroup(name, clos=len(self._groups), filesystem=self)
+        group.set_mask(WayMask.full(self.num_ways))
+        self._groups[name] = group
+        return group
+
+    def remove_group(self, name):
+        if name == "":
+            raise ValidationError("cannot remove the default group")
+        group = self._groups.pop(name, None)
+        if group is None:
+            raise ValidationError(f"no such group {name!r}")
+        self.default_group.assign_cpus(group.cpus)
+
+    def group(self, name):
+        try:
+            return self._groups[name]
+        except KeyError:
+            raise ValidationError(f"no such group {name!r}") from None
+
+    def groups(self):
+        return dict(self._groups)
+
+    def group_of_cpu(self, cpu):
+        for group in self._groups.values():
+            if cpu in group._cpus:
+                return group
+        return None
+
+    def masks_by_group(self):
+        return {name: g.mask for name, g in self._groups.items()}
+
+    def update_occupancy(self, occupancy_bytes_by_group):
+        """Engine hook: refresh mon_data occupancy readings."""
+        self.occupancy_bytes.update(occupancy_bytes_by_group)

@@ -1,0 +1,133 @@
+"""Contention-aware co-scheduling.
+
+The paper's datacenter motivation assumes *someone* decides which
+background job to place behind a latency-sensitive application. Related
+work it cites ([13] Fedorova et al.) does this by predicting contention;
+this module provides that component on top of our models:
+
+- :class:`InterferencePredictor` predicts a pairing's steady state from a
+  single interval-solver evaluation (no simulation run): foreground
+  slowdown and background throughput, under any partitioning policy.
+- :class:`ContentionAwareScheduler` picks, from a queue of background
+  candidates, the one maximizing background throughput subject to a
+  foreground slowdown bound — falling back to the least-harmful
+  candidate when none fits.
+
+The predictor is exact for single-phase applications (the steady state
+*is* one interval) and a weighted average over phases otherwise.
+"""
+
+from dataclasses import dataclass
+
+from repro.cache.llc import WayMask
+from repro.runtime.harness import paper_pair_allocations
+from repro.sim.interval import AppState, solve_interval
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class PairingPrediction:
+    """Predicted steady state of one fg/bg pairing."""
+
+    bg_name: str
+    fg_slowdown: float
+    bg_rate_ips: float
+    fg_ways: int
+    bg_ways: int
+
+
+class InterferencePredictor:
+    """Steady-state predictions from the interval solver."""
+
+    def __init__(self, machine):
+        self.machine = machine
+
+    def _solve(self, states):
+        return solve_interval(
+            states,
+            self.machine.config,
+            self.machine.memory_system,
+            self.machine.power_model,
+        )
+
+    def _phase_points(self, app):
+        """(weight, progress) midpoints of each phase."""
+        points = []
+        cumulative = 0.0
+        for phase in app.phases:
+            points.append((phase.weight, cumulative + phase.weight / 2))
+            cumulative += phase.weight
+        return points
+
+    def solo_rate(self, app, allocation):
+        """Phase-weighted solo instruction rate under ``allocation``."""
+        total = 0.0
+        for weight, progress in self._phase_points(app):
+            state = AppState(app=app, allocation=allocation, progress=progress)
+            rate = self._solve([state]).per_app[app.name].rate_ips
+            total += weight / rate  # time-per-instruction averages
+        return 1.0 / total
+
+    def predict(self, fg, bg, fg_ways=12, bg_ways=12):
+        """Predict the pairing's steady state under a static split."""
+        if fg.name == bg.name:
+            import dataclasses
+
+            bg = dataclasses.replace(bg, name=f"{bg.name}#2", phases=bg.phases)
+        fg_alloc, bg_alloc = paper_pair_allocations(
+            fg, bg, fg_ways, bg_ways, self.machine.config.llc_ways
+        )
+        solo = self.solo_rate(fg, fg_alloc.with_mask(WayMask.full(self.machine.config.llc_ways)))
+        fg_time = 0.0
+        bg_rate_accumulator = 0.0
+        for weight, progress in self._phase_points(fg):
+            fg_state = AppState(app=fg, allocation=fg_alloc, progress=progress)
+            bg_state = AppState(app=bg, allocation=bg_alloc, progress=0.5)
+            solution = self._solve([fg_state, bg_state])
+            fg_rate = solution.per_app[fg.name].rate_ips
+            fg_time += weight / fg_rate
+            bg_rate_accumulator += weight * solution.per_app[bg.name].rate_ips
+        co_rate = 1.0 / fg_time
+        return PairingPrediction(
+            bg_name=bg.name,
+            fg_slowdown=solo / co_rate,
+            bg_rate_ips=bg_rate_accumulator,
+            fg_ways=fg_ways,
+            bg_ways=bg_ways,
+        )
+
+
+@dataclass
+class SchedulingDecision:
+    """The scheduler's pick plus the full candidate ranking."""
+
+    chosen: PairingPrediction  # None only when candidates were empty
+    feasible: bool
+    predictions: list
+
+
+class ContentionAwareScheduler:
+    """Chooses a background co-runner under a fg slowdown bound."""
+
+    def __init__(self, machine, slowdown_bound=1.05, fg_ways=12, bg_ways=12):
+        if slowdown_bound < 1.0:
+            raise ValidationError("a slowdown bound below 1.0 is unsatisfiable")
+        self.predictor = InterferencePredictor(machine)
+        self.slowdown_bound = slowdown_bound
+        self.fg_ways = fg_ways
+        self.bg_ways = bg_ways
+
+    def choose(self, fg, candidates):
+        """Pick the best background for ``fg`` from ``candidates``."""
+        if not candidates:
+            raise ValidationError("need at least one background candidate")
+        predictions = [
+            self.predictor.predict(fg, bg, self.fg_ways, self.bg_ways)
+            for bg in candidates
+        ]
+        feasible = [p for p in predictions if p.fg_slowdown <= self.slowdown_bound]
+        if feasible:
+            chosen = max(feasible, key=lambda p: p.bg_rate_ips)
+            return SchedulingDecision(chosen=chosen, feasible=True, predictions=predictions)
+        chosen = min(predictions, key=lambda p: p.fg_slowdown)
+        return SchedulingDecision(chosen=chosen, feasible=False, predictions=predictions)

@@ -1,0 +1,62 @@
+"""taskset-style CPU pinning.
+
+The paper pins applications to sets of hyperthreads with Linux ``taskset``
+and keeps co-scheduled applications on disjoint cores to avoid L1/L2
+thrashing (Sections 2.1, 5). ``PinRegistry`` enforces those invariants.
+"""
+
+from repro.cpu.topology import CpuTopology
+from repro.util.errors import SchedulingError, ValidationError
+
+
+def taskset(topology, threads, first_core=0):
+    """Return the hyperthread ids for pinning ``threads`` paper-style."""
+    return topology.fill_order(threads, first_core=first_core)
+
+
+class PinRegistry:
+    """Tracks which hyperthreads each task owns; rejects conflicts."""
+
+    def __init__(self, topology=None):
+        self.topology = topology or CpuTopology()
+        self._owner_of_tid = {}
+        self._tids_of_task = {}
+
+    def pin(self, task, tids):
+        """Pin ``task`` to hyperthreads ``tids`` (exclusive ownership)."""
+        tids = list(tids)
+        if not tids:
+            raise ValidationError("cannot pin a task to zero hyperthreads")
+        for tid in tids:
+            self.topology.thread(tid)  # validates range
+            owner = self._owner_of_tid.get(tid)
+            if owner is not None and owner != task:
+                raise SchedulingError(
+                    f"hyperthread {tid} already owned by {owner!r}"
+                )
+        self.unpin(task)
+        for tid in tids:
+            self._owner_of_tid[tid] = task
+        self._tids_of_task[task] = tids
+        return tids
+
+    def pin_threads(self, task, count, first_core=0):
+        """Pin using the paper's fill order starting at ``first_core``."""
+        return self.pin(task, taskset(self.topology, count, first_core))
+
+    def unpin(self, task):
+        for tid in self._tids_of_task.pop(task, []):
+            self._owner_of_tid.pop(tid, None)
+
+    def tids_of(self, task):
+        return list(self._tids_of_task.get(task, []))
+
+    def cores_of(self, task):
+        return self.topology.cores_used(self.tids_of(task))
+
+    def tasks(self):
+        return list(self._tids_of_task)
+
+    def shares_core(self, task_a, task_b):
+        """True if two tasks have hyperthreads on a common core."""
+        return bool(set(self.cores_of(task_a)) & set(self.cores_of(task_b)))

@@ -1,0 +1,36 @@
+"""The interval-based execution engine.
+
+Runs application models on the simulated platform. Within an interval the
+engine solves a fixed point between instruction rates, LLC occupancy, and
+ring/DRAM bandwidth contention, then integrates energy. Two run modes:
+
+- *event-driven* (exact for static allocations): rates are constant
+  between phase boundaries and completions, so the engine jumps from
+  event to event — this is what all static experiments use;
+- *stepped* (100 ms steps by default): used when a dynamic controller is
+  reallocating cache at runtime.
+"""
+
+from repro.sim.allocation import Allocation
+from repro.sim.engine import GroupResult, Machine, PairResult, RunResult
+from repro.sim.interval import IntervalSolution, solve_interval
+from repro.sim.occupancy import OccupancyRequest, solve_occupancy
+from repro.sim.trace_engine import TraceEngine, TraceWorkload, measure_isolation
+from repro.sim.tuning import DEFAULT_TUNING, EngineTuning
+
+__all__ = [
+    "Allocation",
+    "DEFAULT_TUNING",
+    "EngineTuning",
+    "GroupResult",
+    "IntervalSolution",
+    "Machine",
+    "OccupancyRequest",
+    "PairResult",
+    "RunResult",
+    "TraceEngine",
+    "TraceWorkload",
+    "measure_isolation",
+    "solve_interval",
+    "solve_occupancy",
+]

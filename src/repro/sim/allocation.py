@@ -1,0 +1,47 @@
+"""Resource allocations: threads, cores, and LLC way masks."""
+
+from dataclasses import dataclass
+
+from repro.cache.llc import WayMask
+from repro.util.errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One application's resource assignment.
+
+    ``cores`` are the physical cores the threads are pinned to (both
+    hyperthreads of a core are used before the next core, as in the
+    paper). ``mask`` is the LLC way mask its fills are restricted to.
+    """
+
+    threads: int
+    cores: tuple
+    mask: WayMask
+
+    def __post_init__(self):
+        if self.threads < 1:
+            raise SchedulingError("an allocation needs at least one thread")
+        if not self.cores:
+            raise SchedulingError("an allocation needs at least one core")
+        capacity = 2 * len(self.cores)
+        if self.threads > capacity:
+            raise SchedulingError(
+                f"{self.threads} threads do not fit on {len(self.cores)} cores"
+            )
+
+    @classmethod
+    def solo(cls, threads=4, num_ways=12, first_core=0, llc_ways=12):
+        """A solo allocation: threads fill cores pairwise from first_core."""
+        cores = tuple(range(first_core, first_core + (threads + 1) // 2))
+        return cls(threads=threads, cores=cores, mask=WayMask.contiguous(num_ways, 0, llc_ways))
+
+    def with_mask(self, mask):
+        return Allocation(threads=self.threads, cores=self.cores, mask=mask)
+
+    @property
+    def ways(self):
+        return self.mask.count
+
+    def overlaps_cores(self, other):
+        return bool(set(self.cores) & set(other.cores))

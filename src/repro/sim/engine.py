@@ -1,0 +1,482 @@
+"""The machine: runs applications to completion and measures them.
+
+``Machine.run_solo`` and ``Machine.run_pair`` are what every experiment
+driver calls. Static allocations use exact event-driven execution (rates
+are constant between phase boundaries and completions); a dynamic
+controller forces fixed 100 ms stepping, matching the paper's control
+period.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.cpu.bandwidth import MemorySystem
+from repro.cpu.config import SandyBridgeConfig
+from repro.energy.model import PowerModel
+from repro.energy.rapl import RaplCounter, RaplDomain
+from repro.energy.wall import WallMeter
+from repro.sim.allocation import Allocation
+from repro.sim.interval import AppState, solve_interval
+from repro.util.errors import SchedulingError, ValidationError
+
+_EPS = 1e-9
+_MAX_SIM_SECONDS = 50_000.0
+
+
+@dataclass
+class RunResult:
+    """Measurements for one application's run (or one run phase)."""
+
+    name: str
+    runtime_s: float
+    instructions: float
+    llc_misses: float
+    llc_accesses: float
+    socket_energy_j: float
+    wall_energy_j: float
+    avg_power_w: float = 0.0
+    pp0_energy_j: float = 0.0  # cores + caches (RAPL power-plane 0)
+
+    @property
+    def mpki(self):
+        if self.instructions <= 0:
+            return 0.0
+        return 1000.0 * self.llc_misses / self.instructions
+
+    @property
+    def ips(self):
+        return self.instructions / self.runtime_s if self.runtime_s else 0.0
+
+
+@dataclass
+class TimelinePoint:
+    """One sampled instant of a run (drives Fig. 12-style plots)."""
+
+    time_s: float
+    per_app: dict  # name -> {"mpki", "ways", "rate_ips", "occupancy_mb"}
+
+
+@dataclass
+class PairResult:
+    """Measurements for a co-scheduled foreground/background run."""
+
+    fg: RunResult
+    bg: RunResult
+    makespan_s: float
+    socket_energy_j: float
+    wall_energy_j: float
+    bg_rate_ips: float  # background instructions per second while fg ran
+    timeline: list = field(default_factory=list)
+    pp0_energy_j: float = 0.0
+
+
+@dataclass
+class GroupResult:
+    """Measurements for a foreground with multiple background peers
+    (the Section 6.3 extension)."""
+
+    fg: RunResult
+    backgrounds: dict  # name -> RunResult
+    makespan_s: float
+    socket_energy_j: float
+    wall_energy_j: float
+    bg_rate_ips: float  # aggregate background instructions per second
+    timeline: list = field(default_factory=list)
+
+
+class Machine:
+    """The simulated platform: config + memory system + energy meters.
+
+    ``tuning`` overrides the engine's second-order coefficients
+    (:class:`repro.sim.tuning.EngineTuning`). ``mpki_noise_std`` injects
+    relative Gaussian measurement noise into the MPKI samples the
+    dynamic controller reads — the real platform's counters are noisy,
+    and the published thresholds were tuned for that; noise here lets
+    robustness be tested deterministically (seeded).
+    """
+
+    def __init__(self, config=None, tuning=None, mpki_noise_std=0.0, noise_seed=0):
+        from repro.sim.tuning import DEFAULT_TUNING
+
+        if mpki_noise_std < 0:
+            raise ValidationError("noise cannot be negative")
+        self.config = config or SandyBridgeConfig()
+        self.tuning = tuning or DEFAULT_TUNING
+        self.mpki_noise_std = mpki_noise_std
+        self.noise_seed = noise_seed
+        self.memory_system = MemorySystem(self.config)
+        self.power_model = PowerModel(self.config)
+
+    # -- public entry points -------------------------------------------------
+
+    def run_solo(
+        self,
+        app,
+        threads=4,
+        ways=12,
+        first_core=0,
+        timeline=False,
+        prefetchers_on=True,
+    ):
+        """Run one application alone and measure it."""
+        from repro.cache.llc import WayMask
+
+        allocation = Allocation(
+            threads=threads,
+            cores=tuple(range(first_core, first_core + (threads + 1) // 2)),
+            mask=WayMask.contiguous(ways, 0, self.config.llc_ways),
+        )
+        state = AppState(app=app, allocation=allocation, prefetchers_on=prefetchers_on)
+        outcome = self._run(
+            [state], continuous=set(), stop_when_done={app.name}, timeline=timeline
+        )
+        return outcome.results[app.name]
+
+    def run_pair(
+        self,
+        fg,
+        bg,
+        fg_allocation,
+        bg_allocation,
+        bg_continuous=True,
+        controller=None,
+        step_s=None,
+        timeline=False,
+        prefetchers_on=True,
+    ):
+        """Co-run a foreground and a background application.
+
+        With ``bg_continuous`` the background restarts until the
+        foreground completes (the paper's responsiveness experiments);
+        otherwise both run exactly once (the energy experiments).
+        A ``controller`` forces stepped execution (default 100 ms).
+        """
+        if fg.name == bg.name:
+            # Running an app against a copy of itself (the paper's C1+C1
+            # style pairs): alias the background so states stay distinct.
+            import dataclasses
+
+            bg = dataclasses.replace(bg, name=f"{bg.name}#2", phases=bg.phases)
+        if fg_allocation.overlaps_cores(bg_allocation):
+            raise SchedulingError("co-scheduled applications must use disjoint cores")
+        fg_state = AppState(app=fg, allocation=fg_allocation, prefetchers_on=prefetchers_on)
+        bg_state = AppState(app=bg, allocation=bg_allocation, prefetchers_on=prefetchers_on)
+        continuous = {bg.name} if bg_continuous else set()
+        stop = {fg.name} if bg_continuous else {fg.name, bg.name}
+        if controller is not None and step_s is None:
+            step_s = 0.1
+        outcome = self._run(
+            [fg_state, bg_state],
+            continuous=continuous,
+            stop_when_done=stop,
+            controller=controller,
+            step_s=step_s,
+            timeline=timeline,
+        )
+        fg_result = outcome.results[fg.name]
+        bg_result = outcome.results[bg.name]
+        bg_rate = (
+            bg_result.instructions / fg_result.runtime_s
+            if bg_continuous and fg_result.runtime_s > 0
+            else bg_result.ips
+        )
+        return PairResult(
+            fg=fg_result,
+            bg=bg_result,
+            makespan_s=outcome.elapsed_s,
+            socket_energy_j=outcome.socket_energy_j,
+            wall_energy_j=outcome.wall_energy_j,
+            bg_rate_ips=bg_rate,
+            timeline=outcome.timeline,
+            pp0_energy_j=outcome.pp0_energy_j,
+        )
+
+    def run_group(
+        self,
+        fg,
+        backgrounds,
+        fg_allocation,
+        bg_allocations,
+        controller=None,
+        step_s=None,
+        timeline=False,
+    ):
+        """Co-run a foreground with multiple background peers.
+
+        The paper's Section 6.3 extension: background peers are pinned to
+        their own cores but share one LLC partition, inside which they
+        contend for capacity. Peers run continuously until the foreground
+        completes. Duplicate application models are aliased ("#2", ...).
+        """
+        import dataclasses
+
+        if not backgrounds:
+            raise ValidationError("need at least one background application")
+        seen = {fg.name}
+        bg_list = []
+        for bg in backgrounds:
+            name = bg.name
+            suffix = 2
+            while name in seen:
+                name = f"{bg.name}#{suffix}"
+                suffix += 1
+            if name != bg.name:
+                bg = dataclasses.replace(bg, name=name, phases=bg.phases)
+            seen.add(name)
+            bg_list.append(bg)
+        if len(bg_allocations) != len(bg_list):
+            raise ValidationError("one allocation per background required")
+        allocations = [fg_allocation] + list(bg_allocations)
+        for i, a in enumerate(allocations):
+            for b in allocations[i + 1:]:
+                if a.overlaps_cores(b):
+                    raise SchedulingError("applications must use disjoint cores")
+
+        states = [AppState(app=fg, allocation=fg_allocation)]
+        states += [
+            AppState(app=bg, allocation=alloc)
+            for bg, alloc in zip(bg_list, bg_allocations)
+        ]
+        if controller is not None and step_s is None:
+            step_s = 0.1
+        outcome = self._run(
+            states,
+            continuous={bg.name for bg in bg_list},
+            stop_when_done={fg.name},
+            controller=controller,
+            step_s=step_s,
+            timeline=timeline,
+        )
+        fg_result = outcome.results[fg.name]
+        bg_results = {bg.name: outcome.results[bg.name] for bg in bg_list}
+        total_bg = sum(r.instructions for r in bg_results.values())
+        return GroupResult(
+            fg=fg_result,
+            backgrounds=bg_results,
+            makespan_s=outcome.elapsed_s,
+            socket_energy_j=outcome.socket_energy_j,
+            wall_energy_j=outcome.wall_energy_j,
+            bg_rate_ips=total_bg / fg_result.runtime_s if fg_result.runtime_s else 0.0,
+            timeline=outcome.timeline,
+        )
+
+    def run_sequential(self, apps, threads=8):
+        """Run applications one after another on the whole machine.
+
+        The baseline of Figs. 10 and 11. Returns (results, total socket
+        energy, total wall energy, total time).
+        """
+        results = []
+        socket = wall = elapsed = 0.0
+        for app in apps:
+            t = threads
+            if app.scalability.single_threaded:
+                t = 1
+            elif app.scalability.pow2_only:
+                while t & (t - 1):
+                    t -= 1
+            result = self.run_solo(app, threads=t, ways=self.config.llc_ways)
+            results.append(result)
+            socket += result.socket_energy_j
+            wall += result.wall_energy_j
+            elapsed += result.runtime_s
+        return results, socket, wall, elapsed
+
+    # -- the core loop ----------------------------------------------------------
+
+    def _run(
+        self,
+        states,
+        continuous,
+        stop_when_done,
+        controller=None,
+        step_s=None,
+        timeline=False,
+    ):
+        outcome = _Outcome()
+        pkg = RaplDomain("package")
+        pp0 = RaplDomain("pp0")
+        pkg_reader = RaplCounter(pkg)
+        pp0_reader = RaplCounter(pp0)
+        wall = WallMeter()
+        totals = {
+            s.name: {"instructions": 0.0, "misses": 0.0, "accesses": 0.0}
+            for s in states
+        }
+        noise_rng = None
+        if self.mpki_noise_std > 0:
+            from repro.util.rng import DeterministicRng
+
+            noise_rng = DeterministicRng(self.noise_seed, "mpki-noise")
+        done_times = {}
+        active = list(states)
+        now = 0.0
+
+        while True:
+            pending = [n for n in stop_when_done if n not in done_times]
+            if not pending:
+                break
+            if now > _MAX_SIM_SECONDS:
+                raise ValidationError("simulation exceeded the runaway guard")
+
+            solution = solve_interval(
+                active,
+                self.config,
+                self.memory_system,
+                self.power_model,
+                tuning=self.tuning,
+            )
+
+            if step_s is not None:
+                dt = step_s
+            else:
+                dt = self._next_event_dt(active, solution, continuous)
+            dt = max(dt, 1e-6)
+
+            for s in list(active):
+                rates = solution.per_app[s.name]
+                dinstr = rates.rate_ips * dt
+                totals[s.name]["instructions"] += dinstr
+                totals[s.name]["misses"] += rates.miss_rate_ps * dt
+                totals[s.name]["accesses"] += rates.access_rate_ps * dt
+                s.progress += dinstr / s.app.instructions
+                if s.progress >= 1.0 - _EPS:
+                    if s.name in continuous:
+                        wraps = max(1, int(s.progress + _EPS))
+                        s.completions += wraps
+                        s.progress = max(0.0, s.progress - wraps)
+                    else:
+                        done_times[s.name] = now + dt
+                        active.remove(s)
+
+            total_misses = sum(
+                solution.per_app[s.name].miss_rate_ps * dt for s in states
+                if s.name in solution.per_app
+            )
+            pkg.deposit(
+                solution.power.socket_w * dt + self.power_model.miss_energy(total_misses)
+            )
+            pp0.deposit((solution.power.cores_w + solution.power.llc_w) * dt)
+            wall.advance(dt, solution.power.wall_w)
+            now += dt
+
+            if timeline:
+                outcome.timeline.append(
+                    TimelinePoint(
+                        time_s=now,
+                        per_app={
+                            name: {
+                                "mpki": r.mpki,
+                                "ways": next(
+                                    s.allocation.mask.count
+                                    for s in states
+                                    if s.name == name
+                                ),
+                                "rate_ips": r.rate_ips,
+                                "occupancy_mb": r.occupancy_mb,
+                            }
+                            for name, r in solution.per_app.items()
+                        },
+                    )
+                )
+
+            if controller is not None:
+                self._apply_controller(
+                    controller, now, dt, solution, states, totals, noise_rng
+                )
+
+            if not active:
+                break
+
+        pkg_reader.update()
+        pp0_reader.update()
+        outcome.elapsed_s = now
+        outcome.socket_energy_j = pkg_reader.energy_j
+        outcome.pp0_energy_j = pp0_reader.energy_j
+        outcome.wall_energy_j = wall.energy_j
+        share = self._energy_shares(states, totals)
+        for s in states:
+            runtime = done_times.get(s.name, now)
+            outcome.results[s.name] = RunResult(
+                name=s.name,
+                runtime_s=runtime,
+                instructions=totals[s.name]["instructions"],
+                llc_misses=totals[s.name]["misses"],
+                llc_accesses=totals[s.name]["accesses"],
+                socket_energy_j=outcome.socket_energy_j * share[s.name],
+                wall_energy_j=outcome.wall_energy_j * share[s.name],
+                avg_power_w=wall.average_power_w(),
+                pp0_energy_j=outcome.pp0_energy_j * share[s.name],
+            )
+        return outcome
+
+    def _next_event_dt(self, active, solution, continuous):
+        """Time until the next rate-changing event.
+
+        Events are phase boundaries and completions of finite apps. A
+        single-phase *continuous* app never changes the operating point
+        when it wraps, so it contributes no events — this is what makes
+        long foregrounds over short background loops cheap to simulate.
+        """
+        dt = float("inf")
+        for s in active:
+            rate = solution.per_app[s.name].rate_ips
+            if rate <= 0:
+                continue
+            if s.name in continuous and not s.app.has_phases():
+                continue
+            boundaries = s.app.phase_boundaries()
+            next_frac = next(
+                (b for b in boundaries if b > s.progress + _EPS), 1.0
+            )
+            dinstr = (next_frac - s.progress) * s.app.instructions
+            dt = min(dt, dinstr / rate)
+        if dt == float("inf"):
+            raise ValidationError("no runnable application made progress")
+        return dt * (1.0 + 1e-9) + 1e-9
+
+    def _apply_controller(
+        self, controller, now, dt, solution, states, totals, noise_rng=None
+    ):
+        """Feed the controller per-app metrics; apply any new masks."""
+        metrics = {
+            name: {
+                "mpki": rates.mpki
+                * (
+                    max(0.0, 1.0 + noise_rng.normal(0.0, self.mpki_noise_std))
+                    if noise_rng is not None
+                    else 1.0
+                ),
+                "instructions": totals[name]["instructions"],
+                "misses": totals[name]["misses"],
+                "occupancy_mb": rates.occupancy_mb,
+            }
+            for name, rates in solution.per_app.items()
+        }
+        new_masks = controller.on_tick(now, dt, metrics) or {}
+        for s in states:
+            # "#2"-aliased self-pair clones answer to their base name too.
+            key = s.name if s.name in new_masks else s.name.split("#")[0]
+            if key in new_masks:
+                s.allocation = s.allocation.with_mask(new_masks[key])
+
+    @staticmethod
+    def _energy_shares(states, totals):
+        """Attribute machine energy to apps by instruction-weighted share.
+
+        Only used for bookkeeping on solo runs (share = 1); pair results
+        report machine-level energy, as the paper's RAPL counters do.
+        """
+        total = sum(t["instructions"] for t in totals.values()) or 1.0
+        if len(states) == 1:
+            return {states[0].name: 1.0}
+        return {name: t["instructions"] / total for name, t in totals.items()}
+
+
+@dataclass
+class _Outcome:
+    results: dict = field(default_factory=dict)
+    elapsed_s: float = 0.0
+    socket_energy_j: float = 0.0
+    wall_energy_j: float = 0.0
+    pp0_energy_j: float = 0.0
+    timeline: list = field(default_factory=list)

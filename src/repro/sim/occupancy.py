@@ -1,0 +1,166 @@
+"""Steady-state LLC occupancy under sharing and way masks.
+
+Without partitioning, LRU-family caches settle into an occupancy where
+each application holds capacity in proportion to its *insertion pressure*
+(access rate x miss ratio) — the classic fixed point used by analytical
+shared-cache models. Misses depend on occupancy and occupancy on misses,
+so the solver iterates with damping.
+
+Way masks generalize this: group the ways into *regions* with identical
+permitted-writer sets and run the pressure competition inside each region.
+Fully private masks degenerate to ``capacity = ways x 0.5 MB`` (capped by
+the application's working set — capacity nobody can reclaim stays idle,
+the drawback of partitioning the paper's industry partners point out).
+"""
+
+from dataclasses import dataclass
+
+from repro.util.errors import ValidationError
+
+_ITERATIONS = 40
+_DAMPING = 0.5
+
+
+@dataclass
+class OccupancyRequest:
+    """One application's inputs to the occupancy competition."""
+
+    name: str
+    mask: object  # WayMask
+    access_rate: float  # LLC accesses per second
+    miss_ratio_fn: object  # capacity_mb -> miss ratio
+    working_set_mb: float
+    pressure_weight: float = 1.0  # <1 for non-temporal / LRU-inserting apps
+
+
+def _regions(requests, num_ways):
+    """Group ways by their permitted-writer sets."""
+    writers_by_way = []
+    for way in range(num_ways):
+        writers = frozenset(
+            r.name for r in requests if way in r.mask.ways
+        )
+        writers_by_way.append(writers)
+    regions = {}
+    for way, writers in enumerate(writers_by_way):
+        regions.setdefault(writers, []).append(way)
+    return regions
+
+
+def _water_fill(writers, cap, weights, limits):
+    """Split a region's capacity by pressure, respecting per-app limits.
+
+    Apps whose pressure share exceeds their working-set limit are pinned
+    at the limit and the freed capacity is re-divided among the rest —
+    this is how an LRU cache actually behaves: an app that cannot use
+    more space leaves it to whoever can.
+    """
+    shares = {}
+    remaining = set(writers)
+    remaining_cap = cap
+
+    def raw_share(name, total_weight):
+        if total_weight > 0:
+            share = remaining_cap * weights.get(name, 0.0) / total_weight
+        else:
+            share = remaining_cap / len(remaining)
+        # Clamp: denormal weights can make the division round above the
+        # capacity being divided.
+        return min(share, remaining_cap)
+
+    while remaining and remaining_cap > 1e-12:
+        total_weight = sum(weights.get(n, 0.0) for n in remaining)
+        pinned = set()
+        for name in remaining:
+            share = raw_share(name, total_weight)
+            limit = limits.get((name, writers), remaining_cap)
+            if share > limit:
+                shares[(name, writers)] = limit
+                pinned.add(name)
+        if not pinned:
+            for name in remaining:
+                shares[(name, writers)] = raw_share(name, total_weight)
+            break
+        remaining -= pinned
+        remaining_cap -= sum(shares[(n, writers)] for n in pinned)
+    for name in writers:
+        shares.setdefault((name, writers), 0.0)
+    return shares
+
+
+def solve_occupancy(requests, num_ways=12, way_mb=0.5):
+    """Solve for per-application effective LLC capacity (MB).
+
+    Returns {name: occupancy_mb}. Occupancy is what the application's
+    miss-ratio curve should be evaluated at.
+    """
+    if not requests:
+        return {}
+    names = [r.name for r in requests]
+    if len(set(names)) != len(names):
+        raise ValidationError("occupancy requests must have unique names")
+    by_name = {r.name: r for r in requests}
+
+    regions = _regions(requests, num_ways)
+    region_caps = {writers: len(ways) * way_mb for writers, ways in regions.items()}
+
+    # Capacity each app could ever write into.
+    writable = {
+        r.name: sum(
+            cap for writers, cap in region_caps.items() if r.name in writers
+        )
+        for r in requests
+    }
+
+    # Initial guess: even split of each region among its writers.
+    shares = {}
+    for writers, cap in region_caps.items():
+        for name in writers:
+            shares[(name, writers)] = cap / len(writers) if writers else 0.0
+
+    for _ in range(_ITERATIONS):
+        occupancy = {
+            name: sum(
+                shares.get((name, writers), 0.0) for writers in region_caps
+            )
+            for name in names
+        }
+        pressure = {}
+        for name in names:
+            req = by_name[name]
+            mr = req.miss_ratio_fn(max(occupancy[name], 1e-6))
+            pressure[name] = (
+                max(req.access_rate, 0.0) * max(mr, 1e-6) * max(req.pressure_weight, 1e-6)
+            )
+
+        # Per-app capacity limits: nobody holds more than its working set
+        # (spread across the regions it can write, by size).
+        limits = {}
+        for name in names:
+            ws = by_name[name].working_set_mb
+            for writers, cap in region_caps.items():
+                if name in writers and writable[name] > 0:
+                    limits[(name, writers)] = ws * cap / writable[name]
+
+        new_shares = {}
+        for writers, cap in region_caps.items():
+            if not writers:
+                continue
+            weights = {}
+            for name in writers:
+                if writable[name] <= 0:
+                    continue
+                # Pressure spreads across everything the app can write.
+                weights[name] = pressure[name] * (cap / writable[name])
+            new_shares.update(
+                _water_fill(writers, cap, weights, limits)
+            )
+
+        for key in new_shares:
+            old = shares.get(key, 0.0)
+            shares[key] = _DAMPING * old + (1 - _DAMPING) * new_shares[key]
+
+    return {
+        name: sum(shares.get((name, writers), 0.0) for writers in region_caps)
+        for name in names
+    }

@@ -1,0 +1,161 @@
+"""Trace-driven multi-core co-execution at address level.
+
+The statistical interval engine answers the paper's full-size questions;
+this engine answers the mechanism-level ones: it interleaves several
+address traces through the real cache hierarchy by virtual time (each
+domain advances by its access latency plus its compute "think time"), so
+partitioning effects on *actual line replacement* can be measured — the
+ground truth the occupancy model approximates.
+"""
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.util.errors import ValidationError
+
+
+@dataclass
+class TraceWorkload:
+    """One domain's access stream plus its compute intensity."""
+
+    name: str
+    trace_factory: object  # () -> iterable of MemoryAccess
+    tid: int = 0
+    think_cycles: int = 10  # compute cycles between memory accesses
+    repeat: bool = True  # loop the trace until the run ends
+
+    def __post_init__(self):
+        if self.think_cycles < 0:
+            raise ValidationError("think time cannot be negative")
+
+
+@dataclass
+class TraceStats:
+    """Per-domain outcome of a trace-driven co-run."""
+
+    accesses: int = 0
+    cycles: float = 0.0
+    total_latency: float = 0.0
+    llc_misses: int = 0
+    hits_by_level: dict = field(default_factory=dict)
+
+    @property
+    def avg_latency(self):
+        return self.total_latency / self.accesses if self.accesses else 0.0
+
+    @property
+    def access_rate_per_kilocycle(self):
+        return 1000.0 * self.accesses / self.cycles if self.cycles else 0.0
+
+
+class TraceEngine:
+    """Virtual-time interleaving of traces over one cache hierarchy."""
+
+    def __init__(self, hierarchy=None, prefetchers_on=True):
+        self.hierarchy = hierarchy or CacheHierarchy()
+        self.hierarchy.set_prefetchers(enabled=prefetchers_on)
+
+    def run(self, workloads, total_accesses=100_000):
+        """Co-run the workloads; returns {name: TraceStats}.
+
+        The run ends after ``total_accesses`` combined accesses, or when
+        every non-repeating trace is exhausted.
+        """
+        if not workloads:
+            raise ValidationError("need at least one workload")
+        names = [w.name for w in workloads]
+        if len(set(names)) != len(names):
+            raise ValidationError("workload names must be unique")
+
+        iterators = {w.name: iter(w.trace_factory()) for w in workloads}
+        stats = {w.name: TraceStats() for w in workloads}
+        by_name = {w.name: w for w in workloads}
+        # (virtual_time, tiebreak, name) min-heap: the least-advanced
+        # domain issues next, modelling concurrent progress.
+        heap = [(0.0, i, w.name) for i, w in enumerate(workloads)]
+        heapq.heapify(heap)
+        issued = 0
+
+        while heap and issued < total_accesses:
+            vtime, tiebreak, name = heapq.heappop(heap)
+            workload = by_name[name]
+            access = self._next_access(workload, iterators)
+            if access is None:
+                continue  # exhausted, non-repeating: domain retires
+            result = self.hierarchy.access(access)
+            s = stats[name]
+            s.accesses += 1
+            s.total_latency += result.latency
+            s.cycles = vtime + result.latency + workload.think_cycles
+            s.hits_by_level[result.hit_level] = (
+                s.hits_by_level.get(result.hit_level, 0) + 1
+            )
+            if result.hit_level == "MEM":
+                s.llc_misses += 1
+            issued += 1
+            heapq.heappush(heap, (s.cycles, tiebreak, name))
+        return stats
+
+    @staticmethod
+    def _next_access(workload, iterators):
+        try:
+            return next(iterators[workload.name])
+        except StopIteration:
+            if not workload.repeat:
+                return None
+            iterators[workload.name] = iter(workload.trace_factory())
+            try:
+                return next(iterators[workload.name])
+            except StopIteration:
+                return None
+
+
+def measure_isolation(fg_workload, bg_workload, fg_mask=None, bg_mask=None,
+                      total_accesses=120_000, prefetchers_on=False):
+    """Foreground latency/miss-ratio alone, shared, and partitioned.
+
+    The address-level version of the paper's core experiment. Prefetchers
+    default off: a prefetch-accelerated stream monopolizes the access
+    budget and the measurement becomes a warm-up study rather than a
+    partitioning one.
+    """
+    from repro.cache.llc import WayMask
+
+    def fresh_engine(masks=None):
+        engine = TraceEngine(prefetchers_on=prefetchers_on)
+        if masks:
+            for core, mask in masks.items():
+                engine.hierarchy.set_way_mask(core, mask)
+        return engine
+
+    fg_core = fg_workload.tid // 2
+    bg_core = bg_workload.tid // 2
+    if fg_core == bg_core:
+        raise ValidationError("workloads must run on different cores")
+
+    def warm_then_measure(masks, workloads):
+        engine = fresh_engine(masks)
+        engine.run(workloads, total_accesses)  # warm-up pass
+        return engine.run(workloads, total_accesses)  # measured pass
+
+    alone = warm_then_measure(None, [fg_workload])
+    shared = warm_then_measure(None, [fg_workload, bg_workload])
+    masks = {
+        fg_core: fg_mask or WayMask.contiguous(9, 0),
+        bg_core: bg_mask or WayMask.contiguous(3, 9),
+    }
+    partitioned = warm_then_measure(masks, [fg_workload, bg_workload])
+
+    def summarize(stats):
+        s = stats[fg_workload.name]
+        return {
+            "avg_latency": s.avg_latency,
+            "miss_ratio": s.llc_misses / s.accesses if s.accesses else 0.0,
+        }
+
+    return {
+        "alone": summarize(alone),
+        "shared": summarize(shared),
+        "partitioned": summarize(partitioned),
+    }

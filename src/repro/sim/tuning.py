@@ -1,0 +1,53 @@
+"""Engine tuning parameters.
+
+The interval engine's second-order coefficients live here rather than as
+scattered literals, so sensitivity studies can vary them and downstream
+users can recalibrate against their own hardware. Defaults are the
+values the golden tests were calibrated with — changing them moves the
+45 applications around Tables 1/2 and will fail those tests, which is
+the point.
+"""
+
+from dataclasses import dataclass
+
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class EngineTuning:
+    """Second-order model coefficients of the interval engine."""
+
+    # Fraction of a prefetched miss's latency that prefetching hides.
+    pf_hide: float = 0.85
+    # Extra DRAM traffic per unit of prefetch coverage (overfetch waste).
+    pf_traffic: float = 0.30
+    # Per-co-runner degradation of prefetcher efficacy.
+    pf_interference: float = 0.35
+    # Per-extra-thread degradation of prefetcher efficacy (Section 3.3).
+    pf_thread_decay: float = 0.05
+    # Prefetch timeliness loss at full DRAM load.
+    pf_timeliness_loss: float = 0.60
+    # Damping of the rate fixed point.
+    damping: float = 0.5
+    # Convergence tolerance and iteration cap.
+    tolerance: float = 1e-4
+    max_rounds: int = 25
+
+    def __post_init__(self):
+        for name in (
+            "pf_hide",
+            "pf_traffic",
+            "pf_interference",
+            "pf_thread_decay",
+            "pf_timeliness_loss",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValidationError(f"{name} must be in [0, 1]")
+        if not 0.0 < self.damping < 1.0:
+            raise ValidationError("damping must be in (0, 1)")
+        if self.tolerance <= 0 or self.max_rounds < 1:
+            raise ValidationError("tolerance/max_rounds must be positive")
+
+
+DEFAULT_TUNING = EngineTuning()

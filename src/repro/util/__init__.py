@@ -1,0 +1,42 @@
+"""Shared utilities: units, errors, deterministic RNG helpers, tables."""
+
+from repro.util.errors import (
+    ConfigurationError,
+    ReproError,
+    SchedulingError,
+    ValidationError,
+)
+from repro.util.plot import heatmap, line_plot, sparkline
+from repro.util.rng import DeterministicRng, derive_seed
+from repro.util.tables import format_table
+from repro.util.units import (
+    GB,
+    GHZ,
+    KB,
+    MB,
+    MHZ,
+    bytes_to_mb,
+    mb_to_bytes,
+    percent,
+)
+
+__all__ = [
+    "ConfigurationError",
+    "DeterministicRng",
+    "GB",
+    "GHZ",
+    "KB",
+    "MB",
+    "MHZ",
+    "ReproError",
+    "SchedulingError",
+    "ValidationError",
+    "bytes_to_mb",
+    "derive_seed",
+    "format_table",
+    "heatmap",
+    "line_plot",
+    "mb_to_bytes",
+    "percent",
+    "sparkline",
+]

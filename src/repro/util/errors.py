@@ -1,0 +1,22 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A machine, cache, or model configuration is inconsistent."""
+
+
+class ValidationError(ReproError):
+    """An argument is outside the domain a component supports."""
+
+
+class SchedulingError(ReproError):
+    """A requested CPU/cache assignment conflicts with existing state."""

@@ -1,0 +1,104 @@
+"""Plain-text plotting for benchmark output.
+
+The paper's figures are line charts, heat maps and contour plots; the
+benchmark harness renders their text equivalents so the shapes are
+visible in a terminal without any plotting dependency.
+"""
+
+from repro.util.errors import ValidationError
+
+_SPARK_LEVELS = " .:-=+*#%@"
+_HEAT_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values, width=None):
+    """Render a sequence as a one-line intensity chart."""
+    values = list(values)
+    if not values:
+        raise ValidationError("nothing to plot")
+    if width and len(values) > width:
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    chars = []
+    for v in values:
+        level = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def line_plot(series, height=10, width=60, title=None):
+    """Render one or more named series as an ASCII line plot.
+
+    Args:
+        series: {label: [(x, y), ...]} — x values need not align.
+    """
+    if not series:
+        raise ValidationError("nothing to plot")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValidationError("series are empty")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    marks = "ox+*abcdefgh"
+    for idx, (label, pts) in enumerate(series.items()):
+        mark = marks[idx % len(marks)]
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:.3g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * len(f"{y_hi:.3g} ") + "│" + "".join(row))
+    lines.append(f"{y_lo:.3g} ┤" + "".join(grid[-1]))
+    lines.append(
+        " " * len(f"{y_lo:.3g} ")
+        + "└"
+        + "─" * width
+        + f"  x: {x_lo:.3g}..{x_hi:.3g}"
+    )
+    legend = "   ".join(
+        f"{marks[i % len(marks)]}={label}" for i, label in enumerate(series)
+    )
+    lines.append("  " + legend)
+    return "\n".join(lines)
+
+
+def heatmap(matrix, row_labels, col_labels, title=None, lo=None, hi=None):
+    """Render a 2-D dict {(row, col): value} as an ASCII heat map."""
+    if not matrix:
+        raise ValidationError("nothing to plot")
+    values = list(matrix.values())
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = (hi - lo) or 1.0
+    label_w = max(len(str(r)) for r in row_labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for row in row_labels:
+        cells = []
+        for col in col_labels:
+            v = matrix.get((row, col))
+            if v is None:
+                cells.append(" ")
+                continue
+            level = int(min(max((v - lo) / span, 0.0), 1.0) * (len(_HEAT_LEVELS) - 1))
+            cells.append(_HEAT_LEVELS[level])
+        lines.append(f"{str(row):>{label_w}} |" + "".join(cells) + "|")
+    lines.append(
+        f"{'':>{label_w}}  scale: ' '={lo:.3g} .. '@'={hi:.3g}; "
+        f"columns: {col_labels[0]}..{col_labels[-1]}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same rows the paper's tables and figures
+report; this module renders them legibly without third-party dependencies.
+"""
+
+
+def _cell(value):
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers, rows, title=None):
+    """Render ``rows`` (sequences) under ``headers`` as an ASCII table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)

@@ -1,0 +1,27 @@
+"""Unit constants and conversions used throughout the simulator.
+
+All internal interfaces pass plain numbers; these constants document the
+units at the point of construction (e.g. ``capacity_bytes=6 * MB``).
+"""
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+MHZ = 1_000_000
+GHZ = 1_000_000_000
+
+
+def mb_to_bytes(mb):
+    """Convert a (possibly fractional) megabyte count to bytes."""
+    return int(round(mb * MB))
+
+
+def bytes_to_mb(nbytes):
+    """Convert bytes to megabytes as a float."""
+    return nbytes / MB
+
+
+def percent(fraction):
+    """Render a fraction (0.063) as a percentage value (6.3)."""
+    return 100.0 * fraction

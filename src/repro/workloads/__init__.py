@@ -1,0 +1,54 @@
+"""Statistical models of the paper's 45-application workload.
+
+Each application is described by the behaviours the paper's analyses
+actually consume: a thread-scalability curve (Fig. 1 / Table 1), a smooth
+LLC miss-ratio curve (Fig. 2 / Table 2), access intensity (APKI),
+memory-level parallelism, prefetcher friendliness (Fig. 3), bandwidth
+demand (Fig. 4), and a phase schedule (Fig. 12). Parameters are calibrated
+so every application lands in its published category; the golden tests in
+``tests/analysis`` enforce that.
+"""
+
+from repro.workloads.base import (
+    ApplicationModel,
+    MissRatioCurve,
+    Phase,
+    ScalabilityModel,
+)
+from repro.workloads.custom import from_measurements, make_application
+from repro.workloads.describe import describe, suite_statistics
+from repro.workloads.registry import (
+    REPRESENTATIVES,
+    all_application_names,
+    all_applications,
+    applications_of_suite,
+    get_application,
+)
+from repro.workloads.trace import (
+    PointerChaseTrace,
+    StencilTrace,
+    StreamingTrace,
+    StridedTrace,
+    ZipfTrace,
+)
+
+__all__ = [
+    "ApplicationModel",
+    "MissRatioCurve",
+    "Phase",
+    "PointerChaseTrace",
+    "REPRESENTATIVES",
+    "ScalabilityModel",
+    "StencilTrace",
+    "StreamingTrace",
+    "StridedTrace",
+    "ZipfTrace",
+    "all_application_names",
+    "all_applications",
+    "applications_of_suite",
+    "describe",
+    "from_measurements",
+    "get_application",
+    "make_application",
+    "suite_statistics",
+]

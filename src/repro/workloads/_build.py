@@ -1,0 +1,84 @@
+"""Shared builder for suite definition modules.
+
+Keeps the 45 application definitions compact while staying explicit about
+every parameter. Classification expectations come straight from the
+paper's Tables 1 and 2 (and Figure 4 for bandwidth sensitivity).
+"""
+
+from repro.workloads.base import (
+    ApplicationModel,
+    MissRatioCurve,
+    Phase,
+    ScalabilityModel,
+)
+
+# Scalability classes (Table 1)
+LOW, SATURATED, HIGH = "low", "saturated", "high"
+
+
+def scal(
+    parallel_fraction=1.0,
+    smt_gain=1.3,
+    sync_overhead=0.0,
+    saturation_threads=8,
+    single_threaded=False,
+    pow2_only=False,
+):
+    return ScalabilityModel(
+        parallel_fraction=parallel_fraction,
+        smt_gain=smt_gain,
+        sync_overhead=sync_overhead,
+        saturation_threads=saturation_threads,
+        single_threaded=single_threaded,
+        pow2_only=pow2_only,
+    )
+
+
+def mrc(floor, *components, dm_penalty=0.25):
+    """floor + sum of (amplitude, scale_mb) exponentials."""
+    return MissRatioCurve(floor, components, direct_mapped_penalty=dm_penalty)
+
+
+def app(
+    name,
+    suite,
+    scalability,
+    miss_curve,
+    apki,
+    cpi,
+    mlp,
+    instructions,
+    pf=0.0,
+    pollution=0.0,
+    wb=0.3,
+    dram_eff=0.8,
+    pressure=1.0,
+    phases=(),
+    scal_class="",
+    llc_class="",
+    bw_sensitive=False,
+    notes="",
+):
+    return ApplicationModel(
+        name=name,
+        suite=suite,
+        scalability=scalability,
+        mrc=miss_curve,
+        llc_apki=apki,
+        base_cpi=cpi,
+        mlp=mlp,
+        instructions=instructions,
+        pf_coverage=pf,
+        pf_pollution=pollution,
+        wb_fraction=wb,
+        dram_efficiency=dram_eff,
+        cache_pressure=pressure,
+        phases=tuple(phases),
+        expected_scalability_class=scal_class,
+        expected_llc_class=llc_class,
+        bandwidth_sensitive=bw_sensitive,
+        notes=notes,
+    )
+
+
+__all__ = ["HIGH", "LOW", "Phase", "SATURATED", "app", "mrc", "scal"]

@@ -1,0 +1,97 @@
+"""Bridging the two engines: measure miss-ratio curves on the
+address-level simulator and fit the statistical model's curve form.
+
+The paper measures each application's cache sensitivity by sweeping the
+way allocation on real hardware (Section 3.2); this module does the same
+sweep over synthetic traces on the line-granularity simulator, and fits
+``floor + sum(a_k exp(-c/s_k))`` with scipy so a measured behaviour can
+be promoted into an :class:`~repro.workloads.base.MissRatioCurve`.
+"""
+
+import numpy as np
+from scipy.optimize import curve_fit
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.llc import WayMask
+from repro.util.errors import ValidationError
+from repro.workloads.base import MissRatioCurve
+
+
+def measure_llc_miss_ratio(trace_factory, ways, warmup_fraction=0.5):
+    """Replay a trace at a given way allocation; return the LLC miss
+    ratio over the measured (post-warmup) portion.
+
+    ``trace_factory()`` must return a fresh iterable of MemoryAccess —
+    it is called twice (warm-up pass and measured pass).
+    """
+    if not 1 <= ways <= 12:
+        raise ValidationError("ways must be in 1..12")
+    hierarchy = CacheHierarchy()
+    hierarchy.set_prefetchers(enabled=False)
+    hierarchy.set_way_mask(0, WayMask.contiguous(ways, 0))
+
+    warm = list(trace_factory())
+    cut = int(len(warm) * warmup_fraction)
+    hierarchy.run_trace(warm[:cut] if cut else warm)
+    totals = hierarchy.run_trace(trace_factory())
+    llc_refs = totals["llc_hits"] + totals["llc_misses"]
+    if llc_refs == 0:
+        return 0.0
+    return totals["llc_misses"] / llc_refs
+
+
+def measure_mrc(trace_factory, way_counts=(1, 2, 4, 6, 8, 10, 12)):
+    """Sweep way allocations; returns {capacity_mb: miss_ratio}."""
+    return {
+        ways * 0.5: measure_llc_miss_ratio(trace_factory, ways)
+        for ways in way_counts
+    }
+
+
+def _model(c, floor, a1, s1):
+    return floor + a1 * np.exp(-c / s1)
+
+
+def fit_mrc(measured, direct_mapped_penalty=0.25):
+    """Fit a MissRatioCurve to measured {capacity_mb: miss_ratio} points.
+
+    The 0.5 MB point is excluded when it came from a 1-way (direct-
+    mapped) allocation — the paper treats that case as pathological.
+    """
+    points = {
+        mb: ratio for mb, ratio in measured.items() if mb > 0.5 or len(measured) < 3
+    }
+    if len(points) < 3:
+        raise ValidationError("need at least three capacity points to fit")
+    capacities = np.array(sorted(points))
+    ratios = np.array([points[c] for c in capacities])
+
+    floor_guess = float(ratios.min())
+    amp_guess = max(float(ratios.max() - ratios.min()), 1e-3)
+    try:
+        params, _ = curve_fit(
+            _model,
+            capacities,
+            ratios,
+            p0=[floor_guess, amp_guess, 1.0],
+            bounds=([0.0, 0.0, 0.05], [1.0, 1.0, 20.0]),
+            maxfev=20_000,
+        )
+    except RuntimeError as exc:
+        raise ValidationError(f"MRC fit did not converge: {exc}") from exc
+    floor, amp, scale = (float(p) for p in params)
+    return MissRatioCurve(
+        floor, [(amp, scale)], direct_mapped_penalty=direct_mapped_penalty
+    )
+
+
+def fit_quality(mrc, measured):
+    """Root-mean-square error of a fitted curve against measurements."""
+    errors = [
+        (mrc.value(mb) - ratio) ** 2
+        for mb, ratio in measured.items()
+        if mb > 0.5
+    ]
+    if not errors:
+        raise ValidationError("no comparable points")
+    return float(np.sqrt(np.mean(errors)))

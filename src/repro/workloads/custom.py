@@ -1,0 +1,137 @@
+"""Defining your own applications.
+
+Downstream users rarely want to hand-tune nine coupled coefficients;
+``make_application`` builds a calibrated :class:`ApplicationModel` from
+high-level knobs (working set, memory intensity, parallelism, access
+pattern), mapping them onto the same parameter space the 45 paper models
+use. ``from_measurements`` goes further and fits the miss-ratio curve
+from measured (capacity, miss-ratio) points — e.g. from perf counters on
+a real machine, or from :mod:`repro.workloads.calibrate` on a trace.
+"""
+
+from repro.util.errors import ValidationError
+from repro.workloads.base import (
+    ApplicationModel,
+    MissRatioCurve,
+    Phase,
+    ScalabilityModel,
+)
+
+# Access-pattern presets: (mlp, pf_coverage, dram_efficiency, wb_fraction)
+PATTERNS = {
+    "streaming": (10.0, 0.55, 0.85, 0.45),
+    "strided": (6.0, 0.35, 0.75, 0.35),
+    "random": (3.0, 0.08, 0.55, 0.30),
+    "pointer-chase": (1.2, 0.05, 0.60, 0.20),
+    "mixed": (4.0, 0.20, 0.70, 0.30),
+}
+
+
+def make_application(
+    name,
+    working_set_mb,
+    memory_intensity,
+    parallelism=0.95,
+    pattern="mixed",
+    runtime_scale=3e11,
+    reuse_fraction=0.8,
+    phases=(),
+    suite="custom",
+):
+    """Build an ApplicationModel from high-level knobs.
+
+    Args:
+        name: application name (must not collide with the registry).
+        working_set_mb: capacity at which misses stop improving. Values
+            beyond the 6 MB LLC mean the app always misses on the tail.
+        memory_intensity: LLC accesses per kilo-instruction (the paper's
+            APKI; >10 is "bold"/aggressive territory).
+        parallelism: Amdahl parallel fraction (0 = serial; use 0 for a
+            single-threaded program).
+        pattern: one of "streaming", "strided", "random",
+            "pointer-chase", "mixed" — sets MLP/prefetchability/DRAM
+            efficiency/writeback jointly.
+        runtime_scale: total dynamic instructions (sets solo runtime).
+        reuse_fraction: fraction of accesses that hit once the working
+            set is cached (the rest are a compulsory/streaming floor).
+        phases: optional Phase tuple, as in the built-in models.
+    """
+    if pattern not in PATTERNS:
+        raise ValidationError(
+            f"unknown pattern {pattern!r}; pick one of {sorted(PATTERNS)}"
+        )
+    if working_set_mb <= 0:
+        raise ValidationError("working set must be positive")
+    if memory_intensity < 0:
+        raise ValidationError("memory intensity cannot be negative")
+    if not 0.0 <= reuse_fraction <= 1.0:
+        raise ValidationError("reuse_fraction must be in [0, 1]")
+    mlp, pf_cov, dram_eff, wb = PATTERNS[pattern]
+
+    floor = 1.0 - reuse_fraction
+    # The exponential's scale is set so ~95% of the reusable span is
+    # captured by the declared working set.
+    scale = max(0.15, working_set_mb / 3.0)
+    mrc = MissRatioCurve(floor, [(reuse_fraction, scale)])
+
+    single = parallelism <= 0.0
+    scalability = ScalabilityModel(
+        parallel_fraction=max(parallelism, 0.0),
+        smt_gain=1.3 if not single else 1.0,
+        single_threaded=single,
+    )
+    return ApplicationModel(
+        name=name,
+        suite=suite,
+        scalability=scalability,
+        mrc=mrc,
+        llc_apki=memory_intensity,
+        base_cpi=0.8,
+        mlp=mlp,
+        instructions=runtime_scale,
+        pf_coverage=pf_cov,
+        wb_fraction=wb,
+        dram_efficiency=dram_eff,
+        phases=tuple(phases),
+        notes=f"custom application ({pattern})",
+    )
+
+
+def from_measurements(
+    name,
+    miss_ratio_points,
+    memory_intensity,
+    parallelism=0.95,
+    pattern="mixed",
+    runtime_scale=3e11,
+    suite="custom",
+):
+    """Build an application whose MRC is fitted from measurements.
+
+    ``miss_ratio_points`` maps capacity_mb -> miss ratio (at least three
+    points, e.g. from resctrl mon_data sweeps on real CAT hardware or
+    from the address-level simulator via workloads.calibrate).
+    """
+    from repro.workloads.calibrate import fit_mrc
+
+    mrc = fit_mrc(miss_ratio_points)
+    mlp, pf_cov, dram_eff, wb = PATTERNS[pattern]
+    single = parallelism <= 0.0
+    return ApplicationModel(
+        name=name,
+        suite=suite,
+        scalability=ScalabilityModel(
+            parallel_fraction=max(parallelism, 0.0),
+            smt_gain=1.3 if not single else 1.0,
+            single_threaded=single,
+        ),
+        mrc=mrc,
+        llc_apki=memory_intensity,
+        base_cpi=0.8,
+        mlp=mlp,
+        instructions=runtime_scale,
+        pf_coverage=pf_cov,
+        wb_fraction=wb,
+        dram_efficiency=dram_eff,
+        notes=f"custom application fitted from {len(miss_ratio_points)} points",
+    )

@@ -1,0 +1,139 @@
+"""DaCapo 2009 application models (14 benchmarks).
+
+Calibration targets from the paper:
+- Table 1: h2/tradebeans/tradesoap have low scalability;
+  pmd/sunflow/tomcat/xalan scale high; the rest saturate (GC bottlenecks).
+- Table 2: avrora and sunflow have low LLC utility;
+  eclipse/fop/lusearch/pmd/tradebeans/xalan have high utility;
+  the rest saturate. h2, lusearch and xalan exceed 10 LLC APKI (bold).
+- Fig. 3: no DaCapo app benefits much from prefetching; lusearch degrades.
+- Fig. 4: DaCapo is largely insensitive to bandwidth contention.
+"""
+
+from repro.workloads._build import HIGH, LOW, Phase, SATURATED, app, mrc, scal
+
+SUITE = "DaCapo"
+
+APPLICATIONS = [
+    app(
+        "avrora", SUITE,
+        scal(parallel_fraction=0.80, smt_gain=1.2, saturation_threads=4),
+        mrc(0.10, (0.20, 0.45)),
+        apki=3.0, cpi=0.90, mlp=3.0, instructions=2.1e11,
+        pf=0.03,
+        scal_class=SATURATED, llc_class=LOW,
+    ),
+    app(
+        "batik", SUITE,
+        scal(parallel_fraction=0.82, smt_gain=1.2, saturation_threads=6),
+        mrc(0.10, (0.55, 0.8)),
+        apki=5.0, cpi=1.00, mlp=2.5, instructions=4.8e10,
+        pf=0.04,
+        scal_class=SATURATED, llc_class=SATURATED,
+        notes="cluster representative C6",
+    ),
+    app(
+        "eclipse", SUITE,
+        scal(parallel_fraction=0.78, smt_gain=1.2, saturation_threads=6),
+        mrc(0.10, (0.50, 2.4)),
+        apki=8.0, cpi=1.00, mlp=2.2, instructions=3.3e11,
+        pf=0.04,
+        scal_class=SATURATED, llc_class=HIGH,
+    ),
+    app(
+        "fop", SUITE,
+        scal(parallel_fraction=0.80, smt_gain=1.2, saturation_threads=4),
+        mrc(0.10, (0.70, 2.5)),
+        apki=17.0, cpi=1.10, mlp=1.35, instructions=2.6e10,
+        pf=0.03,
+        scal_class=SATURATED, llc_class=HIGH,
+        notes="cluster representative C4",
+    ),
+    app(
+        "h2", SUITE,
+        scal(parallel_fraction=0.30, smt_gain=1.2, saturation_threads=4),
+        mrc(0.18, (0.45, 0.9)),
+        apki=12.0, cpi=1.00, mlp=3.5, instructions=2.1e11,
+        pf=0.04,
+        phases=(
+            Phase(0.5, apki_mult=0.7, name="query"),
+            Phase(0.5, apki_mult=1.4, name="update"),
+        ),
+        scal_class=LOW, llc_class=SATURATED,
+        notes="in-memory database; transaction phases",
+    ),
+    app(
+        "jython", SUITE,
+        scal(parallel_fraction=0.85, smt_gain=1.2, saturation_threads=6),
+        mrc(0.10, (0.50, 0.9)),
+        apki=4.0, cpi=0.95, mlp=2.5, instructions=2.8e11,
+        pf=0.03,
+        scal_class=SATURATED, llc_class=SATURATED,
+    ),
+    app(
+        "luindex", SUITE,
+        scal(parallel_fraction=0.75, smt_gain=1.2, saturation_threads=4),
+        mrc(0.12, (0.45, 0.85)),
+        apki=4.5, cpi=0.90, mlp=2.5, instructions=1.4e11,
+        pf=0.04,
+        scal_class=SATURATED, llc_class=SATURATED,
+    ),
+    app(
+        "lusearch", SUITE,
+        scal(parallel_fraction=0.85, smt_gain=1.25, saturation_threads=6),
+        mrc(0.10, (0.50, 2.2)),
+        apki=14.0, cpi=0.80, mlp=3.0, instructions=2.2e11,
+        pf=0.02, pollution=0.08, dram_eff=0.65,
+        scal_class=SATURATED, llc_class=HIGH,
+        notes="prefetchers actively hurt it; aggressive co-runner",
+    ),
+    app(
+        "pmd", SUITE,
+        scal(parallel_fraction=0.94, smt_gain=1.35),
+        mrc(0.10, (0.50, 2.6)),
+        apki=8.0, cpi=0.90, mlp=2.2, instructions=3.3e11,
+        pf=0.03,
+        scal_class=HIGH, llc_class=HIGH,
+    ),
+    app(
+        "sunflow", SUITE,
+        scal(parallel_fraction=0.95, smt_gain=1.4),
+        mrc(0.10, (0.15, 0.5)),
+        apki=2.0, cpi=0.70, mlp=3.0, instructions=6.0e11,
+        pf=0.05,
+        scal_class=HIGH, llc_class=LOW,
+    ),
+    app(
+        "tomcat", SUITE,
+        scal(parallel_fraction=0.92, smt_gain=1.15),
+        mrc(0.12, (0.50, 1.0)),
+        apki=6.0, cpi=0.85, mlp=3.0, instructions=7.5e11,
+        pf=0.04,
+        scal_class=HIGH, llc_class=SATURATED,
+        notes="Fig. 2 saturated-utility representative",
+    ),
+    app(
+        "tradebeans", SUITE,
+        scal(parallel_fraction=0.35, smt_gain=1.2, saturation_threads=4),
+        mrc(0.12, (0.50, 2.4)),
+        apki=7.0, cpi=1.00, mlp=2.0, instructions=1.9e11,
+        pf=0.03,
+        scal_class=LOW, llc_class=HIGH,
+    ),
+    app(
+        "tradesoap", SUITE,
+        scal(parallel_fraction=0.30, smt_gain=1.2, saturation_threads=4),
+        mrc(0.12, (0.45, 0.85)),
+        apki=6.0, cpi=1.05, mlp=2.5, instructions=1.8e11,
+        pf=0.03,
+        scal_class=LOW, llc_class=SATURATED,
+    ),
+    app(
+        "xalan", SUITE,
+        scal(parallel_fraction=0.92, smt_gain=1.2),
+        mrc(0.12, (0.45, 2.4)),
+        apki=13.0, cpi=0.80, mlp=3.0, instructions=4.0e11,
+        pf=0.04, dram_eff=0.7,
+        scal_class=HIGH, llc_class=HIGH,
+    ),
+]

@@ -1,0 +1,120 @@
+"""Human-readable summaries of the workload models."""
+
+from repro.util.errors import ValidationError
+from repro.workloads.registry import all_applications, get_application
+
+
+def describe(app_or_name):
+    """A structured summary of one application model."""
+    app = (
+        get_application(app_or_name)
+        if isinstance(app_or_name, str)
+        else app_or_name
+    )
+    scal = app.scalability
+    return {
+        "name": app.name,
+        "suite": app.suite,
+        "notes": app.notes,
+        "threading": {
+            "single_threaded": scal.single_threaded,
+            "pow2_only": scal.pow2_only,
+            "parallel_fraction": scal.parallel_fraction,
+            "smt_gain": scal.smt_gain,
+            "saturation_threads": scal.saturation_threads,
+            "ideal_speedup_8t": scal.speedup(8) if not scal.pow2_only else scal.speedup(8),
+        },
+        "memory": {
+            "llc_apki": app.llc_apki,
+            "base_cpi": app.base_cpi,
+            "mlp": app.mlp,
+            "working_set_mb": app.working_set_mb(),
+            "miss_ratio_1mb": app.miss_ratio(1.0),
+            "miss_ratio_6mb": app.miss_ratio(6.0),
+            "wb_fraction": app.wb_fraction,
+            "dram_efficiency": app.dram_efficiency,
+            "cache_pressure": app.cache_pressure,
+        },
+        "prefetch": {
+            "coverage": app.pf_coverage,
+            "pollution": app.pf_pollution,
+        },
+        "phases": [
+            {
+                "name": p.name,
+                "weight": p.weight,
+                "apki_mult": p.apki_mult,
+                "ws_mult": p.ws_mult,
+            }
+            for p in app.phases
+        ],
+        "paper_classification": {
+            "scalability": app.expected_scalability_class,
+            "llc_utility": app.expected_llc_class,
+            "bandwidth_sensitive": app.bandwidth_sensitive,
+            "high_apki": app.llc_apki > 10,
+        },
+    }
+
+
+def suite_statistics():
+    """Aggregate model statistics per suite."""
+    stats = {}
+    for app in all_applications():
+        entry = stats.setdefault(
+            app.suite,
+            {
+                "count": 0,
+                "phased": 0,
+                "single_threaded": 0,
+                "bandwidth_sensitive": 0,
+                "high_apki": 0,
+                "total_apki": 0.0,
+                "classes": {"low": 0, "saturated": 0, "high": 0},
+            },
+        )
+        entry["count"] += 1
+        entry["phased"] += 1 if app.has_phases() else 0
+        entry["single_threaded"] += 1 if app.scalability.single_threaded else 0
+        entry["bandwidth_sensitive"] += 1 if app.bandwidth_sensitive else 0
+        entry["high_apki"] += 1 if app.llc_apki > 10 else 0
+        entry["total_apki"] += app.llc_apki
+        entry["classes"][app.expected_llc_class] += 1
+    for entry in stats.values():
+        entry["avg_apki"] = entry.pop("total_apki") / entry["count"]
+    return stats
+
+
+def phased_applications():
+    """Names of all applications with more than one phase."""
+    return sorted(a.name for a in all_applications() if a.has_phases())
+
+
+def validate_model_consistency(app_or_name):
+    """Cheap structural checks; returns a list of findings (empty = OK).
+
+    Complements the golden tests: runnable on a *new* model before any
+    engine measurement, e.g. when a user adds their own application.
+    """
+    app = (
+        get_application(app_or_name)
+        if isinstance(app_or_name, str)
+        else app_or_name
+    )
+    findings = []
+    if abs(sum(p.weight for p in app.phases) - 1.0) > 1e-9:
+        findings.append("phase weights do not sum to 1")
+    values = [app.miss_ratio(c / 2) for c in range(1, 13)]
+    if any(b > a + 1e-12 for a, b in zip(values, values[1:])):
+        findings.append("miss-ratio curve is not monotone")
+    if app.scalability.single_threaded and app.expected_scalability_class != "low":
+        findings.append("single-threaded apps must classify as low scalability")
+    if app.llc_apki > 10 and app.expected_llc_class == "low" and app.mlp < 2:
+        findings.append(
+            "high-APKI low-MLP app declared low utility: check its exposure"
+        )
+    try:
+        app.scalability.validate_threads(1)
+    except ValidationError:
+        findings.append("cannot run with one thread")
+    return findings

@@ -1,0 +1,34 @@
+"""The two microbenchmarks (Section 2.3).
+
+- ``stream_uncached``: the bandwidth hog — streams through memory with
+  non-temporal accesses that bypass LLC allocation, saturating DRAM.
+- ``ccbench``: serialized pointer chasing over arrays of many sizes,
+  exploring the cache hierarchy's structure. Latency-bound, not
+  bandwidth-bound (the paper singles it out as the one new app that is
+  *not* bandwidth sensitive).
+"""
+
+from repro.workloads._build import LOW, SATURATED, app, mrc, scal
+
+SUITE = "micro"
+
+APPLICATIONS = [
+    app(
+        "ccbench", SUITE,
+        scal(single_threaded=True),
+        mrc(0.0, (0.45, 0.7)),
+        apki=30.0, cpi=0.60, mlp=1.0, instructions=2.5e11,
+        pf=0.05,
+        scal_class=LOW, llc_class=SATURATED, bw_sensitive=False,
+        notes="dependent loads expose full memory latency but little traffic",
+    ),
+    app(
+        "stream_uncached", SUITE,
+        scal(single_threaded=True),
+        mrc(0.75, (0.25, 0.6)),
+        apki=100.0, cpi=0.80, mlp=20.0, instructions=1.8e11,
+        pf=0.0, wb=0.6, dram_eff=0.8, pressure=0.05,
+        scal_class=LOW, llc_class=SATURATED, bw_sensitive=True,
+        notes="the Fig. 4 bandwidth hog; misses essentially always",
+    ),
+]

@@ -1,0 +1,132 @@
+"""PARSEC 2.1 application models (13 benchmarks, native inputs).
+
+Calibration targets from the paper:
+- Table 1: canneal/dedup/raytrace saturate; everything else scales high.
+- Table 2: canneal and facesim have saturated LLC utility, x264 high,
+  the rest low; canneal and streamcluster exceed 10 LLC APKI (bold).
+- Fig. 3: facesim and streamcluster benefit from prefetching.
+- Fig. 4: fluidanimate and streamcluster are bandwidth sensitive.
+- fluidanimate only runs with power-of-2 thread counts (Section 3.5).
+"""
+
+from repro.workloads._build import HIGH, LOW, Phase, SATURATED, app, mrc, scal
+
+SUITE = "PARSEC"
+
+APPLICATIONS = [
+    app(
+        "blackscholes", SUITE,
+        scal(parallel_fraction=0.99, smt_gain=1.5),
+        mrc(0.05, (0.20, 0.4)),
+        apki=1.0, cpi=0.52, mlp=3.0, instructions=1.15e12,
+        pf=0.10,
+        scal_class=HIGH, llc_class=LOW,
+    ),
+    app(
+        "bodytrack", SUITE,
+        scal(parallel_fraction=0.95, smt_gain=1.15),
+        mrc(0.08, (0.25, 0.45)),
+        apki=2.0, cpi=0.60, mlp=3.0, instructions=7.0e11,
+        pf=0.12,
+        scal_class=HIGH, llc_class=LOW,
+    ),
+    app(
+        "canneal", SUITE,
+        scal(parallel_fraction=0.88, smt_gain=1.2, saturation_threads=6),
+        mrc(0.15, (0.50, 1.0)),
+        apki=15.0, cpi=0.90, mlp=4.0, instructions=5.6e11,
+        pf=0.08, dram_eff=0.6,
+        scal_class=SATURATED, llc_class=SATURATED,
+        notes="simulated annealing over a large netlist; aggressive co-runner",
+    ),
+    app(
+        "dedup", SUITE,
+        scal(parallel_fraction=0.90, smt_gain=1.25, saturation_threads=6),
+        mrc(0.20, (0.15, 0.6)),
+        apki=4.0, cpi=0.70, mlp=5.0, instructions=3.5e11,
+        pf=0.15,
+        scal_class=SATURATED, llc_class=LOW,
+        notes="cluster representative C5",
+    ),
+    app(
+        "facesim", SUITE,
+        scal(parallel_fraction=0.94, smt_gain=1.2),
+        mrc(0.10, (0.40, 0.9)),
+        apki=8.0, cpi=0.70, mlp=5.0, instructions=1.7e12,
+        pf=0.35,
+        scal_class=HIGH, llc_class=SATURATED,
+    ),
+    app(
+        "ferret", SUITE,
+        scal(parallel_fraction=0.98, smt_gain=1.45),
+        mrc(0.15, (0.20, 0.5)),
+        apki=3.0, cpi=0.65, mlp=4.0, instructions=2.2e12,
+        pf=0.10,
+        scal_class=HIGH, llc_class=LOW,
+        notes="cluster representative C3",
+    ),
+    app(
+        "fluidanimate", SUITE,
+        scal(parallel_fraction=0.95, smt_gain=1.3, pow2_only=True),
+        mrc(0.45, (0.15, 0.6)),
+        apki=14.0, cpi=0.75, mlp=6.0, instructions=8.7e11,
+        pf=0.20, dram_eff=0.55,
+        scal_class=HIGH, llc_class=LOW, bw_sensitive=True,
+        notes="only runs with power-of-2 thread counts",
+    ),
+    app(
+        "freqmine", SUITE,
+        scal(parallel_fraction=0.94, smt_gain=1.2),
+        mrc(0.10, (0.20, 0.5)),
+        apki=2.0, cpi=0.80, mlp=2.5, instructions=1.0e12,
+        pf=0.10,
+        scal_class=HIGH, llc_class=LOW,
+    ),
+    app(
+        "raytrace", SUITE,
+        scal(parallel_fraction=0.85, smt_gain=1.2, saturation_threads=6),
+        mrc(0.10, (0.30, 0.5)),
+        apki=1.5, cpi=0.70, mlp=2.0, instructions=7.5e11,
+        pf=0.05,
+        scal_class=SATURATED, llc_class=LOW,
+    ),
+    app(
+        "streamcluster", SUITE,
+        scal(parallel_fraction=0.96, smt_gain=1.25),
+        mrc(0.55, (0.10, 0.6)),
+        apki=20.0, cpi=0.50, mlp=10.0, instructions=1.1e12,
+        pf=0.40, wb=0.4, dram_eff=0.75,
+        scal_class=HIGH, llc_class=LOW, bw_sensitive=True,
+        notes="streaming kmeans; most bandwidth-sensitive PARSEC app",
+    ),
+    app(
+        "swaptions", SUITE,
+        scal(parallel_fraction=0.99, smt_gain=1.45),
+        mrc(0.05, (0.30, 0.5)),
+        apki=0.5, cpi=0.45, mlp=2.0, instructions=1.9e12,
+        pf=0.05,
+        scal_class=HIGH, llc_class=LOW,
+        notes="Fig. 2 low-utility representative",
+    ),
+    app(
+        "vips", SUITE,
+        scal(parallel_fraction=0.97, smt_gain=1.4),
+        mrc(0.12, (0.20, 0.5)),
+        apki=3.0, cpi=0.60, mlp=4.0, instructions=1.0e12,
+        pf=0.15,
+        scal_class=HIGH, llc_class=LOW,
+    ),
+    app(
+        "x264", SUITE,
+        scal(parallel_fraction=0.96, smt_gain=1.4),
+        mrc(0.10, (0.40, 2.2)),
+        apki=9.0, cpi=0.50, mlp=3.0, instructions=9.0e11,
+        pf=0.20,
+        phases=(
+            Phase(0.3, apki_mult=0.8, name="i-frames"),
+            Phase(0.4, apki_mult=1.2, name="b-frames"),
+            Phase(0.3, apki_mult=1.0, name="p-frames"),
+        ),
+        scal_class=HIGH, llc_class=HIGH,
+    ),
+]

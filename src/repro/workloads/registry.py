@@ -1,0 +1,81 @@
+"""The full 45-application registry and the six cluster representatives."""
+
+from repro.util.errors import ValidationError
+from repro.workloads import dacapo, micro, parallel_apps, parsec, spec
+
+_SUITE_MODULES = (parsec, dacapo, spec, parallel_apps, micro)
+
+# Table 3's cluster representatives (bold entries, closest to centroid).
+REPRESENTATIVES = {
+    "C1": "429.mcf",
+    "C2": "459.GemsFDTD",
+    "C3": "ferret",
+    "C4": "fop",
+    "C5": "dedup",
+    "C6": "batik",
+}
+
+
+def _index():
+    apps = {}
+    for module in _SUITE_MODULES:
+        for application in module.APPLICATIONS:
+            if application.name in apps:
+                raise ValidationError(f"duplicate application {application.name}")
+            apps[application.name] = application
+    return apps
+
+
+_APPS = _index()
+
+
+def all_applications():
+    """Every application model, in suite order."""
+    return [a for m in _SUITE_MODULES for a in m.APPLICATIONS]
+
+
+def all_application_names():
+    return [a.name for a in all_applications()]
+
+
+def get_application(name):
+    """Look up one application by name (raises ValidationError if absent)."""
+    try:
+        return _APPS[name]
+    except KeyError:
+        raise ValidationError(f"unknown application {name!r}") from None
+
+
+def applications_of_suite(suite):
+    out = [a for a in all_applications() if a.suite == suite]
+    if not out:
+        raise ValidationError(f"unknown suite {suite!r}")
+    return out
+
+
+def representatives():
+    """Cluster-id -> ApplicationModel for the six representatives."""
+    return {cid: get_application(name) for cid, name in REPRESENTATIVES.items()}
+
+
+def register_application(application):
+    """Add a user-defined application to the registry.
+
+    Registered applications become visible to everything that looks up
+    apps by name (the CLI, characterization sweeps over
+    ``all_applications`` are unaffected — those iterate the paper's 45).
+    """
+    if application.name in _APPS:
+        raise ValidationError(f"application {application.name!r} already exists")
+    _APPS[application.name] = application
+    return application
+
+
+def unregister_application(name):
+    """Remove a previously registered custom application."""
+    builtin = {a.name for m in _SUITE_MODULES for a in m.APPLICATIONS}
+    if name in builtin:
+        raise ValidationError(f"cannot unregister the built-in {name!r}")
+    if name not in _APPS:
+        raise ValidationError(f"unknown application {name!r}")
+    del _APPS[name]

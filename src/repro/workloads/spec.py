@@ -1,0 +1,137 @@
+"""SPEC CPU2006 application models (12 benchmarks, all single-threaded).
+
+The subset follows the paper (Section 2.3): the Phansalkar similarity
+subset (astar, libquantum, mcf, omnetpp, cactusADM, calculix, lbm, povray)
+plus Jaleel's four LLC-stressing floating-point codes (GemsFDTD, leslie3d,
+soplex, sphinx3).
+
+Calibration targets:
+- Table 1: all SPEC are low-scalability (single-threaded).
+- Table 2: mcf/astar/sphinx3 saturated utility, omnetpp high, rest low;
+  bold (>10 APKI): mcf, leslie3d, soplex, GemsFDTD, libquantum, lbm,
+  omnetpp, astar, sphinx3.
+- Fig. 3: soplex, GemsFDTD, libquantum, lbm gain most from prefetching.
+- Fig. 4: leslie3d, soplex, GemsFDTD, libquantum, lbm bandwidth-sensitive.
+- Fig. 12: mcf transitions five times between low- and high-MPKI phases.
+"""
+
+from repro.workloads._build import LOW, Phase, SATURATED, app, mrc, scal
+
+SUITE = "SPEC"
+
+_SINGLE = dict(single_threaded=True)
+
+APPLICATIONS = [
+    app(
+        "429.mcf", SUITE,
+        scal(**_SINGLE),
+        mrc(0.25, (0.50, 1.1)),
+        apki=60.0, cpi=0.80, mlp=3.5, instructions=3.7e11,
+        pf=0.15, dram_eff=0.85,
+        phases=(
+            Phase(0.18, apki_mult=0.55, ws_mult=0.5, name="low0"),
+            Phase(0.16, apki_mult=1.80, ws_mult=1.35, amp_mult=1.15, name="high0"),
+            Phase(0.18, apki_mult=0.55, ws_mult=0.5, name="low1"),
+            Phase(0.16, apki_mult=1.80, ws_mult=1.35, amp_mult=1.15, name="high1"),
+            Phase(0.16, apki_mult=0.55, ws_mult=0.5, name="low2"),
+            Phase(0.16, apki_mult=1.80, ws_mult=1.35, amp_mult=1.15, name="high2"),
+        ),
+        scal_class=LOW, llc_class=SATURATED,
+        notes="cluster representative C1; the paper's Fig. 12 phase example",
+    ),
+    app(
+        "436.cactusADM", SUITE,
+        scal(**_SINGLE),
+        mrc(0.30, (0.10, 0.5)),
+        apki=6.0, cpi=0.90, mlp=5.0, instructions=4.2e11,
+        pf=0.25,
+        scal_class=LOW, llc_class=LOW,
+    ),
+    app(
+        "437.leslie3d", SUITE,
+        scal(**_SINGLE),
+        mrc(0.48, (0.10, 0.7)),
+        apki=18.0, cpi=0.70, mlp=6.0, instructions=3.9e11,
+        pf=0.55, wb=0.4, dram_eff=0.7,
+        scal_class=LOW, llc_class=LOW, bw_sensitive=True,
+    ),
+    app(
+        "450.soplex", SUITE,
+        scal(**_SINGLE),
+        mrc(0.45, (0.10, 0.7)),
+        apki=20.0, cpi=0.70, mlp=7.0, instructions=4.0e11,
+        pf=0.60, wb=0.4, dram_eff=0.7,
+        scal_class=LOW, llc_class=LOW, bw_sensitive=True,
+    ),
+    app(
+        "453.povray", SUITE,
+        scal(**_SINGLE),
+        mrc(0.08, (0.10, 0.4)),
+        apki=0.5, cpi=0.55, mlp=2.0, instructions=6.2e11,
+        pf=0.05,
+        scal_class=LOW, llc_class=LOW,
+    ),
+    app(
+        "454.calculix", SUITE,
+        scal(**_SINGLE),
+        mrc(0.10, (0.10, 0.4)),
+        apki=1.5, cpi=0.50, mlp=4.0, instructions=8.2e11,
+        pf=0.15,
+        scal_class=LOW, llc_class=LOW,
+    ),
+    app(
+        "459.GemsFDTD", SUITE,
+        scal(**_SINGLE),
+        mrc(0.50, (0.08, 1.3)),
+        apki=20.0, cpi=0.65, mlp=9.0, instructions=4.2e11,
+        pf=0.55, wb=0.45,
+        phases=(
+            Phase(0.5, apki_mult=1.0, name="update"),
+            Phase(0.5, apki_mult=1.3, ws_mult=1.4, name="fourier"),
+        ),
+        scal_class=LOW, llc_class=LOW, bw_sensitive=True,
+        notes="cluster representative C2",
+    ),
+    app(
+        "462.libquantum", SUITE,
+        scal(**_SINGLE),
+        mrc(0.75, (0.10, 0.5)),
+        apki=25.0, cpi=0.80, mlp=6.0, instructions=3.1e11,
+        pf=0.65, wb=0.4, dram_eff=0.85,
+        scal_class=LOW, llc_class=LOW, bw_sensitive=True,
+        notes="pure streaming; prefetchers hide most of its latency",
+    ),
+    app(
+        "470.lbm", SUITE,
+        scal(**_SINGLE),
+        mrc(0.70, (0.10, 0.6)),
+        apki=22.0, cpi=0.60, mlp=8.0, instructions=4.1e11,
+        pf=0.60, wb=0.5, dram_eff=0.85,
+        scal_class=LOW, llc_class=LOW, bw_sensitive=True,
+    ),
+    app(
+        "471.omnetpp", SUITE,
+        scal(**_SINGLE),
+        mrc(0.12, (0.55, 2.8)),
+        apki=30.0, cpi=0.90, mlp=2.5, instructions=3.8e11,
+        pf=0.10, dram_eff=0.9,
+        scal_class=LOW, llc_class="high",
+        notes="Fig. 2 high-utility representative; aggressive co-runner",
+    ),
+    app(
+        "473.astar", SUITE,
+        scal(**_SINGLE),
+        mrc(0.15, (0.40, 1.1)),
+        apki=12.0, cpi=0.80, mlp=2.0, instructions=4.8e11,
+        pf=0.10,
+        scal_class=LOW, llc_class=SATURATED,
+    ),
+    app(
+        "482.sphinx3", SUITE,
+        scal(**_SINGLE),
+        mrc(0.13, (0.45, 1.0)),
+        apki=13.0, cpi=0.70, mlp=3.0, instructions=5.3e11,
+        pf=0.20,
+        scal_class=LOW, llc_class=SATURATED,
+    ),
+]

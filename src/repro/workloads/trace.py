@@ -1,0 +1,172 @@
+"""Synthetic address-trace generators.
+
+These drive the address-level cache simulator (:mod:`repro.cache`)
+directly: the microbenchmarks (ccbench, stream_uncached) are defined by
+their access patterns, and the MRC calibration utilities measure miss
+ratio curves by replaying traces at different way allocations.
+
+Each generator is an iterable of :class:`repro.cache.MemoryAccess` and is
+fully deterministic given its seed.
+"""
+
+from repro.cache.block import LINE_SIZE, MemoryAccess
+from repro.util.errors import ValidationError
+from repro.util.rng import DeterministicRng
+
+
+class _TraceBase:
+    def __init__(self, length, tid=0, seed=0):
+        if length < 0:
+            raise ValidationError("trace length cannot be negative")
+        self.length = length
+        self.tid = tid
+        self.seed = seed
+
+    def __len__(self):
+        return self.length
+
+
+class StreamingTrace(_TraceBase):
+    """Sequential sweep through a buffer, wrapping around (stream-like)."""
+
+    def __init__(self, length, buffer_bytes, start=0x10_0000, stride=LINE_SIZE, tid=0):
+        super().__init__(length, tid)
+        if buffer_bytes < stride:
+            raise ValidationError("buffer smaller than one stride")
+        self.buffer_bytes = buffer_bytes
+        self.start = start
+        self.stride = stride
+
+    def __iter__(self):
+        addr = self.start
+        limit = self.start + self.buffer_bytes
+        for i in range(self.length):
+            yield MemoryAccess(address=addr, pc=0x400, tid=self.tid)
+            addr += self.stride
+            if addr >= limit:
+                addr = self.start
+
+
+class StridedTrace(_TraceBase):
+    """Fixed-stride accesses from a handful of program counters."""
+
+    def __init__(self, length, stride, num_streams=4, start=0x20_0000, tid=0):
+        super().__init__(length, tid)
+        if stride == 0:
+            raise ValidationError("stride cannot be zero")
+        self.stride = stride
+        self.num_streams = num_streams
+        self.start = start
+
+    def __iter__(self):
+        positions = [
+            self.start + s * 0x100_0000 for s in range(self.num_streams)
+        ]
+        for i in range(self.length):
+            s = i % self.num_streams
+            yield MemoryAccess(address=positions[s], pc=0x400 + s * 8, tid=self.tid)
+            positions[s] += self.stride
+
+
+class PointerChaseTrace(_TraceBase):
+    """Dependent random accesses within a working set (ccbench-like).
+
+    Serialized pointer chasing: each address is a deterministic pseudo-
+    random function of the previous one, confined to ``working_set_bytes``.
+    """
+
+    def __init__(self, length, working_set_bytes, start=0x30_0000, tid=0, seed=7):
+        super().__init__(length, tid, seed)
+        if working_set_bytes < LINE_SIZE:
+            raise ValidationError("working set smaller than one line")
+        self.working_set_bytes = working_set_bytes
+        self.start = start
+
+    def __iter__(self):
+        lines = max(1, self.working_set_bytes // LINE_SIZE)
+        state = self.seed or 1
+        for _ in range(self.length):
+            # xorshift64 keeps the chase deterministic and well mixed.
+            state ^= (state << 13) & 0xFFFFFFFFFFFFFFFF
+            state ^= state >> 7
+            state ^= (state << 17) & 0xFFFFFFFFFFFFFFFF
+            offset = (state % lines) * LINE_SIZE
+            yield MemoryAccess(address=self.start + offset, pc=0x500, tid=self.tid)
+
+
+class ZipfTrace(_TraceBase):
+    """Popularity-skewed accesses over a working set (cache-friendly apps)."""
+
+    def __init__(
+        self, length, working_set_bytes, alpha=1.1, start=0x40_0000, tid=0, seed=11
+    ):
+        super().__init__(length, tid, seed)
+        self.working_set_bytes = working_set_bytes
+        self.alpha = alpha
+        self.start = start
+
+    def __iter__(self):
+        rng = DeterministicRng(self.seed, "zipf")
+        lines = max(1, self.working_set_bytes // LINE_SIZE)
+        # Pre-draw a permutation so popularity is spread across the set
+        # (defeats trivially sequential layouts).
+        import numpy as np
+
+        perm_rng = np.random.default_rng(rng.seed)
+        perm = perm_rng.permutation(lines)
+        ranks = np.arange(1, lines + 1, dtype=np.float64) ** (-self.alpha)
+        ranks /= ranks.sum()
+        draws = perm_rng.choice(lines, size=self.length, p=ranks)
+        for i in range(self.length):
+            line = int(perm[draws[i]])
+            yield MemoryAccess(address=self.start + line * LINE_SIZE, pc=0x600, tid=self.tid)
+
+
+class StencilTrace(_TraceBase):
+    """A 2-D 5-point stencil sweep over a grid (stencilprobe-like)."""
+
+    def __init__(self, length, rows=256, cols=256, elem_bytes=8, start=0x50_0000, tid=0):
+        super().__init__(length, tid)
+        if rows < 3 or cols < 3:
+            raise ValidationError("grid must be at least 3x3")
+        self.rows = rows
+        self.cols = cols
+        self.elem_bytes = elem_bytes
+        self.start = start
+
+    def _addr(self, r, c):
+        return self.start + (r * self.cols + c) * self.elem_bytes
+
+    def __iter__(self):
+        emitted = 0
+        while emitted < self.length:
+            for r in range(1, self.rows - 1):
+                for c in range(1, self.cols - 1):
+                    for rr, cc in ((r, c), (r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1)):
+                        if emitted >= self.length:
+                            return
+                        yield MemoryAccess(
+                            address=self._addr(rr, cc), pc=0x700, tid=self.tid
+                        )
+                        emitted += 1
+
+
+def interleave(traces, schedule=None):
+    """Round-robin interleave several traces into one stream.
+
+    ``schedule`` optionally gives per-trace burst lengths, modelling
+    different access rates when co-running streams through one hierarchy.
+    """
+    iters = [iter(t) for t in traces]
+    bursts = schedule or [1] * len(iters)
+    if len(bursts) != len(iters):
+        raise ValidationError("schedule length must match trace count")
+    active = set(range(len(iters)))
+    while active:
+        for i in list(active):
+            for _ in range(bursts[i]):
+                try:
+                    yield next(iters[i])
+                except StopIteration:
+                    active.discard(i)
+                    break

@@ -1,0 +1,75 @@
+"""The batch evaluation runner (resumable artifacts)."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.batch import EvaluationRunner
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture()
+def runner(tmp_path, machine, characterizer, study):
+    return EvaluationRunner(
+        str(tmp_path), machine=machine, characterizer=characterizer, study=study
+    )
+
+
+class TestStages:
+    def test_headline_stage_writes_artifact(self, runner, tmp_path):
+        written = runner.run(stages=["headline"])
+        path = written["headline"]
+        assert os.path.exists(path)
+        payload = json.loads(open(path).read())
+        assert "biased" in payload and "dynamic" in payload
+
+    def test_policies_stage_has_summary(self, runner):
+        written = runner.run(stages=["policies"])
+        payload = json.loads(open(written["policies"]).read())
+        assert len(payload["pairs"]) == 36
+        assert payload["summary"]["biased"]["avg_slowdown"] < payload[
+            "summary"
+        ]["shared"]["avg_slowdown"]
+
+    def test_classification_stage_matches_tables(self, runner):
+        written = runner.run(stages=["classification"])
+        payload = json.loads(open(written["classification"]).read())
+        assert payload["matching"] == payload["total"] == 45
+
+    def test_manifest_written(self, runner, tmp_path):
+        runner.run(stages=["headline"])
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["stages"]["headline"] == "headline.json"
+        assert manifest["model_version"]
+
+
+class TestResume:
+    def test_existing_artifacts_skipped(self, runner, tmp_path):
+        runner.run(stages=["headline"])
+        path = tmp_path / "headline.json"
+        sentinel = {"sentinel": True}
+        path.write_text(json.dumps(sentinel))
+        runner.run(stages=["headline"])  # must not overwrite
+        assert json.loads(path.read_text()) == sentinel
+
+    def test_force_overwrites(self, runner, tmp_path):
+        runner.run(stages=["headline"])
+        path = tmp_path / "headline.json"
+        path.write_text(json.dumps({"sentinel": True}))
+        runner.run(stages=["headline"], force=True)
+        assert "sentinel" not in json.loads(path.read_text())
+
+    def test_unknown_stage_rejected(self, runner):
+        with pytest.raises(ValidationError):
+            runner.run(stages=["figure-99"])
+
+    def test_stage_names_stable(self, runner):
+        assert runner.stage_names() == [
+            "classification",
+            "scalability",
+            "policies",
+            "energy",
+            "dynamic",
+            "headline",
+        ]

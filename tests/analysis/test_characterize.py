@@ -1,0 +1,74 @@
+"""The characterizer itself (caching, feature vectors, edge cases)."""
+
+import pytest
+
+from repro.core.clustering import EXPECTED_FEATURES
+from repro.workloads import get_application
+
+
+class TestCaching:
+    def test_solo_runs_are_memoized(self, characterizer):
+        app = get_application("batik")
+        a = characterizer.solo_runtime(app, 4, 12)
+        b = characterizer.solo_runtime(app, 4, 12)
+        assert a is b
+
+    def test_prefetcher_setting_is_part_of_the_key(self, characterizer):
+        app = get_application("462.libquantum")
+        on = characterizer.solo_runtime(app, 1, 12, prefetchers_on=True)
+        off = characterizer.solo_runtime(app, 1, 12, prefetchers_on=False)
+        assert on is not off
+        assert on.runtime_s != off.runtime_s
+
+
+class TestCurves:
+    def test_scalability_curve_starts_at_one(self, characterizer):
+        curve = characterizer.scalability_curve(get_application("ferret"))
+        assert curve[1] == pytest.approx(1.0)
+
+    def test_fluidanimate_curve_skips_invalid_counts(self, characterizer):
+        curve = characterizer.scalability_curve(get_application("fluidanimate"))
+        assert set(curve) == {1, 2, 4, 8}
+
+    def test_single_threaded_curve_is_flat(self, characterizer):
+        curve = characterizer.scalability_curve(get_application("ccbench"))
+        assert all(v == 1.0 for v in curve.values())
+
+    def test_llc_curve_covers_all_ways(self, characterizer):
+        curve = characterizer.llc_curve(get_application("batik"))
+        assert set(curve) == set(range(1, 13))
+
+    def test_llc_curve_direct_mapped_pathology(self, characterizer):
+        curve = characterizer.llc_curve(get_application("batik"))
+        assert curve[1] > curve[2]
+
+
+class TestFeatureVectors:
+    def test_nineteen_features(self, characterizer):
+        vector = characterizer.feature_vector(get_application("batik"))
+        assert len(vector) == EXPECTED_FEATURES
+
+    def test_features_are_ratios(self, characterizer):
+        vector = characterizer.feature_vector(get_application("swaptions"))
+        assert all(0 < v < 5 for v in vector)
+
+    def test_features_for_excludes_pow2_only(self, characterizer):
+        from repro.workloads import all_applications
+
+        features = characterizer.features_for(all_applications())
+        assert "fluidanimate" not in features
+        assert len(features) == 44
+
+    def test_features_for_accepts_names(self, characterizer):
+        features = characterizer.features_for(["batik", "fop"])
+        assert set(features) == {"batik", "fop"}
+
+
+class TestBandwidthProbe:
+    def test_hog_self_measurement_is_unity(self, characterizer):
+        hog = get_application("stream_uncached")
+        assert characterizer.bandwidth_sensitivity(hog) == 1.0
+
+    def test_sensitivity_at_least_one(self, characterizer):
+        value = characterizer.bandwidth_sensitivity(get_application("453.povray"))
+        assert value >= 0.99

@@ -1,0 +1,56 @@
+import pytest
+
+from repro.analysis.classify import classify_llc_utility, classify_scalability
+from repro.util.errors import ValidationError
+
+
+class TestScalabilityRules:
+    def test_flat_curve_is_low(self):
+        assert classify_scalability({t: 1.0 for t in range(1, 9)}) == "low"
+
+    def test_linear_growth_is_high(self):
+        curve = {t: 1.0 + 0.5 * (t - 1) for t in range(1, 9)}
+        assert classify_scalability(curve) == "high"
+
+    def test_plateau_is_saturated(self):
+        curve = {1: 1.0, 2: 1.8, 3: 2.4, 4: 2.8, 5: 2.8, 6: 2.8, 7: 2.8, 8: 2.8}
+        assert classify_scalability(curve) == "saturated"
+
+    def test_barely_scaling_is_low(self):
+        curve = {t: min(1.4, 1.0 + 0.1 * (t - 1)) for t in range(1, 9)}
+        assert classify_scalability(curve) == "low"
+
+    def test_sparse_pow2_curve_handled(self):
+        curve = {1: 1.0, 2: 1.9, 4: 3.4, 8: 5.0}
+        assert classify_scalability(curve) == "high"
+
+    def test_empty_curve_rejected(self):
+        with pytest.raises(ValidationError):
+            classify_scalability({})
+
+
+class TestUtilityRules:
+    def base_curve(self, total_gain, tail_gain):
+        t12 = 100.0
+        curve = {w: t12 for w in range(1, 13)}
+        curve[2] = t12 * (1 + total_gain)
+        curve[10] = t12 * (1 + tail_gain)
+        return curve
+
+    def test_flat_curve_is_low(self):
+        assert classify_llc_utility(self.base_curve(0.01, 0.0)) == "low"
+
+    def test_early_saturation(self):
+        assert classify_llc_utility(self.base_curve(0.15, 0.001)) == "saturated"
+
+    def test_still_improving_is_high(self):
+        assert classify_llc_utility(self.base_curve(0.2, 0.02)) == "high"
+
+    def test_direct_mapped_point_ignored(self):
+        curve = self.base_curve(0.01, 0.0)
+        curve[1] = 1000.0  # pathological, must not matter
+        assert classify_llc_utility(curve) == "low"
+
+    def test_missing_ways_rejected(self):
+        with pytest.raises(ValidationError):
+            classify_llc_utility({2: 1.0, 12: 1.0})

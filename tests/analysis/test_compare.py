@@ -1,0 +1,90 @@
+"""Artifact regression comparison."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.compare import (
+    compare_stage,
+    format_deltas,
+    regressions,
+)
+from repro.util.errors import ValidationError
+
+
+def write_stage(directory, stage, payload):
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, f"{stage}.json"), "w") as handle:
+        json.dump(payload, handle)
+
+
+@pytest.fixture()
+def dirs(tmp_path):
+    before = tmp_path / "before"
+    after = tmp_path / "after"
+    write_stage(
+        before,
+        "headline",
+        {"biased": {"avg_slowdown": 0.020, "worst_slowdown": 0.080}},
+    )
+    write_stage(
+        after,
+        "headline",
+        {"biased": {"avg_slowdown": 0.021, "worst_slowdown": 0.120}},
+    )
+    return str(before), str(after)
+
+
+class TestCompare:
+    def test_deltas_flattened(self, dirs):
+        deltas = compare_stage(*dirs, "headline")
+        metrics = {d.metric for d in deltas}
+        assert metrics == {"biased.avg_slowdown", "biased.worst_slowdown"}
+
+    def test_relative_and_absolute(self, dirs):
+        deltas = {d.metric: d for d in compare_stage(*dirs, "headline")}
+        worst = deltas["biased.worst_slowdown"]
+        assert worst.absolute == pytest.approx(0.04)
+        assert worst.relative == pytest.approx(0.5)
+
+    def test_regression_detection(self, dirs):
+        moved, checked = regressions(*dirs, tolerance=0.10)
+        assert checked == 2
+        assert [d.metric for d in moved] == ["biased.worst_slowdown"]
+
+    def test_identical_runs_are_quiet(self, tmp_path):
+        payload = {"x": {"y": 1.0}}
+        write_stage(tmp_path / "a", "headline", payload)
+        write_stage(tmp_path / "b", "headline", payload)
+        moved, checked = regressions(str(tmp_path / "a"), str(tmp_path / "b"))
+        assert moved == [] and checked == 1
+
+    def test_missing_artifact_rejected(self, tmp_path):
+        write_stage(tmp_path / "a", "headline", {})
+        with pytest.raises(ValidationError):
+            compare_stage(str(tmp_path / "a"), str(tmp_path / "b"), "headline")
+
+    def test_format(self, dirs):
+        deltas = compare_stage(*dirs, "headline")
+        text = format_deltas(deltas)
+        assert "biased.worst_slowdown" in text
+        assert "+50.0%" in text
+
+    def test_end_to_end_with_runner(self, tmp_path, machine, characterizer, study):
+        """Two real evaluate runs of the same model must agree exactly."""
+        from repro.analysis.batch import EvaluationRunner
+
+        a = EvaluationRunner(
+            str(tmp_path / "a"), machine=machine, characterizer=characterizer, study=study
+        )
+        b = EvaluationRunner(
+            str(tmp_path / "b"), machine=machine, characterizer=characterizer, study=study
+        )
+        a.run(stages=["headline"])
+        b.run(stages=["headline"])
+        moved, checked = regressions(
+            str(tmp_path / "a"), str(tmp_path / "b"), tolerance=1e-9
+        )
+        assert checked > 5
+        assert moved == []

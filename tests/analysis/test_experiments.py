@@ -1,0 +1,117 @@
+"""Smoke and shape tests for the per-figure experiment drivers."""
+
+import pytest
+
+from repro.analysis import experiments as ex
+
+SUBSET = ["429.mcf", "ferret", "batik", "swaptions", "471.omnetpp"]
+
+
+class TestCharacterizationDrivers:
+    def test_fig01_returns_curves(self, characterizer):
+        curves = ex.fig01_thread_scalability(characterizer, SUBSET)
+        assert set(curves) == set(SUBSET)
+        assert curves["ferret"][1] == pytest.approx(1.0)
+
+    def test_tab01_structure(self, characterizer):
+        table = ex.tab01_scalability_classes(characterizer, SUBSET)
+        assert "SPEC" in table
+        assert "429.mcf" in table["SPEC"]["low"]
+
+    def test_fig02_representatives(self, characterizer):
+        data = ex.fig02_llc_sensitivity(characterizer)
+        assert set(data) == {"swaptions", "tomcat", "471.omnetpp"}
+        # Single-threaded omnetpp only has a 1-thread series.
+        assert list(data["471.omnetpp"]) == [1]
+        # Runtime decreases (or stays) with more ways for omnetpp.
+        series = data["471.omnetpp"][1]
+        assert series[12] <= series[2]
+
+    def test_tab02_bold_flags(self, characterizer):
+        table = ex.tab02_llc_utility(characterizer, SUBSET)
+        assert "471.omnetpp" in table["bold"]
+        assert "swaptions" not in table["bold"]
+
+    def test_fig03_and_fig04(self, characterizer):
+        pf = ex.fig03_prefetch_sensitivity(characterizer, SUBSET)
+        bw = ex.fig04_bandwidth_sensitivity(characterizer, SUBSET)
+        assert all(0.5 < v <= 1.2 for v in pf.values())
+        assert all(v >= 0.99 for v in bw.values())
+
+    def test_fig05_clustering(self, characterizer):
+        out = ex.fig05_clustering(characterizer)
+        assert out["num_clusters"] >= 6
+        # fluidanimate is excluded (power-of-2 irregularity, Section 3.5).
+        assert all(
+            "fluidanimate" not in members for members in out["clusters"].values()
+        )
+        # The paper's six representatives span several distinct clusters.
+        labels = out["result"].labels
+        rep_clusters = {labels[name] for name in out["paper_representatives"].values()}
+        assert len(rep_clusters) >= 4
+
+
+class TestAllocationSpaceDrivers:
+    def test_fig06_grid(self, characterizer):
+        grid = ex.fig06_allocation_space(
+            characterizer,
+            apps=["batik"],
+            thread_counts=(1, 4),
+            way_counts=(2, 12),
+        )["batik"]
+        assert set(grid) == {(1, 2), (1, 12), (4, 2), (4, 12)}
+        assert grid[(4, 12)]["runtime_s"] < grid[(1, 2)]["runtime_s"]
+        assert grid[(1, 2)]["mpki"] > grid[(1, 12)]["mpki"]
+
+    def test_fig07_contours_normalized(self, characterizer):
+        space = ex.fig06_allocation_space(
+            characterizer, apps=["batik"], thread_counts=(1, 4), way_counts=(2, 12)
+        )
+        contours = ex.fig07_energy_contours(space)["batik"]
+        assert min(contours.values()) == pytest.approx(1.0)
+        assert all(v >= 1.0 for v in contours.values())
+
+
+class TestMultiprogramDrivers:
+    def test_fig08_matrix(self, machine):
+        matrix = ex.fig08_pairwise_slowdowns(machine, ["batik", "swaptions"])
+        assert len(matrix) == 4
+        assert matrix[("batik", "batik")] >= 1.0
+        assert all(v >= 0.99 for v in matrix.values())
+
+    def test_fig09_rows(self, study):
+        rows = ex.fig09_partitioning_policies(study)
+        assert len(rows) == 36
+        assert set(rows[("C1", "C2")]) == {"shared", "fair", "biased"}
+
+    def test_fig10_and_fig11(self, study):
+        energy = ex.fig10_consolidation_energy(study)
+        speedup = ex.fig11_weighted_speedup(study)
+        assert len(energy) == len(speedup) == 21
+        assert all(0.5 <= v["biased"] <= 2.5 for v in energy.values())
+        assert all(0.9 <= v["biased"] <= 2.1 for v in speedup.values())
+
+    def test_fig12_series(self, machine):
+        series = ex.fig12_mcf_phases(machine, way_counts=(2, 12))
+        assert "2 ways" in series and "dynamic" in series
+        static = [p["mpki"] for p in series["2 ways"]]
+        assert max(static) > 2 * min(static)  # phases visible
+        dynamic_ways = {p["ways"] for p in series["dynamic"]}
+        assert len(dynamic_ways) >= 3  # the controller moved
+
+    def test_fig13_rows(self, study):
+        rows = ex.fig13_dynamic_background_throughput(study)
+        assert len(rows) == 36
+        assert all("bg_throughput_dynamic" in v for v in rows.values())
+
+
+class TestHeadline:
+    def test_headline_shape(self, study):
+        numbers = ex.headline_numbers(study)
+        # Direction checks from the abstract.
+        assert numbers["biased"]["avg_slowdown"] < numbers["shared"]["avg_slowdown"]
+        assert numbers["biased"]["worst_slowdown"] < numbers["shared"]["worst_slowdown"]
+        assert numbers["shared"]["energy_improvement"] > 0
+        assert numbers["biased"]["weighted_speedup"] > 1.3
+        assert numbers["dynamic"]["fg_gap_to_best_static"] < 0.02
+        assert numbers["dynamic"]["bg_throughput_max"] > 1.1

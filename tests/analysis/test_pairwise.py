@@ -1,0 +1,80 @@
+"""The Fig. 8 asymmetry analysis (sensitive vs aggressive apps)."""
+
+import pytest
+
+from repro.analysis.experiments import fig08_pairwise_slowdowns
+from repro.analysis.pairwise import (
+    aggressive_applications,
+    classify_interference,
+    mild_applications,
+    sensitive_applications,
+)
+from repro.util.errors import ValidationError
+from repro.workloads import get_application
+
+# A probe set containing known aggressors, known victims, and bystanders.
+PROBE = [
+    "streamcluster",      # paper: the sensitive PARSEC app
+    "462.libquantum",     # paper: sensitive SPEC
+    "stream_uncached",    # paper: aggressive (the hog)
+    "canneal",            # paper: aggressive
+    "swaptions",          # bystander
+    "batik",              # bystander
+]
+
+
+@pytest.fixture(scope="module")
+def profiles(request):
+    from repro.sim import Machine
+
+    machine = Machine()
+    matrix = fig08_pairwise_slowdowns(
+        machine, [get_application(n) for n in PROBE]
+    )
+    return classify_interference(matrix)
+
+
+class TestClassification:
+    def test_all_probe_apps_profiled(self, profiles):
+        assert set(profiles) == set(PROBE)
+
+    def test_paper_sensitive_apps_detected(self, profiles):
+        sensitive = sensitive_applications(profiles)
+        assert "streamcluster" in sensitive
+        assert "462.libquantum" in sensitive
+        assert "swaptions" not in sensitive
+        assert "batik" not in sensitive
+
+    def test_paper_aggressors_detected(self, profiles):
+        aggressive = aggressive_applications(profiles)
+        assert "stream_uncached" in aggressive
+        assert "swaptions" not in aggressive
+        assert "batik" not in aggressive
+
+    def test_bystanders_are_mild(self, profiles):
+        mild = mild_applications(profiles)
+        assert "swaptions" in mild
+
+    def test_asymmetry_exists(self, profiles):
+        """Sensitivity and aggressiveness are different axes: the hog
+        causes far more slowdown than it suffers."""
+        hog = profiles["stream_uncached"]
+        assert hog.avg_slowdown_caused_as_bg > hog.avg_slowdown_as_fg
+
+    def test_profile_worst_cases_bound_averages(self, profiles):
+        for profile in profiles.values():
+            assert profile.worst_slowdown_as_fg >= profile.avg_slowdown_as_fg
+            assert (
+                profile.worst_slowdown_caused_as_bg
+                >= profile.avg_slowdown_caused_as_bg
+            )
+
+
+class TestValidation:
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValidationError):
+            classify_interference({})
+
+    def test_incomplete_matrix_rejected(self):
+        with pytest.raises(ValidationError):
+            classify_interference({("a", "b"): 1.1})

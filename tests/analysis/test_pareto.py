@@ -1,0 +1,88 @@
+"""Pareto analysis of the allocation space."""
+
+import pytest
+
+from repro.analysis.experiments import fig06_allocation_space
+from repro.analysis.pareto import (
+    near_optimal_allocations,
+    pareto_frontier,
+    yieldable_resources,
+)
+from repro.util.errors import ValidationError
+
+
+def synthetic_grid():
+    # runtime falls with both knobs; energy is U-shaped in threads.
+    grid = {}
+    for threads in (1, 2, 4):
+        for ways in (2, 6, 12):
+            runtime = 100.0 / threads + 60.0 / ways
+            energy = runtime * (10 + 2 * threads)
+            grid[(threads, ways)] = {
+                "runtime_s": runtime,
+                "wall_energy_j": energy,
+            }
+    return grid
+
+
+class TestFrontier:
+    def test_frontier_points_are_mutually_nondominated(self):
+        frontier = pareto_frontier(synthetic_grid())
+        for p in frontier:
+            for q in frontier:
+                if p is q:
+                    continue
+                assert not (
+                    q.runtime_s <= p.runtime_s
+                    and q.energy_j <= p.energy_j
+                    and (q.runtime_s < p.runtime_s or q.energy_j < p.energy_j)
+                )
+
+    def test_fastest_point_is_on_the_frontier(self):
+        grid = synthetic_grid()
+        frontier = pareto_frontier(grid)
+        fastest = min(grid.values(), key=lambda c: c["runtime_s"])
+        assert any(p.runtime_s == fastest["runtime_s"] for p in frontier)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValidationError):
+            pareto_frontier({})
+
+
+class TestNearOptimal:
+    def test_tolerance_widens_the_set(self):
+        grid = synthetic_grid()
+        tight = near_optimal_allocations(grid, tolerance=0.001)
+        loose = near_optimal_allocations(grid, tolerance=0.5)
+        assert len(loose) >= len(tight) >= 1
+
+    def test_yieldable_structure(self):
+        out = yieldable_resources(synthetic_grid(), tolerance=0.3)
+        assert 0 <= out.ways_yieldable <= 10
+        assert out.near_optimal_count <= out.total_allocations
+        assert out.mb_yieldable == out.ways_yieldable * 0.5
+
+
+class TestOnRealModels:
+    def test_race_to_halt_on_the_frontier(self, characterizer):
+        """For every representative, the paper's claim holds: the
+        minimum-energy allocation sits at (or next to) the minimum-
+        runtime end of the frontier."""
+        space = fig06_allocation_space(
+            characterizer, thread_counts=(1, 2, 4, 8), way_counts=(2, 6, 9, 12)
+        )
+        for app, grid in space.items():
+            frontier = pareto_frontier(grid)
+            best_energy = min(frontier, key=lambda p: p.energy_j)
+            best_runtime = min(frontier, key=lambda p: p.runtime_s)
+            assert best_energy.runtime_s <= best_runtime.runtime_s * 1.25, app
+
+    def test_every_representative_can_yield_cache(self, characterizer):
+        space = fig06_allocation_space(
+            characterizer,
+            thread_counts=(1, 2, 4, 8),
+            way_counts=(2, 6, 9, 11, 12),
+        )
+        for app, grid in space.items():
+            out = yieldable_resources(grid)
+            assert out.ways_yieldable >= 1, app

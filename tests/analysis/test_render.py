@@ -1,0 +1,85 @@
+"""The figure text renderers."""
+
+from repro.analysis import render
+
+
+class TestRenderers:
+    def test_fig01(self):
+        text = render.render_fig01({"app": {1: 1.0, 2: 1.8, 4: 3.0, 8: 5.0}})
+        assert "5.00x" in text
+        assert "app" in text
+
+    def test_fig02(self):
+        data = {"app": {1: {2: 100.0, 6: 80.0, 12: 70.0}}}
+        text = render.render_fig02(data)
+        assert "Fig. 2 — app" in text
+        assert "1T" in text
+
+    def test_sensitivity_bars_scale(self):
+        text = render.render_sensitivity(
+            {"big": 1.5, "small": 1.05, "none": 1.0}, "T", "ratio"
+        )
+        lines = text.splitlines()
+        big_line = next(l for l in lines if l.startswith("big"))
+        small_line = next(l for l in lines if l.startswith("small"))
+        assert big_line.count("#") > small_line.count("#")
+
+    def test_fig05(self):
+        out = {
+            "clusters": {1: ["a", "b"], 2: ["c"]},
+            "representatives": {1: "a", 2: "c"},
+            "num_clusters": 2,
+        }
+        text = render.render_fig05(out)
+        assert "2 clusters" in text
+        assert "a, b" in text
+
+    def test_fig06_heatmap(self):
+        space = {
+            "app": {
+                (1, 2): {"runtime_s": 10.0},
+                (1, 12): {"runtime_s": 5.0},
+                (4, 2): {"runtime_s": 4.0},
+                (4, 12): {"runtime_s": 2.0},
+            }
+        }
+        text = render.render_fig06(space)
+        assert "Fig. 6 — app" in text
+
+    def test_fig08(self):
+        matrix = {("a", "a"): 1.0, ("a", "b"): 1.2, ("b", "a"): 1.1, ("b", "b"): 1.0}
+        text = render.render_fig08(matrix)
+        assert "rows=fg" in text
+
+    def test_policy_rows(self):
+        rows = {
+            ("C1", "C2"): {"shared": 1.1, "fair": 1.05, "biased": 1.01},
+        }
+        text = render.render_policy_rows(rows, "T")
+        assert "C1+C2" in text
+        assert "avg:" in text
+
+    def test_fig12(self):
+        series = {
+            "2 ways": [{"instructions": 0, "mpki": 10.0}, {"instructions": 1e9, "mpki": 50.0}],
+            "dynamic": [{"instructions": 0, "mpki": 10.0}, {"instructions": 1e9, "mpki": 20.0}],
+        }
+        text = render.render_fig12(series)
+        assert "429.mcf" in text
+
+    def test_fig13(self):
+        rows = {
+            ("C1", "C4"): {
+                "bg_throughput_dynamic": 1.2,
+                "bg_throughput_shared": 1.5,
+                "fg_slowdown_dynamic": 1.03,
+                "fg_slowdown_best_static": 1.02,
+                "controller_actions": 5,
+            }
+        }
+        text = render.render_fig13(rows)
+        assert "C1+C4" in text and "1.20" in text
+
+    def test_headline(self):
+        text = render.render_headline({"shared": {"avg_slowdown": 0.05}})
+        assert "shared" in text and "0.050" in text

@@ -1,0 +1,40 @@
+"""The generated paper-vs-measured report."""
+
+from repro.analysis.report import generate_report
+
+
+class TestReport:
+    def test_report_structure(self, machine, characterizer, study):
+        text = generate_report(machine, characterizer, study)
+        assert text.startswith("# Reproduction report")
+        for heading in (
+            "Workload classification",
+            "Working sets",
+            "Headline numbers",
+            "Dynamic controller",
+        ):
+            assert heading in text
+
+    def test_classification_counts_are_perfect(self, machine, characterizer, study):
+        text = generate_report(machine, characterizer, study)
+        assert "**45/45**" in text
+
+    def test_headline_table_includes_paper_columns(
+        self, machine, characterizer, study
+    ):
+        text = generate_report(machine, characterizer, study)
+        assert "| shared | energy_improvement |" in text
+        assert "| biased | worst_slowdown |" in text
+
+    def test_cli_report_command(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        # Writing to a file through the CLI (uses fresh machinery, so it
+        # is slow — but proves the end-to-end path).
+        target = tmp_path / "report.md"
+        out = io.StringIO()
+        code = main(["report", "--output", str(target)], out=out)
+        assert code == 0
+        assert target.read_text().startswith("# Reproduction report")

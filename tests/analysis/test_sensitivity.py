@@ -1,0 +1,67 @@
+"""The Section 6.3 threshold sensitivity claim."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    spread,
+    threshold_sensitivity,
+)
+from repro.util.errors import ValidationError
+from repro.workloads import get_application
+
+
+@pytest.fixture(scope="module")
+def points(machine):
+    return threshold_sensitivity(
+        machine,
+        get_application("429.mcf"),
+        get_application("batik"),
+        thr1_grid=(0.01, 0.02, 0.04),
+        thr3_grid=(0.03, 0.05, 0.08),
+    )
+
+
+# module-scoped machine: reuse the session fixture through a shim
+@pytest.fixture(scope="module")
+def machine():
+    from repro.sim import Machine
+
+    return Machine()
+
+
+class TestThresholdSensitivity:
+    def test_grid_covered(self, points):
+        assert len(points) == 9
+        assert {(p.thr1, p.thr3) for p in points} == {
+            (a, b) for a in (0.01, 0.02, 0.04) for b in (0.03, 0.05, 0.08)
+        }
+
+    def test_results_largely_insensitive(self, points):
+        """The paper's claim: small parameter changes barely matter."""
+        assert spread(points, "fg_slowdown") < 0.05
+        assert spread(points, "bg_rate_ips") < 0.15
+
+    def test_controller_always_acts(self, points):
+        assert all(p.actions > 5 for p in points)
+
+    def test_fg_always_protected(self, points):
+        assert all(p.fg_slowdown < 1.10 for p in points)
+
+
+class TestValidation:
+    def test_empty_grid_rejected(self, machine):
+        with pytest.raises(ValidationError):
+            threshold_sensitivity(
+                machine,
+                get_application("429.mcf"),
+                get_application("batik"),
+                thr1_grid=(),
+            )
+
+    def test_spread_requires_positive_values(self):
+        from repro.analysis.sensitivity import SensitivityPoint
+
+        with pytest.raises(ValidationError):
+            spread(
+                [SensitivityPoint(0.1, 0.1, 0.0, 1.0, 1)], "fg_slowdown"
+            )

@@ -1,0 +1,99 @@
+"""Suite-level facts quoted in the paper's prose, beyond the tables."""
+
+import pytest
+
+from repro.workloads import applications_of_suite
+
+
+def speedup_buckets(characterizer, suite):
+    buckets = {">4": 0, "3-4": 0, "2-3": 0, "<2.3": 0}
+    for app in applications_of_suite(suite):
+        curve = characterizer.scalability_curve(app)
+        top = curve[max(curve)]
+        if top > 4:
+            buckets[">4"] += 1
+        elif top > 3:
+            buckets["3-4"] += 1
+        elif top > 2.3:
+            buckets["2-3"] += 1
+        else:
+            buckets["<2.3"] += 1
+    return buckets
+
+
+class TestFig1Prose:
+    def test_parsec_distribution_matches_paper(self, characterizer):
+        """Section 3.1: 'six benchmarks scale up over 4x, four between
+        3-4x, and just three show more modest scaling factors (2-3x)'."""
+        assert speedup_buckets(characterizer, "PARSEC") == {
+            ">4": 6,
+            "3-4": 4,
+            "2-3": 3,
+            "<2.3": 0,
+        }
+
+    def test_dacapo_only_two_exceed_4x(self, characterizer):
+        """Section 3.1: 'Only two applications show speedups over 4x'."""
+        buckets = speedup_buckets(characterizer, "DaCapo")
+        assert buckets[">4"] == 2
+        assert buckets["<2.3"] >= 6  # most of the suite saturates low
+
+    def test_parsec_is_the_most_scalable_suite(self, characterizer):
+        def average_top(suite):
+            apps = applications_of_suite(suite)
+            tops = []
+            for app in apps:
+                curve = characterizer.scalability_curve(app)
+                tops.append(curve[max(curve)])
+            return sum(tops) / len(tops)
+
+        assert average_top("PARSEC") > average_top("DaCapo")
+        assert average_top("PARSEC") > average_top("Parallel")
+
+
+class TestSection32Prose:
+    def test_44_percent_fit_one_megabyte(self, characterizer):
+        """'We found 44% of the applications only require 1 MB'."""
+        from repro.workloads import all_applications
+
+        apps = all_applications()
+        fit = sum(
+            1
+            for app in apps
+            if characterizer.llc_curve(app)[2]
+            <= characterizer.llc_curve(app)[12] * 1.03
+        )
+        assert fit / len(apps) == pytest.approx(0.44, abs=0.05)
+
+    def test_78_percent_fit_three_megabytes(self, characterizer):
+        """'...while 78% require less than 3 MB'."""
+        from repro.workloads import all_applications
+
+        apps = all_applications()
+        fit = sum(
+            1
+            for app in apps
+            if characterizer.llc_curve(app)[6]
+            <= characterizer.llc_curve(app)[12] * 1.03
+        )
+        assert fit / len(apps) == pytest.approx(0.78, abs=0.06)
+
+
+class TestSection33Prose:
+    def test_most_applications_prefetch_insensitive(self, characterizer):
+        """'Nearly all applications are insensitive to the prefetcher
+        configuration (36 out of 46)'."""
+        from repro.workloads import all_applications
+
+        apps = all_applications()
+        insensitive = sum(
+            1
+            for app in apps
+            if 0.95 <= characterizer.prefetch_sensitivity(app) <= 1.05
+        )
+        assert insensitive >= len(apps) * 0.7
+
+    def test_no_dacapo_app_benefits_much(self, characterizer):
+        """'No DaCapo applications benefit significantly'."""
+        for app in applications_of_suite("DaCapo"):
+            assert characterizer.prefetch_sensitivity(app) > 0.93

@@ -1,0 +1,68 @@
+"""Cache lines, memory accesses, and address helpers."""
+
+from repro.cache.block import (
+    LINE_SIZE,
+    AccessResult,
+    CacheLine,
+    MemoryAccess,
+    address_of_line,
+    line_of,
+)
+
+
+class TestMemoryAccess:
+    def test_line_address_strips_offset(self):
+        access = MemoryAccess(address=0x1234)
+        assert access.line_address == 0x1234 >> 6
+        assert access.line_offset == 0x34
+
+    def test_line_alignment_boundaries(self):
+        assert MemoryAccess(address=63).line_address == 0
+        assert MemoryAccess(address=64).line_address == 1
+
+    def test_defaults(self):
+        access = MemoryAccess(address=0)
+        assert not access.is_write
+        assert access.pc == 0
+        assert access.tid == 0
+
+    def test_frozen(self):
+        access = MemoryAccess(address=0)
+        try:
+            access.address = 1
+            raised = False
+        except Exception:
+            raised = True
+        assert raised
+
+
+class TestLineHelpers:
+    def test_roundtrip(self):
+        for line in (0, 1, 12345):
+            assert line_of(address_of_line(line)) == line
+
+    def test_line_of_mid_line_addresses(self):
+        assert line_of(address_of_line(7) + LINE_SIZE - 1) == 7
+
+
+class TestCacheLine:
+    def test_reset_clears_everything(self):
+        line = CacheLine(tag=5, valid=True, dirty=True, sharers=0b11, prefetched=True)
+        line.reset()
+        assert line.tag == -1
+        assert not line.valid
+        assert not line.dirty
+        assert line.sharers == 0
+        assert not line.prefetched
+
+
+class TestAccessResult:
+    def test_llc_miss_flag(self):
+        assert AccessResult(hit_level="MEM").is_llc_miss
+        assert not AccessResult(hit_level="LLC").is_llc_miss
+
+    def test_defaults(self):
+        result = AccessResult()
+        assert result.back_invalidations == 0
+        assert result.writebacks == 0
+        assert result.extra == {}

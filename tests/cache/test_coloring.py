@@ -1,0 +1,89 @@
+"""Page-coloring (set) partitioning — the related-work alternative."""
+
+import pytest
+
+from repro.cache.coloring import (
+    PAGE_BYTES,
+    RECOLOR_SECONDS_PER_PAGE,
+    ColoredLLC,
+)
+from repro.util.errors import ValidationError
+from repro.util.units import MB
+
+
+@pytest.fixture()
+def llc():
+    return ColoredLLC()
+
+
+def touch_lines(llc, domain, count, base_line=0):
+    for i in range(count):
+        llc.access(base_line + i, domain=domain)
+
+
+class TestGeometry:
+    def test_color_count(self, llc):
+        # 8192 sets x 64B lines / 4KB pages = 128 colors.
+        assert llc.num_colors == 128
+        assert llc.partitions_available() == 128
+
+    def test_default_all_colors(self, llc):
+        assert llc.capacity_fraction(0) == 1.0
+
+
+class TestPartitioning:
+    def test_occupancy_confined_to_colors(self, llc):
+        llc.set_colors(0, range(16))  # 1/8 of the cache
+        touch_lines(llc, 0, 40_000)
+        by_color = llc.occupancy_by_color()
+        assert sum(by_color[16:]) == 0
+        assert sum(by_color[:16]) > 0
+
+    def test_capacity_fraction_tracks_colors(self, llc):
+        llc.set_colors(0, range(32))
+        assert llc.capacity_fraction(0) == pytest.approx(0.25)
+
+    def test_disjoint_domains_disjoint_colors(self, llc):
+        llc.set_colors(0, range(64))
+        llc.set_colors(1, range(64, 128))
+        touch_lines(llc, 0, 20_000)
+        touch_lines(llc, 1, 20_000, base_line=10_000_000)
+        by_color = llc.occupancy_by_color()
+        assert sum(by_color[:64]) > 0 and sum(by_color[64:]) > 0
+
+    def test_empty_colors_rejected(self, llc):
+        with pytest.raises(ValidationError):
+            llc.set_colors(0, [])
+
+    def test_out_of_range_color_rejected(self, llc):
+        with pytest.raises(ValidationError):
+            llc.set_colors(0, [500])
+
+
+class TestRecoloringCost:
+    def test_shrinking_charges_page_copies(self, llc):
+        """The key contrast with way partitioning (Section 7): changing a
+        page-coloring partition costs real time."""
+        llc.set_colors(0, range(128))
+        resident = (3 * MB) // PAGE_BYTES  # a 3 MB working set
+        llc.set_colors(0, range(64), resident_pages=resident)
+        assert llc.recolored_pages == resident // 2  # half the colors left
+        assert llc.recolor_cost_s == pytest.approx(
+            llc.recolored_pages * RECOLOR_SECONDS_PER_PAGE
+        )
+
+    def test_growing_is_free(self, llc):
+        llc.set_colors(0, range(64))
+        llc.set_colors(0, range(128), resident_pages=1000)
+        assert llc.recolored_pages == 0
+
+    def test_way_partitioning_repartition_is_free_by_contrast(self):
+        from repro.cache.llc import PartitionedLLC, WayMask
+
+        llc = PartitionedLLC()
+        for line in range(5000):
+            if not llc.access(line, domain=0):
+                llc.fill(line, domain=0)
+        before = llc.occupancy()
+        llc.set_mask(0, WayMask.contiguous(2, 0))  # instant, no copies
+        assert llc.occupancy() == before

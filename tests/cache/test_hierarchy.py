@@ -1,0 +1,129 @@
+import pytest
+
+from repro.cache.block import MemoryAccess
+from repro.cache.hierarchy import (
+    L1_LATENCY,
+    L2_LATENCY,
+    LLC_LATENCY,
+    MEM_LATENCY,
+    CacheHierarchy,
+)
+from repro.cache.llc import WayMask
+from repro.util.errors import ValidationError
+from repro.util.units import KB, MB
+
+
+@pytest.fixture()
+def hierarchy():
+    h = CacheHierarchy()
+    h.set_prefetchers(enabled=False)  # deterministic latencies
+    return h
+
+
+class TestAccessPath:
+    def test_cold_miss_goes_to_memory(self, hierarchy):
+        result = hierarchy.access(0x100000, tid=0)
+        assert result.hit_level == "MEM"
+        assert result.latency == MEM_LATENCY
+
+    def test_second_access_hits_l1(self, hierarchy):
+        hierarchy.access(0x100000, tid=0)
+        result = hierarchy.access(0x100000, tid=0)
+        assert result.hit_level == "L1"
+        assert result.latency == L1_LATENCY
+
+    def test_same_line_different_offset_hits(self, hierarchy):
+        hierarchy.access(0x100000, tid=0)
+        assert hierarchy.access(0x100020, tid=0).hit_level == "L1"
+
+    def test_cross_core_access_hits_llc(self, hierarchy):
+        hierarchy.access(0x100000, tid=0)  # core 0
+        result = hierarchy.access(0x100000, tid=2)  # core 1
+        assert result.hit_level == "LLC"
+        assert result.latency == LLC_LATENCY
+
+    def test_l2_hit_after_l1_eviction(self, hierarchy):
+        # Touch a line, then blow L1 (32 KB) without exceeding L2.
+        hierarchy.access(0x100000, tid=0)
+        for i in range(1, 1 + 64 * KB // 64):
+            hierarchy.access(0x200000 + i * 64, tid=0)
+        result = hierarchy.access(0x100000, tid=0)
+        assert result.hit_level in ("L2", "LLC")
+        assert result.latency in (L2_LATENCY, LLC_LATENCY)
+
+    def test_tid_to_core_mapping(self, hierarchy):
+        assert hierarchy.core_of_tid(0) == 0
+        assert hierarchy.core_of_tid(1) == 0
+        assert hierarchy.core_of_tid(7) == 3
+        with pytest.raises(ValidationError):
+            hierarchy.core_of_tid(8)
+
+    def test_memory_access_objects_accepted(self, hierarchy):
+        acc = MemoryAccess(address=0x300000, is_write=True, tid=3)
+        assert hierarchy.access(acc).hit_level == "MEM"
+        assert hierarchy.access(0x300000, tid=3).hit_level == "L1"
+
+
+class TestInclusion:
+    def test_llc_eviction_back_invalidates_inner(self, hierarchy):
+        """Inclusive LLC: inner copies die when the LLC evicts."""
+        hierarchy.set_way_mask(0, WayMask.contiguous(1, 0))
+        target = 0x500000
+        hierarchy.access(target, tid=0)
+        # Force LLC evictions in the 1-way partition by streaming far
+        # more lines than one way holds.
+        for i in range(20_000):
+            hierarchy.access(0x4000000 + i * 64, tid=0)
+        # The target must be gone from L1/L2 if it left the LLC.
+        line = target >> 6
+        if not hierarchy.llc.contains(line):
+            assert not hierarchy.l1[0].contains(line)
+            assert not hierarchy.l2[0].contains(line)
+
+    def test_inclusion_invariant_holds_under_load(self, hierarchy):
+        import random
+
+        rnd = random.Random(7)
+        for _ in range(30_000):
+            addr = rnd.randrange(0, 32 * MB, 64)
+            hierarchy.access(addr, tid=rnd.randrange(8))
+        for core in range(4):
+            inner = hierarchy.l1[core].resident_lines() | hierarchy.l2[
+                core
+            ].resident_lines()
+            llc_lines = hierarchy.llc.storage.resident_lines()
+            missing = inner - llc_lines
+            assert not missing, f"core {core}: {len(missing)} lines violate inclusion"
+
+    def test_back_invalidation_counted(self, hierarchy):
+        hierarchy.set_way_mask(0, WayMask.contiguous(1, 0))
+        total = 0
+        for i in range(20_000):
+            result = hierarchy.access(0x4000000 + i * 64, tid=0)
+            total += result.back_invalidations
+        assert total > 0
+
+
+class TestPartitioningThroughHierarchy:
+    def test_fills_respect_domain_masks(self, hierarchy):
+        hierarchy.set_way_mask(0, WayMask.contiguous(4, 0))
+        hierarchy.set_way_mask(1, WayMask.contiguous(4, 4))
+        for i in range(5000):
+            hierarchy.access(0x1000000 + i * 64, tid=0)
+        for i in range(5000):
+            hierarchy.access(0x8000000 + i * 64, tid=2)
+        by_way = hierarchy.llc.occupancy_by_way()
+        assert sum(by_way[8:]) == 0  # nobody may fill ways 8-11
+
+    def test_run_trace_totals(self, hierarchy):
+        from repro.workloads.trace import StreamingTrace
+
+        totals = hierarchy.run_trace(StreamingTrace(1000, 1 * MB, tid=0))
+        assert totals["accesses"] == 1000
+        assert (
+            totals["l1_hits"]
+            + totals["l2_hits"]
+            + totals["llc_hits"]
+            + totals["llc_misses"]
+            == 1000
+        )

@@ -1,0 +1,132 @@
+"""The mechanism semantics of paper Section 2.1, tested directly."""
+
+import pytest
+
+from repro.cache.llc import PartitionedLLC, WayMask
+from repro.util.errors import ValidationError
+from repro.util.units import MB
+
+
+class TestWayMask:
+    def test_contiguous(self):
+        mask = WayMask.contiguous(4, offset=2)
+        assert sorted(mask.ways) == [2, 3, 4, 5]
+        assert mask.count == 4
+
+    def test_bits_roundtrip(self):
+        mask = WayMask.contiguous(3, offset=9)
+        assert WayMask.from_bits(mask.bits) == mask
+        assert mask.bits == 0b111000000000
+
+    def test_capacity(self):
+        mask = WayMask.contiguous(6)
+        assert mask.capacity_bytes(6 * MB) == 3 * MB
+
+    def test_overlap_detection(self):
+        a = WayMask.contiguous(6, 0)
+        b = WayMask.contiguous(6, 6)
+        c = WayMask.contiguous(8, 2)
+        assert not a.overlaps(b)
+        assert a.overlaps(c) and b.overlaps(c)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            WayMask([])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            WayMask([12])
+
+    def test_contiguous_overflow_rejected(self):
+        with pytest.raises(ValidationError):
+            WayMask.contiguous(8, offset=6)
+
+    def test_from_bits_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            WayMask.from_bits(0)
+
+    def test_hashable_and_iterable(self):
+        mask = WayMask.contiguous(2, 4)
+        assert list(mask) == [4, 5]
+        assert len({mask, WayMask.contiguous(2, 4)}) == 1
+
+
+def fill_domain(llc, domain, count, base=0):
+    """Insert ``count`` distinct lines on behalf of ``domain``."""
+    for i in range(count):
+        line = base + i
+        if not llc.access(line, domain=domain):
+            llc.fill(line, domain=domain)
+
+
+class TestPartitionedLLC:
+    def make(self):
+        return PartitionedLLC(capacity_bytes=64 * 1024, num_ways=8, num_domains=2)
+
+    def test_replacement_confined_to_mask(self):
+        llc = self.make()
+        llc.set_mask(0, WayMask.contiguous(3, 0, 8))
+        fill_domain(llc, 0, 4000)
+        occupancy = llc.occupancy_by_way()
+        assert sum(occupancy[3:]) == 0
+
+    def test_hits_allowed_anywhere(self):
+        llc = self.make()
+        llc.set_mask(0, WayMask.contiguous(4, 0, 8))
+        llc.set_mask(1, WayMask.contiguous(4, 4, 8))
+        llc.fill(77, domain=1)
+        assert llc.access(77, domain=0)
+
+    def test_no_flush_on_mask_change(self):
+        llc = self.make()
+        fill_domain(llc, 0, 500)
+        before = llc.occupancy()
+        llc.set_mask(0, WayMask.contiguous(1, 0, 8))
+        assert llc.occupancy() == before
+
+    def test_stale_data_still_hittable_after_shrink(self):
+        """Data in deallocated ways keeps hitting (Section 6.3's
+        'leftover data can hide the effects of reallocation')."""
+        llc = self.make()
+        llc.set_mask(0, WayMask.contiguous(8, 0, 8))
+        llc.fill(123, domain=0)
+        llc.set_mask(0, WayMask.contiguous(1, 0, 8))
+        assert llc.access(123, domain=0)
+
+    def test_other_domain_can_reclaim_stale_ways(self):
+        llc = self.make()
+        llc.set_mask(0, WayMask.contiguous(8, 0, 8))
+        fill_domain(llc, 0, 2000)
+        llc.set_mask(0, WayMask.contiguous(2, 0, 8))
+        llc.set_mask(1, WayMask.contiguous(6, 2, 8))
+        fill_domain(llc, 1, 4000, base=100_000)
+        by_way = llc.occupancy_by_way()
+        # Domain 1 must have taken over ways 2..7.
+        assert sum(by_way[2:]) > 0
+
+    def test_overlapping_masks_share_ways(self):
+        llc = self.make()
+        llc.set_mask(0, WayMask.contiguous(6, 0, 8))
+        llc.set_mask(1, WayMask.contiguous(6, 2, 8))
+        fill_domain(llc, 0, 1000)
+        fill_domain(llc, 1, 1000, base=50_000)
+        assert llc.occupancy() > 0
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(ValidationError):
+            self.make().set_mask(7, WayMask.contiguous(2, 0, 8))
+
+    def test_wrong_width_mask_rejected(self):
+        with pytest.raises(ValidationError):
+            self.make().set_mask(0, WayMask.contiguous(2, 0, 12))
+
+    def test_default_masks_are_full(self):
+        llc = self.make()
+        assert llc.mask_of(0) == WayMask.full(8)
+        assert llc.mask_of(1) == WayMask.full(8)
+
+    def test_masks_snapshot(self):
+        llc = self.make()
+        mask = WayMask.contiguous(5, 0, 8)
+        llc.set_mask(1, mask)
+        assert llc.masks()[1] == mask

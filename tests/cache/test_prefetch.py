@@ -1,0 +1,148 @@
+from repro.cache.block import MemoryAccess
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.prefetch import (
+    DcuIpPrefetcher,
+    DcuStreamerPrefetcher,
+    MlcSpatialPrefetcher,
+    MlcStreamerPrefetcher,
+    PrefetcherBank,
+)
+
+
+def acc(line, pc=0x400, write=False):
+    return MemoryAccess(address=line * 64, pc=pc, is_write=write)
+
+
+class TestDcuIp:
+    def test_confirmed_stride_prefetches(self):
+        pf = DcuIpPrefetcher()
+        out = []
+        for line in (10, 12, 14, 16):
+            out = pf.observe(acc(line), hit=False)
+        assert out == [18]
+
+    def test_single_observation_insufficient(self):
+        pf = DcuIpPrefetcher()
+        assert pf.observe(acc(10), False) == []
+        assert pf.observe(acc(12), False) == []  # stride seen once: not yet
+
+    def test_stride_change_resets_confidence(self):
+        pf = DcuIpPrefetcher()
+        for line in (10, 12, 14):
+            pf.observe(acc(line), False)
+        assert pf.observe(acc(100), False) == []
+
+    def test_distinct_pcs_tracked_separately(self):
+        pf = DcuIpPrefetcher()
+        for line in (10, 12, 14):
+            pf.observe(acc(line, pc=0x100), False)
+        # A different PC has no history yet.
+        assert pf.observe(acc(16, pc=0x200), False) == []
+
+    def test_writes_ignored(self):
+        pf = DcuIpPrefetcher()
+        for line in (10, 12, 14, 16):
+            out = pf.observe(acc(line, write=True), False)
+        assert out == []
+
+    def test_disabled_emits_nothing(self):
+        pf = DcuIpPrefetcher()
+        pf.enabled = False
+        for line in (10, 12, 14, 16):
+            assert pf.observe(acc(line), False) == []
+
+    def test_table_is_bounded(self):
+        pf = DcuIpPrefetcher(table_entries=4)
+        for pc in range(10):
+            pf.observe(acc(pc * 100, pc=pc), False)
+        assert len(pf._table) <= 4
+
+
+class TestDcuStreamer:
+    def test_repeated_reads_trigger_next_line(self):
+        pf = DcuStreamerPrefetcher()
+        assert pf.observe(acc(50), False) == []
+        assert pf.observe(acc(50), True) == [51]
+
+    def test_third_read_does_not_retrigger(self):
+        pf = DcuStreamerPrefetcher()
+        pf.observe(acc(50), False)
+        pf.observe(acc(50), True)
+        assert pf.observe(acc(50), True) == []
+
+
+class TestMlcSpatial:
+    def test_completes_the_pair(self):
+        pf = MlcSpatialPrefetcher()
+        assert pf.observe(acc(10), False) == [11]
+        assert pf.observe(acc(11), False) == [10]
+
+    def test_disabled(self):
+        pf = MlcSpatialPrefetcher()
+        pf.enabled = False
+        assert pf.observe(acc(10), False) == []
+
+
+class TestMlcStreamer:
+    def test_ascending_stream_prefetches_ahead(self):
+        pf = MlcStreamerPrefetcher(degree=2)
+        out = []
+        for line in (100, 101, 102, 103):
+            out = pf.observe(acc(line), False)
+        assert out == [104, 105]
+
+    def test_descending_stream(self):
+        pf = MlcStreamerPrefetcher(degree=1)
+        out = []
+        for line in (109, 108, 107, 106):
+            out = pf.observe(acc(line), False)
+        assert out == [105]
+
+    def test_random_pattern_is_quiet(self):
+        pf = MlcStreamerPrefetcher()
+        fired = []
+        for line in (100, 105, 101, 107, 103):
+            fired += pf.observe(acc(line), False)
+        assert fired == []
+
+
+class TestBank:
+    def test_set_all_disables_everything(self):
+        bank = PrefetcherBank()
+        bank.set_all(False)
+        assert all(not pf.enabled for pf in bank.all())
+
+    def test_observe_targets(self):
+        bank = PrefetcherBank()
+        for line in (10, 12, 14, 16):
+            l1 = bank.observe_l1(acc(line), False)
+        assert all(target == "L1" for _, target in l1)
+        l2 = bank.observe_l2(acc(20), False)
+        assert all(target == "L2" for _, target in l2)
+
+
+class TestHierarchyIntegration:
+    def test_streaming_gains_from_prefetchers(self):
+        """A sequential sweep must see fewer memory-latency accesses with
+        prefetchers on (the Fig. 3 effect, at trace level)."""
+        from repro.workloads.trace import StreamingTrace
+        from repro.util.units import MB
+
+        def misses(enabled):
+            h = CacheHierarchy()
+            h.set_prefetchers(enabled=enabled)
+            totals = h.run_trace(StreamingTrace(30_000, 16 * MB, tid=0))
+            return totals["llc_misses"]
+
+        assert misses(True) < misses(False) * 0.7
+
+    def test_prefetched_lines_respect_way_masks(self):
+        from repro.cache.llc import WayMask
+        from repro.workloads.trace import StreamingTrace
+        from repro.util.units import MB
+
+        h = CacheHierarchy()
+        h.set_way_mask(0, WayMask.contiguous(2, 0))
+        h.run_trace(StreamingTrace(20_000, 8 * MB, tid=0))
+        by_way = h.llc.occupancy_by_way()
+        assert sum(by_way[2:]) == 0

@@ -1,0 +1,32 @@
+"""Shared fixtures.
+
+Heavy objects (the machine, the characterizer with its run cache, the
+consolidation study) are session-scoped: many analysis tests share the
+same measurements, mirroring how the experiment drivers reuse them.
+"""
+
+import pytest
+
+from repro.analysis import Characterizer, ConsolidationStudy
+from repro.sim import Machine
+
+
+@pytest.fixture(scope="session")
+def machine():
+    return Machine()
+
+
+@pytest.fixture(scope="session")
+def characterizer(machine):
+    return Characterizer(machine)
+
+
+@pytest.fixture(scope="session")
+def study(machine):
+    return ConsolidationStudy(machine)
+
+
+@pytest.fixture()
+def fresh_machine():
+    """A private machine for tests that mutate configuration."""
+    return Machine()

@@ -1,0 +1,104 @@
+import numpy as np
+import pytest
+
+from repro.core.clustering import cluster_applications, normalize_features
+from repro.util.errors import ValidationError
+
+
+class TestNormalization:
+    def test_scales_each_column_to_unit_interval(self):
+        matrix = normalize_features([[0, 10], [5, 20], [10, 30]])
+        assert matrix.min(axis=0).tolist() == [0.0, 0.0]
+        assert matrix.max(axis=0).tolist() == [1.0, 1.0]
+
+    def test_constant_column_maps_to_zero(self):
+        matrix = normalize_features([[5, 1], [5, 2]])
+        assert matrix[:, 0].tolist() == [0.0, 0.0]
+
+
+class TestClustering:
+    def test_obvious_groups_found(self):
+        features = {
+            "a1": [0.0, 0.0], "a2": [0.05, 0.02],
+            "b1": [1.0, 1.0], "b2": [0.95, 0.98],
+        }
+        result = cluster_applications(features, cut_distance=0.5)
+        assert result.num_clusters == 2
+        assert result.labels["a1"] == result.labels["a2"]
+        assert result.labels["b1"] == result.labels["b2"]
+        assert result.labels["a1"] != result.labels["b1"]
+
+    def test_tiny_cut_isolates_everything(self):
+        features = {"a": [0.0], "b": [0.5], "c": [1.0]}
+        result = cluster_applications(features, cut_distance=0.01)
+        assert result.num_clusters == 3
+
+    def test_huge_cut_merges_everything(self):
+        features = {"a": [0.0], "b": [0.5], "c": [1.0]}
+        result = cluster_applications(features, cut_distance=10.0)
+        assert result.num_clusters == 1
+
+    def test_representative_is_closest_to_centroid(self):
+        features = {
+            "edge1": [0.0, 0.0],
+            "centre": [0.5, 0.5],
+            "edge2": [1.0, 1.0],
+        }
+        result = cluster_applications(features, cut_distance=10.0)
+        assert result.representatives[1] == "centre"
+
+    def test_single_application(self):
+        result = cluster_applications({"only": [1, 2, 3]})
+        assert result.num_clusters == 1
+        assert result.representatives[1] == "only"
+
+    def test_members_listing(self):
+        features = {"a": [0.0], "b": [0.02], "c": [1.0]}
+        result = cluster_applications(features, cut_distance=0.3)
+        clusters = result.clusters()
+        assert sorted(sum(clusters.values(), [])) == ["a", "b", "c"]
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            cluster_applications({})
+
+    def test_ragged_vectors_rejected(self):
+        with pytest.raises(ValidationError):
+            cluster_applications({"a": [1, 2], "b": [1]})
+
+    def test_expected_length_check(self):
+        with pytest.raises(ValidationError):
+            cluster_applications({"a": [1, 2]}, expected_len=19)
+
+    def test_linkage_matrix_shape(self):
+        features = {f"x{i}": [i / 10, i / 5] for i in range(8)}
+        result = cluster_applications(features)
+        assert result.linkage_matrix.shape == (7, 4)
+        assert isinstance(result.features, np.ndarray)
+
+
+class TestDendrogram:
+    def test_renders_all_merges(self):
+        from repro.core.clustering import render_dendrogram
+
+        features = {"a": [0.0], "b": [0.1], "c": [0.9], "d": [1.0]}
+        result = cluster_applications(features, cut_distance=0.5)
+        text = render_dendrogram(result)
+        assert text.count("+") == 3  # n-1 merges
+        assert "a" in text and "d" in text
+        assert "*" in text  # the cross-cut merge is marked
+
+    def test_single_application_message(self):
+        from repro.core.clustering import render_dendrogram
+
+        result = cluster_applications({"only": [1.0]})
+        assert "only" in render_dendrogram(result)
+
+    def test_member_counts_shown(self):
+        from repro.core.clustering import render_dendrogram
+
+        features = {"a": [0.0], "b": [0.01], "c": [0.02], "d": [1.0]}
+        result = cluster_applications(features, cut_distance=0.5)
+        assert "[2 apps]" in render_dendrogram(result)

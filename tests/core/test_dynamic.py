@@ -1,0 +1,131 @@
+"""Algorithm 6.2: the dynamic partitioning controller, driven directly
+with synthetic MPKI streams (no engine involved)."""
+
+import pytest
+
+from repro.core.dynamic import DynamicPartitionController
+from repro.runtime.resctrl import ResctrlFilesystem
+from repro.util.errors import ValidationError
+
+
+def controller(**kwargs):
+    defaults = dict(fg_name="fg", bg_name="bg", llc_ways=12, way_mb=0.5)
+    defaults.update(kwargs)
+    return DynamicPartitionController(**defaults)
+
+
+def drive(ctrl, mpki_fn, steps, start_t=0.0):
+    """Feed ``steps`` samples; mpki_fn(fg_ways) models the application."""
+    t = start_t
+    for _ in range(steps):
+        t += ctrl.period_s
+        ctrl.decide(t, mpki_fn(ctrl.fg_ways))
+    return ctrl
+
+
+class TestInitialState:
+    def test_starts_at_max_allocation(self):
+        ctrl = controller()
+        assert ctrl.fg_ways == 11  # the background keeps one way
+        masks = ctrl.masks()
+        assert masks["fg"].count == 11
+        assert masks["bg"].count == 1
+        assert not masks["fg"].overlaps(masks["bg"])
+
+    def test_floor_is_one_megabyte(self):
+        assert controller().min_fg_ways == 2
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValidationError):
+            controller(llc_ways=1)
+        with pytest.raises(ValidationError):
+            controller(min_fg_mb=12.0)
+
+
+class TestShrinking:
+    def test_insensitive_app_shrinks_to_floor(self):
+        ctrl = drive(controller(), lambda ways: 5.0, steps=40)
+        assert ctrl.fg_ways == ctrl.min_fg_ways
+
+    def test_sensitive_app_keeps_capacity(self):
+        # MPKI rises sharply below 9 ways.
+        def mpki(ways):
+            return 10.0 if ways >= 9 else 10.0 * (1 + 0.2 * (9 - ways))
+
+        ctrl = drive(controller(), mpki, steps=40)
+        assert ctrl.fg_ways == 9
+
+    def test_gives_back_exactly_one_way_on_rise(self):
+        def mpki(ways):
+            return 10.0 if ways >= 6 else 30.0
+
+        ctrl = drive(controller(), mpki, steps=40)
+        assert ctrl.fg_ways == 6
+        assert any("give back" in a.reason for a in ctrl.actions)
+
+    def test_shrink_stops_after_settling(self):
+        ctrl = drive(controller(), lambda w: 5.0, steps=40)
+        actions_before = len(ctrl.actions)
+        drive(ctrl, lambda w: 5.0, steps=20, start_t=10.0)
+        assert len(ctrl.actions) == actions_before  # quiescent
+
+
+class TestPhaseResponse:
+    def test_phase_change_expands_to_max(self):
+        ctrl = drive(controller(), lambda w: 5.0, steps=40)
+        assert ctrl.fg_ways == 2
+        # Sudden MPKI jump = new application phase.
+        ctrl.decide(100.0, 60.0)
+        assert ctrl.fg_ways == 11
+        assert any("expand" in a.reason for a in ctrl.actions)
+
+    def test_reshrinks_for_the_new_phase(self):
+        ctrl = drive(controller(), lambda w: 5.0, steps=40)
+
+        def high_phase(ways):
+            return 50.0 if ways >= 8 else 50.0 * (1 + 0.3 * (8 - ways))
+
+        ctrl.decide(100.0, 60.0)  # detect the phase change
+        drive(ctrl, high_phase, steps=40, start_t=101.0)
+        assert ctrl.fg_ways == 8
+
+
+class TestEngineContract:
+    def test_on_tick_honours_period(self):
+        ctrl = controller(period_s=0.1)
+        out = ctrl.on_tick(0.05, 0.05, {"fg": {"mpki": 5.0}})
+        assert out is None  # period not yet elapsed
+        ctrl.on_tick(0.1, 0.05, {"fg": {"mpki": 5.0}})  # baseline sample
+        result = ctrl.on_tick(0.2, 0.1, {"fg": {"mpki": 5.0}})
+        assert result is not None  # a shrink decision fired
+
+    def test_missing_fg_metrics_tolerated(self):
+        ctrl = controller()
+        assert ctrl.on_tick(0.1, 0.1, {"other": {"mpki": 1.0}}) is None
+
+    def test_masks_always_partition_the_cache(self):
+        ctrl = drive(controller(), lambda w: 5.0, steps=40)
+        masks = ctrl.masks()
+        assert masks["fg"].count + masks["bg"].count == 12
+        assert not masks["fg"].overlaps(masks["bg"])
+
+
+class TestResctrlIntegration:
+    def test_decisions_program_the_filesystem(self):
+        fs = ResctrlFilesystem()
+        fs.create_group("fg")
+        fs.create_group("bg")
+        ctrl = controller(resctrl=fs)
+        drive(ctrl, lambda w: 5.0, steps=40)
+        assert fs.group("fg").mask.count == ctrl.fg_ways
+        assert fs.group("bg").mask.count == 12 - ctrl.fg_ways
+
+
+class TestAuditTrail:
+    def test_actions_recorded_with_context(self):
+        ctrl = drive(controller(), lambda w: 5.0, steps=10)
+        assert ctrl.actions
+        first = ctrl.actions[0]
+        assert first.fg_ways == 10
+        assert first.mpki == 5.0
+        assert first.time_s > 0

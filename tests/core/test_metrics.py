@@ -1,0 +1,67 @@
+import pytest
+
+from repro.core.metrics import (
+    energy_ratio,
+    relative_throughput,
+    slowdown,
+    throughput_gain,
+    weighted_speedup,
+)
+from repro.util.errors import ValidationError
+
+
+class TestSlowdown:
+    def test_no_degradation_is_one(self):
+        assert slowdown(100.0, 100.0) == 1.0
+
+    def test_degradation_above_one(self):
+        assert slowdown(120.0, 100.0) == pytest.approx(1.2)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValidationError):
+            slowdown(10.0, 0.0)
+
+
+class TestWeightedSpeedup:
+    def test_full_speed_pair_scores_two(self):
+        assert weighted_speedup([1e9, 2e9], [1e9, 2e9]) == pytest.approx(2.0)
+
+    def test_half_speed_pair_scores_one(self):
+        assert weighted_speedup([0.5e9, 1e9], [1e9, 2e9]) == pytest.approx(1.0)
+
+    def test_mismatched_lists_rejected(self):
+        with pytest.raises(ValidationError):
+            weighted_speedup([1.0], [1.0, 2.0])
+        with pytest.raises(ValidationError):
+            weighted_speedup([], [])
+
+    def test_zero_solo_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            weighted_speedup([1.0], [0.0])
+
+
+class TestThroughputGain:
+    def test_equal_lengths_perfect_overlap(self):
+        assert throughput_gain([100.0, 100.0], 100.0) == pytest.approx(2.0)
+
+    def test_zero_makespan_rejected(self):
+        with pytest.raises(ValidationError):
+            throughput_gain([1.0], 0.0)
+
+
+class TestEnergyRatio:
+    def test_half_energy(self):
+        assert energy_ratio(500.0, [600.0, 400.0]) == pytest.approx(0.5)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValidationError):
+            energy_ratio(1.0, [0.0])
+
+
+class TestRelativeThroughput:
+    def test_ratio(self):
+        assert relative_throughput(3e9, 2e9) == pytest.approx(1.5)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValidationError):
+            relative_throughput(1.0, 0.0)

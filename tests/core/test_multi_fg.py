@@ -1,0 +1,131 @@
+"""Multiple latency-sensitive foregrounds (the future-work allocator)."""
+
+import pytest
+
+from repro.core.multi_fg import (
+    ForegroundRequest,
+    SlowdownBoundAllocator,
+    projected_slowdown,
+)
+from repro.cpu.config import SandyBridgeConfig
+from repro.util.errors import ValidationError
+from repro.workloads import get_application
+
+
+@pytest.fixture()
+def allocator():
+    return SlowdownBoundAllocator(SandyBridgeConfig())
+
+
+class TestProjection:
+    def test_full_cache_is_unity(self):
+        cfg = SandyBridgeConfig()
+        app = get_application("471.omnetpp")
+        assert projected_slowdown(app, 12, cfg) == pytest.approx(1.0)
+
+    def test_monotone_in_ways(self):
+        cfg = SandyBridgeConfig()
+        app = get_application("471.omnetpp")
+        values = [projected_slowdown(app, w, cfg) for w in range(2, 13)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_insensitive_app_is_flat(self):
+        cfg = SandyBridgeConfig()
+        app = get_application("swaptions")
+        assert projected_slowdown(app, 2, cfg) < 1.02
+
+
+class TestMinimumWays:
+    def test_insensitive_app_needs_little(self, allocator):
+        req = ForegroundRequest(get_application("swaptions"), 1.05, threads=4)
+        assert allocator.minimum_ways(req) <= 2
+
+    def test_sensitive_app_needs_more(self, allocator):
+        req = ForegroundRequest(get_application("471.omnetpp"), 1.02)
+        assert allocator.minimum_ways(req) >= 6
+
+    def test_tighter_bound_needs_more_ways(self, allocator):
+        app = get_application("471.omnetpp")
+        loose = allocator.minimum_ways(ForegroundRequest(app, 1.10))
+        tight = allocator.minimum_ways(ForegroundRequest(app, 1.01))
+        assert tight >= loose
+
+
+class TestPlanning:
+    def test_feasible_plan(self, allocator):
+        plan = allocator.plan(
+            [
+                ForegroundRequest(get_application("swaptions"), 1.05, threads=4),
+                ForegroundRequest(get_application("batik"), 1.05, threads=4),
+            ]
+        )
+        assert plan.feasible
+        masks = list(plan.masks_by_app.values()) + [plan.bg_mask]
+        # Disjoint, covering partition.
+        assert sum(m.count for m in masks) == 12
+        for i, a in enumerate(masks):
+            for b in masks[i + 1:]:
+                assert not a.overlaps(b)
+        for name, slowdown in plan.projected_slowdowns.items():
+            assert slowdown <= 1.05 + 1e-9
+
+    def test_background_keeps_leftovers(self, allocator):
+        plan = allocator.plan(
+            [ForegroundRequest(get_application("swaptions"), 1.05, threads=4)]
+        )
+        assert plan.bg_mask.count >= 9  # swaptions needs almost nothing
+
+    def test_oversubscription_relaxes_lowest_weight(self, allocator):
+        heavy = ForegroundRequest(
+            get_application("471.omnetpp"), 1.05, utility_weight=10.0
+        )
+        light = ForegroundRequest(
+            get_application("429.mcf"), 1.005, utility_weight=1.0
+        )
+        plan = allocator.plan([heavy, light])
+        assert not plan.feasible
+        assert plan.relaxed == ["429.mcf"]  # the light app gives way first
+        assert plan.ways_by_app["471.omnetpp"] >= plan.ways_by_app["429.mcf"]
+
+    def test_duplicate_foregrounds_rejected(self, allocator):
+        app = get_application("batik")
+        with pytest.raises(ValidationError):
+            allocator.plan(
+                [ForegroundRequest(app, 1.05), ForegroundRequest(app, 1.1)]
+            )
+
+    def test_empty_request_rejected(self, allocator):
+        with pytest.raises(ValidationError):
+            allocator.plan([])
+
+    def test_contract_validation(self):
+        with pytest.raises(ValidationError):
+            ForegroundRequest(get_application("batik"), 0.9)
+        with pytest.raises(ValidationError):
+            ForegroundRequest(get_application("batik"), 1.1, utility_weight=0)
+
+
+class TestEndToEnd:
+    def test_planned_masks_hold_up_in_the_engine(self, machine):
+        """Run two planned foregrounds concurrently; their measured
+        slowdowns should stay near the projected bounds (contention adds
+        a little — the planner is deliberately uncontended)."""
+        from repro.sim.allocation import Allocation
+
+        allocator = SlowdownBoundAllocator(machine.config)
+        fg1 = get_application("batik")
+        fg2 = get_application("tomcat")
+        plan = allocator.plan(
+            [
+                ForegroundRequest(fg1, 1.05, threads=4),
+                ForegroundRequest(fg2, 1.05, threads=4),
+            ]
+        )
+        assert plan.feasible
+        a1 = Allocation(threads=4, cores=(0, 1), mask=plan.masks_by_app["batik"])
+        a2 = Allocation(threads=4, cores=(2, 3), mask=plan.masks_by_app["tomcat"])
+        pair = machine.run_pair(fg1, fg2, a1, a2, bg_continuous=False)
+        solo1 = machine.run_solo(fg1, threads=4).runtime_s
+        solo2 = machine.run_solo(fg2, threads=4).runtime_s
+        assert pair.fg.runtime_s / solo1 < 1.12
+        assert pair.bg.runtime_s / solo2 < 1.12

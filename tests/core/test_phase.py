@@ -1,0 +1,85 @@
+"""Algorithm 6.1: the MPKI phase detector."""
+
+import pytest
+
+from repro.core.phase import PhaseDetector
+from repro.util.errors import ValidationError
+
+
+class TestBasicProtocol:
+    def test_first_sample_establishes_baseline(self):
+        detector = PhaseDetector()
+        assert detector.update(10.0) == 0
+
+    def test_stable_stream_never_fires(self):
+        detector = PhaseDetector()
+        assert all(detector.update(10.0) == 0 for _ in range(50))
+
+    def test_jump_returns_two_once(self):
+        detector = PhaseDetector()
+        detector.update(10.0)
+        assert detector.update(30.0) == 2  # new phase just started
+
+    def test_transition_then_settles_to_zero(self):
+        detector = PhaseDetector()
+        detector.update(10.0)
+        detector.update(30.0)  # fires
+        results = [detector.update(30.0) for _ in range(40)]
+        assert 1 in results  # transitioning while avg catches up
+        assert results[-1] == 0  # settled
+        assert detector.new_phase == 0
+
+    def test_refires_on_next_phase(self):
+        detector = PhaseDetector()
+        detector.update(10.0)
+        detector.update(30.0)
+        while detector.update(30.0) != 0:
+            pass
+        assert detector.update(8.0) == 2
+
+    def test_small_wiggle_below_threshold_ignored(self):
+        detector = PhaseDetector(thr1=0.05)
+        detector.update(100.0)
+        assert detector.update(102.0) == 0  # 2% < 5%
+
+    def test_relative_thresholds(self):
+        """Default THR1 = 2% relative, the published parameter."""
+        detector = PhaseDetector()
+        detector.update(100.0)
+        assert detector.update(101.0) == 0
+        detector2 = PhaseDetector()
+        detector2.update(100.0)
+        assert detector2.update(103.0) == 2
+
+
+class TestRebase:
+    def test_rebase_swallows_self_induced_step(self):
+        detector = PhaseDetector()
+        detector.update(10.0)
+        detector.rebase()
+        # A big step right after rebase is the controller's own doing.
+        assert detector.update(25.0) == 0
+        assert detector.update(25.0) == 0
+
+    def test_rebase_clears_transition_state(self):
+        detector = PhaseDetector()
+        detector.update(10.0)
+        detector.update(30.0)
+        detector.rebase()
+        assert detector.new_phase == 0
+
+
+class TestValidation:
+    def test_negative_mpki_rejected(self):
+        with pytest.raises(ValidationError):
+            PhaseDetector().update(-1.0)
+
+    def test_bad_thresholds_rejected(self):
+        with pytest.raises(ValidationError):
+            PhaseDetector(thr1=0)
+        with pytest.raises(ValidationError):
+            PhaseDetector(ema_alpha=0)
+
+    def test_zero_mpki_stream_is_stable(self):
+        detector = PhaseDetector()
+        assert all(detector.update(0.0) == 0 for _ in range(10))

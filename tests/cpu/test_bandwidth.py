@@ -1,0 +1,103 @@
+import pytest
+
+from repro.cpu.bandwidth import BandwidthDomain, MemorySystem
+from repro.cpu.config import SandyBridgeConfig
+from repro.util.errors import ValidationError
+from repro.util.units import GB
+
+
+@pytest.fixture()
+def domain():
+    return BandwidthDomain("dram", 20 * GB)
+
+
+class TestLatencyFactor:
+    def test_unloaded_is_unity(self, domain):
+        assert domain.latency_factor(0.0) == 1.0
+
+    def test_monotone_in_utilization(self, domain):
+        factors = [domain.latency_factor(u / 10) for u in range(11)]
+        assert factors == sorted(factors)
+
+    def test_bounded_at_saturation(self, domain):
+        assert domain.latency_factor(1.0) <= 1.5
+        assert domain.latency_factor(5.0) == domain.latency_factor(1.0)
+
+
+class TestResolve:
+    def test_undersubscribed_grants_everything(self, domain):
+        grants = domain.resolve({"a": 5 * GB, "b": 5 * GB})
+        assert grants["a"].granted_bps == pytest.approx(5 * GB)
+        assert grants["b"].granted_bps == pytest.approx(5 * GB)
+
+    def test_capacity_never_exceeded(self, domain):
+        grants = domain.resolve({"a": 30 * GB, "b": 15 * GB})
+        assert sum(g.granted_bps for g in grants.values()) <= 20 * GB * 1.001
+
+    def test_zero_demand_gets_zero(self, domain):
+        grants = domain.resolve({"a": 0.0, "b": 10 * GB})
+        assert grants["a"].granted_bps == 0.0
+
+    def test_protected_share_shields_small_flows(self, domain):
+        """A low-bandwidth flow keeps its demand next to a hog — the
+        ccbench observation (Sections 3.4)."""
+        grants = domain.resolve(
+            {"small": 1 * GB, "hog": 50 * GB},
+            weights={"small": 1.0, "hog": 4.0},
+        )
+        assert grants["small"].granted_bps == pytest.approx(1 * GB)
+
+    def test_weights_skew_the_competition(self, domain):
+        light = domain.resolve(
+            {"victim": 15 * GB, "hog": 15 * GB},
+            weights={"victim": 1.0, "hog": 1.0},
+        )
+        heavy = domain.resolve(
+            {"victim": 15 * GB, "hog": 15 * GB},
+            weights={"victim": 1.0, "hog": 4.0},
+        )
+        assert heavy["victim"].granted_bps < light["victim"].granted_bps
+        assert heavy["hog"].granted_bps > light["hog"].granted_bps
+
+    def test_single_oversubscribed_requester_gets_capacity(self, domain):
+        grants = domain.resolve({"a": 100 * GB})
+        assert grants["a"].granted_bps == pytest.approx(20 * GB)
+
+    def test_empty_demands(self, domain):
+        assert domain.resolve({}) == {}
+
+    def test_grants_never_exceed_demand(self, domain):
+        grants = domain.resolve({"a": 3 * GB, "b": 4 * GB, "c": 30 * GB})
+        assert grants["a"].granted_bps <= 3 * GB * 1.001
+        assert grants["b"].granted_bps <= 4 * GB * 1.001
+
+
+class TestValidation:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValidationError):
+            BandwidthDomain("x", 0)
+
+    def test_rejects_bad_max_utilization(self):
+        with pytest.raises(ValidationError):
+            BandwidthDomain("x", 1 * GB, max_utilization=1.5)
+
+
+class TestMemorySystem:
+    def test_composes_ring_and_dram(self):
+        system = MemorySystem(SandyBridgeConfig())
+        out = system.resolve(
+            {"a": 10 * GB},
+            {"a": 5 * GB},
+        )
+        scale, latency = out["a"]
+        assert scale == pytest.approx(1.0)
+        assert latency >= 1.0
+
+    def test_scale_reflects_tighter_domain(self):
+        system = MemorySystem(SandyBridgeConfig())
+        out = system.resolve(
+            {"a": 10 * GB},
+            {"a": 100 * GB},  # well past DRAM capacity
+        )
+        scale, _ = out["a"]
+        assert scale < 0.5

@@ -1,0 +1,78 @@
+"""The MSR -> hardware wiring."""
+
+import pytest
+
+from repro.cache.llc import WayMask
+from repro.cpu.chip import Chip
+from repro.cpu.msr import IA32_L3_QOS_MASK_BASE, IA32_PQR_ASSOC, MISC_FEATURE_CONTROL
+
+
+@pytest.fixture()
+def chip():
+    return Chip()
+
+
+class TestPrefetcherWiring:
+    def test_disable_bit_reaches_the_bank(self, chip):
+        chip.msr.set_prefetcher(0, "dcu_ip", False)
+        assert chip.prefetchers_enabled(0)["dcu_ip"] is False
+        assert chip.prefetchers_enabled(0)["mlc_streamer"] is True
+
+    def test_per_core_isolation(self, chip):
+        chip.msr.set_prefetcher(0, "dcu_ip", False)  # cpu 0 -> core 0
+        assert chip.prefetchers_enabled(1)["dcu_ip"] is True  # core 1 untouched
+
+    def test_cpu_maps_to_its_core(self, chip):
+        chip.msr.set_prefetcher(4, "mlc_spatial", False)  # cpu 4 -> core 2
+        assert chip.prefetchers_enabled(2)["mlc_spatial"] is False
+
+    def test_reenable(self, chip):
+        chip.msr.set_prefetcher(0, "dcu_streamer", False)
+        chip.msr.set_prefetcher(0, "dcu_streamer", True)
+        assert chip.prefetchers_enabled(0)["dcu_streamer"] is True
+
+    def test_raw_write_works_like_a_driver(self, chip):
+        chip.msr.write(0, MISC_FEATURE_CONTROL, 0b1111)  # all disabled
+        assert not any(chip.prefetchers_enabled(0).values())
+
+
+class TestCatWiring:
+    def test_clos_mask_programs_the_llc(self, chip):
+        chip.msr.set_clos_mask(1, 0x00F)
+        chip.msr.set_clos(0, 1)  # cpu 0 (core 0) -> CLOS 1
+        assert chip.way_mask_of_core(0) == WayMask.from_bits(0x00F)
+        assert chip.way_mask_of_core(1) == WayMask.full()
+
+    def test_mask_update_propagates_to_assigned_cores(self, chip):
+        chip.msr.set_clos_mask(2, 0xFF0)
+        chip.msr.set_clos(2, 2)  # cpu 2 -> core 1
+        chip.msr.set_clos_mask(2, 0x003)  # reprogram the class
+        assert chip.way_mask_of_core(1) == WayMask.from_bits(0x003)
+
+    def test_raw_register_writes(self, chip):
+        chip.msr.write(0, IA32_L3_QOS_MASK_BASE + 3, 0x0F0)
+        chip.msr.write(6, IA32_PQR_ASSOC, 3)  # cpu 6 -> core 3
+        assert chip.way_mask_of_core(3) == WayMask.from_bits(0x0F0)
+
+    def test_fills_respect_msr_programmed_masks(self, chip):
+        chip.msr.set_clos_mask(1, 0x003)  # ways 0-1 only
+        chip.msr.set_clos(0, 1)
+        for i in range(20_000):
+            chip.access(0x100000 + i * 64, tid=0)
+        by_way = chip.hierarchy.llc.occupancy_by_way()
+        assert sum(by_way[2:]) == 0
+
+
+class TestResctrlOnChip:
+    def test_resctrl_drives_real_hardware(self, chip):
+        """The full production stack: resctrl -> MSRs -> cache behaviour."""
+        from repro.runtime.resctrl import ResctrlFilesystem
+
+        fs = ResctrlFilesystem(msr=chip.msr)
+        group = fs.create_group("fg")
+        group.schemata = "L3:0=3"
+        group.assign_cpus([0, 1])
+        for i in range(20_000):
+            chip.access(0x100000 + i * 64, tid=0)
+        by_way = chip.hierarchy.llc.occupancy_by_way()
+        assert sum(by_way[2:]) == 0

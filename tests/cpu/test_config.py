@@ -1,0 +1,49 @@
+import pytest
+
+from repro.cpu.config import SandyBridgeConfig
+from repro.util.errors import ConfigurationError
+from repro.util.units import MB
+
+
+class TestDefaults:
+    def test_platform_matches_paper(self):
+        cfg = SandyBridgeConfig()
+        assert cfg.num_cores == 4
+        assert cfg.threads_per_core == 2
+        assert cfg.num_threads == 8
+        assert cfg.llc_bytes == 6 * MB
+        assert cfg.llc_ways == 12
+
+    def test_way_granularity_is_half_megabyte(self):
+        cfg = SandyBridgeConfig()
+        assert cfg.way_mb == 0.5
+        assert cfg.llc_mb == 6.0
+
+
+class TestConversions:
+    def test_ways_for_mb(self):
+        cfg = SandyBridgeConfig()
+        assert cfg.ways_for_mb(1.0) == 2
+        assert cfg.ways_for_mb(4.5) == 9
+        assert cfg.ways_for_mb(6.0) == 12
+        assert cfg.ways_for_mb(100.0) == 12  # clamped
+        assert cfg.ways_for_mb(0.1) == 1  # floor
+
+    def test_mb_for_ways(self):
+        cfg = SandyBridgeConfig()
+        assert cfg.mb_for_ways(9) == 4.5
+
+
+class TestValidation:
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigurationError):
+            SandyBridgeConfig(num_cores=0)
+
+    def test_rejects_indivisible_llc(self):
+        with pytest.raises(ConfigurationError):
+            SandyBridgeConfig(llc_bytes=1000, llc_ways=7)
+
+    def test_frozen(self):
+        cfg = SandyBridgeConfig()
+        with pytest.raises(Exception):
+            cfg.num_cores = 8

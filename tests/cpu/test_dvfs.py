@@ -1,0 +1,66 @@
+"""Frequency scaling on the configuration (the Section 4 energy knob)."""
+
+import pytest
+
+from repro.cpu.config import SandyBridgeConfig
+from repro.util.errors import ConfigurationError
+from repro.util.units import GHZ
+from repro.workloads import get_application
+
+
+class TestAtFrequency:
+    def test_scales_dynamic_power_superlinearly(self):
+        base = SandyBridgeConfig()
+        slow = base.at_frequency(1.7 * GHZ)
+        assert slow.frequency_hz == 1.7 * GHZ
+        assert slow.core_dynamic_max_w < base.core_dynamic_max_w / 2
+
+    def test_static_power_unchanged(self):
+        base = SandyBridgeConfig()
+        slow = base.at_frequency(1.7 * GHZ)
+        assert slow.uncore_static_w == base.uncore_static_w
+        assert slow.core_static_w == base.core_static_w
+
+    def test_memory_latency_scales_in_cycles(self):
+        base = SandyBridgeConfig()
+        slow = base.at_frequency(1.7 * GHZ)
+        assert slow.dram_latency_cycles == round(base.dram_latency_cycles * 0.5)
+
+    def test_identity(self):
+        base = SandyBridgeConfig()
+        same = base.at_frequency(base.frequency_hz)
+        assert same.core_dynamic_max_w == pytest.approx(base.core_dynamic_max_w)
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SandyBridgeConfig().at_frequency(0)
+
+
+class TestRaceToHaltAcrossFrequencies:
+    def test_compute_bound_app_races_to_halt(self):
+        """For a compute-bound app, the highest frequency minimizes
+        energy: static power dominates the longer runtime at low f
+        (the Section 4 conclusion)."""
+        from repro.sim import Machine
+
+        app = get_application("swaptions")
+        energies = {}
+        for freq in (1.7 * GHZ, 3.4 * GHZ):
+            machine = Machine(SandyBridgeConfig().at_frequency(freq))
+            result = machine.run_solo(app, threads=4)
+            energies[freq] = (result.runtime_s, result.socket_energy_j)
+        assert energies[3.4 * GHZ][0] < energies[1.7 * GHZ][0]  # faster
+        assert energies[3.4 * GHZ][1] < energies[1.7 * GHZ][1]  # and cheaper
+
+    def test_memory_bound_app_gains_little_from_frequency(self):
+        """A memory-bound app barely speeds up with frequency — the
+        counter-intuitive case the paper calls out."""
+        from repro.sim import Machine
+
+        app = get_application("429.mcf")
+        runtimes = {}
+        for freq in (1.7 * GHZ, 3.4 * GHZ):
+            machine = Machine(SandyBridgeConfig().at_frequency(freq))
+            runtimes[freq] = machine.run_solo(app, threads=1).runtime_s
+        speedup = runtimes[1.7 * GHZ] / runtimes[3.4 * GHZ]
+        assert speedup < 1.5  # nowhere near the 2x clock ratio

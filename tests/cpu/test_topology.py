@@ -1,0 +1,52 @@
+import pytest
+
+from repro.cpu.topology import CpuTopology
+from repro.util.errors import SchedulingError, ValidationError
+
+
+@pytest.fixture()
+def topo():
+    return CpuTopology(num_cores=4, threads_per_core=2)
+
+
+class TestEnumeration:
+    def test_eight_hyperthreads(self, topo):
+        assert topo.num_threads == 8
+
+    def test_pairwise_core_mapping(self, topo):
+        assert topo.core_of(0) == 0
+        assert topo.core_of(1) == 0
+        assert topo.core_of(6) == 3
+
+    def test_thread_out_of_range(self, topo):
+        with pytest.raises(ValidationError):
+            topo.thread(8)
+
+
+class TestFillOrder:
+    def test_fills_both_hyperthreads_first(self, topo):
+        """The paper's allocation order (Section 3.1)."""
+        assert topo.fill_order(4) == [0, 1, 2, 3]
+        assert topo.cores_used(topo.fill_order(4)) == [0, 1]
+
+    def test_fill_from_offset_core(self, topo):
+        assert topo.fill_order(4, first_core=2) == [4, 5, 6, 7]
+
+    def test_overflow_rejected(self, topo):
+        with pytest.raises(SchedulingError):
+            topo.fill_order(9)
+        with pytest.raises(SchedulingError):
+            topo.fill_order(5, first_core=2)
+
+
+class TestSplit:
+    def test_even_split(self, topo):
+        groups = topo.split_cores(2)
+        assert groups == [[0, 1], [2, 3]]
+
+    def test_tids_of_cores(self, topo):
+        assert topo.tids_of_cores([2, 3]) == [4, 5, 6, 7]
+
+    def test_uneven_split_rejected(self, topo):
+        with pytest.raises(SchedulingError):
+            topo.split_cores(3)

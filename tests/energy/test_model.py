@@ -1,0 +1,70 @@
+import pytest
+
+from repro.cpu.config import SandyBridgeConfig
+from repro.energy.model import PowerModel
+from repro.util.errors import ValidationError
+from repro.util.units import GB
+
+
+@pytest.fixture()
+def model():
+    return PowerModel(SandyBridgeConfig())
+
+
+class TestSocketPower:
+    def test_more_utilization_more_power(self, model):
+        low = model.breakdown({0: 0.1}).socket_w
+        high = model.breakdown({0: 0.9}).socket_w
+        assert high > low
+
+    def test_active_cores_add_static_power(self, model):
+        one = model.breakdown({0: 0.5}).socket_w
+        two = model.breakdown({0: 0.5, 1: 0.5}).socket_w
+        assert two > one
+
+    def test_idle_floor(self, model):
+        idle = model.idle_breakdown()
+        cfg = model.config
+        assert idle.socket_w == cfg.socket_idle_w
+        busy = model.breakdown({0: 0.0})
+        assert busy.socket_w > idle.socket_w
+
+    def test_utilization_bounds_enforced(self, model):
+        with pytest.raises(ValidationError):
+            model.breakdown({0: 1.5})
+
+    def test_socket_in_client_envelope(self, model):
+        full = model.breakdown({c: 1.0 for c in range(4)})
+        assert 30 < full.socket_w < 100
+
+
+class TestDramAndWall:
+    def test_dram_power_scales_with_traffic(self, model):
+        quiet = model.dram_power(0.0)
+        busy = model.dram_power(20 * GB)
+        assert busy > quiet
+
+    def test_wall_includes_psu_and_rest(self, model):
+        breakdown = model.breakdown({0: 0.5})
+        assert breakdown.wall_w > breakdown.socket_w + breakdown.dram_w
+
+    def test_miss_energy_linear(self, model):
+        assert model.miss_energy(2_000_000) == pytest.approx(
+            2 * model.miss_energy(1_000_000)
+        )
+
+
+class TestRaceToHalt:
+    def test_finishing_faster_saves_energy(self, model):
+        """Race-to-halt (Section 4): running faster at higher power still
+        wins, because static power dominates the extra runtime."""
+        # Same work: 1 core at full tilt for 100 s vs 4 cores for 25 s.
+        slow = model.breakdown({0: 1.0}).socket_w * 100
+        fast = model.breakdown({c: 1.0 for c in range(4)}).socket_w * 25
+        assert fast < slow
+
+    def test_useless_cores_waste_energy(self, model):
+        """But cores that don't speed anything up burn dynamic power."""
+        alone = model.breakdown({0: 1.0}).socket_w * 100
+        wasted = model.breakdown({0: 1.0, 1: 1.0}).socket_w * 100  # no speedup
+        assert wasted > alone

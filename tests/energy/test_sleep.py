@@ -1,0 +1,82 @@
+"""Race-to-halt over a fixed horizon (the client scenario)."""
+
+import pytest
+
+from repro.energy.sleep import best_allocation, energy_over_horizon
+from repro.sim.engine import RunResult
+from repro.util.errors import ValidationError
+from repro.workloads import get_application
+
+
+def result(runtime_s, wall_j, socket_j=None):
+    return RunResult(
+        name="x",
+        runtime_s=runtime_s,
+        instructions=1e9,
+        llc_misses=0,
+        llc_accesses=0,
+        socket_energy_j=socket_j if socket_j is not None else wall_j / 2,
+        wall_energy_j=wall_j,
+    )
+
+
+class TestHorizonAccounting:
+    def test_total_composes_active_and_sleep(self):
+        account = energy_over_horizon(result(100.0, 5000.0), 200.0, sleep_w=2.0)
+        assert account.active_energy_j == 5000.0
+        assert account.sleep_energy_j == 200.0
+        assert account.total_j == 5200.0
+
+    def test_socket_meter(self):
+        account = energy_over_horizon(
+            result(100.0, 5000.0, socket_j=1000.0), 100.0, meter="socket"
+        )
+        assert account.active_energy_j == 1000.0
+        assert account.sleep_energy_j == 0.0
+
+    def test_horizon_too_short_rejected(self):
+        with pytest.raises(ValidationError):
+            energy_over_horizon(result(100.0, 1.0), 50.0)
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValidationError):
+            energy_over_horizon(result(1.0, 1.0), 2.0, sleep_w=-1)
+
+
+class TestRaceToHalt:
+    def test_fast_allocation_wins_for_scalable_app(self, machine):
+        """Racing and hibernating beats crawling at low power."""
+        app = get_application("blackscholes")
+        slow = machine.run_solo(app, threads=1)
+        fast = machine.run_solo(app, threads=8)
+        horizon = slow.runtime_s * 1.05
+        slow_account = energy_over_horizon(slow, horizon)
+        fast_account = energy_over_horizon(fast, horizon)
+        assert fast_account.total_j < slow_account.total_j
+
+    def test_best_allocation_is_near_fastest_for_scalable_app(self, machine):
+        app = get_application("swaptions")
+        fast = machine.run_solo(app, threads=8)
+        (threads, ways), account = best_allocation(
+            machine, app, horizon_s=fast.runtime_s * 3
+        )
+        assert threads == 8  # race-to-halt picks the racing allocation
+
+    def test_single_threaded_app_does_not_waste_cores(self, machine):
+        """For mcf, extra threads add power without speed: the best
+        allocation must not use them (the paper's counterexample)."""
+        app = get_application("429.mcf")
+        solo = machine.run_solo(app, threads=1)
+        (threads, ways), account = best_allocation(
+            machine,
+            app,
+            horizon_s=solo.runtime_s * 1.5,
+            thread_counts=(1, 8),
+            way_counts=(12,),
+        )
+        assert threads == 1
+
+    def test_infeasible_horizon_rejected(self, machine):
+        app = get_application("429.mcf")
+        with pytest.raises(ValidationError):
+            best_allocation(machine, app, horizon_s=1.0)

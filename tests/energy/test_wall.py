@@ -1,0 +1,43 @@
+import pytest
+
+from repro.energy.wall import WallMeter
+from repro.util.errors import ValidationError
+
+
+class TestIntegration:
+    def test_energy_is_power_times_time(self):
+        meter = WallMeter()
+        meter.advance(10.0, 100.0)
+        assert meter.energy_j == pytest.approx(1000.0)
+
+    def test_piecewise_integration(self):
+        meter = WallMeter()
+        meter.advance(5.0, 100.0)
+        meter.advance(5.0, 50.0)
+        assert meter.energy_j == pytest.approx(750.0)
+        assert meter.average_power_w() == pytest.approx(75.0)
+
+    def test_negative_inputs_rejected(self):
+        meter = WallMeter()
+        with pytest.raises(ValidationError):
+            meter.advance(-1.0, 10.0)
+        with pytest.raises(ValidationError):
+            meter.advance(1.0, -10.0)
+
+
+class TestSampling:
+    def test_one_hertz_samples(self):
+        meter = WallMeter(sample_period_s=1.0)
+        meter.advance(3.5, 80.0)
+        assert [s.timestamp_s for s in meter.samples] == [1.0, 2.0, 3.0]
+        assert all(s.power_w == 80.0 for s in meter.samples)
+
+    def test_samples_across_small_steps(self):
+        meter = WallMeter(sample_period_s=1.0)
+        for _ in range(25):
+            meter.advance(0.1, 60.0)
+        assert len(meter.samples) == 2
+
+    def test_sample_period_validation(self):
+        with pytest.raises(ValidationError):
+            WallMeter(sample_period_s=0)

@@ -1,0 +1,49 @@
+import pytest
+
+from repro.perf.events import (
+    INSTRUCTIONS,
+    LLC_MISSES,
+    CounterSet,
+    PerfCounter,
+)
+from repro.util.errors import ValidationError
+
+
+class TestPerfCounter:
+    def test_accumulates(self):
+        counter = PerfCounter("x")
+        counter.add(10)
+        counter.add(5)
+        assert counter.value == 15
+
+    def test_monotonic(self):
+        with pytest.raises(ValidationError):
+            PerfCounter("x").add(-1)
+
+
+class TestCounterSet:
+    def test_standard_events_programmed(self):
+        counters = CounterSet()
+        assert INSTRUCTIONS in counters.events
+        assert LLC_MISSES in counters.events
+
+    def test_add_and_read(self):
+        counters = CounterSet()
+        counters.add(INSTRUCTIONS, 1000)
+        assert counters.read(INSTRUCTIONS) == 1000
+
+    def test_unprogrammed_event_rejected(self):
+        counters = CounterSet(events=(INSTRUCTIONS,))
+        with pytest.raises(ValidationError):
+            counters.add(LLC_MISSES, 1)
+        with pytest.raises(ValidationError):
+            counters.read("branches")
+
+    def test_snapshot_delta(self):
+        counters = CounterSet()
+        counters.add(INSTRUCTIONS, 100)
+        snap = counters.snapshot()
+        counters.add(INSTRUCTIONS, 50)
+        delta = counters.delta(snap)
+        assert delta[INSTRUCTIONS] == 50
+        assert delta[LLC_MISSES] == 0

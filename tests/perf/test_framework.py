@@ -1,0 +1,82 @@
+"""The standalone phase-monitoring framework (Section 6.2)."""
+
+import pytest
+
+from repro.perf.framework import PhaseMonitoringFramework
+from repro.util.errors import ValidationError
+
+
+def feed_phase(framework, windows, mpki, instr_per_window=1_000_000):
+    """Feed ``windows`` 100 ms windows at a constant MPKI."""
+    events = []
+    for _ in range(windows):
+        misses = mpki * instr_per_window / 1000.0
+        events += framework.feed(0.1, instr_per_window, misses)
+    return events
+
+
+class TestDetection:
+    def test_stable_stream_emits_nothing(self):
+        fw = PhaseMonitoringFramework()
+        assert feed_phase(fw, 20, mpki=10.0) == []
+        assert fw.phase_count == 0
+
+    def test_phase_change_emits_start_then_settled(self):
+        fw = PhaseMonitoringFramework()
+        feed_phase(fw, 10, mpki=10.0)
+        events = feed_phase(fw, 30, mpki=40.0)
+        kinds = [e.kind for e in events]
+        assert kinds[0] == "phase-start"
+        assert "phase-settled" in kinds
+        assert fw.phase_count == 1
+
+    def test_multiple_phases_counted(self):
+        fw = PhaseMonitoringFramework()
+        for level in (10.0, 40.0, 10.0, 40.0):
+            feed_phase(fw, 25, mpki=level)
+        assert fw.phase_count == 3  # transitions, not segments
+
+    def test_event_carries_mpki(self):
+        fw = PhaseMonitoringFramework()
+        feed_phase(fw, 5, mpki=10.0)
+        events = feed_phase(fw, 5, mpki=50.0)
+        assert events[0].mpki == pytest.approx(50.0)
+
+    def test_mpki_history_tracks_windows(self):
+        fw = PhaseMonitoringFramework()
+        feed_phase(fw, 7, mpki=12.0)
+        assert len(fw.mpki_history()) == 7
+        assert fw.mpki_history()[-1] == pytest.approx(12.0)
+
+
+class TestSubscription:
+    def test_subscribers_called(self):
+        fw = PhaseMonitoringFramework()
+        seen = []
+        fw.subscribe(seen.append)
+        feed_phase(fw, 5, mpki=10.0)
+        feed_phase(fw, 5, mpki=50.0)
+        assert seen and seen[0].kind == "phase-start"
+
+    def test_unsubscribe(self):
+        fw = PhaseMonitoringFramework()
+        seen = []
+        unsubscribe = fw.subscribe(seen.append)
+        unsubscribe()
+        feed_phase(fw, 5, mpki=10.0)
+        feed_phase(fw, 5, mpki=50.0)
+        assert seen == []
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(ValidationError):
+            PhaseMonitoringFramework().subscribe(42)
+
+    def test_partial_windows_accumulate(self):
+        """Sub-window feeds only emit once the 100 ms window closes."""
+        fw = PhaseMonitoringFramework()
+        out = fw.feed(0.04, 500_000, 5000)
+        assert out == []
+        out = fw.feed(0.04, 500_000, 5000)
+        assert out == []
+        fw.feed(0.04, 500_000, 5000)
+        assert len(fw.mpki_history()) == 1

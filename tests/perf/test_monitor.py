@@ -1,0 +1,68 @@
+import pytest
+
+from repro.perf.events import CYCLES, INSTRUCTIONS, LLC_ACCESSES, LLC_MISSES, CounterSet
+from repro.perf.monitor import IntervalMonitor, Sample
+from repro.util.errors import ValidationError
+
+
+def feed(counters, instructions, misses, accesses=None, cycles=None):
+    counters.add(INSTRUCTIONS, instructions)
+    counters.add(LLC_MISSES, misses)
+    counters.add(LLC_ACCESSES, accesses if accesses is not None else misses * 2)
+    counters.add(CYCLES, cycles if cycles is not None else instructions)
+
+
+class TestSampleMetrics:
+    def test_mpki(self):
+        sample = Sample(0.1, instructions=1_000_000, cycles=1, llc_accesses=0, llc_misses=5_000)
+        assert sample.mpki == pytest.approx(5.0)
+
+    def test_zero_instructions_is_zero_mpki(self):
+        sample = Sample(0.1, 0, 0, 0, 0)
+        assert sample.mpki == 0.0
+        assert sample.ipc == 0.0
+
+    def test_ipc_and_apki(self):
+        sample = Sample(0.1, instructions=200, cycles=100, llc_accesses=400, llc_misses=0)
+        assert sample.ipc == 2.0
+        assert sample.apki == 2000.0
+
+
+class TestIntervalMonitor:
+    def test_sampling_on_period(self):
+        counters = CounterSet()
+        monitor = IntervalMonitor(counters, period_s=0.1)
+        feed(counters, 1000, 10)
+        emitted = monitor.advance(0.05)
+        assert emitted == []
+        feed(counters, 1000, 10)
+        emitted = monitor.advance(0.05)
+        assert len(emitted) == 1
+        assert emitted[0].instructions == 2000
+
+    def test_deltas_not_totals(self):
+        counters = CounterSet()
+        monitor = IntervalMonitor(counters, period_s=0.1)
+        feed(counters, 1000, 10)
+        monitor.advance(0.1)
+        feed(counters, 500, 100)
+        sample = monitor.advance(0.1)[0]
+        assert sample.instructions == 500
+        assert sample.llc_misses == 100
+
+    def test_large_advance_emits_multiple_windows(self):
+        counters = CounterSet()
+        monitor = IntervalMonitor(counters, period_s=0.1)
+        feed(counters, 1000, 10)
+        emitted = monitor.advance(0.35)
+        assert len(emitted) == 3
+        assert monitor.latest is emitted[-1]
+
+    def test_negative_time_rejected(self):
+        monitor = IntervalMonitor(CounterSet())
+        with pytest.raises(ValidationError):
+            monitor.advance(-0.1)
+
+    def test_period_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            IntervalMonitor(CounterSet(), period_s=0)

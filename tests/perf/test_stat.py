@@ -1,0 +1,74 @@
+"""perf stat-style reporting."""
+
+import pytest
+
+from repro.perf.stat import format_comparison, format_stat
+from repro.sim.engine import RunResult
+from repro.util.errors import ValidationError
+
+
+def result(name="app", runtime=10.0, instructions=2e10, misses=1e7, accesses=4e7):
+    return RunResult(
+        name=name,
+        runtime_s=runtime,
+        instructions=instructions,
+        llc_misses=misses,
+        llc_accesses=accesses,
+        socket_energy_j=250.0,
+        wall_energy_j=700.0,
+        pp0_energy_j=120.0,
+    )
+
+
+class TestFormatStat:
+    def test_contains_counters_and_energy(self):
+        text = format_stat(result())
+        assert "Performance counter stats for 'app'" in text
+        assert "instructions" in text
+        assert "LLC-load-misses" in text
+        assert "power/energy-pkg/" in text
+        assert "power/energy-cores/" in text
+        assert "seconds time elapsed" in text
+
+    def test_cycles_with_config(self):
+        from repro.cpu.config import SandyBridgeConfig
+
+        text = format_stat(result(), config=SandyBridgeConfig())
+        assert "cycles" in text
+        assert "insn per cycle" in text
+
+    def test_miss_percentage_annotation(self):
+        text = format_stat(result(misses=1e7, accesses=4e7))
+        assert "25.00%" in text
+
+    def test_zero_runtime_rejected(self):
+        with pytest.raises(ValidationError):
+            format_stat(result(runtime=0.0))
+
+    def test_live_run(self, machine):
+        from repro.workloads import get_application
+
+        run = machine.run_solo(get_application("fop"), threads=4)
+        text = format_stat(run, config=machine.config)
+        assert "fop" in text
+
+
+class TestComparison:
+    def test_baseline_ratio_is_one(self):
+        text = format_comparison([result("a"), result("b", runtime=12.0)])
+        lines = text.splitlines()
+        assert "1.000" in lines[2]
+        assert "1.200" in lines[3]
+
+    def test_custom_baseline(self):
+        text = format_comparison(
+            [result("a", runtime=20.0), result("b", runtime=10.0)],
+            baseline_index=1,
+        )
+        assert "2.000" in text
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            format_comparison([])
+        with pytest.raises(ValidationError):
+            format_comparison([result()], baseline_index=3)

@@ -1,0 +1,67 @@
+"""Property-based tests over bandwidth arbitration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.bandwidth import BandwidthDomain
+from repro.util.units import GB
+
+demand_sets = st.dictionaries(
+    keys=st.sampled_from(["a", "b", "c", "d", "e"]),
+    values=st.floats(0.0, 100.0 * GB, allow_nan=False),
+    min_size=1,
+    max_size=5,
+)
+weight_sets = st.dictionaries(
+    keys=st.sampled_from(["a", "b", "c", "d", "e"]),
+    values=st.floats(0.2, 8.0, allow_nan=False),
+    max_size=5,
+)
+
+
+class TestResolveInvariants:
+    @settings(max_examples=200, deadline=None)
+    @given(demands=demand_sets, weights=weight_sets)
+    def test_grants_bounded_by_demand_and_capacity(self, demands, weights):
+        domain = BandwidthDomain("d", 20 * GB)
+        grants = domain.resolve(demands, weights)
+        assert set(grants) == set(demands)
+        total = 0.0
+        for name, grant in grants.items():
+            assert grant.granted_bps >= 0.0
+            assert grant.granted_bps <= demands[name] * (1 + 1e-9)
+            total += grant.granted_bps
+        assert total <= 20 * GB * (1 + 1e-9)
+
+    @settings(max_examples=200, deadline=None)
+    @given(demands=demand_sets, weights=weight_sets)
+    def test_capacity_fully_used_when_oversubscribed(self, demands, weights):
+        domain = BandwidthDomain("d", 20 * GB)
+        grants = domain.resolve(demands, weights)
+        total_demand = sum(demands.values())
+        total_grant = sum(g.granted_bps for g in grants.values())
+        if total_demand >= 20 * GB:
+            assert total_grant == pytest.approx(20 * GB, rel=1e-6)
+        else:
+            assert total_grant == pytest.approx(total_demand, rel=1e-6)
+
+    @settings(max_examples=200, deadline=None)
+    @given(demands=demand_sets)
+    def test_latency_factor_uniform_and_bounded(self, demands):
+        domain = BandwidthDomain("d", 20 * GB)
+        grants = domain.resolve(demands)
+        factors = {g.latency_factor for g in grants.values()}
+        assert len(factors) == 1
+        assert 1.0 <= factors.pop() <= 1.5
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        demand=st.floats(1.0, 50.0 * GB, allow_nan=False),
+        extra=st.floats(0.0, 50.0 * GB, allow_nan=False),
+    )
+    def test_adding_a_competitor_never_helps(self, demand, extra):
+        domain = BandwidthDomain("d", 20 * GB)
+        alone = domain.resolve({"a": demand})["a"].granted_bps
+        crowded = domain.resolve({"a": demand, "b": extra})["a"].granted_bps
+        assert crowded <= alone * (1 + 1e-9)

@@ -1,0 +1,71 @@
+"""Property-based tests over the LLC occupancy solver."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.llc import WayMask
+from repro.sim.occupancy import OccupancyRequest, solve_occupancy
+
+
+@st.composite
+def occupancy_scenarios(draw):
+    n = draw(st.integers(1, 4))
+    requests = []
+    offset = 0
+    layout = draw(st.sampled_from(["shared", "private", "overlap"]))
+    for i in range(n):
+        if layout == "shared":
+            mask = WayMask.full(12)
+        elif layout == "private":
+            width = 12 // n
+            mask = WayMask.contiguous(width, i * width, 12)
+        else:
+            width = draw(st.integers(2, 8))
+            start = draw(st.integers(0, 12 - width))
+            mask = WayMask.contiguous(width, start, 12)
+        requests.append(
+            OccupancyRequest(
+                name=f"app{i}",
+                mask=mask,
+                access_rate=draw(st.floats(0.0, 1e10, allow_nan=False)),
+                miss_ratio_fn=lambda c, m=draw(st.floats(0.01, 1.0)): m,
+                working_set_mb=draw(st.floats(0.1, 8.0, allow_nan=False)),
+                pressure_weight=draw(st.floats(0.01, 1.0, allow_nan=False)),
+            )
+        )
+        offset += 1
+    return requests
+
+
+class TestOccupancyInvariants:
+    @settings(max_examples=150, deadline=None)
+    @given(requests=occupancy_scenarios())
+    def test_capacity_conserved(self, requests):
+        occupancy = solve_occupancy(requests)
+        assert sum(occupancy.values()) <= 6.0 + 1e-6
+        for name, value in occupancy.items():
+            assert value >= -1e-9
+
+    @settings(max_examples=150, deadline=None)
+    @given(requests=occupancy_scenarios())
+    def test_nobody_exceeds_working_set_materially(self, requests):
+        occupancy = solve_occupancy(requests)
+        for req in requests:
+            # Damped iteration can overshoot transiently; the steady
+            # answer stays within a small margin of the working set.
+            assert occupancy[req.name] <= max(req.working_set_mb, 0.5) * 1.3 + 0.25
+
+    @settings(max_examples=150, deadline=None)
+    @given(requests=occupancy_scenarios())
+    def test_nobody_exceeds_their_writable_capacity_much(self, requests):
+        occupancy = solve_occupancy(requests)
+        for req in requests:
+            writable = req.mask.count * 0.5
+            assert occupancy[req.name] <= writable + 1e-6
+
+    @settings(max_examples=80, deadline=None)
+    @given(requests=occupancy_scenarios())
+    def test_deterministic(self, requests):
+        a = solve_occupancy(requests)
+        b = solve_occupancy(requests)
+        assert a == b

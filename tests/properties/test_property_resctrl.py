@@ -1,0 +1,34 @@
+"""Property tests over the resctrl schemata encoding."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.llc import WayMask
+from repro.runtime.resctrl import format_schemata, parse_schemata
+
+
+@st.composite
+def contiguous_masks(draw):
+    count = draw(st.integers(1, 12))
+    offset = draw(st.integers(0, 12 - count))
+    return WayMask.contiguous(count, offset, 12)
+
+
+class TestSchemataRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(mask=contiguous_masks())
+    def test_format_parse_identity(self, mask):
+        assert parse_schemata(format_schemata(mask)) == mask
+
+    @settings(max_examples=200, deadline=None)
+    @given(mask=contiguous_masks())
+    def test_formatted_strings_are_valid_hex(self, mask):
+        text = format_schemata(mask)
+        assert text.startswith("L3:0=")
+        assert int(text.split("=")[1], 16) == mask.bits
+
+    @settings(max_examples=200, deadline=None)
+    @given(mask=contiguous_masks())
+    def test_bits_roundtrip(self, mask):
+        assert WayMask.from_bits(mask.bits) == mask
+        assert bin(mask.bits).count("1") == mask.count

@@ -1,0 +1,88 @@
+import pytest
+
+from repro.runtime.harness import CoScheduleHarness, paper_pair_allocations
+from repro.runtime.resctrl import ResctrlFilesystem
+from repro.util.errors import SchedulingError, ValidationError
+from repro.workloads import get_application
+
+
+class TestPaperPairAllocations:
+    def test_standard_setup(self):
+        fg = get_application("ferret")
+        bg = get_application("batik")
+        fg_alloc, bg_alloc = paper_pair_allocations(fg, bg)
+        assert fg_alloc.cores == (0, 1)
+        assert bg_alloc.cores == (2, 3)
+        assert fg_alloc.threads == 4
+        assert not fg_alloc.overlaps_cores(bg_alloc)
+
+    def test_shared_masks_overlap(self):
+        fg_alloc, bg_alloc = paper_pair_allocations(
+            get_application("ferret"), get_application("batik"), 12, 12
+        )
+        assert fg_alloc.mask.overlaps(bg_alloc.mask)
+
+    def test_partitioned_masks_disjoint(self):
+        fg_alloc, bg_alloc = paper_pair_allocations(
+            get_application("ferret"), get_application("batik"), 9, 3
+        )
+        assert not fg_alloc.mask.overlaps(bg_alloc.mask)
+        assert sorted(fg_alloc.mask.ways) == list(range(9))
+        assert sorted(bg_alloc.mask.ways) == [9, 10, 11]
+
+    def test_single_threaded_gets_one_thread(self):
+        fg_alloc, _ = paper_pair_allocations(
+            get_application("429.mcf"), get_application("batik")
+        )
+        assert fg_alloc.threads == 1
+
+    def test_pow2_only_rounded_down(self):
+        fg_alloc, _ = paper_pair_allocations(
+            get_application("fluidanimate"), get_application("batik"), threads=3
+        )
+        assert fg_alloc.threads == 2
+
+    def test_way_overflow_rejected(self):
+        with pytest.raises(ValidationError):
+            paper_pair_allocations(
+                get_application("ferret"), get_application("batik"), 13, 12
+            )
+        with pytest.raises(ValidationError):
+            paper_pair_allocations(
+                get_application("ferret"), get_application("batik"), 0, 12
+            )
+
+
+class TestHarness:
+    def test_pins_disjoint_cores(self, machine):
+        harness = CoScheduleHarness(machine)
+        fg_tids, bg_tids = harness.setup_pair(
+            get_application("ferret"), get_application("batik")
+        )
+        assert fg_tids == [0, 1, 2, 3]
+        assert bg_tids == [4, 5, 6, 7]
+
+    def test_same_app_rejected(self, machine):
+        harness = CoScheduleHarness(machine)
+        app = get_application("ferret")
+        with pytest.raises(SchedulingError):
+            harness.setup_pair(app, app)
+
+    def test_run_releases_pins(self, machine):
+        harness = CoScheduleHarness(machine)
+        fg = get_application("fop")
+        bg = get_application("batik")
+        harness.run(fg, bg, fg_ways=9, bg_ways=3)
+        assert harness.pins.tasks() == []
+        harness.run(fg, bg)  # re-runnable
+
+    def test_run_programs_resctrl(self, machine):
+        resctrl = ResctrlFilesystem()
+        harness = CoScheduleHarness(machine, resctrl=resctrl)
+        fg = get_application("fop")
+        bg = get_application("batik")
+        harness.run(fg, bg, fg_ways=9, bg_ways=3)
+        assert resctrl.group("fg").mask.count == 9
+        assert resctrl.group("bg").mask.count == 3
+        assert resctrl.group("fg").cpus == [0, 1, 2, 3]
+        assert resctrl.group("bg").cpus == [4, 5, 6, 7]

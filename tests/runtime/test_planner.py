@@ -1,0 +1,83 @@
+"""The end-to-end consolidation planner."""
+
+import pytest
+
+from repro.runtime.planner import ConsolidationPlanner
+from repro.util.errors import ValidationError
+from repro.workloads import get_application
+
+
+@pytest.fixture(scope="module")
+def machine():
+    from repro.sim import Machine
+
+    return Machine()
+
+
+@pytest.fixture(scope="module")
+def planner(machine):
+    return ConsolidationPlanner(machine)
+
+
+class TestPlanning:
+    def test_cache_sensitive_fg_gets_a_sized_partition(self, planner):
+        fg = get_application("471.omnetpp")
+        queue = [get_application("canneal"), get_application("swaptions")]
+        plan = planner.plan(fg, queue, slowdown_bound=1.05)
+        assert plan.fg_ways >= 6  # omnetpp needs real capacity
+        assert plan.fg_ways + plan.bg_ways == 12
+        assert plan.predicted_fg_slowdown <= 1.05
+        assert not plan.uses_qos
+
+    def test_insensitive_fg_yields_almost_everything(self, planner):
+        fg = get_application("swaptions")
+        queue = [get_application("canneal")]
+        plan = planner.plan(fg, queue, slowdown_bound=1.05)
+        assert plan.bg_ways >= 9
+
+    def test_bandwidth_sensitive_fg_escalates_to_qos(self, planner):
+        fg = get_application("462.libquantum")
+        queue = [get_application("stream_uncached")]
+        plan = planner.plan(fg, queue, slowdown_bound=1.15)
+        assert plan.uses_qos
+        assert plan.predicted_fg_slowdown <= 1.15
+        assert plan.rejected  # the no-QoS attempt was priced and rejected
+
+    def test_qos_escalation_can_be_forbidden(self, planner):
+        fg = get_application("462.libquantum")
+        queue = [get_application("stream_uncached")]
+        with pytest.raises(ValidationError):
+            planner.plan(fg, queue, slowdown_bound=1.15, allow_qos=False)
+
+    def test_empty_queue_rejected(self, planner):
+        with pytest.raises(ValidationError):
+            planner.plan(get_application("batik"), [])
+
+
+class TestExecution:
+    def test_execution_confirms_the_prediction(self, planner):
+        fg = get_application("471.omnetpp")
+        queue = [get_application("canneal"), get_application("swaptions")]
+        plan = planner.plan(fg, queue, slowdown_bound=1.05)
+        bg = get_application(plan.bg_name)
+        pair, measured = planner.execute(plan, fg, bg)
+        assert measured <= 1.06  # bound holds in simulation too
+        assert measured == pytest.approx(plan.predicted_fg_slowdown, abs=0.03)
+
+    def test_qos_plan_executes_with_contract(self, planner, machine):
+        fg = get_application("462.libquantum")
+        hog = get_application("stream_uncached")
+        plan = planner.plan(fg, [hog], slowdown_bound=1.15)
+        pair, measured = planner.execute(plan, fg, hog)
+        assert measured <= 1.16
+        # The machine's DRAM domain was restored after execution.
+        from repro.core.bandwidth_qos import QosBandwidthDomain
+
+        assert not isinstance(machine.memory_system.dram, QosBandwidthDomain)
+
+    def test_mismatched_plan_rejected(self, planner):
+        fg = get_application("471.omnetpp")
+        queue = [get_application("swaptions")]
+        plan = planner.plan(fg, queue)
+        with pytest.raises(ValidationError):
+            planner.execute(plan, fg, get_application("canneal"))

@@ -1,0 +1,113 @@
+import pytest
+
+from repro.cache.llc import WayMask
+from repro.cpu.msr import IA32_L3_QOS_MASK_BASE
+from repro.runtime.resctrl import (
+    ResctrlFilesystem,
+    format_schemata,
+    parse_schemata,
+)
+from repro.util.errors import SchedulingError, ValidationError
+
+
+class TestSchemataParsing:
+    def test_parse_full_mask(self):
+        assert parse_schemata("L3:0=fff") == WayMask.full(12)
+
+    def test_parse_partial_contiguous(self):
+        mask = parse_schemata("L3:0=f00")
+        assert sorted(mask.ways) == [8, 9, 10, 11]
+
+    def test_whitespace_tolerated(self):
+        assert parse_schemata("  L3:0=3\n") == WayMask([0, 1])
+
+    def test_format_roundtrip(self):
+        mask = WayMask.contiguous(5, 3)
+        assert parse_schemata(format_schemata(mask)) == mask
+
+    def test_noncontiguous_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_schemata("L3:0=505")
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_schemata("L3:0=1fff")
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_schemata("L3:0=0")
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_schemata("L2:0=ff")
+
+
+class TestFilesystem:
+    def test_default_group_has_all_ways(self):
+        fs = ResctrlFilesystem()
+        assert fs.default_group.mask == WayMask.full(12)
+        assert fs.default_group.schemata == "L3:0=fff"
+
+    def test_create_group_and_program(self):
+        fs = ResctrlFilesystem()
+        group = fs.create_group("fg")
+        group.schemata = "L3:0=ff"
+        assert group.mask.count == 8
+        # The write landed in the CAT MSR for that CLOS.
+        assert fs.msr.read(0, IA32_L3_QOS_MASK_BASE + group.clos) == 0xFF
+
+    def test_duplicate_group_rejected(self):
+        fs = ResctrlFilesystem()
+        fs.create_group("fg")
+        with pytest.raises(SchedulingError):
+            fs.create_group("fg")
+
+    def test_group_limit(self):
+        fs = ResctrlFilesystem()
+        for i in range(fs.MAX_GROUPS - 1):
+            fs.create_group(f"g{i}")
+        with pytest.raises(SchedulingError):
+            fs.create_group("overflow")
+
+    def test_invalid_names_rejected(self):
+        fs = ResctrlFilesystem()
+        with pytest.raises(ValidationError):
+            fs.create_group("")
+        with pytest.raises(ValidationError):
+            fs.create_group("a/b")
+
+    def test_cpu_assignment_moves_between_groups(self):
+        fs = ResctrlFilesystem()
+        fg = fs.create_group("fg")
+        bg = fs.create_group("bg")
+        fg.assign_cpus([0, 1])
+        bg.assign_cpus([1])  # steal cpu 1
+        assert fs.group_of_cpu(1) is bg
+        assert fg.cpus == [0]
+        assert fs.msr.clos_of(1) == bg.clos
+
+    def test_remove_group_returns_cpus_to_default(self):
+        fs = ResctrlFilesystem()
+        fg = fs.create_group("fg")
+        fg.assign_cpus([2, 3])
+        fs.remove_group("fg")
+        assert fs.group_of_cpu(2) is fs.default_group
+        with pytest.raises(ValidationError):
+            fs.group("fg")
+
+    def test_default_group_cannot_be_removed(self):
+        with pytest.raises(ValidationError):
+            ResctrlFilesystem().remove_group("")
+
+    def test_set_ways_helper(self):
+        fs = ResctrlFilesystem()
+        group = fs.create_group("fg")
+        group.set_ways(4, offset=8)
+        assert group.schemata == "L3:0=f00"
+
+    def test_occupancy_monitoring(self):
+        fs = ResctrlFilesystem()
+        group = fs.create_group("fg")
+        fs.update_occupancy({"fg": 3 * 1024 * 1024})
+        assert group.llc_occupancy_bytes() == 3 * 1024 * 1024
+        assert fs.default_group.llc_occupancy_bytes() == 0

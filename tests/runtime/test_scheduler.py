@@ -1,0 +1,112 @@
+"""The contention-aware co-scheduler and its interference predictor."""
+
+import pytest
+
+from repro.runtime.harness import paper_pair_allocations
+from repro.runtime.scheduler import (
+    ContentionAwareScheduler,
+    InterferencePredictor,
+)
+from repro.util.errors import ValidationError
+from repro.workloads import get_application
+
+
+@pytest.fixture(scope="module")
+def machine():
+    from repro.sim import Machine
+
+    return Machine()
+
+
+@pytest.fixture(scope="module")
+def predictor(machine):
+    return InterferencePredictor(machine)
+
+
+class TestPredictorAccuracy:
+    @pytest.mark.parametrize(
+        "fg_name,bg_name",
+        [
+            ("471.omnetpp", "canneal"),
+            ("batik", "dedup"),
+            ("462.libquantum", "stream_uncached"),
+        ],
+    )
+    def test_prediction_matches_simulation(self, machine, predictor, fg_name, bg_name):
+        """Single-phase pairs: one interval solve IS the steady state."""
+        fg = get_application(fg_name)
+        bg = get_application(bg_name)
+        predicted = predictor.predict(fg, bg)
+        threads = 1 if fg.scalability.single_threaded else 4
+        solo = machine.run_solo(fg, threads=threads)
+        fg_alloc, bg_alloc = paper_pair_allocations(fg, bg)
+        pair = machine.run_pair(fg, bg, fg_alloc, bg_alloc)
+        actual = pair.fg.runtime_s / solo.runtime_s
+        assert predicted.fg_slowdown == pytest.approx(actual, rel=0.05)
+
+    def test_phased_fg_prediction_reasonable(self, machine, predictor):
+        fg = get_application("429.mcf")
+        bg = get_application("batik")
+        predicted = predictor.predict(fg, bg)
+        solo = machine.run_solo(fg, threads=1)
+        fg_alloc, bg_alloc = paper_pair_allocations(fg, bg)
+        pair = machine.run_pair(fg, bg, fg_alloc, bg_alloc)
+        actual = pair.fg.runtime_s / solo.runtime_s
+        assert predicted.fg_slowdown == pytest.approx(actual, rel=0.08)
+
+    def test_partitioned_prediction_shows_protection(self, predictor):
+        fg = get_application("471.omnetpp")
+        bg = get_application("canneal")
+        shared = predictor.predict(fg, bg, 12, 12)
+        partitioned = predictor.predict(fg, bg, 10, 2)
+        assert partitioned.fg_slowdown < shared.fg_slowdown
+
+    def test_self_pairing_predicts(self, predictor):
+        app = get_application("dedup")
+        prediction = predictor.predict(app, app)
+        assert prediction.bg_name == "dedup#2"
+        assert prediction.fg_slowdown >= 1.0
+
+
+class TestScheduler:
+    def test_picks_a_harmless_candidate_for_sensitive_fg(self, machine):
+        scheduler = ContentionAwareScheduler(machine, slowdown_bound=1.05)
+        fg = get_application("471.omnetpp")
+        candidates = [
+            get_application("canneal"),  # aggressive capacity thief
+            get_application("swaptions"),  # harmless
+        ]
+        decision = scheduler.choose(fg, candidates)
+        assert decision.feasible
+        assert decision.chosen.bg_name == "swaptions"
+
+    def test_prefers_throughput_among_feasible(self, machine):
+        scheduler = ContentionAwareScheduler(machine, slowdown_bound=1.10)
+        fg = get_application("swaptions")  # insensitive: everyone fits
+        candidates = [
+            get_application("blackscholes"),
+            get_application("ferret"),
+        ]
+        decision = scheduler.choose(fg, candidates)
+        assert decision.feasible
+        best = max(decision.predictions, key=lambda p: p.bg_rate_ips)
+        assert decision.chosen.bg_name == best.bg_name
+
+    def test_falls_back_to_least_harmful(self, machine):
+        scheduler = ContentionAwareScheduler(machine, slowdown_bound=1.0001)
+        fg = get_application("462.libquantum")  # bandwidth sensitive
+        candidates = [
+            get_application("stream_uncached"),
+            get_application("470.lbm"),
+        ]
+        decision = scheduler.choose(fg, candidates)
+        assert not decision.feasible
+        worst = max(decision.predictions, key=lambda p: p.fg_slowdown)
+        assert decision.chosen.bg_name != worst.bg_name
+
+    def test_validation(self, machine):
+        with pytest.raises(ValidationError):
+            ContentionAwareScheduler(machine, slowdown_bound=0.9)
+        scheduler = ContentionAwareScheduler(machine)
+        with pytest.raises(ValidationError):
+            scheduler.choose(get_application("batik"), [])

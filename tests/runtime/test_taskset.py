@@ -1,0 +1,59 @@
+import pytest
+
+from repro.cpu.topology import CpuTopology
+from repro.runtime.taskset import PinRegistry, taskset
+from repro.util.errors import SchedulingError, ValidationError
+
+
+@pytest.fixture()
+def pins():
+    return PinRegistry(CpuTopology())
+
+
+class TestTaskset:
+    def test_fill_order(self):
+        topo = CpuTopology()
+        assert taskset(topo, 3) == [0, 1, 2]
+        assert taskset(topo, 2, first_core=3) == [6, 7]
+
+
+class TestPinRegistry:
+    def test_pin_and_query(self, pins):
+        pins.pin("fg", [0, 1, 2, 3])
+        assert pins.tids_of("fg") == [0, 1, 2, 3]
+        assert pins.cores_of("fg") == [0, 1]
+
+    def test_conflicting_pin_rejected(self, pins):
+        pins.pin("fg", [0, 1])
+        with pytest.raises(SchedulingError):
+            pins.pin("bg", [1, 2])
+
+    def test_repin_same_task_allowed(self, pins):
+        pins.pin("fg", [0, 1])
+        pins.pin("fg", [2, 3])
+        assert pins.tids_of("fg") == [2, 3]
+        pins.pin("bg", [0, 1])  # old tids released
+
+    def test_unpin_releases(self, pins):
+        pins.pin("fg", [0, 1])
+        pins.unpin("fg")
+        pins.pin("bg", [0, 1])
+        assert pins.tasks() == ["bg"]
+
+    def test_pin_threads_paper_style(self, pins):
+        pins.pin_threads("fg", 4)
+        pins.pin_threads("bg", 4, first_core=2)
+        assert not pins.shares_core("fg", "bg")
+
+    def test_shares_core_detection(self, pins):
+        pins.pin("a", [0])
+        pins.pin("b", [1])  # other hyperthread of core 0
+        assert pins.shares_core("a", "b")
+
+    def test_empty_pin_rejected(self, pins):
+        with pytest.raises(ValidationError):
+            pins.pin("fg", [])
+
+    def test_invalid_tid_rejected(self, pins):
+        with pytest.raises(ValidationError):
+            pins.pin("fg", [99])

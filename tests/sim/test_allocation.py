@@ -1,0 +1,42 @@
+import pytest
+
+from repro.cache.llc import WayMask
+from repro.sim.allocation import Allocation
+from repro.util.errors import SchedulingError
+
+
+class TestConstruction:
+    def test_solo_fills_cores_pairwise(self):
+        alloc = Allocation.solo(threads=4)
+        assert alloc.cores == (0, 1)
+        assert alloc.ways == 12
+
+    def test_solo_odd_threads(self):
+        alloc = Allocation.solo(threads=5)
+        assert alloc.cores == (0, 1, 2)
+
+    def test_threads_must_fit_cores(self):
+        with pytest.raises(SchedulingError):
+            Allocation(threads=5, cores=(0, 1), mask=WayMask.full())
+
+    def test_needs_cores_and_threads(self):
+        with pytest.raises(SchedulingError):
+            Allocation(threads=0, cores=(0,), mask=WayMask.full())
+        with pytest.raises(SchedulingError):
+            Allocation(threads=1, cores=(), mask=WayMask.full())
+
+
+class TestOperations:
+    def test_with_mask_replaces_only_mask(self):
+        alloc = Allocation.solo(threads=4)
+        new = alloc.with_mask(WayMask.contiguous(2, 0))
+        assert new.ways == 2
+        assert new.cores == alloc.cores
+        assert alloc.ways == 12  # original untouched
+
+    def test_core_overlap_detection(self):
+        a = Allocation(threads=4, cores=(0, 1), mask=WayMask.full())
+        b = Allocation(threads=4, cores=(2, 3), mask=WayMask.full())
+        c = Allocation(threads=2, cores=(1,), mask=WayMask.full())
+        assert not a.overlaps_cores(b)
+        assert a.overlaps_cores(c)

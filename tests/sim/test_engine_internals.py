@@ -1,0 +1,102 @@
+"""Engine internals: timelines, energy attribution, guard rails."""
+
+import pytest
+
+from repro.runtime.harness import paper_pair_allocations
+from repro.sim.engine import Machine, RunResult
+from repro.workloads import get_application
+
+
+class TestTimeline:
+    def test_timeline_points_ordered_and_complete(self, machine):
+        fg = get_application("429.mcf")
+        bg = get_application("batik")
+        fg_alloc, bg_alloc = paper_pair_allocations(fg, bg)
+        pair = machine.run_pair(fg, bg, fg_alloc, bg_alloc, timeline=True)
+        times = [p.time_s for p in pair.timeline]
+        assert times == sorted(times)
+        assert times[-1] == pytest.approx(pair.makespan_s, rel=1e-6)
+        for point in pair.timeline:
+            assert "429.mcf" in point.per_app
+            info = point.per_app["429.mcf"]
+            assert set(info) == {"mpki", "ways", "rate_ips", "occupancy_mb"}
+
+    def test_timeline_off_by_default(self, machine):
+        fg = get_application("fop")
+        bg = get_application("batik")
+        fg_alloc, bg_alloc = paper_pair_allocations(fg, bg)
+        pair = machine.run_pair(fg, bg, fg_alloc, bg_alloc)
+        assert pair.timeline == []
+
+
+class TestEnergyAccounting:
+    def test_pair_energy_split_by_instruction_share(self, machine):
+        fg = get_application("fop")
+        bg = get_application("batik")
+        fg_alloc, bg_alloc = paper_pair_allocations(fg, bg)
+        pair = machine.run_pair(fg, bg, fg_alloc, bg_alloc, bg_continuous=False)
+        total = pair.fg.socket_energy_j + pair.bg.socket_energy_j
+        assert total == pytest.approx(pair.socket_energy_j, rel=1e-6)
+
+    def test_solo_energy_fully_attributed(self, machine):
+        result = machine.run_solo(get_application("fop"), threads=4)
+        assert result.socket_energy_j > 0
+
+    def test_pp0_is_a_strict_subset_of_package(self, machine):
+        """RAPL PP0 (cores + caches) must be positive and below PKG."""
+        result = machine.run_solo(get_application("fop"), threads=4)
+        assert 0 < result.pp0_energy_j < result.socket_energy_j
+
+    def test_pp0_scales_with_active_cores(self, machine):
+        app = get_application("blackscholes")
+        one = machine.run_solo(app, threads=1)
+        eight = machine.run_solo(app, threads=8)
+        # Per unit time, eight active threads burn more power plane 0.
+        assert (
+            eight.pp0_energy_j / eight.runtime_s
+            > one.pp0_energy_j / one.runtime_s
+        )
+
+    def test_miss_energy_included_in_socket(self, machine):
+        """The same run with a tiny cache burns more DRAM energy."""
+        app = get_application("471.omnetpp")
+        small = machine.run_solo(app, threads=1, ways=2)
+        large = machine.run_solo(app, threads=1, ways=12)
+        assert small.llc_misses > large.llc_misses
+        assert small.socket_energy_j > large.socket_energy_j
+
+
+class TestRunResultProperties:
+    def test_mpki_and_ips(self):
+        result = RunResult(
+            name="x",
+            runtime_s=10.0,
+            instructions=1e9,
+            llc_misses=5e6,
+            llc_accesses=1e7,
+            socket_energy_j=100.0,
+            wall_energy_j=300.0,
+        )
+        assert result.mpki == pytest.approx(5.0)
+        assert result.ips == pytest.approx(1e8)
+
+    def test_zero_guards(self):
+        result = RunResult("x", 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        assert result.mpki == 0.0
+        assert result.ips == 0.0
+
+
+class TestPhaseProgression:
+    def test_phased_app_visits_every_phase(self, machine):
+        """Event-driven runs must cross every phase boundary."""
+        mcf = get_application("429.mcf")
+        result = machine.run_solo(mcf, threads=1, timeline=True)
+        # Six phases -> at least six timeline points in the solo run.
+        assert result.runtime_s > 0
+
+    def test_phase_runtimes_differ_with_allocation(self, machine):
+        """Phases make small allocations disproportionately costly."""
+        mcf = get_application("429.mcf")
+        small = machine.run_solo(mcf, threads=1, ways=3)
+        large = machine.run_solo(mcf, threads=1, ways=9)
+        assert small.runtime_s > large.runtime_s * 1.05

@@ -1,0 +1,95 @@
+"""Multi-background group runs (the Section 6.3 extension)."""
+
+import pytest
+
+from repro.cache.llc import WayMask
+from repro.core.dynamic import DynamicPartitionController
+from repro.sim.allocation import Allocation
+from repro.util.errors import SchedulingError, ValidationError
+from repro.workloads import get_application
+
+
+def allocations(fg_mask=None, bg_mask=None):
+    fg_mask = fg_mask or WayMask.full()
+    bg_mask = bg_mask or WayMask.full()
+    fg = Allocation(threads=4, cores=(0, 1), mask=fg_mask)
+    bgs = [
+        Allocation(threads=2, cores=(2,), mask=bg_mask),
+        Allocation(threads=2, cores=(3,), mask=bg_mask),
+    ]
+    return fg, bgs
+
+
+class TestGroupRuns:
+    def test_two_backgrounds_complete(self, machine):
+        fg = get_application("batik")
+        bgs = [get_application("dedup"), get_application("ferret")]
+        fg_alloc, bg_allocs = allocations()
+        group = machine.run_group(fg, bgs, fg_alloc, bg_allocs)
+        assert group.fg.instructions == pytest.approx(fg.instructions, rel=1e-6)
+        assert set(group.backgrounds) == {"dedup", "ferret"}
+        assert group.bg_rate_ips > 0
+
+    def test_duplicate_backgrounds_aliased(self, machine):
+        fg = get_application("batik")
+        bg = get_application("dedup")
+        fg_alloc, bg_allocs = allocations()
+        group = machine.run_group(fg, [bg, bg], fg_alloc, bg_allocs)
+        assert set(group.backgrounds) == {"dedup", "dedup#2"}
+
+    def test_more_backgrounds_add_contention(self, machine):
+        """Section 5.2: adding background copies only increases
+        contention for the foreground."""
+        fg = get_application("471.omnetpp")
+        bg = get_application("canneal")
+        fg_alloc, bg_allocs = allocations()
+        one = machine.run_group(fg, [bg], fg_alloc, [bg_allocs[0]])
+        two = machine.run_group(fg, [bg, bg], fg_alloc, bg_allocs)
+        assert two.fg.runtime_s >= one.fg.runtime_s
+
+    def test_core_overlap_rejected(self, machine):
+        fg = get_application("batik")
+        bg = get_application("dedup")
+        fg_alloc, bg_allocs = allocations()
+        clash = Allocation(threads=2, cores=(1,), mask=WayMask.full())
+        with pytest.raises(SchedulingError):
+            machine.run_group(fg, [bg, bg], fg_alloc, [bg_allocs[0], clash])
+
+    def test_empty_backgrounds_rejected(self, machine):
+        fg = get_application("batik")
+        fg_alloc, _ = allocations()
+        with pytest.raises(ValidationError):
+            machine.run_group(fg, [], fg_alloc, [])
+
+    def test_allocation_count_mismatch_rejected(self, machine):
+        fg = get_application("batik")
+        bg = get_application("dedup")
+        fg_alloc, bg_allocs = allocations()
+        with pytest.raises(ValidationError):
+            machine.run_group(fg, [bg, bg], fg_alloc, [bg_allocs[0]])
+
+
+class TestControllerWithPeers:
+    def test_peers_share_the_background_partition(self, machine):
+        fg = get_application("429.mcf")
+        bgs = [get_application("batik"), get_application("dedup")]
+        controller = DynamicPartitionController(
+            fg.name, [b.name for b in bgs]
+        )
+        masks = controller.masks()
+        assert masks["batik"] == masks["dedup"]
+        fg_alloc = Allocation(threads=1, cores=(0, 1), mask=masks[fg.name])
+        bg_allocs = [
+            Allocation(threads=2, cores=(2,), mask=masks["batik"]),
+            Allocation(threads=2, cores=(3,), mask=masks["dedup"]),
+        ]
+        group = machine.run_group(fg, bgs, fg_alloc, bg_allocs, controller=controller)
+        assert controller.actions  # it reallocated
+        assert group.fg.runtime_s > 0
+        # Peers still share one partition after all reallocations.
+        final = controller.masks()
+        assert final["batik"] == final["dedup"]
+
+    def test_peer_list_validation(self):
+        with pytest.raises(ValidationError):
+            DynamicPartitionController("fg", [])

@@ -1,0 +1,145 @@
+import pytest
+
+from repro.cache.llc import WayMask
+from repro.sim.allocation import Allocation
+from repro.sim.interval import AppState, solve_interval
+from repro.util.errors import ValidationError
+from repro.workloads import get_application
+
+
+def state(name, threads=None, ways=12, offset=0, cores=None, pf=True):
+    app = get_application(name)
+    if threads is None:
+        threads = 1 if app.scalability.single_threaded else 4
+    if cores is None:
+        cores = tuple(range((threads + 1) // 2))
+    alloc = Allocation(
+        threads=threads, cores=cores, mask=WayMask.contiguous(ways, offset)
+    )
+    return AppState(app=app, allocation=alloc, prefetchers_on=pf)
+
+
+def solve(machine, states):
+    return solve_interval(
+        states, machine.config, machine.memory_system, machine.power_model
+    )
+
+
+class TestSoloRates:
+    def test_rates_positive_and_bounded(self, machine):
+        sol = solve(machine, [state("ferret")])
+        r = sol.per_app["ferret"]
+        assert 0 < r.rate_ips < 8 * machine.config.frequency_hz
+
+    def test_more_cache_never_slower(self, machine):
+        slow = solve(machine, [state("471.omnetpp", ways=2)])
+        fast = solve(machine, [state("471.omnetpp", ways=12)])
+        assert (
+            fast.per_app["471.omnetpp"].rate_ips
+            >= slow.per_app["471.omnetpp"].rate_ips
+        )
+
+    def test_direct_mapped_single_way_is_pathological(self, machine):
+        """The 0.5 MB direct-mapped case is always detrimental (Sec 3.2)."""
+        one = solve(machine, [state("batik", ways=1)])
+        two = solve(machine, [state("batik", ways=2)])
+        assert one.per_app["batik"].mpki > two.per_app["batik"].mpki
+
+    def test_prefetchers_speed_up_friendly_apps(self, machine):
+        on = solve(machine, [state("462.libquantum", pf=True)])
+        off = solve(machine, [state("462.libquantum", pf=False)])
+        assert (
+            on.per_app["462.libquantum"].rate_ips
+            > off.per_app["462.libquantum"].rate_ips * 1.1
+        )
+
+    def test_pollution_hurts_lusearch(self, machine):
+        on = solve(machine, [state("lusearch", pf=True)])
+        off = solve(machine, [state("lusearch", pf=False)])
+        assert on.per_app["lusearch"].rate_ips < off.per_app["lusearch"].rate_ips
+
+    def test_more_threads_more_throughput(self, machine):
+        one = solve(machine, [state("blackscholes", threads=1)])
+        eight = solve(
+            machine, [state("blackscholes", threads=8, cores=(0, 1, 2, 3))]
+        )
+        assert (
+            eight.per_app["blackscholes"].rate_ips
+            > one.per_app["blackscholes"].rate_ips * 4
+        )
+
+
+class TestCoRun:
+    def test_corun_never_faster_than_solo(self, machine):
+        solo = solve(machine, [state("471.omnetpp", threads=4, cores=(0, 1))])
+        both = solve(
+            machine,
+            [
+                state("471.omnetpp", threads=4, cores=(0, 1)),
+                state("459.GemsFDTD", threads=1, cores=(2, 3)),
+            ],
+        )
+        assert (
+            both.per_app["471.omnetpp"].rate_ips
+            <= solo.per_app["471.omnetpp"].rate_ips * 1.001
+        )
+
+    def test_partitioning_protects_occupancy(self, machine):
+        shared = solve(
+            machine,
+            [
+                state("471.omnetpp", threads=4, cores=(0, 1)),
+                state("canneal", threads=4, cores=(2, 3)),
+            ],
+        )
+        partitioned = solve(
+            machine,
+            [
+                state("471.omnetpp", threads=4, cores=(0, 1), ways=9, offset=0),
+                state("canneal", threads=4, cores=(2, 3), ways=3, offset=9),
+            ],
+        )
+        assert (
+            partitioned.per_app["471.omnetpp"].occupancy_mb
+            > shared.per_app["471.omnetpp"].occupancy_mb
+        )
+
+    def test_bandwidth_hog_throttles_victim(self, machine):
+        solo = solve(machine, [state("streamcluster", threads=4, cores=(0, 1))])
+        with_hog = solve(
+            machine,
+            [
+                state("streamcluster", threads=4, cores=(0, 1)),
+                state("stream_uncached", threads=1, cores=(2,)),
+            ],
+        )
+        assert (
+            with_hog.per_app["streamcluster"].rate_ips
+            < solo.per_app["streamcluster"].rate_ips * 0.85
+        )
+
+    def test_utilizations_reported(self, machine):
+        sol = solve(
+            machine,
+            [
+                state("470.lbm", threads=1, cores=(0,)),
+                state("stream_uncached", threads=1, cores=(2,)),
+            ],
+        )
+        assert 0 < sol.dram_utilization <= 1.0
+        assert 0 <= sol.ring_utilization <= 1.0
+
+    def test_power_breakdown_attached(self, machine):
+        sol = solve(machine, [state("ferret")])
+        assert sol.power.socket_w > machine.config.socket_idle_w
+        assert sol.power.wall_w > sol.power.socket_w
+
+
+class TestValidation:
+    def test_empty_states_rejected(self, machine):
+        with pytest.raises(ValidationError):
+            solve(machine, [])
+
+    def test_duplicate_names_rejected(self, machine):
+        with pytest.raises(ValidationError):
+            solve(machine, [state("ferret"), state("ferret")])

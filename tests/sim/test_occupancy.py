@@ -1,0 +1,134 @@
+import pytest
+
+from repro.cache.llc import WayMask
+from repro.sim.occupancy import OccupancyRequest, solve_occupancy
+from repro.util.errors import ValidationError
+
+
+def request(name, mask, rate=1e9, mr=0.3, ws=6.0, pressure=1.0):
+    return OccupancyRequest(
+        name=name,
+        mask=mask,
+        access_rate=rate,
+        miss_ratio_fn=lambda c, m=mr: m,
+        working_set_mb=ws,
+        pressure_weight=pressure,
+    )
+
+
+class TestPrivatePartitions:
+    def test_private_mask_gets_its_capacity(self):
+        occ = solve_occupancy(
+            [
+                request("a", WayMask.contiguous(4, 0)),
+                request("b", WayMask.contiguous(8, 4)),
+            ]
+        )
+        assert occ["a"] == pytest.approx(2.0, rel=0.05)
+        assert occ["b"] == pytest.approx(4.0, rel=0.05)
+
+    def test_working_set_caps_private_capacity(self):
+        occ = solve_occupancy([request("a", WayMask.contiguous(12, 0), ws=1.5)])
+        assert occ["a"] == pytest.approx(1.5, rel=0.05)
+
+    def test_unclaimed_capacity_stays_idle(self):
+        """Partitioning's drawback (Section 8): nobody reclaims unused
+        private ways."""
+        occ = solve_occupancy(
+            [
+                request("a", WayMask.contiguous(6, 0), ws=0.5),
+                request("b", WayMask.contiguous(6, 6)),
+            ]
+        )
+        assert occ["b"] == pytest.approx(3.0, rel=0.05)  # not 5.5
+
+
+class TestSharedCache:
+    def test_equal_pressure_splits_evenly(self):
+        occ = solve_occupancy(
+            [request("a", WayMask.full()), request("b", WayMask.full())]
+        )
+        assert occ["a"] == pytest.approx(occ["b"], rel=0.05)
+        assert occ["a"] + occ["b"] == pytest.approx(6.0, rel=0.05)
+
+    def test_higher_pressure_wins_capacity(self):
+        occ = solve_occupancy(
+            [
+                request("hungry", WayMask.full(), rate=5e9),
+                request("light", WayMask.full(), rate=5e8),
+            ]
+        )
+        assert occ["hungry"] > occ["light"] * 2
+
+    def test_small_working_set_leaves_room(self):
+        occ = solve_occupancy(
+            [
+                request("small", WayMask.full(), rate=5e9, ws=1.0),
+                request("big", WayMask.full(), rate=5e8),
+            ]
+        )
+        assert occ["small"] <= 1.0 + 1e-6
+        assert occ["big"] == pytest.approx(5.0, rel=0.1)
+
+    def test_pressure_weight_discounts_streamers(self):
+        occ = solve_occupancy(
+            [
+                request("victim", WayMask.full(), rate=2e9),
+                request("nt_stream", WayMask.full(), rate=20e9, pressure=0.05),
+            ]
+        )
+        assert occ["victim"] > occ["nt_stream"]
+
+    def test_total_never_exceeds_llc(self):
+        occ = solve_occupancy(
+            [request(f"a{i}", WayMask.full(), rate=(i + 1) * 1e9) for i in range(4)]
+        )
+        assert sum(occ.values()) <= 6.0 + 1e-6
+
+
+class TestOverlappingMasks:
+    def test_overlap_region_is_contested(self):
+        # a: ways 0-7, b: ways 4-11 -> private 2 MB each + 2 MB contested.
+        occ = solve_occupancy(
+            [
+                request("a", WayMask.contiguous(8, 0)),
+                request("b", WayMask.contiguous(8, 4)),
+            ]
+        )
+        assert occ["a"] == pytest.approx(3.0, rel=0.1)
+        assert occ["b"] == pytest.approx(3.0, rel=0.1)
+        assert occ["a"] + occ["b"] == pytest.approx(6.0, rel=0.02)
+
+
+class TestEdgeCases:
+    def test_empty_request_list(self):
+        assert solve_occupancy([]) == {}
+
+    def test_duplicate_names_rejected(self):
+        reqs = [request("a", WayMask.full()), request("a", WayMask.full())]
+        with pytest.raises(ValidationError):
+            solve_occupancy(reqs)
+
+    def test_zero_rate_app_concedes(self):
+        occ = solve_occupancy(
+            [
+                request("idle", WayMask.full(), rate=0.0),
+                request("busy", WayMask.full(), rate=1e9),
+            ]
+        )
+        assert occ["busy"] > occ["idle"]
+
+    def test_miss_ratio_feedback(self):
+        """An app whose misses vanish with capacity stops competing."""
+
+        def decaying(c):
+            return max(0.01, 0.5 - 0.2 * c)
+
+        reqs = [
+            OccupancyRequest(
+                "decay", WayMask.full(), 1e9, decaying, working_set_mb=6.0
+            ),
+            request("flat", WayMask.full(), rate=1e9, mr=0.5),
+        ]
+        occ = solve_occupancy(reqs)
+        assert occ["flat"] > occ["decay"]

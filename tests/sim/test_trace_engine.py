@@ -1,0 +1,130 @@
+"""The address-level co-execution engine."""
+
+import pytest
+
+from repro.cache.llc import WayMask
+from repro.sim.trace_engine import TraceEngine, TraceWorkload, measure_isolation
+from repro.util.errors import ValidationError
+from repro.util.units import KB, MB
+from repro.workloads.trace import PointerChaseTrace, StreamingTrace, ZipfTrace
+
+
+def chase(tid=0, ws=2 * MB, length=20_000):
+    return TraceWorkload(
+        name=f"chase{tid}",
+        trace_factory=lambda: PointerChaseTrace(length, ws, tid=tid, seed=5),
+        tid=tid,
+        think_cycles=4,
+    )
+
+
+def stream(tid=2, length=20_000):
+    return TraceWorkload(
+        name=f"stream{tid}",
+        trace_factory=lambda: StreamingTrace(length, 32 * MB, tid=tid),
+        tid=tid,
+        think_cycles=1,
+    )
+
+
+class TestSoloRuns:
+    def test_stats_accumulate(self):
+        engine = TraceEngine(prefetchers_on=False)
+        stats = engine.run([chase()], total_accesses=5000)["chase0"]
+        assert stats.accesses == 5000
+        assert stats.cycles > 0
+        assert sum(stats.hits_by_level.values()) == 5000
+
+    def test_small_working_set_hits_cache(self):
+        engine = TraceEngine(prefetchers_on=False)
+        small = TraceWorkload(
+            "small",
+            lambda: PointerChaseTrace(20_000, 16 * KB, tid=0, seed=3),
+            tid=0,
+        )
+        stats = engine.run([small], total_accesses=20_000)["small"]
+        assert stats.avg_latency < 10  # mostly L1 after warm-up
+
+    def test_huge_working_set_misses(self):
+        engine = TraceEngine(prefetchers_on=False)
+        big = TraceWorkload(
+            "big",
+            lambda: PointerChaseTrace(20_000, 64 * MB, tid=0, seed=3),
+            tid=0,
+        )
+        stats = engine.run([big], total_accesses=20_000)["big"]
+        assert stats.avg_latency > 100  # mostly DRAM
+
+    def test_nonrepeating_trace_retires(self):
+        engine = TraceEngine(prefetchers_on=False)
+        short = TraceWorkload(
+            "short",
+            lambda: StreamingTrace(100, 1 * MB, tid=0),
+            tid=0,
+            repeat=False,
+        )
+        stats = engine.run([short], total_accesses=10_000)["short"]
+        assert stats.accesses == 100
+
+
+class TestCoRuns:
+    def test_both_make_progress(self):
+        engine = TraceEngine(prefetchers_on=False)
+        stats = engine.run([chase(0), stream(2)], total_accesses=20_000)
+        assert stats["chase0"].accesses > 2000
+        assert stats["stream2"].accesses > 2000
+
+    def test_virtual_time_interleaving_is_fair(self):
+        """Equal think times -> comparable virtual progress."""
+        engine = TraceEngine(prefetchers_on=False)
+        a = chase(0)
+        b = chase(2)
+        b.name = "chase2b"
+        stats = engine.run([a, b], total_accesses=20_000)
+        cycles = [stats[a.name].cycles, stats[b.name].cycles]
+        assert max(cycles) / min(cycles) < 1.2
+
+    def test_duplicate_names_rejected(self):
+        engine = TraceEngine()
+        with pytest.raises(ValidationError):
+            engine.run([chase(0), chase(0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            TraceEngine().run([])
+
+
+class TestIsolationMeasurement:
+    def test_partitioning_protects_fg_latency(self):
+        """The paper's core claim at line granularity: a streaming
+        co-runner inflates a cache-resident foreground's latency under
+        sharing; a way partition restores it."""
+        fg = TraceWorkload(
+            "fg",
+            lambda: ZipfTrace(80_000, 6 * MB, alpha=0.9, tid=0, seed=7),
+            tid=0,
+            think_cycles=6,
+        )
+        bg = TraceWorkload(
+            "bg",
+            lambda: StreamingTrace(50_000, 32 * MB, tid=4),
+            tid=4,
+            think_cycles=0,
+        )
+        out = measure_isolation(
+            fg,
+            bg,
+            fg_mask=WayMask.contiguous(9, 0),
+            bg_mask=WayMask.contiguous(3, 9),
+            total_accesses=300_000,
+        )
+        # Sharing lets the stream evict the foreground's hot lines...
+        assert out["shared"]["miss_ratio"] > out["alone"]["miss_ratio"] * 3
+        assert out["shared"]["avg_latency"] > out["alone"]["avg_latency"] * 1.3
+        # ...and the way partition confines the damage.
+        assert out["partitioned"]["miss_ratio"] < out["shared"]["miss_ratio"] * 0.5
+        assert out["partitioned"]["avg_latency"] < out["shared"]["avg_latency"] * 0.8
+
+    def test_same_core_rejected(self):
+        with pytest.raises(ValidationError):
+            measure_isolation(chase(0), chase(1))

@@ -1,0 +1,99 @@
+"""The command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestListApps:
+    def test_lists_whole_workload(self):
+        code, text = run_cli("list-apps")
+        assert code == 0
+        assert "429.mcf" in text
+        assert text.count("\n") >= 46
+
+    def test_suite_filter(self):
+        code, text = run_cli("list-apps", "--suite", "micro")
+        assert code == 0
+        assert "ccbench" in text
+        assert "429.mcf" not in text
+
+
+class TestRunSolo:
+    def test_prints_measurements(self):
+        code, text = run_cli("run-solo", "fop", "--threads", "4")
+        assert code == 0
+        assert "runtime (s)" in text
+        assert "MPKI" in text
+
+    def test_unknown_app_is_an_error(self):
+        code, _ = run_cli("run-solo", "doom")
+        assert code == 1
+
+
+class TestCharacterize:
+    def test_classifies(self):
+        code, text = run_cli("characterize", "swaptions")
+        assert code == 0
+        assert "low" in text
+
+
+class TestDescribe:
+    def test_shows_model(self):
+        code, text = run_cli("describe", "429.mcf")
+        assert code == 0
+        assert "'llc_apki': 60.0" in text
+        assert "model consistency: OK" in text
+
+    def test_multiple_apps(self):
+        code, text = run_cli("describe", "batik", "fop")
+        assert code == 0
+        assert "'batik'" in text and "'fop'" in text
+
+
+class TestConsolidate:
+    def test_compares_policies(self):
+        code, text = run_cli("consolidate", "fop", "batik")
+        assert code == 0
+        for policy in ("shared", "fair", "biased"):
+            assert policy in text
+
+    def test_ucp_flag_adds_baseline(self):
+        code, text = run_cli("consolidate", "fop", "batik", "--ucp")
+        assert code == 0
+        assert "ucp" in text
+
+
+class TestDynamic:
+    def test_single_background(self):
+        code, text = run_cli("dynamic", "429.mcf", "fop")
+        assert code == 0
+        assert "reallocations" in text
+
+    def test_multiple_backgrounds(self):
+        code, text = run_cli("dynamic", "429.mcf", "batik", "dedup")
+        assert code == 0
+        assert "reallocations" in text
+
+
+class TestFigure:
+    def test_simple_figure(self):
+        code, text = run_cli("figure", "3")
+        assert code == 0
+        assert "462.libquantum" in text
+
+    def test_unknown_figure_is_an_error(self):
+        code, _ = run_cli("figure", "99")
+        assert code == 1
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli()

@@ -1,0 +1,21 @@
+import pytest
+
+from repro.util.errors import (
+    ConfigurationError,
+    ReproError,
+    SchedulingError,
+    ValidationError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc", [ConfigurationError, SchedulingError, ValidationError]
+)
+def test_all_errors_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_repro_error_is_an_exception():
+    assert issubclass(ReproError, Exception)

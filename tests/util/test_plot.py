@@ -1,0 +1,60 @@
+import pytest
+
+from repro.util.errors import ValidationError
+from repro.util.plot import heatmap, line_plot, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series_monotone_chars(self):
+        line = sparkline([1, 2, 3, 4, 5])
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_flat_series(self):
+        assert sparkline([3, 3, 3]) == "   "
+
+    def test_downsampling(self):
+        assert len(sparkline(range(1000), width=40)) == 40
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            sparkline([])
+
+
+class TestLinePlot:
+    def test_contains_series_marks_and_legend(self):
+        text = line_plot(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]}, height=5, width=20
+        )
+        assert "o=a" in text and "x=b" in text
+        assert "o" in text and "x" in text
+
+    def test_title(self):
+        text = line_plot({"a": [(0, 0), (1, 2)]}, title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            line_plot({})
+        with pytest.raises(ValidationError):
+            line_plot({"a": []})
+
+
+class TestHeatmap:
+    def test_extremes_rendered(self):
+        matrix = {("r1", "c1"): 0.0, ("r1", "c2"): 1.0}
+        text = heatmap(matrix, ["r1"], ["c1", "c2"])
+        assert " " in text and "@" in text
+
+    def test_missing_cells_blank(self):
+        matrix = {("r1", "c1"): 1.0}
+        text = heatmap(matrix, ["r1", "r2"], ["c1"])
+        assert "r2 | |" in text
+
+    def test_custom_scale_clamps(self):
+        matrix = {("r", "c"): 10.0}
+        text = heatmap(matrix, ["r"], ["c"], lo=0.0, hi=1.0)
+        assert "@" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            heatmap({}, [], [])

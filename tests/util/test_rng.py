@@ -1,0 +1,54 @@
+import pytest
+
+from repro.util.rng import DeterministicRng, derive_seed
+
+
+def test_derive_seed_is_stable():
+    assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+
+def test_derive_seed_varies_with_labels():
+    seeds = {derive_seed(42), derive_seed(42, "x"), derive_seed(42, "x", "y")}
+    assert len(seeds) == 3
+
+
+def test_streams_reproduce():
+    a = DeterministicRng(7, "test")
+    b = DeterministicRng(7, "test")
+    assert [a.uniform() for _ in range(5)] == [b.uniform() for _ in range(5)]
+
+
+def test_child_streams_are_independent():
+    root = DeterministicRng(7)
+    assert root.child("a").seed != root.child("b").seed
+
+
+def test_integers_respects_bounds():
+    rng = DeterministicRng(3)
+    draws = [rng.integers(2, 5) for _ in range(200)]
+    assert set(draws) <= {2, 3, 4}
+    assert len(set(draws)) > 1
+
+
+def test_zipf_skews_to_low_ranks():
+    rng = DeterministicRng(11)
+    draws = [rng.zipf_index(100, alpha=1.5) for _ in range(500)]
+    # The most popular item should appear far more than the uniform rate.
+    assert draws.count(0) > 500 / 100 * 3
+
+
+def test_zipf_single_item():
+    assert DeterministicRng(1).zipf_index(1) == 0
+
+
+def test_zipf_rejects_empty():
+    with pytest.raises(ValueError):
+        DeterministicRng(1).zipf_index(0)
+
+
+def test_shuffle_preserves_elements():
+    rng = DeterministicRng(5)
+    original = list(range(10))
+    shuffled = rng.shuffle(original)
+    assert sorted(shuffled) == original
+    assert original == list(range(10))  # input not mutated

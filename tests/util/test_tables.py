@@ -1,0 +1,26 @@
+from repro.util.tables import format_table
+
+
+def test_basic_table_layout():
+    text = format_table(["a", "bb"], [[1, 2.5], ["xx", 3]])
+    lines = text.splitlines()
+    assert lines[0].startswith("a")
+    assert "--" in lines[1]
+    assert "2.500" in lines[2]
+
+
+def test_title_is_first_line():
+    text = format_table(["x"], [[1]], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+
+
+def test_columns_align():
+    text = format_table(["name", "v"], [["longername", 1], ["s", 22]])
+    lines = text.splitlines()
+    # Every row should be padded to the same column start for "v".
+    assert lines[0].index("v") == len("longername") + 2
+
+
+def test_empty_rows():
+    text = format_table(["a"], [])
+    assert len(text.splitlines()) == 2

@@ -1,0 +1,21 @@
+from repro.util.units import GB, KB, MB, bytes_to_mb, mb_to_bytes, percent
+
+
+def test_constants_are_binary_powers():
+    assert KB == 1024
+    assert MB == 1024 * KB
+    assert GB == 1024 * MB
+
+
+def test_mb_to_bytes_roundtrip():
+    assert mb_to_bytes(6) == 6 * MB
+    assert bytes_to_mb(mb_to_bytes(3.5)) == 3.5
+
+
+def test_mb_to_bytes_fractional():
+    assert mb_to_bytes(0.5) == 512 * KB
+
+
+def test_percent():
+    assert percent(0.063) == 6.3
+    assert percent(0) == 0.0

@@ -1,0 +1,65 @@
+"""MRC measurement on the address-level simulator + curve fitting."""
+
+import pytest
+
+from repro.util.errors import ValidationError
+from repro.util.units import MB
+from repro.workloads.calibrate import (
+    fit_mrc,
+    fit_quality,
+    measure_llc_miss_ratio,
+    measure_mrc,
+)
+from repro.workloads.trace import ZipfTrace
+
+
+def zipf_factory(ws_mb=8, length=25_000, alpha=1.15):
+    return lambda: ZipfTrace(length, int(ws_mb * MB), alpha=alpha, seed=21)
+
+
+class TestMeasurement:
+    def test_miss_ratio_in_range(self):
+        ratio = measure_llc_miss_ratio(zipf_factory(), ways=6)
+        assert 0.0 <= ratio <= 1.0
+
+    def test_more_ways_fewer_misses(self):
+        small = measure_llc_miss_ratio(zipf_factory(), ways=2)
+        large = measure_llc_miss_ratio(zipf_factory(), ways=12)
+        assert large < small
+
+    def test_sweep_monotone_within_noise(self):
+        mrc = measure_mrc(zipf_factory(), way_counts=(2, 6, 12))
+        assert mrc[1.0] >= mrc[3.0] - 0.03
+        assert mrc[3.0] >= mrc[6.0] - 0.03
+
+    def test_invalid_ways_rejected(self):
+        with pytest.raises(ValidationError):
+            measure_llc_miss_ratio(zipf_factory(), ways=0)
+
+
+class TestFitting:
+    def test_fit_recovers_synthetic_curve(self):
+        from repro.workloads.base import MissRatioCurve
+
+        truth = MissRatioCurve(0.15, [(0.5, 1.2)])
+        measured = {c / 2: truth.value(c / 2) for c in range(2, 13)}
+        fitted = fit_mrc(measured)
+        assert fit_quality(fitted, measured) < 0.01
+
+    def test_fit_on_simulated_measurements(self):
+        measured = measure_mrc(zipf_factory(), way_counts=(2, 4, 6, 8, 10, 12))
+        fitted = fit_mrc(measured)
+        # The fitted curve tracks the simulator within a few points.
+        assert fit_quality(fitted, measured) < 0.06
+        # And preserves the fundamental property.
+        assert fitted.value(1.0) >= fitted.value(6.0) - 1e-9
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValidationError):
+            fit_mrc({1.0: 0.5, 6.0: 0.1})
+
+    def test_quality_needs_points(self):
+        from repro.workloads.base import MissRatioCurve
+
+        with pytest.raises(ValidationError):
+            fit_quality(MissRatioCurve(0.1, []), {0.5: 1.0})

@@ -1,0 +1,71 @@
+"""The workload description / validation API."""
+
+import pytest
+
+from repro.workloads import all_applications, get_application
+from repro.workloads.describe import (
+    describe,
+    phased_applications,
+    suite_statistics,
+    validate_model_consistency,
+)
+
+
+class TestDescribe:
+    def test_by_name_and_by_object(self):
+        by_name = describe("429.mcf")
+        by_object = describe(get_application("429.mcf"))
+        assert by_name == by_object
+
+    def test_structure(self):
+        summary = describe("429.mcf")
+        assert summary["suite"] == "SPEC"
+        assert summary["threading"]["single_threaded"] is True
+        assert summary["memory"]["llc_apki"] == 60.0
+        assert len(summary["phases"]) == 6
+        assert summary["paper_classification"]["high_apki"] is True
+
+    def test_working_set_reported(self):
+        summary = describe("swaptions")
+        assert 0.5 <= summary["memory"]["working_set_mb"] <= 6.0
+
+
+class TestSuiteStatistics:
+    def test_counts_match_registry(self):
+        stats = suite_statistics()
+        assert sum(s["count"] for s in stats.values()) == 45
+        assert stats["SPEC"]["single_threaded"] == 12
+        assert stats["micro"]["count"] == 2
+
+    def test_classes_partition_each_suite(self):
+        for suite, entry in suite_statistics().items():
+            assert sum(entry["classes"].values()) == entry["count"], suite
+
+    def test_spec_is_the_apki_heaviest_major_suite(self):
+        stats = suite_statistics()
+        assert stats["SPEC"]["avg_apki"] > stats["DaCapo"]["avg_apki"]
+        assert stats["SPEC"]["avg_apki"] > stats["PARSEC"]["avg_apki"]
+
+
+class TestPhased:
+    def test_known_phased_apps(self):
+        phased = phased_applications()
+        assert "429.mcf" in phased
+        assert "x264" in phased
+        assert "swaptions" not in phased
+
+
+class TestValidation:
+    @pytest.mark.parametrize("app", all_applications(), ids=lambda a: a.name)
+    def test_every_registered_model_is_consistent(self, app):
+        assert validate_model_consistency(app) == []
+
+    def test_detects_bad_classification(self):
+        import dataclasses
+
+        broken = dataclasses.replace(
+            get_application("429.mcf"),
+            expected_scalability_class="high",
+            phases=get_application("429.mcf").phases,
+        )
+        assert "single-threaded" in validate_model_consistency(broken)[0]

@@ -1,0 +1,64 @@
+"""The runnable microbenchmark programs."""
+
+import pytest
+
+from repro.cache.hierarchy import (
+    L1_LATENCY,
+    MEM_LATENCY,
+)
+from repro.util.errors import ValidationError
+from repro.util.units import KB, MB
+from repro.workloads.programs import ccbench_sweep, stream_probe
+
+
+class TestCcbench:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return ccbench_sweep(
+            sizes=(16 * KB, 128 * KB, 2 * MB, 16 * MB),
+            accesses_per_size=15_000,
+        )
+
+    def test_latency_staircase_is_monotone(self, sweep):
+        latencies = [p.avg_latency_cycles for p in sweep]
+        assert latencies == sorted(latencies)
+
+    def test_extreme_levels_identified(self, sweep):
+        assert sweep[0].dominant_level == "L1"
+        assert sweep[-1].dominant_level == "MEM"
+
+    def test_latencies_bounded_by_hierarchy(self, sweep):
+        assert sweep[0].avg_latency_cycles >= L1_LATENCY
+        assert sweep[-1].avg_latency_cycles <= MEM_LATENCY * 1.2
+
+    def test_staircase_spans_an_order_of_magnitude(self, sweep):
+        assert sweep[-1].avg_latency_cycles > 10 * sweep[0].avg_latency_cycles
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(ValidationError):
+            ccbench_sweep(sizes=())
+
+
+class TestStreamProbe:
+    def test_prefetchers_lift_achieved_bandwidth(self):
+        with_pf = stream_probe(accesses=30_000, prefetchers_on=True)
+        without = stream_probe(accesses=30_000, prefetchers_on=False)
+        assert (
+            with_pf.bandwidth_bytes_per_cycle
+            > 2 * without.bandwidth_bytes_per_cycle
+        )
+
+    def test_unprefetched_stream_pays_memory_latency(self):
+        result = stream_probe(accesses=20_000, prefetchers_on=False)
+        avg_latency = result.cycles / (result.bytes_moved / 64)
+        assert avg_latency > MEM_LATENCY * 0.8
+
+    def test_gbps_conversion(self):
+        result = stream_probe(accesses=10_000)
+        assert result.bandwidth_gbps(3.4e9) == pytest.approx(
+            result.bandwidth_bytes_per_cycle * 3.4, rel=1e-9
+        )
+
+    def test_small_buffer_rejected(self):
+        with pytest.raises(ValidationError):
+            stream_probe(buffer_bytes=64 * KB)

@@ -1,0 +1,52 @@
+"""Runtime registration of custom applications."""
+
+import pytest
+
+from repro.util.errors import ValidationError
+from repro.workloads import all_applications, get_application, make_application
+from repro.workloads.registry import register_application, unregister_application
+
+
+@pytest.fixture()
+def custom():
+    app = make_application("registered-app", 2.0, 8.0)
+    register_application(app)
+    yield app
+    unregister_application(app.name)
+
+
+class TestRegistration:
+    def test_lookup_by_name_after_registration(self, custom):
+        assert get_application("registered-app") is custom
+
+    def test_paper_suite_iteration_unaffected(self, custom):
+        assert len(all_applications()) == 45
+
+    def test_duplicate_rejected(self, custom):
+        with pytest.raises(ValidationError):
+            register_application(custom)
+
+    def test_builtin_name_collision_rejected(self):
+        clash = make_application("429.mcf", 2.0, 8.0)
+        with pytest.raises(ValidationError):
+            register_application(clash)
+
+    def test_unregister_restores_state(self):
+        app = make_application("transient", 1.0, 4.0)
+        register_application(app)
+        unregister_application("transient")
+        with pytest.raises(ValidationError):
+            get_application("transient")
+
+    def test_builtin_cannot_be_unregistered(self):
+        with pytest.raises(ValidationError):
+            unregister_application("429.mcf")
+
+    def test_unknown_unregister_rejected(self):
+        with pytest.raises(ValidationError):
+            unregister_application("ghost")
+
+    def test_registered_app_usable_in_cli_paths(self, custom, machine):
+        """Anything that resolves apps by name can now use it."""
+        result = machine.run_solo(get_application("registered-app"), threads=4)
+        assert result.runtime_s > 0

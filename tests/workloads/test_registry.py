@@ -1,0 +1,111 @@
+import pytest
+
+from repro.util.errors import ValidationError
+from repro.workloads import (
+    all_application_names,
+    all_applications,
+    applications_of_suite,
+    get_application,
+)
+from repro.workloads.registry import REPRESENTATIVES, representatives
+
+# Section 2.3's suite composition.
+EXPECTED_COUNTS = {
+    "PARSEC": 13,
+    "DaCapo": 14,
+    "SPEC": 12,
+    "Parallel": 4,
+    "micro": 2,
+}
+
+
+class TestComposition:
+    def test_forty_five_applications(self):
+        assert len(all_applications()) == 45
+
+    def test_suite_sizes(self):
+        for suite, count in EXPECTED_COUNTS.items():
+            assert len(applications_of_suite(suite)) == count, suite
+
+    def test_names_unique(self):
+        names = all_application_names()
+        assert len(names) == len(set(names))
+
+    def test_spec_subset_matches_paper(self):
+        spec = {a.name for a in applications_of_suite("SPEC")}
+        assert spec == {
+            "429.mcf", "436.cactusADM", "437.leslie3d", "450.soplex",
+            "453.povray", "454.calculix", "459.GemsFDTD", "462.libquantum",
+            "470.lbm", "471.omnetpp", "473.astar", "482.sphinx3",
+        }
+
+    def test_all_spec_single_threaded(self):
+        for app in applications_of_suite("SPEC"):
+            assert app.scalability.single_threaded, app.name
+
+    def test_fluidanimate_is_pow2_only(self):
+        assert get_application("fluidanimate").scalability.pow2_only
+
+
+class TestLookup:
+    def test_get_application(self):
+        assert get_application("429.mcf").suite == "SPEC"
+
+    def test_unknown_application(self):
+        with pytest.raises(ValidationError):
+            get_application("doom")
+
+    def test_unknown_suite(self):
+        with pytest.raises(ValidationError):
+            applications_of_suite("SPLASH")
+
+
+class TestRepresentatives:
+    def test_six_clusters(self):
+        assert sorted(REPRESENTATIVES) == ["C1", "C2", "C3", "C4", "C5", "C6"]
+
+    def test_paper_representatives(self):
+        assert REPRESENTATIVES["C1"] == "429.mcf"
+        assert REPRESENTATIVES["C2"] == "459.GemsFDTD"
+        assert REPRESENTATIVES["C3"] == "ferret"
+        assert REPRESENTATIVES["C4"] == "fop"
+        assert REPRESENTATIVES["C5"] == "dedup"
+        assert REPRESENTATIVES["C6"] == "batik"
+
+    def test_representatives_resolve(self):
+        reps = representatives()
+        assert all(reps[c].name == n for c, n in REPRESENTATIVES.items())
+
+
+class TestModelSanity:
+    """Cheap structural checks over every registered application."""
+
+    @pytest.mark.parametrize("app", all_applications(), ids=lambda a: a.name)
+    def test_phase_weights_sum_to_one(self, app):
+        assert sum(p.weight for p in app.phases) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("app", all_applications(), ids=lambda a: a.name)
+    def test_mrc_monotone(self, app):
+        values = [app.miss_ratio(c / 2) for c in range(1, 13)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    @pytest.mark.parametrize("app", all_applications(), ids=lambda a: a.name)
+    def test_expected_classes_declared(self, app):
+        assert app.expected_scalability_class in ("low", "saturated", "high")
+        assert app.expected_llc_class in ("low", "saturated", "high")
+
+    def test_mcf_has_five_phase_transitions(self):
+        """Fig. 12: 429.mcf transitions 5 times between phases."""
+        mcf = get_application("429.mcf")
+        assert len(mcf.phases) == 6
+
+    def test_bold_apki_set_matches_table2(self):
+        bold = {a.name for a in all_applications() if a.llc_apki > 10}
+        expected_bold_subset = {
+            "canneal", "streamcluster", "h2", "lusearch", "xalan",
+            "429.mcf", "437.leslie3d", "450.soplex", "459.GemsFDTD",
+            "462.libquantum", "470.lbm", "471.omnetpp", "473.astar",
+            "482.sphinx3", "browser_animation", "g500_csr", "ParaDecoder",
+            "stencilprobe", "ccbench", "stream_uncached",
+        }
+        assert expected_bold_subset <= bold

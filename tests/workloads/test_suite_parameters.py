@@ -1,0 +1,109 @@
+"""Parameter-level sanity over the 45 calibrated models.
+
+Cheaper and more localized than the golden tests: these check that each
+declared classification is *plausible from the raw parameters*, so a
+miscalibrated edit is caught at the parameter level before the engine-
+level goldens point at it.
+"""
+
+import pytest
+
+from repro.workloads import all_applications, applications_of_suite
+
+ALL = all_applications()
+HIGH_UTILITY = [a for a in ALL if a.expected_llc_class == "high"]
+LOW_UTILITY = [a for a in ALL if a.expected_llc_class == "low"]
+BW_SENSITIVE = [a for a in ALL if a.bandwidth_sensitive]
+
+
+class TestUtilityParameters:
+    @pytest.mark.parametrize("app", HIGH_UTILITY, ids=lambda a: a.name)
+    def test_high_utility_curves_keep_decaying(self, app):
+        """High-utility apps must still gain measurably past 5 MB."""
+        tail = app.miss_ratio(5.0) - app.miss_ratio(6.0)
+        assert tail > 1e-4, f"{app.name} has no tail left"
+
+    @pytest.mark.parametrize("app", HIGH_UTILITY, ids=lambda a: a.name)
+    def test_high_utility_has_long_scale_component(self, app):
+        assert any(scale >= 2.0 for _, scale in app.mrc.components), app.name
+
+    @pytest.mark.parametrize("app", LOW_UTILITY, ids=lambda a: a.name)
+    def test_low_utility_exposure_is_small(self, app):
+        """The capacity-dependent CPI swing must be tiny relative to the
+        total CPI (the 3% rule of thumb, at parameter level)."""
+        swing = app.miss_ratio(1.0) - app.miss_ratio(6.0)
+        exposure = (app.llc_apki / 1000.0) * swing * 230.0 / app.mlp
+        baseline = app.base_cpi + (app.llc_apki / 1000.0) * 230.0 / app.mlp * app.miss_ratio(6.0)
+        assert exposure / baseline < 0.06, app.name
+
+
+class TestBandwidthParameters:
+    @pytest.mark.parametrize("app", BW_SENSITIVE, ids=lambda a: a.name)
+    def test_sensitive_apps_generate_real_traffic(self, app):
+        """Bandwidth sensitivity needs miss traffic to starve."""
+        miss_intensity = app.llc_apki * app.miss_ratio(6.0)
+        assert miss_intensity > 3.0, app.name
+
+    def test_the_hog_out_demands_everyone(self):
+        from repro.workloads import get_application
+
+        hog = get_application("stream_uncached")
+        hog_intensity = (
+            hog.llc_apki * hog.miss_ratio(6.0) * (1 + hog.wb_fraction)
+            / hog.dram_efficiency
+        )
+        for app in ALL:
+            if app.name == hog.name:
+                continue
+            intensity = (
+                app.llc_apki * app.miss_ratio(6.0) * (1 + app.wb_fraction)
+                / app.dram_efficiency
+            )
+            assert hog_intensity > intensity, app.name
+
+
+class TestScalabilityParameters:
+    @pytest.mark.parametrize(
+        "app",
+        [a for a in ALL if a.expected_scalability_class == "high"],
+        ids=lambda a: a.name,
+    )
+    def test_high_scalability_has_high_parallel_fraction(self, app):
+        assert app.scalability.parallel_fraction >= 0.9, app.name
+        assert app.scalability.saturation_threads == 8, app.name
+
+    @pytest.mark.parametrize(
+        "app",
+        [
+            a
+            for a in ALL
+            if a.expected_scalability_class == "low"
+            and not a.scalability.single_threaded
+        ],
+        ids=lambda a: a.name,
+    )
+    def test_low_scalability_is_mostly_serial(self, app):
+        assert app.scalability.parallel_fraction <= 0.5, app.name
+
+
+class TestSuiteCharacter:
+    def test_dacapo_prefetch_coverage_is_negligible(self):
+        """Fig. 3: no DaCapo app benefits significantly."""
+        for app in applications_of_suite("DaCapo"):
+            assert app.pf_coverage <= 0.06, app.name
+
+    def test_streaming_spec_codes_have_deep_mlp(self):
+        from repro.workloads import get_application
+
+        for name in ("462.libquantum", "470.lbm", "459.GemsFDTD"):
+            assert get_application(name).mlp >= 6, name
+
+    def test_pointer_chasers_have_shallow_mlp(self):
+        from repro.workloads import get_application
+
+        assert get_application("ccbench").mlp == 1.0
+        assert get_application("429.mcf").mlp <= 4.0
+
+    def test_every_app_has_positive_runtime_scale(self):
+        for app in ALL:
+            assert app.instructions >= 1e10, app.name

@@ -1,0 +1,123 @@
+import pytest
+
+from repro.cache.block import LINE_SIZE
+from repro.util.errors import ValidationError
+from repro.workloads.trace import (
+    PointerChaseTrace,
+    StencilTrace,
+    StreamingTrace,
+    StridedTrace,
+    ZipfTrace,
+    interleave,
+)
+from repro.util.units import KB, MB
+
+
+class TestStreamingTrace:
+    def test_length(self):
+        assert len(list(StreamingTrace(100, 1 * MB))) == 100
+
+    def test_sequential_addresses(self):
+        accesses = list(StreamingTrace(10, 1 * MB, start=0x1000))
+        addrs = [a.address for a in accesses]
+        assert addrs == [0x1000 + i * LINE_SIZE for i in range(10)]
+
+    def test_wraps_at_buffer_end(self):
+        buffer = 4 * LINE_SIZE
+        accesses = list(StreamingTrace(6, buffer, start=0))
+        assert accesses[4].address == 0  # wrapped
+
+    def test_buffer_smaller_than_stride_rejected(self):
+        with pytest.raises(ValidationError):
+            StreamingTrace(10, 32, stride=64)
+
+
+class TestStridedTrace:
+    def test_per_stream_strides(self):
+        accesses = list(StridedTrace(8, stride=128, num_streams=2, start=0))
+        stream0 = [a.address for a in accesses[::2]]
+        assert stream0 == [0, 128, 256, 384]
+        pcs = {a.pc for a in accesses}
+        assert len(pcs) == 2
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(ValidationError):
+            StridedTrace(10, stride=0)
+
+
+class TestPointerChase:
+    def test_stays_in_working_set(self):
+        ws = 64 * KB
+        start = 0x30_0000
+        for access in PointerChaseTrace(1000, ws, start=start):
+            assert start <= access.address < start + ws
+
+    def test_deterministic(self):
+        a = [x.address for x in PointerChaseTrace(100, 1 * MB, seed=5)]
+        b = [x.address for x in PointerChaseTrace(100, 1 * MB, seed=5)]
+        assert a == b
+
+    def test_seed_changes_sequence(self):
+        a = [x.address for x in PointerChaseTrace(100, 1 * MB, seed=5)]
+        b = [x.address for x in PointerChaseTrace(100, 1 * MB, seed=6)]
+        assert a != b
+
+    def test_tiny_working_set_rejected(self):
+        with pytest.raises(ValidationError):
+            PointerChaseTrace(10, 32)
+
+
+class TestZipf:
+    def test_skew(self):
+        accesses = list(ZipfTrace(2000, 1 * MB, alpha=1.3))
+        from collections import Counter
+
+        counts = Counter(a.address for a in accesses)
+        top = counts.most_common(1)[0][1]
+        assert top > 2000 / (1 * MB // LINE_SIZE) * 20
+
+    def test_deterministic(self):
+        a = [x.address for x in ZipfTrace(200, 1 * MB, seed=3)]
+        b = [x.address for x in ZipfTrace(200, 1 * MB, seed=3)]
+        assert a == b
+
+
+class TestStencil:
+    def test_five_point_pattern(self):
+        accesses = list(StencilTrace(5, rows=8, cols=8, elem_bytes=8, start=0))
+        # First group: centre (1,1) then N, S, W, E neighbours.
+        addrs = [a.address for a in accesses]
+        assert addrs[0] == (1 * 8 + 1) * 8
+        assert addrs[1] == (0 * 8 + 1) * 8
+        assert addrs[2] == (2 * 8 + 1) * 8
+
+    def test_length_respected(self):
+        assert len(list(StencilTrace(123, rows=16, cols=16))) == 123
+
+    def test_small_grid_rejected(self):
+        with pytest.raises(ValidationError):
+            StencilTrace(10, rows=2, cols=8)
+
+
+class TestInterleave:
+    def test_round_robin(self):
+        a = StreamingTrace(3, 1 * MB, start=0, tid=0)
+        b = StreamingTrace(3, 1 * MB, start=0x100000, tid=1)
+        tids = [x.tid for x in interleave([a, b])]
+        assert tids == [0, 1, 0, 1, 0, 1]
+
+    def test_bursts(self):
+        a = StreamingTrace(4, 1 * MB, tid=0)
+        b = StreamingTrace(2, 1 * MB, tid=1)
+        tids = [x.tid for x in interleave([a, b], schedule=[2, 1])]
+        assert tids[:3] == [0, 0, 1]
+
+    def test_uneven_lengths_drain(self):
+        a = StreamingTrace(5, 1 * MB, tid=0)
+        b = StreamingTrace(1, 1 * MB, tid=1)
+        out = list(interleave([a, b]))
+        assert len(out) == 6
+
+    def test_schedule_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            list(interleave([StreamingTrace(1, 1 * MB)], schedule=[1, 2]))
