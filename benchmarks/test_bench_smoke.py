@@ -1,0 +1,56 @@
+"""Tier-2 check: the engine-optimization smoke benchmark.
+
+Runs scripts/bench_smoke.py as a subprocess (the way CI and humans run
+it) and validates the artifact it writes: the optimized engine must beat
+the seed-equivalent path while producing bitwise-identical results.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCRIPT = os.path.join(REPO, "scripts", "bench_smoke.py")
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_engine.json"
+    proc = subprocess.run(
+        [sys.executable, SCRIPT, "--output", str(out), "--repeats", "2"],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    with open(out) as handle:
+        return json.load(handle)
+
+
+class TestBenchSmoke:
+    def test_artifact_shape(self, artifact):
+        for key in (
+            "benchmark",
+            "apps",
+            "wall_s",
+            "speedup",
+            "memo_hit_rate",
+            "equivalent",
+        ):
+            assert key in artifact
+        assert set(artifact["wall_s"]) == {"seed", "fast", "memo", "parallel_memo"}
+        assert artifact["pairs"] == len(artifact["apps"]) ** 2
+
+    def test_results_equivalent(self, artifact):
+        """The script aborts if results diverge; the artifact records it."""
+        assert artifact["equivalent"] is True
+        assert artifact["max_rel_drift_vs_seed"] < 1e-5
+
+    def test_optimizations_actually_help(self, artifact):
+        assert artifact["speedup"] > 1.0
+        assert artifact["wall_s"]["memo"] < artifact["wall_s"]["seed"]
+        assert 0.0 < artifact["memo_hit_rate"] < 1.0

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Smoke benchmark of the execution/caching layer.
+
+Times the Fig. 8 pairwise sweep on an 8-app subset under four arms:
+
+- ``seed``          — the pre-optimization engine (``occupancy_tol=0``
+                      replays the fixed 40-iteration solver schedule bit
+                      for bit), serial, memo off;
+- ``fast``          — solver fast paths on, serial, memo off;
+- ``memo``          — fast paths + interval memo, serial;
+- ``parallel_memo`` — fast paths + memo on ``--workers`` processes.
+
+Each arm runs ``--repeats`` times on a fresh Machine and keeps the best
+wall time. Before reporting, the script verifies the optimization
+contract: memo-on results equal memo-off results exactly, and the fast
+arms agree with the seed arm to ~1e-9 relative. The summary lands in
+``BENCH_engine.json`` (tier-2 checked by benchmarks/test_bench_smoke.py).
+
+Usage: PYTHONPATH=src python scripts/bench_smoke.py [--output PATH]
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.analysis.experiments import fig08_pairwise_slowdowns  # noqa: E402
+from repro.perf import engine_counters as ec  # noqa: E402
+from repro.perf.stat import format_engine_stat  # noqa: E402
+from repro.sim.engine import Machine  # noqa: E402
+from repro.sim.tuning import EngineTuning  # noqa: E402
+
+BENCH_APPS = (
+    "429.mcf",
+    "459.GemsFDTD",
+    "x264",
+    "h2",
+    "ferret",
+    "471.omnetpp",
+    "462.libquantum",
+    "streamcluster",
+)
+
+SEED_TUNING = EngineTuning(occupancy_tol=0.0)
+
+
+def _time_arm(make_machine, repeats, workers=1):
+    """Best-of-``repeats`` wall time; each repeat gets a cold Machine."""
+    best, result, machine = None, None, None
+    for _ in range(repeats):
+        machine = make_machine()
+        start = time.perf_counter()
+        result = fig08_pairwise_slowdowns(machine, apps=list(BENCH_APPS), workers=workers)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result, machine
+
+
+def run(repeats=3, workers=4):
+    arms = {}
+    results = {}
+    # One untimed pass absorbs import and registry warm-up so the first
+    # timed arm (the baseline) is not unfairly charged for it.
+    _time_arm(lambda: Machine(memoize=False), 1)
+    ec.reset_engine_counters()
+
+    arms["seed"], results["seed"], _ = _time_arm(
+        lambda: Machine(tuning=SEED_TUNING, memoize=False), repeats
+    )
+    arms["fast"], results["fast"], _ = _time_arm(
+        lambda: Machine(memoize=False), repeats
+    )
+    snapshot = ec.engine_counters().snapshot()
+    arms["memo"], results["memo"], memo_machine = _time_arm(
+        lambda: Machine(), repeats
+    )
+    memo_delta = ec.engine_counters().delta(snapshot)
+    arms["parallel_memo"], results["parallel_memo"], _ = _time_arm(
+        lambda: Machine(), repeats, workers=workers
+    )
+
+    # -- the contract ------------------------------------------------------
+    if results["memo"] != results["fast"]:
+        raise SystemExit("FAIL: memoized results differ from unmemoized")
+    if results["parallel_memo"] != results["memo"]:
+        raise SystemExit("FAIL: parallel results differ from serial")
+    drift = max(
+        abs(results["fast"][k] - results["seed"][k]) / abs(results["seed"][k])
+        for k in results["seed"]
+    )
+    if drift > 1e-5:
+        raise SystemExit(f"FAIL: fast path drifted {drift:.2e} from the seed engine")
+
+    return {
+        "benchmark": "fig08_pairwise_slowdowns",
+        "apps": list(BENCH_APPS),
+        "pairs": len(results["seed"]),
+        "repeats": repeats,
+        "workers": workers,
+        "wall_s": {arm: round(t, 4) for arm, t in arms.items()},
+        "speedup": round(arms["seed"] / arms["parallel_memo"], 2),
+        "speedup_serial": round(arms["seed"] / arms["memo"], 2),
+        "memo_hit_rate": round(memo_machine.memo.hit_rate, 4),
+        "max_rel_drift_vs_seed": drift,
+        "equivalent": True,
+    }, memo_delta
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_engine.json"
+        ),
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    summary, counters = run(repeats=args.repeats, workers=args.workers)
+    with open(args.output, "w") as handle:
+        json.dump(summary, handle, indent=1)
+        handle.write("\n")
+
+    print(json.dumps(summary, indent=1))
+    print()
+    print(format_engine_stat(counters))
+    print(f"\nwritten to {os.path.abspath(args.output)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

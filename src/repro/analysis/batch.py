@@ -16,6 +16,7 @@ from repro.analysis import experiments as ex
 from repro.analysis.characterize import Characterizer
 from repro.analysis.classify import classify_llc_utility, classify_scalability
 from repro.analysis.consolidation import ConsolidationStudy
+from repro.exec import resolve_workers
 from repro.sim import Machine
 from repro.util.errors import ValidationError
 from repro.workloads import all_applications
@@ -26,12 +27,15 @@ MANIFEST = "manifest.json"
 class EvaluationRunner:
     """Runs evaluation stages and persists their outputs as JSON."""
 
-    def __init__(self, output_dir, machine=None, characterizer=None, study=None):
+    def __init__(
+        self, output_dir, machine=None, characterizer=None, study=None, workers=None
+    ):
         self.output_dir = output_dir
         os.makedirs(output_dir, exist_ok=True)
         self.machine = machine or Machine()
         self.characterizer = characterizer or Characterizer(self.machine)
         self.study = study or ConsolidationStudy(self.machine)
+        self.workers = workers
         self._stages = {
             "classification": self._stage_classification,
             "scalability": self._stage_scalability,
@@ -56,6 +60,16 @@ class EvaluationRunner:
         if unknown:
             raise ValidationError(f"unknown stages: {unknown}")
         written = {}
+        study_stages = {"policies", "energy", "dynamic", "headline"}
+        pending = [
+            s
+            for s in stages
+            if force or not os.path.exists(self._path(s))
+        ]
+        if resolve_workers(self.workers) > 1 and study_stages.intersection(pending):
+            # One parallel warm-up fills every study cache the pending
+            # stages will slice; the stages themselves stay serial.
+            self.study.warm(workers=self.workers)
         for stage in stages:
             path = self._path(stage)
             if os.path.exists(path) and not force:

@@ -28,18 +28,19 @@ class Characterizer:
 
     def __init__(self, machine=None):
         self.machine = machine or Machine()
-        self._solo_cache = {}
+
+    @property
+    def _solo_cache(self):
+        # Shared with Machine.run_solo_cached so the result store, the
+        # figure drivers, and worker processes all warm the same cache.
+        return self.machine.solo_cache
 
     # -- primitive measurement -------------------------------------------------
 
     def solo_runtime(self, app, threads, ways, prefetchers_on=True):
-        key = (app.name, threads, ways, prefetchers_on)
-        if key not in self._solo_cache:
-            result = self.machine.run_solo(
-                app, threads=threads, ways=ways, prefetchers_on=prefetchers_on
-            )
-            self._solo_cache[key] = result
-        return self._solo_cache[key]
+        return self.machine.run_solo_cached(
+            app, threads=threads, ways=ways, prefetchers_on=prefetchers_on
+        )
 
     # -- Section 3.1: thread scalability ------------------------------------
 

@@ -8,12 +8,33 @@ background pairs under each policy, caching aggressively because Figs.
 from repro.core.dynamic import DynamicPartitionController
 from repro.core.metrics import energy_ratio, slowdown, weighted_speedup
 from repro.core.policies import run_biased, run_fair, run_shared, sweep_static_partitions
+from repro.exec import run_tasks
 from repro.runtime.harness import paper_pair_allocations
 from repro.sim.engine import Machine
 from repro.util.errors import ValidationError
 from repro.workloads.registry import representatives
 
 PAPER_THREADS = 4
+POLICIES = ("shared", "fair", "biased")
+
+
+def _warm_pair_task(machine, item):
+    """Everything the figures need for one (fg, bg) pair.
+
+    Module-level so worker processes can import it; builds a shadow study
+    around the (worker's) machine and returns plain result objects for
+    the driver to merge into its own caches.
+    """
+    reps, fg_id, bg_id, include_once = item
+    study = ConsolidationStudy(machine=machine, reps=reps)
+    out = {
+        "sweep": study.sweep(fg_id, bg_id),
+        "continuous": {p: study.policy(fg_id, bg_id, p) for p in POLICIES},
+        "dynamic": study.dynamic(fg_id, bg_id),
+    }
+    if include_once:
+        out["once"] = {p: study.once(fg_id, bg_id, p) for p in POLICIES}
+    return out
 
 
 class ConsolidationStudy:
@@ -50,6 +71,35 @@ class ConsolidationStudy:
         except KeyError as exc:
             raise ValidationError(f"unknown cluster id {exc}") from None
 
+    # -- bulk warm-up -------------------------------------------------------
+
+    def warm(self, workers=None):
+        """Fill every cache the figure drivers will read, possibly on a
+        process pool.
+
+        Serial or parallel, the cached values are identical — each pair
+        is an independent deterministic simulation — so figures sliced
+        from a warmed study match the lazily-computed ones exactly.
+        """
+        for cluster_id in self.cluster_ids():
+            self.solo_fg(cluster_id)
+            self.solo_whole(cluster_id)
+        once_pairs = set(self.unordered_pairs())
+        items = [
+            (self.reps, fg_id, bg_id, (fg_id, bg_id) in once_pairs)
+            for fg_id, bg_id in self.ordered_pairs()
+        ]
+        results = run_tasks(self.machine, _warm_pair_task, items, workers=workers)
+        for (_, fg_id, bg_id, include_once), out in zip(items, results):
+            self._sweeps.setdefault((fg_id, bg_id), out["sweep"])
+            for policy, outcome in out["continuous"].items():
+                self._continuous.setdefault((fg_id, bg_id, policy), outcome)
+            self._dynamic.setdefault((fg_id, bg_id, False), out["dynamic"])
+            if include_once:
+                for policy, pair in out["once"].items():
+                    self._once.setdefault((fg_id, bg_id, policy), pair)
+        return self
+
     # -- baselines --------------------------------------------------------------
 
     def solo_fg(self, cluster_id):
@@ -57,7 +107,7 @@ class ConsolidationStudy:
         if cluster_id not in self._solo_fg:
             app = self.reps[cluster_id]
             threads = 1 if app.scalability.single_threaded else PAPER_THREADS
-            self._solo_fg[cluster_id] = self.machine.run_solo(
+            self._solo_fg[cluster_id] = self.machine.run_solo_cached(
                 app, threads=threads, ways=self.machine.config.llc_ways
             )
         return self._solo_fg[cluster_id]
@@ -70,7 +120,7 @@ class ConsolidationStudy:
             if app.scalability.pow2_only:
                 while threads & (threads - 1):
                     threads -= 1
-            self._solo_whole[cluster_id] = self.machine.run_solo(
+            self._solo_whole[cluster_id] = self.machine.run_solo_cached(
                 app, threads=threads, ways=self.machine.config.llc_ways
             )
         return self._solo_whole[cluster_id]

@@ -10,6 +10,7 @@ from repro.analysis.characterize import Characterizer
 from repro.analysis.classify import llc_utility_table, scalability_table
 from repro.core.clustering import cluster_applications
 from repro.core.dynamic import DynamicPartitionController
+from repro.exec import run_tasks
 from repro.runtime.harness import paper_pair_allocations
 from repro.workloads import all_applications, get_application
 from repro.workloads.registry import REPRESENTATIVES
@@ -89,30 +90,41 @@ def fig05_clustering(characterizer, apps=None, cut_distance=0.45):
 # -- Section 4: the allocation space ----------------------------------------------
 
 
+def _fig06_cell(machine, cell):
+    name, threads, ways = cell
+    r = machine.run_solo_cached(get_application(name), threads=threads, ways=ways)
+    return {
+        "runtime_s": r.runtime_s,
+        "mpki": r.mpki,
+        "socket_energy_j": r.socket_energy_j,
+        "wall_energy_j": r.wall_energy_j,
+    }
+
+
 def fig06_allocation_space(
-    characterizer, apps=None, thread_counts=range(1, 9), way_counts=range(1, 13)
+    characterizer,
+    apps=None,
+    thread_counts=range(1, 9),
+    way_counts=range(1, 13),
+    workers=None,
 ):
     """Fig. 6: runtime/MPKI/socket/wall energy over all 96 allocations."""
     apps = _resolve(apps) if apps is not None else [
         get_application(n) for n in REPRESENTATIVES.values()
     ]
-    out = {}
+    cells = []
     for app in apps:
-        grid = {}
         for threads in thread_counts:
             try:
                 app.scalability.validate_threads(threads)
             except Exception:
                 continue
             for ways in way_counts:
-                r = characterizer.solo_runtime(app, threads, ways)
-                grid[(threads, ways)] = {
-                    "runtime_s": r.runtime_s,
-                    "mpki": r.mpki,
-                    "socket_energy_j": r.socket_energy_j,
-                    "wall_energy_j": r.wall_energy_j,
-                }
-        out[app.name] = grid
+                cells.append((app.name, threads, ways))
+    results = run_tasks(characterizer.machine, _fig06_cell, cells, workers=workers)
+    out = {app.name: {} for app in apps}
+    for (name, threads, ways), result in zip(cells, results):
+        out[name][(threads, ways)] = result
     return out
 
 
@@ -130,22 +142,33 @@ def fig07_energy_contours(allocation_space):
 # -- Section 5: multiprogrammed analyses -------------------------------------------
 
 
-def fig08_pairwise_slowdowns(machine, apps=None):
+def _fig08_solo(machine, name):
+    app = get_application(name)
+    threads = 1 if app.scalability.single_threaded else 4
+    return machine.run_solo_cached(app, threads=threads, ways=12).runtime_s
+
+
+def _fig08_pair(machine, pair_names):
+    fg = get_application(pair_names[0])
+    bg = get_application(pair_names[1])
+    fg_alloc, bg_alloc = paper_pair_allocations(
+        fg, bg, llc_ways=machine.config.llc_ways
+    )
+    pair = machine.run_pair(fg, bg, fg_alloc, bg_alloc, bg_continuous=True)
+    return pair.fg.runtime_s
+
+
+def fig08_pairwise_slowdowns(machine, apps=None, workers=None):
     """Fig. 8: foreground slowdown for every (fg, bg) pair, shared LLC."""
     apps = _resolve(apps)
-    solo = {}
-    for app in apps:
-        threads = 1 if app.scalability.single_threaded else 4
-        solo[app.name] = machine.run_solo(app, threads=threads, ways=12).runtime_s
-    matrix = {}
-    for fg in apps:
-        for bg in apps:
-            fg_alloc, bg_alloc = paper_pair_allocations(
-                fg, bg, llc_ways=machine.config.llc_ways
-            )
-            pair = machine.run_pair(fg, bg, fg_alloc, bg_alloc, bg_continuous=True)
-            matrix[(fg.name, bg.name)] = pair.fg.runtime_s / solo[fg.name]
-    return matrix
+    names = [app.name for app in apps]
+    solo = dict(zip(names, run_tasks(machine, _fig08_solo, names, workers=workers)))
+    pairs = [(fg, bg) for fg in names for bg in names]
+    fg_runtimes = run_tasks(machine, _fig08_pair, pairs, workers=workers)
+    return {
+        (fg, bg): runtime / solo[fg]
+        for (fg, bg), runtime in zip(pairs, fg_runtimes)
+    }
 
 
 def fig09_partitioning_policies(study):

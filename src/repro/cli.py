@@ -53,6 +53,12 @@ def _build_parser():
 
     fig = sub.add_parser("figure", help="regenerate a paper figure/table")
     fig.add_argument("id", help="1..13 or 'headline'")
+    fig.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for expensive sweeps (default: REPRO_WORKERS or 1)",
+    )
 
     rep = sub.add_parser("report", help="full paper-vs-measured report")
     rep.add_argument("--output", default=None, help="write to a file")
@@ -61,6 +67,12 @@ def _build_parser():
     ev.add_argument("--output", default="results", help="artifact directory")
     ev.add_argument("--stages", nargs="*", default=None)
     ev.add_argument("--force", action="store_true")
+    ev.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for expensive sweeps (default: REPRO_WORKERS or 1)",
+    )
 
     cmp_ = sub.add_parser("compare", help="diff two evaluate artifact sets")
     cmp_.add_argument("before")
@@ -253,10 +265,15 @@ def _cmd_figure(args, out):
     from repro.analysis import render
     from repro.workloads.registry import REPRESENTATIVES
 
+    from repro.exec import resolve_workers
+
     machine = Machine()
     characterizer = Characterizer(machine)
     study = ConsolidationStudy(machine)
     subset = sorted(REPRESENTATIVES.values())
+    workers = args.workers
+    if args.id in ("9", "10", "11", "13", "headline") and resolve_workers(workers) > 1:
+        study.warm(workers=workers)
     dispatch = {
         "1": lambda: render.render_fig01(
             ex.fig01_thread_scalability(characterizer)
@@ -275,18 +292,22 @@ def _cmd_figure(args, out):
         "5": lambda: render.render_fig05(ex.fig05_clustering(characterizer)),
         "6": lambda: render.render_fig06(
             ex.fig06_allocation_space(
-                characterizer, thread_counts=(1, 2, 4, 8), way_counts=(2, 4, 6, 9, 12)
+                characterizer,
+                thread_counts=(1, 2, 4, 8),
+                way_counts=(2, 4, 6, 9, 12),
+                workers=workers,
             )
         ),
         "7": lambda: render.render_fig06(
             ex.fig06_allocation_space(
-                characterizer, thread_counts=(1, 2, 4, 8), way_counts=(2, 4, 6, 9, 12)
+                characterizer,
+                thread_counts=(1, 2, 4, 8),
+                way_counts=(2, 4, 6, 9, 12),
+                workers=workers,
             )
         ),
         "8": lambda: render.render_fig08(
-            ex.fig08_pairwise_slowdowns(
-                machine, subset
-            )
+            ex.fig08_pairwise_slowdowns(machine, subset, workers=workers)
         ),
         "9": lambda: render.render_policy_rows(
             ex.fig09_partitioning_policies(study), "Fig. 9 — fg slowdown by policy"
@@ -327,7 +348,7 @@ def _cmd_report(args, out):
 def _cmd_evaluate(args, out):
     from repro.analysis.batch import EvaluationRunner
 
-    runner = EvaluationRunner(args.output)
+    runner = EvaluationRunner(args.output, workers=args.workers)
     written = runner.run(stages=args.stages, force=args.force)
     for stage, path in written.items():
         out.write(f"{stage}: {path}\n")

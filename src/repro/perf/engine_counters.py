@@ -1,0 +1,44 @@
+"""Process-wide engine counters (solver and memo instrumentation).
+
+The simulation engine is itself a measured system: the interval memo
+hits or misses, the occupancy solver iterates or takes a fast path.
+These land in one global :class:`~repro.perf.events.CounterSet` so
+``perf/stat.py`` can report them with the same read-delta discipline as
+the simulated hardware events. Counters are per-process — parallel
+workers accumulate their own totals.
+"""
+
+from repro.perf.events import CounterSet
+
+MEMO_HITS = "memo_hits"
+MEMO_MISSES = "memo_misses"
+OCCUPANCY_SOLVES = "occupancy_solves"
+OCCUPANCY_ITERATIONS = "occupancy_iterations"
+OCCUPANCY_FAST_PATH = "occupancy_fast_path"
+
+ENGINE_EVENTS = (
+    MEMO_HITS,
+    MEMO_MISSES,
+    OCCUPANCY_SOLVES,
+    OCCUPANCY_ITERATIONS,
+    OCCUPANCY_FAST_PATH,
+)
+
+_counters = CounterSet(ENGINE_EVENTS)
+
+
+def engine_counters():
+    """The live engine CounterSet (snapshot/delta like any other)."""
+    return _counters
+
+
+def reset_engine_counters():
+    """Replace the global counter set; returns the fresh one."""
+    global _counters
+    _counters = CounterSet(ENGINE_EVENTS)
+    return _counters
+
+
+def add(event, amount=1.0):
+    """Deposit into the live counter set (used by the engine hot paths)."""
+    _counters.add(event, amount)

@@ -51,6 +51,50 @@ def format_stat(result, config=None):
     return "\n".join(lines)
 
 
+def format_engine_stat(counters=None):
+    """Render the engine's own counters (memo, occupancy solver).
+
+    The simulator is a measured system too: this is the ``perf stat``
+    block for the engine itself. Pass a snapshot dict from
+    :func:`repro.perf.engine_counters.engine_counters` (or nothing for
+    the live process-wide totals).
+    """
+    from repro.perf import engine_counters as ec
+
+    if counters is None:
+        counters = ec.engine_counters().snapshot()
+    hits = counters.get(ec.MEMO_HITS, 0.0)
+    misses = counters.get(ec.MEMO_MISSES, 0.0)
+    solves = counters.get(ec.OCCUPANCY_SOLVES, 0.0)
+    iterations = counters.get(ec.OCCUPANCY_ITERATIONS, 0.0)
+    fast = counters.get(ec.OCCUPANCY_FAST_PATH, 0.0)
+    lookups = hits + misses
+    iterated = solves - fast
+    rows = [
+        (
+            "memo-hits",
+            hits,
+            f"{100 * hits / lookups:.2f}% of all memo lookups" if lookups else None,
+        ),
+        ("memo-misses", misses, None),
+        (
+            "occupancy-solves",
+            solves,
+            f"{100 * fast / solves:.2f}% closed-form" if solves else None,
+        ),
+        (
+            "occupancy-iterations",
+            iterations,
+            f"{iterations / iterated:.1f} per iterative solve" if iterated else None,
+        ),
+    ]
+    lines = [" Performance counter stats for 'engine':", ""]
+    for event, value, note in rows:
+        annotation = f"   # {note}" if note else ""
+        lines.append(f"  {_fmt(value):>14}  {event}{annotation}")
+    return "\n".join(lines)
+
+
 def format_comparison(results, baseline_index=0):
     """Side-by-side comparison of runs against a baseline run."""
     if not results:

@@ -16,6 +16,7 @@ from repro.energy.rapl import RaplCounter, RaplDomain
 from repro.energy.wall import WallMeter
 from repro.sim.allocation import Allocation
 from repro.sim.interval import AppState, solve_interval
+from repro.sim.memo import IntervalMemo
 from repro.util.errors import SchedulingError, ValidationError
 
 _EPS = 1e-9
@@ -94,7 +95,9 @@ class Machine:
     robustness be tested deterministically (seeded).
     """
 
-    def __init__(self, config=None, tuning=None, mpki_noise_std=0.0, noise_seed=0):
+    def __init__(
+        self, config=None, tuning=None, mpki_noise_std=0.0, noise_seed=0, memoize=True
+    ):
         from repro.sim.tuning import DEFAULT_TUNING
 
         if mpki_noise_std < 0:
@@ -105,6 +108,11 @@ class Machine:
         self.noise_seed = noise_seed
         self.memory_system = MemorySystem(self.config)
         self.power_model = PowerModel(self.config)
+        self.memo = IntervalMemo(enabled=memoize)
+        # Shared solo-run results, keyed (name, threads, ways, prefetchers_on):
+        # the pairwise, consolidation, and characterization studies all
+        # measure the same solo baselines.
+        self.solo_cache = {}
 
     # -- public entry points -------------------------------------------------
 
@@ -130,6 +138,19 @@ class Machine:
             [state], continuous=set(), stop_when_done={app.name}, timeline=timeline
         )
         return outcome.results[app.name]
+
+    def run_solo_cached(self, app, threads=4, ways=12, prefetchers_on=True):
+        """``run_solo`` through the shared solo-run cache.
+
+        Results are deterministic, so a cached RunResult is bitwise what a
+        fresh run would measure; callers treat results as read-only.
+        """
+        key = (app.name, threads, ways, prefetchers_on)
+        if key not in self.solo_cache:
+            self.solo_cache[key] = self.run_solo(
+                app, threads=threads, ways=ways, prefetchers_on=prefetchers_on
+            )
+        return self.solo_cache[key]
 
     def run_pair(
         self,
@@ -309,6 +330,7 @@ class Machine:
             noise_rng = DeterministicRng(self.noise_seed, "mpki-noise")
         done_times = {}
         active = list(states)
+        by_name = {s.name: s for s in states}
         now = 0.0
 
         while True:
@@ -318,13 +340,7 @@ class Machine:
             if now > _MAX_SIM_SECONDS:
                 raise ValidationError("simulation exceeded the runaway guard")
 
-            solution = solve_interval(
-                active,
-                self.config,
-                self.memory_system,
-                self.power_model,
-                tuning=self.tuning,
-            )
+            solution = self._solve(active)
 
             if step_s is not None:
                 dt = step_s
@@ -366,11 +382,7 @@ class Machine:
                         per_app={
                             name: {
                                 "mpki": r.mpki,
-                                "ways": next(
-                                    s.allocation.mask.count
-                                    for s in states
-                                    if s.name == name
-                                ),
+                                "ways": by_name[name].allocation.mask.count,
                                 "rate_ips": r.rate_ips,
                                 "occupancy_mb": r.occupancy_mb,
                             }
@@ -409,6 +421,35 @@ class Machine:
             )
         return outcome
 
+    def _solve(self, active):
+        """Solve the interval for ``active``, through the memo when on.
+
+        A hit returns the identical solution object a fresh solve would
+        produce, so memoized and unmemoized runs measure bitwise-equal
+        results.
+        """
+        memo = self.memo
+        if memo is None or not memo.enabled:
+            return solve_interval(
+                active,
+                self.config,
+                self.memory_system,
+                self.power_model,
+                tuning=self.tuning,
+            )
+        key = memo.key_for(active, self.config, self.tuning, self.memory_system)
+        solution = memo.get(key)
+        if solution is None:
+            solution = solve_interval(
+                active,
+                self.config,
+                self.memory_system,
+                self.power_model,
+                tuning=self.tuning,
+            )
+            memo.put(key, solution)
+        return solution
+
     def _next_event_dt(self, active, solution, continuous):
         """Time until the next rate-changing event.
 
@@ -424,7 +465,7 @@ class Machine:
                 continue
             if s.name in continuous and not s.app.has_phases():
                 continue
-            boundaries = s.app.phase_boundaries()
+            boundaries = s.boundaries
             next_frac = next(
                 (b for b in boundaries if b > s.progress + _EPS), 1.0
             )

@@ -23,6 +23,12 @@ class AppState:
     progress: float = 0.0  # fraction of instructions retired (mod 1)
     completions: int = 0  # times the app has finished (continuous mode)
     prefetchers_on: bool = True
+    # Phase boundaries are static per app; computed once per run so the
+    # event loop never rebuilds the list per interval.
+    boundaries: tuple = field(init=False, repr=False, compare=False, default=())
+
+    def __post_init__(self):
+        self.boundaries = tuple(self.app.phase_boundaries())
 
     @property
     def name(self):
@@ -92,27 +98,57 @@ def solve_interval(states, config, memory_system, power_model, tuning=None):
     latency_factors = {s.name: (1.0, 1.0) for s in states}  # (ring, dram)
     throttles = {s.name: 1.0 for s in states}
     solution = IntervalSolution()
+    # Each rate round re-solves occupancy under slightly different access
+    # rates; warm-starting from the previous round's shares lets the
+    # occupancy solver's early exit fire after a few iterations.
+    occupancy_tol = tuning.occupancy_tol
+    warm_shares = None
+
+    # Per-state quantities that are fixed for the whole solve (phase,
+    # allocation, and model parameters do not change between rounds).
+    phases = {s.name: s.phase() for s in states}
+    apkis = {s.name: s.app.apki(phases[s.name], s.allocation.threads) for s in states}
+    working_sets = {s.name: s.app.working_set_mb(phases[s.name]) for s in states}
+    miss_ratio_fns = {
+        s.name: (lambda c, a=s.app, p=phases[s.name]: a.miss_ratio(c, phase=p))
+        for s in states
+    }
+    speedups = {s.name: s.app.speedup(s.allocation.threads) for s in states}
+    # MLP is the arbitration weight: deep-MLP streamers keep more
+    # requests in flight and win a FR-FCFS-like memory scheduler.
+    arb_weights = {s.name: s.app.mlp ** 0.5 for s in states}
 
     for _ in range(tuning.max_rounds):
         # -- occupancy given access rates ------------------------------
         requests = []
         for s in states:
-            phase = s.phase()
-            apki = s.app.apki(phase, s.allocation.threads)
-            access_rate = rates[s.name] * apki / 1000.0
+            access_rate = rates[s.name] * apkis[s.name] / 1000.0
             requests.append(
                 OccupancyRequest(
                     name=s.name,
                     mask=s.allocation.mask,
                     access_rate=access_rate,
-                    miss_ratio_fn=lambda c, a=s.app, p=phase: a.miss_ratio(c, phase=p),
-                    working_set_mb=s.app.working_set_mb(phase),
+                    miss_ratio_fn=miss_ratio_fns[s.name],
+                    working_set_mb=working_sets[s.name],
                     pressure_weight=s.app.cache_pressure,
                 )
             )
-        occupancy = solve_occupancy(
-            requests, num_ways=config.llc_ways, way_mb=config.way_bytes / (1 << 20)
-        )
+        if occupancy_tol > 0:
+            occupancy, warm_shares = solve_occupancy(
+                requests,
+                num_ways=config.llc_ways,
+                way_mb=config.way_bytes / (1 << 20),
+                tol=occupancy_tol,
+                initial_shares=warm_shares,
+                return_shares=True,
+            )
+        else:
+            occupancy = solve_occupancy(
+                requests,
+                num_ways=config.llc_ways,
+                way_mb=config.way_bytes / (1 << 20),
+                tol=0.0,
+            )
 
         # -- rates given occupancy and contention -----------------------
         new_rates = {}
@@ -122,9 +158,9 @@ def solve_interval(states, config, memory_system, power_model, tuning=None):
         dram_demand = {}
         for s in states:
             app = s.app
-            phase = s.phase()
+            phase = phases[s.name]
             threads = s.allocation.threads
-            apki = app.apki(phase, threads)
+            apki = apkis[s.name]
             ways = s.allocation.mask.count
             mr = app.miss_ratio(occupancy[s.name], ways=ways, phase=phase)
             _, dram_f_prev = latency_factors[s.name]
@@ -142,7 +178,7 @@ def solve_interval(states, config, memory_system, power_model, tuning=None):
                 (1.0 - mr) * llc_lat + mr * mem_lat
             ) / app.mlp
             cpi = app.base_cpi + stall_cpi
-            speedup = app.speedup(threads)
+            speedup = speedups[s.name]
             rate = speedup * freq / cpi * throttles[s.name]
 
             access_ps = rate * apki / 1000.0
@@ -176,9 +212,6 @@ def solve_interval(states, config, memory_system, power_model, tuning=None):
             )
 
         # -- bandwidth arbitration ----------------------------------------
-        # MLP is the arbitration weight: deep-MLP streamers keep more
-        # requests in flight and win a FR-FCFS-like memory scheduler.
-        arb_weights = {s.name: s.app.mlp ** 0.5 for s in states}
         ring_grants = memory_system.ring.resolve(llc_traffic, arb_weights)
         dram_grants = memory_system.dram.resolve(dram_demand, arb_weights)
         converged = True

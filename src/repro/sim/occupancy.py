@@ -11,14 +11,35 @@ permitted-writer sets and run the pressure competition inside each region.
 Fully private masks degenerate to ``capacity = ways x 0.5 MB`` (capped by
 the application's working set — capacity nobody can reclaim stays idle,
 the drawback of partitioning the paper's industry partners point out).
+
+Two fast paths exist, both disabled by ``tol=0`` (which reproduces the
+original fixed 40-iteration schedule bit for bit):
+
+- *early exit*: the damped iteration contracts geometrically (the share
+  delta roughly halves per round), so once the largest per-share change
+  drops below ``tol`` megabytes the remaining rounds cannot move the
+  answer by more than ~2x ``tol`` and the loop stops;
+- *single-writer closed form*: when every region has at most one
+  permitted writer (fully private masks — solo runs and all disjoint
+  static partitions), pressure competition is vacuous and the fixed
+  point is exactly ``min(region capacity, working-set limit)`` per
+  region, with no iteration at all.
+
+``initial_shares`` lets a caller warm-start from a previous solution —
+the interval engine re-solves occupancy every rate round with slightly
+different pressures, so warm starts converge in a handful of iterations.
 """
 
 from dataclasses import dataclass
 
+from repro.perf import engine_counters as perf
 from repro.util.errors import ValidationError
 
 _ITERATIONS = 40
 _DAMPING = 0.5
+# Shares move by ~1e-9 MB per remaining round at exit — far below every
+# measurable quantity downstream, but not bitwise-identical to tol=0.
+_DEFAULT_TOL = 1e-9
 
 
 @dataclass
@@ -33,8 +54,20 @@ class OccupancyRequest:
     pressure_weight: float = 1.0  # <1 for non-temporal / LRU-inserting apps
 
 
+_REGION_CACHE = {}
+_REGION_CACHE_MAX = 4096
+
+
 def _regions(requests, num_ways):
-    """Group ways by their permitted-writer sets."""
+    """Group ways by their permitted-writer sets.
+
+    A pure function of (names, masks), so decompositions are cached —
+    the interval engine asks for the same one every rate round.
+    """
+    cache_key = (num_ways, tuple((r.name, r.mask.bits) for r in requests))
+    cached = _REGION_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
     writers_by_way = []
     for way in range(num_ways):
         writers = frozenset(
@@ -44,6 +77,9 @@ def _regions(requests, num_ways):
     regions = {}
     for way, writers in enumerate(writers_by_way):
         regions.setdefault(writers, []).append(way)
+    if len(_REGION_CACHE) >= _REGION_CACHE_MAX:
+        _REGION_CACHE.pop(next(iter(_REGION_CACHE)))
+    _REGION_CACHE[cache_key] = regions
     return regions
 
 
@@ -59,27 +95,31 @@ def _water_fill(writers, cap, weights, limits):
     remaining = set(writers)
     remaining_cap = cap
 
-    def raw_share(name, total_weight):
-        if total_weight > 0:
-            share = remaining_cap * weights.get(name, 0.0) / total_weight
-        else:
-            share = remaining_cap / len(remaining)
-        # Clamp: denormal weights can make the division round above the
-        # capacity being divided.
-        return min(share, remaining_cap)
-
     while remaining and remaining_cap > 1e-12:
         total_weight = sum(weights.get(n, 0.0) for n in remaining)
         pinned = set()
+        proposal = {}
         for name in remaining:
-            share = raw_share(name, total_weight)
+            # Clamp: denormal weights can make the division round above
+            # the capacity being divided.
+            if total_weight > 0:
+                share = min(
+                    remaining_cap * weights.get(name, 0.0) / total_weight,
+                    remaining_cap,
+                )
+            else:
+                share = min(remaining_cap / len(remaining), remaining_cap)
             limit = limits.get((name, writers), remaining_cap)
             if share > limit:
                 shares[(name, writers)] = limit
                 pinned.add(name)
+            else:
+                proposal[(name, writers)] = share
         if not pinned:
-            for name in remaining:
-                shares[(name, writers)] = raw_share(name, total_weight)
+            # Nobody new hit a limit: the proposal is the division.
+            # (Capacity freed by earlier pins exhausts here; names still
+            # unassigned when capacity runs out fall to the 0.0 default.)
+            shares.update(proposal)
             break
         remaining -= pinned
         remaining_cap -= sum(shares[(n, writers)] for n in pinned)
@@ -88,14 +128,45 @@ def _water_fill(writers, cap, weights, limits):
     return shares
 
 
-def solve_occupancy(requests, num_ways=12, way_mb=0.5):
+def _solve_single_writer(requests, region_caps, writable):
+    """Closed form when no region is contested.
+
+    With one permitted writer per region, pressure plays no role: each
+    iteration of the damped loop proposes ``min(cap, limit)`` with a
+    constant limit, so that proposal *is* the fixed point.
+    """
+    shares = {}
+    for writers, cap in region_caps.items():
+        if not writers:
+            continue
+        (name,) = writers
+        if writable[name] > 0:
+            limit = requests[name].working_set_mb * cap / writable[name]
+        else:
+            limit = cap
+        shares[(name, writers)] = min(cap, limit)
+    return shares
+
+
+def solve_occupancy(
+    requests,
+    num_ways=12,
+    way_mb=0.5,
+    tol=_DEFAULT_TOL,
+    max_iterations=_ITERATIONS,
+    initial_shares=None,
+    return_shares=False,
+):
     """Solve for per-application effective LLC capacity (MB).
 
-    Returns {name: occupancy_mb}. Occupancy is what the application's
-    miss-ratio curve should be evaluated at.
+    Returns {name: occupancy_mb} — what each application's miss-ratio
+    curve should be evaluated at — or ``(occupancy, shares)`` with
+    ``return_shares`` (feed ``shares`` back as ``initial_shares`` to
+    warm-start a related solve). ``tol=0`` disables both fast paths and
+    runs the fixed ``max_iterations`` damped schedule.
     """
     if not requests:
-        return {}
+        return ({}, {}) if return_shares else {}
     names = [r.name for r in requests]
     if len(set(names)) != len(names):
         raise ValidationError("occupancy requests must have unique names")
@@ -112,17 +183,75 @@ def solve_occupancy(requests, num_ways=12, way_mb=0.5):
         for r in requests
     }
 
-    # Initial guess: even split of each region among its writers.
-    shares = {}
-    for writers, cap in region_caps.items():
-        for name in writers:
-            shares[(name, writers)] = cap / len(writers) if writers else 0.0
+    perf.add(perf.OCCUPANCY_SOLVES)
 
-    for _ in range(_ITERATIONS):
+    if tol > 0 and all(len(writers) <= 1 for writers in region_caps):
+        shares = _solve_single_writer(by_name, region_caps, writable)
+        perf.add(perf.OCCUPANCY_FAST_PATH)
         occupancy = {
-            name: sum(
-                shares.get((name, writers), 0.0) for writers in region_caps
-            )
+            name: sum(shares.get((name, writers), 0.0) for writers in region_caps)
+            for name in names
+        }
+        return (occupancy, shares) if return_shares else occupancy
+
+    # With tol > 0, single-writer regions are pinned at their (constant)
+    # closed-form fixed point up front and only the contested regions
+    # iterate — for a typical pair mask two of three regions are private,
+    # so this halves the per-iteration work. tol=0 iterates everything,
+    # replaying the original damped trajectory exactly.
+    fixed = {}
+    iter_caps = region_caps
+    if tol > 0:
+        fixed = _solve_single_writer(
+            by_name,
+            {w: c for w, c in region_caps.items() if len(w) == 1},
+            writable,
+        )
+        iter_caps = {w: c for w, c in region_caps.items() if len(w) > 1}
+
+    # Initial guess: even split of each region among its writers, unless
+    # the caller brought shares from a previous, related solve (pinned
+    # regions never enter ``shares`` — they are already at their answer).
+    shares = {}
+    if initial_shares:
+        shares = {k: v for k, v in initial_shares.items() if k[1] in iter_caps}
+    for writers, cap in iter_caps.items():
+        for name in writers:
+            shares.setdefault((name, writers), cap / len(writers) if writers else 0.0)
+    fixed_occ = {name: 0.0 for name in names}
+    for (name, _), share in fixed.items():
+        fixed_occ[name] += share
+
+    # Per-app capacity limits: nobody holds more than its working set
+    # (spread across the regions it can write, by size). Constant across
+    # iterations, as are the per-region pressure-spreading factors.
+    limits = {}
+    for name in names:
+        ws = by_name[name].working_set_mb
+        for writers, cap in iter_caps.items():
+            if name in writers and writable[name] > 0:
+                limits[(name, writers)] = ws * cap / writable[name]
+    # Pressure spreads across everything the app can write.
+    spread = {
+        (name, writers): cap / writable[name]
+        for writers, cap in iter_caps.items()
+        for name in writers
+        if writable[name] > 0
+    }
+
+    # Every share key a name contributes to its occupancy sum (skipping
+    # the zero terms of regions it cannot write — exact under IEEE).
+    occ_keys = {
+        name: [(name, writers) for writers in iter_caps if name in writers]
+        for name in names
+    }
+
+    iterations = 0
+    prev_delta = 0.0
+    for _ in range(max_iterations):
+        iterations += 1
+        occupancy = {
+            name: fixed_occ[name] + sum(shares[k] for k in occ_keys[name])
             for name in names
         }
         pressure = {}
@@ -133,34 +262,46 @@ def solve_occupancy(requests, num_ways=12, way_mb=0.5):
                 max(req.access_rate, 0.0) * max(mr, 1e-6) * max(req.pressure_weight, 1e-6)
             )
 
-        # Per-app capacity limits: nobody holds more than its working set
-        # (spread across the regions it can write, by size).
-        limits = {}
-        for name in names:
-            ws = by_name[name].working_set_mb
-            for writers, cap in region_caps.items():
-                if name in writers and writable[name] > 0:
-                    limits[(name, writers)] = ws * cap / writable[name]
-
         new_shares = {}
-        for writers, cap in region_caps.items():
+        for writers, cap in iter_caps.items():
             if not writers:
                 continue
-            weights = {}
-            for name in writers:
-                if writable[name] <= 0:
-                    continue
-                # Pressure spreads across everything the app can write.
-                weights[name] = pressure[name] * (cap / writable[name])
+            weights = {
+                name: pressure[name] * spread[(name, writers)]
+                for name in writers
+                if writable[name] > 0
+            }
             new_shares.update(
                 _water_fill(writers, cap, weights, limits)
             )
 
+        stepped = dict(shares) if tol > 0 else None
+        delta = 0.0
         for key in new_shares:
             old = shares.get(key, 0.0)
             shares[key] = _DAMPING * old + (1 - _DAMPING) * new_shares[key]
+            delta = max(delta, abs(shares[key] - old))
 
-    return {
-        name: sum(shares.get((name, writers), 0.0) for writers in region_caps)
+        if tol > 0:
+            if delta <= tol:
+                break
+            # Geometric acceleration: the damped iteration contracts
+            # near-linearly (ratio ~_DAMPING), so every few rounds jump
+            # each share by its projected remaining tail, step*r/(1-r).
+            # An over-jump is harmless — the loop keeps iterating and
+            # only the genuine delta <= tol test ends it.
+            if iterations % 4 == 0 and prev_delta > 0 and delta < prev_delta:
+                ratio = delta / prev_delta
+                if ratio < 0.9:
+                    gain = ratio / (1.0 - ratio)
+                    for key in shares:
+                        shares[key] += (shares[key] - stepped[key]) * gain
+            prev_delta = delta
+
+    perf.add(perf.OCCUPANCY_ITERATIONS, iterations)
+
+    occupancy = {
+        name: fixed_occ[name] + sum(shares[k] for k in occ_keys[name])
         for name in names
     }
+    return (occupancy, shares) if return_shares else occupancy

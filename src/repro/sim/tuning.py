@@ -32,6 +32,10 @@ class EngineTuning:
     # Convergence tolerance and iteration cap.
     tolerance: float = 1e-4
     max_rounds: int = 25
+    # Early-exit tolerance (MB) of the occupancy solver; 0 disables the
+    # solver's fast paths and reproduces the fixed 40-iteration schedule
+    # bit for bit (the pre-optimization engine).
+    occupancy_tol: float = 1e-9
 
     def __post_init__(self):
         for name in (
@@ -48,6 +52,8 @@ class EngineTuning:
             raise ValidationError("damping must be in (0, 1)")
         if self.tolerance <= 0 or self.max_rounds < 1:
             raise ValidationError("tolerance/max_rounds must be positive")
+        if self.occupancy_tol < 0:
+            raise ValidationError("occupancy_tol cannot be negative")
 
 
 DEFAULT_TUNING = EngineTuning()

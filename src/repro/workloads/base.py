@@ -212,15 +212,19 @@ class ApplicationModel:
 
     def phase_at(self, progress):
         """The phase active at ``progress`` (fraction of instructions)."""
+        return self.phases[self.phase_index_at(progress)]
+
+    def phase_index_at(self, progress):
+        """Index of the phase active at ``progress`` (memo-key friendly)."""
         if progress < 0:
             raise ValidationError("progress cannot be negative")
         progress = min(progress, 1.0 - 1e-12)
         cumulative = 0.0
-        for phase in self.phases:
+        for index, phase in enumerate(self.phases):
             cumulative += phase.weight
             if progress < cumulative:
-                return phase
-        return self.phases[-1]
+                return index
+        return len(self.phases) - 1
 
     def phase_boundaries(self):
         """Cumulative instruction fractions at which phases end."""

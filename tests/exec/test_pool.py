@@ -1,0 +1,126 @@
+"""The parallel_map / run_tasks execution primitives."""
+
+import os
+
+import pytest
+
+from repro.exec import (
+    MachineSpec,
+    build_machine,
+    machine_spec,
+    parallel_map,
+    resolve_workers,
+    run_tasks,
+)
+from repro.sim import Machine
+from repro.sim.tuning import EngineTuning
+from repro.util.errors import ValidationError
+from repro.workloads import get_application
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise RuntimeError("boom")
+    return x
+
+
+def _solo_runtime(machine, name):
+    return machine.run_solo(get_application(name), threads=4).runtime_s
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_env_opt_in(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(None) == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(2) == 2
+
+    def test_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValidationError):
+            resolve_workers(None)
+        with pytest.raises(ValidationError):
+            resolve_workers(0)
+
+
+class TestParallelMap:
+    def test_serial_matches_comprehension(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, workers=1) == [x * x for x in items]
+
+    def test_parallel_matches_serial_and_order(self):
+        items = list(range(37))  # not a multiple of any chunk size
+        serial = parallel_map(_square, items, workers=1)
+        parallel = parallel_map(_square, items, workers=4)
+        assert parallel == serial
+
+    def test_single_item_stays_serial(self):
+        assert parallel_map(_square, [7], workers=8) == [49]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+    def test_unpicklable_falls_back_to_serial(self):
+        items = list(range(6))
+        result = parallel_map(lambda x: x + 1, items, workers=4)
+        assert result == [x + 1 for x in items]
+
+    def test_serial_exceptions_propagate(self):
+        with pytest.raises(RuntimeError):
+            parallel_map(_fail_on_three, [1, 2, 3], workers=1)
+
+
+class TestRunTasks:
+    def test_serial_uses_callers_machine(self):
+        machine = Machine()
+        results = run_tasks(machine, _solo_runtime, ["batik", "batik"], workers=1)
+        assert results[0] == results[1]
+        assert machine.memo.entries > 0  # ran in-process on this machine
+
+    def test_workers_match_serial_exactly(self):
+        names = ["batik", "x264", "ferret", "429.mcf"]
+        serial = run_tasks(Machine(), _solo_runtime, names, workers=1)
+        parallel = run_tasks(Machine(), _solo_runtime, names, workers=4)
+        assert serial == parallel
+
+    def test_spec_round_trip(self):
+        machine = Machine(
+            tuning=EngineTuning(occupancy_tol=0.0),
+            mpki_noise_std=0.1,
+            noise_seed=7,
+            memoize=False,
+        )
+        spec = machine_spec(machine)
+        assert isinstance(spec, MachineSpec)
+        rebuilt = build_machine(spec)
+        assert rebuilt.tuning == machine.tuning
+        assert rebuilt.noise_seed == 7
+        assert rebuilt.mpki_noise_std == 0.1
+        assert not rebuilt.memo.enabled
+
+    def test_noise_seed_stable_across_workers(self):
+        """Seeded noise must give the same answers serial and parallel."""
+        names = ["batik", "x264", "batik", "x264"]
+        serial = run_tasks(
+            Machine(mpki_noise_std=0.05, noise_seed=11),
+            _solo_runtime,
+            names,
+            workers=1,
+        )
+        parallel = run_tasks(
+            Machine(mpki_noise_std=0.05, noise_seed=11),
+            _solo_runtime,
+            names,
+            workers=2,
+        )
+        assert serial == parallel

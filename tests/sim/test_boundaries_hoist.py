@@ -1,0 +1,52 @@
+"""Phase boundaries are computed once per run, not once per interval."""
+
+from repro.sim import Machine
+from repro.sim.interval import AppState
+from repro.sim.allocation import Allocation, WayMask
+from repro.workloads import get_application
+
+
+def _counting(app, monkeypatch):
+    calls = {"n": 0}
+    original = app.phase_boundaries
+
+    def wrapper():
+        calls["n"] += 1
+        return original()
+
+    monkeypatch.setattr(app, "phase_boundaries", wrapper)
+    return calls
+
+
+class TestBoundaryHoist:
+    def test_appstate_precomputes_boundaries(self):
+        app = get_application("x264")  # multi-phase
+        state = AppState(
+            app=app,
+            allocation=Allocation(threads=4, cores=(0, 1), mask=WayMask.full(12)),
+        )
+        assert state.boundaries == tuple(app.phase_boundaries())
+        assert state.boundaries[-1] == 1.0
+
+    def test_run_calls_phase_boundaries_once(self, monkeypatch):
+        app = get_application("x264")
+        calls = _counting(app, monkeypatch)
+        machine = Machine(memoize=False)
+        result = machine.run_solo(app, threads=4)
+        assert result.runtime_s > 0
+        # One AppState per run — the event loop reads the precomputed
+        # tuple, never the model, no matter how many intervals execute.
+        assert calls["n"] == 1
+
+    def test_pair_calls_phase_boundaries_once_per_state(self, monkeypatch):
+        from repro.runtime.harness import paper_pair_allocations
+
+        fg = get_application("x264")
+        bg = get_application("h2")
+        fg_calls = _counting(fg, monkeypatch)
+        bg_calls = _counting(bg, monkeypatch)
+        machine = Machine(memoize=False)
+        fg_alloc, bg_alloc = paper_pair_allocations(fg, bg)
+        machine.run_pair(fg, bg, fg_alloc, bg_alloc, bg_continuous=True)
+        assert fg_calls["n"] == 1
+        assert bg_calls["n"] == 1

@@ -1,0 +1,90 @@
+"""Bitwise-equivalence regressions for the execution/caching layer.
+
+The whole point of the memo, the solver fast paths, and the process pool
+is that they change wall-clock time and nothing else. These tests pin
+that down with exact float equality — no approx anywhere.
+"""
+
+from repro.analysis.experiments import fig08_pairwise_slowdowns
+from repro.core.dynamic import DynamicPartitionController
+from repro.runtime.harness import paper_pair_allocations
+from repro.sim import Machine
+from repro.workloads import get_application
+
+APPS = ("429.mcf", "x264", "ferret", "streamcluster")
+
+
+def _run_solo(machine, name):
+    app = get_application(name)
+    threads = 1 if app.scalability.single_threaded else 4
+    return machine.run_solo(app, threads=threads, ways=12)
+
+
+def _run_pair(machine, fg_name, bg_name):
+    fg, bg = get_application(fg_name), get_application(bg_name)
+    fg_alloc, bg_alloc = paper_pair_allocations(
+        fg, bg, llc_ways=machine.config.llc_ways
+    )
+    return machine.run_pair(fg, bg, fg_alloc, bg_alloc, bg_continuous=True)
+
+
+def _run_dynamic(machine, fg_name, bg_name):
+    fg, bg = get_application(fg_name), get_application(bg_name)
+    controller = DynamicPartitionController(fg.name, bg.name)
+    masks = controller.masks()
+    fg_alloc, bg_alloc = paper_pair_allocations(fg, bg)
+    return machine.run_pair(
+        fg,
+        bg,
+        fg_alloc.with_mask(masks[fg.name]),
+        bg_alloc.with_mask(masks[bg.name]),
+        controller=controller,
+    )
+
+
+def _assert_identical_runs(a, b):
+    assert a.runtime_s == b.runtime_s
+    assert a.instructions == b.instructions
+    assert a.llc_misses == b.llc_misses
+    assert a.mpki == b.mpki
+    assert a.socket_energy_j == b.socket_energy_j
+    assert a.wall_energy_j == b.wall_energy_j
+
+
+class TestMemoEquivalence:
+    def test_solo_runs_identical(self):
+        on, off = Machine(memoize=True), Machine(memoize=False)
+        for name in APPS:
+            _assert_identical_runs(_run_solo(on, name), _run_solo(off, name))
+        assert on.memo.misses > 0  # the memo actually engaged
+
+    def test_pair_runs_identical(self):
+        on, off = Machine(memoize=True), Machine(memoize=False)
+        for fg, bg in (("429.mcf", "x264"), ("ferret", "ferret")):
+            a, b = _run_pair(on, fg, bg), _run_pair(off, fg, bg)
+            _assert_identical_runs(a.fg, b.fg)
+            assert a.bg_rate_ips == b.bg_rate_ips
+            assert a.wall_energy_j == b.wall_energy_j
+        assert on.memo.hits > 0
+
+    def test_dynamic_runs_identical(self):
+        on, off = Machine(memoize=True), Machine(memoize=False)
+        a = _run_dynamic(on, "429.mcf", "streamcluster")
+        b = _run_dynamic(off, "429.mcf", "streamcluster")
+        _assert_identical_runs(a.fg, b.fg)
+        assert a.bg_rate_ips == b.bg_rate_ips
+
+    def test_repeat_on_one_machine_identical(self):
+        """Warm-cache reruns must equal the cold first run exactly."""
+        machine = Machine()
+        first = _run_pair(machine, "h2", "462.libquantum")
+        second = _run_pair(machine, "h2", "462.libquantum")
+        _assert_identical_runs(first.fg, second.fg)
+        assert first.bg_rate_ips == second.bg_rate_ips
+
+
+class TestParallelEquivalence:
+    def test_fig08_workers_identical(self):
+        serial = fig08_pairwise_slowdowns(Machine(), apps=APPS, workers=1)
+        parallel = fig08_pairwise_slowdowns(Machine(), apps=APPS, workers=4)
+        assert serial == parallel  # exact float equality, every cell
