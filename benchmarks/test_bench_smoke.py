@@ -17,10 +17,21 @@ SCRIPT = os.path.join(REPO, "scripts", "bench_smoke.py")
 
 
 @pytest.fixture(scope="module")
-def artifact(tmp_path_factory):
-    out = tmp_path_factory.mktemp("bench") / "BENCH_engine.json"
+def artifacts(tmp_path_factory):
+    bench_dir = tmp_path_factory.mktemp("bench")
+    out = bench_dir / "BENCH_engine.json"
+    trace_out = bench_dir / "BENCH_trace.json"
     proc = subprocess.run(
-        [sys.executable, SCRIPT, "--output", str(out), "--repeats", "2"],
+        [
+            sys.executable,
+            SCRIPT,
+            "--output",
+            str(out),
+            "--trace-output",
+            str(trace_out),
+            "--repeats",
+            "2",
+        ],
         capture_output=True,
         text=True,
         cwd=REPO,
@@ -28,7 +39,20 @@ def artifact(tmp_path_factory):
     )
     assert proc.returncode == 0, proc.stdout + proc.stderr
     with open(out) as handle:
-        return json.load(handle)
+        engine = json.load(handle)
+    with open(trace_out) as handle:
+        trace = json.load(handle)
+    return engine, trace
+
+
+@pytest.fixture(scope="module")
+def artifact(artifacts):
+    return artifacts[0]
+
+
+@pytest.fixture(scope="module")
+def trace_artifact(artifacts):
+    return artifacts[1]
 
 
 class TestBenchSmoke:
@@ -54,3 +78,24 @@ class TestBenchSmoke:
         assert artifact["speedup"] > 1.0
         assert artifact["wall_s"]["memo"] < artifact["wall_s"]["seed"]
         assert 0.0 < artifact["memo_hit_rate"] < 1.0
+
+
+class TestTraceBench:
+    def test_artifact_shape(self, trace_artifact):
+        assert trace_artifact["benchmark"] == "trace_kernel"
+        for section in ("co_run", "way_sweep"):
+            assert set(trace_artifact[section]["wall_s"]) == (
+                {"seed", "kernel"} if section == "co_run" else
+                {"brute_force", "profile"}
+            )
+
+    def test_bit_identical(self, trace_artifact):
+        """The script aborts on any divergence; the artifact records it."""
+        assert trace_artifact["co_run"]["identical"] is True
+        assert trace_artifact["way_sweep"]["identical"] is True
+
+    def test_kernel_actually_faster(self, trace_artifact):
+        """Loose floors for noisy CI boxes; the committed artifact holds
+        the headline numbers (>=3x co-run, >=10x sweep)."""
+        assert trace_artifact["co_run"]["speedup"] > 1.5
+        assert trace_artifact["way_sweep"]["speedup"] > 4.0

@@ -8,13 +8,21 @@ tell the same story. This example:
    simulator at several way allocations,
 2. fits the statistical model's curve form to those measurements,
 3. shows the address-level isolation experiment (alone / shared /
-   partitioned) whose shape the interval engine reproduces at scale.
+   partitioned) whose shape the interval engine reproduces at scale,
+4. cross-validates the three cache backends and the profiled MRC: the
+   flat-array kernel must be bit-identical to the object model on a
+   partitioned co-run, and the single-pass way profile must agree with
+   per-mask re-simulation and fit the same interval-model curve.
+
+Exits non-zero if any arm drifts.
 
 Run:  python examples/engine_cross_validation.py
 """
 
+import sys
+
 from repro.cache.llc import WayMask
-from repro.sim.trace_engine import TraceWorkload, measure_isolation
+from repro.sim.trace_engine import TraceEngine, TraceWorkload, measure_isolation
 from repro.util import format_table, sparkline
 from repro.util.units import MB
 from repro.workloads.calibrate import fit_mrc, fit_quality, measure_mrc
@@ -83,11 +91,107 @@ def isolation_at_address_level():
     )
 
 
+def _co_run_signature(backend, fast_loop=True):
+    engine = TraceEngine(prefetchers_on=False, backend=backend, fast_loop=fast_loop)
+    engine.hierarchy.set_way_mask(0, WayMask.contiguous(9, 0))
+    engine.hierarchy.set_way_mask(2, WayMask.contiguous(3, 9))
+    stats = engine.run(
+        [
+            TraceWorkload(
+                "fg",
+                lambda: ZipfTrace(20_000, 6 * MB, alpha=0.9, tid=0, seed=7),
+                tid=0,
+                think_cycles=6,
+            ),
+            TraceWorkload(
+                "bg",
+                lambda: StreamingTrace(15_000, 32 * MB, tid=4),
+                tid=4,
+                think_cycles=2,
+            ),
+        ],
+        total_accesses=60_000,
+    )
+    hierarchy = engine.hierarchy
+    levels = list(hierarchy.l1) + list(hierarchy.l2) + [hierarchy.llc.storage]
+    return (
+        sorted(
+            (n, s.accesses, s.total_latency, s.cycles, s.llc_misses,
+             sorted(s.hits_by_level.items()))
+            for n, s in stats.items()
+        ),
+        [sorted(level.stats.snapshot().items()) for level in levels],
+        hierarchy.llc.storage.occupancy_by_way(),
+        sorted(hierarchy.llc.storage.resident_lines()),
+    )
+
+
+def backend_cross_validation():
+    """Arm 3: kernel vs object model vs interval-model curve fit."""
+    failures = []
+
+    # Bit-identity of the cache backends on a partitioned co-run.
+    reference = _co_run_signature("object")
+    for backend, fast_loop in (("seed", False), ("kernel", True)):
+        if _co_run_signature(backend, fast_loop) != reference:
+            failures.append(f"{backend} backend diverges from the object model")
+
+    # The single-pass profile against per-mask replay, and both against
+    # the interval engine's fitted curve form.
+    factory = lambda: ZipfTrace(25_000, 8 * MB, alpha=1.15, seed=21)
+    way_counts = (2, 4, 6, 8, 10, 12)
+    replayed = measure_mrc(factory, way_counts=way_counts)
+    profiled = measure_mrc(factory, way_counts=way_counts, method="profile")
+    # The profiler models true LRU; the LLC replays tree-PLRU. The gap
+    # peaks at tiny allocations (the UMON literature's known error), so
+    # the drift gate is loose there and the curves must converge above.
+    worst = max(abs(replayed[mb] - profiled[mb]) for mb in replayed)
+    if worst > 0.1:
+        failures.append(f"profiled MRC drifts {worst:.3f} from re-simulation")
+    converged = max(
+        abs(replayed[mb] - profiled[mb]) for mb in replayed if mb >= 2.0
+    )
+    if converged > 0.02:
+        failures.append(f"profiled MRC fails to converge ({converged:.3f} at >=2MB)")
+    fit_replay = fit_mrc(replayed)
+    fit_profile = fit_mrc(profiled)
+    fit_gap = max(
+        abs(fit_replay.value(mb) - fit_profile.value(mb))
+        for mb in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0)
+    )
+    if fit_gap > 0.1:
+        failures.append(f"fitted interval curves drift {fit_gap:.3f} apart")
+
+    rows = [
+        (f"{mb:g}", f"{replayed[mb]:.3f}", f"{profiled[mb]:.3f}",
+         f"{fit_profile.value(mb):.3f}")
+        for mb in sorted(replayed)
+    ]
+    print(
+        format_table(
+            ["LLC MB", "replayed", "profiled (1 pass)", "interval fit"],
+            rows,
+            title="3. Backend cross-validation",
+        )
+    )
+    status = "OK" if not failures else "; ".join(failures)
+    print(f"   kernel == object == seed on a partitioned co-run: "
+          f"{'yes' if not any('backend' in f for f in failures) else 'NO'}")
+    print(f"   cross-validation: {status}")
+    return failures
+
+
 def main():
     mrc_calibration()
     print()
     isolation_at_address_level()
+    print()
+    failures = backend_cross_validation()
+    if failures:
+        print(f"DRIFT DETECTED: {failures}", file=sys.stderr)
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

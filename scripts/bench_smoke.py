@@ -16,7 +16,20 @@ contract: memo-on results equal memo-off results exactly, and the fast
 arms agree with the seed arm to ~1e-9 relative. The summary lands in
 ``BENCH_engine.json`` (tier-2 checked by benchmarks/test_bench_smoke.py).
 
-Usage: PYTHONPATH=src python scripts/bench_smoke.py [--output PATH]
+It then benchmarks the address-level trace path into ``BENCH_trace.json``:
+
+- ``co_run``    — a zipf foreground + streaming background co-run under
+                  the paper's 9/3 partition, object-model seed path
+                  (original per-access protocol) vs the flat-array kernel
+                  backend's fused walk, verified bit-identical;
+- ``way_sweep`` — misses under every allocation 1..12, brute-force
+                  per-mask re-simulation vs one stack-distance profiling
+                  pass (UMON), verified hit-for-hit equal.
+
+``--check`` runs both benchmarks at reduced size, enforces the
+equivalence contracts, and writes no artifacts (CI mode).
+
+Usage: PYTHONPATH=src python scripts/bench_smoke.py [--output PATH] [--check]
 """
 
 import argparse
@@ -111,27 +124,170 @@ def run(repeats=3, workers=4):
     }, memo_delta
 
 
+# -- address-level trace benchmark (BENCH_trace.json) -------------------------
+
+
+def _co_run_workloads(fg_accesses, bg_accesses):
+    from repro.sim.trace_engine import TraceWorkload
+    from repro.util.units import MB
+    from repro.workloads.trace import StreamingTrace, ZipfTrace
+
+    return [
+        TraceWorkload(
+            "fg",
+            lambda: ZipfTrace(fg_accesses, 6 * MB, alpha=0.9, tid=0, seed=7),
+            tid=0,
+            think_cycles=6,
+        ),
+        TraceWorkload(
+            "bg",
+            lambda: StreamingTrace(bg_accesses, 32 * MB, tid=4),
+            tid=4,
+            think_cycles=2,
+        ),
+    ]
+
+
+def _time_co_run(backend, fast_loop, repeats, total_accesses):
+    """Best wall time plus a full bit-identity signature of the run."""
+    from repro.cache.llc import WayMask
+    from repro.sim.trace_engine import TraceEngine
+
+    best = signature = None
+    for _ in range(repeats):
+        engine = TraceEngine(
+            prefetchers_on=False, backend=backend, fast_loop=fast_loop
+        )
+        engine.hierarchy.set_way_mask(0, WayMask.contiguous(9, 0))
+        engine.hierarchy.set_way_mask(2, WayMask.contiguous(3, 9))
+        workloads = _co_run_workloads(total_accesses // 3, total_accesses // 4)
+        start = time.perf_counter()
+        stats = engine.run(workloads, total_accesses=total_accesses)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+        hierarchy = engine.hierarchy
+        levels = list(hierarchy.l1) + list(hierarchy.l2) + [hierarchy.llc.storage]
+        signature = (
+            sorted(
+                (
+                    name,
+                    s.accesses,
+                    s.total_latency,
+                    s.cycles,
+                    s.llc_misses,
+                    sorted(s.hits_by_level.items()),
+                )
+                for name, s in stats.items()
+            ),
+            [sorted(level.stats.snapshot().items()) for level in levels],
+            [sorted(level.stats.per_domain_accesses.items()) for level in levels],
+            [sorted(level.stats.per_domain_misses.items()) for level in levels],
+            hierarchy.llc.storage.occupancy_by_way(),
+            sorted(hierarchy.llc.storage.resident_lines()),
+        )
+    return best, signature
+
+
+def run_trace(repeats=3, co_accesses=120_000, sweep_accesses=60_000):
+    """Benchmark the trace path; returns the BENCH_trace.json payload."""
+    from repro.cache.profile import LLC_NUM_WAYS, WaySweep, brute_force_hits
+    from repro.util.units import MB
+    from repro.workloads.trace import ZipfTrace
+
+    # -- co-run: seed object model (original protocol) vs fused kernel ----
+    seed_t, seed_sig = _time_co_run("seed", False, repeats, co_accesses)
+    kernel_t, kernel_sig = _time_co_run("kernel", True, repeats, co_accesses)
+    if seed_sig != kernel_sig:
+        raise SystemExit("FAIL: kernel co-run is not bit-identical to the seed path")
+
+    # -- way sweep: per-mask re-simulation vs one profiling pass ----------
+    def factory():
+        return ZipfTrace(sweep_accesses, 4 * MB, alpha=0.9, seed=3)
+
+    ways = list(range(1, LLC_NUM_WAYS + 1))
+    start = time.perf_counter()
+    brute = [brute_force_hits(factory, w, backend="seed") for w in ways]
+    brute_t = time.perf_counter() - start
+    profile_t = curve = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        curve = WaySweep().run_single(factory)
+        elapsed = time.perf_counter() - start
+        profile_t = elapsed if profile_t is None else min(profile_t, elapsed)
+    profiled = [curve.hits(w) for w in ways]
+    if profiled != brute:
+        raise SystemExit("FAIL: profiled way curve diverges from re-simulation")
+
+    return {
+        "benchmark": "trace_kernel",
+        "repeats": repeats,
+        "co_run": {
+            "total_accesses": co_accesses,
+            "wall_s": {"seed": round(seed_t, 4), "kernel": round(kernel_t, 4)},
+            "speedup": round(seed_t / kernel_t, 2),
+            "identical": True,
+        },
+        "way_sweep": {
+            "accesses": sweep_accesses,
+            "allocations": len(ways),
+            "wall_s": {
+                "brute_force": round(brute_t, 4),
+                "profile": round(profile_t, 4),
+            },
+            "speedup": round(brute_t / profile_t, 2),
+            "identical": True,
+        },
+    }
+
+
 def main(argv=None):
+    root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--output",
-        default=os.path.join(
-            os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_engine.json"
-        ),
+        "--output", default=os.path.join(root, "BENCH_engine.json")
+    )
+    parser.add_argument(
+        "--trace-output", default=os.path.join(root, "BENCH_trace.json")
     )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI mode: reduced sizes, enforce the equivalence contracts, "
+        "write no artifacts",
+    )
     args = parser.parse_args(argv)
 
+    if args.check:
+        summary, counters = run(repeats=1, workers=args.workers)
+        trace_summary = run_trace(
+            repeats=1, co_accesses=36_000, sweep_accesses=20_000
+        )
+        print(format_engine_stat(ec.engine_counters().snapshot()))
+        print(
+            f"\ncheck PASS: engine drift {summary['max_rel_drift_vs_seed']:.1e}; "
+            f"trace co-run {trace_summary['co_run']['speedup']}x and "
+            f"way sweep {trace_summary['way_sweep']['speedup']}x, bit-identical"
+        )
+        return 0
+
     summary, counters = run(repeats=args.repeats, workers=args.workers)
+    trace_summary = run_trace(repeats=args.repeats)
     with open(args.output, "w") as handle:
         json.dump(summary, handle, indent=1)
+        handle.write("\n")
+    with open(args.trace_output, "w") as handle:
+        json.dump(trace_summary, handle, indent=1)
         handle.write("\n")
 
     print(json.dumps(summary, indent=1))
     print()
+    print(json.dumps(trace_summary, indent=1))
+    print()
     print(format_engine_stat(counters))
     print(f"\nwritten to {os.path.abspath(args.output)}")
+    print(f"written to {os.path.abspath(args.trace_output)}")
     return 0
 
 

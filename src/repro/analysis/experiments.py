@@ -287,6 +287,36 @@ def fig13_dynamic_background_throughput(study):
     return rows
 
 
+# -- Mechanism-level way utility (address-level ground truth) -----------------
+
+
+def trace_way_utility(fg_factory=None, bg_factory=None, total_accesses=120_000):
+    """Per-domain ``hits(ways)`` utility curves from one profiled co-run.
+
+    The address-level companion to the fig. 2/6 sensitivity sweeps: a
+    cache-friendly foreground and a streaming background co-run once
+    through the kernel-backend hierarchy with a way profiler attached,
+    and every allocation point 1..12 is read from the stack-distance
+    histograms instead of re-simulating per mask. Returns
+    ``{"stats": {name: TraceStats}, "curves": {name: WayCurve}}``.
+    """
+    from repro.sim.trace_engine import TraceWorkload, way_allocation_sweep
+    from repro.util.units import MB
+    from repro.workloads.trace import StreamingTrace, ZipfTrace
+
+    fg_factory = fg_factory or (
+        lambda: ZipfTrace(40_000, 6 * MB, alpha=0.9, tid=0, seed=7)
+    )
+    bg_factory = bg_factory or (lambda: StreamingTrace(30_000, 32 * MB, tid=4))
+    workloads = [
+        TraceWorkload("fg", fg_factory, tid=0, think_cycles=6),
+        TraceWorkload("bg", bg_factory, tid=4, think_cycles=2),
+    ]
+    stats, curves = way_allocation_sweep(workloads, total_accesses=total_accesses)
+    named = {w.name: curves[w.tid // 2] for w in workloads}
+    return {"stats": stats, "curves": named}
+
+
 # -- Headline numbers (Sections 1 and 8) ---------------------------------------------
 
 

@@ -151,6 +151,31 @@ def render_fig13(rows):
     )
 
 
+def render_trace_sweep(data, title="Way-utility curves (one profiled co-run)"):
+    """Per-domain hits/miss-ratio under every way allocation."""
+    curves = data["curves"]
+    names = list(curves)
+    num_ways = max(c.num_ways for c in curves.values())
+    header = ["ways"]
+    for name in names:
+        header += [f"{name} hits", f"{name} miss%"]
+    rows = []
+    for ways in range(1, num_ways + 1):
+        row = [str(ways)]
+        for name in names:
+            curve = curves[name]
+            row += [str(curve.hits(ways)), f"{100 * curve.miss_ratio(ways):.1f}"]
+        rows.append(tuple(row))
+    lines = [format_table(header, rows, title=title)]
+    for name in names:
+        curve = curves[name]
+        lines.append(
+            f"{name}: {curve.accesses} LLC refs, "
+            f"hits(1..{curve.num_ways}) {sparkline(list(curve.curve().values()))}"
+        )
+    return "\n".join(lines)
+
+
 def render_headline(numbers):
     rows = []
     for policy, metrics in numbers.items():

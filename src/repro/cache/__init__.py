@@ -20,7 +20,9 @@ from repro.cache.block import CacheLine, MemoryAccess
 from repro.cache.cache import CacheLevel
 from repro.cache.hierarchy import CacheHierarchy
 from repro.cache.indexing import HashedIndex, ModuloIndex
+from repro.cache.kernel import BACKENDS, KernelCacheLevel, make_cache_level
 from repro.cache.llc import PartitionedLLC, WayMask
+from repro.cache.profile import WayCurve, WayProfiler, WaySweep, verify_profile
 from repro.cache.prefetch import (
     DcuIpPrefetcher,
     DcuStreamerPrefetcher,
@@ -32,6 +34,7 @@ from repro.cache.replacement import PseudoLruTree, TrueLru
 from repro.cache.stats import CacheStats
 
 __all__ = [
+    "BACKENDS",
     "CacheHierarchy",
     "CacheLevel",
     "CacheLine",
@@ -39,6 +42,7 @@ __all__ = [
     "DcuIpPrefetcher",
     "DcuStreamerPrefetcher",
     "HashedIndex",
+    "KernelCacheLevel",
     "MemoryAccess",
     "MlcSpatialPrefetcher",
     "MlcStreamerPrefetcher",
@@ -47,5 +51,10 @@ __all__ = [
     "PrefetcherBank",
     "PseudoLruTree",
     "TrueLru",
+    "WayCurve",
     "WayMask",
+    "WayProfiler",
+    "WaySweep",
+    "make_cache_level",
+    "verify_profile",
 ]

@@ -27,6 +27,7 @@ class CacheLevel:
         line_size=64,
         replacement="lru",
         indexing="mod",
+        tag_index=True,
     ):
         if capacity_bytes % (num_ways * line_size):
             raise ConfigurationError(
@@ -49,6 +50,12 @@ class CacheLevel:
         self._policies = [
             _REPLACEMENT[replacement](num_ways) for _ in range(self.num_sets)
         ]
+        # tag -> way per set, kept in sync on fill/invalidate, turning the
+        # O(ways) presence scan into one dict probe. ``tag_index=False``
+        # preserves the original linear-scan path for benchmarking.
+        self._tag_index = (
+            [dict() for _ in range(self.num_sets)] if tag_index else None
+        )
         self.stats = CacheStats()
 
     # -- lookup ----------------------------------------------------------
@@ -59,6 +66,8 @@ class CacheLevel:
     def find(self, line_number):
         """Return (set_index, way) if the line is present, else (set, None)."""
         set_idx = self.set_index(line_number)
+        if self._tag_index is not None:
+            return set_idx, self._tag_index[set_idx].get(line_number)
         for way, cl in enumerate(self._sets[set_idx]):
             if cl.valid and cl.tag == line_number:
                 return set_idx, way
@@ -109,7 +118,9 @@ class CacheLevel:
             range(self.num_ways) if allowed_ways is None else list(allowed_ways)
         )
         for w in candidates:
-            if not cache_set[w].valid:
+            # Range-guarded so junk allowed_ways reach the policy, which
+            # raises the proper ValidationError (the kernel does the same).
+            if 0 <= w < self.num_ways and not cache_set[w].valid:
                 victim_way = w
                 break
         evicted = None
@@ -125,6 +136,8 @@ class CacheLevel:
             self.stats.evictions += 1
             if victim.dirty:
                 self.stats.writebacks += 1
+            if self._tag_index is not None:
+                self._tag_index[set_idx].pop(victim.tag, None)
 
         cl = cache_set[victim_way]
         cl.tag = line_number
@@ -133,6 +146,8 @@ class CacheLevel:
         cl.sharers = (1 << sharer) if sharer is not None else 0
         cl.prefetched = prefetch
         cl.touched_after_prefetch = False
+        if self._tag_index is not None:
+            self._tag_index[set_idx][line_number] = victim_way
         self.stats.fills += 1
         if prefetch:
             self.stats.prefetch_fills += 1
@@ -166,6 +181,8 @@ class CacheLevel:
         cl = self._sets[set_idx][way]
         was_dirty = cl.dirty
         cl.reset()
+        if self._tag_index is not None:
+            self._tag_index[set_idx].pop(line_number, None)
         self.stats.back_invalidations += 1
         return was_dirty
 

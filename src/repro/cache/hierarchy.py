@@ -7,9 +7,10 @@ line. Hyperthreads map pairwise onto cores (tids 0,1 -> core 0, ...).
 """
 
 from repro.cache.block import AccessResult, MemoryAccess
-from repro.cache.cache import CacheLevel
+from repro.cache.kernel import build_fused_walk, make_cache_level
 from repro.cache.llc import PartitionedLLC
 from repro.cache.prefetch import PrefetcherBank
+from repro.perf import engine_counters as ec
 from repro.util.errors import ValidationError
 from repro.util.units import KB, MB
 
@@ -33,15 +34,21 @@ class CacheHierarchy:
         llc_ways=12,
         line_size=64,
         llc_indexing="hash",
+        backend="object",
     ):
         self.num_cores = num_cores
         self.line_size = line_size
+        self.backend = backend
         self.l1 = [
-            CacheLevel(f"L1-{c}", l1_bytes, l1_ways, line_size, replacement="lru")
+            make_cache_level(
+                backend, f"L1-{c}", l1_bytes, l1_ways, line_size, replacement="lru"
+            )
             for c in range(num_cores)
         ]
         self.l2 = [
-            CacheLevel(f"L2-{c}", l2_bytes, l2_ways, line_size, replacement="plru")
+            make_cache_level(
+                backend, f"L2-{c}", l2_bytes, l2_ways, line_size, replacement="plru"
+            )
             for c in range(num_cores)
         ]
         self.llc = PartitionedLLC(
@@ -50,8 +57,16 @@ class CacheHierarchy:
             line_size=line_size,
             num_domains=num_cores,
             indexing=llc_indexing,
+            backend=backend,
         )
         self.prefetchers = [PrefetcherBank() for _ in range(num_cores)]
+        # Optional way-profiler observing every LLC probe (line, domain).
+        self.llc_profiler = None
+        self._scratch = AccessResult()  # reused by the fast access path
+        # Kernel backend: one fused L1->L2->LLC walk closure per core
+        # (probe+fill+stats in a single call, bit-identical to access()).
+        fused = [build_fused_walk(self, c) for c in range(num_cores)]
+        self._fused = fused if all(w is not None for w in fused) else None
 
     # -- topology -----------------------------------------------------------
 
@@ -71,6 +86,10 @@ class CacheHierarchy:
         banks = self.prefetchers if core is None else [self.prefetchers[core]]
         for bank in banks:
             bank.set_all(enabled)
+
+    def prefetchers_enabled(self):
+        """True if any prefetcher on any core is enabled."""
+        return any(pf.enabled for bank in self.prefetchers for pf in bank.all())
 
     # -- the access protocol ---------------------------------------------------
 
@@ -98,6 +117,8 @@ class CacheHierarchy:
                 result.hit_level, result.latency = "L2", L2_LATENCY
                 self._fill_l1(core, line, acc.is_write, result)
             else:
+                if self.llc_profiler is not None:
+                    self.llc_profiler.observe(line, core)
                 llc_hit = self.llc.access(line, acc.is_write, domain=core)
                 if llc_hit:
                     result.hit_level, result.latency = "LLC", LLC_LATENCY
@@ -115,8 +136,58 @@ class CacheHierarchy:
         result.prefetches_issued = len(prefetch_targets)
         return result
 
+    def access_fast(self, line, is_write, core):
+        """One access with every prefetcher disabled: the same walk as
+        :meth:`access` minus prefetcher observation, with no per-access
+        ``MemoryAccess``/``AccessResult`` allocation.
+
+        State and stats updates are identical to :meth:`access` (the
+        observe calls it skips are no-ops when prefetchers are off).
+        Returns ``(hit_level, latency)``.
+        """
+        fused = self._fused
+        if fused is not None:
+            return fused[core](line, is_write)
+        if self.l1[core].access(line, is_write, domain=core):
+            return "L1", L1_LATENCY
+        scratch = self._scratch
+        if self.l2[core].access(line, is_write, domain=core):
+            self._fill_l1(core, line, is_write, scratch)
+            return "L2", L2_LATENCY
+        if self.llc_profiler is not None:
+            self.llc_profiler.observe(line, core)
+        if self.llc.access(line, is_write, domain=core):
+            self.llc.add_sharer(line, core)
+            level, latency = "LLC", LLC_LATENCY
+        else:
+            self._fill_llc(core, line, is_write, scratch)
+            level, latency = "MEM", MEM_LATENCY
+        self._fill_l2(core, line, scratch)
+        self._fill_l1(core, line, is_write, scratch)
+        return level, latency
+
+    def fast_walker(self, core):
+        """The cheapest ``(line, is_write) -> (hit_level, latency)`` callable
+        for ``core`` with prefetchers off: the fused kernel walk when the
+        backend supports it, else a thin wrapper over :meth:`access_fast`.
+        """
+        fused = self._fused
+        if fused is not None:
+            return fused[core]
+        access_fast = self.access_fast
+
+        def walk(line, is_write):
+            return access_fast(line, is_write, core)
+
+        return walk
+
     def run_trace(self, accesses):
-        """Walk a full trace; returns aggregate totals as a dict."""
+        """Walk a full trace; returns aggregate totals as a dict.
+
+        When every prefetcher is disabled the walk dispatches through the
+        allocation-free batched path (:meth:`access_fast`); the totals are
+        identical either way.
+        """
         totals = {
             "accesses": 0,
             "l1_hits": 0,
@@ -125,6 +196,8 @@ class CacheHierarchy:
             "llc_misses": 0,
             "latency": 0,
         }
+        if not self.prefetchers_enabled():
+            return self._run_trace_batched(accesses, totals)
         for acc in accesses:
             result = self.access(acc)
             totals["accesses"] += 1
@@ -137,6 +210,24 @@ class CacheHierarchy:
                 totals["llc_hits"] += 1
             else:
                 totals["llc_misses"] += 1
+        return totals
+
+    _LEVEL_KEY = {"L1": "l1_hits", "L2": "l2_hits", "LLC": "llc_hits", "MEM": "llc_misses"}
+
+    def _run_trace_batched(self, accesses, totals):
+        access_fast = self.access_fast
+        core_of = self.core_of_tid
+        level_key = self._LEVEL_KEY
+        count = latency_total = 0
+        for acc in accesses:
+            level, latency = access_fast(acc.line_address, acc.is_write, core_of(acc.tid))
+            count += 1
+            latency_total += latency
+            totals[level_key[level]] += 1
+        totals["accesses"] = count
+        totals["latency"] = latency_total
+        ec.add(ec.KERNEL_BATCHES)
+        ec.add(ec.KERNEL_BATCHED_ACCESSES, count)
         return totals
 
     # -- internals ---------------------------------------------------------------

@@ -1,0 +1,747 @@
+"""Flat-array set-associative simulation kernel.
+
+:class:`KernelCacheLevel` is a drop-in replacement for
+:class:`repro.cache.cache.CacheLevel` that keeps tag, state, and recency
+information in flat contiguous buffers instead of nested ``CacheLine``
+objects:
+
+- presence is one per-set ``tag -> way`` dict probe instead of a linear
+  way scan;
+- valid/dirty/prefetched flags are per-set bitmasks, sharers and tags
+  are flat integer arrays;
+- true-LRU recency is a monotonically increasing touch stamp (victim =
+  minimum stamp among allowed ways, exactly the tail of the recency
+  list);
+- tree-PLRU touches collapse to two precomputed bit masks per way
+  (the touch path through the tree is fixed per way), and the victim
+  walk tests subtree membership with range bitmasks;
+- hashed set indices are memoized (the XOR fold is the only per-access
+  loop left otherwise).
+
+The kernel is bit-identical to the object model — same hits, same victim
+choices, same evictions and stats — for LRU and PLRU, modulo and hashed
+indexing, with and without way masks. ``tests/cache/test_kernel.py``
+holds the two backends to exact agreement step by step.
+"""
+
+from repro.cache.block import CacheLine
+from repro.cache.cache import CacheLevel, _INDEXING
+from repro.cache.stats import CacheStats
+from repro.util.errors import ConfigurationError, ValidationError
+
+BACKENDS = ("object", "seed", "kernel")
+
+_INDEX_MEMO_CAP = 1 << 20  # bound the hashed-index memo on huge footprints
+
+
+class KernelCacheLevel:
+    """One cache level backed by flat arrays (see module docstring)."""
+
+    def __init__(
+        self,
+        name,
+        capacity_bytes,
+        num_ways,
+        line_size=64,
+        replacement="lru",
+        indexing="mod",
+    ):
+        if capacity_bytes % (num_ways * line_size):
+            raise ConfigurationError(
+                f"{name}: capacity {capacity_bytes} not divisible by "
+                f"{num_ways} ways x {line_size}B lines"
+            )
+        if replacement not in ("lru", "plru"):
+            raise ConfigurationError(f"unknown replacement policy {replacement!r}")
+        if indexing not in _INDEXING:
+            raise ConfigurationError(f"unknown indexing scheme {indexing!r}")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.num_ways = num_ways
+        self.line_size = line_size
+        self.num_sets = capacity_bytes // (num_ways * line_size)
+        self._indexer = _INDEXING[indexing](self.num_sets)
+        self._is_lru = replacement == "lru"
+        self._full_mask = (1 << num_ways) - 1
+
+        num_sets, W = self.num_sets, num_ways
+        self._tags = [-1] * (num_sets * W)
+        self._sharers = [0] * (num_sets * W)
+        self._valid = [0] * num_sets
+        self._dirty = [0] * num_sets
+        self._prefetched = [0] * num_sets
+        self._touched_pf = [0] * num_sets
+        self._lookup = [dict() for _ in range(num_sets)]
+
+        if self._is_lru:
+            # Stamp ordering replicates TrueLru's initial recency list
+            # [0, 1, ..., W-1] (way 0 most recent): higher stamp = more
+            # recent, stamps stay unique so victim choice is unambiguous.
+            self._stamp = [0] * (num_sets * W)
+            for s in range(num_sets):
+                base = s * W
+                for w in range(W):
+                    self._stamp[base + w] = W - w
+            self._clock = W + 1
+        else:
+            leaves = 1
+            while leaves < W:
+                leaves *= 2
+            self._leaves = leaves
+            self._plru = [0] * num_sets
+            # The touch path through the tree is fixed per way: precompute
+            # the bits it sets and clears so a touch is two bit ops.
+            set_masks, clear_invs = [], []
+            for way in range(W):
+                node, lo, hi = 1, 0, leaves
+                set_bits = clear_bits = 0
+                while hi - lo > 1:
+                    mid = (lo + hi) // 2
+                    if way < mid:
+                        set_bits |= 1 << node  # point right, away from way
+                        node, hi = 2 * node, mid
+                    else:
+                        clear_bits |= 1 << node  # point left
+                        node, lo = 2 * node + 1, mid
+                set_masks.append(set_bits)
+                clear_invs.append(~clear_bits)
+            self._plru_set = set_masks
+            self._plru_clear_inv = clear_invs
+            # Static victim-walk tables: per tree node, the way-bitmask of
+            # its left and right subtrees (heap order, root at index 1;
+            # leaf node n corresponds to way n - leaves).
+            left_masks = [0] * (2 * leaves)
+            right_masks = [0] * (2 * leaves)
+
+            def build(node, lo, hi):
+                if hi - lo <= 1:
+                    return
+                mid = (lo + hi) // 2
+                left_masks[node] = (1 << mid) - (1 << lo)
+                right_masks[node] = (1 << hi) - (1 << mid)
+                build(2 * node, lo, mid)
+                build(2 * node + 1, mid, hi)
+
+            build(1, 0, leaves)
+            self._plru_left = left_masks
+            self._plru_right = right_masks
+
+        if indexing == "mod":
+            self._mod_mask = self.num_sets - 1
+            self._index_memo = None
+        else:
+            self._mod_mask = -1
+            self._index_memo = {}
+        self.stats = CacheStats()
+
+    # -- lookup ----------------------------------------------------------
+
+    def set_index(self, line_number):
+        if self._mod_mask >= 0:
+            return line_number & self._mod_mask
+        memo = self._index_memo
+        idx = memo.get(line_number)
+        if idx is None:
+            idx = self._indexer.index(line_number)
+            if len(memo) >= _INDEX_MEMO_CAP:
+                memo.clear()
+            memo[line_number] = idx
+        return idx
+
+    def find(self, line_number):
+        """Return (set_index, way) if the line is present, else (set, None)."""
+        set_idx = self.set_index(line_number)
+        return set_idx, self._lookup[set_idx].get(line_number)
+
+    def contains(self, line_number):
+        set_idx = self.set_index(line_number)
+        return line_number in self._lookup[set_idx]
+
+    # -- access / fill / invalidate --------------------------------------
+
+    def _touch(self, set_idx, way):
+        if self._is_lru:
+            self._stamp[set_idx * self.num_ways + way] = self._clock
+            self._clock += 1
+        else:
+            self._plru[set_idx] = (
+                self._plru[set_idx] | self._plru_set[way]
+            ) & self._plru_clear_inv[way]
+
+    def access(self, line_number, is_write=False, domain=0):
+        """Probe for a line; returns True on hit (recency updated).
+
+        The body inlines :meth:`set_index`, the recency touch, and
+        ``CacheStats.record_access`` — this is the hottest path in the
+        address-level engine. Counts are identical to the object model.
+        """
+        if self._mod_mask >= 0:
+            set_idx = line_number & self._mod_mask
+        else:
+            memo = self._index_memo
+            set_idx = memo.get(line_number)
+            if set_idx is None:
+                set_idx = self._indexer.index(line_number)
+                if len(memo) >= _INDEX_MEMO_CAP:
+                    memo.clear()
+                memo[line_number] = set_idx
+        way = self._lookup[set_idx].get(line_number)
+        stats = self.stats
+        stats.accesses += 1
+        per_access = stats.per_domain_accesses
+        per_access[domain] = per_access.get(domain, 0) + 1
+        if way is None:
+            stats.misses += 1
+            per_miss = stats.per_domain_misses
+            per_miss[domain] = per_miss.get(domain, 0) + 1
+            return False
+        stats.hits += 1
+        if self._is_lru:
+            self._stamp[set_idx * self.num_ways + way] = self._clock
+            self._clock += 1
+        else:
+            plru = self._plru
+            plru[set_idx] = (
+                plru[set_idx] | self._plru_set[way]
+            ) & self._plru_clear_inv[way]
+        if is_write:
+            self._dirty[set_idx] |= 1 << way
+        prefetched = self._prefetched[set_idx]
+        if prefetched:
+            bit = 1 << way
+            if prefetched & bit and not self._touched_pf[set_idx] & bit:
+                self._touched_pf[set_idx] |= bit
+                stats.prefetch_useful += 1
+        return True
+
+    def _victim(self, set_idx, candidates):
+        """Replicate the object policies' victim choice (and errors)."""
+        W = self.num_ways
+        if self._is_lru:
+            if candidates is not None and not candidates:
+                raise ValidationError(
+                    "victim selection requires at least one allowed way"
+                )
+            base = set_idx * W
+            stamps = self._stamp
+            best_way, best_stamp = None, None
+            for w in range(W) if candidates is None else candidates:
+                if 0 <= w < W:
+                    stamp = stamps[base + w]
+                    if best_stamp is None or stamp < best_stamp:
+                        best_way, best_stamp = w, stamp
+            if best_way is None:
+                raise ValidationError("allowed ways are outside this set")
+            return best_way
+        if candidates is None:
+            allowed_mask = self._full_mask
+        else:
+            allowed_mask = 0
+            for w in candidates:
+                if 0 <= w < W:
+                    allowed_mask |= 1 << w
+        if not allowed_mask:
+            raise ValidationError("victim selection requires at least one allowed way")
+        bits = self._plru[set_idx]
+        leaves = self._leaves
+        left_masks, right_masks = self._plru_left, self._plru_right
+        node = 1
+        while node < leaves:
+            go_right = (bits >> node) & 1
+            if go_right:
+                if not allowed_mask & right_masks[node]:
+                    go_right = 0
+            elif not allowed_mask & left_masks[node]:
+                go_right = 1
+            node = 2 * node + 1 if go_right else 2 * node
+        return node - leaves
+
+    def fill(
+        self,
+        line_number,
+        is_write=False,
+        domain=0,
+        allowed_ways=None,
+        prefetch=False,
+        sharer=None,
+    ):
+        """Insert a line, evicting if necessary (CacheLevel semantics)."""
+        if self._mod_mask >= 0:
+            set_idx = line_number & self._mod_mask
+        else:
+            memo = self._index_memo
+            set_idx = memo.get(line_number)
+            if set_idx is None:
+                set_idx = self._indexer.index(line_number)
+                if len(memo) >= _INDEX_MEMO_CAP:
+                    memo.clear()
+                memo[line_number] = set_idx
+        lookup = self._lookup[set_idx]
+        if line_number in lookup:
+            return None  # racing fill (e.g. prefetch landed first)
+
+        W = self.num_ways
+        stats = self.stats
+        valid = self._valid[set_idx]
+        victim_way = None
+        if allowed_ways is None:
+            candidates = None
+            if valid != self._full_mask:
+                invalid = ~valid & self._full_mask
+                victim_way = (invalid & -invalid).bit_length() - 1
+        else:
+            candidates = (
+                allowed_ways
+                if isinstance(allowed_ways, (list, tuple))
+                else list(allowed_ways)
+            )
+            for w in candidates:
+                if 0 <= w < W and not (valid >> w) & 1:
+                    victim_way = w
+                    break
+
+        evicted = None
+        if victim_way is None:
+            victim_way = self._victim(set_idx, candidates)
+            base = set_idx * W + victim_way
+            bit = 1 << victim_way
+            was_dirty = bool(self._dirty[set_idx] & bit)
+            old_tag = self._tags[base]
+            evicted = CacheLine(
+                tag=old_tag,
+                valid=True,
+                dirty=was_dirty,
+                sharers=self._sharers[base],
+            )
+            stats.evictions += 1
+            if was_dirty:
+                stats.writebacks += 1
+            del lookup[old_tag]
+        else:
+            base = set_idx * W + victim_way
+            bit = 1 << victim_way
+
+        self._tags[base] = line_number
+        self._valid[set_idx] = valid | bit
+        if is_write:
+            self._dirty[set_idx] |= bit
+        else:
+            self._dirty[set_idx] &= ~bit
+        self._sharers[base] = (1 << sharer) if sharer is not None else 0
+        if prefetch:
+            self._prefetched[set_idx] |= bit
+            stats.prefetch_fills += 1
+        else:
+            self._prefetched[set_idx] &= ~bit
+        self._touched_pf[set_idx] &= ~bit
+        lookup[line_number] = victim_way
+        stats.fills += 1
+        if self._is_lru:
+            self._stamp[base] = self._clock
+            self._clock += 1
+        else:
+            plru = self._plru
+            plru[set_idx] = (
+                plru[set_idx] | self._plru_set[victim_way]
+            ) & self._plru_clear_inv[victim_way]
+        return evicted
+
+    def add_sharer(self, line_number, core):
+        set_idx, way = self.find(line_number)
+        if way is not None:
+            self._sharers[set_idx * self.num_ways + way] |= 1 << core
+
+    def sharers_of(self, line_number):
+        set_idx, way = self.find(line_number)
+        if way is None:
+            return 0
+        return self._sharers[set_idx * self.num_ways + way]
+
+    def mark_dirty(self, line_number):
+        """Mark a resident line dirty (inner-level writeback landing here)."""
+        set_idx, way = self.find(line_number)
+        if way is None:
+            return False
+        self._dirty[set_idx] |= 1 << way
+        return True
+
+    def invalidate(self, line_number):
+        """Drop a line if present; returns True if it was dirty."""
+        set_idx = self.set_index(line_number)
+        way = self._lookup[set_idx].pop(line_number, None)
+        if way is None:
+            return False
+        bit = 1 << way
+        was_dirty = bool(self._dirty[set_idx] & bit)
+        self._valid[set_idx] &= ~bit
+        self._dirty[set_idx] &= ~bit
+        self._prefetched[set_idx] &= ~bit
+        self._touched_pf[set_idx] &= ~bit
+        base = set_idx * self.num_ways + way
+        self._tags[base] = -1
+        self._sharers[base] = 0
+        self.stats.back_invalidations += 1
+        return was_dirty
+
+    # -- introspection -----------------------------------------------------
+
+    def occupancy(self):
+        """Number of valid lines currently held."""
+        return sum(len(lookup) for lookup in self._lookup)
+
+    def occupancy_by_way(self):
+        """Valid-line count per way index (used by partitioning tests)."""
+        counts = [0] * self.num_ways
+        for valid in self._valid:
+            while valid:
+                low = valid & -valid
+                counts[low.bit_length() - 1] += 1
+                valid ^= low
+        return counts
+
+    def resident_lines(self):
+        """Set of line numbers currently cached (for inclusion checks)."""
+        resident = set()
+        for lookup in self._lookup:
+            resident.update(lookup)
+        return resident
+
+
+def build_fused_walk(hierarchy, core):
+    """One prefetchers-off L1 -> L2 -> LLC access walk as a single closure.
+
+    Fuses the per-level probe, fill, recency, and stats updates of
+    :meth:`repro.cache.hierarchy.CacheHierarchy.access_fast` into one
+    function over the three levels' flat state for ``core``: no per-level
+    method dispatch, no ``CacheLine`` construction for evictions, and no
+    re-indexing between a probe and the fill that follows it. State and
+    stats transitions are bit-identical to the generic walk; the rare
+    paths (dirty L1 victim missing from L2, dirty L2 victim writeback)
+    fall back to the shared helpers.
+
+    Returns ``None`` when the hierarchy's levels are not all kernel-backed
+    or not in the expected LRU/PLRU/PLRU arrangement, in which case the
+    caller keeps the generic path.
+    """
+    l1 = hierarchy.l1[core]
+    l2 = hierarchy.l2[core]
+    llc_part = hierarchy.llc
+    llc = llc_part.storage
+    levels = (l1, l2, llc)
+    if not all(isinstance(lvl, KernelCacheLevel) for lvl in levels):
+        return None
+    if not l1._is_lru or l2._is_lru or llc._is_lru:
+        return None
+    if l1._mod_mask < 0 or l2._mod_mask < 0:
+        return None
+
+    h = hierarchy
+    num_cores = h.num_cores
+    core_bit = 1 << core
+    scratch = h._scratch
+    l1_objs = list(h.l1)
+    l2_objs = list(h.l2)
+    inner_l1_lookup = [lvl._lookup for lvl in l1_objs]
+    inner_l2_lookup = [lvl._lookup for lvl in l2_objs]
+
+    # L1: true LRU, modulo indexing.
+    l1_mod = l1._mod_mask
+    l1_W = l1.num_ways
+    l1_full = l1._full_mask
+    l1_lookup, l1_tags, l1_sharers = l1._lookup, l1._tags, l1._sharers
+    l1_valid, l1_dirty = l1._valid, l1._dirty
+    l1_pref, l1_tpf = l1._prefetched, l1._touched_pf
+    l1_stamp = l1._stamp
+    l1_stats = l1.stats
+    l1_pa = l1_stats.per_domain_accesses
+    l1_pm = l1_stats.per_domain_misses
+
+    # L2: tree PLRU, modulo indexing.
+    l2_mod = l2._mod_mask
+    l2_W = l2.num_ways
+    l2_full = l2._full_mask
+    l2_leaves = l2._leaves
+    l2_lookup, l2_tags, l2_sharers = l2._lookup, l2._tags, l2._sharers
+    l2_valid, l2_dirty = l2._valid, l2._dirty
+    l2_pref, l2_tpf = l2._prefetched, l2._touched_pf
+    l2_plru = l2._plru
+    l2_pset, l2_pclr = l2._plru_set, l2._plru_clear_inv
+    l2_left, l2_right = l2._plru_left, l2._plru_right
+    l2_stats = l2.stats
+    l2_pa = l2_stats.per_domain_accesses
+    l2_pm = l2_stats.per_domain_misses
+
+    # LLC: tree PLRU, modulo or hashed indexing, way-masked fills.
+    llc_mod = llc._mod_mask
+    llc_memo = llc._index_memo
+    llc_index = llc._indexer.index
+    llc_W = llc.num_ways
+    llc_leaves = llc._leaves
+    llc_lookup, llc_tags, llc_sharers = llc._lookup, llc._tags, llc._sharers
+    llc_valid, llc_dirty = llc._valid, llc._dirty
+    llc_pref, llc_tpf = llc._prefetched, llc._touched_pf
+    llc_plru = llc._plru
+    llc_pset, llc_pclr = llc._plru_set, llc._plru_clear_inv
+    llc_left, llc_right = llc._plru_left, llc._plru_right
+    llc_stats = llc.stats
+    llc_pa = llc_stats.per_domain_accesses
+    llc_pm = llc_stats.per_domain_misses
+    llc_mark_dirty = llc.mark_dirty
+    mask_ways = llc_part._mask_ways  # mutated in place by set_mask
+    mask_bits = llc_part._mask_bits
+
+    def walk(line, is_write):
+        # ---- L1 probe (LRU, modulo) -------------------------------------
+        s1 = line & l1_mod
+        way = l1_lookup[s1].get(line)
+        l1_stats.accesses += 1
+        l1_pa[core] = l1_pa.get(core, 0) + 1
+        if way is not None:
+            l1_stats.hits += 1
+            l1_stamp[s1 * l1_W + way] = l1._clock
+            l1._clock += 1
+            if is_write:
+                l1_dirty[s1] |= 1 << way
+            pf = l1_pref[s1]
+            if pf:
+                bit = 1 << way
+                if pf & bit and not l1_tpf[s1] & bit:
+                    l1_tpf[s1] |= bit
+                    l1_stats.prefetch_useful += 1
+            return "L1", 4
+        l1_stats.misses += 1
+        l1_pm[core] = l1_pm.get(core, 0) + 1
+
+        # ---- L2 probe (PLRU, modulo) ------------------------------------
+        s2 = line & l2_mod
+        look2 = l2_lookup[s2]
+        way = look2.get(line)
+        l2_stats.accesses += 1
+        l2_pa[core] = l2_pa.get(core, 0) + 1
+        if way is not None:
+            l2_stats.hits += 1
+            l2_plru[s2] = (l2_plru[s2] | l2_pset[way]) & l2_pclr[way]
+            if is_write:
+                l2_dirty[s2] |= 1 << way
+            pf = l2_pref[s2]
+            if pf:
+                bit = 1 << way
+                if pf & bit and not l2_tpf[s2] & bit:
+                    l2_tpf[s2] |= bit
+                    l2_stats.prefetch_useful += 1
+            level = "L2"
+            latency = 12
+        else:
+            l2_stats.misses += 1
+            l2_pm[core] = l2_pm.get(core, 0) + 1
+
+            # ---- LLC probe ----------------------------------------------
+            prof = h.llc_profiler
+            if prof is not None:
+                prof.observe(line, core)
+            if llc_mod >= 0:
+                s3 = line & llc_mod
+            else:
+                s3 = llc_memo.get(line)
+                if s3 is None:
+                    s3 = llc_index(line)
+                    if len(llc_memo) >= _INDEX_MEMO_CAP:
+                        llc_memo.clear()
+                    llc_memo[line] = s3
+            look3 = llc_lookup[s3]
+            way = look3.get(line)
+            llc_stats.accesses += 1
+            llc_pa[core] = llc_pa.get(core, 0) + 1
+            if way is not None:
+                llc_stats.hits += 1
+                llc_plru[s3] = (llc_plru[s3] | llc_pset[way]) & llc_pclr[way]
+                if is_write:
+                    llc_dirty[s3] |= 1 << way
+                pf = llc_pref[s3]
+                if pf:
+                    bit = 1 << way
+                    if pf & bit and not llc_tpf[s3] & bit:
+                        llc_tpf[s3] |= bit
+                        llc_stats.prefetch_useful += 1
+                llc_sharers[s3 * llc_W + way] |= core_bit  # add_sharer
+                level = "LLC"
+                latency = 30
+            else:
+                llc_stats.misses += 1
+                llc_pm[core] = llc_pm.get(core, 0) + 1
+
+                # ---- LLC fill (way-masked victim, inclusion) ------------
+                mbits = mask_bits[core]
+                valid3 = llc_valid[s3]
+                victim = None
+                if valid3 & mbits != mbits:
+                    for w in mask_ways[core]:
+                        if not (valid3 >> w) & 1:
+                            victim = w
+                            break
+                if victim is None:
+                    bits = llc_plru[s3]
+                    node = 1
+                    while node < llc_leaves:
+                        go_right = (bits >> node) & 1
+                        if go_right:
+                            if not mbits & llc_right[node]:
+                                go_right = 0
+                        elif not mbits & llc_left[node]:
+                            go_right = 1
+                        node = 2 * node + 1 if go_right else 2 * node
+                    victim = node - llc_leaves
+                    base = s3 * llc_W + victim
+                    vbit = 1 << victim
+                    old_tag = llc_tags[base]
+                    old_sharers = llc_sharers[base]
+                    llc_stats.evictions += 1
+                    if llc_dirty[s3] & vbit:
+                        llc_stats.writebacks += 1
+                    del look3[old_tag]
+                    # Inclusion: the victim leaves every inner cache.
+                    for c in range(num_cores):
+                        if old_sharers and not (old_sharers >> c) & 1:
+                            continue
+                        if old_tag in inner_l1_lookup[c][old_tag & l1_mod]:
+                            l1_objs[c].invalidate(old_tag)
+                        if old_tag in inner_l2_lookup[c][old_tag & l2_mod]:
+                            l2_objs[c].invalidate(old_tag)
+                else:
+                    base = s3 * llc_W + victim
+                    vbit = 1 << victim
+                llc_tags[base] = line
+                llc_valid[s3] = valid3 | vbit
+                if is_write:
+                    llc_dirty[s3] |= vbit
+                else:
+                    llc_dirty[s3] &= ~vbit
+                llc_sharers[base] = core_bit
+                llc_pref[s3] &= ~vbit
+                llc_tpf[s3] &= ~vbit
+                look3[line] = victim
+                llc_stats.fills += 1
+                llc_plru[s3] = (llc_plru[s3] | llc_pset[victim]) & llc_pclr[victim]
+                level = "MEM"
+                latency = 200
+
+            # ---- L2 fill (demand fills land clean) ----------------------
+            valid2 = l2_valid[s2]
+            if valid2 != l2_full:
+                inv = ~valid2 & l2_full
+                victim = (inv & -inv).bit_length() - 1
+                base = s2 * l2_W + victim
+                vbit = 1 << victim
+            else:
+                bits = l2_plru[s2]
+                node = 1
+                while node < l2_leaves:
+                    go_right = (bits >> node) & 1
+                    if go_right:
+                        if not l2_full & l2_right[node]:
+                            go_right = 0
+                    elif not l2_full & l2_left[node]:
+                        go_right = 1
+                    node = 2 * node + 1 if go_right else 2 * node
+                victim = node - l2_leaves
+                base = s2 * l2_W + victim
+                vbit = 1 << victim
+                old_tag = l2_tags[base]
+                l2_stats.evictions += 1
+                if l2_dirty[s2] & vbit:
+                    l2_stats.writebacks += 1
+                    # Inclusive LLC normally still holds the line.
+                    llc_mark_dirty(old_tag)
+                del look2[old_tag]
+            l2_tags[base] = line
+            l2_valid[s2] = valid2 | vbit
+            l2_dirty[s2] &= ~vbit
+            l2_sharers[base] = 0
+            l2_pref[s2] &= ~vbit
+            l2_tpf[s2] &= ~vbit
+            look2[line] = victim
+            l2_stats.fills += 1
+            l2_plru[s2] = (l2_plru[s2] | l2_pset[victim]) & l2_pclr[victim]
+
+        # ---- L1 fill ----------------------------------------------------
+        look1 = l1_lookup[s1]
+        valid1 = l1_valid[s1]
+        if valid1 != l1_full:
+            inv = ~valid1 & l1_full
+            victim = (inv & -inv).bit_length() - 1
+            base = s1 * l1_W + victim
+            vbit = 1 << victim
+        else:
+            base = s1 * l1_W
+            victim = 0
+            best = l1_stamp[base]
+            for w in range(1, l1_W):
+                stamp = l1_stamp[base + w]
+                if stamp < best:
+                    best = stamp
+                    victim = w
+            base += victim
+            vbit = 1 << victim
+            old_tag = l1_tags[base]
+            l1_stats.evictions += 1
+            if l1_dirty[s1] & vbit:
+                l1_stats.writebacks += 1
+                # Non-inclusive L2: a dirty L1 victim lands in (or
+                # updates) L2; fall back to the shared helper on a miss.
+                s2v = old_tag & l2_mod
+                way2 = l2_lookup[s2v].get(old_tag)
+                if way2 is not None:
+                    l2_dirty[s2v] |= 1 << way2
+                else:
+                    h._fill_l2(core, old_tag, scratch, dirty=True)
+            del look1[old_tag]
+        l1_tags[base] = line
+        l1_valid[s1] = valid1 | vbit
+        if is_write:
+            l1_dirty[s1] |= vbit
+        else:
+            l1_dirty[s1] &= ~vbit
+        l1_sharers[base] = 0
+        l1_pref[s1] &= ~vbit
+        l1_tpf[s1] &= ~vbit
+        look1[line] = victim
+        l1_stats.fills += 1
+        l1_stamp[base] = l1._clock
+        l1._clock += 1
+        return level, latency
+
+    return walk
+
+
+def make_cache_level(
+    backend,
+    name,
+    capacity_bytes,
+    num_ways,
+    line_size=64,
+    replacement="lru",
+    indexing="mod",
+):
+    """Construct a cache level for the chosen backend.
+
+    ``object`` is the reference model, ``kernel`` the flat-array kernel,
+    and ``seed`` the object model with its tag index disabled — the exact
+    pre-optimization code path, kept for benchmarking against.
+    """
+    if backend == "kernel":
+        return KernelCacheLevel(
+            name, capacity_bytes, num_ways, line_size, replacement, indexing
+        )
+    if backend in ("object", "seed"):
+        return CacheLevel(
+            name,
+            capacity_bytes,
+            num_ways,
+            line_size,
+            replacement,
+            indexing,
+            tag_index=backend == "object",
+        )
+    raise ConfigurationError(
+        f"unknown cache backend {backend!r}; pick one of {BACKENDS}"
+    )

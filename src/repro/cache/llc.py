@@ -11,7 +11,7 @@ Implements the mechanism of paper Section 2.1:
   evicts them.
 """
 
-from repro.cache.cache import CacheLevel
+from repro.cache.kernel import make_cache_level
 from repro.util.errors import ConfigurationError, ValidationError
 
 
@@ -89,10 +89,12 @@ class PartitionedLLC:
         num_domains=4,
         replacement="plru",
         indexing="hash",
+        backend="object",
     ):
         if num_domains < 1:
             raise ConfigurationError("need at least one domain")
-        self.storage = CacheLevel(
+        self.storage = make_cache_level(
+            backend,
             "LLC",
             capacity_bytes,
             num_ways,
@@ -103,6 +105,9 @@ class PartitionedLLC:
         self.num_ways = num_ways
         self.num_domains = num_domains
         self._masks = {d: WayMask.full(num_ways) for d in range(num_domains)}
+        # Sorted way lists / bitmasks are hoisted out of the fill hot path.
+        self._mask_ways = {d: list(m) for d, m in self._masks.items()}
+        self._mask_bits = {d: m.bits for d, m in self._masks.items()}
 
     # -- partition control -------------------------------------------------
 
@@ -113,6 +118,8 @@ class PartitionedLLC:
         if mask.num_ways != self.num_ways:
             raise ValidationError("mask sized for a different LLC")
         self._masks[domain] = mask
+        self._mask_ways[domain] = list(mask)
+        self._mask_bits[domain] = mask.bits
 
     def mask_of(self, domain):
         return self._masks[domain]
@@ -128,12 +135,11 @@ class PartitionedLLC:
 
     def fill(self, line_number, is_write=False, domain=0, prefetch=False, sharer=None):
         """Fill a line; the victim must come from the domain's mask."""
-        mask = self._masks[domain]
         return self.storage.fill(
             line_number,
             is_write=is_write,
             domain=domain,
-            allowed_ways=list(mask),
+            allowed_ways=self._mask_ways[domain],
             prefetch=prefetch,
             sharer=sharer,
         )

@@ -56,8 +56,9 @@ class CacheStats:
         self.back_invalidations = 0
         self.prefetch_fills = 0
         self.prefetch_useful = 0
-        self.per_domain_misses = {}
-        self.per_domain_accesses = {}
+        # Cleared in place: the fused kernel walk holds references.
+        self.per_domain_misses.clear()
+        self.per_domain_accesses.clear()
 
     def snapshot(self):
         """A plain-dict copy suitable for delta computation."""

@@ -8,6 +8,7 @@ Commands mirror the workflows of the paper's evaluation:
 - ``consolidate FG BG`` — compare shared/fair/biased (+ optionally UCP).
 - ``dynamic FG BG`` — run the Algorithm 6.1/6.2 controller, print its trace.
 - ``figure ID`` — regenerate a paper figure/table (1, 2, ..., 13, headline).
+- ``trace-sweep`` — way-allocation utility curves from one profiled replay.
 """
 
 import argparse
@@ -72,6 +73,38 @@ def _build_parser():
         type=int,
         default=None,
         help="worker processes for expensive sweeps (default: REPRO_WORKERS or 1)",
+    )
+
+    sweep = sub.add_parser(
+        "trace-sweep",
+        help="way-allocation sweep from one profiled replay (UMON-style)",
+    )
+    sweep.add_argument(
+        "--trace",
+        default="zipf",
+        choices=("zipf", "stream", "stride", "chase", "stencil"),
+        help="synthetic trace kind for the profiled workload",
+    )
+    sweep.add_argument("--accesses", type=int, default=60_000)
+    sweep.add_argument("--footprint-mb", type=float, default=4.0)
+    sweep.add_argument("--alpha", type=float, default=0.9, help="zipf skew")
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument(
+        "--ways",
+        default=None,
+        help="comma-separated allocations to report (default 1..12)",
+    )
+    sweep.add_argument(
+        "--co-run",
+        action="store_true",
+        help="profile the trace co-running with a streaming background "
+        "through the full hierarchy instead of standalone",
+    )
+    sweep.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the profile against brute-force per-mask re-simulation "
+        "(exits non-zero on any mismatch)",
     )
 
     cmp_ = sub.add_parser("compare", help="diff two evaluate artifact sets")
@@ -354,6 +387,59 @@ def _cmd_evaluate(args, out):
         out.write(f"{stage}: {path}\n")
 
 
+def _trace_factory(args):
+    from repro.util.units import MB
+    from repro.workloads.trace import (
+        PointerChaseTrace,
+        StencilTrace,
+        StreamingTrace,
+        StridedTrace,
+        ZipfTrace,
+    )
+
+    n = args.accesses
+    footprint = int(args.footprint_mb * MB)
+    kind = args.trace
+    if kind == "zipf":
+        return lambda: ZipfTrace(n, footprint, alpha=args.alpha, seed=args.seed)
+    if kind == "stream":
+        return lambda: StreamingTrace(n, footprint)
+    if kind == "stride":
+        return lambda: StridedTrace(n, stride=256)
+    if kind == "chase":
+        return lambda: PointerChaseTrace(n, footprint, seed=args.seed)
+    return lambda: StencilTrace(n, footprint)
+
+
+def _cmd_trace_sweep(args, out):
+    from repro.analysis.experiments import trace_way_utility
+    from repro.analysis.render import render_trace_sweep
+    from repro.cache.profile import WaySweep, verify_profile
+
+    way_counts = (
+        [int(w) for w in args.ways.split(",")] if args.ways else None
+    )
+    factory = _trace_factory(args)
+    if args.co_run:
+        data = trace_way_utility(fg_factory=factory)
+        out.write(render_trace_sweep(data) + "\n")
+    else:
+        curve = WaySweep().run_single(factory)
+        data = {"curves": {args.trace: curve}}
+        out.write(
+            render_trace_sweep(
+                data, title=f"Way-utility curve — {args.trace} (one profiled pass)"
+            )
+            + "\n"
+        )
+    if args.check:
+        rows = verify_profile(factory, way_counts=way_counts, backend="kernel")
+        out.write(
+            f"check: profiled hits match per-mask re-simulation at "
+            f"{len(rows)} allocations\n"
+        )
+
+
 def _cmd_compare(args, out):
     from repro.analysis.compare import format_deltas, regressions
 
@@ -378,6 +464,7 @@ _COMMANDS = {
     "consolidate": _cmd_consolidate,
     "dynamic": _cmd_dynamic,
     "figure": _cmd_figure,
+    "trace-sweep": _cmd_trace_sweep,
 }
 
 

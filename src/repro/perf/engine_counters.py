@@ -15,6 +15,10 @@ MEMO_MISSES = "memo_misses"
 OCCUPANCY_SOLVES = "occupancy_solves"
 OCCUPANCY_ITERATIONS = "occupancy_iterations"
 OCCUPANCY_FAST_PATH = "occupancy_fast_path"
+TRACE_ACCESSES = "trace_accesses"
+KERNEL_BATCHES = "kernel_batches"
+KERNEL_BATCHED_ACCESSES = "kernel_batched_accesses"
+PROFILER_PASSES = "profiler_passes"
 
 ENGINE_EVENTS = (
     MEMO_HITS,
@@ -22,6 +26,10 @@ ENGINE_EVENTS = (
     OCCUPANCY_SOLVES,
     OCCUPANCY_ITERATIONS,
     OCCUPANCY_FAST_PATH,
+    TRACE_ACCESSES,
+    KERNEL_BATCHES,
+    KERNEL_BATCHED_ACCESSES,
+    PROFILER_PASSES,
 )
 
 _counters = CounterSet(ENGINE_EVENTS)

@@ -68,6 +68,10 @@ def format_engine_stat(counters=None):
     solves = counters.get(ec.OCCUPANCY_SOLVES, 0.0)
     iterations = counters.get(ec.OCCUPANCY_ITERATIONS, 0.0)
     fast = counters.get(ec.OCCUPANCY_FAST_PATH, 0.0)
+    trace_accesses = counters.get(ec.TRACE_ACCESSES, 0.0)
+    batches = counters.get(ec.KERNEL_BATCHES, 0.0)
+    batched = counters.get(ec.KERNEL_BATCHED_ACCESSES, 0.0)
+    profiler_passes = counters.get(ec.PROFILER_PASSES, 0.0)
     lookups = hits + misses
     iterated = solves - fast
     rows = [
@@ -87,6 +91,13 @@ def format_engine_stat(counters=None):
             iterations,
             f"{iterations / iterated:.1f} per iterative solve" if iterated else None,
         ),
+        ("trace-accesses", trace_accesses, None),
+        (
+            "kernel-batches",
+            batches,
+            f"{batched / batches:,.0f} accesses per batch" if batches else None,
+        ),
+        ("profiler-passes", profiler_passes, None),
     ]
     lines = [" Performance counter stats for 'engine':", ""]
     for event, value, note in rows:

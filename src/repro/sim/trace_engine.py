@@ -11,7 +11,9 @@ ground truth the occupancy model approximates.
 import heapq
 from dataclasses import dataclass, field
 
+from repro.cache.block import LINE_SHIFT
 from repro.cache.hierarchy import CacheHierarchy
+from repro.perf import engine_counters as ec
 from repro.util.errors import ValidationError
 
 
@@ -50,11 +52,22 @@ class TraceStats:
 
 
 class TraceEngine:
-    """Virtual-time interleaving of traces over one cache hierarchy."""
+    """Virtual-time interleaving of traces over one cache hierarchy.
 
-    def __init__(self, hierarchy=None, prefetchers_on=True):
-        self.hierarchy = hierarchy or CacheHierarchy()
+    ``backend`` picks the cache implementation when no hierarchy is
+    supplied: ``"object"`` (reference model), ``"kernel"`` (flat-array
+    kernel, bit-identical and much faster), or ``"seed"`` (the
+    pre-optimization object model, kept for benchmarking). With all
+    prefetchers off the run loop dispatches through the hierarchy's
+    allocation-free fast path; ``fast_loop=False`` forces the original
+    per-access protocol (results are identical either way).
+    """
+
+    def __init__(self, hierarchy=None, prefetchers_on=True, backend="object",
+                 fast_loop=True):
+        self.hierarchy = hierarchy or CacheHierarchy(backend=backend)
         self.hierarchy.set_prefetchers(enabled=prefetchers_on)
+        self.fast_loop = fast_loop
 
     def run(self, workloads, total_accesses=100_000):
         """Co-run the workloads; returns {name: TraceStats}.
@@ -68,51 +81,66 @@ class TraceEngine:
         if len(set(names)) != len(names):
             raise ValidationError("workload names must be unique")
 
-        iterators = {w.name: iter(w.trace_factory()) for w in workloads}
-        stats = {w.name: TraceStats() for w in workloads}
-        by_name = {w.name: w for w in workloads}
-        # (virtual_time, tiebreak, name) min-heap: the least-advanced
-        # domain issues next, modelling concurrent progress.
-        heap = [(0.0, i, w.name) for i, w in enumerate(workloads)]
+        # Index-based state (no per-access string-keyed lookups): slot i
+        # holds workload i's iterator, stats, think time, and walker.
+        iterators = [iter(w.trace_factory()) for w in workloads]
+        stats_list = [TraceStats() for _ in workloads]
+        thinks = [w.think_cycles for w in workloads]
+        # (virtual_time, slot) min-heap: the least-advanced domain issues
+        # next, modelling concurrent progress. The slot is a unique
+        # tiebreak, so pop order matches the original (vtime, i, name)
+        # entries exactly.
+        heap = [(0.0, i) for i in range(len(workloads))]
         heapq.heapify(heap)
         issued = 0
 
+        hierarchy = self.hierarchy
+        use_fast = self.fast_loop and not hierarchy.prefetchers_enabled()
+        core_of = hierarchy.core_of_tid
+        walkers = (
+            [hierarchy.fast_walker(core_of(w.tid)) for w in workloads]
+            if use_fast
+            else None
+        )
+        heappop, heappush = heapq.heappop, heapq.heappush
+
         while heap and issued < total_accesses:
-            vtime, tiebreak, name = heapq.heappop(heap)
-            workload = by_name[name]
-            access = self._next_access(workload, iterators)
-            if access is None:
-                continue  # exhausted, non-repeating: domain retires
-            result = self.hierarchy.access(access)
-            s = stats[name]
+            vtime, slot = heappop(heap)
+            try:
+                access = next(iterators[slot])
+            except StopIteration:
+                workload = workloads[slot]
+                if not workload.repeat:
+                    continue  # exhausted, non-repeating: domain retires
+                iterators[slot] = iter(workload.trace_factory())
+                try:
+                    access = next(iterators[slot])
+                except StopIteration:
+                    continue
+            if use_fast:
+                hit_level, latency = walkers[slot](
+                    access.address >> LINE_SHIFT, access.is_write
+                )
+            else:
+                result = hierarchy.access(access)
+                hit_level, latency = result.hit_level, result.latency
+            s = stats_list[slot]
             s.accesses += 1
-            s.total_latency += result.latency
-            s.cycles = vtime + result.latency + workload.think_cycles
-            s.hits_by_level[result.hit_level] = (
-                s.hits_by_level.get(result.hit_level, 0) + 1
-            )
-            if result.hit_level == "MEM":
+            s.total_latency += latency
+            s.cycles = vtime + latency + thinks[slot]
+            hbl = s.hits_by_level
+            hbl[hit_level] = hbl.get(hit_level, 0) + 1
+            if hit_level == "MEM":
                 s.llc_misses += 1
             issued += 1
-            heapq.heappush(heap, (s.cycles, tiebreak, name))
-        return stats
-
-    @staticmethod
-    def _next_access(workload, iterators):
-        try:
-            return next(iterators[workload.name])
-        except StopIteration:
-            if not workload.repeat:
-                return None
-            iterators[workload.name] = iter(workload.trace_factory())
-            try:
-                return next(iterators[workload.name])
-            except StopIteration:
-                return None
+            heappush(heap, (s.cycles, slot))
+        ec.add(ec.TRACE_ACCESSES, issued)
+        return {w.name: stats_list[i] for i, w in enumerate(workloads)}
 
 
 def measure_isolation(fg_workload, bg_workload, fg_mask=None, bg_mask=None,
-                      total_accesses=120_000, prefetchers_on=False):
+                      total_accesses=120_000, prefetchers_on=False,
+                      backend="object"):
     """Foreground latency/miss-ratio alone, shared, and partitioned.
 
     The address-level version of the paper's core experiment. Prefetchers
@@ -123,7 +151,7 @@ def measure_isolation(fg_workload, bg_workload, fg_mask=None, bg_mask=None,
     from repro.cache.llc import WayMask
 
     def fresh_engine(masks=None):
-        engine = TraceEngine(prefetchers_on=prefetchers_on)
+        engine = TraceEngine(prefetchers_on=prefetchers_on, backend=backend)
         if masks:
             for core, mask in masks.items():
                 engine.hierarchy.set_way_mask(core, mask)
@@ -159,3 +187,34 @@ def measure_isolation(fg_workload, bg_workload, fg_mask=None, bg_mask=None,
         "shared": summarize(shared),
         "partitioned": summarize(partitioned),
     }
+
+
+def way_allocation_sweep(workloads, total_accesses=100_000, prefetchers_on=False,
+                         backend="kernel", warmup_accesses=0):
+    """Per-domain ``hits(ways)`` utility curves from ONE co-run.
+
+    Attaches a :class:`~repro.cache.profile.WayProfiler` (a per-domain
+    UMON) to the hierarchy's LLC probe stream and co-runs the workloads
+    once: the returned curves answer "how many LLC hits would domain d
+    see with w ways to itself" for every w in 1..12 — the input the
+    paper's allocation policies (and UCP) need, without re-simulating
+    per mask. Returns ``(stats, {domain: WayCurve})``.
+    """
+    from repro.cache.indexing import HashedIndex
+    from repro.cache.profile import WayProfiler
+
+    engine = TraceEngine(prefetchers_on=prefetchers_on, backend=backend)
+    llc = engine.hierarchy.llc.storage
+    if warmup_accesses:
+        engine.run(workloads, total_accesses=warmup_accesses)
+    profiler = WayProfiler(
+        num_sets=llc.num_sets,
+        num_ways=llc.num_ways,
+        indexing="hash" if isinstance(llc._indexer, HashedIndex) else "mod",
+        num_domains=engine.hierarchy.num_cores,
+    )
+    engine.hierarchy.llc_profiler = profiler
+    stats = engine.run(workloads, total_accesses=total_accesses)
+    engine.hierarchy.llc_profiler = None
+    ec.add(ec.PROFILER_PASSES)
+    return stats, profiler.curves()

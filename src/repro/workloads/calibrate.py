@@ -40,8 +40,70 @@ def measure_llc_miss_ratio(trace_factory, ways, warmup_fraction=0.5):
     return totals["llc_misses"] / llc_refs
 
 
-def measure_mrc(trace_factory, way_counts=(1, 2, 4, 6, 8, 10, 12)):
-    """Sweep way allocations; returns {capacity_mb: miss_ratio}."""
+def profile_mrc(trace_factory, way_counts=(1, 2, 4, 6, 8, 10, 12),
+                warmup_fraction=0.5):
+    """Single-replay MRC via the LRU stack-distance profiler.
+
+    Where :func:`measure_mrc` re-simulates the whole hierarchy once per
+    way count, this attaches a :class:`~repro.cache.profile.WayProfiler`
+    (a per-domain UMON) to the LLC probe stream of ONE kernel-backend
+    replay and reads ``miss_ratio(ways)`` for every allocation from the
+    resulting stack-distance histogram. The warm-up slice is replayed
+    first with the profiler attached so its auxiliary directory is warm,
+    then snapshotted away so only the measured pass is counted.
+
+    The profiler models true LRU over the filtered (post-L1/L2) stream,
+    so the curve is the UMON approximation of the PLRU LLC rather than a
+    per-mask re-simulation; the two track each other closely and the
+    profile is ~an order of magnitude cheaper for a full sweep.
+    """
+    from repro.cache.indexing import HashedIndex
+    from repro.cache.profile import WayProfiler
+
+    hierarchy = CacheHierarchy(backend="kernel")
+    hierarchy.set_prefetchers(enabled=False)
+    llc = hierarchy.llc.storage
+    for ways in way_counts:
+        if not 1 <= ways <= llc.num_ways:
+            raise ValidationError(f"ways must be in 1..{llc.num_ways}")
+    profiler = WayProfiler(
+        num_sets=llc.num_sets,
+        num_ways=llc.num_ways,
+        indexing="hash" if isinstance(llc._indexer, HashedIndex) else "mod",
+        num_domains=hierarchy.num_cores,
+    )
+    hierarchy.llc_profiler = profiler
+    warm = list(trace_factory())
+    cut = int(len(warm) * warmup_fraction)
+    hierarchy.run_trace(warm[:cut] if cut else warm)
+    base = profiler.snapshot()
+    hierarchy.run_trace(trace_factory())
+    hierarchy.llc_profiler = None
+    curves = [
+        profiler.delta_curve(base, domain=d) for d in range(hierarchy.num_cores)
+    ]
+    total = sum(c.accesses for c in curves)
+
+    def ratio(ways):
+        if total == 0:
+            return 0.0
+        return sum(c.misses(ways) for c in curves) / total
+
+    return {ways * 0.5: ratio(ways) for ways in way_counts}
+
+
+def measure_mrc(trace_factory, way_counts=(1, 2, 4, 6, 8, 10, 12),
+                method="replay"):
+    """Sweep way allocations; returns {capacity_mb: miss_ratio}.
+
+    ``method="replay"`` re-simulates per allocation (ground truth);
+    ``method="profile"`` reads every point from one profiled replay
+    (:func:`profile_mrc`).
+    """
+    if method == "profile":
+        return profile_mrc(trace_factory, way_counts)
+    if method != "replay":
+        raise ValidationError(f"unknown MRC method {method!r}")
     return {
         ways * 0.5: measure_llc_miss_ratio(trace_factory, ways)
         for ways in way_counts
