@@ -26,7 +26,13 @@ It then benchmarks the address-level trace path into ``BENCH_trace.json``:
                   per-mask re-simulation vs one stack-distance profiling
                   pass (UMON), verified hit-for-hit equal.
 
-``--check`` runs both benchmarks at reduced size, enforces the
+And it benchmarks the compiled trace packs into ``BENCH_tracepack.json``:
+the same co-run on the PR 2 kernel fast loop vs ``run_packed`` over warm
+packs, the 12-allocation way sweep by per-mask re-simulation vs one
+vectorized pack profile, and a cold-compile-then-disk-hit check of the
+on-disk pack cache — all bit-identity / counter verified.
+
+``--check`` runs every benchmark at reduced size, enforces the
 equivalence contracts, and writes no artifacts (CI mode).
 
 Usage: PYTHONPATH=src python scripts/bench_smoke.py [--output PATH] [--check]
@@ -148,43 +154,54 @@ def _co_run_workloads(fg_accesses, bg_accesses):
     ]
 
 
-def _time_co_run(backend, fast_loop, repeats, total_accesses):
-    """Best wall time plus a full bit-identity signature of the run."""
+def _engine_signature(engine, stats):
+    """Full bit-identity signature: per-workload stats plus every cache
+    level's counters, per-domain splits, and final LLC contents."""
+    hierarchy = engine.hierarchy
+    levels = list(hierarchy.l1) + list(hierarchy.l2) + [hierarchy.llc.storage]
+    return (
+        sorted(
+            (
+                name,
+                s.accesses,
+                s.total_latency,
+                s.cycles,
+                s.llc_misses,
+                sorted(s.hits_by_level.items()),
+            )
+            for name, s in stats.items()
+        ),
+        [sorted(level.stats.snapshot().items()) for level in levels],
+        [sorted(level.stats.per_domain_accesses.items()) for level in levels],
+        [sorted(level.stats.per_domain_misses.items()) for level in levels],
+        hierarchy.llc.storage.occupancy_by_way(),
+        sorted(hierarchy.llc.storage.resident_lines()),
+    )
+
+
+def _partitioned_engine(backend, fast_loop):
     from repro.cache.llc import WayMask
     from repro.sim.trace_engine import TraceEngine
 
+    engine = TraceEngine(
+        prefetchers_on=False, backend=backend, fast_loop=fast_loop
+    )
+    engine.hierarchy.set_way_mask(0, WayMask.contiguous(9, 0))
+    engine.hierarchy.set_way_mask(2, WayMask.contiguous(3, 9))
+    return engine
+
+
+def _time_co_run(backend, fast_loop, repeats, total_accesses):
+    """Best wall time plus a full bit-identity signature of the run."""
     best = signature = None
     for _ in range(repeats):
-        engine = TraceEngine(
-            prefetchers_on=False, backend=backend, fast_loop=fast_loop
-        )
-        engine.hierarchy.set_way_mask(0, WayMask.contiguous(9, 0))
-        engine.hierarchy.set_way_mask(2, WayMask.contiguous(3, 9))
+        engine = _partitioned_engine(backend, fast_loop)
         workloads = _co_run_workloads(total_accesses // 3, total_accesses // 4)
         start = time.perf_counter()
         stats = engine.run(workloads, total_accesses=total_accesses)
         elapsed = time.perf_counter() - start
         best = elapsed if best is None else min(best, elapsed)
-        hierarchy = engine.hierarchy
-        levels = list(hierarchy.l1) + list(hierarchy.l2) + [hierarchy.llc.storage]
-        signature = (
-            sorted(
-                (
-                    name,
-                    s.accesses,
-                    s.total_latency,
-                    s.cycles,
-                    s.llc_misses,
-                    sorted(s.hits_by_level.items()),
-                )
-                for name, s in stats.items()
-            ),
-            [sorted(level.stats.snapshot().items()) for level in levels],
-            [sorted(level.stats.per_domain_accesses.items()) for level in levels],
-            [sorted(level.stats.per_domain_misses.items()) for level in levels],
-            hierarchy.llc.storage.occupancy_by_way(),
-            sorted(hierarchy.llc.storage.resident_lines()),
-        )
+        signature = _engine_signature(engine, stats)
     return best, signature
 
 
@@ -240,6 +257,145 @@ def run_trace(repeats=3, co_accesses=120_000, sweep_accesses=60_000):
     }
 
 
+# -- compiled trace packs (BENCH_tracepack.json) ------------------------------
+
+
+def run_tracepack(repeats=3, co_accesses=120_000, sweep_accesses=60_000):
+    """Benchmark the compiled-pack path against the PR 2 kernel path.
+
+    Three arms, every one contract-checked:
+
+    - ``co_run``     — the 9/3-partitioned zipf+stream co-run on the
+                       kernel fast loop (PR 2) vs ``run_packed`` over
+                       warm packs, interleaved best-of-``repeats`` so
+                       host noise hits both alike, full-signature
+                       bit-identity enforced;
+    - ``way_sweep``  — misses at all 12 allocations by per-mask kernel
+                       re-simulation vs one vectorized pack profile,
+                       hit-for-hit equal;
+    - ``pack_cache`` — cold compile into a fresh cache dir, then a
+                       second lookup with the in-process memo dropped:
+                       must be served from disk with zero trace
+                       generation (counter-verified).
+    """
+    import shutil
+    import tempfile
+
+    from repro.cache.native import pair_walk_fn
+    from repro.cache.profile import LLC_NUM_WAYS, WaySweep, brute_force_hits
+    from repro.util.units import MB
+    from repro.workloads import tracepack
+    from repro.workloads.trace import ZipfTrace
+
+    # -- co-run: PR 2 kernel fast loop vs compiled packs ------------------
+    workloads = _co_run_workloads(co_accesses // 3, co_accesses // 4)
+    packs = [tracepack.get_pack(w.trace_factory()) for w in workloads]
+
+    # One untimed pass per arm absorbs one-time costs (the native pair
+    # kernel's compile/load, the permutation/PLRU table memos) so the
+    # first timed repeat is not charged for them.
+    _partitioned_engine("kernel", True).run(workloads, total_accesses=6_000)
+    _partitioned_engine("kernel", True).run_packed(
+        workloads, total_accesses=6_000, packs=packs
+    )
+
+    run_t = pack_t = run_sig = pack_sig = None
+    for _ in range(repeats):
+        engine = _partitioned_engine("kernel", True)
+        start = time.perf_counter()
+        stats = engine.run(workloads, total_accesses=co_accesses)
+        elapsed = time.perf_counter() - start
+        run_t = elapsed if run_t is None else min(run_t, elapsed)
+        run_sig = _engine_signature(engine, stats)
+
+        engine = _partitioned_engine("kernel", True)
+        start = time.perf_counter()
+        stats = engine.run_packed(
+            workloads, total_accesses=co_accesses, packs=packs
+        )
+        elapsed = time.perf_counter() - start
+        pack_t = elapsed if pack_t is None else min(pack_t, elapsed)
+        pack_sig = _engine_signature(engine, stats)
+    if run_sig != pack_sig:
+        raise SystemExit("FAIL: packed co-run is not bit-identical to run()")
+
+    # -- way sweep: per-mask kernel re-simulation vs one pack profile -----
+    def factory():
+        return ZipfTrace(sweep_accesses, 4 * MB, alpha=0.9, seed=3)
+
+    ways = list(range(1, LLC_NUM_WAYS + 1))
+    start = time.perf_counter()
+    brute = [brute_force_hits(factory, w, backend="kernel") for w in ways]
+    brute_t = time.perf_counter() - start
+    profile_t = curve = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        curve = WaySweep().run_pack(tracepack.get_pack(factory()))[0]
+        elapsed = time.perf_counter() - start
+        profile_t = elapsed if profile_t is None else min(profile_t, elapsed)
+    profiled = [curve.hits(w) for w in ways]
+    if profiled != brute:
+        raise SystemExit("FAIL: pack profile diverges from per-mask re-simulation")
+
+    # -- pack cache: cold compile, then a counter-verified disk hit -------
+    tmp = tempfile.mkdtemp(prefix="repro-packcache-")
+    try:
+        base = ec.engine_counters().snapshot()
+        start = time.perf_counter()
+        first = tracepack.get_pack(factory(), cache=tmp)
+        cold_t = time.perf_counter() - start
+        cold = ec.engine_counters().delta(base)
+        compiled = int(cold.get(ec.PACK_COMPILED_ACCESSES, 0))
+        if cold.get(ec.PACK_MISSES, 0) != 1 or compiled != sweep_accesses:
+            raise SystemExit("FAIL: cold pack build did not compile the trace")
+
+        # Drop the per-process memo so the second lookup must re-open the
+        # on-disk pack, not the cached object.
+        tracepack._OPEN_PACKS.pop(os.path.join(tmp, first.key), None)
+        base = ec.engine_counters().snapshot()
+        start = time.perf_counter()
+        second = tracepack.get_pack(factory(), cache=tmp)
+        warm_t = time.perf_counter() - start
+        warm = ec.engine_counters().delta(base)
+        if warm.get(ec.PACK_HITS, 0) != 1 or warm.get(
+            ec.PACK_COMPILED_ACCESSES, 0
+        ):
+            raise SystemExit("FAIL: second lookup did not hit the disk cache")
+        if second.lines_list() != first.lines_list():
+            raise SystemExit("FAIL: disk-cached pack differs from compiled pack")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    return {
+        "benchmark": "tracepack",
+        "repeats": repeats,
+        "native_kernel": pair_walk_fn() is not None,
+        "co_run": {
+            "total_accesses": co_accesses,
+            "wall_s": {"kernel": round(run_t, 4), "pack": round(pack_t, 4)},
+            "speedup": round(run_t / pack_t, 2),
+            "identical": True,
+        },
+        "way_sweep": {
+            "accesses": sweep_accesses,
+            "allocations": len(ways),
+            "wall_s": {
+                "brute_force": round(brute_t, 4),
+                "pack_profile": round(profile_t, 4),
+            },
+            "speedup": round(brute_t / profile_t, 2),
+            "identical": True,
+        },
+        "pack_cache": {
+            "cold_s": round(cold_t, 4),
+            "warm_s": round(warm_t, 4),
+            "compiled_accesses": compiled,
+            "second_run_compiled": 0,
+            "disk_hit": True,
+        },
+    }
+
+
 def main(argv=None):
     root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -248,6 +404,9 @@ def main(argv=None):
     )
     parser.add_argument(
         "--trace-output", default=os.path.join(root, "BENCH_trace.json")
+    )
+    parser.add_argument(
+        "--tracepack-output", default=os.path.join(root, "BENCH_tracepack.json")
     )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--workers", type=int, default=4)
@@ -264,30 +423,42 @@ def main(argv=None):
         trace_summary = run_trace(
             repeats=1, co_accesses=36_000, sweep_accesses=20_000
         )
+        pack_summary = run_tracepack(
+            repeats=1, co_accesses=36_000, sweep_accesses=20_000
+        )
         print(format_engine_stat(ec.engine_counters().snapshot()))
         print(
             f"\ncheck PASS: engine drift {summary['max_rel_drift_vs_seed']:.1e}; "
             f"trace co-run {trace_summary['co_run']['speedup']}x and "
-            f"way sweep {trace_summary['way_sweep']['speedup']}x, bit-identical"
+            f"way sweep {trace_summary['way_sweep']['speedup']}x, bit-identical; "
+            f"pack co-run {pack_summary['co_run']['speedup']}x "
+            f"(native={pack_summary['native_kernel']}), disk-cache hit verified"
         )
         return 0
 
     summary, counters = run(repeats=args.repeats, workers=args.workers)
     trace_summary = run_trace(repeats=args.repeats)
+    pack_summary = run_tracepack(repeats=args.repeats)
     with open(args.output, "w") as handle:
         json.dump(summary, handle, indent=1)
         handle.write("\n")
     with open(args.trace_output, "w") as handle:
         json.dump(trace_summary, handle, indent=1)
         handle.write("\n")
+    with open(args.tracepack_output, "w") as handle:
+        json.dump(pack_summary, handle, indent=1)
+        handle.write("\n")
 
     print(json.dumps(summary, indent=1))
     print()
     print(json.dumps(trace_summary, indent=1))
     print()
+    print(json.dumps(pack_summary, indent=1))
+    print()
     print(format_engine_stat(counters))
     print(f"\nwritten to {os.path.abspath(args.output)}")
     print(f"written to {os.path.abspath(args.trace_output)}")
+    print(f"written to {os.path.abspath(args.tracepack_output)}")
     return 0
 
 

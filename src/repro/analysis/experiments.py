@@ -290,7 +290,8 @@ def fig13_dynamic_background_throughput(study):
 # -- Mechanism-level way utility (address-level ground truth) -----------------
 
 
-def trace_way_utility(fg_factory=None, bg_factory=None, total_accesses=120_000):
+def trace_way_utility(fg_factory=None, bg_factory=None, total_accesses=120_000,
+                      use_packs=True):
     """Per-domain ``hits(ways)`` utility curves from one profiled co-run.
 
     The address-level companion to the fig. 2/6 sensitivity sweeps: a
@@ -312,7 +313,9 @@ def trace_way_utility(fg_factory=None, bg_factory=None, total_accesses=120_000):
         TraceWorkload("fg", fg_factory, tid=0, think_cycles=6),
         TraceWorkload("bg", bg_factory, tid=4, think_cycles=2),
     ]
-    stats, curves = way_allocation_sweep(workloads, total_accesses=total_accesses)
+    stats, curves = way_allocation_sweep(
+        workloads, total_accesses=total_accesses, use_packs=use_packs
+    )
     named = {w.name: curves[w.tid // 2] for w in workloads}
     return {"stats": stats, "curves": named}
 

@@ -22,6 +22,13 @@ class ModuloIndex:
     def index(self, line_number):
         return line_number & self._mask
 
+    def index_array(self, line_numbers):
+        """Vectorized :meth:`index` over an int64 NumPy column."""
+        import numpy as np
+
+        lines = np.asarray(line_numbers, dtype=np.int64)
+        return lines & np.int64(self._mask)
+
 
 class HashedIndex:
     """XOR-folded index that mixes upper address bits into the set index."""
@@ -42,3 +49,29 @@ class HashedIndex:
         # A final multiplicative mix decorrelates strided patterns.
         acc = (acc * 0x9E3779B1) & 0xFFFFFFFF
         return (acc >> 8) & self._mask if self.num_sets <= (1 << 24) else acc & self._mask
+
+    def index_array(self, line_numbers):
+        """Vectorized :meth:`index` over an int64 NumPy column.
+
+        XOR-folding an element already at zero is a no-op, so running the
+        fold until *every* element is exhausted gives each element exactly
+        the same accumulator the scalar loop produces.
+        """
+        import numpy as np
+
+        folded = np.asarray(line_numbers, dtype=np.int64).astype(np.uint64)
+        acc = np.zeros(folded.shape, dtype=np.uint64)
+        mask = np.uint64(self._mask)
+        bits = np.uint64(self._bits)
+        while folded.any():
+            acc ^= folded & mask
+            folded >>= bits
+        # uint64 multiplication wraps modulo 2**64; the low 32 bits match
+        # Python's arbitrary-precision product masked to 32 bits.
+        with np.errstate(over="ignore"):
+            acc = (acc * np.uint64(0x9E3779B1)) & np.uint64(0xFFFFFFFF)
+        if self.num_sets <= (1 << 24):
+            acc = (acc >> np.uint64(8)) & mask
+        else:
+            acc = acc & mask
+        return acc.astype(np.int64)

@@ -1,0 +1,112 @@
+"""On-demand compilation of the native pack-replay kernel.
+
+``pairwalk.c`` (next to this module) implements the fused two-domain
+lean replay loop over flat int64 state arrays. This module compiles it
+once per source revision with whatever ``cc``/``gcc`` the host offers,
+caches the shared object under the trace-pack cache directory, and
+loads it with :mod:`ctypes`. Everything is best-effort: no compiler,
+a failed compile, or ``REPRO_NATIVE=0`` simply means
+:func:`pair_walk_fn` returns ``None`` and callers stay on the
+pure-Python loop — results are bit-identical either way, the native
+kernel is only faster.
+"""
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+
+_ENV_GATE = "REPRO_NATIVE"
+_SOURCE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "pairwalk.c")
+
+# Tri-state memo: unset -> not tried, None -> unavailable, else the
+# ctypes function. Per-process, like the kernel's table memos.
+_PAIR_WALK = ()
+
+
+def enabled():
+    """Native kernels are opt-out: ``REPRO_NATIVE=0`` disables them."""
+    return os.environ.get(_ENV_GATE, "1").lower() not in ("0", "false", "off")
+
+
+def _cache_dir():
+    root = os.environ.get("REPRO_TRACE_CACHE")
+    if not root:
+        root = os.path.join(
+            os.path.expanduser(os.environ.get("XDG_CACHE_HOME", "~/.cache")),
+            "repro",
+            "traces",
+        )
+    return os.path.join(os.path.expanduser(root), "native")
+
+
+def _compiler():
+    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+def _build_library():
+    """Compile pairwalk.c -> cached .so; returns the path or None."""
+    try:
+        with open(_SOURCE, "rb") as fh:
+            source = fh.read()
+    except OSError:
+        return None
+    digest = hashlib.sha256(source).hexdigest()[:16]
+    cache = _cache_dir()
+    target = os.path.join(cache, f"pairwalk-{digest}.so")
+    if os.path.exists(target):
+        return target
+    cc = _compiler()
+    if cc is None:
+        return None
+    try:
+        os.makedirs(cache, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(suffix=".so", dir=cache)
+        os.close(fd)
+        proc = subprocess.run(
+            [cc, "-O2", "-shared", "-fPIC", "-o", tmp, _SOURCE],
+            capture_output=True,
+            timeout=120,
+        )
+        if proc.returncode != 0:
+            os.unlink(tmp)
+            return None
+        os.replace(tmp, target)  # atomic: concurrent builders converge
+        return target
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def pair_walk_fn():
+    """The compiled ``repro_pair_walk`` entry point, or ``None``.
+
+    The function takes raw pointers (as ``ctypes.c_void_p``) to the
+    int64 column/state arrays plus the int32 recency tables; see
+    pairwalk.c for the exact argument and ``cfg``/``out`` layouts.
+    """
+    global _PAIR_WALK
+    if _PAIR_WALK != ():
+        return _PAIR_WALK
+    fn = None
+    if enabled():
+        path = _build_library()
+        if path is not None:
+            try:
+                lib = ctypes.CDLL(path)
+                fn = lib.repro_pair_walk
+                fn.restype = ctypes.c_int64
+            except OSError:
+                fn = None
+    _PAIR_WALK = fn
+    return fn
+
+
+def reset():
+    """Forget the memoized library (tests toggle REPRO_NATIVE)."""
+    global _PAIR_WALK
+    _PAIR_WALK = ()

@@ -1,0 +1,329 @@
+/* Fused two-domain lean pack replay over raw int64 columns.
+ *
+ * This is a line-for-line port of kernel._lean_pair_loop: the
+ * (vtime, slot) scheduler and both cores' L1 -> L2 -> LLC walks in one
+ * loop, operating on flat int64 state arrays snapshotted from the
+ * Python cache levels.  Semantics must stay bit-identical to the
+ * Python loop — every probe, victim choice, recency update, and
+ * back-invalidation happens in the same order with the same tables.
+ *
+ * Compiled on demand by repro.cache.native (gcc -O2 -shared -fPIC);
+ * when no compiler is available the Python loop runs instead.
+ *
+ * Conventions shared with kernel.KernelCacheLevel:
+ *   - tags[set * ways + way] holds the line number, -1 when invalid;
+ *   - valid/dirty are per-set bitmasks (lean replay: dirty stays 0);
+ *   - L1 recency is the 40320-state 8-way LRU permutation FSM
+ *     (l1_touch / l1_fill tables from kernel._lru8_tables);
+ *   - L2 and LLC recency are PLRU bit-trees; the 8-way L2 uses full
+ *     touch/fill tables, the way-masked LLC walks its tree directly
+ *     with the per-node left/right subtree masks.
+ */
+
+#include <stdint.h>
+
+typedef int64_t i64;
+typedef int32_t i32;
+
+/* cfg[] scalar layout (must match kernel.build_native_pair_walk) */
+enum {
+    CFG_N0, CFG_N1, CFG_REP0, CFG_REP1, CFG_TOTAL,
+    CFG_LEAVES, CFG_W, CFG_L1_MOD, CFG_L2_MOD,
+    CFG_CORE_A, CFG_CORE_B, CFG_NUM_CORES,
+    CFG_LT0A, CFG_LT1A, CFG_LT2A, CFG_LT3A,
+    CFG_LT0B, CFG_LT1B, CFG_LT2B, CFG_LT3B,
+    CFG_CBA, CFG_CBB, CFG_MBA, CFG_MBB,
+};
+
+/* out[] layout: t0, t1, then the 7 level counters per core, then the
+ * per-core L1 and L2 back-invalidation counts. */
+enum {
+    OUT_T0, OUT_T1,
+    OUT_H1A, OUT_H2A, OUT_H3A, OUT_M3A, OUT_E1A, OUT_E2A, OUT_E3A,
+    OUT_H1B, OUT_H2B, OUT_H3B, OUT_M3B, OUT_E1B, OUT_E2B, OUT_E3B,
+    OUT_BI,  /* + core for L1, + num_cores + core for L2 */
+};
+
+typedef struct {
+    /* LLC state */
+    i64 *tags, *sharers, *valid, *plru;
+    const i64 *pset, *pclr, *left, *right;
+    i64 leaves, W;
+    /* recency tables */
+    const i32 *l1_touch, *l1_fill, *l2_touch, *l2_fill;
+    /* inner-cache state, all cores, flattened [core][set][way] */
+    i64 l1_mod, l2_mod, num_cores;
+    i64 *all_l1_tags, *all_l1_valid, *all_l2_tags, *all_l2_valid;
+    i64 *l1_bi, *l2_bi;
+} Shared;
+
+typedef struct {
+    i64 lt0, lt1, lt2, lt3;
+    i64 cb, mb, core;
+    i64 *l1_tags, *l1_valid, *l1_state;
+    i64 *l2_tags, *l2_valid, *l2_plru;
+    i64 h1, h2, h3, m3, e1, e2, e3;
+} Core;
+
+/* KernelCacheLevel.invalidate: drop the line if present (clears the
+ * valid bit and tombstones the tag; recency state is left alone).
+ * Returns 1 when the line was resident so the caller can count the
+ * back-invalidation, mirroring the membership-checked Python calls. */
+static inline int
+inval8(i64 *tags, i64 *valid, i64 tag)
+{
+    i64 v = *valid;
+    for (int w = 0; w < 8; w++) {
+        if (((v >> w) & 1) && tags[w] == tag) {
+            *valid = v & ~((i64)1 << w);
+            tags[w] = -1;
+            return 1;
+        }
+    }
+    return 0;
+}
+
+static inline void
+inval_core(const Shared *S, i64 c, i64 tag)
+{
+    i64 s1 = tag & S->l1_mod;
+    i64 l1_sets = S->l1_mod + 1;
+    i64 *t1 = S->all_l1_tags + ((c * l1_sets + s1) << 3);
+    if (inval8(t1, S->all_l1_valid + c * l1_sets + s1, tag))
+        S->l1_bi[c]++;
+    i64 s2 = tag & S->l2_mod;
+    i64 l2_sets = S->l2_mod + 1;
+    i64 *t2 = S->all_l2_tags + ((c * l2_sets + s2) << 3);
+    if (inval8(t2, S->all_l2_valid + c * l2_sets + s2, tag))
+        S->l2_bi[c]++;
+}
+
+/* One access for one core; returns the latency (incl. think cycles). */
+static inline i64
+access_one(const Shared *S, Core *C, i64 line, i64 s3)
+{
+    /* L1 probe */
+    i64 s1 = line & S->l1_mod;
+    i64 *t1 = C->l1_tags + (s1 << 3);
+    i64 v1 = C->l1_valid[s1];
+    for (int w = 0; w < 8; w++) {
+        if (((v1 >> w) & 1) && t1[w] == line) {
+            C->h1++;
+            C->l1_state[s1] = S->l1_touch[(C->l1_state[s1] << 3) + w];
+            return C->lt0;
+        }
+    }
+    i64 lat;
+    /* L2 probe */
+    i64 s2 = line & S->l2_mod;
+    i64 *t2 = C->l2_tags + (s2 << 3);
+    i64 v2 = C->l2_valid[s2];
+    int hit2 = 0;
+    for (int w = 0; w < 8; w++) {
+        if (((v2 >> w) & 1) && t2[w] == line) {
+            C->h2++;
+            C->l2_plru[s2] = S->l2_touch[(C->l2_plru[s2] << 3) + w];
+            lat = C->lt1;
+            hit2 = 1;
+            break;
+        }
+    }
+    if (!hit2) {
+        /* LLC probe */
+        i64 W = S->W;
+        i64 base3 = s3 * W;
+        i64 *t3 = S->tags + base3;
+        i64 v3 = S->valid[s3];
+        int hit3 = 0;
+        for (i64 w = 0; w < W; w++) {
+            if (((v3 >> w) & 1) && t3[w] == line) {
+                C->h3++;
+                S->plru[s3] = (S->plru[s3] | S->pset[w]) & S->pclr[w];
+                S->sharers[base3 + w] |= C->cb;
+                lat = C->lt2;
+                hit3 = 1;
+                break;
+            }
+        }
+        if (!hit3) {
+            C->m3++;
+            i64 inv = ~v3 & C->mb;
+            if (inv) {
+                i64 victim = __builtin_ctzll((unsigned long long)inv);
+                S->valid[s3] = v3 | ((i64)1 << victim);
+                t3[victim] = line;
+                S->sharers[base3 + victim] = C->cb;
+                S->plru[s3] =
+                    (S->plru[s3] | S->pset[victim]) & S->pclr[victim];
+            } else {
+                i64 bits = S->plru[s3];
+                i64 node = 1;
+                while (node < S->leaves) {
+                    i64 go_right = (bits >> node) & 1;
+                    if (go_right) {
+                        if (!(C->mb & S->right[node]))
+                            go_right = 0;
+                    } else if (!(C->mb & S->left[node])) {
+                        go_right = 1;
+                    }
+                    node = go_right ? 2 * node + 1 : 2 * node;
+                }
+                i64 victim = node - S->leaves;
+                i64 old_tag = t3[victim];
+                i64 old_sh = S->sharers[base3 + victim];
+                C->e3++;
+                /* Inclusion: back-invalidate inner copies.  Fast path
+                 * for the self-owned victim, else visit sharer bits,
+                 * else (stale zero sharers) sweep every core. */
+                if (old_sh == C->cb) {
+                    inval_core(S, C->core, old_tag);
+                } else if (old_sh) {
+                    i64 sh = old_sh;
+                    while (sh) {
+                        inval_core(
+                            S,
+                            __builtin_ctzll((unsigned long long)sh),
+                            old_tag);
+                        sh &= sh - 1;
+                    }
+                } else {
+                    for (i64 c = 0; c < S->num_cores; c++)
+                        inval_core(S, c, old_tag);
+                }
+                t3[victim] = line;
+                S->sharers[base3 + victim] = C->cb;
+                S->plru[s3] = (bits | S->pset[victim]) & S->pclr[victim];
+            }
+            lat = C->lt3;
+        }
+        /* L2 fill (re-read: a self back-invalidation above may have
+         * opened a hole in this very set) */
+        v2 = C->l2_valid[s2];
+        if (v2 == 255) {
+            i32 packed = S->l2_fill[C->l2_plru[s2]];
+            i64 victim = packed & 7;
+            C->l2_plru[s2] = packed >> 3;
+            C->e2++;
+            t2[victim] = line;
+        } else {
+            i64 victim = __builtin_ctzll((unsigned long long)(~v2 & 255));
+            C->l2_valid[s2] = v2 | ((i64)1 << victim);
+            C->l2_plru[s2] = S->l2_touch[(C->l2_plru[s2] << 3) + victim];
+            t2[victim] = line;
+        }
+    }
+    /* L1 fill (same re-read rule as L2) */
+    i64 st = C->l1_state[s1];
+    v1 = C->l1_valid[s1];
+    if (v1 == 255) {
+        i32 packed = S->l1_fill[st];
+        i64 victim = packed & 7;
+        C->l1_state[s1] = packed >> 3;
+        C->e1++;
+        t1[victim] = line;
+    } else {
+        i64 victim = __builtin_ctzll((unsigned long long)(~v1 & 255));
+        C->l1_valid[s1] = v1 | ((i64)1 << victim);
+        C->l1_state[s1] = S->l1_touch[(st << 3) + victim];
+        t1[victim] = line;
+    }
+    return lat;
+}
+
+i64
+repro_pair_walk(
+    const i64 *cfg,
+    const i64 *l0, const i64 *s0, const i64 *l1col, const i64 *s1col,
+    i64 *llc_tags, i64 *llc_sharers, i64 *llc_valid, i64 *llc_plru,
+    const i64 *pset, const i64 *pclr, const i64 *pleft, const i64 *pright,
+    const i32 *l1_touch, const i32 *l1_fill,
+    const i32 *l2_touch, const i32 *l2_fill,
+    i64 *all_l1_tags, i64 *all_l1_valid,
+    i64 *all_l2_tags, i64 *all_l2_valid,
+    i64 *a1_state, i64 *b1_state, i64 *a2_plru, i64 *b2_plru,
+    i64 *out)
+{
+    i64 num_cores = cfg[CFG_NUM_CORES];
+    Shared S = {
+        llc_tags, llc_sharers, llc_valid, llc_plru,
+        pset, pclr, pleft, pright,
+        cfg[CFG_LEAVES], cfg[CFG_W],
+        l1_touch, l1_fill, l2_touch, l2_fill,
+        cfg[CFG_L1_MOD], cfg[CFG_L2_MOD], num_cores,
+        all_l1_tags, all_l1_valid, all_l2_tags, all_l2_valid,
+        out + OUT_BI, out + OUT_BI + num_cores,
+    };
+    i64 l1_sets = S.l1_mod + 1;
+    i64 l2_sets = S.l2_mod + 1;
+    i64 coreA = cfg[CFG_CORE_A], coreB = cfg[CFG_CORE_B];
+    Core A = {
+        cfg[CFG_LT0A], cfg[CFG_LT1A], cfg[CFG_LT2A], cfg[CFG_LT3A],
+        cfg[CFG_CBA], cfg[CFG_MBA], coreA,
+        all_l1_tags + coreA * l1_sets * 8,
+        all_l1_valid + coreA * l1_sets, a1_state,
+        all_l2_tags + coreA * l2_sets * 8,
+        all_l2_valid + coreA * l2_sets, a2_plru,
+        0, 0, 0, 0, 0, 0, 0,
+    };
+    Core B = {
+        cfg[CFG_LT0B], cfg[CFG_LT1B], cfg[CFG_LT2B], cfg[CFG_LT3B],
+        cfg[CFG_CBB], cfg[CFG_MBB], coreB,
+        all_l1_tags + coreB * l1_sets * 8,
+        all_l1_valid + coreB * l1_sets, b1_state,
+        all_l2_tags + coreB * l2_sets * 8,
+        all_l2_valid + coreB * l2_sets, b2_plru,
+        0, 0, 0, 0, 0, 0, 0,
+    };
+
+    i64 n0 = cfg[CFG_N0], n1 = cfg[CFG_N1];
+    i64 rep0 = cfg[CFG_REP0], rep1 = cfg[CFG_REP1];
+    i64 total = cfg[CFG_TOTAL];
+    i64 t0 = 0, t1 = 0, i0 = 0, i1 = 0, base0 = 0, base1 = 0;
+    int live0 = n0 > 0, live1 = n1 > 0;
+    i64 issued = 0;
+    while (issued < total && (live0 || live1)) {
+        int retired = 0;
+        for (i64 k = total - issued; k > 0; k--) {
+            if (live0 && (!live1 || t0 <= t1)) {
+                if (i0 == n0) {
+                    if (!rep0) {
+                        live0 = 0;
+                        retired = 1;
+                        break;
+                    }
+                    i0 = 0;
+                    base0 += n0;
+                }
+                t0 += access_one(&S, &A, l0[i0], s0[i0]);
+                i0++;
+            } else if (live1) {
+                if (i1 == n1) {
+                    if (!rep1) {
+                        live1 = 0;
+                        retired = 1;
+                        break;
+                    }
+                    i1 = 0;
+                    base1 += n1;
+                }
+                t1 += access_one(&S, &B, l1col[i1], s1col[i1]);
+                i1++;
+            } else {
+                break;
+            }
+        }
+        if (!retired)
+            break;
+        issued = base0 + i0 + base1 + i1;
+    }
+
+    out[OUT_T0] = t0;
+    out[OUT_T1] = t1;
+    out[OUT_H1A] = A.h1; out[OUT_H2A] = A.h2; out[OUT_H3A] = A.h3;
+    out[OUT_M3A] = A.m3;
+    out[OUT_E1A] = A.e1; out[OUT_E2A] = A.e2; out[OUT_E3A] = A.e3;
+    out[OUT_H1B] = B.h1; out[OUT_H2B] = B.h2; out[OUT_H3B] = B.h3;
+    out[OUT_M3B] = B.m3;
+    out[OUT_E1B] = B.e1; out[OUT_E2B] = B.e2; out[OUT_E3B] = B.e3;
+    return 0;
+}

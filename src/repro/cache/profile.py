@@ -41,11 +41,21 @@ class WayCurve:
     histogram: list  # histogram[d] = accesses at stack distance d;
     # histogram[num_ways] = accesses beyond every allocation (cold or deep)
 
+    def __post_init__(self):
+        # hits()/miss_ratio()/marginal_hits() sit inside solver loops, so
+        # the prefix sums are materialized once; _cum[w] = hits with w ways.
+        cum = [0] * (self.num_ways + 1)
+        total = 0
+        for ways, count in enumerate(self.histogram[: self.num_ways], start=1):
+            total += count
+            cum[ways] = total
+        self._cum = cum
+
     def hits(self, ways):
         """Hits this domain would see alone with ``ways`` ways per set."""
         if not 1 <= ways <= self.num_ways:
             raise ValidationError(f"ways must be in 1..{self.num_ways}")
-        return sum(self.histogram[:ways])
+        return self._cum[ways]
 
     def misses(self, ways):
         return self.accesses - self.hits(ways)
@@ -174,6 +184,16 @@ class WaySweep:
     def run_single(self, trace_factory):
         """Replay a single-domain trace; returns its WayCurve."""
         return self.run(trace_factory)[0]
+
+    def run_pack(self, pack, domains=None):
+        """Profile a compiled :class:`TracePack` on the vectorized fast
+        path; bit-identical to :meth:`run` over the same stream."""
+        from repro.cache.profile_np import profile_pack
+
+        return profile_pack(
+            pack, self.num_sets, self.num_ways, self.indexing,
+            self.num_domains, domains=domains,
+        )
 
 
 def brute_force_hits(trace_factory, ways, num_sets=LLC_NUM_SETS,

@@ -79,10 +79,12 @@ def _build_parser():
         "trace-sweep",
         help="way-allocation sweep from one profiled replay (UMON-style)",
     )
+    from repro.workloads.trace import trace_kinds
+
     sweep.add_argument(
         "--trace",
         default="zipf",
-        choices=("zipf", "stream", "stride", "chase", "stencil"),
+        choices=tuple(trace_kinds()),
         help="synthetic trace kind for the profiled workload",
     )
     sweep.add_argument("--accesses", type=int, default=60_000)
@@ -105,6 +107,18 @@ def _build_parser():
         action="store_true",
         help="verify the profile against brute-force per-mask re-simulation "
         "(exits non-zero on any mismatch)",
+    )
+    sweep.add_argument(
+        "--no-pack",
+        action="store_true",
+        help="bypass the compiled trace-pack cache and replay the "
+        "generator directly (slower; for cross-checking the pack path)",
+    )
+    sweep.add_argument(
+        "--engine-stat",
+        action="store_true",
+        help="print the engine's own perf-stat block (pack cache "
+        "hits/misses, profiler passes) after the sweep",
     )
 
     cmp_ = sub.add_parser("compare", help="diff two evaluate artifact sets")
@@ -389,26 +403,18 @@ def _cmd_evaluate(args, out):
 
 def _trace_factory(args):
     from repro.util.units import MB
-    from repro.workloads.trace import (
-        PointerChaseTrace,
-        StencilTrace,
-        StreamingTrace,
-        StridedTrace,
-        ZipfTrace,
-    )
+    from repro.workloads.trace import make_trace
 
     n = args.accesses
     footprint = int(args.footprint_mb * MB)
     kind = args.trace
-    if kind == "zipf":
-        return lambda: ZipfTrace(n, footprint, alpha=args.alpha, seed=args.seed)
-    if kind == "stream":
-        return lambda: StreamingTrace(n, footprint)
-    if kind == "stride":
-        return lambda: StridedTrace(n, stride=256)
-    if kind == "chase":
-        return lambda: PointerChaseTrace(n, footprint, seed=args.seed)
-    return lambda: StencilTrace(n, footprint)
+    positional, kwargs = {
+        "zipf": ((footprint,), {"alpha": args.alpha, "seed": args.seed}),
+        "stream": ((footprint,), {}),
+        "stride": ((), {"stride": 256}),
+        "chase": ((footprint,), {"seed": args.seed}),
+    }.get(kind, ((footprint,), {}))
+    return lambda: make_trace(kind, n, *positional, **kwargs)
 
 
 def _cmd_trace_sweep(args, out):
@@ -420,11 +426,17 @@ def _cmd_trace_sweep(args, out):
         [int(w) for w in args.ways.split(",")] if args.ways else None
     )
     factory = _trace_factory(args)
+    use_packs = not args.no_pack
     if args.co_run:
-        data = trace_way_utility(fg_factory=factory)
+        data = trace_way_utility(fg_factory=factory, use_packs=use_packs)
         out.write(render_trace_sweep(data) + "\n")
     else:
-        curve = WaySweep().run_single(factory)
+        if use_packs:
+            from repro.workloads.tracepack import get_pack
+
+            curve = WaySweep().run_pack(get_pack(factory()))[0]
+        else:
+            curve = WaySweep().run_single(factory)
         data = {"curves": {args.trace: curve}}
         out.write(
             render_trace_sweep(
@@ -438,6 +450,10 @@ def _cmd_trace_sweep(args, out):
             f"check: profiled hits match per-mask re-simulation at "
             f"{len(rows)} allocations\n"
         )
+    if args.engine_stat:
+        from repro.perf.stat import format_engine_stat
+
+        out.write(format_engine_stat() + "\n")
 
 
 def _cmd_compare(args, out):

@@ -19,6 +19,10 @@ TRACE_ACCESSES = "trace_accesses"
 KERNEL_BATCHES = "kernel_batches"
 KERNEL_BATCHED_ACCESSES = "kernel_batched_accesses"
 PROFILER_PASSES = "profiler_passes"
+PACK_HITS = "pack_hits"
+PACK_MISSES = "pack_misses"
+PACK_COMPILED_ACCESSES = "pack_compiled_accesses"
+PACK_REPLAYS = "pack_replays"
 
 ENGINE_EVENTS = (
     MEMO_HITS,
@@ -30,6 +34,10 @@ ENGINE_EVENTS = (
     KERNEL_BATCHES,
     KERNEL_BATCHED_ACCESSES,
     PROFILER_PASSES,
+    PACK_HITS,
+    PACK_MISSES,
+    PACK_COMPILED_ACCESSES,
+    PACK_REPLAYS,
 )
 
 _counters = CounterSet(ENGINE_EVENTS)

@@ -72,7 +72,12 @@ def format_engine_stat(counters=None):
     batches = counters.get(ec.KERNEL_BATCHES, 0.0)
     batched = counters.get(ec.KERNEL_BATCHED_ACCESSES, 0.0)
     profiler_passes = counters.get(ec.PROFILER_PASSES, 0.0)
+    pack_hits = counters.get(ec.PACK_HITS, 0.0)
+    pack_misses = counters.get(ec.PACK_MISSES, 0.0)
+    pack_compiled = counters.get(ec.PACK_COMPILED_ACCESSES, 0.0)
+    pack_replays = counters.get(ec.PACK_REPLAYS, 0.0)
     lookups = hits + misses
+    pack_lookups = pack_hits + pack_misses
     iterated = solves - fast
     rows = [
         (
@@ -98,6 +103,19 @@ def format_engine_stat(counters=None):
             f"{batched / batches:,.0f} accesses per batch" if batches else None,
         ),
         ("profiler-passes", profiler_passes, None),
+        (
+            "pack-hits",
+            pack_hits,
+            f"{100 * pack_hits / pack_lookups:.2f}% of pack lookups"
+            if pack_lookups
+            else None,
+        ),
+        (
+            "pack-misses",
+            pack_misses,
+            f"{pack_compiled:,.0f} accesses compiled" if pack_misses else None,
+        ),
+        ("pack-replays", pack_replays, None),
     ]
     lines = [" Performance counter stats for 'engine':", ""]
     for event, value, note in rows:

@@ -8,6 +8,7 @@ partitioning effects on *actual line replacement* can be measured — the
 ground truth the occupancy model approximates.
 """
 
+import gc
 import heapq
 from dataclasses import dataclass, field
 
@@ -15,6 +16,11 @@ from repro.cache.block import LINE_SHIFT
 from repro.cache.hierarchy import CacheHierarchy
 from repro.perf import engine_counters as ec
 from repro.util.errors import ValidationError
+
+# The pack walk returns int level codes; these map them back to the
+# (name, latency) pairs the generic walk reports.
+_LEVEL_NAMES = ("L1", "L2", "LLC", "MEM")
+_LEVEL_LATENCIES = (4, 12, 30, 200)
 
 
 @dataclass
@@ -137,6 +143,360 @@ class TraceEngine:
         ec.add(ec.TRACE_ACCESSES, issued)
         return {w.name: stats_list[i] for i, w in enumerate(workloads)}
 
+    def run_packed(self, workloads, total_accesses=100_000, packs=None,
+                   pack_cache=None, pack_store=True):
+        """Co-run over compiled trace packs; bit-identical to :meth:`run`.
+
+        Each workload's trace is compiled (or loaded from the pack cache)
+        into columnar arrays once, and the run loop feeds raw line
+        numbers and precomputed LLC set indices straight into a fused
+        pack walk — no generator resumption, no ``MemoryAccess``
+        materialization, and no set hashing per access. The walk returns
+        each access's whole virtual-time advance and counts hit levels
+        internally, so the scheduling loops reduce to a few ops per
+        access; when every pack is read-only the still-leaner read-only
+        walk variant engages. ``packs`` optionally supplies pre-compiled
+        packs aligned with ``workloads``. Falls back to :meth:`run`
+        whenever the fast path does not apply (prefetchers on,
+        non-kernel backend, non-compilable trace factory, or two
+        workloads on one core).
+        """
+        if not workloads:
+            raise ValidationError("need at least one workload")
+        names = [w.name for w in workloads]
+        if len(set(names)) != len(names):
+            raise ValidationError("workload names must be unique")
+
+        hierarchy = self.hierarchy
+        if not self.fast_loop or hierarchy.prefetchers_enabled():
+            return self.run(workloads, total_accesses)
+        if packs is None:
+            from repro.workloads.trace import _TraceBase
+            from repro.workloads.tracepack import get_pack
+
+            packs = []
+            for w in workloads:
+                source = w.trace_factory()
+                if not isinstance(source, _TraceBase):
+                    return self.run(workloads, total_accesses)
+                packs.append(
+                    get_pack(source, cache=pack_cache, store=pack_store)
+                )
+        elif len(packs) != len(workloads):
+            raise ValidationError("need one pack per workload")
+
+        from repro.cache.kernel import (
+            build_lean_pair_walk,
+            build_native_pair_walk,
+            build_pack_walk,
+        )
+
+        core_of = hierarchy.core_of_tid
+        cores = [core_of(w.tid) for w in workloads]
+        if len(set(cores)) != len(cores):
+            # Two walkers on one core would each hoist that core's L1
+            # state; the generic path handles shared cores.
+            return self.run(workloads, total_accesses)
+        thinks = [w.think_cycles for w in workloads]
+        built = None
+        pair = None
+        native_pair = False
+        lean = all(p.writes_list() is None for p in packs)
+        if lean and len(workloads) == 2:
+            # Fastest shape: both walks and the scheduler fused into one
+            # loop over the packs' raw int64 columns — the compiled
+            # kernel when a C toolchain is available, else the
+            # all-locals Python frame (see build_lean_pair_walk).
+            pair = build_native_pair_walk(hierarchy, cores, thinks)
+            native_pair = pair is not None
+            if pair is None:
+                pair = build_lean_pair_walk(hierarchy, cores, thinks)
+        if pair is None and lean:
+            built = [
+                build_pack_walk(hierarchy, core, think_cycles=think, lean=True)
+                for core, think in zip(cores, thinks)
+            ]
+            if any(b is None for b in built):
+                built = None
+                lean = False
+        if pair is None and built is None:
+            built = [
+                build_pack_walk(hierarchy, core, think_cycles=think)
+                for core, think in zip(cores, thinks)
+            ]
+            if any(b is None for b in built):
+                return self.run(workloads, total_accesses)
+        if built is not None:
+            walks = [b[0] for b in built]
+            flushes = [b[1] for b in built]
+            reports = [b[2] for b in built]
+
+        llc = hierarchy.llc.storage
+        llc_indexing = "mod" if llc._mod_mask >= 0 else "hash"
+        if native_pair:
+            # The compiled kernel consumes the columns as raw int64
+            # arrays (memmap-backed for disk packs) — no list
+            # materialization at all.
+            lines = [p.line for p in packs]
+            sets = [p.set_column(llc.num_sets, llc_indexing) for p in packs]
+        else:
+            lines = [p.lines_list() for p in packs]
+            sets = [p.sets_list(llc.num_sets, llc_indexing) for p in packs]
+        lengths = [len(col) for col in lines]
+        repeats = [w.repeat for w in workloads]
+        writes = (
+            None
+            if lean
+            else [
+                p.writes_list() or [False] * n
+                for p, n in zip(packs, lengths)
+            ]
+        )
+        vtimes = [0] * len(workloads)
+
+        # The replay loops allocate only transient ints; cyclic GC passes
+        # are pure overhead here, so pause collection for the duration.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        if pair is not None:
+            loop, finish = pair
+            try:
+                res = loop(
+                    lines[0], sets[0], lines[1], sets[1], lengths[0],
+                    lengths[1], repeats[0], repeats[1], total_accesses,
+                )
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+            grabbed, pair_vtimes = finish(res)
+            vtimes[:] = pair_vtimes
+            return self._packed_stats(workloads, grabbed, vtimes, packs)
+        try:
+            if len(workloads) == 1:
+                if lean:
+                    vtimes[0] = self._packed_one_lean(
+                        walks[0], lines[0], sets[0], lengths[0], repeats[0],
+                        total_accesses,
+                    )
+                else:
+                    vtimes[0] = self._packed_one(
+                        walks[0], lines[0], sets[0], writes[0], lengths[0],
+                        repeats[0], total_accesses,
+                    )
+            elif len(workloads) == 2:
+                if lean:
+                    vtimes[:] = self._packed_two_lean(
+                        walks, lines, sets, lengths, repeats, reports,
+                        total_accesses,
+                    )
+                else:
+                    vtimes[:] = self._packed_two(
+                        walks, lines, sets, writes, lengths, repeats,
+                        reports, total_accesses,
+                    )
+            else:
+                self._packed_heap(
+                    walks, lines, sets, writes, lengths, repeats, vtimes,
+                    total_accesses, lean,
+                )
+            grabbed = [report() for report in reports]
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            for flush in flushes:
+                flush()
+        return self._packed_stats(workloads, grabbed, vtimes, packs)
+
+    @staticmethod
+    def _packed_stats(workloads, grabbed, vtimes, packs):
+        """Materialize per-workload TraceStats from raw level counts."""
+        stats_list = []
+        issued = 0
+        for i, w in enumerate(workloads):
+            g0, g1, g2, g3 = grabbed[i]
+            acc = g0 + g1 + g2 + g3
+            issued += acc
+            s = TraceStats()
+            s.accesses = acc
+            s.total_latency = float(g0 * 4 + g1 * 12 + g2 * 30 + g3 * 200)
+            s.cycles = float(vtimes[i])
+            hbl = s.hits_by_level
+            for level, count in zip(_LEVEL_NAMES, (g0, g1, g2, g3)):
+                if count:
+                    hbl[level] = count
+            s.llc_misses = g3
+            stats_list.append(s)
+        ec.add(ec.TRACE_ACCESSES, issued)
+        ec.add(ec.PACK_REPLAYS, len(packs))
+        return {w.name: stats_list[i] for i, w in enumerate(workloads)}
+
+    @staticmethod
+    def _packed_one_lean(walk, line_list, set_list, length, repeat, total):
+        """Single-domain read-only replay: chunked, bounds-check-free."""
+        if not length:
+            return 0
+        vtime = 0
+        issued = 0
+        i = 0
+        while issued < total:
+            chunk = total - issued
+            rem = length - i
+            if chunk > rem:
+                chunk = rem
+            end = i + chunk
+            for j in range(i, end):
+                vtime += walk(line_list[j], set_list[j])
+            issued += chunk
+            i = end
+            if i == length:
+                if not repeat:
+                    break
+                i = 0
+        return vtime
+
+    @staticmethod
+    def _packed_one(walk, line_list, set_list, write_list, length, repeat,
+                    total):
+        """Single-domain replay, general (read/write) walk."""
+        if not length:
+            return 0
+        vtime = 0
+        issued = 0
+        i = 0
+        while issued < total:
+            chunk = total - issued
+            rem = length - i
+            if chunk > rem:
+                chunk = rem
+            end = i + chunk
+            for j in range(i, end):
+                vtime += walk(line_list[j], set_list[j], write_list[j])
+            issued += chunk
+            i = end
+            if i == length:
+                if not repeat:
+                    break
+                i = 0
+        return vtime
+
+    @staticmethod
+    def _packed_two_lean(walks, lines, sets, lengths, repeats, reports,
+                         total):
+        """Two-domain read-only replay, heap replaced by one comparison.
+
+        ``(vtime, slot)`` heap order with two live slots reduces to
+        "lower vtime first, slot 0 on ties" — exactly ``t0 <= t1``. The
+        issue budget runs as a plain ``for`` with no per-access counter;
+        on the rare retire of a non-repeating trace the count so far is
+        recovered from the walks' level counters.
+        """
+        walk0, walk1 = walks
+        l0, l1 = lines
+        s0, s1 = sets
+        n0, n1 = lengths
+        rep0, rep1 = repeats
+        t0 = t1 = 0
+        i0 = i1 = 0
+        live0, live1 = n0 > 0, n1 > 0
+        issued = 0
+        while issued < total and (live0 or live1):
+            retired = False
+            for _ in range(total - issued):
+                if live0 and (not live1 or t0 <= t1):
+                    if i0 == n0:
+                        if not rep0:
+                            live0 = False
+                            retired = True
+                            break
+                        i0 = 0
+                    t0 += walk0(l0[i0], s0[i0])
+                    i0 += 1
+                elif live1:
+                    if i1 == n1:
+                        if not rep1:
+                            live1 = False
+                            retired = True
+                            break
+                        i1 = 0
+                    t1 += walk1(l1[i1], s1[i1])
+                    i1 += 1
+                else:
+                    break
+            if not retired:
+                break
+            issued = sum(reports[0]()) + sum(reports[1]())
+        return t0, t1
+
+    @staticmethod
+    def _packed_two(walks, lines, sets, writes, lengths, repeats, reports,
+                    total):
+        """Two-domain replay, general (read/write) walks."""
+        walk0, walk1 = walks
+        l0, l1 = lines
+        s0, s1 = sets
+        w0, w1 = writes
+        n0, n1 = lengths
+        rep0, rep1 = repeats
+        t0 = t1 = 0
+        i0 = i1 = 0
+        live0, live1 = n0 > 0, n1 > 0
+        issued = 0
+        while issued < total and (live0 or live1):
+            retired = False
+            for _ in range(total - issued):
+                if live0 and (not live1 or t0 <= t1):
+                    if i0 == n0:
+                        if not rep0:
+                            live0 = False
+                            retired = True
+                            break
+                        i0 = 0
+                    t0 += walk0(l0[i0], s0[i0], w0[i0])
+                    i0 += 1
+                elif live1:
+                    if i1 == n1:
+                        if not rep1:
+                            live1 = False
+                            retired = True
+                            break
+                        i1 = 0
+                    t1 += walk1(l1[i1], s1[i1], w1[i1])
+                    i1 += 1
+                else:
+                    break
+            if not retired:
+                break
+            issued = sum(reports[0]()) + sum(reports[1]())
+        return t0, t1
+
+    @staticmethod
+    def _packed_heap(walks, lines, sets, writes, lengths, repeats, vtimes,
+                     total, lean):
+        """General N-domain replay over the same (vtime, slot) heap."""
+        heap = [(0, i) for i in range(len(walks)) if lengths[i]]
+        heapq.heapify(heap)
+        heappop, heappush = heapq.heappop, heapq.heappush
+        positions = [0] * len(walks)
+        issued = 0
+        while heap and issued < total:
+            vtime, slot = heappop(heap)
+            i = positions[slot]
+            if i == lengths[slot]:
+                if not repeats[slot]:
+                    continue
+                i = 0
+            if lean:
+                vtime += walks[slot](lines[slot][i], sets[slot][i])
+            else:
+                vtime += walks[slot](
+                    lines[slot][i], sets[slot][i], writes[slot][i]
+                )
+            positions[slot] = i + 1
+            vtimes[slot] = vtime
+            issued += 1
+            heappush(heap, (vtime, slot))
+
 
 def measure_isolation(fg_workload, bg_workload, fg_mask=None, bg_mask=None,
                       total_accesses=120_000, prefetchers_on=False,
@@ -190,7 +550,7 @@ def measure_isolation(fg_workload, bg_workload, fg_mask=None, bg_mask=None,
 
 
 def way_allocation_sweep(workloads, total_accesses=100_000, prefetchers_on=False,
-                         backend="kernel", warmup_accesses=0):
+                         backend="kernel", warmup_accesses=0, use_packs=True):
     """Per-domain ``hits(ways)`` utility curves from ONE co-run.
 
     Attaches a :class:`~repro.cache.profile.WayProfiler` (a per-domain
@@ -199,14 +559,21 @@ def way_allocation_sweep(workloads, total_accesses=100_000, prefetchers_on=False
     see with w ways to itself" for every w in 1..12 — the input the
     paper's allocation policies (and UCP) need, without re-simulating
     per mask. Returns ``(stats, {domain: WayCurve})``.
+
+    With ``use_packs`` (the default) the co-run replays compiled trace
+    packs through :meth:`TraceEngine.run_packed` — the profiler observes
+    the identical LLC probe stream, the trace just isn't re-generated.
+    ``use_packs=False`` forces the generator path (the CLI's
+    ``--no-pack`` escape hatch).
     """
     from repro.cache.indexing import HashedIndex
     from repro.cache.profile import WayProfiler
 
     engine = TraceEngine(prefetchers_on=prefetchers_on, backend=backend)
     llc = engine.hierarchy.llc.storage
+    run = engine.run_packed if use_packs else engine.run
     if warmup_accesses:
-        engine.run(workloads, total_accesses=warmup_accesses)
+        run(workloads, total_accesses=warmup_accesses)
     profiler = WayProfiler(
         num_sets=llc.num_sets,
         num_ways=llc.num_ways,
@@ -214,7 +581,7 @@ def way_allocation_sweep(workloads, total_accesses=100_000, prefetchers_on=False
         num_domains=engine.hierarchy.num_cores,
     )
     engine.hierarchy.llc_profiler = profiler
-    stats = engine.run(workloads, total_accesses=total_accesses)
+    stats = run(workloads, total_accesses=total_accesses)
     engine.hierarchy.llc_profiler = None
     ec.add(ec.PROFILER_PASSES)
     return stats, profiler.curves()

@@ -17,12 +17,32 @@ from repro.util.errors import ValidationError
 from repro.workloads.base import MissRatioCurve
 
 
+def _materialize(trace_factory):
+    """One full pass of the trace as a list of MemoryAccess.
+
+    Compilable generators go through the trace-pack cache: the stream
+    comes back from the content-addressed columns (memmapped from disk
+    on repeat runs) instead of re-executing the generator, and
+    ``verify_pack``'s contract keeps it element-for-element identical.
+    Anything else is materialized directly.
+    """
+    source = trace_factory()
+    from repro.workloads.trace import _TraceBase
+
+    if isinstance(source, _TraceBase):
+        from repro.workloads.tracepack import get_pack
+
+        return list(get_pack(source).accesses())
+    return list(source)
+
+
 def measure_llc_miss_ratio(trace_factory, ways, warmup_fraction=0.5):
     """Replay a trace at a given way allocation; return the LLC miss
     ratio over the measured (post-warmup) portion.
 
-    ``trace_factory()`` must return a fresh iterable of MemoryAccess —
-    it is called twice (warm-up pass and measured pass).
+    ``trace_factory()`` must return a fresh iterable of MemoryAccess;
+    the stream is materialized once (through the pack cache when the
+    trace is compilable) and reused for the warm-up and measured passes.
     """
     if not 1 <= ways <= 12:
         raise ValidationError("ways must be in 1..12")
@@ -30,10 +50,10 @@ def measure_llc_miss_ratio(trace_factory, ways, warmup_fraction=0.5):
     hierarchy.set_prefetchers(enabled=False)
     hierarchy.set_way_mask(0, WayMask.contiguous(ways, 0))
 
-    warm = list(trace_factory())
+    warm = _materialize(trace_factory)
     cut = int(len(warm) * warmup_fraction)
     hierarchy.run_trace(warm[:cut] if cut else warm)
-    totals = hierarchy.run_trace(trace_factory())
+    totals = hierarchy.run_trace(warm)
     llc_refs = totals["llc_hits"] + totals["llc_misses"]
     if llc_refs == 0:
         return 0.0
@@ -73,11 +93,11 @@ def profile_mrc(trace_factory, way_counts=(1, 2, 4, 6, 8, 10, 12),
         num_domains=hierarchy.num_cores,
     )
     hierarchy.llc_profiler = profiler
-    warm = list(trace_factory())
+    warm = _materialize(trace_factory)
     cut = int(len(warm) * warmup_fraction)
     hierarchy.run_trace(warm[:cut] if cut else warm)
     base = profiler.snapshot()
-    hierarchy.run_trace(trace_factory())
+    hierarchy.run_trace(warm)
     hierarchy.llc_profiler = None
     curves = [
         profiler.delta_curve(base, domain=d) for d in range(hierarchy.num_cores)

@@ -79,3 +79,24 @@ def unregister_application(name):
     if name not in _APPS:
         raise ValidationError(f"unknown application {name!r}")
     del _APPS[name]
+
+
+def trace_kinds():
+    """Registered synthetic trace kinds (see workloads.trace.TRACE_KINDS).
+
+    Surfaced here so registry consumers (the CLI, pack tooling) resolve
+    address-trace generators through the same module as applications.
+    """
+    from repro.workloads.trace import trace_kinds as _kinds
+
+    return _kinds()
+
+
+def get_trace_kind(name):
+    """Look up one registered trace generator class by kind name."""
+    from repro.workloads.trace import TRACE_KINDS
+
+    try:
+        return TRACE_KINDS[name]
+    except KeyError:
+        raise ValidationError(f"unknown trace kind {name!r}") from None

@@ -151,6 +151,43 @@ class StencilTrace(_TraceBase):
                         emitted += 1
 
 
+# Name -> generator class, the registry the CLI and pack tooling use to
+# resolve trace kinds. Registering here is what makes a generator
+# pack-compilable by name (the compiler itself dispatches on the class,
+# see repro.workloads.tracepack.register_compiler).
+TRACE_KINDS = {
+    "stream": StreamingTrace,
+    "stride": StridedTrace,
+    "chase": PointerChaseTrace,
+    "zipf": ZipfTrace,
+    "stencil": StencilTrace,
+}
+
+
+def trace_kinds():
+    """Registered synthetic trace kinds, in registration order."""
+    return tuple(TRACE_KINDS)
+
+
+def register_trace_kind(name, trace_cls):
+    """Expose a custom generator class under a CLI-visible kind name."""
+    if name in TRACE_KINDS:
+        raise ValidationError(f"trace kind {name!r} already registered")
+    if not issubclass(trace_cls, _TraceBase):
+        raise ValidationError("trace kinds must subclass the trace base")
+    TRACE_KINDS[name] = trace_cls
+    return trace_cls
+
+
+def make_trace(kind, *args, **kwargs):
+    """Instantiate a registered trace kind by name."""
+    try:
+        cls = TRACE_KINDS[kind]
+    except KeyError:
+        raise ValidationError(f"unknown trace kind {kind!r}") from None
+    return cls(*args, **kwargs)
+
+
 def interleave(traces, schedule=None):
     """Round-robin interleave several traces into one stream.
 

@@ -22,6 +22,14 @@ def _square(x):
     return x * x
 
 
+def _pack_line(args):
+    """Read one line number from a preloaded pack (module-level: picklable)."""
+    from repro.workloads.tracepack import open_pack
+
+    path, index = args
+    return open_pack(path).lines_list()[index]
+
+
 def _fail_on_three(x):
     if x == 3:
         raise RuntimeError("boom")
@@ -52,6 +60,25 @@ class TestResolveWorkers:
         with pytest.raises(ValidationError):
             resolve_workers(0)
 
+    def test_whitespace_env_means_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "   ")
+        assert resolve_workers(None) == 1
+
+    def test_env_zero_and_negative_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValidationError):
+            resolve_workers(None)
+        monkeypatch.setenv("REPRO_WORKERS", "-2")
+        with pytest.raises(ValidationError):
+            resolve_workers(None)
+
+    def test_parse_error_suppresses_the_value_error_chain(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4.5")
+        with pytest.raises(ValidationError) as excinfo:
+            resolve_workers(None)
+        assert excinfo.value.__cause__ is None
+        assert excinfo.value.__suppress_context__
+
 
 class TestParallelMap:
     def test_serial_matches_comprehension(self):
@@ -78,6 +105,38 @@ class TestParallelMap:
     def test_serial_exceptions_propagate(self):
         with pytest.raises(RuntimeError):
             parallel_map(_fail_on_three, [1, 2, 3], workers=1)
+
+
+class TestPackSharing:
+    @pytest.fixture()
+    def stored_pack(self, monkeypatch, tmp_path):
+        from repro.workloads import tracepack
+        from repro.workloads.trace import ZipfTrace
+
+        monkeypatch.setattr(tracepack, "_OPEN_PACKS", {})
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "traces"))
+        return tracepack.get_pack(ZipfTrace(500, 1 << 20, alpha=0.9, seed=2))
+
+    def test_pack_paths_preload_serial(self, stored_pack):
+        from repro.workloads import tracepack
+
+        tracepack._OPEN_PACKS.clear()
+        items = [(stored_pack.path, i) for i in range(5)]
+        result = parallel_map(_pack_line, items, workers=1,
+                              pack_paths=[stored_pack.path])
+        assert result == stored_pack.lines_list()[:5]
+        # The initializer opened the pack before the first task ran.
+        assert stored_pack.path in tracepack._OPEN_PACKS
+
+    def test_workers_share_packs_by_path(self, stored_pack):
+        """Workers get pack *paths* through the initializer, never arrays."""
+        items = [(stored_pack.path, i) for i in range(8)]
+        serial = parallel_map(_pack_line, items, workers=1,
+                              pack_paths=[stored_pack.path])
+        parallel = parallel_map(_pack_line, items, workers=2,
+                                cap_to_cpus=False,
+                                pack_paths=[stored_pack.path])
+        assert parallel == serial
 
 
 class TestRunTasks:

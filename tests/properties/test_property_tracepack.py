@@ -1,0 +1,95 @@
+"""Property: a compiled pack is the generator's stream, for any params."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.tracepack import (
+    TracePack,
+    compile_columns,
+    pack_key,
+    verify_pack,
+)
+from repro.workloads.trace import (
+    PointerChaseTrace,
+    StencilTrace,
+    StreamingTrace,
+    StridedTrace,
+    ZipfTrace,
+)
+
+lengths = st.integers(min_value=0, max_value=300)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+tids = st.integers(min_value=0, max_value=7)
+
+
+def traces():
+    return st.one_of(
+        st.builds(
+            StreamingTrace,
+            lengths,
+            st.integers(min_value=256, max_value=512 * 1024),
+            stride=st.sampled_from([64, 128, 192]),
+            tid=tids,
+        ),
+        st.builds(
+            StridedTrace,
+            lengths,
+            st.sampled_from([64, 192, 4096]),
+            num_streams=st.integers(min_value=1, max_value=6),
+            tid=tids,
+        ),
+        st.builds(
+            PointerChaseTrace,
+            lengths,
+            st.integers(min_value=64, max_value=256 * 1024),
+            seed=seeds,
+            tid=tids,
+        ),
+        st.builds(
+            ZipfTrace,
+            lengths,
+            st.integers(min_value=64, max_value=256 * 1024),
+            alpha=st.floats(min_value=0.5, max_value=1.5, allow_nan=False),
+            seed=seeds,
+            tid=tids,
+        ),
+        st.builds(
+            StencilTrace,
+            lengths,
+            rows=st.integers(min_value=3, max_value=20),
+            cols=st.integers(min_value=3, max_value=20),
+            tid=tids,
+        ),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=traces())
+def test_compiled_pack_is_bit_identical_to_generator(trace):
+    pack = TracePack(compile_columns(trace), pack_key(trace))
+    assert verify_pack(pack, trace) == len(pack)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    length=st.integers(min_value=1, max_value=200),
+    seed_a=seeds,
+    seed_b=seeds,
+    alpha=st.floats(min_value=0.5, max_value=1.5, allow_nan=False),
+)
+def test_content_address_separates_different_specs(length, seed_a, seed_b, alpha):
+    base = ZipfTrace(length, 64 * 1024, alpha=alpha, seed=seed_a)
+    same = ZipfTrace(length, 64 * 1024, alpha=alpha, seed=seed_a)
+    assert pack_key(base) == pack_key(same)
+    if seed_a != seed_b:
+        other = ZipfTrace(length, 64 * 1024, alpha=alpha, seed=seed_b)
+        assert pack_key(base) != pack_key(other)
+    longer = ZipfTrace(length + 1, 64 * 1024, alpha=alpha, seed=seed_a)
+    assert pack_key(base) != pack_key(longer)
+
+
+@pytest.mark.parametrize("geometry", [(4096, 12, "hash"), (2048, 8, "mod")])
+def test_geometry_bound_keys_differ_from_unbound(geometry):
+    trace = ZipfTrace(50, 64 * 1024)
+    assert pack_key(trace, geometry=geometry) != pack_key(trace)

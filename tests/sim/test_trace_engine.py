@@ -128,3 +128,111 @@ class TestIsolationMeasurement:
     def test_same_core_rejected(self):
         with pytest.raises(ValidationError):
             measure_isolation(chase(0), chase(1))
+
+
+class TestRunPacked:
+    """run_packed must be bit-identical to run() on every path."""
+
+    @pytest.fixture(autouse=True)
+    def _private_pack_cache(self, monkeypatch, tmp_path):
+        from repro.workloads import tracepack
+
+        monkeypatch.setattr(tracepack, "_OPEN_PACKS", {})
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "traces"))
+
+    @staticmethod
+    def _engine(partition=True):
+        engine = TraceEngine(prefetchers_on=False, backend="kernel",
+                             fast_loop=True)
+        if partition:
+            engine.hierarchy.set_way_mask(0, WayMask.contiguous(9, 0))
+            engine.hierarchy.set_way_mask(2, WayMask.contiguous(3, 9))
+        return engine
+
+    @staticmethod
+    def _signature(engine, stats):
+        hierarchy = engine.hierarchy
+        levels = (
+            list(hierarchy.l1) + list(hierarchy.l2) + [hierarchy.llc.storage]
+        )
+        return (
+            stats,
+            [sorted(level.stats.snapshot().items()) for level in levels],
+            [sorted(level.stats.per_domain_accesses.items()) for level in levels],
+            [sorted(level.stats.per_domain_misses.items()) for level in levels],
+            hierarchy.llc.storage.occupancy_by_way(),
+            sorted(hierarchy.llc.storage.resident_lines()),
+        )
+
+    def _pair_workloads(self, length=9_000):
+        return [
+            TraceWorkload(
+                "fg",
+                lambda: ZipfTrace(length, 2 * MB, alpha=0.9, tid=0, seed=7),
+                tid=0,
+                think_cycles=6,
+            ),
+            TraceWorkload(
+                "bg",
+                lambda: StreamingTrace(length, 8 * MB, tid=4),
+                tid=4,
+                think_cycles=2,
+            ),
+        ]
+
+    def _assert_identical(self, workloads, total_accesses, partition=True):
+        engine = self._engine(partition)
+        baseline = self._signature(
+            engine, engine.run(workloads, total_accesses=total_accesses)
+        )
+        engine = self._engine(partition)
+        packed = self._signature(
+            engine, engine.run_packed(workloads, total_accesses=total_accesses)
+        )
+        assert packed == baseline
+
+    def test_pair_co_run_identical(self):
+        """The two-domain fused walk (native when available)."""
+        self._assert_identical(self._pair_workloads(), 16_000)
+
+    def test_pair_co_run_identical_without_native(self, monkeypatch):
+        """REPRO_NATIVE=0 must fall back to the Python pair loop with
+        the exact same results."""
+        from repro.cache import native
+
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        native.reset()
+        try:
+            assert native.pair_walk_fn() is None
+            self._assert_identical(self._pair_workloads(), 16_000)
+        finally:
+            native.reset()
+
+    def test_single_workload_identical(self):
+        workloads = [self._pair_workloads()[0]]
+        self._assert_identical(workloads, 8_000, partition=False)
+
+    def test_three_workloads_identical(self):
+        """Three domains take the heap-scheduled walk path."""
+        workloads = self._pair_workloads() + [
+            TraceWorkload(
+                "extra",
+                lambda: PointerChaseTrace(6_000, 1 * MB, tid=6, seed=3),
+                tid=6,
+                think_cycles=4,
+            )
+        ]
+        self._assert_identical(workloads, 18_000)
+
+    def test_sweep_with_and_without_packs_agree(self):
+        from repro.sim.trace_engine import way_allocation_sweep
+
+        workloads = self._pair_workloads(length=6_000)
+        packed_stats, packed_curves = way_allocation_sweep(
+            workloads, total_accesses=10_000, use_packs=True
+        )
+        plain_stats, plain_curves = way_allocation_sweep(
+            workloads, total_accesses=10_000, use_packs=False
+        )
+        assert packed_stats == plain_stats
+        assert packed_curves == plain_curves
