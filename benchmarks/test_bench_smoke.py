@@ -21,6 +21,8 @@ def artifacts(tmp_path_factory):
     bench_dir = tmp_path_factory.mktemp("bench")
     out = bench_dir / "BENCH_engine.json"
     trace_out = bench_dir / "BENCH_trace.json"
+    pack_out = bench_dir / "BENCH_tracepack.json"
+    dynamic_out = bench_dir / "BENCH_dynamic.json"
     proc = subprocess.run(
         [
             sys.executable,
@@ -29,6 +31,10 @@ def artifacts(tmp_path_factory):
             str(out),
             "--trace-output",
             str(trace_out),
+            "--tracepack-output",
+            str(pack_out),
+            "--dynamic-output",
+            str(dynamic_out),
             "--repeats",
             "2",
         ],
@@ -42,7 +48,9 @@ def artifacts(tmp_path_factory):
         engine = json.load(handle)
     with open(trace_out) as handle:
         trace = json.load(handle)
-    return engine, trace
+    with open(dynamic_out) as handle:
+        dynamic = json.load(handle)
+    return engine, trace, dynamic
 
 
 @pytest.fixture(scope="module")
@@ -53,6 +61,11 @@ def artifact(artifacts):
 @pytest.fixture(scope="module")
 def trace_artifact(artifacts):
     return artifacts[1]
+
+
+@pytest.fixture(scope="module")
+def dynamic_artifact(artifacts):
+    return artifacts[2]
 
 
 class TestBenchSmoke:
@@ -99,3 +112,32 @@ class TestTraceBench:
         the headline numbers (>=3x co-run, >=10x sweep)."""
         assert trace_artifact["co_run"]["speedup"] > 1.5
         assert trace_artifact["way_sweep"]["speedup"] > 4.0
+
+
+class TestDynamicBench:
+    def test_artifact_shape(self, dynamic_artifact):
+        assert dynamic_artifact["benchmark"] == "dynamic_epoch_replay"
+        assert set(dynamic_artifact["static_4dom"]["wall_s"]) == {
+            "heap",
+            "multiwalk",
+        }
+        assert set(dynamic_artifact["dynamic_2dom"]["wall_s"]) == {
+            "python",
+            "native",
+        }
+
+    def test_bit_identical(self, dynamic_artifact):
+        """The script aborts on any divergence; the artifact records it."""
+        assert dynamic_artifact["static_4dom"]["identical"] is True
+        assert dynamic_artifact["dynamic_2dom"]["identical"] is True
+        assert dynamic_artifact["dynamic_2dom"]["timeline_identical"] is True
+        assert dynamic_artifact["dynamic_2dom"]["reallocations"] > 0
+
+    def test_native_kernel_actually_faster(self, dynamic_artifact):
+        """Loose floors for noisy CI boxes; the committed artifact holds
+        the headline numbers (>=10x static, >=5x dynamic). Without a C
+        compiler both arms run the same Python path, so no floor."""
+        if not dynamic_artifact["native_kernel"]:
+            pytest.skip("native kernels unavailable; arms are both Python")
+        assert dynamic_artifact["static_4dom"]["speedup"] > 3.0
+        assert dynamic_artifact["dynamic_2dom"]["speedup"] > 1.5

@@ -32,8 +32,20 @@ packs, the 12-allocation way sweep by per-mask re-simulation vs one
 vectorized pack profile, and a cold-compile-then-disk-hit check of the
 on-disk pack cache — all bit-identity / counter verified.
 
+Finally it benchmarks the N-domain epoch replay into ``BENCH_dynamic.json``:
+
+- ``static_4dom``   — a 4-domain partitioned co-run, native multiwalk
+                      kernel vs the Python heap scheduler over the same
+                      packs, full-signature bit-identity enforced;
+- ``dynamic_2dom``  — a trace-driven dynamically partitioned run (the
+                      controller reallocates ways between epochs without
+                      flushing), native epoch kernel vs the pure-Python
+                      epoch driver, stats *and* reallocation timeline
+                      byte-equal.
+
 ``--check`` runs every benchmark at reduced size, enforces the
-equivalence contracts, and writes no artifacts (CI mode).
+equivalence contracts, and writes no artifacts (CI mode). ``--only``
+restricts either mode to one benchmark.
 
 Usage: PYTHONPATH=src python scripts/bench_smoke.py [--output PATH] [--check]
 """
@@ -396,6 +408,232 @@ def run_tracepack(repeats=3, co_accesses=120_000, sweep_accesses=60_000):
     }
 
 
+# -- N-domain epoch replay (BENCH_dynamic.json) -------------------------------
+
+
+def _without_native(fn):
+    """Run ``fn`` with the native kernels disabled (pure-Python paths)."""
+    from repro.cache import native
+
+    previous = os.environ.get("REPRO_NATIVE")
+    os.environ["REPRO_NATIVE"] = "0"
+    native.reset()
+    try:
+        return fn()
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_NATIVE", None)
+        else:
+            os.environ["REPRO_NATIVE"] = previous
+        native.reset()
+
+
+def _four_domain_workloads(accesses):
+    import functools
+
+    from repro.sim.trace_engine import TraceWorkload
+    from repro.util.units import MB
+    from repro.workloads.trace import make_trace
+
+    return [
+        TraceWorkload(
+            "fg",
+            functools.partial(
+                make_trace, "zipf", accesses, 6 * MB, alpha=0.9, tid=0, seed=7
+            ),
+            tid=0,
+            think_cycles=6,
+        ),
+        TraceWorkload(
+            "bg",
+            functools.partial(make_trace, "stream", accesses, 32 * MB, tid=4),
+            tid=4,
+            think_cycles=2,
+        ),
+        TraceWorkload(
+            "bg2",
+            functools.partial(make_trace, "stream", accesses, 16 * MB, tid=2),
+            tid=2,
+            think_cycles=2,
+        ),
+        TraceWorkload(
+            "bg3",
+            functools.partial(
+                make_trace, "chase", accesses, 2 * MB, tid=6, seed=11
+            ),
+            tid=6,
+            think_cycles=4,
+        ),
+    ]
+
+
+def _four_domain_engine():
+    from repro.cache.llc import WayMask
+    from repro.sim.trace_engine import TraceEngine
+
+    engine = TraceEngine(prefetchers_on=False, backend="kernel")
+    # Cores 0..3 (tids 0/2/4/6) under a 6/2/2/2 static partition.
+    engine.hierarchy.set_way_mask(0, WayMask.contiguous(6, 0))
+    engine.hierarchy.set_way_mask(1, WayMask.contiguous(2, 6))
+    engine.hierarchy.set_way_mask(2, WayMask.contiguous(2, 8))
+    engine.hierarchy.set_way_mask(3, WayMask.contiguous(2, 10))
+    return engine
+
+
+def _time_static_packed(workloads, packs, total_accesses):
+    start = time.perf_counter()
+    engine = _four_domain_engine()
+    stats = engine.run_packed(
+        workloads, total_accesses=total_accesses, packs=packs
+    )
+    elapsed = time.perf_counter() - start
+    return elapsed, _engine_signature(engine, stats)
+
+
+def _dynamic_workloads(accesses):
+    import functools
+
+    from repro.sim.trace_engine import TraceWorkload
+    from repro.util.units import MB
+    from repro.workloads.trace import make_trace
+
+    return [
+        TraceWorkload(
+            "fg",
+            functools.partial(
+                make_trace, "chase", accesses, 8 * MB, tid=0, seed=7
+            ),
+            tid=0,
+            think_cycles=6,
+        ),
+        TraceWorkload(
+            "bg",
+            functools.partial(make_trace, "stream", accesses, 8 * MB, tid=4),
+            tid=4,
+            think_cycles=2,
+        ),
+    ]
+
+
+def _time_dynamic(workloads, packs, epoch_accesses, total_accesses):
+    from repro.core.dynamic import DynamicPartitionController
+    from repro.sim.trace_engine import TraceEngine
+
+    # A fresh controller every run: its phase detector and action log are
+    # stateful, and both replays must see identical decisions.
+    engine = TraceEngine(prefetchers_on=False, backend="kernel")
+    controller = DynamicPartitionController("fg", "bg")
+    start = time.perf_counter()
+    result = engine.run_dynamic(
+        workloads,
+        controller,
+        epoch_accesses=epoch_accesses,
+        total_accesses=total_accesses,
+        packs=packs,
+    )
+    elapsed = time.perf_counter() - start
+    signature = (
+        _engine_signature(engine, result.stats),
+        json.dumps(result.timeline, sort_keys=True),
+        result.epochs,
+    )
+    return elapsed, signature, result
+
+
+def run_dynamic(repeats=3, static_accesses=240_000, dyn_accesses=200_000,
+                dyn_epoch=4_000):
+    """Benchmark the N-domain epoch replay; BENCH_dynamic.json payload."""
+    from repro.cache.native import multi_walk_fn
+    from repro.workloads import tracepack
+
+    native_kernel = multi_walk_fn() is not None
+
+    # -- 4-domain static co-run: native multiwalk vs Python heap ----------
+    workloads = _four_domain_workloads(static_accesses // 4)
+    packs = [tracepack.get_pack(w.trace_factory()) for w in workloads]
+    # Untimed passes absorb the one-time kernel compile/load and table
+    # memos on both arms.
+    _time_static_packed(workloads, packs, 6_000)
+    _without_native(lambda: _time_static_packed(workloads, packs, 6_000))
+
+    multi_t = heap_t = multi_sig = heap_sig = None
+    for _ in range(repeats):
+        elapsed, sig = _time_static_packed(workloads, packs, static_accesses)
+        multi_t = elapsed if multi_t is None else min(multi_t, elapsed)
+        multi_sig = sig
+        elapsed, sig = _without_native(
+            lambda: _time_static_packed(workloads, packs, static_accesses)
+        )
+        heap_t = elapsed if heap_t is None else min(heap_t, elapsed)
+        heap_sig = sig
+    if multi_sig != heap_sig:
+        raise SystemExit(
+            "FAIL: 4-domain multiwalk run is not bit-identical to the heap path"
+        )
+
+    # -- 2-domain dynamic run: native epoch kernel vs Python driver -------
+    dyn_workloads = _dynamic_workloads(dyn_accesses // 8)
+    dyn_packs = [tracepack.get_pack(w.trace_factory()) for w in dyn_workloads]
+    _time_dynamic(dyn_workloads, dyn_packs, dyn_epoch, 3 * dyn_epoch)
+    _without_native(
+        lambda: _time_dynamic(dyn_workloads, dyn_packs, dyn_epoch, 3 * dyn_epoch)
+    )
+
+    native_t = python_t = native_sig = python_sig = None
+    native_result = python_result = None
+    for _ in range(repeats):
+        elapsed, sig, native_result = _time_dynamic(
+            dyn_workloads, dyn_packs, dyn_epoch, dyn_accesses
+        )
+        native_t = elapsed if native_t is None else min(native_t, elapsed)
+        native_sig = sig
+        elapsed, sig, python_result = _without_native(
+            lambda: _time_dynamic(
+                dyn_workloads, dyn_packs, dyn_epoch, dyn_accesses
+            )
+        )
+        python_t = elapsed if python_t is None else min(python_t, elapsed)
+        python_sig = sig
+    if native_sig != python_sig:
+        raise SystemExit(
+            "FAIL: dynamic epoch replay diverges between native and Python"
+        )
+    if python_result.native:
+        raise SystemExit("FAIL: REPRO_NATIVE=0 arm still used the native kernel")
+    if native_kernel and not native_result.native:
+        raise SystemExit("FAIL: native arm fell back to the Python driver")
+
+    return {
+        "benchmark": "dynamic_epoch_replay",
+        "repeats": repeats,
+        "native_kernel": native_kernel,
+        "static_4dom": {
+            "domains": 4,
+            "total_accesses": static_accesses,
+            "wall_s": {
+                "heap": round(heap_t, 4),
+                "multiwalk": round(multi_t, 4),
+            },
+            "speedup": round(heap_t / multi_t, 2),
+            "identical": True,
+        },
+        "dynamic_2dom": {
+            "domains": 2,
+            "total_accesses": dyn_accesses,
+            "epoch_accesses": dyn_epoch,
+            "epochs": native_result.epochs,
+            "reallocations": len(native_result.timeline),
+            "wall_s": {
+                "python": round(python_t, 4),
+                "native": round(native_t, 4),
+            },
+            "speedup": round(python_t / native_t, 2),
+            "timeline_identical": True,
+            "identical": True,
+        },
+    }
+
+
 def main(argv=None):
     root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -408,8 +646,16 @@ def main(argv=None):
     parser.add_argument(
         "--tracepack-output", default=os.path.join(root, "BENCH_tracepack.json")
     )
+    parser.add_argument(
+        "--dynamic-output", default=os.path.join(root, "BENCH_dynamic.json")
+    )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--only",
+        choices=("engine", "trace", "tracepack", "dynamic"),
+        help="run just one of the benchmarks",
+    )
     parser.add_argument(
         "--check",
         action="store_true",
@@ -417,48 +663,73 @@ def main(argv=None):
         "write no artifacts",
     )
     args = parser.parse_args(argv)
+    wanted = (
+        {args.only} if args.only else {"engine", "trace", "tracepack", "dynamic"}
+    )
 
     if args.check:
-        summary, counters = run(repeats=1, workers=args.workers)
-        trace_summary = run_trace(
-            repeats=1, co_accesses=36_000, sweep_accesses=20_000
-        )
-        pack_summary = run_tracepack(
-            repeats=1, co_accesses=36_000, sweep_accesses=20_000
-        )
+        notes = []
+        if "engine" in wanted:
+            summary, _ = run(repeats=1, workers=args.workers)
+            notes.append(
+                f"engine drift {summary['max_rel_drift_vs_seed']:.1e}"
+            )
+        if "trace" in wanted:
+            trace_summary = run_trace(
+                repeats=1, co_accesses=36_000, sweep_accesses=20_000
+            )
+            notes.append(
+                f"trace co-run {trace_summary['co_run']['speedup']}x and "
+                f"way sweep {trace_summary['way_sweep']['speedup']}x, "
+                "bit-identical"
+            )
+        if "tracepack" in wanted:
+            pack_summary = run_tracepack(
+                repeats=1, co_accesses=36_000, sweep_accesses=20_000
+            )
+            notes.append(
+                f"pack co-run {pack_summary['co_run']['speedup']}x "
+                f"(native={pack_summary['native_kernel']}), "
+                "disk-cache hit verified"
+            )
+        if "dynamic" in wanted:
+            dynamic_summary = run_dynamic(
+                repeats=1, static_accesses=48_000, dyn_accesses=48_000,
+                dyn_epoch=3_000,
+            )
+            notes.append(
+                f"4-domain multiwalk and dynamic epoch replay bit-identical "
+                f"(native={dynamic_summary['native_kernel']}, "
+                f"{dynamic_summary['dynamic_2dom']['reallocations']} "
+                "reallocations byte-equal)"
+            )
         print(format_engine_stat(ec.engine_counters().snapshot()))
-        print(
-            f"\ncheck PASS: engine drift {summary['max_rel_drift_vs_seed']:.1e}; "
-            f"trace co-run {trace_summary['co_run']['speedup']}x and "
-            f"way sweep {trace_summary['way_sweep']['speedup']}x, bit-identical; "
-            f"pack co-run {pack_summary['co_run']['speedup']}x "
-            f"(native={pack_summary['native_kernel']}), disk-cache hit verified"
-        )
+        print("\ncheck PASS: " + "; ".join(notes))
         return 0
 
-    summary, counters = run(repeats=args.repeats, workers=args.workers)
-    trace_summary = run_trace(repeats=args.repeats)
-    pack_summary = run_tracepack(repeats=args.repeats)
-    with open(args.output, "w") as handle:
-        json.dump(summary, handle, indent=1)
-        handle.write("\n")
-    with open(args.trace_output, "w") as handle:
-        json.dump(trace_summary, handle, indent=1)
-        handle.write("\n")
-    with open(args.tracepack_output, "w") as handle:
-        json.dump(pack_summary, handle, indent=1)
-        handle.write("\n")
+    outputs = []
+    counters = None
+    if "engine" in wanted:
+        summary, counters = run(repeats=args.repeats, workers=args.workers)
+        outputs.append((args.output, summary))
+    if "trace" in wanted:
+        outputs.append((args.trace_output, run_trace(repeats=args.repeats)))
+    if "tracepack" in wanted:
+        outputs.append(
+            (args.tracepack_output, run_tracepack(repeats=args.repeats))
+        )
+    if "dynamic" in wanted:
+        outputs.append((args.dynamic_output, run_dynamic(repeats=args.repeats)))
 
-    print(json.dumps(summary, indent=1))
-    print()
-    print(json.dumps(trace_summary, indent=1))
-    print()
-    print(json.dumps(pack_summary, indent=1))
-    print()
+    for path, payload in outputs:
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=1)
+            handle.write("\n")
+        print(json.dumps(payload, indent=1))
+        print()
     print(format_engine_stat(counters))
-    print(f"\nwritten to {os.path.abspath(args.output)}")
-    print(f"written to {os.path.abspath(args.trace_output)}")
-    print(f"written to {os.path.abspath(args.tracepack_output)}")
+    for path, _ in outputs:
+        print(f"written to {os.path.abspath(path)}")
     return 0
 
 

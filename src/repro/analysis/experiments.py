@@ -290,34 +290,116 @@ def fig13_dynamic_background_throughput(study):
 # -- Mechanism-level way utility (address-level ground truth) -----------------
 
 
+# The canonical background mix for N-domain trace studies: (workload
+# name, trace kind, length, positional args builder, kwargs, tid,
+# think cycles). Domains beyond the foreground are drawn in order, so
+# --domains 3 co-runs fg + the first two rows, --domains 4 all three.
+def _mb(n):
+    from repro.util.units import MB
+
+    return n * MB
+
+
+_BG_TABLE = (
+    ("bg", "stream", 30_000, (32,), {}, 4, 2),
+    ("bg2", "stream", 30_000, (16,), {}, 2, 2),
+    ("bg3", "chase", 30_000, (2,), {"seed": 11}, 6, 4),
+)
+
+
+def background_factories(domains):
+    """Picklable ``(name, factory, tid, think_cycles)`` rows for the
+    background domains of an N-domain co-run (``domains`` includes the
+    foreground, so 2 <= domains <= 4 on the four-core hierarchy)."""
+    import functools
+
+    from repro.util.errors import ValidationError
+    from repro.workloads.trace import make_trace
+
+    if not 2 <= domains <= 1 + len(_BG_TABLE):
+        raise ValidationError(
+            f"domains must be 2..{1 + len(_BG_TABLE)}, got {domains}"
+        )
+    rows = []
+    for name, kind, length, mbs, kwargs, tid, think in _BG_TABLE[:domains - 1]:
+        positional = tuple(_mb(m) for m in mbs)
+        factory = functools.partial(
+            make_trace, kind, length, *positional, tid=tid, **kwargs
+        )
+        rows.append((name, factory, tid, think))
+    return rows
+
+
 def trace_way_utility(fg_factory=None, bg_factory=None, total_accesses=120_000,
-                      use_packs=True):
+                      use_packs=True, domains=2):
     """Per-domain ``hits(ways)`` utility curves from one profiled co-run.
 
     The address-level companion to the fig. 2/6 sensitivity sweeps: a
-    cache-friendly foreground and a streaming background co-run once
-    through the kernel-backend hierarchy with a way profiler attached,
-    and every allocation point 1..12 is read from the stack-distance
-    histograms instead of re-simulating per mask. Returns
-    ``{"stats": {name: TraceStats}, "curves": {name: WayCurve}}``.
+    cache-friendly foreground and ``domains - 1`` background traces
+    (streaming/chase mixes from ``_BG_TABLE``; ``bg_factory`` overrides
+    the first) co-run once through the kernel-backend hierarchy with a
+    way profiler attached, and every allocation point 1..12 is read from
+    the stack-distance histograms instead of re-simulating per mask.
+    Returns ``{"stats": {name: TraceStats}, "curves": {name: WayCurve}}``.
     """
     from repro.sim.trace_engine import TraceWorkload, way_allocation_sweep
     from repro.util.units import MB
-    from repro.workloads.trace import StreamingTrace, ZipfTrace
+    from repro.workloads.trace import ZipfTrace
 
     fg_factory = fg_factory or (
         lambda: ZipfTrace(40_000, 6 * MB, alpha=0.9, tid=0, seed=7)
     )
-    bg_factory = bg_factory or (lambda: StreamingTrace(30_000, 32 * MB, tid=4))
-    workloads = [
-        TraceWorkload("fg", fg_factory, tid=0, think_cycles=6),
-        TraceWorkload("bg", bg_factory, tid=4, think_cycles=2),
-    ]
+    workloads = [TraceWorkload("fg", fg_factory, tid=0, think_cycles=6)]
+    for i, (name, factory, tid, think) in enumerate(
+        background_factories(domains)
+    ):
+        if i == 0 and bg_factory is not None:
+            factory = bg_factory
+        workloads.append(
+            TraceWorkload(name, factory, tid=tid, think_cycles=think)
+        )
     stats, curves = way_allocation_sweep(
         workloads, total_accesses=total_accesses, use_packs=use_packs
     )
     named = {w.name: curves[w.tid // 2] for w in workloads}
     return {"stats": stats, "curves": named}
+
+
+def _verify_domain_cell(item):
+    """One domain's profile-vs-brute-force check (module-level so the
+    process pool can pickle it)."""
+    from repro.cache.profile import verify_profile
+
+    factory, way_counts, use_pack = item
+    return verify_profile(
+        factory, way_counts=way_counts, backend="kernel", use_pack=use_pack
+    )
+
+
+def verify_trace_domains(factories, way_counts=None, workers=None,
+                         use_packs=True):
+    """Verify every domain of an N-domain sweep, one worker per domain.
+
+    Each domain's single-pass profile is re-checked against per-mask
+    brute-force re-simulation (:func:`repro.cache.profile.verify_profile`).
+    The domains are independent, so they fan out through
+    :func:`repro.exec.parallel_map`; with packs enabled the workers get
+    the persisted pack directories via the pack-path initializer and
+    memmap them instead of regenerating or shipping the traces. Returns
+    the per-domain row lists, in input order; raises on any mismatch.
+    """
+    from repro.exec import parallel_map, persisted_pack_paths
+
+    factories = list(factories)
+    paths = ()
+    if use_packs:
+        from repro.workloads.tracepack import get_pack
+
+        paths = persisted_pack_paths([get_pack(f()) for f in factories])
+    items = [(f, way_counts, use_packs) for f in factories]
+    return parallel_map(
+        _verify_domain_cell, items, workers=workers, pack_paths=paths
+    )
 
 
 # -- Headline numbers (Sections 1 and 8) ---------------------------------------------

@@ -151,6 +151,73 @@ def render_fig13(rows):
     )
 
 
+def render_controller_actions(actions, limit=25, title=None):
+    """The dynamic controller's reallocation trail as a table.
+
+    ``limit`` truncates long trails; 0 shows every action.
+    """
+    actions = list(actions)
+    shown = actions if not limit else actions[:limit]
+    rows = [
+        (f"{a.time_s:.1f}", a.fg_ways, f"{a.mpki:.1f}", a.reason)
+        for a in shown
+    ]
+    text = format_table(["t (s)", "fg ways", "MPKI", "action"], rows,
+                        title=title)
+    if limit and len(actions) > limit:
+        text += (
+            f"\n({len(actions) - limit} more actions; --actions 0 shows all)"
+        )
+    return text
+
+
+def render_dynamic_timeline(result, limit=25):
+    """A trace-driven dynamic run: reallocation timeline + domain stats.
+
+    ``result`` is a :class:`~repro.sim.trace_engine.DynamicTraceResult`;
+    ``limit`` truncates the timeline (0 shows every reallocation).
+    """
+    timeline = result.timeline
+    shown = timeline if not limit else timeline[:limit]
+    rows = [
+        (
+            str(e["epoch"]),
+            f"{e['time_s']:.1f}",
+            str(e["fg_ways"]),
+            f"{e['mpki']:.1f}",
+            " ".join(
+                f"{name}={e['masks'][name]:#05x}" for name in sorted(e["masks"])
+            ),
+            e["reason"],
+        )
+        for e in shown
+    ]
+    driver = "native epoch kernel" if result.native else "python epoch driver"
+    lines = [
+        format_table(
+            ["epoch", "t (s)", "fg ways", "MPKI", "way masks", "action"],
+            rows,
+            title=f"Trace-driven dynamic partitioning ({driver})",
+        )
+    ]
+    if limit and len(timeline) > limit:
+        lines.append(
+            f"({len(timeline) - limit} more reallocations; "
+            "--actions 0 shows all)"
+        )
+    for name, s in sorted(result.stats.items()):
+        miss_ratio = s.llc_misses / s.accesses if s.accesses else 0.0
+        lines.append(
+            f"{name}: {s.accesses} accesses, avg latency {s.avg_latency:.2f} "
+            f"cycles, LLC miss ratio {100 * miss_ratio:.2f}%"
+        )
+    lines.append(
+        f"{result.epochs} epochs, {len(timeline)} reallocations, "
+        f"{len(result.actions)} controller actions"
+    )
+    return "\n".join(lines)
+
+
 def render_trace_sweep(data, title="Way-utility curves (one profiled co-run)"):
     """Per-domain hits/miss-ratio under every way allocation."""
     curves = data["curves"]

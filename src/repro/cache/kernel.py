@@ -1852,6 +1852,443 @@ def build_native_pair_walk(hierarchy, cores, thinks):
     return loop, finish
 
 
+# ---------------------------------------------------------------------------
+# Epoch-resumable N-domain replay (multiwalk.c + pure-Python reference)
+# ---------------------------------------------------------------------------
+
+# dom[] per-domain slot offsets; must match the D_* enum in multiwalk.c.
+_DOM_STRIDE = 20
+_D_MASK = 2
+_D_POS, _D_LIVE, _D_VTIME = 9, 10, 11
+_D_H1 = 12  # h1, h2, h3, m3, e1, e2, e3 follow contiguously
+_D_E1 = 16
+
+
+def _epoch_replay_supported(hierarchy, cores):
+    """Guards shared by both epoch drivers (the native one adds its own)."""
+    if hierarchy.llc_profiler is not None:
+        return False
+    if len(set(cores)) != len(cores):
+        return False
+    for core in cores:
+        if not _pack_walk_supported(hierarchy, core):
+            return False
+        if not _lean_walk_eligible(hierarchy, core):
+            return False
+    return True
+
+
+def _plain_column(col):
+    """A plain Python list view of a pack column (lists pass through)."""
+    if isinstance(col, list):
+        return col
+    tolist = getattr(col, "tolist", None)
+    return tolist() if tolist is not None else list(col)
+
+
+class PythonEpochReplay:
+    """Reference epoch driver over the lean pack-walk closures.
+
+    Implements the exact scheduler of ``multiwalk.c`` — linear scan for
+    the minimum ``(vtime, slot)`` over live domains, exhausted
+    non-repeating domains retiring without issuing, ``stop_at`` as an
+    absolute issued-access target and ``horizon`` as a virtual-time
+    bound checked before issuing — over the per-core closures from
+    :func:`_build_lean_pack_walk`. Virtual times and slot keys are
+    unique, so the scan order equals the ``(vtime, slot)`` heap order of
+    ``TraceEngine._packed_heap`` and replays are bit-identical to both
+    the heap loop and the native kernel.
+
+    The lean closures capture the LLC way-mask bits at build time, so
+    :meth:`refresh_masks` synchronizes counters and recency state back
+    into the hierarchy and rebuilds every walk against the new masks —
+    a representation hand-off, not a cache flush: every resident line
+    and the full recency order survive, which is the Section 2.1
+    mask-change contract the native kernel gets for free.
+    """
+
+    native = False
+
+    def __init__(self, hierarchy, cores, thinks, lines, sets, lengths,
+                 repeats):
+        self._h = hierarchy
+        self._cores = list(cores)
+        self._thinks = list(thinks)
+        self._lines = [_plain_column(col) for col in lines]
+        self._sets = [_plain_column(col) for col in sets]
+        self._lengths = [int(n) for n in lengths]
+        self._repeats = [bool(r) for r in repeats]
+        n = len(self._cores)
+        self._positions = [0] * n
+        self._vtimes = [0] * n
+        self._lives = [bool(x) for x in self._lengths]
+        self._issued = 0
+        self._totals = [[0, 0, 0, 0] for _ in range(n)]
+        self._build_walks()
+
+    def _build_walks(self):
+        built = [
+            _build_lean_pack_walk(self._h, core, think)
+            for core, think in zip(self._cores, self._thinks)
+        ]
+        self._walks = [b[0] for b in built]
+        self._flushes = [b[1] for b in built]
+        self._reports = [b[2] for b in built]
+
+    @property
+    def issued(self):
+        return self._issued
+
+    def vtimes(self):
+        return list(self._vtimes)
+
+    def counters(self, slot):
+        """Cumulative ``(l1_hits, l2_hits, llc_hits, llc_misses)``."""
+        t = self._totals[slot]
+        r = self._reports[slot]()
+        return (t[0] + r[0], t[1] + r[1], t[2] + r[2], t[3] + r[3])
+
+    def run_epoch(self, stop_at, horizon=-1):
+        """Advance until ``issued == stop_at`` or the merge frontier
+        reaches ``horizon`` (virtual time, -1 to disable); returns the
+        total issued so far. Call again to resume exactly."""
+        walks = self._walks
+        lines, sets = self._lines, self._sets
+        positions, vtimes = self._positions, self._vtimes
+        lives, lengths, repeats = self._lives, self._lengths, self._repeats
+        nslots = len(walks)
+        issued = self._issued
+        while issued < stop_at:
+            best = -1
+            bt = 0
+            for d in range(nslots):
+                if lives[d]:
+                    vt = vtimes[d]
+                    if best < 0 or vt < bt:
+                        best = d
+                        bt = vt
+            if best < 0:
+                break
+            if 0 <= horizon <= bt:
+                break
+            i = positions[best]
+            if i == lengths[best]:
+                if not repeats[best]:
+                    lives[best] = False
+                    continue
+                i = 0
+            vtimes[best] = bt + walks[best](lines[best][i], sets[best][i])
+            positions[best] = i + 1
+            issued += 1
+        self._issued = issued
+        return issued
+
+    def _sync(self):
+        """Bank level counters and push recency state into the levels."""
+        for i in range(len(self._cores)):
+            r = self._reports[i]()
+            t = self._totals[i]
+            t[0] += r[0]
+            t[1] += r[1]
+            t[2] += r[2]
+            t[3] += r[3]
+            self._flushes[i]()
+
+    def refresh_masks(self):
+        """Re-read the hierarchy's way masks; state carries over intact."""
+        self._sync()
+        self._build_walks()
+
+    def llc_resident(self):
+        return sorted(self._h.llc.storage.resident_lines())
+
+    def finish(self):
+        """Deposit stat deltas; returns ``(level counts, vtimes)``."""
+        self._sync()
+        counts = tuple(tuple(t) for t in self._totals)
+        return counts, tuple(self._vtimes)
+
+
+class NativeEpochReplay:
+    """Epoch driver over the compiled ``multiwalk.c`` kernel.
+
+    Snapshots every cache level into flat int64 buffers once, then each
+    :meth:`run_epoch` is a single ``ctypes`` call that advances the
+    replay and returns with all state — tags, valid bits, sharers,
+    recency words, per-domain counters and virtual times, the issued
+    total — intact in those buffers. :meth:`refresh_masks` rewrites only
+    the per-domain mask words, so a partition change between epochs
+    costs nothing and flushes nothing. :meth:`finish` writes the final
+    state back into the :class:`KernelCacheLevel` objects exactly like
+    :func:`build_native_pair_walk`'s ``finish``.
+    """
+
+    native = True
+
+    def __init__(self, hierarchy, cores, thinks, lines, sets, lengths,
+                 repeats, fn):
+        import ctypes
+
+        import numpy as np
+
+        i64 = np.int64
+        h = hierarchy
+        llc = h.llc.storage
+        num_cores = h.num_cores
+        self._h = h
+        self._cores = list(cores)
+        self._fn = fn
+        self._llc_W = llc.num_ways
+
+        l1_touch, l1_fill = _np_lru8_tables()
+        l2_touch, l2_fill = _np_plru8_tables(h.l2[cores[0]])
+        pset, pclr, pleft, pright = _np_llc_geometry(llc)
+        _, _, l1_perms, l1_perm_index = _lru8_tables()
+        self._l1_perms = l1_perms
+
+        g_tags = np.array(llc._tags, dtype=i64)
+        g_sharers = np.array(llc._sharers, dtype=i64)
+        g_valid = np.array(llc._valid, dtype=i64)
+        g_plru = np.array(llc._plru, dtype=i64)
+        self._g_tags, self._g_sharers = g_tags, g_sharers
+        self._g_valid, self._g_plru = g_valid, g_plru
+
+        i1_tags = np.concatenate(
+            [np.array(h.l1[c]._tags, dtype=i64) for c in range(num_cores)]
+        )
+        i1_valid = np.concatenate(
+            [np.array(h.l1[c]._valid, dtype=i64) for c in range(num_cores)]
+        )
+        i2_tags = np.concatenate(
+            [np.array(h.l2[c]._tags, dtype=i64) for c in range(num_cores)]
+        )
+        i2_valid = np.concatenate(
+            [np.array(h.l2[c]._valid, dtype=i64) for c in range(num_cores)]
+        )
+        self._i1_tags, self._i1_valid = i1_tags, i1_valid
+        self._i2_tags, self._i2_valid = i2_tags, i2_valid
+
+        # All-core recency buffers; only participating cores' segments
+        # are ever read or written by the kernel (back-invalidations
+        # touch tags/valid, never recency — same as the object model).
+        l1_sets = h.l1[cores[0]].num_sets
+        l2_sets = h.l2[cores[0]].num_sets
+        self._l1_sets, self._l2_sets = l1_sets, l2_sets
+        l1_state = np.zeros(num_cores * l1_sets, dtype=i64)
+        l2_plru = np.zeros(num_cores * l2_sets, dtype=i64)
+        for core in cores:
+            l1_state[core * l1_sets:(core + 1) * l1_sets] = (
+                _l1_perm_state(h.l1[core], l1_perm_index)
+            )
+            l2_plru[core * l2_sets:(core + 1) * l2_sets] = h.l2[core]._plru
+        self._l1_state, self._l2_plru = l1_state, l2_plru
+
+        cfg = np.zeros(8, dtype=i64)
+        cfg[0] = len(cores)
+        cfg[1] = llc._leaves
+        cfg[2] = llc.num_ways
+        cfg[3] = h.l1[cores[0]]._mod_mask
+        cfg[4] = h.l2[cores[0]]._mod_mask
+        cfg[5] = num_cores
+        self._cfg = cfg
+
+        dom = np.zeros(len(cores) * _DOM_STRIDE, dtype=i64)
+        for slot, (core, think) in enumerate(zip(cores, thinks)):
+            base = slot * _DOM_STRIDE
+            dom[base + 0] = core
+            dom[base + 1] = 1 << core
+            dom[base + 2] = h.llc._mask_bits[core]
+            dom[base + 3:base + 7] = (
+                4 + think, 12 + think, 30 + think, 200 + think,
+            )
+            dom[base + 7] = int(lengths[slot])
+            dom[base + 8] = bool(repeats[slot])
+            dom[base + _D_LIVE] = 1 if lengths[slot] else 0
+        self._dom = dom
+
+        def _col(col):
+            return np.ascontiguousarray(np.asarray(col, dtype=i64))
+
+        self._line_cols = [_col(c) for c in lines]
+        self._set_cols = [_col(c) for c in sets]
+        line_ptrs = np.array(
+            [c.ctypes.data for c in self._line_cols], dtype=np.uintp
+        )
+        set_ptrs = np.array(
+            [c.ctypes.data for c in self._set_cols], dtype=np.uintp
+        )
+
+        bi = np.zeros(2 * num_cores, dtype=i64)
+        sched = np.zeros(1, dtype=i64)
+        self._bi, self._sched = bi, sched
+
+        # Every buffer is owned by self (or a process-wide table memo),
+        # so its address is stable for the driver's lifetime: bind the
+        # whole ctypes argument list once.
+        arrays = (
+            cfg, dom, line_ptrs, set_ptrs,
+            g_tags, g_sharers, g_valid, g_plru,
+            pset, pclr, pleft, pright,
+            l1_touch, l1_fill, l2_touch, l2_fill,
+            i1_tags, i1_valid, l1_state,
+            i2_tags, i2_valid, l2_plru,
+            bi, sched,
+        )
+        self._keep = arrays
+        self._args = [ctypes.c_void_p(a.ctypes.data) for a in arrays]
+
+    @property
+    def issued(self):
+        return int(self._sched[0])
+
+    def vtimes(self):
+        dom = self._dom
+        return [
+            int(dom[s * _DOM_STRIDE + _D_VTIME])
+            for s in range(len(self._cores))
+        ]
+
+    def counters(self, slot):
+        """Cumulative ``(l1_hits, l2_hits, llc_hits, llc_misses)``."""
+        base = slot * _DOM_STRIDE + _D_H1
+        return tuple(int(x) for x in self._dom[base:base + 4])
+
+    def run_epoch(self, stop_at, horizon=-1):
+        cfg = self._cfg
+        cfg[6] = stop_at
+        cfg[7] = horizon
+        self._fn(*self._args)
+        return int(self._sched[0])
+
+    def refresh_masks(self):
+        """Re-read the hierarchy's way masks; nothing else changes."""
+        dom = self._dom
+        mask_bits = self._h.llc._mask_bits
+        for slot, core in enumerate(self._cores):
+            dom[slot * _DOM_STRIDE + _D_MASK] = mask_bits[core]
+
+    def llc_resident(self):
+        lines = []
+        tags = self._g_tags
+        valid = self._g_valid
+        W = self._llc_W
+        for s in range(len(valid)):
+            v = int(valid[s])
+            base = s * W
+            while v:
+                low = v & -v
+                v ^= low
+                lines.append(int(tags[base + low.bit_length() - 1]))
+        return sorted(lines)
+
+    def finish(self):
+        """Write all state back into the hierarchy; call exactly once."""
+        h = self._h
+        llc = h.llc.storage
+        num_cores = h.num_cores
+        llc._tags[:] = self._g_tags.tolist()
+        llc._sharers[:] = self._g_sharers.tolist()
+        llc._valid[:] = self._g_valid.tolist()
+        llc._plru[:] = self._g_plru.tolist()
+        _rebuild_lookup(llc._lookup, llc._tags, llc._valid, llc.num_ways)
+        s1 = self._l1_sets
+        s2 = self._l2_sets
+        for c in range(num_cores):
+            l1 = h.l1[c]
+            l1._tags[:] = self._i1_tags[c * s1 * 8:(c + 1) * s1 * 8].tolist()
+            l1._valid[:] = self._i1_valid[c * s1:(c + 1) * s1].tolist()
+            _rebuild_lookup(l1._lookup, l1._tags, l1._valid, 8)
+            bi = int(self._bi[c])
+            if bi:
+                l1.stats.back_invalidations += bi
+            l2 = h.l2[c]
+            l2._tags[:] = self._i2_tags[c * s2 * 8:(c + 1) * s2 * 8].tolist()
+            l2._valid[:] = self._i2_valid[c * s2:(c + 1) * s2].tolist()
+            _rebuild_lookup(l2._lookup, l2._tags, l2._valid, 8)
+            bi = int(self._bi[num_cores + c])
+            if bi:
+                l2.stats.back_invalidations += bi
+        dom = self._dom
+        llc_stats = llc.stats
+        l1_perms = self._l1_perms
+        counts = []
+        for slot, core in enumerate(self._cores):
+            h1, h2, h3, m3 = self.counters(slot)
+            base = slot * _DOM_STRIDE + _D_E1
+            e1, e2, e3 = (int(x) for x in dom[base:base + 3])
+            m2 = h3 + m3
+            m1 = h2 + m2
+            l1 = h.l1[core]
+            _flush_level_deltas(l1.stats, h1, m1, e1, 0, core)
+            _flush_level_deltas(h.l2[core].stats, h2, m2, e2, 0, core)
+            _flush_level_deltas(llc_stats, h3, m3, e3, 0, core)
+            counts.append((h1, h2, h3, m3))
+            final_state = self._l1_state[core * s1:(core + 1) * s1].tolist()
+            h.l2[core]._plru[:] = (
+                self._l2_plru[core * s2:(core + 1) * s2].tolist()
+            )
+            l1_stamp = l1._stamp
+            clock = l1._clock
+            top = clock + 7
+            for s in range(len(final_state)):
+                perm = l1_perms[final_state[s]]
+                sbase = s << 3
+                for rank in range(8):
+                    l1_stamp[sbase + perm[rank]] = top - rank
+            l1._clock = clock + 8
+        return tuple(counts), tuple(self.vtimes())
+
+
+def build_python_epoch_replay(hierarchy, cores, thinks, lines, sets,
+                              lengths, repeats):
+    """The pure-Python reference epoch driver, or ``None`` if the lean
+    preconditions (read-only state, 8-way mod-indexed inner levels, no
+    profiler) don't hold."""
+    if not _epoch_replay_supported(hierarchy, cores):
+        return None
+    return PythonEpochReplay(
+        hierarchy, cores, thinks, lines, sets, lengths, repeats
+    )
+
+
+def build_native_epoch_replay(hierarchy, cores, thinks, lines, sets,
+                              lengths, repeats):
+    """Epoch driver over the compiled ``multiwalk.c`` kernel, or ``None``
+    whenever :func:`build_python_epoch_replay` would decline, the kernel
+    is unavailable (no compiler, ``REPRO_NATIVE=0``), or the geometry
+    deviates from the uniform flat layout the C code assumes."""
+    if not _epoch_replay_supported(hierarchy, cores):
+        return None
+    if len(cores) > 16:
+        return None
+    h = hierarchy
+    llc = h.llc.storage
+    if llc.num_ways > 62:
+        return None
+    l1_mod = h.l1[cores[0]]._mod_mask
+    l2_mod = h.l2[cores[0]]._mod_mask
+    for c in range(h.num_cores):
+        l1 = h.l1[c]
+        l2 = h.l2[c]
+        if not isinstance(l1, KernelCacheLevel) or not isinstance(
+            l2, KernelCacheLevel
+        ):
+            return None
+        if l1.num_ways != 8 or l2.num_ways != 8:
+            return None
+        if l1._mod_mask != l1_mod or l2._mod_mask != l2_mod:
+            return None
+
+    from repro.cache import native
+
+    fn = native.multi_walk_fn()
+    if fn is None:
+        return None
+    return NativeEpochReplay(
+        h, cores, thinks, lines, sets, lengths, repeats, fn
+    )
+
+
 def _build_general_pack_walk(hierarchy, core, think_cycles):
     l1 = hierarchy.l1[core]
     l2 = hierarchy.l2[core]

@@ -1,14 +1,19 @@
-"""On-demand compilation of the native pack-replay kernel.
+"""On-demand compilation of the native pack-replay kernels.
 
-``pairwalk.c`` (next to this module) implements the fused two-domain
-lean replay loop over flat int64 state arrays. This module compiles it
-once per source revision with whatever ``cc``/``gcc`` the host offers,
-caches the shared object under the trace-pack cache directory, and
-loads it with :mod:`ctypes`. Everything is best-effort: no compiler,
-a failed compile, or ``REPRO_NATIVE=0`` simply means
-:func:`pair_walk_fn` returns ``None`` and callers stay on the
-pure-Python loop — results are bit-identical either way, the native
-kernel is only faster.
+``pairwalk.c`` (the fused two-domain lean replay loop) and
+``multiwalk.c`` (its N-domain, epoch-resumable generalization) live next
+to this module. Each is compiled once per source revision with whatever
+``cc``/``gcc`` the host offers, cached as a shared object under the
+trace-pack cache directory, and loaded with :mod:`ctypes`. Everything is
+best-effort: no compiler, a failed compile, or ``REPRO_NATIVE=0`` simply
+means the ``*_fn`` accessors return ``None`` and callers stay on the
+pure-Python loops — results are bit-identical either way, the native
+kernels are only faster.
+
+"Best-effort" no longer means "silent": the first failure per kernel is
+recorded and :func:`kernel_status` reports it, so ``repro trace-sweep
+--engine-stat`` (via ``format_engine_stat``) can answer "why is native
+off?" without strace archaeology.
 """
 
 import ctypes
@@ -19,11 +24,20 @@ import subprocess
 import tempfile
 
 _ENV_GATE = "REPRO_NATIVE"
-_SOURCE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "pairwalk.c")
+_HERE = os.path.dirname(os.path.abspath(__file__))
 
-# Tri-state memo: unset -> not tried, None -> unavailable, else the
-# ctypes function. Per-process, like the kernel's table memos.
-_PAIR_WALK = ()
+# kernel name -> (C source next to this module, exported symbol)
+_KERNELS = {
+    "pairwalk": ("pairwalk.c", "repro_pair_walk"),
+    "multiwalk": ("multiwalk.c", "repro_multi_walk"),
+}
+
+# Tri-state memo per kernel: absent -> not tried, None -> unavailable,
+# else the ctypes function. Per-process, like the kernel's table memos.
+_LOADED = {}
+# kernel name -> human-readable reason it is unavailable (recorded once,
+# on the first failed load attempt).
+_REASONS = {}
 
 
 def enabled():
@@ -49,37 +63,70 @@ def _compiler():
     return None
 
 
-def _build_library():
-    """Compile pairwalk.c -> cached .so; returns the path or None."""
+def _build_library(name):
+    """Compile ``<name>.c`` -> cached .so; returns ``(path, reason)``.
+
+    Exactly one of the pair is ``None``: a path on success, else the
+    human-readable reason the kernel is unavailable.
+    """
+    filename, _ = _KERNELS[name]
+    source_path = os.path.join(_HERE, filename)
     try:
-        with open(_SOURCE, "rb") as fh:
+        with open(source_path, "rb") as fh:
             source = fh.read()
-    except OSError:
-        return None
+    except OSError as exc:
+        return None, f"source unreadable: {exc}"
     digest = hashlib.sha256(source).hexdigest()[:16]
     cache = _cache_dir()
-    target = os.path.join(cache, f"pairwalk-{digest}.so")
+    target = os.path.join(cache, f"{name}-{digest}.so")
     if os.path.exists(target):
-        return target
+        return target, None
     cc = _compiler()
     if cc is None:
-        return None
+        return None, "no C compiler found ($CC, cc, gcc, clang)"
     try:
         os.makedirs(cache, exist_ok=True)
         fd, tmp = tempfile.mkstemp(suffix=".so", dir=cache)
         os.close(fd)
         proc = subprocess.run(
-            [cc, "-O2", "-shared", "-fPIC", "-o", tmp, _SOURCE],
+            [cc, "-O2", "-shared", "-fPIC", "-o", tmp, source_path],
             capture_output=True,
             timeout=120,
         )
         if proc.returncode != 0:
             os.unlink(tmp)
-            return None
+            stderr = proc.stderr.decode("utf-8", "replace").strip()
+            first = stderr.splitlines()[0] if stderr else "no diagnostics"
+            return None, f"{cc} failed: {first}"
         os.replace(tmp, target)  # atomic: concurrent builders converge
-        return target
-    except (OSError, subprocess.SubprocessError):
-        return None
+        return target, None
+    except (OSError, subprocess.SubprocessError) as exc:
+        return None, f"compile error: {exc}"
+
+
+def _load(name):
+    """Tri-state load of one kernel; records the failure reason once."""
+    if name in _LOADED:
+        return _LOADED[name]
+    fn = None
+    if not enabled():
+        _REASONS[name] = (
+            f"disabled ({_ENV_GATE}={os.environ.get(_ENV_GATE)!r})"
+        )
+    else:
+        path, reason = _build_library(name)
+        if path is None:
+            _REASONS[name] = reason
+        else:
+            try:
+                lib = ctypes.CDLL(path)
+                fn = getattr(lib, _KERNELS[name][1])
+                fn.restype = ctypes.c_int64
+            except (OSError, AttributeError) as exc:
+                fn = None
+                _REASONS[name] = f"load failed: {exc}"
+    _LOADED[name] = fn
+    return fn
 
 
 def pair_walk_fn():
@@ -89,24 +136,36 @@ def pair_walk_fn():
     int64 column/state arrays plus the int32 recency tables; see
     pairwalk.c for the exact argument and ``cfg``/``out`` layouts.
     """
-    global _PAIR_WALK
-    if _PAIR_WALK != ():
-        return _PAIR_WALK
-    fn = None
-    if enabled():
-        path = _build_library()
-        if path is not None:
-            try:
-                lib = ctypes.CDLL(path)
-                fn = lib.repro_pair_walk
-                fn.restype = ctypes.c_int64
-            except OSError:
-                fn = None
-    _PAIR_WALK = fn
-    return fn
+    return _load("pairwalk")
+
+
+def multi_walk_fn():
+    """The compiled ``repro_multi_walk`` entry point, or ``None``.
+
+    See multiwalk.c for the argument list and the persistent
+    ``cfg``/``dom``/``sched`` buffer layouts; the Python owner of those
+    buffers is :func:`repro.cache.kernel.build_native_epoch_replay`.
+    """
+    return _load("multiwalk")
+
+
+def kernel_status():
+    """``{kernel: "ok" | reason}`` for every native kernel.
+
+    Forces a load attempt for kernels not yet tried, so the answer is
+    definitive — this backs the ``native-kernel`` lines in
+    ``format_engine_stat`` / ``repro trace-sweep --engine-stat``.
+    """
+    status = {}
+    for name in _KERNELS:
+        if _load(name) is not None:
+            status[name] = "ok"
+        else:
+            status[name] = _REASONS.get(name, "unavailable")
+    return status
 
 
 def reset():
-    """Forget the memoized library (tests toggle REPRO_NATIVE)."""
-    global _PAIR_WALK
-    _PAIR_WALK = ()
+    """Forget the memoized libraries (tests toggle REPRO_NATIVE)."""
+    _LOADED.clear()
+    _REASONS.clear()

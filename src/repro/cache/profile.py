@@ -223,19 +223,34 @@ def brute_force_hits(trace_factory, ways, num_sets=LLC_NUM_SETS,
 
 
 def verify_profile(trace_factory, way_counts=None, num_sets=LLC_NUM_SETS,
-                   num_ways=LLC_NUM_WAYS, indexing="hash", backend="object"):
+                   num_ways=LLC_NUM_WAYS, indexing="hash", backend="object",
+                   use_pack=False):
     """Compare the single-pass profile to per-mask re-simulation.
 
     Returns ``[(ways, profiled_hits, brute_hits), ...]``; the two columns
     must be equal under true LRU. Raises ValidationError on any mismatch
     so callers (CLI ``--check``, CI) fail loudly.
+
+    With ``use_pack`` both columns replay the compiled trace pack — the
+    profile on the vectorized pack profiler, the brute-force passes over
+    the pack's raw line column — so a disk-cached pack verifies without
+    regenerating the trace N+1 times.
     """
     ways_list = list(way_counts or range(1, num_ways + 1))
-    curve = WaySweep(num_sets, num_ways, indexing).run_single(trace_factory)
+    sweep = WaySweep(num_sets, num_ways, indexing)
+    if use_pack:
+        from repro.workloads.tracepack import get_pack
+
+        pack = get_pack(trace_factory())
+        curve = sweep.run_pack(pack)[0]
+        source = pack.lines_list
+    else:
+        curve = sweep.run_single(trace_factory)
+        source = trace_factory
     rows = []
     for ways in ways_list:
         brute = brute_force_hits(
-            trace_factory, ways, num_sets=num_sets, indexing=indexing,
+            source, ways, num_sets=num_sets, indexing=indexing,
             backend=backend,
         )
         rows.append((ways, curve.hits(ways), brute))

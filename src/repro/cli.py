@@ -9,6 +9,8 @@ Commands mirror the workflows of the paper's evaluation:
 - ``dynamic FG BG`` — run the Algorithm 6.1/6.2 controller, print its trace.
 - ``figure ID`` — regenerate a paper figure/table (1, 2, ..., 13, headline).
 - ``trace-sweep`` — way-allocation utility curves from one profiled replay.
+- ``trace-dynamic`` — the dynamic controller driving an address-level
+  trace co-run through the epoch-resumable replay kernel.
 """
 
 import argparse
@@ -17,7 +19,7 @@ import sys
 from repro.analysis import Characterizer, ConsolidationStudy
 from repro.analysis.classify import classify_llc_utility, classify_scalability
 from repro.sim import Machine
-from repro.util.errors import ReproError
+from repro.util.errors import ReproError, ValidationError
 from repro.util.tables import format_table
 from repro.workloads import all_applications, get_application
 
@@ -51,6 +53,12 @@ def _build_parser():
     dyn = sub.add_parser("dynamic", help="run the dynamic controller")
     dyn.add_argument("fg")
     dyn.add_argument("bg", nargs="+")
+    dyn.add_argument(
+        "--actions",
+        type=int,
+        default=25,
+        help="reallocation actions to print (0 = all)",
+    )
 
     fig = sub.add_parser("figure", help="regenerate a paper figure/table")
     fig.add_argument("id", help="1..13 or 'headline'")
@@ -119,6 +127,54 @@ def _build_parser():
         action="store_true",
         help="print the engine's own perf-stat block (pack cache "
         "hits/misses, profiler passes) after the sweep",
+    )
+    sweep.add_argument(
+        "--domains",
+        type=int,
+        default=2,
+        help="co-running domains including the foreground (2-4; "
+        "requires --co-run)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the --check fan-out "
+        "(default: REPRO_WORKERS or 1)",
+    )
+
+    tdyn = sub.add_parser(
+        "trace-dynamic",
+        help="dynamic controller over an address-level trace co-run "
+        "(epoch-resumable replay, flush-free reallocation)",
+    )
+    tdyn.add_argument(
+        "--trace",
+        default="chase",
+        choices=tuple(trace_kinds()),
+        help="synthetic trace kind for the foreground",
+    )
+    tdyn.add_argument("--accesses", type=int, default=12_000)
+    tdyn.add_argument("--footprint-mb", type=float, default=8.0)
+    tdyn.add_argument("--alpha", type=float, default=0.9, help="zipf skew")
+    tdyn.add_argument("--seed", type=int, default=7)
+    tdyn.add_argument(
+        "--epoch-accesses",
+        type=int,
+        default=4_000,
+        help="combined accesses per control epoch",
+    )
+    tdyn.add_argument("--total-accesses", type=int, default=200_000)
+    tdyn.add_argument(
+        "--actions",
+        type=int,
+        default=25,
+        help="timeline entries to print (0 = all)",
+    )
+    tdyn.add_argument(
+        "--engine-stat",
+        action="store_true",
+        help="print the engine's own perf-stat block after the run",
     )
 
     cmp_ = sub.add_parser("compare", help="diff two evaluate artifact sets")
@@ -296,11 +352,12 @@ def _cmd_dynamic(args, out):
         )
         pair = group
         bg_rate = group.bg_rate_ips
-    rows = [
-        (f"{a.time_s:.1f}", a.fg_ways, f"{a.mpki:.1f}", a.reason)
-        for a in controller.actions[:25]
-    ]
-    out.write(format_table(["t (s)", "fg ways", "MPKI", "action"], rows) + "\n")
+    from repro.analysis.render import render_controller_actions
+
+    out.write(
+        render_controller_actions(controller.actions, limit=args.actions)
+        + "\n"
+    )
     out.write(
         f"fg runtime {pair.fg.runtime_s:.1f} s; background {bg_rate / 1e9:.2f} "
         f"Ginstr/s; {len(controller.actions)} reallocations\n"
@@ -401,11 +458,15 @@ def _cmd_evaluate(args, out):
         out.write(f"{stage}: {path}\n")
 
 
-def _trace_factory(args):
+def _trace_factory(args, length=None, tid=0):
+    """A picklable factory for the CLI-selected trace (``functools.partial``
+    of the registry constructor, so process-pool checks can ship it)."""
+    import functools
+
     from repro.util.units import MB
     from repro.workloads.trace import make_trace
 
-    n = args.accesses
+    n = length if length is not None else args.accesses
     footprint = int(args.footprint_mb * MB)
     kind = args.trace
     positional, kwargs = {
@@ -414,21 +475,31 @@ def _trace_factory(args):
         "stride": ((), {"stride": 256}),
         "chase": ((footprint,), {"seed": args.seed}),
     }.get(kind, ((footprint,), {}))
-    return lambda: make_trace(kind, n, *positional, **kwargs)
+    return functools.partial(
+        make_trace, kind, n, *positional, tid=tid, **kwargs
+    )
 
 
 def _cmd_trace_sweep(args, out):
-    from repro.analysis.experiments import trace_way_utility
+    from repro.analysis.experiments import (
+        background_factories,
+        trace_way_utility,
+        verify_trace_domains,
+    )
     from repro.analysis.render import render_trace_sweep
     from repro.cache.profile import WaySweep, verify_profile
 
+    if args.domains != 2 and not args.co_run:
+        raise ValidationError("--domains needs --co-run")
     way_counts = (
         [int(w) for w in args.ways.split(",")] if args.ways else None
     )
     factory = _trace_factory(args)
     use_packs = not args.no_pack
     if args.co_run:
-        data = trace_way_utility(fg_factory=factory, use_packs=use_packs)
+        data = trace_way_utility(
+            fg_factory=factory, use_packs=use_packs, domains=args.domains
+        )
         out.write(render_trace_sweep(data) + "\n")
     else:
         if use_packs:
@@ -445,11 +516,62 @@ def _cmd_trace_sweep(args, out):
             + "\n"
         )
     if args.check:
-        rows = verify_profile(factory, way_counts=way_counts, backend="kernel")
-        out.write(
-            f"check: profiled hits match per-mask re-simulation at "
-            f"{len(rows)} allocations\n"
-        )
+        if args.co_run:
+            factories = [factory] + [
+                f for _, f, _, _ in background_factories(args.domains)
+            ]
+            cells = verify_trace_domains(
+                factories, way_counts=way_counts, workers=args.workers,
+                use_packs=use_packs,
+            )
+            out.write(
+                f"check: profiled hits match per-mask re-simulation for "
+                f"{len(cells)} domains x {len(cells[0])} allocations\n"
+            )
+        else:
+            rows = verify_profile(
+                factory, way_counts=way_counts, backend="kernel",
+                use_pack=use_packs,
+            )
+            out.write(
+                f"check: profiled hits match per-mask re-simulation at "
+                f"{len(rows)} allocations\n"
+            )
+    if args.engine_stat:
+        from repro.perf.stat import format_engine_stat
+
+        out.write(format_engine_stat() + "\n")
+
+
+def _cmd_trace_dynamic(args, out):
+    import functools
+
+    from repro.analysis.render import render_dynamic_timeline
+    from repro.core.dynamic import DynamicPartitionController
+    from repro.sim.trace_engine import TraceEngine, TraceWorkload
+    from repro.util.units import MB
+    from repro.workloads.trace import make_trace
+
+    workloads = [
+        TraceWorkload("fg", _trace_factory(args, tid=0), tid=0,
+                      think_cycles=6),
+        TraceWorkload(
+            "bg",
+            functools.partial(make_trace, "stream", args.accesses,
+                              int(8 * MB), tid=4),
+            tid=4,
+            think_cycles=2,
+        ),
+    ]
+    engine = TraceEngine(prefetchers_on=False, backend="kernel")
+    controller = DynamicPartitionController("fg", "bg")
+    result = engine.run_dynamic(
+        workloads,
+        controller,
+        epoch_accesses=args.epoch_accesses,
+        total_accesses=args.total_accesses,
+    )
+    out.write(render_dynamic_timeline(result, limit=args.actions) + "\n")
     if args.engine_stat:
         from repro.perf.stat import format_engine_stat
 
@@ -481,6 +603,7 @@ _COMMANDS = {
     "dynamic": _cmd_dynamic,
     "figure": _cmd_figure,
     "trace-sweep": _cmd_trace_sweep,
+    "trace-dynamic": _cmd_trace_dynamic,
 }
 
 

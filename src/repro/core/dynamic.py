@@ -28,6 +28,18 @@ class ControllerAction:
     mpki: float
 
 
+def mpki_window(misses, accesses):
+    """Misses per kilo-access over one measurement window.
+
+    The trace engine has no instruction counts, so accesses stand in
+    for (kilo-)instructions — a fixed rescaling that leaves every
+    relative-change test in the controller and the phase detector
+    unchanged. Integer inputs make the result reproducible to the bit
+    across replay backends.
+    """
+    return 1000.0 * misses / accesses if accesses else 0.0
+
+
 class DynamicPartitionController:
     """Algorithm 6.2, driving fg/bg way masks from foreground MPKI."""
 

@@ -9,7 +9,7 @@ chunked, fallback-to-serial primitive; :func:`run_tasks` binds it to a
 :class:`~repro.sim.engine.Machine` rebuilt once per worker process.
 """
 
-from repro.exec.pool import parallel_map, resolve_workers
+from repro.exec.pool import parallel_map, persisted_pack_paths, resolve_workers
 from repro.exec.workers import (
     MachineSpec,
     build_machine,
@@ -23,6 +23,7 @@ __all__ = [
     "build_machine",
     "machine_spec",
     "parallel_map",
+    "persisted_pack_paths",
     "resolve_workers",
     "run_tasks",
     "worker_machine",

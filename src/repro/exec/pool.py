@@ -54,6 +54,18 @@ def _serial_map(fn, items, initializer, initargs):
     return [fn(item) for item in items]
 
 
+def persisted_pack_paths(packs):
+    """On-disk directories of the already-persisted packs.
+
+    Memory-only packs (``pack.path is None``) are skipped — a worker
+    that needs one recompiles it locally, which keeps the fan-out
+    correct at the cost of that one pack's compile time. The result
+    feeds ``parallel_map(..., pack_paths=...)`` so N-domain sweeps ship
+    paths to workers, never arrays.
+    """
+    return tuple(p.path for p in packs if getattr(p, "path", None))
+
+
 def pack_initializer(pack_paths, initializer=None, initargs=()):
     """Compose a worker initializer that pre-opens compiled trace packs.
 

@@ -121,6 +121,15 @@ def format_engine_stat(counters=None):
     for event, value, note in rows:
         annotation = f"   # {note}" if note else ""
         lines.append(f"  {_fmt(value):>14}  {event}{annotation}")
+    # Native replay kernels are part of the measured system: report
+    # each as "ok" or the recorded reason it is off (no compiler,
+    # REPRO_NATIVE=0, compile failure) so "why is native off?" is
+    # answerable from the same block.
+    from repro.cache import native
+
+    lines.append("")
+    for name, status in sorted(native.kernel_status().items()):
+        lines.append(f"  native-kernel/{name}: {status}")
     return "\n".join(lines)
 
 

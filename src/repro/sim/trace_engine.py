@@ -57,6 +57,24 @@ class TraceStats:
         return 1000.0 * self.accesses / self.cycles if self.cycles else 0.0
 
 
+@dataclass
+class DynamicTraceResult:
+    """Outcome of a trace-driven dynamic-partitioning co-run.
+
+    ``timeline`` holds one entry per applied reallocation (epoch index,
+    controller time, foreground ways, reason, MPKI sample, and the full
+    name -> way-bitmask map) — the trace-level analogue of the action
+    trail `repro dynamic` prints for the analytical engine. It is
+    byte-equal between the native and pure-Python epoch drivers.
+    """
+
+    stats: dict
+    timeline: list
+    actions: list
+    epochs: int
+    native: bool
+
+
 class TraceEngine:
     """Virtual-time interleaving of traces over one cache hierarchy.
 
@@ -187,6 +205,7 @@ class TraceEngine:
 
         from repro.cache.kernel import (
             build_lean_pair_walk,
+            build_native_epoch_replay,
             build_native_pair_walk,
             build_pack_walk,
         )
@@ -198,6 +217,8 @@ class TraceEngine:
             # state; the generic path handles shared cores.
             return self.run(workloads, total_accesses)
         thinks = [w.think_cycles for w in workloads]
+        llc = hierarchy.llc.storage
+        llc_indexing = "mod" if llc._mod_mask >= 0 else "hash"
         built = None
         pair = None
         native_pair = False
@@ -211,6 +232,33 @@ class TraceEngine:
             native_pair = pair is not None
             if pair is None:
                 pair = build_lean_pair_walk(hierarchy, cores, thinks)
+        if pair is None and lean and len(workloads) >= 3:
+            # N-domain lean co-runs replay as one whole-run epoch of the
+            # resumable multiwalk kernel, retiring `_packed_heap` from
+            # the hot path (it stays as the no-native fallback and the
+            # reference the lockstep tests replay against).
+            raw_lines = [p.line for p in packs]
+            raw_sets = [
+                p.set_column(llc.num_sets, llc_indexing) for p in packs
+            ]
+            multi = build_native_epoch_replay(
+                hierarchy, cores, thinks, raw_lines, raw_sets,
+                [len(c) for c in raw_lines],
+                [w.repeat for w in workloads],
+            )
+            if multi is not None:
+                gc_was_enabled = gc.isenabled()
+                if gc_was_enabled:
+                    gc.disable()
+                try:
+                    multi.run_epoch(total_accesses)
+                finally:
+                    if gc_was_enabled:
+                        gc.enable()
+                grabbed, multi_vtimes = multi.finish()
+                return self._packed_stats(
+                    workloads, list(grabbed), list(multi_vtimes), packs
+                )
         if pair is None and lean:
             built = [
                 build_pack_walk(hierarchy, core, think_cycles=think, lean=True)
@@ -231,8 +279,6 @@ class TraceEngine:
             flushes = [b[1] for b in built]
             reports = [b[2] for b in built]
 
-        llc = hierarchy.llc.storage
-        llc_indexing = "mod" if llc._mod_mask >= 0 else "hash"
         if native_pair:
             # The compiled kernel consumes the columns as raw int64
             # arrays (memmap-backed for disk packs) — no list
@@ -307,6 +353,159 @@ class TraceEngine:
             for flush in flushes:
                 flush()
         return self._packed_stats(workloads, grabbed, vtimes, packs)
+
+    def run_dynamic(self, workloads, controller, epoch_accesses=5_000,
+                    total_accesses=100_000, packs=None, pack_cache=None,
+                    pack_store=True):
+        """Trace-driven dynamic partitioning: epoch replay + controller.
+
+        Replays the co-run in epochs of ``epoch_accesses`` combined
+        accesses; after each epoch the per-domain LLC miss/access deltas
+        become an MPKI window fed to ``controller.on_tick`` (one epoch =
+        one control period), and any masks the controller returns are
+        applied to the hierarchy *without flushing anything* — every
+        resident line and the full recency state carry straight across
+        the reallocation, which is the Section 2.1 mechanism semantics
+        the analytical ``repro dynamic`` can only model. Uses the native
+        epoch kernel when available, else the bit-identical pure-Python
+        epoch driver; stats and the reallocation timeline are byte-equal
+        either way. Returns a :class:`DynamicTraceResult`.
+        """
+        if len(workloads) < 2:
+            raise ValidationError("dynamic partitioning needs >= 2 workloads")
+        names = [w.name for w in workloads]
+        if len(set(names)) != len(names):
+            raise ValidationError("workload names must be unique")
+        if epoch_accesses < 1:
+            raise ValidationError("epoch_accesses must be positive")
+        hierarchy = self.hierarchy
+        if not self.fast_loop or hierarchy.prefetchers_enabled():
+            raise ValidationError(
+                "run_dynamic needs the fast loop with prefetchers off"
+            )
+        if packs is None:
+            from repro.workloads.trace import _TraceBase
+            from repro.workloads.tracepack import get_pack
+
+            packs = []
+            for w in workloads:
+                source = w.trace_factory()
+                if not isinstance(source, _TraceBase):
+                    raise ValidationError(
+                        f"workload {w.name!r} is not pack-compilable"
+                    )
+                packs.append(
+                    get_pack(source, cache=pack_cache, store=pack_store)
+                )
+        elif len(packs) != len(workloads):
+            raise ValidationError("need one pack per workload")
+        if any(p.writes_list() is not None for p in packs):
+            raise ValidationError(
+                "run_dynamic supports read-only (lean) traces only"
+            )
+
+        core_of = hierarchy.core_of_tid
+        cores = [core_of(w.tid) for w in workloads]
+        if len(set(cores)) != len(cores):
+            raise ValidationError("workloads must run on distinct cores")
+        core_by_name = dict(zip(names, cores))
+        initial = controller.masks()
+        if set(initial) != set(names):
+            raise ValidationError(
+                "controller domain names must match the workload names"
+            )
+        # Masks first, then the replay builders capture them.
+        for name, mask in initial.items():
+            hierarchy.set_way_mask(core_by_name[name], mask)
+
+        from repro.cache.kernel import (
+            build_native_epoch_replay,
+            build_python_epoch_replay,
+        )
+        from repro.core.dynamic import mpki_window
+
+        thinks = [w.think_cycles for w in workloads]
+        llc = hierarchy.llc.storage
+        llc_indexing = "mod" if llc._mod_mask >= 0 else "hash"
+        repeats = [w.repeat for w in workloads]
+        lengths = [len(p.line) for p in packs]
+        replay = build_native_epoch_replay(
+            hierarchy, cores, thinks,
+            [p.line for p in packs],
+            [p.set_column(llc.num_sets, llc_indexing) for p in packs],
+            lengths, repeats,
+        )
+        if replay is None:
+            replay = build_python_epoch_replay(
+                hierarchy, cores, thinks,
+                [p.lines_list() for p in packs],
+                [p.sets_list(llc.num_sets, llc_indexing) for p in packs],
+                lengths, repeats,
+            )
+        if replay is None:
+            raise ValidationError(
+                "run_dynamic needs the lean kernel replay (kernel "
+                "backend, read-only traces, no profiler attached)"
+            )
+
+        period_s = controller.period_s
+        prev = [(0, 0, 0, 0)] * len(workloads)
+        timeline = []
+        epoch = 0
+        issued = 0
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while issued < total_accesses:
+                target = issued + epoch_accesses
+                if target > total_accesses:
+                    target = total_accesses
+                progressed = replay.run_epoch(target)
+                if progressed == issued:
+                    break  # every domain retired
+                issued = progressed
+                epoch += 1
+                metrics = {}
+                for i, name in enumerate(names):
+                    cur = replay.counters(i)
+                    delta_acc = sum(cur) - sum(prev[i])
+                    delta_miss = cur[3] - prev[i][3]
+                    prev[i] = cur
+                    metrics[name] = {"mpki": mpki_window(delta_miss,
+                                                         delta_acc)}
+                now_s = epoch * period_s
+                new_masks = controller.on_tick(now_s, period_s, metrics)
+                if new_masks:
+                    for name, mask in new_masks.items():
+                        hierarchy.set_way_mask(core_by_name[name], mask)
+                    replay.refresh_masks()
+                    act = controller.actions[-1]
+                    timeline.append({
+                        "epoch": epoch,
+                        "time_s": act.time_s,
+                        "fg_ways": act.fg_ways,
+                        "reason": act.reason,
+                        "mpki": act.mpki,
+                        "masks": {
+                            n: m.bits
+                            for n, m in sorted(new_masks.items())
+                        },
+                    })
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        grabbed, vtimes = replay.finish()
+        stats = self._packed_stats(
+            workloads, list(grabbed), list(vtimes), packs
+        )
+        return DynamicTraceResult(
+            stats=stats,
+            timeline=timeline,
+            actions=list(controller.actions),
+            epochs=epoch,
+            native=replay.native,
+        )
 
     @staticmethod
     def _packed_stats(workloads, grabbed, vtimes, packs):

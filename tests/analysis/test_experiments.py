@@ -105,6 +105,60 @@ class TestMultiprogramDrivers:
         assert all("bg_throughput_dynamic" in v for v in rows.values())
 
 
+class TestTraceDomains:
+    @pytest.fixture(autouse=True)
+    def _private_pack_cache(self, monkeypatch, tmp_path):
+        from repro.workloads import tracepack
+
+        monkeypatch.setattr(tracepack, "_OPEN_PACKS", {})
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "traces"))
+
+    def test_background_roster_bounds(self):
+        from repro.util.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            ex.background_factories(1)
+        with pytest.raises(ValidationError):
+            ex.background_factories(5)
+
+    def test_background_roster_shape(self):
+        rows = ex.background_factories(4)
+        assert [name for name, _, _, _ in rows] == ["bg", "bg2", "bg3"]
+        tids = [tid for _, _, tid, _ in rows]
+        assert len(set(tids)) == 3 and 0 not in tids
+        for _, factory, tid, _ in rows:
+            trace = factory()
+            assert next(iter(trace)).tid == tid
+
+    def test_way_utility_domain_count_controls_curves(self):
+        from functools import partial
+
+        from repro.util.units import MB
+        from repro.workloads.trace import make_trace
+
+        fg = partial(make_trace, "zipf", 6_000, 1 * MB, alpha=0.9,
+                     tid=0, seed=7)
+        data = ex.trace_way_utility(fg_factory=fg, domains=3)
+        assert set(data["curves"]) == {"fg", "bg", "bg2"}
+
+    def test_verify_trace_domains_checks_every_factory(self):
+        from functools import partial
+
+        from repro.workloads.trace import make_trace
+
+        factories = [
+            partial(make_trace, "zipf", 4_000, 1 << 20, alpha=0.9,
+                    tid=0, seed=7),
+            partial(make_trace, "stream", 4_000, 2 << 20, tid=2),
+        ]
+        cells = ex.verify_trace_domains(factories, way_counts=[1, 6],
+                                        workers=1)
+        assert len(cells) == 2
+        for rows in cells:
+            assert [w for w, _, _ in rows] == [1, 6]
+            assert all(profiled == brute for _, profiled, brute in rows)
+
+
 class TestHeadline:
     def test_headline_shape(self, study):
         numbers = ex.headline_numbers(study)

@@ -83,3 +83,46 @@ class TestRenderers:
     def test_headline(self):
         text = render.render_headline({"shared": {"avg_slowdown": 0.05}})
         assert "shared" in text and "0.050" in text
+
+    def test_controller_actions_truncation(self):
+        from repro.core.dynamic import ControllerAction
+
+        actions = [
+            ControllerAction(time_s=0.1 * i, fg_ways=11 - i,
+                             reason="stable MPKI: shrink", mpki=2.0)
+            for i in range(6)
+        ]
+        short = render.render_controller_actions(actions, limit=2)
+        assert "(4 more actions; --actions 0 shows all)" in short
+        full = render.render_controller_actions(actions, limit=0)
+        assert "more actions" not in full
+        assert full.count("shrink") == 6
+
+    def test_dynamic_timeline(self):
+        from types import SimpleNamespace
+
+        result = SimpleNamespace(
+            native=True,
+            epochs=12,
+            timeline=[
+                {
+                    "epoch": 2,
+                    "time_s": 0.2,
+                    "fg_ways": 10,
+                    "reason": "stable MPKI: shrink",
+                    "mpki": 3.4,
+                    "masks": {"fg": 0x3FF, "bg": 0xC00},
+                }
+            ],
+            actions=[object()],
+            stats={
+                "fg": SimpleNamespace(
+                    accesses=1000, llc_misses=40, avg_latency=12.5
+                ),
+            },
+        )
+        text = render.render_dynamic_timeline(result)
+        assert "native epoch kernel" in text
+        assert "fg=0x3ff" in text and "bg=0xc00" in text
+        assert "12 epochs, 1 reallocations, 1 controller actions" in text
+        assert "LLC miss ratio 4.00%" in text

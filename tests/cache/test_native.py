@@ -1,0 +1,81 @@
+"""The native-kernel loader: best-effort, but never silent.
+
+Every unavailability path must leave a human-readable reason behind so
+``kernel_status`` (and through it ``format_engine_stat`` / ``repro
+trace-sweep --engine-stat``) can answer "why is native off?".
+"""
+
+import pytest
+
+from repro.cache import native
+
+
+@pytest.fixture(autouse=True)
+def _fresh_loader(monkeypatch, tmp_path):
+    """Private cache dir and a clean memo around every test."""
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "traces"))
+    native.reset()
+    yield
+    native.reset()
+
+
+class TestKernelStatus:
+    def test_reports_every_kernel(self):
+        status = native.kernel_status()
+        assert set(status) == {"pairwalk", "multiwalk"}
+
+    def test_ok_when_compiled(self):
+        if native.multi_walk_fn() is None:
+            pytest.skip("no C compiler on this host")
+        assert native.kernel_status() == {
+            "pairwalk": "ok",
+            "multiwalk": "ok",
+        }
+
+    def test_disabled_reason_names_the_gate(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        native.reset()
+        assert native.pair_walk_fn() is None
+        assert native.multi_walk_fn() is None
+        for reason in native.kernel_status().values():
+            assert "REPRO_NATIVE" in reason and "'0'" in reason
+
+    def test_missing_compiler_reason(self, monkeypatch):
+        monkeypatch.setattr(native, "_compiler", lambda: None)
+        status = native.kernel_status()
+        assert status["multiwalk"] == (
+            "no C compiler found ($CC, cc, gcc, clang)"
+        )
+
+    def test_compile_failure_reason_recorded_once(self, monkeypatch):
+        calls = []
+        real = native._build_library
+
+        def broken(name):
+            calls.append(name)
+            return None, "cc failed: synthetic diagnostic"
+
+        monkeypatch.setattr(native, "_build_library", broken)
+        assert native.multi_walk_fn() is None
+        assert native.multi_walk_fn() is None  # memoized, not retried
+        assert calls == ["multiwalk"]
+        assert (
+            native.kernel_status()["multiwalk"]
+            == "cc failed: synthetic diagnostic"
+        )
+        monkeypatch.setattr(native, "_build_library", real)
+        # Still the memoized failure until an explicit reset.
+        assert native.multi_walk_fn() is None
+        native.reset()
+        if native._compiler() is not None:
+            assert native.multi_walk_fn() is not None
+
+    def test_reason_lands_in_engine_stat(self, monkeypatch):
+        from repro.perf.stat import format_engine_stat
+
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        native.reset()
+        text = format_engine_stat()
+        assert "native-kernel/pairwalk:" in text
+        assert "native-kernel/multiwalk:" in text
+        assert "REPRO_NATIVE" in text

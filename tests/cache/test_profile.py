@@ -158,6 +158,28 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             WayProfiler(SETS, WAYS, indexing="skew")
 
+    def test_verify_profile_over_packs_matches_generators(
+        self, monkeypatch, tmp_path
+    ):
+        """use_pack=True re-verifies off the compiled columns: same
+        rows, and the brute-force arm never regenerates the trace."""
+        from repro.workloads import tracepack
+
+        monkeypatch.setattr(tracepack, "_OPEN_PACKS", {})
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "traces"))
+
+        def factory():
+            return ZipfTrace(4_000, 1 * MB, alpha=0.9, seed=13, tid=2)
+
+        plain = verify_profile(
+            factory, way_counts=[1, 4, 8], num_sets=SETS, num_ways=WAYS
+        )
+        packed = verify_profile(
+            factory, way_counts=[1, 4, 8], num_sets=SETS, num_ways=WAYS,
+            use_pack=True,
+        )
+        assert packed == plain
+
     def test_verify_profile_raises_on_forced_mismatch(self):
         """A PLRU ground truth is not stack-inclusive: must fail loudly."""
 

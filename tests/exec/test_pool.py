@@ -138,6 +138,22 @@ class TestPackSharing:
                                 pack_paths=[stored_pack.path])
         assert parallel == serial
 
+    def test_persisted_pack_paths_skips_in_memory_packs(self, stored_pack):
+        from repro.exec import persisted_pack_paths
+        from repro.workloads.tracepack import (
+            TracePack,
+            compile_columns,
+            pack_key,
+        )
+        from repro.workloads.trace import StreamingTrace
+
+        trace = StreamingTrace(50, 1 << 20)
+        unstored = TracePack(compile_columns(trace), pack_key(trace))
+        assert persisted_pack_paths([stored_pack, unstored]) == (
+            stored_pack.path,
+        )
+        assert persisted_pack_paths([unstored]) == ()
+
 
 class TestRunTasks:
     def test_serial_uses_callers_machine(self):

@@ -1,0 +1,122 @@
+"""Property: the native multiwalk kernel is the heap scheduler, for any
+co-run shape — random per-domain lengths, think times, and repeat flags,
+including the all-retired early-exit and constant-tie cases."""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.llc import WayMask
+from repro.sim.trace_engine import TraceEngine, TraceWorkload
+from repro.workloads.trace import (
+    PointerChaseTrace,
+    StreamingTrace,
+    ZipfTrace,
+)
+from repro.workloads.tracepack import TracePack, compile_columns, pack_key
+
+KB = 1024
+_TIDS = (0, 4, 2, 6)
+
+
+def _native_available():
+    from repro.cache import native
+
+    return native.multi_walk_fn() is not None
+
+
+def _without_native(fn):
+    from repro.cache import native
+
+    previous = os.environ.get("REPRO_NATIVE")
+    os.environ["REPRO_NATIVE"] = "0"
+    native.reset()
+    try:
+        return fn()
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_NATIVE", None)
+        else:
+            os.environ["REPRO_NATIVE"] = previous
+        native.reset()
+
+
+def _make_workloads(lengths, thinks, repeats):
+    makers = (
+        lambda n, t: ZipfTrace(n, 256 * KB, alpha=0.9, tid=t, seed=11),
+        lambda n, t: StreamingTrace(n, 512 * KB, tid=t),
+        lambda n, t: PointerChaseTrace(n, 128 * KB, tid=t, seed=5),
+        lambda n, t: StreamingTrace(n, 256 * KB, tid=t),
+    )
+    return [
+        TraceWorkload(
+            f"dom{i}",
+            lambda m=makers[i], n=n, t=_TIDS[i]: m(n, t),
+            tid=_TIDS[i],
+            think_cycles=think,
+            repeat=repeat,
+        )
+        for i, (n, think, repeat) in enumerate(zip(lengths, thinks, repeats))
+    ]
+
+
+def _run(workloads, packs, total):
+    ways_split = {3: (6, 3, 3), 4: (6, 2, 2, 2)}[len(workloads)]
+    engine = TraceEngine(prefetchers_on=False, backend="kernel",
+                         fast_loop=True)
+    start = 0
+    for i, ways in enumerate(ways_split):
+        core = engine.hierarchy.core_of_tid(_TIDS[i])
+        engine.hierarchy.set_way_mask(core, WayMask.contiguous(ways, start))
+        start += ways
+    stats = engine.run_packed(workloads, total_accesses=total, packs=packs)
+    hierarchy = engine.hierarchy
+    levels = list(hierarchy.l1) + list(hierarchy.l2) + [hierarchy.llc.storage]
+    return (
+        stats,
+        [sorted(level.stats.snapshot().items()) for level in levels],
+        hierarchy.llc.storage.occupancy_by_way(),
+        sorted(hierarchy.llc.storage.resident_lines()),
+    )
+
+
+@pytest.mark.skipif(
+    not _native_available(), reason="no C compiler for the native kernel"
+)
+class TestMultiwalkProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        domains=st.integers(min_value=3, max_value=4),
+        data=st.data(),
+    )
+    def test_native_matches_heap_for_any_co_run(self, domains, data):
+        lengths = data.draw(
+            st.lists(
+                st.integers(min_value=40, max_value=400),
+                min_size=domains,
+                max_size=domains,
+            )
+        )
+        thinks = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=9),
+                min_size=domains,
+                max_size=domains,
+            )
+        )
+        repeats = data.draw(
+            st.lists(st.booleans(), min_size=domains, max_size=domains)
+        )
+        total = data.draw(st.integers(min_value=50, max_value=3 * sum(lengths)))
+
+        workloads = _make_workloads(lengths, thinks, repeats)
+        packs = [
+            TracePack(compile_columns(w.trace_factory()),
+                      pack_key(w.trace_factory()))
+            for w in workloads
+        ]
+        native_sig = _run(workloads, packs, total)
+        heap_sig = _without_native(lambda: _run(workloads, packs, total))
+        assert native_sig == heap_sig

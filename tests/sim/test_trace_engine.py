@@ -213,7 +213,8 @@ class TestRunPacked:
         self._assert_identical(workloads, 8_000, partition=False)
 
     def test_three_workloads_identical(self):
-        """Three domains take the heap-scheduled walk path."""
+        """Three domains take the N-domain path (native multiwalk when
+        available, else the heap-scheduled walks)."""
         workloads = self._pair_workloads() + [
             TraceWorkload(
                 "extra",

@@ -83,6 +83,62 @@ class TestDynamic:
         assert code == 0
         assert "reallocations" in text
 
+    def test_actions_truncates_the_trail(self):
+        code, text = run_cli("dynamic", "canneal", "streamcluster",
+                             "--actions", "2")
+        assert code == 0
+        assert "--actions 0 shows all" in text
+
+    def test_actions_zero_shows_all(self):
+        code, text = run_cli("dynamic", "canneal", "streamcluster",
+                             "--actions", "0")
+        assert code == 0
+        assert "--actions 0 shows all" not in text
+
+
+@pytest.fixture()
+def _private_pack_cache(monkeypatch, tmp_path):
+    from repro.workloads import tracepack
+
+    monkeypatch.setattr(tracepack, "_OPEN_PACKS", {})
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "traces"))
+
+
+class TestTraceDynamic:
+    def test_prints_timeline_and_stats(self, _private_pack_cache):
+        code, text = run_cli(
+            "trace-dynamic", "--accesses", "6000",
+            "--epoch-accesses", "3000", "--total-accesses", "36000",
+        )
+        assert code == 0
+        assert "Trace-driven dynamic partitioning" in text
+        assert "reallocations" in text
+        assert "fg:" in text and "bg:" in text
+
+    def test_engine_stat_reports_native_kernels(self, _private_pack_cache):
+        code, text = run_cli(
+            "trace-dynamic", "--accesses", "4000",
+            "--epoch-accesses", "2000", "--total-accesses", "8000",
+            "--engine-stat",
+        )
+        assert code == 0
+        assert "native-kernel/multiwalk:" in text
+
+
+class TestTraceSweep:
+    def test_domains_needs_co_run(self):
+        code, _ = run_cli("trace-sweep", "--domains", "3")
+        assert code == 1
+
+    def test_three_domain_co_run(self, _private_pack_cache):
+        code, text = run_cli(
+            "trace-sweep", "--trace", "zipf", "--accesses", "6000",
+            "--footprint-mb", "1", "--co-run", "--domains", "3",
+        )
+        assert code == 0
+        assert "bg2" in text
+        assert "bg3" not in text
+
 
 class TestFigure:
     def test_simple_figure(self):
