@@ -43,6 +43,11 @@ Finally it benchmarks the N-domain epoch replay into ``BENCH_dynamic.json``:
                       epoch driver, stats *and* reallocation timeline
                       byte-equal.
 
+Then it benchmarks the policy layer into ``BENCH_policy.json``: the
+biased-split search through :class:`TraceBackend` (profile-scored sweep
+plus one re-measured co-run) vs the pre-backend direct sweep — the two
+arms must choose the identical split.
+
 ``--check`` runs every benchmark at reduced size, enforces the
 equivalence contracts, and writes no artifacts (CI mode). ``--only``
 restricts either mode to one benchmark.
@@ -634,6 +639,96 @@ def run_dynamic(repeats=3, static_accesses=240_000, dyn_accesses=200_000,
     }
 
 
+# -- policy layer on the trace backend (BENCH_policy.json) --------------------
+
+
+def run_policy_bench(repeats=3, accesses=60_000):
+    """Benchmark the biased-split search through the backend protocol.
+
+    Two arms over the same zipf+stream pair:
+
+    - ``direct``  — the pre-backend methodology: one
+                    ``way_allocation_sweep`` profiled co-run, splits
+                    scored by hand from the hit curves, the biased
+                    tolerance rule applied inline;
+    - ``backend`` — ``policy_biased`` on :class:`TraceBackend` (the
+                    profile-scored sweep plus one re-measured co-run of
+                    the chosen split).
+
+    Contract: both arms choose the same split — the policy layer adds
+    routing, not a different search.
+    """
+    from repro.analysis.experiments import trace_pair_spec
+    from repro.backend import TraceBackend
+    from repro.core.policies import _BIAS_TOLERANCE, policy_biased
+
+    backend = TraceBackend(total_accesses=accesses)
+    spec = trace_pair_spec(
+        "zipf", "stream", accesses=accesses, footprint_mb=4.0, seed=3
+    )
+    llc_ways = backend.capabilities().llc_ways
+
+    def direct_choice():
+        from repro.sim.trace_engine import way_allocation_sweep
+
+        _, curves = way_allocation_sweep(
+            [spec.fg, spec.bg], total_accesses=accesses
+        )
+        fg_curve = curves[spec.fg.tid // 2]
+        bg_curve = curves[spec.bg.tid // 2]
+        scored = [
+            (
+                w,
+                float(fg_curve.misses(w)),
+                float(bg_curve.hits(llc_ways - w)),
+            )
+            for w in range(1, llc_ways)
+        ]
+        best_cost = min(cost for _, cost, _ in scored)
+        cutoff = best_cost * (1.0 + _BIAS_TOLERANCE)
+        candidates = [
+            (w, cost, rate) for w, cost, rate in scored if cost <= cutoff
+        ]
+        return max(candidates, key=lambda item: (item[2], -item[0]))[0]
+
+    # Untimed passes warm the pack cache and the native kernels.
+    direct_choice()
+    policy_biased(backend, spec)
+
+    direct_t = chosen_direct = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        chosen_direct = direct_choice()
+        elapsed = time.perf_counter() - start
+        direct_t = elapsed if direct_t is None else min(direct_t, elapsed)
+
+    backend_t = outcome = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        outcome = policy_biased(backend, spec)
+        elapsed = time.perf_counter() - start
+        backend_t = elapsed if backend_t is None else min(backend_t, elapsed)
+
+    if outcome.fg_ways != chosen_direct:
+        raise SystemExit(
+            f"FAIL: backend biased split {outcome.fg_ways} differs from the "
+            f"direct sweep's {chosen_direct}"
+        )
+
+    return {
+        "benchmark": "policy_biased_trace",
+        "repeats": repeats,
+        "accesses": accesses,
+        "chosen_fg_ways": outcome.fg_ways,
+        "chosen_bg_ways": outcome.bg_ways,
+        "wall_s": {
+            "direct": round(direct_t, 4),
+            "backend": round(backend_t, 4),
+        },
+        "identical_split": True,
+    }
+
+
 def main(argv=None):
     root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -649,11 +744,14 @@ def main(argv=None):
     parser.add_argument(
         "--dynamic-output", default=os.path.join(root, "BENCH_dynamic.json")
     )
+    parser.add_argument(
+        "--policy-output", default=os.path.join(root, "BENCH_policy.json")
+    )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument(
         "--only",
-        choices=("engine", "trace", "tracepack", "dynamic"),
+        choices=("engine", "trace", "tracepack", "dynamic", "policy"),
         help="run just one of the benchmarks",
     )
     parser.add_argument(
@@ -664,7 +762,9 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
     wanted = (
-        {args.only} if args.only else {"engine", "trace", "tracepack", "dynamic"}
+        {args.only}
+        if args.only
+        else {"engine", "trace", "tracepack", "dynamic", "policy"}
     )
 
     if args.check:
@@ -703,6 +803,13 @@ def main(argv=None):
                 f"{dynamic_summary['dynamic_2dom']['reallocations']} "
                 "reallocations byte-equal)"
             )
+        if "policy" in wanted:
+            policy_summary = run_policy_bench(repeats=1, accesses=20_000)
+            notes.append(
+                f"biased split via backend == direct sweep "
+                f"({policy_summary['chosen_fg_ways']}/"
+                f"{policy_summary['chosen_bg_ways']} ways)"
+            )
         print(format_engine_stat(ec.engine_counters().snapshot()))
         print("\ncheck PASS: " + "; ".join(notes))
         return 0
@@ -720,6 +827,10 @@ def main(argv=None):
         )
     if "dynamic" in wanted:
         outputs.append((args.dynamic_output, run_dynamic(repeats=args.repeats)))
+    if "policy" in wanted:
+        outputs.append(
+            (args.policy_output, run_policy_bench(repeats=args.repeats))
+        )
 
     for path, payload in outputs:
         with open(path, "w") as handle:

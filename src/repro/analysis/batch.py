@@ -43,6 +43,7 @@ class EvaluationRunner:
             "energy": self._stage_energy,
             "dynamic": self._stage_dynamic,
             "headline": self._stage_headline,
+            "runset": self._stage_runset,
         }
 
     # -- driving ------------------------------------------------------------
@@ -60,7 +61,7 @@ class EvaluationRunner:
         if unknown:
             raise ValidationError(f"unknown stages: {unknown}")
         written = {}
-        study_stages = {"policies", "energy", "dynamic", "headline"}
+        study_stages = {"policies", "energy", "dynamic", "headline", "runset"}
         pending = [
             s
             for s in stages
@@ -155,3 +156,51 @@ class EvaluationRunner:
 
     def _stage_headline(self):
         return ex.headline_numbers(self.study)
+
+    def _stage_runset(self):
+        """Every representative-pair policy run as a versioned RunSet.
+
+        The artifact is the same schema ``repro consolidate --json``
+        writes, so ``repro compare`` can diff an evaluation batch
+        against a single ad-hoc run (or a trace-backend run set).
+        """
+        from repro.analysis.store import RunRecord, runset_from_outcomes
+
+        capabilities = self.study.backend.capabilities()
+        outcomes = [
+            self.study.policy(fg_id, bg_id, policy)
+            for fg_id, bg_id in self.study.ordered_pairs()
+            for policy in ("shared", "fair", "biased")
+        ]
+        runset = runset_from_outcomes(
+            outcomes,
+            capabilities=capabilities,
+            meta={"source": "evaluate", "stage": "runset"},
+        )
+        units = {
+            "fg_cost": capabilities.fg_cost_unit,
+            "bg_rate": capabilities.bg_rate_unit,
+        }
+        for fg_id, bg_id in self.study.ordered_pairs():
+            pair, controller = self.study.dynamic(fg_id, bg_id)
+            fg_ways = controller.fg_ways
+            bg_ways = capabilities.llc_ways - fg_ways
+            runset.records.append(
+                RunRecord(
+                    policy="dynamic",
+                    backend=capabilities.name,
+                    fg=controller.fg_name,
+                    bg=controller.bg_name,
+                    fg_ways=fg_ways,
+                    bg_ways=bg_ways,
+                    metrics={
+                        "fg_cost": pair.fg.runtime_s,
+                        "bg_rate": pair.bg_rate_ips,
+                        "fg_ways": float(fg_ways),
+                        "bg_ways": float(bg_ways),
+                    },
+                    units=units,
+                    provenance={"dynamic_actions": len(controller.actions)},
+                )
+            )
+        return runset.to_dict()

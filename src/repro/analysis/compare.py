@@ -1,9 +1,14 @@
-"""Regression comparison between two evaluation artifact sets.
+"""Regression comparison between two result artifact sets.
 
 ``python -m repro evaluate`` writes JSON artifacts; this module diffs two
 such directories (e.g. before and after a model change) and reports
 which headline quantities moved — the regression gate a maintained
-release runs in CI.
+release runs in CI. It also diffs two :class:`~repro.analysis.store.RunSet`
+files (``repro consolidate --json``): records are matched by
+``(policy, fg, bg)``, so a run set produced on one backend can be
+compared against the other — split choices compare directly, while
+cost/rate metrics are only compared when both sides measured them in
+the same unit.
 """
 
 import json
@@ -80,6 +85,54 @@ def regressions(before_dir, after_dir, stages=("headline",), tolerance=0.02):
             if abs(delta.relative) > tolerance and abs(delta.absolute) > 1e-6:
                 moved.append(delta)
     return moved, checked
+
+
+def diff_runsets(before, after, tolerance=0.02):
+    """Diff two RunSets record-by-record.
+
+    ``before``/``after`` are :class:`~repro.analysis.store.RunSet`
+    instances or paths to saved run-set JSON. Records pair up by
+    ``(policy, fg, bg)``. Split choices (``fg_ways``/``bg_ways``) are
+    always compared; ``fg_cost``/``bg_rate`` only when both records
+    label them with the same unit (so an analytical-vs-trace diff
+    reports allocation agreement without comparing seconds to cycles).
+
+    Returns ``(moved, checked, unmatched)``: deltas beyond tolerance,
+    the number of metric comparisons made, and keys present on only
+    one side.
+    """
+    from repro.analysis.store import RunSet, load_runset
+
+    if not isinstance(before, RunSet):
+        before = load_runset(before)
+    if not isinstance(after, RunSet):
+        after = load_runset(after)
+    before_by_key = before.by_key()
+    after_by_key = after.by_key()
+    unmatched = sorted(
+        set(before_by_key) ^ set(after_by_key),
+    )
+    moved = []
+    checked = 0
+    for key in sorted(set(before_by_key) & set(after_by_key)):
+        rec_before, rec_after = before_by_key[key], after_by_key[key]
+        stage = "{}:{}+{}".format(*key)
+        for metric in sorted(set(rec_before.metrics) & set(rec_after.metrics)):
+            if metric not in ("fg_ways", "bg_ways"):
+                unit_before = rec_before.units.get(metric)
+                unit_after = rec_after.units.get(metric)
+                if unit_before != unit_after:
+                    continue
+            checked += 1
+            delta = MetricDelta(
+                stage=stage,
+                metric=metric,
+                before=rec_before.metrics[metric],
+                after=rec_after.metrics[metric],
+            )
+            if abs(delta.relative) > tolerance and abs(delta.absolute) > 1e-6:
+                moved.append(delta)
+    return moved, checked, unmatched
 
 
 def format_deltas(deltas):

@@ -5,9 +5,9 @@ background pairs under each policy, caching aggressively because Figs.
 9, 10, 11 and 13 and the headline numbers all slice the same runs.
 """
 
-from repro.core.dynamic import DynamicPartitionController
+from repro.backend import AnalyticalBackend, PairSpec
 from repro.core.metrics import energy_ratio, slowdown, weighted_speedup
-from repro.core.policies import run_biased, run_fair, run_shared, sweep_static_partitions
+from repro.core.policies import run_policy_on, sweep_static_partitions
 from repro.exec import run_tasks
 from repro.runtime.harness import paper_pair_allocations
 from repro.sim.engine import Machine
@@ -42,6 +42,7 @@ class ConsolidationStudy:
 
     def __init__(self, machine=None, reps=None):
         self.machine = machine or Machine()
+        self.backend = AnalyticalBackend(self.machine)
         self.reps = reps or representatives()  # {"C1": app, ...}
         self._solo_fg = {}
         self._solo_whole = {}
@@ -135,19 +136,20 @@ class ConsolidationStudy:
         return self._sweeps[key]
 
     def policy(self, fg_id, bg_id, policy):
-        """PolicyOutcome for shared/fair/biased with continuous background."""
+        """PolicyOutcome for shared/fair/biased with continuous background.
+
+        All policies go through the one protocol-level implementation
+        (:func:`repro.core.policies.run_policy_on`) on the study's
+        :class:`~repro.backend.analytical.AnalyticalBackend` — the
+        biased search reuses the cached static sweep.
+        """
         key = (fg_id, bg_id, policy)
         if key not in self._continuous:
             fg, bg = self._apps(fg_id, bg_id)
-            if policy == "shared":
-                outcome = run_shared(self.machine, fg, bg)
-            elif policy == "fair":
-                outcome = run_fair(self.machine, fg, bg)
-            elif policy == "biased":
-                outcome = run_biased(self.machine, fg, bg, sweep=self.sweep(fg_id, bg_id))
-            else:
-                raise ValidationError(f"unknown policy {policy!r}")
-            self._continuous[key] = outcome
+            sweep = self.sweep(fg_id, bg_id) if policy == "biased" else None
+            self._continuous[key] = run_policy_on(
+                self.backend, PairSpec(fg=fg, bg=bg), policy, sweep=sweep
+            )
         return self._continuous[key]
 
     def fg_slowdown(self, fg_id, bg_id, policy):
@@ -201,34 +203,21 @@ class ConsolidationStudy:
     # -- the dynamic controller (Section 6) ----------------------------------------------
 
     def dynamic(self, fg_id, bg_id, timeline=False):
-        """PairResult for the dynamic controller run."""
+        """(PairResult, controller) for the dynamic controller run.
+
+        Routed through :meth:`AnalyticalBackend.dynamic` — the backend
+        builds the Algorithm 6.2 controller (self-pairs keyed on the
+        engine's aliased clone name) and applies its initial masks,
+        exactly as this method did before the backend protocol existed.
+        """
         key = (fg_id, bg_id, timeline)
         if key not in self._dynamic:
             fg, bg = self._apps(fg_id, bg_id)
-            # Self-pairs are cloned under an aliased name by the engine.
-            bg_name = bg.name if bg.name != fg.name else f"{bg.name}#2"
-            controller = DynamicPartitionController(
-                fg_name=fg.name,
-                bg_name=bg_name,
-                llc_ways=self.machine.config.llc_ways,
-                way_mb=self.machine.config.way_mb,
+            spec = PairSpec(fg=fg, bg=bg, options={"timeline": timeline})
+            measurement = self.backend.dynamic(spec)
+            self._dynamic[key] = (
+                measurement.raw, measurement.extra["controller"]
             )
-            masks = controller.masks()
-            fg_alloc, bg_alloc = paper_pair_allocations(
-                fg, bg, llc_ways=self.machine.config.llc_ways
-            )
-            fg_alloc = fg_alloc.with_mask(masks[fg.name])
-            bg_alloc = bg_alloc.with_mask(masks[bg_name])
-            pair = self.machine.run_pair(
-                fg,
-                bg,
-                fg_alloc,
-                bg_alloc,
-                bg_continuous=True,
-                controller=controller,
-                timeline=timeline,
-            )
-            self._dynamic[key] = (pair, controller)
         return self._dynamic[key]
 
     def dynamic_vs_best_static(self, fg_id, bg_id):

@@ -330,6 +330,108 @@ def background_factories(domains):
     return rows
 
 
+def trace_kind_factory(kind, length, footprint_mb=4.0, alpha=0.9, seed=1,
+                       tid=0):
+    """A picklable constructor for one synthetic trace kind.
+
+    Maps each registered kind's knobs (footprint, zipf skew, seed) to
+    its constructor arguments — the one place the CLI, the trace
+    backend, and the bench agree on what ``--trace zipf
+    --footprint-mb 4`` means.
+    """
+    import functools
+
+    from repro.workloads.trace import make_trace
+
+    footprint = int(_mb(footprint_mb))
+    positional, kwargs = {
+        "zipf": ((footprint,), {"alpha": alpha, "seed": seed}),
+        "stream": ((footprint,), {}),
+        "stride": ((), {"stride": 256}),
+        "chase": ((footprint,), {"seed": seed}),
+    }.get(kind, ((footprint,), {}))
+    return functools.partial(
+        make_trace, kind, length, *positional, tid=tid, **kwargs
+    )
+
+
+def trace_pair_spec(fg_kind="zipf", bg_kind="stream", accesses=60_000,
+                    footprint_mb=4.0, alpha=0.9, seed=1,
+                    bg_footprint_mb=8.0, fg_name=None, bg_name=None):
+    """A backend :class:`~repro.backend.protocol.PairSpec` from two
+    synthetic trace kinds (what ``repro consolidate --backend trace``
+    runs the policy suite on)."""
+    from repro.backend import TraceBackend
+
+    return TraceBackend.pair_spec(
+        trace_kind_factory(fg_kind, accesses, footprint_mb=footprint_mb,
+                           alpha=alpha, seed=seed, tid=0),
+        trace_kind_factory(bg_kind, accesses, footprint_mb=bg_footprint_mb,
+                           alpha=alpha, seed=seed + 1, tid=4),
+        fg_name=fg_name or fg_kind,
+        bg_name=bg_name or (
+            bg_kind if bg_kind != fg_kind else f"{bg_kind}#2"
+        ),
+    )
+
+
+def verify_trace_policy_replay(backend, spec, policies=("shared", "fair")):
+    """Cross-check TraceBackend policy runs against direct mask replay.
+
+    Replays the pair through a hand-built engine with the chosen split's
+    way masks applied — the pre-backend methodology — and requires the
+    policy layer's fg cost and bg rate to match *exactly* (both paths
+    are deterministic, so any drift means the backend translated the
+    split into masks differently). Returns the number of comparisons;
+    raises ValidationError on the first mismatch.
+    """
+    from repro.cache.llc import WayMask
+    from repro.core.policies import run_policy_on
+    from repro.sim.trace_engine import TraceEngine
+    from repro.util.errors import ValidationError
+
+    llc_ways = backend.capabilities().llc_ways
+    checked = 0
+    for policy in policies:
+        outcome = run_policy_on(backend, spec, policy)
+        engine = TraceEngine(
+            prefetchers_on=backend.prefetchers_on,
+            backend=backend.cache_backend,
+        )
+        core_of = engine.hierarchy.core_of_tid
+        engine.hierarchy.set_way_mask(
+            core_of(spec.fg.tid),
+            WayMask.contiguous(outcome.fg_ways, 0, llc_ways),
+        )
+        engine.hierarchy.set_way_mask(
+            core_of(spec.bg.tid),
+            WayMask.contiguous(
+                outcome.bg_ways, llc_ways - outcome.bg_ways, llc_ways
+            ),
+        )
+        workloads = [spec.fg, spec.bg]
+        if backend.use_packs:
+            stats = engine.run_packed(
+                workloads, total_accesses=backend.total_accesses
+            )
+        else:
+            stats = engine.run(
+                workloads, total_accesses=backend.total_accesses
+            )
+        direct = (
+            stats[spec.fg_name].avg_latency,
+            stats[spec.bg_name].access_rate_per_kilocycle,
+        )
+        via_policy = (outcome.fg_cost, outcome.bg_rate)
+        if direct != via_policy:
+            raise ValidationError(
+                f"{policy}: policy layer {via_policy} != direct mask "
+                f"replay {direct}"
+            )
+        checked += 2
+    return checked
+
+
 def trace_way_utility(fg_factory=None, bg_factory=None, total_accesses=120_000,
                       use_packs=True, domains=2):
     """Per-domain ``hits(ways)`` utility curves from one profiled co-run.

@@ -1,20 +1,40 @@
-"""Persisting characterization results across processes.
+"""Versioned on-disk stores for measurement results.
 
-The full-suite benches re-measure the same solo runs in every process.
-``CharacterizationStore`` serializes the characterizer's memoized
-RunResults to JSON so a later process (or a CI job splitting the benches)
-starts warm. Only plain measurement data is stored — results are
-reproducible, so a stale file is merely slower, never wrong (and a
-version stamp invalidates files from older model versions).
+Two record kinds live here:
+
+- the *characterization store* — the characterizer's memoized solo
+  RunResults, so a later process (or a CI job splitting the benches)
+  starts warm. Only plain measurement data is stored — results are
+  reproducible, so a stale file is merely slower, never wrong (and a
+  version stamp invalidates files from older model versions);
+- the *run-record store* — :class:`RunRecord` / :class:`RunSet`, the
+  backend-neutral outcome of a policy run (policy, backend, split, and
+  the fg-cost/bg-rate metrics with their units). ``repro consolidate
+  --json``, the trace commands, and ``repro compare`` all speak this
+  schema, so a run produced on one backend can be diffed against the
+  other.
+
+Both stores carry a schema-version field, write atomically (temp file +
+``os.replace``), and raise :class:`~repro.util.errors.ValidationError` —
+never a bare ``KeyError``/``TypeError`` — on corrupt files.
 """
 
 import json
 import os
+from dataclasses import dataclass, field
 
 from repro.sim.engine import RunResult
 from repro.util.errors import ValidationError
 
 STORE_VERSION = 1
+RUNSET_VERSION = 1
+
+
+def _atomic_write_json(payload, path):
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    os.replace(tmp, path)
 
 
 def _key_to_string(key):
@@ -23,8 +43,14 @@ def _key_to_string(key):
 
 
 def _key_from_string(text):
-    app, threads, ways, prefetchers_on = text.rsplit("|", 3)
-    return (app, int(threads), int(ways), bool(int(prefetchers_on)))
+    try:
+        app, threads, ways, prefetchers_on = text.rsplit("|", 3)
+        return (app, int(threads), int(ways), bool(int(prefetchers_on)))
+    except (ValueError, AttributeError) as exc:
+        raise ValidationError(
+            f"malformed characterization key {text!r}: expected "
+            "'app|threads|ways|prefetchers'"
+        ) from exc
 
 
 def _result_to_dict(result):
@@ -53,8 +79,7 @@ def save_characterizer(characterizer, path, model_version=None):
             for key, result in characterizer._solo_cache.items()
         },
     }
-    with open(path, "w") as handle:
-        json.dump(payload, handle)
+    _atomic_write_json(payload, path)
     return len(payload["runs"])
 
 
@@ -73,13 +98,197 @@ def load_characterizer(characterizer, path, model_version=None):
             payload = json.load(handle)
         except json.JSONDecodeError as exc:
             raise ValidationError(f"corrupt characterization store: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValidationError(
+            f"corrupt characterization store {path}: not a JSON object"
+        )
     if payload.get("store_version") != STORE_VERSION:
         return 0
     if payload.get("model_version") != (model_version or __version__):
         return 0
+    runs = payload.get("runs")
+    if not isinstance(runs, dict):
+        raise ValidationError(
+            f"corrupt characterization store {path}: 'runs' is not a mapping"
+        )
     loaded = 0
-    for key_text, data in payload["runs"].items():
+    for key_text, data in runs.items():
         key = _key_from_string(key_text)
-        characterizer._solo_cache.setdefault(key, RunResult(**data))
+        try:
+            result = RunResult(**data)
+        except TypeError as exc:
+            raise ValidationError(
+                f"corrupt characterization store {path}: bad run payload "
+                f"for {key_text!r}: {exc}"
+            ) from exc
+        characterizer._solo_cache.setdefault(key, result)
         loaded += 1
     return loaded
+
+
+# -- run records: policy outcomes in a backend-neutral schema -----------------
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One policy outcome, reduced to plain comparable data.
+
+    ``metrics`` holds at least ``fg_cost`` and ``bg_rate`` plus the
+    chosen split (``fg_ways``/``bg_ways``); ``units`` labels the cost
+    and rate axes so cross-backend diffs can refuse to compare
+    incommensurable numbers. ``provenance`` carries whatever identifies
+    the run (run options, sweep source, controller actions count).
+    """
+
+    policy: str
+    backend: str
+    fg: str
+    bg: str
+    fg_ways: int
+    bg_ways: int
+    metrics: dict
+    units: dict = field(default_factory=dict)
+    provenance: dict = field(default_factory=dict)
+
+    @property
+    def key(self):
+        """The identity a diff matches records on."""
+        return (self.policy, self.fg, self.bg)
+
+    def to_dict(self):
+        return {
+            "policy": self.policy,
+            "backend": self.backend,
+            "fg": self.fg,
+            "bg": self.bg,
+            "fg_ways": self.fg_ways,
+            "bg_ways": self.bg_ways,
+            "metrics": dict(self.metrics),
+            "units": dict(self.units),
+            "provenance": dict(self.provenance),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        if not isinstance(data, dict):
+            raise ValidationError(f"run record is not a mapping: {data!r}")
+        try:
+            return cls(
+                policy=data["policy"],
+                backend=data["backend"],
+                fg=data["fg"],
+                bg=data["bg"],
+                fg_ways=int(data["fg_ways"]),
+                bg_ways=int(data["bg_ways"]),
+                metrics={k: float(v) for k, v in data["metrics"].items()},
+                units=dict(data.get("units", {})),
+                provenance=dict(data.get("provenance", {})),
+            )
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ValidationError(f"malformed run record: {exc!r}") from exc
+
+
+@dataclass
+class RunSet:
+    """A named batch of run records from one invocation."""
+
+    records: list
+    backend: str = ""
+    model_version: str = ""
+    meta: dict = field(default_factory=dict)
+
+    def by_key(self):
+        """``{(policy, fg, bg): record}``; later duplicates win."""
+        return {record.key: record for record in self.records}
+
+    def to_dict(self):
+        return {
+            "runset_version": RUNSET_VERSION,
+            "backend": self.backend,
+            "model_version": self.model_version,
+            "meta": dict(self.meta),
+            "records": [record.to_dict() for record in self.records],
+        }
+
+
+def record_from_outcome(outcome, units=None, provenance=None):
+    """A :class:`RunRecord` from a policy-layer ``PolicyOutcome``."""
+    metrics = {
+        "fg_cost": float(outcome.fg_cost),
+        "bg_rate": float(outcome.bg_rate),
+        "fg_ways": float(outcome.fg_ways),
+        "bg_ways": float(outcome.bg_ways),
+    }
+    prov = dict(provenance or {})
+    measurement = outcome.measurement
+    if measurement is not None and measurement.extra.get("actions") is not None:
+        prov.setdefault("dynamic_actions", len(measurement.extra["actions"]))
+    if outcome.sweep:
+        prov.setdefault("sweep_points", len(outcome.sweep))
+    return RunRecord(
+        policy=outcome.policy,
+        backend=outcome.backend,
+        fg=outcome.fg_name,
+        bg=outcome.bg_name,
+        fg_ways=outcome.fg_ways,
+        bg_ways=outcome.bg_ways,
+        metrics=metrics,
+        units=dict(units or {}),
+        provenance=prov,
+    )
+
+
+def runset_from_outcomes(outcomes, backend=None, capabilities=None, meta=None):
+    """A :class:`RunSet` from policy outcomes (one backend per set)."""
+    from repro import __version__
+
+    units = {}
+    if capabilities is not None:
+        units = {
+            "fg_cost": capabilities.fg_cost_unit,
+            "bg_rate": capabilities.bg_rate_unit,
+        }
+    records = [record_from_outcome(o, units=units) for o in outcomes]
+    names = {record.backend for record in records}
+    if backend is None:
+        backend = capabilities.name if capabilities else "|".join(sorted(names))
+    return RunSet(
+        records=records,
+        backend=backend,
+        model_version=__version__,
+        meta=dict(meta or {}),
+    )
+
+
+def save_runset(runset, path):
+    """Atomically write a :class:`RunSet` as versioned JSON."""
+    _atomic_write_json(runset.to_dict(), path)
+    return len(runset.records)
+
+
+def load_runset(path):
+    """Read a :class:`RunSet`; ValidationError on corrupt/foreign files."""
+    if not os.path.exists(path):
+        raise ValidationError(f"no run set at {path}")
+    with open(path) as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"corrupt run set {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValidationError(f"corrupt run set {path}: not a JSON object")
+    version = payload.get("runset_version")
+    if version != RUNSET_VERSION:
+        raise ValidationError(
+            f"run set {path} has schema version {version!r}; "
+            f"this build reads version {RUNSET_VERSION}"
+        )
+    records = payload.get("records")
+    if not isinstance(records, list):
+        raise ValidationError(f"corrupt run set {path}: 'records' is not a list")
+    return RunSet(
+        records=[RunRecord.from_dict(item) for item in records],
+        backend=payload.get("backend", ""),
+        model_version=payload.get("model_version", ""),
+        meta=payload.get("meta", {}) or {},
+    )

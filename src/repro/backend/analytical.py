@@ -1,0 +1,137 @@
+"""The interval-engine backend: policies over ``Machine.run_pair``.
+
+Wraps :class:`repro.sim.engine.Machine` (and its IntervalMemo and shared
+solo cache) behind :class:`~repro.backend.protocol.SimBackend`. The
+mapping is exactly what the pre-refactor policy code did — the same
+``paper_pair_allocations`` masks, the same ``run_pair`` calls in the
+same order — so policy outcomes through this backend are bit-identical
+to the seed implementation.
+"""
+
+from repro.backend.protocol import (
+    BackendCapabilities,
+    CoRunMeasurement,
+    SimBackend,
+    SoloMeasurement,
+    WaySplit,
+)
+from repro.runtime.harness import paper_pair_allocations
+
+PAPER_THREADS = 4
+
+
+class AnalyticalBackend(SimBackend):
+    """Shared/fair/biased/dynamic over the statistical interval engine.
+
+    ``fg_cost`` is the foreground runtime in seconds; ``bg_rate`` is the
+    background's instructions per second while the foreground ran
+    (``PairResult.bg_rate_ips``). ``raw`` is the full
+    :class:`~repro.sim.engine.PairResult`, energy included.
+    """
+
+    def __init__(self, machine=None):
+        if machine is None:
+            from repro.sim.engine import Machine
+
+            machine = Machine()
+        self.machine = machine
+
+    def capabilities(self):
+        return BackendCapabilities(
+            name="analytical",
+            llc_ways=self.machine.config.llc_ways,
+            fg_cost_unit="s",
+            bg_rate_unit="instr/s",
+            sweep_is_measured=True,
+            supports_dynamic=True,
+            supports_energy=True,
+        )
+
+    def solo(self, app, threads=None):
+        """The app alone in the paper's co-run slot, via the solo cache."""
+        if threads is None:
+            threads = 1 if app.scalability.single_threaded else PAPER_THREADS
+        result = self.machine.run_solo_cached(
+            app, threads=threads, ways=self.machine.config.llc_ways
+        )
+        return SoloMeasurement(
+            backend="analytical", name=app.name, cost=result.runtime_s,
+            raw=result,
+        )
+
+    def co_run(self, spec, split):
+        llc_ways = self.machine.config.llc_ways
+        fg_alloc, bg_alloc = paper_pair_allocations(
+            spec.fg, spec.bg, split.fg_ways, split.bg_ways, llc_ways
+        )
+        pair = self.machine.run_pair(
+            spec.fg, spec.bg, fg_alloc, bg_alloc, **spec.options
+        )
+        return CoRunMeasurement(
+            backend="analytical",
+            fg_name=spec.fg_name,
+            bg_name=spec.bg_name,
+            fg_ways=split.fg_ways,
+            bg_ways=split.bg_ways,
+            fg_cost=pair.fg.runtime_s,
+            bg_rate=pair.bg_rate_ips,
+            raw=pair,
+        )
+
+    def dynamic(self, spec, controller=None):
+        """One dynamic-controller co-run (Algorithm 6.2, 100 ms periods).
+
+        Self-pairs are cloned under an aliased name by the engine, so the
+        controller is keyed on the aliased background name.
+        """
+        from repro.core.dynamic import DynamicPartitionController
+
+        fg, bg = spec.fg, spec.bg
+        bg_name = bg.name if bg.name != fg.name else f"{bg.name}#2"
+        if controller is None:
+            controller = DynamicPartitionController(
+                fg_name=fg.name,
+                bg_name=bg_name,
+                llc_ways=self.machine.config.llc_ways,
+                way_mb=self.machine.config.way_mb,
+            )
+        masks = controller.masks()
+        fg_alloc, bg_alloc = paper_pair_allocations(
+            fg, bg, llc_ways=self.machine.config.llc_ways
+        )
+        options = dict(spec.options)
+        options.setdefault("bg_continuous", True)
+        pair = self.machine.run_pair(
+            fg,
+            bg,
+            fg_alloc.with_mask(masks[fg.name]),
+            bg_alloc.with_mask(masks[bg_name]),
+            controller=controller,
+            **options,
+        )
+        return CoRunMeasurement(
+            backend="analytical",
+            fg_name=fg.name,
+            bg_name=bg_name,
+            fg_ways=controller.fg_ways,
+            bg_ways=self.machine.config.llc_ways - controller.fg_ways,
+            fg_cost=pair.fg.runtime_s,
+            bg_rate=pair.bg_rate_ips,
+            raw=pair,
+            extra={"controller": controller, "actions": controller.actions},
+        )
+
+    # Convenience used by the CLI and tests: a spec from application names.
+    @staticmethod
+    def pair_spec(fg, bg, **options):
+        from repro.backend.protocol import PairSpec
+        from repro.workloads import get_application
+
+        if isinstance(fg, str):
+            fg = get_application(fg)
+        if isinstance(bg, str):
+            bg = get_application(bg)
+        return PairSpec(fg=fg, bg=bg, options=options)
+
+
+__all__ = ["AnalyticalBackend", "WaySplit"]

@@ -1,0 +1,192 @@
+"""The simulation-backend protocol the policy layer is written against.
+
+The paper's contribution is its *policies* — shared, fair, biased, and
+the dynamic controller — not the substrate they run on. LFOC makes the
+same point for fairness policies over commodity partitioning mechanisms,
+and Nejat et al. coordinate partitioning with other knobs precisely
+because the policy logic is decoupled from the mechanism. This module
+pins that separation down as a small protocol:
+
+- :class:`SimBackend` — ``solo(spec)``, ``co_run(spec, split)``,
+  ``capabilities()``, plus ``sweep(spec)`` and ``dynamic(spec)`` hooks;
+- :class:`WaySplit` — a backend-neutral LLC allocation (contiguous
+  masks carved from opposite ends of the cache, overlapping when the
+  way counts exceed the cache — the "shared" configuration);
+- :class:`CoRunMeasurement` — the common result shape every policy
+  consumes: a foreground cost (lower is better) and a background
+  progress rate (higher is better), with the backend's native result
+  attached as ``raw``.
+
+:mod:`repro.core.policies` implements shared/fair/biased/dynamic once
+against this protocol; :mod:`repro.backend.analytical` and
+:mod:`repro.backend.trace` supply the two substrates (the interval
+engine and the address-level trace engine).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class WaySplit:
+    """An LLC allocation for a foreground/background pair.
+
+    Both backends realize a split the same way: the foreground's mask is
+    the first ``fg_ways`` ways, the background's the last ``bg_ways``.
+    When ``fg_ways + bg_ways`` exceeds the cache the masks overlap —
+    ``WaySplit.shared`` gives the fully shared (no partitioning)
+    configuration.
+    """
+
+    fg_ways: int
+    bg_ways: int
+
+    def __post_init__(self):
+        if self.fg_ways < 1 or self.bg_ways < 1:
+            raise ValidationError("both applications need at least one way")
+
+    @classmethod
+    def shared(cls, llc_ways):
+        return cls(llc_ways, llc_ways)
+
+    @classmethod
+    def fair(cls, llc_ways):
+        half = llc_ways // 2
+        return cls(half, llc_ways - half)
+
+    @classmethod
+    def disjoint(cls, fg_ways, llc_ways):
+        return cls(fg_ways, llc_ways - fg_ways)
+
+    def overlaps(self, llc_ways):
+        return self.fg_ways + self.bg_ways > llc_ways
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a backend can do, and how its measurements read.
+
+    ``fg_cost_unit`` / ``bg_rate_unit`` label the measurement axes
+    (seconds and instructions/s for the analytical engine; cycles/access
+    and accesses/kilocycle for the trace engine). ``sweep_is_measured``
+    says whether ``sweep()`` entries are full co-run measurements that a
+    policy may return directly (analytical), or profile-derived scores
+    whose chosen split must be re-measured with ``co_run`` (trace).
+    """
+
+    name: str
+    llc_ways: int
+    fg_cost_unit: str
+    bg_rate_unit: str
+    sweep_is_measured: bool = True
+    supports_dynamic: bool = True
+    supports_energy: bool = False
+
+
+@dataclass
+class PairSpec:
+    """A foreground/background workload pair in backend-native terms.
+
+    ``fg``/``bg`` are whatever the backend runs — application models for
+    :class:`~repro.backend.analytical.AnalyticalBackend`,
+    :class:`~repro.sim.trace_engine.TraceWorkload` instances for
+    :class:`~repro.backend.trace.TraceBackend`. ``options`` carries
+    backend-specific run options (e.g. ``bg_continuous`` or
+    ``timeline`` for the interval engine).
+    """
+
+    fg: object
+    bg: object
+    options: dict = field(default_factory=dict)
+
+    @property
+    def fg_name(self):
+        return self.fg.name
+
+    @property
+    def bg_name(self):
+        return self.bg.name
+
+
+@dataclass
+class SoloMeasurement:
+    """One workload alone on the whole cache."""
+
+    backend: str
+    name: str
+    cost: float  # same unit as CoRunMeasurement.fg_cost
+    raw: object = None
+
+
+@dataclass
+class CoRunMeasurement:
+    """The backend-neutral outcome of one co-run at one allocation.
+
+    ``fg_cost`` is the foreground's degradation metric (runtime in
+    seconds, or average access latency in cycles) — lower is better.
+    ``bg_rate`` is the background's progress rate (instructions per
+    second, or accesses per kilocycle) — higher is better. ``raw`` is
+    the backend's native result (a :class:`~repro.sim.engine.PairResult`
+    or a ``{name: TraceStats}`` dict); ``extra`` holds anything else a
+    caller may want (controller actions, reallocation timelines, way
+    curves).
+    """
+
+    backend: str
+    fg_name: str
+    bg_name: str
+    fg_ways: int
+    bg_ways: int
+    fg_cost: float
+    bg_rate: float
+    raw: object = None
+    extra: dict = field(default_factory=dict)
+
+
+class SimBackend:
+    """The protocol every simulation substrate implements.
+
+    Concrete backends override :meth:`capabilities`, :meth:`solo` and
+    :meth:`co_run`; :meth:`sweep` has a generic per-split default, and
+    :meth:`dynamic` raises unless the backend supports a controller.
+    """
+
+    def capabilities(self):
+        """Static description of this backend (a BackendCapabilities)."""
+        raise NotImplementedError
+
+    def solo(self, workload):
+        """Measure one workload alone; returns a SoloMeasurement."""
+        raise NotImplementedError
+
+    def co_run(self, spec, split):
+        """Co-run ``spec`` under ``split``; returns a CoRunMeasurement."""
+        raise NotImplementedError
+
+    def sweep(self, spec):
+        """Score every disjoint split (fg gets 1..ways-1).
+
+        Returns ``[(fg_ways, CoRunMeasurement)]`` in ascending foreground
+        allocation order. The default measures each split with
+        :meth:`co_run`; backends with a cheaper exact source (the trace
+        engine's single-pass way profile) override this and set
+        ``sweep_is_measured=False`` in their capabilities.
+        """
+        llc_ways = self.capabilities().llc_ways
+        return [
+            (fg_ways, self.co_run(spec, WaySplit.disjoint(fg_ways, llc_ways)))
+            for fg_ways in range(1, llc_ways)
+        ]
+
+    def dynamic(self, spec, controller=None):
+        """Run ``spec`` under the dynamic controller.
+
+        Returns a CoRunMeasurement whose ``extra`` carries at least
+        ``actions`` (the controller's reallocation trail) and
+        ``controller``.
+        """
+        raise ValidationError(
+            f"backend {self.capabilities().name!r} does not support the "
+            "dynamic controller"
+        )

@@ -1,0 +1,228 @@
+"""The trace-engine backend: policies over address-level replay.
+
+Wraps :class:`repro.sim.trace_engine.TraceEngine` behind
+:class:`~repro.backend.protocol.SimBackend`, so the Section 5 policy
+suite (and the dynamic controller) runs against *actual line
+replacement* — the mechanism-level ground truth the occupancy model
+approximates:
+
+- ``co_run`` replays compiled trace packs through ``run_packed`` with
+  the split's way masks applied (a fresh hierarchy per run, exactly the
+  pre-refactor per-mask methodology);
+- ``sweep`` does NOT re-simulate per split: one profiled co-run
+  (:func:`repro.sim.trace_engine.way_allocation_sweep`, a per-domain
+  UMON) yields exact ``hits(ways)`` curves, and every disjoint split is
+  scored from those curves — foreground cost as misses at its
+  allocation, background rate as hits at the complement. The biased
+  policy then measures only its chosen split;
+- ``dynamic`` drives :meth:`TraceEngine.run_dynamic` — epoch-resumable
+  replay with flush-free reallocation between control periods.
+
+``fg_cost`` is the foreground's average access latency in cycles;
+``bg_rate`` is the background's accesses per kilocycle of its own
+virtual time. Both are deterministic and identical across the native
+and pure-Python kernels.
+"""
+
+from repro.backend.protocol import (
+    BackendCapabilities,
+    CoRunMeasurement,
+    PairSpec,
+    SimBackend,
+    SoloMeasurement,
+    WaySplit,
+)
+from repro.util.errors import ValidationError
+
+DEFAULT_TOTAL_ACCESSES = 120_000
+DEFAULT_EPOCH_ACCESSES = 4_000
+
+
+class TraceBackend(SimBackend):
+    """Shared/fair/biased/dynamic over the address-level trace engine."""
+
+    def __init__(self, total_accesses=DEFAULT_TOTAL_ACCESSES,
+                 cache_backend="kernel", prefetchers_on=False,
+                 use_packs=True, epoch_accesses=DEFAULT_EPOCH_ACCESSES,
+                 dynamic_total_accesses=None):
+        if total_accesses < 1:
+            raise ValidationError("total_accesses must be positive")
+        self.total_accesses = total_accesses
+        self.cache_backend = cache_backend
+        self.prefetchers_on = prefetchers_on
+        self.use_packs = use_packs
+        self.epoch_accesses = epoch_accesses
+        self.dynamic_total_accesses = (
+            dynamic_total_accesses or total_accesses
+        )
+
+    def capabilities(self):
+        from repro.cache.profile import LLC_NUM_WAYS
+
+        return BackendCapabilities(
+            name="trace",
+            llc_ways=LLC_NUM_WAYS,
+            fg_cost_unit="cycles/access",
+            bg_rate_unit="accesses/kcycle",
+            sweep_is_measured=False,
+            supports_dynamic=True,
+            supports_energy=False,
+        )
+
+    # -- engine plumbing ----------------------------------------------------
+
+    def _fresh_engine(self, spec=None, split=None):
+        """A new hierarchy, with ``split``'s way masks applied if given."""
+        from repro.cache.llc import WayMask
+        from repro.sim.trace_engine import TraceEngine
+
+        engine = TraceEngine(
+            prefetchers_on=self.prefetchers_on, backend=self.cache_backend
+        )
+        if split is not None:
+            llc_ways = self.capabilities().llc_ways
+            core_of = engine.hierarchy.core_of_tid
+            engine.hierarchy.set_way_mask(
+                core_of(spec.fg.tid),
+                WayMask.contiguous(split.fg_ways, 0, llc_ways),
+            )
+            engine.hierarchy.set_way_mask(
+                core_of(spec.bg.tid),
+                WayMask.contiguous(
+                    split.bg_ways, llc_ways - split.bg_ways, llc_ways
+                ),
+            )
+        return engine
+
+    def _run(self, engine, workloads, total_accesses):
+        if self.use_packs:
+            return engine.run_packed(workloads, total_accesses=total_accesses)
+        return engine.run(workloads, total_accesses=total_accesses)
+
+    @staticmethod
+    def _rate(stats):
+        return stats.access_rate_per_kilocycle
+
+    # -- the protocol -------------------------------------------------------
+
+    def solo(self, workload):
+        """The workload alone on the whole (unpartitioned) cache."""
+        engine = self._fresh_engine()
+        stats = self._run(engine, [workload], self.total_accesses)
+        return SoloMeasurement(
+            backend="trace",
+            name=workload.name,
+            cost=stats[workload.name].avg_latency,
+            raw=stats,
+        )
+
+    def co_run(self, spec, split):
+        engine = self._fresh_engine(spec, split)
+        stats = self._run(engine, [spec.fg, spec.bg], self.total_accesses)
+        return CoRunMeasurement(
+            backend="trace",
+            fg_name=spec.fg_name,
+            bg_name=spec.bg_name,
+            fg_ways=split.fg_ways,
+            bg_ways=split.bg_ways,
+            fg_cost=stats[spec.fg_name].avg_latency,
+            bg_rate=self._rate(stats[spec.bg_name]),
+            raw=stats,
+        )
+
+    def sweep(self, spec):
+        """Every disjoint split, scored from ONE profiled co-run.
+
+        The per-domain stack-distance curves are exact under true LRU
+        (what the UMON directories model), so the scores rank splits
+        exactly as per-mask re-simulation of the profiled stream would —
+        without 11 replays. Entries are scores, not measurements
+        (``sweep_is_measured=False``): the policy layer re-measures the
+        split it finally picks with :meth:`co_run`.
+        """
+        from repro.sim.trace_engine import way_allocation_sweep
+
+        llc_ways = self.capabilities().llc_ways
+        workloads = [spec.fg, spec.bg]
+        stats, curves = way_allocation_sweep(
+            workloads,
+            total_accesses=self.total_accesses,
+            prefetchers_on=self.prefetchers_on,
+            backend=self.cache_backend,
+            use_packs=self.use_packs,
+        )
+        fg_curve = curves[spec.fg.tid // 2]
+        bg_curve = curves[spec.bg.tid // 2]
+        out = []
+        for fg_ways in range(1, llc_ways):
+            bg_ways = llc_ways - fg_ways
+            out.append(
+                (
+                    fg_ways,
+                    CoRunMeasurement(
+                        backend="trace",
+                        fg_name=spec.fg_name,
+                        bg_name=spec.bg_name,
+                        fg_ways=fg_ways,
+                        bg_ways=bg_ways,
+                        fg_cost=float(fg_curve.misses(fg_ways)),
+                        bg_rate=float(bg_curve.hits(bg_ways)),
+                        raw=None,
+                        extra={"source": "profile"},
+                    ),
+                )
+            )
+        return out
+
+    def dynamic(self, spec, controller=None):
+        """Epoch-resumable replay under the dynamic controller."""
+        from repro.core.dynamic import DynamicPartitionController
+
+        if controller is None:
+            controller = DynamicPartitionController(
+                fg_name=spec.fg_name, bg_name=spec.bg_name
+            )
+        engine = self._fresh_engine()
+        result = engine.run_dynamic(
+            [spec.fg, spec.bg],
+            controller,
+            epoch_accesses=self.epoch_accesses,
+            total_accesses=self.dynamic_total_accesses,
+        )
+        llc_ways = self.capabilities().llc_ways
+        return CoRunMeasurement(
+            backend="trace",
+            fg_name=spec.fg_name,
+            bg_name=spec.bg_name,
+            fg_ways=controller.fg_ways,
+            bg_ways=llc_ways - controller.fg_ways,
+            fg_cost=result.stats[spec.fg_name].avg_latency,
+            bg_rate=self._rate(result.stats[spec.bg_name]),
+            raw=result.stats,
+            extra={
+                "controller": controller,
+                "actions": result.actions,
+                "timeline": result.timeline,
+                "epochs": result.epochs,
+                "native": result.native,
+                "result": result,
+            },
+        )
+
+    # Convenience used by the CLI, bench, and tests.
+    @staticmethod
+    def pair_spec(fg_factory, bg_factory, fg_name="fg", bg_name="bg",
+                  fg_tid=0, bg_tid=4, fg_think=6, bg_think=2, **options):
+        """A PairSpec from two picklable trace factories."""
+        from repro.sim.trace_engine import TraceWorkload
+
+        return PairSpec(
+            fg=TraceWorkload(fg_name, fg_factory, tid=fg_tid,
+                             think_cycles=fg_think),
+            bg=TraceWorkload(bg_name, bg_factory, tid=bg_tid,
+                             think_cycles=bg_think),
+            options=options,
+        )
+
+
+__all__ = ["TraceBackend", "WaySplit"]

@@ -5,7 +5,10 @@ Commands mirror the workflows of the paper's evaluation:
 - ``list-apps`` — the 45-application workload and its classifications.
 - ``characterize APP...`` — the Section 3 studies for named apps.
 - ``run-solo APP`` — one application, one allocation, full measurements.
-- ``consolidate FG BG`` — compare shared/fair/biased (+ optionally UCP).
+- ``consolidate FG BG`` — compare shared/fair/biased (+ optionally UCP or
+  the dynamic controller) on either backend (``--backend analytical`` runs
+  the interval engine over application models; ``--backend trace`` runs
+  the same policy code over address-level trace replay).
 - ``dynamic FG BG`` — run the Algorithm 6.1/6.2 controller, print its trace.
 - ``figure ID`` — regenerate a paper figure/table (1, 2, ..., 13, headline).
 - ``trace-sweep`` — way-allocation utility curves from one profiled replay.
@@ -46,9 +49,54 @@ def _build_parser():
     solo.add_argument("--ways", type=int, default=12)
 
     cons = sub.add_parser("consolidate", help="compare partitioning policies")
-    cons.add_argument("fg")
-    cons.add_argument("bg")
+    cons.add_argument(
+        "fg",
+        help="foreground application (or trace kind with --backend trace)",
+    )
+    cons.add_argument(
+        "bg",
+        help="background application (or trace kind with --backend trace)",
+    )
     cons.add_argument("--ucp", action="store_true", help="include the UCP baseline")
+    cons.add_argument(
+        "--backend",
+        default="analytical",
+        choices=("analytical", "trace"),
+        help="simulation substrate: the statistical interval engine, or "
+        "address-level trace replay (fg/bg name synthetic trace kinds)",
+    )
+    cons.add_argument(
+        "--dynamic",
+        action="store_true",
+        help="also run the Algorithm 6.2 dynamic controller",
+    )
+    cons.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the outcomes as a versioned run-set JSON "
+        "(diffable with 'repro compare')",
+    )
+    cons.add_argument(
+        "--check",
+        action="store_true",
+        help="(trace backend) cross-validate the policy layer's shared/"
+        "fair runs against direct way-mask replay (non-zero on mismatch)",
+    )
+    cons.add_argument(
+        "--accesses", type=int, default=60_000,
+        help="(trace backend) accesses per workload",
+    )
+    cons.add_argument(
+        "--footprint-mb", type=float, default=4.0,
+        help="(trace backend) foreground footprint",
+    )
+    cons.add_argument(
+        "--alpha", type=float, default=0.9, help="(trace backend) zipf skew"
+    )
+    cons.add_argument(
+        "--seed", type=int, default=1, help="(trace backend) trace seed"
+    )
 
     dyn = sub.add_parser("dynamic", help="run the dynamic controller")
     dyn.add_argument("fg")
@@ -142,6 +190,13 @@ def _build_parser():
         help="worker processes for the --check fan-out "
         "(default: REPRO_WORKERS or 1)",
     )
+    sweep.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the per-split profile scores as a versioned run-set "
+        "JSON (2-domain co-run only)",
+    )
 
     tdyn = sub.add_parser(
         "trace-dynamic",
@@ -176,8 +231,18 @@ def _build_parser():
         action="store_true",
         help="print the engine's own perf-stat block after the run",
     )
+    tdyn.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the dynamic outcome as a versioned run-set JSON",
+    )
 
-    cmp_ = sub.add_parser("compare", help="diff two evaluate artifact sets")
+    cmp_ = sub.add_parser(
+        "compare",
+        help="diff two evaluate artifact directories, or two run-set "
+        "JSON files (e.g. one per backend)",
+    )
     cmp_.add_argument("before")
     cmp_.add_argument("after")
     cmp_.add_argument("--stages", nargs="*", default=["headline"])
@@ -272,19 +337,34 @@ def _cmd_run_solo(args, out):
     )
 
 
+def _write_runset(outcomes, capabilities, path, out, meta=None):
+    from repro.analysis.store import runset_from_outcomes, save_runset
+
+    runset = runset_from_outcomes(
+        outcomes, capabilities=capabilities, meta=meta
+    )
+    count = save_runset(runset, path)
+    out.write(f"run set: {count} records -> {path}\n")
+
+
 def _cmd_consolidate(args, out):
-    from repro.core import run_biased, run_fair, run_shared
+    if args.backend == "trace":
+        _consolidate_trace(args, out)
+        return
+    from repro.backend import AnalyticalBackend
+    from repro.core.policies import run_policy_on
 
     machine = Machine()
     fg = get_application(args.fg)
     bg = get_application(args.bg)
+    backend = AnalyticalBackend(machine)
+    spec = AnalyticalBackend.pair_spec(fg, bg)
     threads = 1 if fg.scalability.single_threaded else 4
     solo = machine.run_solo(fg, threads=threads)
-    outcomes = [
-        run_shared(machine, fg, bg),
-        run_fair(machine, fg, bg),
-        run_biased(machine, fg, bg),
-    ]
+    policies = ["shared", "fair", "biased"]
+    if args.dynamic:
+        policies.append("dynamic")
+    outcomes = [run_policy_on(backend, spec, p) for p in policies]
     if args.ucp:
         from repro.core.ucp import run_ucp
 
@@ -306,27 +386,99 @@ def _cmd_consolidate(args, out):
         )
         + "\n"
     )
+    if args.json:
+        _write_runset(
+            outcomes,
+            backend.capabilities(),
+            args.json,
+            out,
+            meta={"source": "consolidate", "fg": fg.name, "bg": bg.name},
+        )
+
+
+def _consolidate_trace(args, out):
+    from repro.analysis.experiments import (
+        trace_pair_spec,
+        verify_trace_policy_replay,
+    )
+    from repro.backend import TraceBackend
+    from repro.core.policies import run_policy_on
+    from repro.workloads.trace import trace_kinds
+
+    kinds = tuple(trace_kinds())
+    for name in (args.fg, args.bg):
+        if name not in kinds:
+            raise ValidationError(
+                f"--backend trace takes synthetic trace kinds {kinds}; "
+                f"got {name!r}"
+            )
+    backend = TraceBackend(total_accesses=args.accesses)
+    spec = trace_pair_spec(
+        args.fg,
+        args.bg,
+        accesses=args.accesses,
+        footprint_mb=args.footprint_mb,
+        alpha=args.alpha,
+        seed=args.seed,
+    )
+    policies = ["shared", "fair", "biased"]
+    if args.dynamic:
+        policies.append("dynamic")
+    outcomes = [run_policy_on(backend, spec, p) for p in policies]
+    rows = [
+        (
+            o.policy,
+            f"{o.fg_ways}/{o.bg_ways}",
+            f"{o.fg_cost:.2f}",
+            f"{o.bg_rate:.2f}",
+        )
+        for o in outcomes
+    ]
+    out.write(
+        format_table(
+            ["policy", "fg/bg ways", "fg cyc/access", "bg acc/kcycle"],
+            rows,
+            title=f"{spec.fg_name} (fg) + {spec.bg_name} (bg) — trace backend",
+        )
+        + "\n"
+    )
+    if args.check:
+        checked = verify_trace_policy_replay(backend, spec)
+        out.write(
+            f"check: policy layer agrees with direct way-mask replay "
+            f"({checked} comparisons)\n"
+        )
+    if args.json:
+        _write_runset(
+            outcomes,
+            backend.capabilities(),
+            args.json,
+            out,
+            meta={
+                "source": "consolidate",
+                "fg": spec.fg_name,
+                "bg": spec.bg_name,
+                "accesses": args.accesses,
+            },
+        )
 
 
 def _cmd_dynamic(args, out):
     from repro.core.dynamic import DynamicPartitionController
-    from repro.runtime.harness import paper_pair_allocations
 
     machine = Machine()
     fg = get_application(args.fg)
     backgrounds = [get_application(n) for n in args.bg]
     if len(backgrounds) == 1:
-        bg = backgrounds[0]
-        controller = DynamicPartitionController(fg.name, bg.name)
-        masks = controller.masks()
-        fg_alloc, bg_alloc = paper_pair_allocations(fg, bg)
-        pair = machine.run_pair(
-            fg,
-            bg,
-            fg_alloc.with_mask(masks[fg.name]),
-            bg_alloc.with_mask(masks[bg.name]),
-            controller=controller,
+        from repro.backend import AnalyticalBackend
+        from repro.core.policies import policy_dynamic
+
+        backend = AnalyticalBackend(machine)
+        outcome = policy_dynamic(
+            backend, AnalyticalBackend.pair_spec(fg, backgrounds[0])
         )
+        pair = outcome.pair
+        controller = outcome.measurement.extra["controller"]
         bg_rate = pair.bg_rate_ips
     else:
         from repro.sim.allocation import Allocation
@@ -461,22 +613,15 @@ def _cmd_evaluate(args, out):
 def _trace_factory(args, length=None, tid=0):
     """A picklable factory for the CLI-selected trace (``functools.partial``
     of the registry constructor, so process-pool checks can ship it)."""
-    import functools
+    from repro.analysis.experiments import trace_kind_factory
 
-    from repro.util.units import MB
-    from repro.workloads.trace import make_trace
-
-    n = length if length is not None else args.accesses
-    footprint = int(args.footprint_mb * MB)
-    kind = args.trace
-    positional, kwargs = {
-        "zipf": ((footprint,), {"alpha": args.alpha, "seed": args.seed}),
-        "stream": ((footprint,), {}),
-        "stride": ((), {"stride": 256}),
-        "chase": ((footprint,), {"seed": args.seed}),
-    }.get(kind, ((footprint,), {}))
-    return functools.partial(
-        make_trace, kind, n, *positional, tid=tid, **kwargs
+    return trace_kind_factory(
+        args.trace,
+        length if length is not None else args.accesses,
+        footprint_mb=args.footprint_mb,
+        alpha=args.alpha,
+        seed=args.seed,
+        tid=tid,
     )
 
 
@@ -537,41 +682,112 @@ def _cmd_trace_sweep(args, out):
                 f"check: profiled hits match per-mask re-simulation at "
                 f"{len(rows)} allocations\n"
             )
+    if args.json:
+        from repro.analysis.store import save_runset
+
+        count = save_runset(_sweep_runset(data, args), args.json)
+        out.write(f"run set: {count} records -> {args.json}\n")
     if args.engine_stat:
         from repro.perf.stat import format_engine_stat
 
         out.write(format_engine_stat() + "\n")
 
 
+def _sweep_runset(data, args):
+    """Per-allocation profile scores as a run set (one record per split,
+    ``policy='static-NN'``), so two sweeps — e.g. native vs pure-Python
+    kernels — can be diffed with ``repro compare``."""
+    from repro import __version__
+    from repro.analysis.store import RunRecord, RunSet
+    from repro.cache.profile import LLC_NUM_WAYS
+
+    curves = data["curves"]
+    records = []
+    if args.co_run:
+        fg_curve = curves["fg"]
+        bg_curve = curves["bg"]
+        for fg_ways in range(1, LLC_NUM_WAYS):
+            bg_ways = LLC_NUM_WAYS - fg_ways
+            records.append(
+                RunRecord(
+                    policy=f"static-{fg_ways:02d}",
+                    backend="trace",
+                    fg=args.trace,
+                    bg="bg",
+                    fg_ways=fg_ways,
+                    bg_ways=bg_ways,
+                    metrics={
+                        "fg_cost": float(fg_curve.misses(fg_ways)),
+                        "bg_rate": float(bg_curve.hits(bg_ways)),
+                        "fg_ways": float(fg_ways),
+                        "bg_ways": float(bg_ways),
+                    },
+                    units={"fg_cost": "misses", "bg_rate": "hits"},
+                    provenance={"source": "profile", "domains": args.domains},
+                )
+            )
+    else:
+        curve = curves[args.trace]
+        for ways in range(1, LLC_NUM_WAYS + 1):
+            records.append(
+                RunRecord(
+                    policy=f"static-{ways:02d}",
+                    backend="trace",
+                    fg=args.trace,
+                    bg="-",
+                    fg_ways=ways,
+                    bg_ways=LLC_NUM_WAYS - ways,
+                    metrics={
+                        "fg_cost": float(curve.misses(ways)),
+                        "fg_ways": float(ways),
+                    },
+                    units={"fg_cost": "misses"},
+                    provenance={"source": "profile"},
+                )
+            )
+    return RunSet(
+        records=records,
+        backend="trace",
+        model_version=__version__,
+        meta={"source": "trace-sweep", "trace": args.trace},
+    )
+
+
 def _cmd_trace_dynamic(args, out):
     import functools
 
     from repro.analysis.render import render_dynamic_timeline
-    from repro.core.dynamic import DynamicPartitionController
-    from repro.sim.trace_engine import TraceEngine, TraceWorkload
+    from repro.backend import TraceBackend
+    from repro.core.policies import policy_dynamic
     from repro.util.units import MB
     from repro.workloads.trace import make_trace
 
-    workloads = [
-        TraceWorkload("fg", _trace_factory(args, tid=0), tid=0,
-                      think_cycles=6),
-        TraceWorkload(
-            "bg",
-            functools.partial(make_trace, "stream", args.accesses,
-                              int(8 * MB), tid=4),
-            tid=4,
-            think_cycles=2,
-        ),
-    ]
-    engine = TraceEngine(prefetchers_on=False, backend="kernel")
-    controller = DynamicPartitionController("fg", "bg")
-    result = engine.run_dynamic(
-        workloads,
-        controller,
+    backend = TraceBackend(
+        total_accesses=args.accesses,
         epoch_accesses=args.epoch_accesses,
-        total_accesses=args.total_accesses,
+        dynamic_total_accesses=args.total_accesses,
     )
+    spec = TraceBackend.pair_spec(
+        _trace_factory(args, tid=0),
+        functools.partial(
+            make_trace, "stream", args.accesses, int(8 * MB), tid=4
+        ),
+    )
+    outcome = policy_dynamic(backend, spec)
+    result = outcome.measurement.extra["result"]
     out.write(render_dynamic_timeline(result, limit=args.actions) + "\n")
+    if args.json:
+        _write_runset(
+            [outcome],
+            backend.capabilities(),
+            args.json,
+            out,
+            meta={
+                "source": "trace-dynamic",
+                "trace": args.trace,
+                "total_accesses": args.total_accesses,
+            },
+        )
     if args.engine_stat:
         from repro.perf.stat import format_engine_stat
 
@@ -579,8 +795,33 @@ def _cmd_trace_dynamic(args, out):
 
 
 def _cmd_compare(args, out):
-    from repro.analysis.compare import format_deltas, regressions
+    import os
 
+    from repro.analysis.compare import diff_runsets, format_deltas, regressions
+
+    if os.path.isfile(args.before) or os.path.isfile(args.after):
+        # Two run-set JSON files (possibly from different backends).
+        moved, checked, unmatched = diff_runsets(
+            args.before, args.after, tolerance=args.tolerance
+        )
+        if unmatched:
+            out.write(
+                "only on one side: "
+                + ", ".join("{}:{}+{}".format(*key) for key in unmatched)
+                + "\n"
+            )
+        if moved:
+            out.write(format_deltas(moved) + "\n")
+            out.write(
+                f"{len(moved)} of {checked} comparable metrics moved "
+                "beyond tolerance\n"
+            )
+        else:
+            out.write(
+                f"all {checked} comparable metrics agree within "
+                f"{args.tolerance:.0%}\n"
+            )
+        return
     moved, checked = regressions(
         args.before, args.after, stages=args.stages, tolerance=args.tolerance
     )

@@ -1,7 +1,9 @@
 """The paper's contribution: partitioning policies and the dynamic controller.
 
-- :mod:`repro.core.policies` — the three static policies of Section 5
-  (shared / fair / biased) and the exhaustive best-static search.
+- :mod:`repro.core.policies` — the Section 5 policy suite (shared /
+  fair / biased, plus the dynamic controller as a policy), implemented
+  once against the :mod:`repro.backend` protocol so the same code runs
+  on the interval engine and on address-level trace replay.
 - :mod:`repro.core.phase` — the MPKI phase detector (Algorithm 6.1).
 - :mod:`repro.core.dynamic` — the dynamic cache-partitioning controller
   (Algorithm 6.2).
@@ -33,11 +35,20 @@ from repro.core.metrics import (
 )
 from repro.core.phase import PhaseDetector
 from repro.core.policies import (
+    POLICY_NAMES,
     PolicyOutcome,
+    choose_biased_split,
+    policy_biased,
+    policy_dynamic,
+    policy_fair,
+    policy_shared,
     run_biased,
+    run_dynamic,
     run_fair,
     run_policy,
+    run_policy_on,
     run_shared,
+    sweep_splits,
     sweep_static_partitions,
 )
 
@@ -47,6 +58,7 @@ __all__ = [
     "DynamicPartitionController",
     "ForegroundRequest",
     "MultiFgPlan",
+    "POLICY_NAMES",
     "PhaseDetector",
     "PolicyOutcome",
     "QosBandwidthDomain",
@@ -54,18 +66,26 @@ __all__ = [
     "SlowdownBoundAllocator",
     "UcpAllocation",
     "apply_qos",
-    "miss_curve",
-    "partition_ucp",
-    "render_dendrogram",
-    "run_ucp",
+    "choose_biased_split",
     "cluster_applications",
     "energy_ratio",
+    "miss_curve",
+    "partition_ucp",
+    "policy_biased",
+    "policy_dynamic",
+    "policy_fair",
+    "policy_shared",
     "relative_throughput",
+    "render_dendrogram",
     "run_biased",
+    "run_dynamic",
     "run_fair",
     "run_policy",
+    "run_policy_on",
     "run_shared",
+    "run_ucp",
     "slowdown",
+    "sweep_splits",
     "sweep_static_partitions",
     "throughput_gain",
     "weighted_speedup",

@@ -1,99 +1,272 @@
-"""The static partitioning policies of Section 5.
+"""The partitioning policies of Section 5, written once over any backend.
 
 - *shared*: no partitioning — both applications may replace anywhere.
 - *fair*: an even 6/6 way split.
 - *biased*: the best static split, found exactly as the paper does —
-  evaluate every allocation and, among those with minimum foreground
+  score every allocation and, among those with minimum foreground
   degradation, pick the one maximizing background throughput.
+- *dynamic*: the Algorithm 6.2 controller (:mod:`repro.core.dynamic`).
+
+Each policy is implemented exactly once, against the
+:class:`~repro.backend.protocol.SimBackend` protocol, so the same code
+runs on the statistical interval engine
+(:class:`~repro.backend.analytical.AnalyticalBackend`) and on
+address-level trace replay
+(:class:`~repro.backend.trace.TraceBackend`). The historical
+machine-first entry points (``run_shared(machine, fg, bg)``, ...) are
+kept as thin wrappers that adapt a :class:`~repro.sim.engine.Machine`
+into an analytical backend — through them the analytical results are
+bit-identical to the pre-backend implementation.
 """
 
 from dataclasses import dataclass, field
 
-from repro.runtime.harness import paper_pair_allocations
+from repro.backend import AnalyticalBackend, CoRunMeasurement, PairSpec, SimBackend, WaySplit
 from repro.util.errors import ValidationError
 
-# Foreground slowdowns within this tolerance count as "minimum
+# Foreground degradations within this tolerance count as "minimum
 # degradation" when choosing the biased split (measurement-noise margin).
 _BIAS_TOLERANCE = 0.005
+
+POLICY_NAMES = ("shared", "fair", "biased", "dynamic")
 
 
 @dataclass
 class PolicyOutcome:
-    """A policy run: the chosen split and the resulting measurements."""
+    """A policy run: the chosen split and the resulting measurements.
+
+    ``pair`` is the backend's native result (a
+    :class:`~repro.sim.engine.PairResult` on the analytical backend, a
+    ``{name: TraceStats}`` dict on the trace backend); ``measurement``
+    is the backend-neutral :class:`~repro.backend.protocol.CoRunMeasurement`
+    the policy actually compared on.
+    """
 
     policy: str
     fg_name: str
     bg_name: str
     fg_ways: int
     bg_ways: int
-    pair: object  # PairResult
-    sweep: list = field(default_factory=list)  # (fg_ways, PairResult)
+    pair: object  # PairResult | {name: TraceStats}
+    sweep: list = field(default_factory=list)  # (fg_ways, PairResult | measurement)
+    measurement: object = None  # CoRunMeasurement
+    backend: str = "analytical"
 
     @property
-    def fg_runtime_s(self):
+    def fg_cost(self):
+        """Foreground degradation (seconds, or cycles/access); lower is better."""
+        if self.measurement is not None:
+            return self.measurement.fg_cost
         return self.pair.fg.runtime_s
 
     @property
-    def bg_rate_ips(self):
+    def bg_rate(self):
+        """Background progress rate; higher is better."""
+        if self.measurement is not None:
+            return self.measurement.bg_rate
         return self.pair.bg_rate_ips
+
+    # Historical names (analytical units); equal to the generic pair on
+    # the analytical backend and aliased on the trace backend.
+    @property
+    def fg_runtime_s(self):
+        return self.fg_cost
+
+    @property
+    def bg_rate_ips(self):
+        return self.bg_rate
+
+
+# -- the single policy implementation (any SimBackend) -----------------------
+
+
+def policy_shared(backend, spec):
+    """No partitioning: overlapping full masks."""
+    ways = backend.capabilities().llc_ways
+    m = backend.co_run(spec, WaySplit.shared(ways))
+    return _outcome("shared", m)
+
+
+def policy_fair(backend, spec):
+    """Even static split."""
+    ways = backend.capabilities().llc_ways
+    m = backend.co_run(spec, WaySplit.fair(ways))
+    return _outcome("fair", m)
+
+
+def sweep_splits(backend, spec):
+    """Score every disjoint split (fg gets 1..ways-1).
+
+    Returns ``[(fg_ways, CoRunMeasurement)]`` in ascending order. On the
+    analytical backend each entry is a full co-run; the trace backend
+    scores all splits from one profiled pass (see
+    ``BackendCapabilities.sweep_is_measured``).
+    """
+    return backend.sweep(spec)
+
+
+def choose_biased_split(scored, tolerance=_BIAS_TOLERANCE):
+    """The biased selection rule over ``[(fg_ways, measurement)]``.
+
+    Among splits whose foreground cost is within ``tolerance`` of the
+    best observed, picks the one with maximum background rate. Exact
+    rate ties break toward the smaller foreground allocation, so the
+    choice is deterministic regardless of the ordering of ``scored``
+    (and matches the historical first-maximum over an ascending sweep).
+    """
+    scored = list(scored)
+    if not scored:
+        raise ValidationError("cannot choose a split from an empty sweep")
+    best_cost = min(m.fg_cost for _, m in scored)
+    cutoff = best_cost * (1.0 + tolerance)
+    candidates = [(w, m) for w, m in scored if m.fg_cost <= cutoff]
+    return max(candidates, key=lambda item: (item[1].bg_rate, -item[0]))
+
+
+def policy_biased(backend, spec, sweep=None):
+    """The best static split (the paper's 'biased' policy).
+
+    ``sweep`` may supply precomputed ``(fg_ways, measurement)`` scores
+    (or historical ``(fg_ways, PairResult)`` pairs, which are adapted).
+    When the winning entry is a profile-derived score rather than a
+    measured co-run, the chosen split is re-measured with one
+    ``co_run`` so the outcome carries real co-run measurements.
+    """
+    sweep = _as_measured_sweep(backend, spec, sweep) if sweep else backend.sweep(spec)
+    fg_ways, m = choose_biased_split(sweep)
+    if m.raw is None:
+        ways = backend.capabilities().llc_ways
+        m = backend.co_run(spec, WaySplit.disjoint(fg_ways, ways))
+    return _outcome("biased", m, sweep=_compat_sweep(sweep))
+
+
+def policy_dynamic(backend, spec, controller=None):
+    """The Algorithm 6.2 dynamic controller on any backend.
+
+    The controller shrinks the foreground's allocation while its MPKI
+    stays flat; the backend decides what an MPKI sample and a control
+    period are (100 ms engine steps analytically, replay epochs on
+    traces). The outcome's ``measurement.extra`` carries the controller
+    and its reallocation trail.
+    """
+    m = backend.dynamic(spec, controller=controller)
+    return _outcome("dynamic", m)
+
+
+def run_policy_on(backend, spec, policy, sweep=None):
+    """Dispatch by policy name ('shared' | 'fair' | 'biased' | 'dynamic')."""
+    if policy == "shared":
+        return policy_shared(backend, spec)
+    if policy == "fair":
+        return policy_fair(backend, spec)
+    if policy == "biased":
+        return policy_biased(backend, spec, sweep=sweep)
+    if policy == "dynamic":
+        return policy_dynamic(backend, spec)
+    raise ValidationError(f"unknown policy {policy!r}")
+
+
+def _outcome(policy, m, sweep=()):
+    return PolicyOutcome(
+        policy=policy,
+        fg_name=m.fg_name,
+        bg_name=m.bg_name,
+        fg_ways=m.fg_ways,
+        bg_ways=m.bg_ways,
+        pair=m.raw if m.raw is not None else m,
+        sweep=list(sweep),
+        measurement=m,
+        backend=m.backend,
+    )
+
+
+def _as_measured_sweep(backend, spec, sweep):
+    """Adapt historical ``(fg_ways, PairResult)`` sweeps to measurements."""
+    llc_ways = backend.capabilities().llc_ways
+    out = []
+    for fg_ways, entry in sweep:
+        if not isinstance(entry, CoRunMeasurement):
+            entry = CoRunMeasurement(
+                backend=backend.capabilities().name,
+                fg_name=spec.fg_name,
+                bg_name=spec.bg_name,
+                fg_ways=fg_ways,
+                bg_ways=llc_ways - fg_ways,
+                fg_cost=entry.fg.runtime_s,
+                bg_rate=entry.bg_rate_ips,
+                raw=entry,
+            )
+        out.append((fg_ways, entry))
+    return out
+
+
+def _compat_sweep(sweep):
+    """Store raw pairs where available (the historical sweep shape)."""
+    return [
+        (w, m.raw if m.raw is not None else m) for w, m in sweep
+    ]
+
+
+# -- historical machine-first entry points -----------------------------------
 
 
 def _run_split(machine, fg, bg, fg_ways, bg_ways, **kwargs):
-    fg_alloc, bg_alloc = paper_pair_allocations(
-        fg, bg, fg_ways, bg_ways, machine.config.llc_ways
-    )
-    return machine.run_pair(fg, bg, fg_alloc, bg_alloc, **kwargs)
+    """One co-run at an explicit split; returns the backend's raw result
+    (kept for the UCP baseline and other fixed-allocation callers)."""
+    backend, spec = _adapt(machine, fg, bg, kwargs)
+    return backend.co_run(spec, WaySplit(fg_ways, bg_ways)).raw
+
+
+def _adapt(machine, fg, bg, kwargs):
+    """(machine | backend, fg, bg, run kwargs) -> (backend, spec)."""
+    if isinstance(machine, SimBackend):
+        backend = machine
+        if isinstance(backend, AnalyticalBackend) and (
+            isinstance(fg, str) or isinstance(bg, str)
+        ):
+            return backend, AnalyticalBackend.pair_spec(fg, bg, **kwargs)
+        return backend, PairSpec(fg=fg, bg=bg, options=dict(kwargs))
+    return AnalyticalBackend(machine), PairSpec(fg=fg, bg=bg, options=dict(kwargs))
 
 
 def run_shared(machine, fg, bg, **kwargs):
     """No partitioning: overlapping full masks."""
-    ways = machine.config.llc_ways
-    pair = _run_split(machine, fg, bg, ways, ways, **kwargs)
-    return PolicyOutcome("shared", fg.name, bg.name, ways, ways, pair)
+    backend, spec = _adapt(machine, fg, bg, kwargs)
+    return policy_shared(backend, spec)
 
 
 def run_fair(machine, fg, bg, **kwargs):
     """Even static split."""
-    half = machine.config.llc_ways // 2
-    pair = _run_split(machine, fg, bg, half, machine.config.llc_ways - half, **kwargs)
-    return PolicyOutcome("fair", fg.name, bg.name, half, machine.config.llc_ways - half, pair)
+    backend, spec = _adapt(machine, fg, bg, kwargs)
+    return policy_fair(backend, spec)
 
 
 def sweep_static_partitions(machine, fg, bg, **kwargs):
-    """Measure every disjoint split (fg gets 1..ways-1)."""
-    ways = machine.config.llc_ways
-    sweep = []
-    for fg_ways in range(1, ways):
-        pair = _run_split(machine, fg, bg, fg_ways, ways - fg_ways, **kwargs)
-        sweep.append((fg_ways, pair))
-    return sweep
+    """Measure every disjoint split (fg gets 1..ways-1).
+
+    Returns the historical ``[(fg_ways, PairResult)]`` shape on the
+    analytical backend (profile-scored measurements where a backend has
+    no per-split co-run result).
+    """
+    backend, spec = _adapt(machine, fg, bg, kwargs)
+    return _compat_sweep(backend.sweep(spec))
 
 
 def run_biased(machine, fg, bg, sweep=None, **kwargs):
-    """The best static split (the paper's 'biased' policy).
+    """The best static split (the paper's 'biased' policy)."""
+    backend, spec = _adapt(machine, fg, bg, kwargs)
+    return policy_biased(backend, spec, sweep=sweep)
 
-    Among splits whose foreground runtime is within a small tolerance of
-    the best observed, picks the one with maximum background throughput.
-    """
-    sweep = sweep or sweep_static_partitions(machine, fg, bg, **kwargs)
-    best_fg_time = min(pair.fg.runtime_s for _, pair in sweep)
-    cutoff = best_fg_time * (1.0 + _BIAS_TOLERANCE)
-    candidates = [(w, p) for w, p in sweep if p.fg.runtime_s <= cutoff]
-    fg_ways, pair = max(candidates, key=lambda item: item[1].bg_rate_ips)
-    return PolicyOutcome(
-        "biased",
-        fg.name,
-        bg.name,
-        fg_ways,
-        machine.config.llc_ways - fg_ways,
-        pair,
-        sweep=sweep,
-    )
+
+def run_dynamic(machine, fg, bg, controller=None, **kwargs):
+    """The dynamic controller (Algorithm 6.2)."""
+    backend, spec = _adapt(machine, fg, bg, kwargs)
+    return policy_dynamic(backend, spec, controller=controller)
 
 
 def run_policy(machine, fg, bg, policy, **kwargs):
-    """Dispatch by policy name ('shared' | 'fair' | 'biased')."""
-    runners = {"shared": run_shared, "fair": run_fair, "biased": run_biased}
-    if policy not in runners:
+    """Dispatch by policy name ('shared' | 'fair' | 'biased' | 'dynamic')."""
+    if policy not in POLICY_NAMES:
         raise ValidationError(f"unknown policy {policy!r}")
-    return runners[policy](machine, fg, bg, **kwargs)
+    backend, spec = _adapt(machine, fg, bg, kwargs)
+    return run_policy_on(backend, spec, policy)

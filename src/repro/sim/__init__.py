@@ -1,36 +1,39 @@
-"""The interval-based execution engine.
+"""The simulation substrates: the interval engine and the trace engine.
 
-Runs application models on the simulated platform. Within an interval the
-engine solves a fixed point between instruction rates, LLC occupancy, and
-ring/DRAM bandwidth contention, then integrates energy. Two run modes:
+Two engines, one policy-facing protocol (:mod:`repro.backend`):
 
-- *event-driven* (exact for static allocations): rates are constant
-  between phase boundaries and completions, so the engine jumps from
-  event to event — this is what all static experiments use;
-- *stepped* (100 ms steps by default): used when a dynamic controller is
-  reallocating cache at runtime.
+- :class:`Machine` — the interval-based statistical engine. Runs
+  application models; within an interval it solves a fixed point between
+  instruction rates, LLC occupancy, and ring/DRAM bandwidth contention,
+  then integrates energy. Event-driven for static allocations (exact),
+  stepped (100 ms default) when a dynamic controller reallocates at
+  runtime.
+- :class:`TraceEngine` — address-level replay through the modeled cache
+  hierarchy: compiled trace packs, way-mask partitioning, single-pass
+  way profiling (:func:`way_allocation_sweep`), and epoch-resumable
+  dynamic replay (:class:`DynamicTraceResult`).
 """
 
 from repro.sim.allocation import Allocation
 from repro.sim.engine import GroupResult, Machine, PairResult, RunResult
-from repro.sim.interval import IntervalSolution, solve_interval
-from repro.sim.occupancy import OccupancyRequest, solve_occupancy
-from repro.sim.trace_engine import TraceEngine, TraceWorkload, measure_isolation
+from repro.sim.trace_engine import (
+    DynamicTraceResult,
+    TraceEngine,
+    TraceWorkload,
+    way_allocation_sweep,
+)
 from repro.sim.tuning import DEFAULT_TUNING, EngineTuning
 
 __all__ = [
     "Allocation",
     "DEFAULT_TUNING",
+    "DynamicTraceResult",
     "EngineTuning",
     "GroupResult",
-    "IntervalSolution",
     "Machine",
-    "OccupancyRequest",
     "PairResult",
     "RunResult",
     "TraceEngine",
     "TraceWorkload",
-    "measure_isolation",
-    "solve_interval",
-    "solve_occupancy",
+    "way_allocation_sweep",
 ]

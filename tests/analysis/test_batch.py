@@ -72,4 +72,5 @@ class TestResume:
             "energy",
             "dynamic",
             "headline",
+            "runset",
         ]

@@ -1,11 +1,20 @@
-"""Characterization persistence."""
+"""Versioned persistence: the characterization store and run sets."""
 
 import json
+import os
 
 import pytest
 
 from repro.analysis import Characterizer
-from repro.analysis.store import load_characterizer, save_characterizer
+from repro.analysis.store import (
+    RUNSET_VERSION,
+    RunRecord,
+    RunSet,
+    load_characterizer,
+    load_runset,
+    save_characterizer,
+    save_runset,
+)
 from repro.util.errors import ValidationError
 from repro.workloads import get_application
 
@@ -75,3 +84,127 @@ class TestInvalidation:
         payload["store_version"] = 99
         path.write_text(json.dumps(payload))
         assert load_characterizer(Characterizer(), path) == 0
+
+    def test_malformed_key_is_a_validation_error(
+        self, warm_characterizer, tmp_path
+    ):
+        path = tmp_path / "char.json"
+        save_characterizer(warm_characterizer, path)
+        payload = json.loads(path.read_text())
+        runs = payload["runs"]
+        runs["fop-4-12"] = next(iter(runs.values()))
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValidationError, match="malformed"):
+            load_characterizer(Characterizer(), path)
+
+    def test_bad_run_payload_is_a_validation_error(
+        self, warm_characterizer, tmp_path
+    ):
+        path = tmp_path / "char.json"
+        save_characterizer(warm_characterizer, path)
+        payload = json.loads(path.read_text())
+        key = next(iter(payload["runs"]))
+        payload["runs"][key]["no_such_field"] = 1.0
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValidationError, match="bad run payload"):
+            load_characterizer(Characterizer(), path)
+
+    def test_runs_must_be_a_mapping(self, warm_characterizer, tmp_path):
+        path = tmp_path / "char.json"
+        save_characterizer(warm_characterizer, path)
+        payload = json.loads(path.read_text())
+        payload["runs"] = [1, 2, 3]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValidationError, match="not a mapping"):
+            load_characterizer(Characterizer(), path)
+
+
+def _record(policy="biased", fg="fop", bg="batik", fg_ways=9):
+    return RunRecord(
+        policy=policy,
+        backend="analytical",
+        fg=fg,
+        bg=bg,
+        fg_ways=fg_ways,
+        bg_ways=12 - fg_ways,
+        metrics={"fg_cost": 1.25, "bg_rate": 3.5,
+                 "fg_ways": float(fg_ways), "bg_ways": float(12 - fg_ways)},
+        units={"fg_cost": "s", "bg_rate": "instr/s"},
+        provenance={"sweep_points": 11},
+    )
+
+
+class TestRunSetRoundTrip:
+    def test_save_then_load_preserves_records(self, tmp_path):
+        path = tmp_path / "runs.json"
+        runset = RunSet(
+            records=[_record(), _record(policy="fair", fg_ways=6)],
+            backend="analytical",
+            model_version="1.0",
+            meta={"source": "test"},
+        )
+        assert save_runset(runset, path) == 2
+        loaded = load_runset(path)
+        assert loaded.records == runset.records
+        assert loaded.backend == "analytical"
+        assert loaded.model_version == "1.0"
+        assert loaded.meta == {"source": "test"}
+
+    def test_writes_are_atomic_and_leave_no_droppings(self, tmp_path):
+        path = tmp_path / "runs.json"
+        save_runset(RunSet(records=[_record()]), path)
+        assert os.listdir(tmp_path) == ["runs.json"]
+
+    def test_duplicate_keys_keep_the_last_record(self):
+        first = _record(fg_ways=9)
+        second = _record(fg_ways=3)
+        runset = RunSet(records=[first, second])
+        assert runset.by_key()[("biased", "fop", "batik")] is second
+
+
+class TestRunSetInvalidation:
+    def test_missing_file_is_an_error(self, tmp_path):
+        with pytest.raises(ValidationError, match="no run set"):
+            load_runset(tmp_path / "absent.json")
+
+    def test_corrupt_json_rejected(self, tmp_path):
+        path = tmp_path / "runs.json"
+        path.write_text("{not json")
+        with pytest.raises(ValidationError, match="corrupt"):
+            load_runset(path)
+
+    def test_schema_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "runs.json"
+        save_runset(RunSet(records=[_record()]), path)
+        payload = json.loads(path.read_text())
+        payload["runset_version"] = RUNSET_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValidationError, match="schema version"):
+            load_runset(path)
+
+    def test_records_must_be_a_list(self, tmp_path):
+        path = tmp_path / "runs.json"
+        save_runset(RunSet(records=[_record()]), path)
+        payload = json.loads(path.read_text())
+        payload["records"] = {"nope": 1}
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValidationError, match="not a list"):
+            load_runset(path)
+
+    def test_malformed_record_is_a_validation_error(self, tmp_path):
+        path = tmp_path / "runs.json"
+        save_runset(RunSet(records=[_record()]), path)
+        payload = json.loads(path.read_text())
+        del payload["records"][0]["policy"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValidationError, match="malformed run record"):
+            load_runset(path)
+
+    def test_non_numeric_metrics_rejected(self, tmp_path):
+        path = tmp_path / "runs.json"
+        save_runset(RunSet(records=[_record()]), path)
+        payload = json.loads(path.read_text())
+        payload["records"][0]["metrics"]["fg_cost"] = "fast"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValidationError, match="malformed run record"):
+            load_runset(path)

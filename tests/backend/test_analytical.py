@@ -1,0 +1,133 @@
+"""The analytical backend must be a transparent view of ``Machine``.
+
+Every assertion here is exact (``==`` on floats): the backend makes the
+same ``paper_pair_allocations`` + ``run_pair`` calls the pre-backend
+policy code made, so there is nothing to be approximately equal about.
+"""
+
+import pytest
+
+from repro.backend import AnalyticalBackend, PairSpec, WaySplit
+from repro.core.policies import (
+    choose_biased_split,
+    policy_dynamic,
+    policy_fair,
+    policy_shared,
+    run_biased,
+    run_fair,
+    run_shared,
+)
+from repro.runtime.harness import paper_pair_allocations
+from repro.workloads import get_application
+
+FG = "471.omnetpp"
+BG = "canneal"
+
+
+@pytest.fixture(scope="module")
+def fg():
+    return get_application(FG)
+
+
+@pytest.fixture(scope="module")
+def bg():
+    return get_application(BG)
+
+
+@pytest.fixture(scope="module")
+def backend(machine):
+    return AnalyticalBackend(machine)
+
+
+@pytest.fixture(scope="module")
+def spec(fg, bg):
+    return AnalyticalBackend.pair_spec(fg, bg)
+
+
+class TestCapabilities:
+    def test_reports_the_interval_engine(self, backend, machine):
+        caps = backend.capabilities()
+        assert caps.name == "analytical"
+        assert caps.llc_ways == machine.config.llc_ways
+        assert caps.fg_cost_unit == "s"
+        assert caps.bg_rate_unit == "instr/s"
+        assert caps.sweep_is_measured
+        assert caps.supports_dynamic
+        assert caps.supports_energy
+
+    def test_pair_spec_resolves_names(self):
+        spec = AnalyticalBackend.pair_spec("fop", "batik")
+        assert spec.fg_name == "fop"
+        assert spec.bg_name == "batik"
+
+
+class TestCoRunEquality:
+    def test_co_run_is_exactly_run_pair(self, backend, machine, spec, fg, bg):
+        m = backend.co_run(spec, WaySplit(9, 3))
+        fg_alloc, bg_alloc = paper_pair_allocations(
+            fg, bg, 9, 3, machine.config.llc_ways
+        )
+        pair = machine.run_pair(fg, bg, fg_alloc, bg_alloc)
+        assert m.fg_cost == pair.fg.runtime_s
+        assert m.bg_rate == pair.bg_rate_ips
+        assert m.raw.fg.runtime_s == pair.fg.runtime_s
+        assert m.raw.fg.socket_energy_j == pair.fg.socket_energy_j
+
+    def test_solo_uses_the_shared_solo_cache(self, backend, machine, fg):
+        solo = backend.solo(fg)
+        direct = machine.run_solo_cached(
+            fg, threads=4, ways=machine.config.llc_ways
+        )
+        assert solo.cost == direct.runtime_s
+        assert solo.name == fg.name
+
+
+class TestPolicyEquality:
+    """Backend-first and machine-first entry points agree to the bit."""
+
+    def test_shared(self, backend, machine, spec, fg, bg):
+        via_backend = policy_shared(backend, spec)
+        via_machine = run_shared(machine, fg, bg)
+        assert via_backend.fg_runtime_s == via_machine.fg_runtime_s
+        assert via_backend.bg_rate_ips == via_machine.bg_rate_ips
+        assert via_backend.fg_ways == via_machine.fg_ways == 12
+
+    def test_fair(self, backend, machine, spec, fg, bg):
+        via_backend = policy_fair(backend, spec)
+        via_machine = run_fair(machine, fg, bg)
+        assert via_backend.fg_runtime_s == via_machine.fg_runtime_s
+        assert via_backend.fg_ways == via_machine.fg_ways == 6
+
+    def test_biased(self, backend, machine, spec, fg, bg):
+        via_machine = run_biased(machine, fg, bg)
+        pick = choose_biased_split(backend.sweep(spec))
+        assert pick[0] == via_machine.fg_ways
+        assert pick[1].fg_cost == via_machine.fg_runtime_s
+
+    def test_sweep_entries_are_measured_co_runs(self, backend, spec):
+        sweep = backend.sweep(spec)
+        assert [w for w, _ in sweep] == list(range(1, 12))
+        assert all(m.raw is not None for _, m in sweep)
+        assert all(m.fg_cost == m.raw.fg.runtime_s for _, m in sweep)
+
+    def test_biased_choice_is_order_independent(self, backend, spec):
+        sweep = backend.sweep(spec)
+        pick = choose_biased_split(sweep)
+        assert choose_biased_split(list(reversed(sweep))) == pick
+        assert choose_biased_split(sweep[1::2] + sweep[::2]) == pick
+
+
+class TestDynamic:
+    def test_controller_trail_rides_on_the_measurement(self, backend, spec):
+        outcome = policy_dynamic(backend, spec)
+        assert outcome.policy == "dynamic"
+        extra = outcome.measurement.extra
+        assert extra["controller"].fg_name == spec.fg_name
+        assert extra["actions"] == extra["controller"].actions
+        assert outcome.fg_ways == extra["controller"].fg_ways
+        assert outcome.fg_ways + outcome.bg_ways == 12
+
+    def test_self_pair_background_is_aliased(self, backend):
+        fop = get_application("fop")
+        outcome = policy_dynamic(backend, PairSpec(fg=fop, bg=fop))
+        assert outcome.bg_name == "fop#2"

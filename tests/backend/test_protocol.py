@@ -1,0 +1,171 @@
+"""The backend protocol: splits, default hooks, and the biased rule."""
+
+import itertools
+
+import pytest
+
+from repro.backend import (
+    BACKEND_NAMES,
+    AnalyticalBackend,
+    BackendCapabilities,
+    CoRunMeasurement,
+    PairSpec,
+    SimBackend,
+    TraceBackend,
+    WaySplit,
+    get_backend,
+)
+from repro.core.policies import choose_biased_split, policy_biased, run_policy_on
+from repro.util.errors import ValidationError
+
+
+class TestWaySplit:
+    def test_shared_overlaps_the_whole_cache(self):
+        split = WaySplit.shared(12)
+        assert (split.fg_ways, split.bg_ways) == (12, 12)
+        assert split.overlaps(12)
+
+    def test_fair_is_an_even_disjoint_split(self):
+        split = WaySplit.fair(12)
+        assert (split.fg_ways, split.bg_ways) == (6, 6)
+        assert not split.overlaps(12)
+
+    def test_fair_gives_odd_leftover_to_the_background(self):
+        assert WaySplit.fair(11) == WaySplit(5, 6)
+
+    def test_disjoint_partitions_exactly(self):
+        split = WaySplit.disjoint(3, 12)
+        assert (split.fg_ways, split.bg_ways) == (3, 9)
+        assert not split.overlaps(12)
+
+    def test_every_application_needs_a_way(self):
+        with pytest.raises(ValidationError):
+            WaySplit(0, 12)
+        with pytest.raises(ValidationError):
+            WaySplit(5, 0)
+
+
+class _FakeBackend(SimBackend):
+    """Four ways; fg cost falls with fg_ways, bg rate falls with them too."""
+
+    def __init__(self):
+        self.co_runs = []
+
+    def capabilities(self):
+        return BackendCapabilities(
+            name="fake", llc_ways=4, fg_cost_unit="u", bg_rate_unit="v"
+        )
+
+    def co_run(self, spec, split):
+        self.co_runs.append(split)
+        return CoRunMeasurement(
+            backend="fake",
+            fg_name=spec.fg_name,
+            bg_name=spec.bg_name,
+            fg_ways=split.fg_ways,
+            bg_ways=split.bg_ways,
+            fg_cost=10.0 - split.fg_ways,
+            bg_rate=float(split.bg_ways),
+            raw=object(),
+        )
+
+
+class _Named:
+    def __init__(self, name):
+        self.name = name
+
+
+def _fake_spec():
+    return PairSpec(fg=_Named("fg"), bg=_Named("bg"))
+
+
+class TestDefaultHooks:
+    def test_default_sweep_co_runs_every_disjoint_split(self):
+        backend = _FakeBackend()
+        sweep = backend.sweep(_fake_spec())
+        assert [w for w, _ in sweep] == [1, 2, 3]
+        assert backend.co_runs == [WaySplit(1, 3), WaySplit(2, 2), WaySplit(3, 1)]
+        assert all(m.raw is not None for _, m in sweep)
+
+    def test_default_dynamic_is_rejected(self):
+        with pytest.raises(ValidationError):
+            _FakeBackend().dynamic(_fake_spec())
+
+    def test_policies_run_on_any_backend(self):
+        backend = _FakeBackend()
+        for policy, ways in (("shared", 4), ("fair", 2), ("biased", 3)):
+            outcome = run_policy_on(backend, _fake_spec(), policy)
+            assert outcome.policy == policy
+            assert outcome.fg_ways == ways
+            assert outcome.backend == "fake"
+
+
+def _measurement(fg_ways, fg_cost, bg_rate, llc_ways=12):
+    return CoRunMeasurement(
+        backend="fake",
+        fg_name="fg",
+        bg_name="bg",
+        fg_ways=fg_ways,
+        bg_ways=llc_ways - fg_ways,
+        fg_cost=fg_cost,
+        bg_rate=bg_rate,
+    )
+
+
+class TestChooseBiasedSplit:
+    """The selection rule itself, on synthetic scores."""
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValidationError):
+            choose_biased_split([])
+
+    def test_picks_minimum_cost_without_ties(self):
+        scored = [(w, _measurement(w, 100.0 - w, 1.0)) for w in range(1, 12)]
+        assert choose_biased_split(scored)[0] == 11
+
+    def test_tolerance_band_prefers_background_rate(self):
+        scored = [
+            (3, _measurement(3, 100.0, 5.0)),
+            (4, _measurement(4, 100.2, 9.0)),  # within 0.5% of best
+            (9, _measurement(9, 150.0, 50.0)),  # fast bg, but fg too slow
+        ]
+        assert choose_biased_split(scored)[0] == 4
+
+    def test_exact_rate_ties_break_to_smaller_fg_allocation(self):
+        scored = [
+            (3, _measurement(3, 100.0, 5.0)),
+            (4, _measurement(4, 100.2, 9.0)),
+            (5, _measurement(5, 100.3, 9.0)),
+        ]
+        assert choose_biased_split(scored)[0] == 4
+
+    def test_choice_is_order_independent(self):
+        scored = [
+            (3, _measurement(3, 100.0, 5.0)),
+            (4, _measurement(4, 100.2, 9.0)),
+            (5, _measurement(5, 100.3, 9.0)),
+            (9, _measurement(9, 150.0, 50.0)),
+        ]
+        picks = {
+            choose_biased_split(list(order))[0]
+            for order in itertools.permutations(scored)
+        }
+        assert picks == {4}
+
+    def test_biased_policy_applies_the_same_rule(self):
+        backend = _FakeBackend()
+        outcome = policy_biased(backend, _fake_spec())
+        assert outcome.fg_ways == choose_biased_split(backend.sweep(_fake_spec()))[0]
+
+
+class TestRegistry:
+    def test_names(self):
+        assert BACKEND_NAMES == ("analytical", "trace")
+
+    def test_get_backend_builds_fresh_instances(self):
+        assert isinstance(get_backend("analytical"), AnalyticalBackend)
+        assert isinstance(get_backend("trace"), TraceBackend)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValidationError):
+            get_backend("fpga")

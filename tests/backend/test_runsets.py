@@ -1,0 +1,152 @@
+"""Run records across backends: one schema, comparable where meaningful."""
+
+import os
+
+import pytest
+
+from repro.analysis.compare import diff_runsets
+from repro.analysis.experiments import trace_pair_spec
+from repro.analysis.store import (
+    RunRecord,
+    RunSet,
+    load_runset,
+    record_from_outcome,
+    runset_from_outcomes,
+    save_runset,
+)
+from repro.backend import AnalyticalBackend, CoRunMeasurement, TraceBackend
+from repro.core.policies import PolicyOutcome, run_policy_on
+
+ACCESSES = 12_000
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _module_pack_cache(tmp_path_factory):
+    from repro.workloads import tracepack
+
+    saved_packs = tracepack._OPEN_PACKS
+    saved_env = os.environ.get("REPRO_TRACE_CACHE")
+    tracepack._OPEN_PACKS = {}
+    os.environ["REPRO_TRACE_CACHE"] = str(tmp_path_factory.mktemp("traces"))
+    yield
+    tracepack._OPEN_PACKS = saved_packs
+    if saved_env is None:
+        os.environ.pop("REPRO_TRACE_CACHE", None)
+    else:
+        os.environ["REPRO_TRACE_CACHE"] = saved_env
+
+
+@pytest.fixture(scope="module")
+def analytical_set(machine):
+    backend = AnalyticalBackend(machine)
+    spec = AnalyticalBackend.pair_spec("fop", "batik")
+    outcomes = [
+        run_policy_on(backend, spec, policy) for policy in ("shared", "fair")
+    ]
+    return runset_from_outcomes(outcomes, capabilities=backend.capabilities())
+
+
+@pytest.fixture(scope="module")
+def trace_set():
+    backend = TraceBackend(total_accesses=ACCESSES)
+    # Same (policy, fg, bg) keys as the analytical set, so the two run
+    # sets pair up record-for-record in a diff.
+    spec = trace_pair_spec(
+        "zipf", "stream", accesses=ACCESSES,
+        footprint_mb=1.0, bg_footprint_mb=2.0,
+        fg_name="fop", bg_name="batik",
+    )
+    outcomes = [
+        run_policy_on(backend, spec, policy) for policy in ("shared", "fair")
+    ]
+    return runset_from_outcomes(outcomes, capabilities=backend.capabilities())
+
+
+class TestRunsetShape:
+    def test_units_come_from_capabilities(self, analytical_set, trace_set):
+        assert analytical_set.backend == "analytical"
+        assert trace_set.backend == "trace"
+        for record in analytical_set.records:
+            assert record.units == {"fg_cost": "s", "bg_rate": "instr/s"}
+        for record in trace_set.records:
+            assert record.units == {
+                "fg_cost": "cycles/access", "bg_rate": "accesses/kcycle",
+            }
+
+    def test_keys_match_across_backends(self, analytical_set, trace_set):
+        assert set(analytical_set.by_key()) == set(trace_set.by_key()) == {
+            ("shared", "fop", "batik"),
+            ("fair", "fop", "batik"),
+        }
+
+    def test_dynamic_provenance_counts_controller_actions(self):
+        m = CoRunMeasurement(
+            backend="trace", fg_name="fg", bg_name="bg",
+            fg_ways=9, bg_ways=3, fg_cost=1.5, bg_rate=40.0,
+            raw=object(), extra={"actions": [1, 2, 3]},
+        )
+        outcome = PolicyOutcome(
+            policy="dynamic", fg_name="fg", bg_name="bg",
+            fg_ways=9, bg_ways=3, pair=m.raw, measurement=m, backend="trace",
+        )
+        record = record_from_outcome(outcome)
+        assert record.provenance["dynamic_actions"] == 3
+        assert record.metrics["fg_cost"] == 1.5
+
+    def test_sweep_provenance_counts_points(self, machine):
+        backend = AnalyticalBackend(machine)
+        spec = AnalyticalBackend.pair_spec("fop", "batik")
+        outcome = run_policy_on(backend, spec, "biased")
+        record = record_from_outcome(outcome)
+        assert record.provenance["sweep_points"] == 11
+
+
+class TestCrossBackendDiff:
+    def test_same_set_agrees_on_everything(self, analytical_set, tmp_path):
+        path = tmp_path / "runs.json"
+        assert save_runset(analytical_set, path) == 2
+        moved, checked, unmatched = diff_runsets(path, path)
+        assert (moved, unmatched) == ([], [])
+        assert checked == 8  # 2 records x 4 metrics, units all match
+
+    def test_trace_vs_analytical_compares_only_allocations(
+        self, analytical_set, trace_set, tmp_path
+    ):
+        before = tmp_path / "analytical.json"
+        after = tmp_path / "trace.json"
+        save_runset(analytical_set, before)
+        save_runset(trace_set, after)
+        moved, checked, unmatched = diff_runsets(before, after)
+        assert unmatched == []
+        # fg_cost/bg_rate units differ (seconds vs cycles), so only the
+        # chosen splits are comparable — and they agree by construction
+        # (shared is 12/12 and fair is 6/6 on both substrates).
+        assert checked == 4
+        assert moved == []
+
+    def test_extra_records_are_reported_unmatched(self, analytical_set):
+        extra = RunRecord(
+            policy="biased", backend="analytical", fg="fop", bg="batik",
+            fg_ways=9, bg_ways=3,
+            metrics={"fg_cost": 1.0, "bg_rate": 2.0},
+        )
+        bigger = RunSet(
+            records=list(analytical_set.records) + [extra],
+            backend="analytical",
+        )
+        _, _, unmatched = diff_runsets(analytical_set, bigger)
+        assert unmatched == [("biased", "fop", "batik")]
+
+    def test_moved_metrics_are_flagged(self, analytical_set):
+        record = analytical_set.records[0]
+        bumped = RunRecord(
+            policy=record.policy, backend=record.backend,
+            fg=record.fg, bg=record.bg,
+            fg_ways=record.fg_ways, bg_ways=record.bg_ways,
+            metrics={**record.metrics, "fg_cost": record.metrics["fg_cost"] * 1.5},
+            units=dict(record.units),
+        )
+        after = RunSet(records=[bumped], backend="analytical")
+        before = RunSet(records=[record], backend="analytical")
+        moved, _, _ = diff_runsets(before, after, tolerance=0.02)
+        assert [delta.metric for delta in moved] == ["fg_cost"]

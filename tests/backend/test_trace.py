@@ -1,0 +1,152 @@
+"""The trace backend: policies over address-level replay.
+
+The same pack cache is shared module-wide so each synthetic trace
+compiles once; every run here replays ~20k accesses.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.experiments import trace_pair_spec, verify_trace_policy_replay
+from repro.backend import TraceBackend, WaySplit
+from repro.core.policies import (
+    choose_biased_split,
+    policy_biased,
+    policy_dynamic,
+    run_policy_on,
+)
+from repro.util.errors import ValidationError
+
+ACCESSES = 20_000
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _module_pack_cache(tmp_path_factory):
+    from repro.workloads import tracepack
+
+    saved_packs = tracepack._OPEN_PACKS
+    saved_env = os.environ.get("REPRO_TRACE_CACHE")
+    tracepack._OPEN_PACKS = {}
+    os.environ["REPRO_TRACE_CACHE"] = str(tmp_path_factory.mktemp("traces"))
+    yield
+    tracepack._OPEN_PACKS = saved_packs
+    if saved_env is None:
+        os.environ.pop("REPRO_TRACE_CACHE", None)
+    else:
+        os.environ["REPRO_TRACE_CACHE"] = saved_env
+
+
+@pytest.fixture(scope="module")
+def backend():
+    return TraceBackend(total_accesses=ACCESSES)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return trace_pair_spec(
+        "zipf", "stream", accesses=ACCESSES,
+        footprint_mb=1.0, bg_footprint_mb=2.0, seed=3,
+    )
+
+
+class TestCapabilities:
+    def test_reports_the_trace_engine(self, backend):
+        caps = backend.capabilities()
+        assert caps.name == "trace"
+        assert caps.llc_ways == 12
+        assert caps.fg_cost_unit == "cycles/access"
+        assert caps.bg_rate_unit == "accesses/kcycle"
+        assert not caps.sweep_is_measured
+        assert caps.supports_dynamic
+        assert not caps.supports_energy
+
+    def test_zero_accesses_rejected(self):
+        with pytest.raises(ValidationError):
+            TraceBackend(total_accesses=0)
+
+
+class TestCoRun:
+    def test_replay_is_deterministic(self, backend, spec):
+        first = backend.co_run(spec, WaySplit(9, 3))
+        again = backend.co_run(spec, WaySplit(9, 3))
+        assert first.fg_cost == again.fg_cost
+        assert first.bg_rate == again.bg_rate
+
+    def test_raw_carries_per_domain_stats(self, backend, spec):
+        m = backend.co_run(spec, WaySplit.fair(12))
+        assert set(m.raw) == {spec.fg_name, spec.bg_name}
+        assert m.fg_cost == m.raw[spec.fg_name].avg_latency
+
+    def test_policies_agree_with_direct_mask_replay(self, backend, spec):
+        # shared and fair, re-run with hand-built way masks: exact match.
+        assert verify_trace_policy_replay(backend, spec) == 4
+
+
+class TestProfiledSweep:
+    def test_sweep_scores_come_from_one_way_profile(self, backend, spec):
+        from repro.sim.trace_engine import way_allocation_sweep
+
+        _, curves = way_allocation_sweep(
+            [spec.fg, spec.bg],
+            total_accesses=ACCESSES,
+            prefetchers_on=False,
+            backend="kernel",
+            use_packs=True,
+        )
+        fg_curve = curves[spec.fg.tid // 2]
+        bg_curve = curves[spec.bg.tid // 2]
+        sweep = backend.sweep(spec)
+        assert [w for w, _ in sweep] == list(range(1, 12))
+        for fg_ways, m in sweep:
+            assert m.fg_cost == float(fg_curve.misses(fg_ways))
+            assert m.bg_rate == float(bg_curve.hits(12 - fg_ways))
+            assert m.raw is None
+            assert m.extra["source"] == "profile"
+
+    def test_biased_split_matches_the_manual_rule(self, backend, spec):
+        sweep = backend.sweep(spec)
+        best = min(m.fg_cost for _, m in sweep)
+        candidates = [
+            (w, m) for w, m in sweep if m.fg_cost <= best * 1.005
+        ]
+        manual = max(candidates, key=lambda item: (item[1].bg_rate, -item[0]))
+        outcome = policy_biased(backend, spec)
+        assert outcome.fg_ways == manual[0]
+        assert outcome.fg_ways + outcome.bg_ways == 12
+
+    def test_biased_re_measures_its_chosen_split(self, backend, spec):
+        outcome = policy_biased(backend, spec)
+        # The sweep entries are profile scores; the outcome must carry a
+        # real co-run at the chosen split, not a score.
+        assert outcome.measurement.raw is not None
+        direct = backend.co_run(
+            spec, WaySplit.disjoint(outcome.fg_ways, 12)
+        )
+        assert outcome.fg_cost == direct.fg_cost
+        assert outcome.bg_rate == direct.bg_rate
+
+    def test_biased_choice_is_order_independent(self, backend, spec):
+        sweep = backend.sweep(spec)
+        pick = choose_biased_split(sweep)
+        assert choose_biased_split(list(reversed(sweep))) == pick
+        assert choose_biased_split(sweep[1::2] + sweep[::2]) == pick
+
+
+class TestDynamic:
+    def test_epoch_replay_through_the_policy_layer(self, spec):
+        backend = TraceBackend(
+            total_accesses=ACCESSES, epoch_accesses=4_000,
+        )
+        outcome = policy_dynamic(backend, spec)
+        assert outcome.policy == "dynamic"
+        assert outcome.backend == "trace"
+        assert outcome.fg_ways + outcome.bg_ways == 12
+        extra = outcome.measurement.extra
+        assert extra["epochs"] == ACCESSES // 4_000
+        assert extra["controller"].fg_name == spec.fg_name
+        assert set(outcome.pair) == {spec.fg_name, spec.bg_name}
+
+    def test_dispatch_by_name(self, backend, spec):
+        outcome = run_policy_on(backend, spec, "shared")
+        assert outcome.fg_ways == outcome.bg_ways == 12

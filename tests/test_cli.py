@@ -71,6 +71,21 @@ class TestConsolidate:
         assert code == 0
         assert "ucp" in text
 
+    def test_json_writes_a_run_set(self, tmp_path):
+        from repro.analysis.store import load_runset
+
+        path = tmp_path / "runs.json"
+        code, text = run_cli(
+            "consolidate", "fop", "batik", "--json", str(path)
+        )
+        assert code == 0
+        assert "run set: 3 records" in text
+        runset = load_runset(path)
+        assert runset.backend == "analytical"
+        assert sorted(r.policy for r in runset.records) == [
+            "biased", "fair", "shared",
+        ]
+
 
 class TestDynamic:
     def test_single_background(self):
@@ -104,6 +119,63 @@ def _private_pack_cache(monkeypatch, tmp_path):
     monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "traces"))
 
 
+class TestConsolidateTrace:
+    def test_runs_the_policy_suite_on_traces(self, _private_pack_cache,
+                                             tmp_path):
+        from repro.analysis.store import load_runset
+
+        path = tmp_path / "runs.json"
+        code, text = run_cli(
+            "consolidate", "zipf", "stream", "--backend", "trace",
+            "--accesses", "12000", "--footprint-mb", "1",
+            "--check", "--json", str(path),
+        )
+        assert code == 0
+        assert "trace backend" in text
+        assert "check: policy layer agrees with direct way-mask replay" in text
+        runset = load_runset(path)
+        assert runset.backend == "trace"
+        assert sorted(r.policy for r in runset.records) == [
+            "biased", "fair", "shared",
+        ]
+        for record in runset.records:
+            assert record.units["fg_cost"] == "cycles/access"
+
+    def test_application_names_rejected_on_the_trace_backend(self):
+        code, _ = run_cli("consolidate", "fop", "stream",
+                          "--backend", "trace")
+        assert code == 1
+
+
+class TestCompareRunsets:
+    def _write(self, path, fg_ways=9, fg_cost=1.25):
+        from repro.analysis.store import RunRecord, RunSet, save_runset
+
+        record = RunRecord(
+            policy="biased", backend="analytical", fg="fop", bg="batik",
+            fg_ways=fg_ways, bg_ways=12 - fg_ways,
+            metrics={"fg_cost": fg_cost, "fg_ways": float(fg_ways),
+                     "bg_ways": float(12 - fg_ways)},
+            units={"fg_cost": "s"},
+        )
+        save_runset(RunSet(records=[record], backend="analytical"), path)
+        return path
+
+    def test_identical_run_sets_agree(self, tmp_path):
+        path = self._write(tmp_path / "runs.json")
+        code, text = run_cli("compare", str(path), str(path))
+        assert code == 0
+        assert "comparable metrics agree" in text
+
+    def test_moved_metrics_reported(self, tmp_path):
+        before = self._write(tmp_path / "before.json")
+        after = self._write(tmp_path / "after.json", fg_ways=6, fg_cost=2.5)
+        code, text = run_cli("compare", str(before), str(after))
+        assert code == 0
+        assert "moved beyond tolerance" in text
+        assert "biased:fop+batik" in text
+
+
 class TestTraceDynamic:
     def test_prints_timeline_and_stats(self, _private_pack_cache):
         code, text = run_cli(
@@ -124,6 +196,24 @@ class TestTraceDynamic:
         assert code == 0
         assert "native-kernel/multiwalk:" in text
 
+    def test_json_writes_a_dynamic_run_record(self, _private_pack_cache,
+                                              tmp_path):
+        from repro.analysis.store import load_runset
+
+        path = tmp_path / "dyn.json"
+        code, text = run_cli(
+            "trace-dynamic", "--accesses", "4000",
+            "--epoch-accesses", "2000", "--total-accesses", "8000",
+            "--json", str(path),
+        )
+        assert code == 0
+        assert "run set: 1 records" in text
+        runset = load_runset(path)
+        (record,) = runset.records
+        assert record.policy == "dynamic"
+        assert record.backend == "trace"
+        assert "dynamic_actions" in record.provenance
+
 
 class TestTraceSweep:
     def test_domains_needs_co_run(self):
@@ -138,6 +228,23 @@ class TestTraceSweep:
         assert code == 0
         assert "bg2" in text
         assert "bg3" not in text
+
+    def test_json_writes_per_allocation_records(self, _private_pack_cache,
+                                                tmp_path):
+        from repro.analysis.store import load_runset
+
+        path = tmp_path / "sweep.json"
+        code, text = run_cli(
+            "trace-sweep", "--trace", "zipf", "--accesses", "6000",
+            "--footprint-mb", "1", "--json", str(path),
+        )
+        assert code == 0
+        assert "run set: 12 records" in text
+        runset = load_runset(path)
+        assert [r.policy for r in runset.records] == [
+            f"static-{ways:02d}" for ways in range(1, 13)
+        ]
+        assert all(r.units["fg_cost"] == "misses" for r in runset.records)
 
 
 class TestFigure:
