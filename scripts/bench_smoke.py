@@ -48,9 +48,18 @@ biased-split search through :class:`TraceBackend` (profile-scored sweep
 plus one re-measured co-run) vs the pre-backend direct sweep — the two
 arms must choose the identical split.
 
+And it benchmarks the batched native replay into ``BENCH_batch.json``:
+a 12-cell measured way-sweep roster (the shared baseline plus all 11
+disjoint splits of a zipf+stream pair), replayed per cell on a fresh
+engine through the per-call native path (the sequential reference) vs
+ONE ``repro_batch_walk`` call over contiguous per-cell state banks —
+per-cell stats bit-identical, and additionally invariant across
+``REPRO_NATIVE_THREADS=1`` / ``=4`` / ``REPRO_NATIVE=0``.
+
 ``--check`` runs every benchmark at reduced size, enforces the
 equivalence contracts, and writes no artifacts (CI mode). ``--only``
-restricts either mode to one benchmark.
+restricts either mode to one benchmark; an unknown arm name exits
+non-zero listing the valid arms.
 
 Usage: PYTHONPATH=src python scripts/bench_smoke.py [--output PATH] [--check]
 """
@@ -639,6 +648,100 @@ def run_dynamic(repeats=3, static_accesses=240_000, dyn_accesses=200_000,
     }
 
 
+# -- batched native replay (BENCH_batch.json) ---------------------------------
+
+
+def _sweep_roster_cells(accesses):
+    """The 12-cell measured way sweep: shared plus all disjoint splits."""
+    from repro.cache.llc import WayMask
+    from repro.cache.profile import LLC_NUM_WAYS
+    from repro.sim.trace_engine import RosterCell
+
+    workloads = _co_run_workloads(accesses // 3, accesses // 4)
+    cells = [RosterCell(workloads=list(workloads), total_accesses=accesses)]
+    for fg_ways in range(1, LLC_NUM_WAYS):
+        cells.append(
+            RosterCell(
+                workloads=list(workloads),
+                masks={
+                    0: WayMask.contiguous(fg_ways, 0),
+                    2: WayMask.contiguous(
+                        LLC_NUM_WAYS - fg_ways, fg_ways
+                    ),
+                },
+                total_accesses=accesses,
+            )
+        )
+    return cells
+
+
+def run_batch(repeats=3, accesses=120_000):
+    """Benchmark the batched replay kernel; BENCH_batch.json payload.
+
+    The sequential reference is exactly the PR-4 methodology: one fresh
+    engine + one native per-cell replay call per allocation (what
+    ``run_packed_roster(..., sequential=True)`` does). The batch arm is
+    one ``repro_batch_walk`` call for all 12 cells. The contract is the
+    established one — per-cell stats bit-identical — plus the threading
+    one: ``REPRO_NATIVE_THREADS=1``, ``=4``, and ``REPRO_NATIVE=0`` all
+    produce the same bytes.
+    """
+    from repro.cache import native
+    from repro.sim.trace_engine import run_packed_roster
+
+    # Untimed passes absorb pack compiles, kernel builds, table memos.
+    run_packed_roster(_sweep_roster_cells(6_000), sequential=True)
+    run_packed_roster(_sweep_roster_cells(6_000))
+
+    cells = len(_sweep_roster_cells(accesses))
+    seq_t = batch_t = seq_res = batch_res = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        seq_res = run_packed_roster(
+            _sweep_roster_cells(accesses), sequential=True
+        )
+        elapsed = time.perf_counter() - start
+        seq_t = elapsed if seq_t is None else min(seq_t, elapsed)
+
+        start = time.perf_counter()
+        batch_res = run_packed_roster(_sweep_roster_cells(accesses))
+        elapsed = time.perf_counter() - start
+        batch_t = elapsed if batch_t is None else min(batch_t, elapsed)
+    if batch_res != seq_res:
+        raise SystemExit(
+            "FAIL: batched roster is not bit-identical to the sequential "
+            "per-cell replay"
+        )
+
+    one = run_packed_roster(_sweep_roster_cells(accesses), threads=1)
+    four = run_packed_roster(_sweep_roster_cells(accesses), threads=4)
+    off = _without_native(
+        lambda: run_packed_roster(_sweep_roster_cells(accesses))
+    )
+    if not (one == batch_res and four == batch_res and off == batch_res):
+        raise SystemExit(
+            "FAIL: batched roster varies with thread count or REPRO_NATIVE"
+        )
+
+    threading = native.threading_status()
+    return {
+        "benchmark": "batch_replay",
+        "repeats": repeats,
+        "cells": cells,
+        "total_accesses_per_cell": accesses,
+        "native_kernel": native.batch_walk_fn() is not None,
+        "threading": threading["mode"],
+        "kernel_status": native.kernel_status().get("batchwalk"),
+        "wall_s": {
+            "sequential": round(seq_t, 4),
+            "batch": round(batch_t, 4),
+        },
+        "speedup": round(seq_t / batch_t, 2),
+        "identical": True,
+        "thread_invariant": True,
+    }
+
+
 # -- policy layer on the trace backend (BENCH_policy.json) --------------------
 
 
@@ -729,6 +832,9 @@ def run_policy_bench(repeats=3, accesses=60_000):
     }
 
 
+ARMS = ("engine", "trace", "tracepack", "dynamic", "policy", "batch")
+
+
 def main(argv=None):
     root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -747,12 +853,15 @@ def main(argv=None):
     parser.add_argument(
         "--policy-output", default=os.path.join(root, "BENCH_policy.json")
     )
+    parser.add_argument(
+        "--batch-output", default=os.path.join(root, "BENCH_batch.json")
+    )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument(
         "--only",
-        choices=("engine", "trace", "tracepack", "dynamic", "policy"),
-        help="run just one of the benchmarks",
+        metavar="ARM",
+        help="run just one benchmark arm: " + ", ".join(ARMS),
     )
     parser.add_argument(
         "--check",
@@ -761,11 +870,12 @@ def main(argv=None):
         "write no artifacts",
     )
     args = parser.parse_args(argv)
-    wanted = (
-        {args.only}
-        if args.only
-        else {"engine", "trace", "tracepack", "dynamic", "policy"}
-    )
+    if args.only and args.only not in ARMS:
+        parser.error(
+            f"unknown benchmark arm {args.only!r}; "
+            f"valid arms: {', '.join(ARMS)}"
+        )
+    wanted = {args.only} if args.only else set(ARMS)
 
     if args.check:
         notes = []
@@ -810,6 +920,14 @@ def main(argv=None):
                 f"({policy_summary['chosen_fg_ways']}/"
                 f"{policy_summary['chosen_bg_ways']} ways)"
             )
+        if "batch" in wanted:
+            batch_summary = run_batch(repeats=1, accesses=12_000)
+            notes.append(
+                f"{batch_summary['cells']}-cell batched roster bit-identical "
+                f"and thread-invariant "
+                f"(native={batch_summary['native_kernel']}, "
+                f"threading={batch_summary['threading']})"
+            )
         print(format_engine_stat(ec.engine_counters().snapshot()))
         print("\ncheck PASS: " + "; ".join(notes))
         return 0
@@ -831,6 +949,8 @@ def main(argv=None):
         outputs.append(
             (args.policy_output, run_policy_bench(repeats=args.repeats))
         )
+    if "batch" in wanted:
+        outputs.append((args.batch_output, run_batch(repeats=args.repeats)))
 
     for path, payload in outputs:
         with open(path, "w") as handle:

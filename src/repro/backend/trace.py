@@ -44,7 +44,8 @@ class TraceBackend(SimBackend):
     def __init__(self, total_accesses=DEFAULT_TOTAL_ACCESSES,
                  cache_backend="kernel", prefetchers_on=False,
                  use_packs=True, epoch_accesses=DEFAULT_EPOCH_ACCESSES,
-                 dynamic_total_accesses=None):
+                 dynamic_total_accesses=None, measured_sweep=False,
+                 native_threads=None):
         if total_accesses < 1:
             raise ValidationError("total_accesses must be positive")
         self.total_accesses = total_accesses
@@ -55,6 +56,8 @@ class TraceBackend(SimBackend):
         self.dynamic_total_accesses = (
             dynamic_total_accesses or total_accesses
         )
+        self.measured_sweep = measured_sweep
+        self.native_threads = native_threads
 
     def capabilities(self):
         from repro.cache.profile import LLC_NUM_WAYS
@@ -64,7 +67,7 @@ class TraceBackend(SimBackend):
             llc_ways=LLC_NUM_WAYS,
             fg_cost_unit="cycles/access",
             bg_rate_unit="accesses/kcycle",
-            sweep_is_measured=False,
+            sweep_is_measured=self.measured_sweep,
             supports_dynamic=True,
             supports_energy=False,
         )
@@ -130,6 +133,66 @@ class TraceBackend(SimBackend):
             raw=stats,
         )
 
+    def _measured_sweep(self, spec):
+        """Every disjoint split actually replayed, in ONE native call.
+
+        The batched kernel runs all 11 allocations as independent cells
+        of a roster — each with its own fresh hierarchy copy and its own
+        way masks — so the entries are true measurements, bit-identical
+        to calling :meth:`co_run` per split, at roughly the cost of one
+        replay's Python overhead. Falls back (inside
+        ``run_packed_roster``) to the sequential per-split path when the
+        batch kernel is unavailable; results are identical either way.
+        """
+        from repro.cache.llc import WayMask
+        from repro.sim.trace_engine import RosterCell, run_packed_roster
+
+        llc_ways = self.capabilities().llc_ways
+        fg_core = spec.fg.tid // 2
+        bg_core = spec.bg.tid // 2
+        splits = [
+            WaySplit.disjoint(fg_ways, llc_ways)
+            for fg_ways in range(1, llc_ways)
+        ]
+        cells = [
+            RosterCell(
+                workloads=[spec.fg, spec.bg],
+                masks={
+                    fg_core: WayMask.contiguous(s.fg_ways, 0, llc_ways),
+                    bg_core: WayMask.contiguous(
+                        s.bg_ways, llc_ways - s.bg_ways, llc_ways
+                    ),
+                },
+                total_accesses=self.total_accesses,
+            )
+            for s in splits
+        ]
+        outcomes = run_packed_roster(
+            cells,
+            prefetchers_on=self.prefetchers_on,
+            backend=self.cache_backend,
+            threads=self.native_threads,
+        )
+        out = []
+        for split, stats in zip(splits, outcomes):
+            out.append(
+                (
+                    split.fg_ways,
+                    CoRunMeasurement(
+                        backend="trace",
+                        fg_name=spec.fg_name,
+                        bg_name=spec.bg_name,
+                        fg_ways=split.fg_ways,
+                        bg_ways=split.bg_ways,
+                        fg_cost=stats[spec.fg_name].avg_latency,
+                        bg_rate=self._rate(stats[spec.bg_name]),
+                        raw=stats,
+                        extra={"source": "measured"},
+                    ),
+                )
+            )
+        return out
+
     def sweep(self, spec):
         """Every disjoint split, scored from ONE profiled co-run.
 
@@ -139,8 +202,20 @@ class TraceBackend(SimBackend):
         without 11 replays. Entries are scores, not measurements
         (``sweep_is_measured=False``): the policy layer re-measures the
         split it finally picks with :meth:`co_run`.
+
+        With ``measured_sweep=True`` every split is instead *replayed*
+        through the batched native kernel (one C call for the whole
+        sweep) and the entries are real measurements — see
+        :meth:`_measured_sweep`.
         """
         from repro.sim.trace_engine import way_allocation_sweep
+
+        if self.measured_sweep:
+            if not self.use_packs:
+                # No packs, no batch kernel: the generic per-split
+                # co_run loop is the measured reference.
+                return SimBackend.sweep(self, spec)
+            return self._measured_sweep(spec)
 
         llc_ways = self.capabilities().llc_ways
         workloads = [spec.fg, spec.bg]

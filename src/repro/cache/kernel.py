@@ -2289,6 +2289,217 @@ def build_native_epoch_replay(hierarchy, cores, thinks, lines, sets,
     )
 
 
+class NativeBatchReplay:
+    """One-call batched replay over the compiled ``batchwalk.c`` kernel.
+
+    Holds R independent replay cells — the allocations of a way sweep,
+    or a roster of unrelated co-runs — as contiguous per-cell banks of
+    the same flat state :class:`NativeEpochReplay` uses: the template
+    hierarchy's current state is snapshotted once and tiled R times, so
+    every cell starts from an identical copy and no cell can observe
+    another. :meth:`run` is a single ``ctypes`` call; the kernel threads
+    over cells but each writes only its own dom/sched bank, so the
+    per-cell ``(counters, vtimes)`` read back afterwards are
+    bit-identical to running :class:`NativeEpochReplay` once per cell,
+    for any thread count.
+
+    Unlike the epoch driver there is no ``finish()`` writeback: batch
+    cells are throwaway measurements, never a hierarchy the caller
+    keeps simulating.
+    """
+
+    native = True
+
+    def __init__(self, hierarchy, cells, threads, fn):
+        import ctypes
+
+        import numpy as np
+
+        i64 = np.int64
+        h = hierarchy
+        llc = h.llc.storage
+        num_cores = h.num_cores
+        R = len(cells)
+        n_max = max(len(cell["cores"]) for cell in cells)
+        self._h = h
+        self._cells = cells
+        self._fn = fn
+        self._n_max = n_max
+
+        first_core = cells[0]["cores"][0]
+        l1_touch, l1_fill = _np_lru8_tables()
+        l2_touch, l2_fill = _np_plru8_tables(h.l2[first_core])
+        pset, pclr, pleft, pright = _np_llc_geometry(llc)
+        _, _, _, l1_perm_index = _lru8_tables()
+
+        # One template snapshot of the hierarchy's current state, tiled
+        # R times: every cell starts from an identical copy.
+        g_tags = np.tile(np.array(llc._tags, dtype=i64), R)
+        g_sharers = np.tile(np.array(llc._sharers, dtype=i64), R)
+        g_valid = np.tile(np.array(llc._valid, dtype=i64), R)
+        g_plru = np.tile(np.array(llc._plru, dtype=i64), R)
+
+        def _all_core(levels, attr):
+            return np.concatenate(
+                [np.array(getattr(levels[c], attr), dtype=i64)
+                 for c in range(num_cores)]
+            )
+
+        i1_tags = np.tile(_all_core(h.l1, "_tags"), R)
+        i1_valid = np.tile(_all_core(h.l1, "_valid"), R)
+        i2_tags = np.tile(_all_core(h.l2, "_tags"), R)
+        i2_valid = np.tile(_all_core(h.l2, "_valid"), R)
+
+        l1_sets = h.l1[first_core].num_sets
+        l2_sets = h.l2[first_core].num_sets
+        l1_state = np.zeros(R * num_cores * l1_sets, dtype=i64)
+        l2_plru = np.zeros(R * num_cores * l2_sets, dtype=i64)
+        cfg = np.zeros(R * 8, dtype=i64)
+        dom = np.zeros(R * n_max * _DOM_STRIDE, dtype=i64)
+        self._line_cols = []
+        self._set_cols = []
+        line_ptrs = np.zeros(R * n_max, dtype=np.uintp)
+        set_ptrs = np.zeros(R * n_max, dtype=np.uintp)
+
+        def _col(col):
+            return np.ascontiguousarray(np.asarray(col, dtype=i64))
+
+        mask_bits = h.llc._mask_bits
+        for r, cell in enumerate(cells):
+            cores = cell["cores"]
+            cell_masks = cell.get("mask_bits")
+            cbase = r * 8
+            cfg[cbase + 0] = len(cores)
+            cfg[cbase + 1] = llc._leaves
+            cfg[cbase + 2] = llc.num_ways
+            cfg[cbase + 3] = h.l1[cores[0]]._mod_mask
+            cfg[cbase + 4] = h.l2[cores[0]]._mod_mask
+            cfg[cbase + 5] = num_cores
+            cfg[cbase + 6] = int(cell["stop"])
+            cfg[cbase + 7] = -1
+            for core in cores:
+                off = r * num_cores * l1_sets + core * l1_sets
+                l1_state[off:off + l1_sets] = (
+                    _l1_perm_state(h.l1[core], l1_perm_index)
+                )
+                off = r * num_cores * l2_sets + core * l2_sets
+                l2_plru[off:off + l2_sets] = h.l2[core]._plru
+            for slot, (core, think) in enumerate(
+                zip(cores, cell["thinks"])
+            ):
+                base = (r * n_max + slot) * _DOM_STRIDE
+                dom[base + 0] = core
+                dom[base + 1] = 1 << core
+                dom[base + 2] = (
+                    mask_bits[core] if cell_masks is None
+                    else cell_masks[slot]
+                )
+                dom[base + 3:base + 7] = (
+                    4 + think, 12 + think, 30 + think, 200 + think,
+                )
+                dom[base + 7] = int(cell["lengths"][slot])
+                dom[base + 8] = bool(cell["repeats"][slot])
+                dom[base + _D_LIVE] = 1 if cell["lengths"][slot] else 0
+                lcol = _col(cell["lines"][slot])
+                scol = _col(cell["sets"][slot])
+                self._line_cols.append(lcol)
+                self._set_cols.append(scol)
+                line_ptrs[r * n_max + slot] = lcol.ctypes.data
+                set_ptrs[r * n_max + slot] = scol.ctypes.data
+
+        bi = np.zeros(R * 2 * num_cores, dtype=i64)
+        sched = np.zeros(R, dtype=i64)
+        bcfg = np.array(
+            [R, threads, n_max, llc.num_sets, llc.num_ways,
+             l1_sets, l2_sets, num_cores],
+            dtype=i64,
+        )
+        self._dom, self._sched = dom, sched
+
+        arrays = (
+            bcfg, cfg, dom, line_ptrs, set_ptrs,
+            g_tags, g_sharers, g_valid, g_plru,
+            pset, pclr, pleft, pright,
+            l1_touch, l1_fill, l2_touch, l2_fill,
+            i1_tags, i1_valid, l1_state,
+            i2_tags, i2_valid, l2_plru,
+            bi, sched,
+        )
+        self._keep = arrays
+        self._args = [ctypes.c_void_p(a.ctypes.data) for a in arrays]
+
+    def run(self):
+        """One ctypes call; returns ``[(counts, vtimes), ...]`` per cell,
+        where ``counts`` is a per-domain tuple of ``(l1_hits, l2_hits,
+        llc_hits, llc_misses)`` — the same shape ``NativeEpochReplay``'s
+        ``finish`` reports, without any hierarchy writeback."""
+        self._fn(*self._args)
+        dom = self._dom
+        results = []
+        for r, cell in enumerate(self._cells):
+            counts = []
+            vtimes = []
+            for slot in range(len(cell["cores"])):
+                base = (r * self._n_max + slot) * _DOM_STRIDE
+                counts.append(tuple(
+                    int(x) for x in dom[base + _D_H1:base + _D_H1 + 4]
+                ))
+                vtimes.append(int(dom[base + _D_VTIME]))
+            results.append((tuple(counts), tuple(vtimes)))
+        return results
+
+    @property
+    def issued(self):
+        return int(self._sched.sum())
+
+
+def build_native_batch_replay(hierarchy, cells, threads=None):
+    """Batched driver over ``batchwalk.c``, or ``None`` when any cell
+    fails the epoch-replay preconditions or the kernel is unavailable.
+
+    ``cells`` is a list of dicts with keys ``cores``, ``thinks``,
+    ``lines``, ``sets``, ``lengths``, ``repeats``, ``stop`` and
+    optionally ``mask_bits`` (per-slot LLC way-mask words; defaults to
+    the hierarchy's current masks). ``threads`` follows
+    :func:`repro.cache.native.resolve_native_threads` — invalid
+    ``REPRO_NATIVE_THREADS`` values raise, they never silently fall
+    back.
+    """
+    if not cells:
+        return None
+    h = hierarchy
+    llc = h.llc.storage
+    if llc.num_ways > 62:
+        return None
+    for cell in cells:
+        cores = cell["cores"]
+        if not cores or len(cores) > 16:
+            return None
+        if not _epoch_replay_supported(h, cores):
+            return None
+    l1_mod = h.l1[0]._mod_mask
+    l2_mod = h.l2[0]._mod_mask
+    for c in range(h.num_cores):
+        l1 = h.l1[c]
+        l2 = h.l2[c]
+        if not isinstance(l1, KernelCacheLevel) or not isinstance(
+            l2, KernelCacheLevel
+        ):
+            return None
+        if l1.num_ways != 8 or l2.num_ways != 8:
+            return None
+        if l1._mod_mask != l1_mod or l2._mod_mask != l2_mod:
+            return None
+
+    from repro.cache import native
+
+    fn = native.batch_walk_fn()
+    if fn is None:
+        return None
+    threads = native.resolve_native_threads(len(cells), threads)
+    return NativeBatchReplay(h, cells, threads, fn)
+
+
 def _build_general_pack_walk(hierarchy, core, think_cycles):
     l1 = hierarchy.l1[core]
     l2 = hierarchy.l2[core]

@@ -1,8 +1,10 @@
 """On-demand compilation of the native pack-replay kernels.
 
-``pairwalk.c`` (the fused two-domain lean replay loop) and
-``multiwalk.c`` (its N-domain, epoch-resumable generalization) live next
-to this module. Each is compiled once per source revision with whatever
+``pairwalk.c`` (the fused two-domain lean replay loop), ``multiwalk.c``
+(its N-domain, epoch-resumable generalization) and ``batchwalk.c`` (the
+batched, multi-threaded driver that replays a whole roster of
+independent cells in one call) live next to this module. Each is
+compiled once per (source revision, flag set) with whatever
 ``cc``/``gcc`` the host offers, cached as a shared object under the
 trace-pack cache directory, and loaded with :mod:`ctypes`. Everything is
 best-effort: no compiler, a failed compile, or ``REPRO_NATIVE=0`` simply
@@ -13,7 +15,12 @@ kernels are only faster.
 "Best-effort" no longer means "silent": the first failure per kernel is
 recorded and :func:`kernel_status` reports it, so ``repro trace-sweep
 --engine-stat`` (via ``format_engine_stat``) can answer "why is native
-off?" without strace archaeology.
+off?" without strace archaeology. The same policy covers threading:
+``batchwalk`` is built with ``-fopenmp`` only after a tiny ``#pragma
+omp`` translation unit compiles and links, falling back to a pthread
+worker loop and finally to the serial batched loop, and
+:func:`threading_status` records which mode won and why the stronger
+ones lost.
 """
 
 import ctypes
@@ -24,20 +31,53 @@ import subprocess
 import tempfile
 
 _ENV_GATE = "REPRO_NATIVE"
+_ENV_THREADS = "REPRO_NATIVE_THREADS"
 _HERE = os.path.dirname(os.path.abspath(__file__))
 
-# kernel name -> (C source next to this module, exported symbol)
+# kernel name -> (C source next to this module, exported symbols)
 _KERNELS = {
-    "pairwalk": ("pairwalk.c", "repro_pair_walk"),
-    "multiwalk": ("multiwalk.c", "repro_multi_walk"),
+    "pairwalk": ("pairwalk.c", ("repro_pair_walk",)),
+    "multiwalk": ("multiwalk.c", ("repro_multi_walk",)),
+    "batchwalk": (
+        "batchwalk.c",
+        ("repro_batch_walk", "repro_batch_profile", "repro_batch_threading"),
+    ),
 }
 
 # Tri-state memo per kernel: absent -> not tried, None -> unavailable,
-# else the ctypes function. Per-process, like the kernel's table memos.
+# else {symbol: ctypes function}. Per-process, like the kernel's table
+# memos.
 _LOADED = {}
 # kernel name -> human-readable reason it is unavailable (recorded once,
 # on the first failed load attempt).
 _REASONS = {}
+# Memoized threading probe result, or None when not yet probed.
+_THREADING = None
+
+_NO_COMPILER = "no C compiler found ($CC, cc, gcc, clang)"
+
+_OMP_PROBE_TU = """\
+#include <omp.h>
+int repro_omp_probe(void) {
+    int n = 0;
+#pragma omp parallel for
+    for (int i = 0; i < 4; i++)
+        n += omp_get_thread_num();
+    return n;
+}
+"""
+
+_PTHREAD_PROBE_TU = """\
+#include <pthread.h>
+static void *repro_noop(void *arg) { return arg; }
+int repro_pthread_probe(void) {
+    pthread_t t;
+    if (pthread_create(&t, 0, repro_noop, 0) != 0)
+        return 1;
+    pthread_join(t, 0);
+    return 0;
+}
+"""
 
 
 def enabled():
@@ -63,33 +103,116 @@ def _compiler():
     return None
 
 
+def _probe_compile(cc, flags, source):
+    """Compile a throwaway TU with ``flags``; ``None`` on success, else
+    the first diagnostic line."""
+    tmpdir = tempfile.mkdtemp(prefix="repro-probe-")
+    try:
+        tu = os.path.join(tmpdir, "probe.c")
+        out = os.path.join(tmpdir, "probe.so")
+        with open(tu, "w", encoding="utf-8") as fh:
+            fh.write(source)
+        proc = subprocess.run(
+            [cc, "-O2", "-shared", "-fPIC", *flags, "-o", out, tu],
+            capture_output=True,
+            timeout=60,
+        )
+        if proc.returncode == 0:
+            return None
+        stderr = proc.stderr.decode("utf-8", "replace").strip()
+        return stderr.splitlines()[0] if stderr else "no diagnostics"
+    except (OSError, subprocess.SubprocessError) as exc:
+        return str(exc)
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
+def _threading_probe():
+    """Pick batchwalk's threading flags: ``{"flags", "mode", "reason"}``.
+
+    ``mode`` is ``"openmp"`` / ``"pthreads"`` / ``"serial"``; ``reason``
+    says why a stronger mode lost (``None`` when OpenMP won). Memoized:
+    the probe compiles up to two throwaway TUs, once per process.
+    """
+    global _THREADING
+    if _THREADING is not None:
+        return _THREADING
+    cc = _compiler()
+    if cc is None:
+        _THREADING = {"flags": (), "mode": "serial", "reason": _NO_COMPILER}
+        return _THREADING
+    omp_fail = _probe_compile(cc, ("-fopenmp",), _OMP_PROBE_TU)
+    if omp_fail is None:
+        _THREADING = {"flags": ("-fopenmp",), "mode": "openmp",
+                      "reason": None}
+        return _THREADING
+    pthread_fail = _probe_compile(cc, ("-pthread",), _PTHREAD_PROBE_TU)
+    if pthread_fail is None:
+        _THREADING = {
+            "flags": ("-pthread", "-DREPRO_BATCH_PTHREADS"),
+            "mode": "pthreads",
+            "reason": f"openmp probe failed: {omp_fail}",
+        }
+        return _THREADING
+    _THREADING = {
+        "flags": (),
+        "mode": "serial",
+        "reason": (
+            f"openmp probe failed: {omp_fail}; "
+            f"pthread probe failed: {pthread_fail}"
+        ),
+    }
+    return _THREADING
+
+
+def _kernel_flags(name):
+    """Extra compile flags for one kernel (probed, for batchwalk)."""
+    if name == "batchwalk":
+        return tuple(_threading_probe()["flags"])
+    return ()
+
+
 def _build_library(name):
     """Compile ``<name>.c`` -> cached .so; returns ``(path, reason)``.
 
     Exactly one of the pair is ``None``: a path on success, else the
-    human-readable reason the kernel is unavailable.
+    human-readable reason the kernel is unavailable. The cache digest
+    covers both the source bytes and the chosen flags, so an OpenMP
+    build and a serial fallback build never collide.
     """
     filename, _ = _KERNELS[name]
+    flags = _kernel_flags(name)
     source_path = os.path.join(_HERE, filename)
     try:
         with open(source_path, "rb") as fh:
             source = fh.read()
     except OSError as exc:
         return None, f"source unreadable: {exc}"
-    digest = hashlib.sha256(source).hexdigest()[:16]
+    hasher = hashlib.sha256(source)
+    for flag in flags:
+        hasher.update(flag.encode("utf-8"))
+    if name == "batchwalk":
+        # batchwalk textually includes multiwalk.c: fold it in so a
+        # multiwalk edit rebuilds the batch object too.
+        try:
+            with open(os.path.join(_HERE, "multiwalk.c"), "rb") as fh:
+                hasher.update(fh.read())
+        except OSError as exc:
+            return None, f"source unreadable: {exc}"
+    digest = hasher.hexdigest()[:16]
     cache = _cache_dir()
     target = os.path.join(cache, f"{name}-{digest}.so")
     if os.path.exists(target):
         return target, None
     cc = _compiler()
     if cc is None:
-        return None, "no C compiler found ($CC, cc, gcc, clang)"
+        return None, _NO_COMPILER
     try:
         os.makedirs(cache, exist_ok=True)
         fd, tmp = tempfile.mkstemp(suffix=".so", dir=cache)
         os.close(fd)
         proc = subprocess.run(
-            [cc, "-O2", "-shared", "-fPIC", "-o", tmp, source_path],
+            [cc, "-O2", "-shared", "-fPIC", *flags, "-o", tmp, source_path],
             capture_output=True,
             timeout=120,
         )
@@ -108,7 +231,7 @@ def _load(name):
     """Tri-state load of one kernel; records the failure reason once."""
     if name in _LOADED:
         return _LOADED[name]
-    fn = None
+    fns = None
     if not enabled():
         _REASONS[name] = (
             f"disabled ({_ENV_GATE}={os.environ.get(_ENV_GATE)!r})"
@@ -120,13 +243,21 @@ def _load(name):
         else:
             try:
                 lib = ctypes.CDLL(path)
-                fn = getattr(lib, _KERNELS[name][1])
-                fn.restype = ctypes.c_int64
+                fns = {}
+                for symbol in _KERNELS[name][1]:
+                    fn = getattr(lib, symbol)
+                    fn.restype = ctypes.c_int64
+                    fns[symbol] = fn
             except (OSError, AttributeError) as exc:
-                fn = None
+                fns = None
                 _REASONS[name] = f"load failed: {exc}"
-    _LOADED[name] = fn
-    return fn
+    _LOADED[name] = fns
+    return fns
+
+
+def _symbol(name, symbol):
+    fns = _load(name)
+    return None if fns is None else fns.get(symbol)
 
 
 def pair_walk_fn():
@@ -136,7 +267,7 @@ def pair_walk_fn():
     int64 column/state arrays plus the int32 recency tables; see
     pairwalk.c for the exact argument and ``cfg``/``out`` layouts.
     """
-    return _load("pairwalk")
+    return _symbol("pairwalk", "repro_pair_walk")
 
 
 def multi_walk_fn():
@@ -146,7 +277,87 @@ def multi_walk_fn():
     ``cfg``/``dom``/``sched`` buffer layouts; the Python owner of those
     buffers is :func:`repro.cache.kernel.build_native_epoch_replay`.
     """
-    return _load("multiwalk")
+    return _symbol("multiwalk", "repro_multi_walk")
+
+
+def batch_walk_fn():
+    """The compiled ``repro_batch_walk`` entry point, or ``None``.
+
+    One call replays every cell of a roster / way sweep against
+    contiguous per-cell state banks; see batchwalk.c for the ``bcfg``
+    layout and :func:`repro.cache.kernel.build_native_batch_replay` for
+    the Python owner of the banks.
+    """
+    return _symbol("batchwalk", "repro_batch_walk")
+
+
+def batch_profile_fn():
+    """The compiled ``repro_batch_profile`` entry point, or ``None``.
+
+    Set-sharded UMON stack-distance profiling over pack columns; the
+    Python caller is :func:`repro.cache.profile_np.profile_pack`.
+    """
+    return _symbol("batchwalk", "repro_batch_profile")
+
+
+def threading_status():
+    """``{"mode": ..., "reason": ...}`` for the batch kernel's threading.
+
+    ``mode`` is ``"openmp"``, ``"pthreads"`` or ``"serial"``; ``reason``
+    explains any fallback (``None`` when OpenMP won cleanly). When the
+    batch kernel actually loaded, the compiled object's own
+    ``repro_batch_threading()`` report wins over the probe's prediction,
+    so the answer describes the code that will run, not the flags that
+    were requested.
+    """
+    if not enabled():
+        return {
+            "mode": "serial",
+            "reason": (
+                f"disabled ({_ENV_GATE}={os.environ.get(_ENV_GATE)!r})"
+            ),
+        }
+    probe = _threading_probe()
+    mode, reason = probe["mode"], probe["reason"]
+    fn = _symbol("batchwalk", "repro_batch_threading")
+    if fn is not None:
+        compiled = {2: "openmp", 1: "pthreads", 0: "serial"}.get(
+            int(fn()), "unknown"
+        )
+        if compiled != mode:
+            reason = (
+                f"probe chose {mode} but the compiled object reports "
+                f"{compiled}"
+            )
+            mode = compiled
+    return {"mode": mode, "reason": reason}
+
+
+def resolve_native_threads(allocations, threads=None):
+    """Worker-thread count for one batched native call.
+
+    Mirrors :func:`repro.exec.pool.resolve_workers`: an explicit
+    ``threads`` argument wins, else ``REPRO_NATIVE_THREADS`` (whitespace
+    counts as unset), else ``min(usable CPUs, allocations)`` — a batch
+    of R cells never needs more than R threads.
+    """
+    from repro.exec.pool import usable_cpus
+    from repro.util.errors import ValidationError
+
+    if threads is None:
+        env = os.environ.get(_ENV_THREADS, "").strip()
+        if env:
+            try:
+                threads = int(env)
+            except ValueError:
+                raise ValidationError(
+                    f"{_ENV_THREADS} must be an integer, got {env!r}"
+                ) from None
+        else:
+            threads = min(usable_cpus(), max(1, allocations))
+    if threads < 1:
+        raise ValidationError("native threads must be >= 1")
+    return threads
 
 
 def kernel_status():
@@ -154,12 +365,24 @@ def kernel_status():
 
     Forces a load attempt for kernels not yet tried, so the answer is
     definitive — this backs the ``native-kernel`` lines in
-    ``format_engine_stat`` / ``repro trace-sweep --engine-stat``.
+    ``format_engine_stat`` / ``repro trace-sweep --engine-stat``. The
+    batch kernel's "ok" carries its threading mode (and the probe
+    failure that forced a fallback), e.g. ``ok [openmp]`` or
+    ``ok [serial; openmp probe failed: ...]``.
     """
     status = {}
     for name in _KERNELS:
         if _load(name) is not None:
-            status[name] = "ok"
+            if name == "batchwalk":
+                threading = threading_status()
+                if threading["reason"]:
+                    status[name] = (
+                        f"ok [{threading['mode']}; {threading['reason']}]"
+                    )
+                else:
+                    status[name] = f"ok [{threading['mode']}]"
+            else:
+                status[name] = "ok"
         else:
             status[name] = _REASONS.get(name, "unavailable")
     return status
@@ -167,5 +390,7 @@ def kernel_status():
 
 def reset():
     """Forget the memoized libraries (tests toggle REPRO_NATIVE)."""
+    global _THREADING
     _LOADED.clear()
     _REASONS.clear()
+    _THREADING = None

@@ -29,13 +29,67 @@ def _domain_column(pack, num_domains):
     return np.asarray(pack.tid, dtype=np.int64) >> 1
 
 
+def _profile_pack_native(pack, sets, domains, num_sets, num_ways,
+                         num_domains):
+    """Histograms via the set-sharded C profiler, or ``None``.
+
+    One ``repro_batch_profile`` call covers every domain: each
+    (domain, set-shard) pair is an independent work item with its own
+    histogram slot, and the per-domain histogram is the fixed-order
+    integer sum over that domain's shard slots — exact, so the result
+    is invariant to both the shard count and the thread schedule.
+    """
+    import ctypes
+
+    from repro.cache import native
+
+    fn = native.batch_profile_fn()
+    if fn is None:
+        return None
+    i64 = np.int64
+    lines = np.ascontiguousarray(np.asarray(pack.line, dtype=i64))
+    sets = np.ascontiguousarray(sets)
+    if domains is None:
+        cell_lines = [lines]
+        cell_sets = [sets]
+    else:
+        cell_lines = []
+        cell_sets = []
+        for d in range(num_domains):
+            picked = np.flatnonzero(domains == d)
+            cell_lines.append(np.ascontiguousarray(lines[picked]))
+            cell_sets.append(np.ascontiguousarray(sets[picked]))
+    cells = len(cell_lines)
+    threads = native.resolve_native_threads(cells)
+    shards = threads
+    line_ptrs = np.array([c.ctypes.data for c in cell_lines], dtype=np.uintp)
+    set_ptrs = np.array([c.ctypes.data for c in cell_sets], dtype=np.uintp)
+    cell_n = np.array([len(c) for c in cell_lines], dtype=i64)
+    stack_lines = np.zeros(cells * num_sets * num_ways, dtype=i64)
+    stack_depth = np.zeros(cells * num_sets, dtype=i64)
+    hist = np.zeros(cells * shards * (num_ways + 1), dtype=i64)
+    pcfg = np.array([cells, threads, shards, num_sets, num_ways], dtype=i64)
+    args = [
+        ctypes.c_void_p(a.ctypes.data)
+        for a in (pcfg, line_ptrs, set_ptrs, cell_n,
+                  stack_lines, stack_depth, hist)
+    ]
+    fn(*args)
+    per_cell = hist.reshape(cells, shards, num_ways + 1).sum(axis=1)
+    return [[int(x) for x in per_cell[d]] for d in range(cells)]
+
+
 def profile_pack(pack, num_sets=LLC_NUM_SETS, num_ways=LLC_NUM_WAYS,
-                 indexing="hash", num_domains=1, domains=None):
+                 indexing="hash", num_domains=1, domains=None,
+                 use_native=True):
     """Profile one pack; returns ``{domain: WayCurve}``.
 
     ``domains`` optionally overrides the per-access domain column (an
     int array aligned with the pack); the default mirrors
     :class:`~repro.cache.profile.WaySweep`'s ``tid // 2`` mapping.
+    ``use_native`` (default) routes the stack updates through the
+    batched C profiler when it is available; histograms are identical
+    either way, the native pass is only faster.
     """
     if num_ways < 1:
         raise ConfigurationError("profiler needs at least one way")
@@ -56,6 +110,17 @@ def profile_pack(pack, num_sets=LLC_NUM_SETS, num_ways=LLC_NUM_WAYS,
             counts = np.bincount(domains, minlength=num_domains)
             for d in range(num_domains):
                 accesses[d] = int(counts[d])
+        if use_native:
+            native_hists = _profile_pack_native(
+                pack, sets, domains, num_sets, num_ways, num_domains
+            )
+            if native_hists is not None:
+                ec.add(ec.PROFILER_PASSES)
+                return {
+                    d: WayCurve(num_ways=num_ways, accesses=accesses[d],
+                                histogram=native_hists[d])
+                    for d in range(num_domains)
+                }
         order = np.argsort(key, kind="stable")
         sorted_keys = key[order]
         lines = np.asarray(pack.line, dtype=np.int64)[order].tolist()

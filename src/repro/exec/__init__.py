@@ -9,7 +9,12 @@ chunked, fallback-to-serial primitive; :func:`run_tasks` binds it to a
 :class:`~repro.sim.engine.Machine` rebuilt once per worker process.
 """
 
-from repro.exec.pool import parallel_map, persisted_pack_paths, resolve_workers
+from repro.exec.pool import (
+    parallel_map,
+    persisted_pack_paths,
+    resolve_workers,
+    usable_cpus,
+)
 from repro.exec.workers import (
     MachineSpec,
     build_machine,
@@ -26,5 +31,6 @@ __all__ = [
     "persisted_pack_paths",
     "resolve_workers",
     "run_tasks",
+    "usable_cpus",
     "worker_machine",
 ]

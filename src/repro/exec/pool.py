@@ -48,6 +48,15 @@ def _usable_cpus():
         return max(1, os.cpu_count() or 1)
 
 
+def usable_cpus():
+    """CPUs this process may actually run on (affinity-aware).
+
+    The default sizing input for both process pools and the native batch
+    kernel's in-C thread count (``repro.cache.native``).
+    """
+    return _usable_cpus()
+
+
 def _serial_map(fn, items, initializer, initargs):
     if initializer is not None:
         initializer(*initargs)

@@ -23,6 +23,8 @@ PACK_HITS = "pack_hits"
 PACK_MISSES = "pack_misses"
 PACK_COMPILED_ACCESSES = "pack_compiled_accesses"
 PACK_REPLAYS = "pack_replays"
+BATCH_CALLS = "batch_calls"
+BATCH_CELLS = "batch_cells"
 
 ENGINE_EVENTS = (
     MEMO_HITS,
@@ -38,6 +40,8 @@ ENGINE_EVENTS = (
     PACK_MISSES,
     PACK_COMPILED_ACCESSES,
     PACK_REPLAYS,
+    BATCH_CALLS,
+    BATCH_CELLS,
 )
 
 _counters = CounterSet(ENGINE_EVENTS)

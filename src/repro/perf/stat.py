@@ -76,6 +76,8 @@ def format_engine_stat(counters=None):
     pack_misses = counters.get(ec.PACK_MISSES, 0.0)
     pack_compiled = counters.get(ec.PACK_COMPILED_ACCESSES, 0.0)
     pack_replays = counters.get(ec.PACK_REPLAYS, 0.0)
+    batch_calls = counters.get(ec.BATCH_CALLS, 0.0)
+    batch_cells = counters.get(ec.BATCH_CELLS, 0.0)
     lookups = hits + misses
     pack_lookups = pack_hits + pack_misses
     iterated = solves - fast
@@ -116,6 +118,13 @@ def format_engine_stat(counters=None):
             f"{pack_compiled:,.0f} accesses compiled" if pack_misses else None,
         ),
         ("pack-replays", pack_replays, None),
+        (
+            "batch-calls",
+            batch_calls,
+            f"{batch_cells / batch_calls:,.1f} cells per call"
+            if batch_calls
+            else None,
+        ),
     ]
     lines = [" Performance counter stats for 'engine':", ""]
     for event, value, note in rows:
@@ -130,6 +139,9 @@ def format_engine_stat(counters=None):
     lines.append("")
     for name, status in sorted(native.kernel_status().items()):
         lines.append(f"  native-kernel/{name}: {status}")
+    threading = native.threading_status()
+    detail = f"; {threading['reason']}" if threading["reason"] else ""
+    lines.append(f"  native-batch/threading: {threading['mode']}{detail}")
     return "\n".join(lines)
 
 

@@ -748,6 +748,159 @@ def measure_isolation(fg_workload, bg_workload, fg_mask=None, bg_mask=None,
     }
 
 
+@dataclass
+class RosterCell:
+    """One independent co-run in a batched roster.
+
+    ``masks`` optionally maps core -> :class:`~repro.cache.llc.WayMask`
+    applied for this cell only (the batched equivalent of
+    ``set_way_mask`` on a fresh engine); unnamed cores keep the
+    hierarchy's default full mask.
+    """
+
+    workloads: list
+    masks: dict = None
+    total_accesses: int = 100_000
+
+
+def _run_roster_sequential(cells, prefetchers_on, backend, pack_cache,
+                           pack_store):
+    """The reference path: one fresh engine + ``run_packed`` per cell."""
+    results = []
+    for cell in cells:
+        engine = TraceEngine(prefetchers_on=prefetchers_on, backend=backend)
+        if cell.masks:
+            for core, mask in cell.masks.items():
+                engine.hierarchy.set_way_mask(core, mask)
+        results.append(engine.run_packed(
+            cell.workloads,
+            total_accesses=cell.total_accesses,
+            pack_cache=pack_cache,
+            pack_store=pack_store,
+        ))
+    return results
+
+
+def run_packed_roster(cells, prefetchers_on=False, backend="kernel",
+                      threads=None, pack_cache=None, pack_store=True,
+                      sequential=False):
+    """Replay a roster of independent co-runs in ONE native call.
+
+    Each :class:`RosterCell` gets its own fresh hierarchy state (the
+    template engine's state, snapshotted once and tiled inside
+    :func:`~repro.cache.kernel.build_native_batch_replay`), its own way
+    masks, and its own issue budget; the compiled batch kernel replays
+    every cell in a single ctypes call, threading over cells per
+    ``threads`` / ``REPRO_NATIVE_THREADS``. Returns a list of
+    ``{name: TraceStats}`` aligned with ``cells``, bit-identical — for
+    any thread count, and with ``REPRO_NATIVE=0`` — to running each
+    cell on a fresh :class:`TraceEngine` via :meth:`TraceEngine.run_packed`
+    (which is exactly what the fallback does whenever a cell is not
+    batchable: prefetchers on, non-compilable traces, writing traces,
+    shared cores, or no native kernel). ``sequential=True`` forces that
+    reference path, which the bench harness times as the baseline.
+
+    Shared traces dedupe through the pack cache, so R allocations of a
+    way sweep replay one memmapped TracePack, not R copies.
+    """
+    if not cells:
+        return []
+    for cell in cells:
+        if not cell.workloads:
+            raise ValidationError("every roster cell needs workloads")
+        names = [w.name for w in cell.workloads]
+        if len(set(names)) != len(names):
+            raise ValidationError("workload names must be unique per cell")
+
+    if sequential or prefetchers_on:
+        return _run_roster_sequential(
+            cells, prefetchers_on, backend, pack_cache, pack_store
+        )
+
+    from repro.workloads.trace import _TraceBase
+    from repro.workloads.tracepack import get_pack
+
+    cell_packs = []
+    for cell in cells:
+        packs = []
+        for w in cell.workloads:
+            source = w.trace_factory()
+            if not isinstance(source, _TraceBase):
+                packs = None
+                break
+            packs.append(
+                get_pack(source, cache=pack_cache, store=pack_store)
+            )
+        if packs is None:
+            return _run_roster_sequential(
+                cells, prefetchers_on, backend, pack_cache, pack_store
+            )
+        cell_packs.append(packs)
+
+    from repro.cache.kernel import build_native_batch_replay
+
+    template = TraceEngine(prefetchers_on=False, backend=backend)
+    h = template.hierarchy
+    llc = h.llc.storage
+    llc_indexing = "mod" if llc._mod_mask >= 0 else "hash"
+    core_of = h.core_of_tid
+    default_bits = h.llc._mask_bits
+
+    cell_dicts = []
+    for cell, packs in zip(cells, cell_packs):
+        cores = [core_of(w.tid) for w in cell.workloads]
+        if len(set(cores)) != len(cores):
+            cell_dicts = None
+            break
+        if any(p.writes_list() is not None for p in packs):
+            cell_dicts = None
+            break
+        mask_bits = None
+        if cell.masks:
+            mask_bits = [
+                cell.masks[c].bits if c in cell.masks else default_bits[c]
+                for c in cores
+            ]
+        cell_dicts.append({
+            "cores": cores,
+            "thinks": [w.think_cycles for w in cell.workloads],
+            "mask_bits": mask_bits,
+            "lines": [p.line for p in packs],
+            "sets": [
+                p.set_column(llc.num_sets, llc_indexing) for p in packs
+            ],
+            "lengths": [len(p.line) for p in packs],
+            "repeats": [w.repeat for w in cell.workloads],
+            "stop": cell.total_accesses,
+        })
+
+    batch = None
+    if cell_dicts is not None:
+        batch = build_native_batch_replay(h, cell_dicts, threads=threads)
+    if batch is None:
+        return _run_roster_sequential(
+            cells, prefetchers_on, backend, pack_cache, pack_store
+        )
+
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        outcomes = batch.run()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    ec.add(ec.BATCH_CALLS)
+    ec.add(ec.BATCH_CELLS, len(cells))
+    return [
+        TraceEngine._packed_stats(
+            cell.workloads, list(counts), list(vtimes), packs
+        )
+        for cell, packs, (counts, vtimes)
+        in zip(cells, cell_packs, outcomes)
+    ]
+
+
 def way_allocation_sweep(workloads, total_accesses=100_000, prefetchers_on=False,
                          backend="kernel", warmup_accesses=0, use_packs=True):
     """Per-domain ``hits(ways)`` utility curves from ONE co-run.

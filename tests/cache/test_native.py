@@ -22,15 +22,19 @@ def _fresh_loader(monkeypatch, tmp_path):
 class TestKernelStatus:
     def test_reports_every_kernel(self):
         status = native.kernel_status()
-        assert set(status) == {"pairwalk", "multiwalk"}
+        assert set(status) == {"pairwalk", "multiwalk", "batchwalk"}
 
     def test_ok_when_compiled(self):
         if native.multi_walk_fn() is None:
             pytest.skip("no C compiler on this host")
-        assert native.kernel_status() == {
-            "pairwalk": "ok",
-            "multiwalk": "ok",
-        }
+        status = native.kernel_status()
+        assert status["pairwalk"] == "ok"
+        assert status["multiwalk"] == "ok"
+        # The batch kernel's ok carries its threading mode, e.g.
+        # "ok [openmp]" or "ok [serial; openmp probe failed: ...]".
+        assert status["batchwalk"].startswith("ok [")
+        mode = status["batchwalk"][len("ok ["):].split("]")[0].split(";")[0]
+        assert mode in ("openmp", "pthreads", "serial")
 
     def test_disabled_reason_names_the_gate(self, monkeypatch):
         monkeypatch.setenv("REPRO_NATIVE", "0")
@@ -78,4 +82,108 @@ class TestKernelStatus:
         text = format_engine_stat()
         assert "native-kernel/pairwalk:" in text
         assert "native-kernel/multiwalk:" in text
+        assert "native-kernel/batchwalk:" in text
+        assert "native-batch/threading:" in text
         assert "REPRO_NATIVE" in text
+
+
+class TestThreadingProbe:
+    """The OpenMP -> pthreads -> serial compile-probe fallback chain."""
+
+    def test_no_compiler_means_serial(self, monkeypatch):
+        monkeypatch.setattr(native, "_compiler", lambda: None)
+        probe = native._threading_probe()
+        assert probe["mode"] == "serial"
+        assert probe["flags"] == ()
+        assert probe["reason"] == (
+            "no C compiler found ($CC, cc, gcc, clang)"
+        )
+
+    def test_openmp_wins_cleanly(self, monkeypatch):
+        monkeypatch.setattr(native, "_compiler", lambda: "cc")
+        monkeypatch.setattr(
+            native, "_probe_compile", lambda cc, flags, source: None
+        )
+        probe = native._threading_probe()
+        assert probe == {
+            "flags": ("-fopenmp",), "mode": "openmp", "reason": None
+        }
+
+    def test_openmp_failure_falls_back_to_pthreads(self, monkeypatch):
+        monkeypatch.setattr(native, "_compiler", lambda: "cc")
+
+        def probe_compile(cc, flags, source):
+            if "-fopenmp" in flags:
+                return "omp.h: No such file or directory"
+            return None
+
+        monkeypatch.setattr(native, "_probe_compile", probe_compile)
+        probe = native._threading_probe()
+        assert probe["mode"] == "pthreads"
+        assert probe["flags"] == ("-pthread", "-DREPRO_BATCH_PTHREADS")
+        assert probe["reason"] == (
+            "openmp probe failed: omp.h: No such file or directory"
+        )
+
+    def test_both_failures_fall_back_to_serial(self, monkeypatch):
+        monkeypatch.setattr(native, "_compiler", lambda: "cc")
+        monkeypatch.setattr(
+            native,
+            "_probe_compile",
+            lambda cc, flags, source: f"cannot use {flags[0]}",
+        )
+        probe = native._threading_probe()
+        assert probe["mode"] == "serial"
+        assert probe["flags"] == ()
+        assert "openmp probe failed: cannot use -fopenmp" in probe["reason"]
+        assert "pthread probe failed: cannot use -pthread" in probe["reason"]
+
+    def test_probe_memoized_per_process(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(native, "_compiler", lambda: "cc")
+
+        def probe_compile(cc, flags, source):
+            calls.append(flags)
+            return None
+
+        monkeypatch.setattr(native, "_probe_compile", probe_compile)
+        first = native._threading_probe()
+        second = native._threading_probe()
+        assert first is second
+        assert calls == [("-fopenmp",)]
+
+    def test_status_disabled_names_the_gate(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        native.reset()
+        status = native.threading_status()
+        assert status["mode"] == "serial"
+        assert "REPRO_NATIVE" in status["reason"]
+        assert "'0'" in status["reason"]
+
+    def test_status_matches_the_compiled_object(self):
+        if native.batch_walk_fn() is None:
+            pytest.skip("batch kernel unavailable on this host")
+        status = native.threading_status()
+        fn = native._symbol("batchwalk", "repro_batch_threading")
+        compiled = {2: "openmp", 1: "pthreads", 0: "serial"}[int(fn())]
+        assert status["mode"] == compiled
+
+    def test_flags_land_in_the_cache_digest(self, monkeypatch):
+        """An OpenMP build and a serial build must not share a .so."""
+        if native._compiler() is None:
+            pytest.skip("no C compiler on this host")
+        paths = {}
+        for mode, flags in (
+            ("serial", ()),
+            ("threaded", ("-fopenmp",)),
+        ):
+            native.reset()
+            monkeypatch.setattr(
+                native, "_kernel_flags",
+                lambda name, _f=flags: _f if name == "batchwalk" else (),
+            )
+            path, reason = native._build_library("batchwalk")
+            if path is None:
+                pytest.skip(f"batchwalk build failed: {reason}")
+            paths[mode] = path
+        assert paths["serial"] != paths["threaded"]

@@ -80,6 +80,72 @@ class TestResolveWorkers:
         assert excinfo.value.__suppress_context__
 
 
+class TestResolveNativeThreads:
+    """REPRO_NATIVE_THREADS is validated exactly like REPRO_WORKERS."""
+
+    def test_default_caps_at_allocations(self, monkeypatch):
+        from repro.cache import native
+        from repro.exec import usable_cpus
+
+        monkeypatch.delenv("REPRO_NATIVE_THREADS", raising=False)
+        assert native.resolve_native_threads(1) == 1
+        assert native.resolve_native_threads(64) == min(usable_cpus(), 64)
+
+    def test_default_for_empty_roster_is_one(self, monkeypatch):
+        from repro.cache import native
+
+        monkeypatch.delenv("REPRO_NATIVE_THREADS", raising=False)
+        assert native.resolve_native_threads(0) == 1
+
+    def test_env_opt_in(self, monkeypatch):
+        from repro.cache import native
+
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "3")
+        assert native.resolve_native_threads(12) == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        from repro.cache import native
+
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "3")
+        assert native.resolve_native_threads(12, threads=2) == 2
+
+    def test_rejects_garbage(self, monkeypatch):
+        from repro.cache import native
+
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "many")
+        with pytest.raises(ValidationError):
+            native.resolve_native_threads(12)
+        with pytest.raises(ValidationError):
+            native.resolve_native_threads(12, threads=0)
+
+    def test_whitespace_env_means_default(self, monkeypatch):
+        from repro.cache import native
+
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "   ")
+        assert native.resolve_native_threads(1) == 1
+
+    def test_env_zero_and_negative_rejected(self, monkeypatch):
+        from repro.cache import native
+
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "0")
+        with pytest.raises(ValidationError):
+            native.resolve_native_threads(12)
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "-2")
+        with pytest.raises(ValidationError):
+            native.resolve_native_threads(12)
+
+    def test_parse_error_suppresses_the_value_error_chain(self, monkeypatch):
+        from repro.cache import native
+
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "4.5")
+        with pytest.raises(ValidationError) as excinfo:
+            native.resolve_native_threads(12)
+        assert excinfo.value.__cause__ is None
+        assert excinfo.value.__suppress_context__
+        assert "REPRO_NATIVE_THREADS" in str(excinfo.value)
+        assert "'4.5'" in str(excinfo.value)
+
+
 class TestParallelMap:
     def test_serial_matches_comprehension(self):
         items = list(range(20))
