@@ -56,6 +56,14 @@ ONE ``repro_batch_walk`` call over contiguous per-cell state banks —
 per-cell stats bit-identical, and additionally invariant across
 ``REPRO_NATIVE_THREADS=1`` / ``=4`` / ``REPRO_NATIVE=0``.
 
+And it benchmarks the fleet-scale campaign engine into
+``BENCH_campaign.json``: a 200-cell batchable grid (5 fixed-mask
+policies x 4 trace pairs x 10 geometries) executed by the sequential
+per-cell loop vs ``run_campaign``'s roster shards (one batched native
+call per shard, checkpointed to a multi-shard store) — every record
+metric-identical to its per-cell reference by content address, and a
+resume over the completed store counter-verified to replay zero cells.
+
 ``--check`` runs every benchmark at reduced size, enforces the
 equivalence contracts, and writes no artifacts (CI mode). ``--only``
 restricts either mode to one benchmark; an unknown arm name exits
@@ -832,7 +840,139 @@ def run_policy_bench(repeats=3, accesses=60_000):
     }
 
 
-ARMS = ("engine", "trace", "tracepack", "dynamic", "policy", "batch")
+# -- fleet-scale campaign engine (BENCH_campaign.json) ------------------------
+
+
+def _campaign_manifest(accesses, geometries):
+    """A batchable campaign grid: 5 fixed-mask policies x 4 pairs x N
+    geometries (distinct seeds), all roster-eligible."""
+    from repro.campaign import manifest_from_dict
+
+    return manifest_from_dict(
+        {
+            "name": "bench-campaign",
+            "backends": ["trace"],
+            "policies": ["shared", "fair", "static-3", "static-6", "static-9"],
+            "pairs": [
+                ["zipf", "stream"],
+                ["stride", "zipf"],
+                ["chase", "stream"],
+                ["zipf", "stride"],
+            ],
+            "geometries": [
+                {
+                    "accesses": accesses,
+                    "footprint_mb": 2.0,
+                    "bg_footprint_mb": 4.0,
+                    "alpha": 0.9,
+                    "seed": seed,
+                }
+                for seed in range(1, geometries + 1)
+            ],
+        }
+    )
+
+
+def run_campaign_bench(repeats=1, accesses=3_000, geometries=10,
+                       shard_size=64):
+    """Benchmark the campaign engine; BENCH_campaign.json payload.
+
+    The baseline is the sequential per-cell loop — one fresh backend,
+    one ``run_campaign_cell`` per cell, the methodology every earlier
+    bench used. The campaign arm executes the same cells through
+    ``run_campaign``: roster shards of ``shard_size`` cells, ONE batched
+    native call per shard, checkpointed to a multi-shard store.
+
+    Contracts: every campaign record's metrics equal the per-cell
+    reference record for the same content address exactly, and a
+    ``--resume`` re-run over the completed store replays zero cells
+    (counter-verified: no trace accesses, no batch cells, no campaign
+    cells run).
+    """
+    import shutil
+    import tempfile
+
+    from repro.campaign import expand_manifest, run_campaign
+    from repro.campaign.runner import _materialize_packs, run_campaign_cell
+    from repro.sim.trace_engine import run_packed_roster
+
+    manifest = _campaign_manifest(accesses, geometries)
+    cells = expand_manifest(manifest)
+
+    # Untimed warm-up: compile every trace pack once (both arms replay
+    # from warm packs) and absorb the batch kernel's one-time load.
+    _materialize_packs(cells)
+    run_packed_roster(_sweep_roster_cells(3_000))
+
+    seq_t = None
+    reference = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        records = [run_campaign_cell(cell) for cell in cells]
+        elapsed = time.perf_counter() - start
+        seq_t = elapsed if seq_t is None else min(seq_t, elapsed)
+        reference = {r.provenance["cell_id"]: r for r in records}
+
+    camp_t = result = store = None
+    tmp = tempfile.mkdtemp(prefix="repro-campaign-")
+    try:
+        for i in range(repeats):
+            store = os.path.join(tmp, f"store-{i}")
+            start = time.perf_counter()
+            result = run_campaign(
+                manifest, store, cells=cells, shard_size=shard_size
+            )
+            elapsed = time.perf_counter() - start
+            camp_t = elapsed if camp_t is None else min(camp_t, elapsed)
+
+        if not result.complete or result.cells_run != len(cells):
+            raise SystemExit("FAIL: campaign did not run every cell")
+        for cell_id, record in reference.items():
+            if result.records[cell_id].metrics != record.metrics:
+                raise SystemExit(
+                    "FAIL: campaign record differs from the per-cell "
+                    f"reference for cell {cell_id}"
+                )
+
+        # Resume over the completed store: zero replays, counter-proven.
+        base = ec.engine_counters().snapshot()
+        resumed = run_campaign(
+            manifest, store, cells=cells, resume=True, shard_size=shard_size
+        )
+        delta = ec.engine_counters().delta(base)
+        replayed = (
+            delta.get(ec.TRACE_ACCESSES, 0)
+            + delta.get(ec.BATCH_CELLS, 0)
+            + delta.get(ec.CAMPAIGN_CELLS_RUN, 0)
+        )
+        if resumed.cells_run or replayed:
+            raise SystemExit(
+                "FAIL: resume over a complete store replayed "
+                f"{resumed.cells_run} cells ({replayed} counter events)"
+            )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    return {
+        "benchmark": "campaign",
+        "repeats": repeats,
+        "cells": len(cells),
+        "accesses_per_cell": accesses,
+        "shard_size": shard_size,
+        "roster_shards": result.roster_shards,
+        "fallback_shards": result.fallback_shards,
+        "wall_s": {
+            "sequential": round(seq_t, 4),
+            "campaign": round(camp_t, 4),
+        },
+        "speedup": round(seq_t / camp_t, 2),
+        "identical": True,
+        "resume_cells_replayed": 0,
+    }
+
+
+ARMS = ("engine", "trace", "tracepack", "dynamic", "policy", "batch",
+        "campaign")
 
 
 def main(argv=None):
@@ -855,6 +995,9 @@ def main(argv=None):
     )
     parser.add_argument(
         "--batch-output", default=os.path.join(root, "BENCH_batch.json")
+    )
+    parser.add_argument(
+        "--campaign-output", default=os.path.join(root, "BENCH_campaign.json")
     )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--workers", type=int, default=4)
@@ -928,6 +1071,15 @@ def main(argv=None):
                 f"(native={batch_summary['native_kernel']}, "
                 f"threading={batch_summary['threading']})"
             )
+        if "campaign" in wanted:
+            campaign_summary = run_campaign_bench(
+                repeats=1, accesses=1_500, geometries=2
+            )
+            notes.append(
+                f"{campaign_summary['cells']}-cell campaign identical to "
+                f"per-cell reference, resume replayed "
+                f"{campaign_summary['resume_cells_replayed']} cells"
+            )
         print(format_engine_stat(ec.engine_counters().snapshot()))
         print("\ncheck PASS: " + "; ".join(notes))
         return 0
@@ -951,6 +1103,18 @@ def main(argv=None):
         )
     if "batch" in wanted:
         outputs.append((args.batch_output, run_batch(repeats=args.repeats)))
+    if "campaign" in wanted:
+        outputs.append(
+            (args.campaign_output, run_campaign_bench(repeats=args.repeats))
+        )
+
+    # Every artifact records where its numbers came from: CPU budget,
+    # native gate, kernel and threading status, REPRO_NATIVE* knobs.
+    from repro.perf.host import host_provenance
+
+    host = host_provenance()
+    for _, payload in outputs:
+        payload["host"] = host
 
     for path, payload in outputs:
         with open(path, "w") as handle:

@@ -91,22 +91,29 @@ def diff_runsets(before, after, tolerance=0.02):
     """Diff two RunSets record-by-record.
 
     ``before``/``after`` are :class:`~repro.analysis.store.RunSet`
-    instances or paths to saved run-set JSON. Records pair up by
-    ``(policy, fg, bg)``. Split choices (``fg_ways``/``bg_ways``) are
-    always compared; ``fg_cost``/``bg_rate`` only when both records
-    label them with the same unit (so an analytical-vs-trace diff
-    reports allocation agreement without comparing seconds to cycles).
+    instances, paths to saved run-set JSON, or directories of run-set
+    shard files (a multi-shard campaign store merges before diffing).
+    Records pair up by ``(policy, fg, bg)``. Split choices
+    (``fg_ways``/``bg_ways``) are always compared; ``fg_cost``/
+    ``bg_rate`` only when both records label them with the same unit
+    (so an analytical-vs-trace diff reports allocation agreement
+    without comparing seconds to cycles).
 
     Returns ``(moved, checked, unmatched)``: deltas beyond tolerance,
     the number of metric comparisons made, and keys present on only
     one side.
     """
-    from repro.analysis.store import RunSet, load_runset
+    from repro.analysis.store import RunSet, load_runset, load_runset_dir
 
-    if not isinstance(before, RunSet):
-        before = load_runset(before)
-    if not isinstance(after, RunSet):
-        after = load_runset(after)
+    def _coerce(side):
+        if isinstance(side, RunSet):
+            return side
+        if os.path.isdir(side):
+            return load_runset_dir(side)
+        return load_runset(side)
+
+    before = _coerce(before)
+    after = _coerce(after)
     before_by_key = before.by_key()
     after_by_key = after.by_key()
     unmatched = sorted(

@@ -19,6 +19,8 @@ Both stores carry a schema-version field, write atomically (temp file +
 never a bare ``KeyError``/``TypeError`` — on corrupt files.
 """
 
+import glob
+import itertools
 import json
 import os
 from dataclasses import dataclass, field
@@ -264,6 +266,77 @@ def save_runset(runset, path):
     """Atomically write a :class:`RunSet` as versioned JSON."""
     _atomic_write_json(runset.to_dict(), path)
     return len(runset.records)
+
+
+# -- multi-shard run-set stores ----------------------------------------------
+#
+# A campaign (or any set of concurrent writers) persists its records as
+# many small shard files in one directory. Each writer gets a unique
+# filename — pid plus a per-process counter — so two processes (or two
+# shards of one process) can never race on one path; there is no
+# last-write-wins ``os.replace`` between writers, only within a single
+# shard's own atomic tmp-then-replace.
+
+_shard_counter = itertools.count()
+
+
+def shard_path(directory, prefix="shard"):
+    """A fresh, collision-free shard filename inside ``directory``."""
+    while True:
+        name = f"{prefix}-{os.getpid()}-{next(_shard_counter):06d}.json"
+        path = os.path.join(directory, name)
+        if not os.path.exists(path):
+            return path
+
+
+def save_runset_shard(runset, directory, prefix="shard"):
+    """Atomically write a RunSet as a uniquely named shard file.
+
+    Returns the path written. Safe under concurrent writers: the name
+    embeds the writer's pid and a monotonic per-process counter, and the
+    write itself is tmp-file + ``os.replace``.
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = shard_path(directory, prefix=prefix)
+    _atomic_write_json(runset.to_dict(), path)
+    return path
+
+
+def merge_runsets(runsets, meta=None):
+    """One RunSet holding every record of ``runsets``, in input order."""
+    runsets = list(runsets)
+    records = [record for runset in runsets for record in runset.records]
+    backends = sorted({r.backend for r in runsets if r.backend})
+    versions = sorted({r.model_version for r in runsets if r.model_version})
+    return RunSet(
+        records=records,
+        backend="|".join(backends),
+        model_version=versions[-1] if versions else "",
+        meta=dict(meta or {}),
+    )
+
+
+def list_runset_shards(directory):
+    """The shard files of a multi-shard store, in sorted (stable) order."""
+    return sorted(glob.glob(os.path.join(directory, "*.json")))
+
+
+def load_runset_dir(directory):
+    """Merge every shard file in ``directory`` into one RunSet.
+
+    Raises :class:`~repro.util.errors.ValidationError` naming the
+    offending file when any shard is corrupt or foreign-versioned, and
+    when the directory holds no shards at all.
+    """
+    if not os.path.isdir(directory):
+        raise ValidationError(f"no run-set directory at {directory}")
+    paths = list_runset_shards(directory)
+    if not paths:
+        raise ValidationError(f"no run-set shards in {directory}")
+    return merge_runsets(
+        [load_runset(path) for path in paths],
+        meta={"shards": len(paths), "directory": os.path.abspath(directory)},
+    )
 
 
 def load_runset(path):

@@ -1,0 +1,316 @@
+"""Declarative campaign manifests and their deterministic expansion.
+
+A manifest is a small JSON document naming the axes of an experiment
+grid — policies, workload pairs, trace geometries, controller configs,
+and backends. ``expand_manifest`` walks the axes in one fixed order and
+yields a :class:`CampaignCell` per grid point, each carrying a
+content-address (``cell_id``) over everything that determines its
+outcome, so a cell's record can be recognised across runs, hosts, and
+stores without coordination.
+
+Validation is strict: an unknown key anywhere in the manifest raises
+:class:`UnknownManifestKey` listing the valid keys (the CLI turns that
+into an exit-2 usage error, mirroring ``bench_smoke --only``'s unknown
+arm handling) — a typo'd axis must never silently shrink a campaign.
+"""
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+
+from repro.util.errors import ValidationError
+
+# Bump when the cell execution semantics change incompatibly, so stored
+# records from older campaign engines stop matching by content address.
+CAMPAIGN_VERSION = 1
+
+MANIFEST_KEYS = (
+    "name",
+    "backends",
+    "policies",
+    "pairs",
+    "geometries",
+    "controllers",
+)
+GEOMETRY_KEYS = (
+    "accesses",
+    "footprint_mb",
+    "bg_footprint_mb",
+    "alpha",
+    "seed",
+)
+CONTROLLER_KEYS = ("epoch_accesses", "total_accesses")
+
+BACKEND_NAMES = ("trace", "analytical")
+# "static-N" (an explicit disjoint split giving the foreground N ways)
+# is accepted in addition to the Section 5 policy names.
+BASE_POLICIES = ("shared", "fair", "biased", "dynamic")
+
+DEFAULT_GEOMETRY = {
+    "accesses": 60_000,
+    "footprint_mb": 4.0,
+    "bg_footprint_mb": 8.0,
+    "alpha": 0.9,
+    "seed": 1,
+}
+DEFAULT_CONTROLLER = {"epoch_accesses": 4_000, "total_accesses": None}
+
+
+class UnknownManifestKey(ValidationError):
+    """An unrecognised manifest key, with the valid vocabulary attached."""
+
+    def __init__(self, where, unknown, valid):
+        self.where = where
+        self.unknown = tuple(sorted(unknown))
+        self.valid = tuple(valid)
+        super().__init__(
+            f"unknown {where} key(s) {', '.join(map(repr, self.unknown))}; "
+            f"valid keys: {', '.join(self.valid)}"
+        )
+
+
+def _check_keys(where, data, valid):
+    unknown = set(data) - set(valid)
+    if unknown:
+        raise UnknownManifestKey(where, unknown, valid)
+
+
+def static_policy_ways(policy):
+    """``"static-9" -> 9``; ``None`` for non-static policy names."""
+    if not policy.startswith("static-"):
+        return None
+    try:
+        ways = int(policy.split("-", 1)[1])
+    except ValueError:
+        raise ValidationError(
+            f"malformed static policy {policy!r}: expected 'static-<fg ways>'"
+        ) from None
+    if not 1 <= ways <= 11:
+        raise ValidationError(
+            f"static policy {policy!r} out of range: fg ways must be 1..11"
+        )
+    return ways
+
+
+@dataclass(frozen=True)
+class CampaignManifest:
+    """The validated axes of one campaign grid."""
+
+    name: str
+    backends: tuple = ("trace",)
+    policies: tuple = ("shared", "fair", "biased")
+    pairs: tuple = ()  # ((fg, bg), ...)
+    geometries: tuple = ()  # (frozen geometry dicts as sorted item tuples)
+    controllers: tuple = ()
+
+    def geometry_dicts(self):
+        return [dict(g) for g in self.geometries]
+
+    def controller_dicts(self):
+        return [dict(c) for c in self.controllers]
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One grid point: everything needed to run and re-identify it.
+
+    ``geometry`` and ``controller`` are stored as sorted item tuples so
+    the cell is hashable and picklable; ``cell_id`` is a sha256 content
+    address over the cell payload plus the campaign schema and model
+    versions — the key the store deduplicates on.
+    """
+
+    backend: str
+    policy: str
+    fg: str
+    bg: str
+    geometry: tuple = ()
+    controller: tuple = ()
+    index: int = 0
+
+    @property
+    def geometry_dict(self):
+        return dict(self.geometry)
+
+    @property
+    def controller_dict(self):
+        return dict(self.controller)
+
+    @property
+    def cell_id(self):
+        from repro import __version__
+
+        payload = {
+            "campaign_version": CAMPAIGN_VERSION,
+            "model_version": __version__,
+            "backend": self.backend,
+            "policy": self.policy,
+            "fg": self.fg,
+            "bg": self.bg,
+            "geometry": dict(self.geometry),
+            "controller": dict(self.controller),
+        }
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()
+        ).hexdigest()
+        return digest[:16]
+
+
+def _freeze(data):
+    return tuple(sorted(data.items()))
+
+
+def manifest_from_dict(data, where="manifest"):
+    """Validate a parsed manifest document into a CampaignManifest."""
+    if not isinstance(data, dict):
+        raise ValidationError(f"{where} is not a JSON object: {data!r}")
+    _check_keys(where, data, MANIFEST_KEYS)
+
+    name = data.get("name", "campaign")
+    if not isinstance(name, str) or not name:
+        raise ValidationError(f"{where}: 'name' must be a non-empty string")
+
+    backends = tuple(data.get("backends", ("trace",)))
+    for backend in backends:
+        if backend not in BACKEND_NAMES:
+            raise ValidationError(
+                f"{where}: unknown backend {backend!r}; "
+                f"valid backends: {', '.join(BACKEND_NAMES)}"
+            )
+
+    policies = tuple(data.get("policies", ("shared", "fair", "biased")))
+    if not policies:
+        raise ValidationError(f"{where}: 'policies' must not be empty")
+    for policy in policies:
+        if policy not in BASE_POLICIES:
+            static_policy_ways(policy)  # raises unless a valid static-N
+
+    pairs = data.get("pairs", ())
+    if not pairs:
+        raise ValidationError(f"{where}: 'pairs' must list [fg, bg] entries")
+    frozen_pairs = []
+    for pair in pairs:
+        if not (isinstance(pair, (list, tuple)) and len(pair) == 2):
+            raise ValidationError(
+                f"{where}: each pair must be a [fg, bg] list, got {pair!r}"
+            )
+        frozen_pairs.append((str(pair[0]), str(pair[1])))
+
+    geometries = data.get("geometries", ()) or [{}]
+    frozen_geometries = []
+    for i, geometry in enumerate(geometries):
+        if not isinstance(geometry, dict):
+            raise ValidationError(
+                f"{where}: geometry #{i} is not an object: {geometry!r}"
+            )
+        _check_keys(f"geometry #{i}", geometry, GEOMETRY_KEYS)
+        merged = dict(DEFAULT_GEOMETRY)
+        merged.update(geometry)
+        if int(merged["accesses"]) < 1:
+            raise ValidationError(
+                f"{where}: geometry #{i}: accesses must be positive"
+            )
+        frozen_geometries.append(_freeze(merged))
+
+    controllers = data.get("controllers", ()) or [{}]
+    frozen_controllers = []
+    for i, controller in enumerate(controllers):
+        if not isinstance(controller, dict):
+            raise ValidationError(
+                f"{where}: controller #{i} is not an object: {controller!r}"
+            )
+        _check_keys(f"controller #{i}", controller, CONTROLLER_KEYS)
+        merged = dict(DEFAULT_CONTROLLER)
+        merged.update(controller)
+        frozen_controllers.append(_freeze(merged))
+
+    return CampaignManifest(
+        name=name,
+        backends=backends,
+        policies=policies,
+        pairs=tuple(frozen_pairs),
+        geometries=tuple(frozen_geometries),
+        controllers=tuple(frozen_controllers),
+    )
+
+
+def load_manifest(path):
+    """Read and validate a JSON manifest file."""
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        raise ValidationError(f"no manifest at {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"corrupt manifest {path}: {exc}") from exc
+    return manifest_from_dict(data, where=f"manifest {path}")
+
+
+def expand_manifest(manifest):
+    """The deterministic cell list for a manifest.
+
+    Axis order is backend -> policy -> pair -> geometry -> controller.
+    Non-dynamic cells collapse the controller axis (a controller config
+    cannot change their outcome, so expanding it would mint duplicate
+    content addresses); analytical cells likewise collapse the geometry
+    axis (geometries parameterize synthetic traces, which the interval
+    engine does not consume).
+    """
+    cells = []
+    for backend, policy, pair in itertools.product(
+        manifest.backends, manifest.policies, manifest.pairs
+    ):
+        if backend == "analytical" and static_policy_ways(policy) is not None:
+            # Static splits are a trace-grid axis; the analytical grid
+            # keeps the paper's four policies.
+            raise ValidationError(
+                f"policy {policy!r} is not supported on the analytical "
+                "backend"
+            )
+        geometries = (
+            manifest.geometries if backend == "trace" else ((),)
+        )
+        for geometry in geometries:
+            controllers = (
+                manifest.controllers if policy == "dynamic" else ((),)
+            )
+            for controller in controllers:
+                cells.append(
+                    CampaignCell(
+                        backend=backend,
+                        policy=policy,
+                        fg=pair[0],
+                        bg=pair[1],
+                        geometry=geometry,
+                        controller=controller,
+                        index=len(cells),
+                    )
+                )
+    ids = [cell.cell_id for cell in cells]
+    if len(set(ids)) != len(ids):
+        raise ValidationError(
+            "manifest expands to duplicate cells (identical axis values "
+            "listed twice?)"
+        )
+    return cells
+
+
+def axis_counts(cells):
+    """``{axis: {value: count}}`` for the dry-run report."""
+    counts = {
+        "backend": {},
+        "policy": {},
+        "pair": {},
+        "geometry": {},
+    }
+    for cell in cells:
+        counts["backend"][cell.backend] = (
+            counts["backend"].get(cell.backend, 0) + 1
+        )
+        counts["policy"][cell.policy] = counts["policy"].get(cell.policy, 0) + 1
+        pair = f"{cell.fg}+{cell.bg}"
+        counts["pair"][pair] = counts["pair"].get(pair, 0) + 1
+        geometry = json.dumps(dict(cell.geometry), sort_keys=True)
+        counts["geometry"][geometry] = counts["geometry"].get(geometry, 0) + 1
+    return counts

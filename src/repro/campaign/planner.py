@@ -1,0 +1,186 @@
+"""Shard planning: pack batchable cells into native roster calls.
+
+The perf contract of a campaign is that its inner loop is C, not
+Python. A cell is *batchable* when its outcome is one fixed-mask co-run
+on the trace backend — the ``shared``/``fair``/``static-N`` policies,
+whose split is known before anything executes. Those cells are grouped
+into roster shards, each replayed by ONE
+:func:`repro.sim.trace_engine.run_packed_roster` call (threaded inside
+the kernel per ``REPRO_NATIVE_THREADS``). Everything else — ``biased``
+(needs a sweep and an argmax before its final co-run), ``dynamic``
+(epoch feedback loop), and all analytical cells — falls back to
+per-cell execution fanned out over the exec pool's ``parallel_map``.
+
+Shards are also the checkpoint unit: the runner persists one atomic
+RunSet shard file per executed shard, so ``--resume`` granularity and
+C-call granularity are the same knob (``shard_size``).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.campaign.manifest import static_policy_ways
+from repro.util.errors import ValidationError
+
+DEFAULT_SHARD_SIZE = 64
+DEFAULT_FALLBACK_SHARD_SIZE = 8
+
+# tids for the fg/bg domains of every campaign pair: cores 0 and 2 on
+# the four-core hierarchy (matching trace_pair_spec).
+FG_TID = 0
+BG_TID = 4
+
+
+def is_batchable(cell):
+    """True when the cell is one fixed-mask trace co-run."""
+    if cell.backend != "trace":
+        return False
+    return (
+        cell.policy in ("shared", "fair")
+        or static_policy_ways(cell.policy) is not None
+    )
+
+
+def split_for(cell, llc_ways=12):
+    """The WaySplit a batchable cell runs under (None for non-batchable)."""
+    from repro.backend.protocol import WaySplit
+
+    if cell.policy == "shared":
+        return WaySplit.shared(llc_ways)
+    if cell.policy == "fair":
+        return WaySplit.fair(llc_ways)
+    ways = static_policy_ways(cell.policy)
+    if ways is None:
+        return None
+    return WaySplit.disjoint(ways, llc_ways)
+
+
+def trace_spec_for(cell):
+    """The backend PairSpec for a trace cell (picklable factories)."""
+    from repro.analysis.experiments import trace_pair_spec
+
+    geometry = cell.geometry_dict
+    return trace_pair_spec(
+        cell.fg,
+        cell.bg,
+        accesses=int(geometry["accesses"]),
+        footprint_mb=float(geometry["footprint_mb"]),
+        alpha=float(geometry["alpha"]),
+        seed=int(geometry["seed"]),
+        bg_footprint_mb=float(geometry["bg_footprint_mb"]),
+    )
+
+
+def backend_for(cell, threads=None):
+    """A fresh SimBackend configured for the cell."""
+    if cell.backend == "trace":
+        from repro.backend import TraceBackend
+
+        geometry = cell.geometry_dict
+        controller = cell.controller_dict
+        return TraceBackend(
+            total_accesses=int(geometry["accesses"]),
+            epoch_accesses=int(
+                controller.get("epoch_accesses") or 4_000
+            ),
+            dynamic_total_accesses=controller.get("total_accesses"),
+            native_threads=threads,
+        )
+    if cell.backend == "analytical":
+        from repro.backend import AnalyticalBackend
+
+        return AnalyticalBackend()
+    raise ValidationError(f"unknown cell backend {cell.backend!r}")
+
+
+def roster_cell_for(cell, llc_ways=12):
+    """The RosterCell realizing a batchable campaign cell.
+
+    Masks are built exactly as ``TraceBackend.co_run`` builds them —
+    the foreground's ways from way 0 up, the background's from the top
+    down — so a roster-replayed cell is bit-identical to the per-cell
+    reference path.
+    """
+    from repro.cache.llc import WayMask
+    from repro.sim.trace_engine import RosterCell
+
+    split = split_for(cell, llc_ways)
+    if split is None:
+        raise ValidationError(f"cell {cell.cell_id} is not batchable")
+    spec = trace_spec_for(cell)
+    return RosterCell(
+        workloads=[spec.fg, spec.bg],
+        masks={
+            spec.fg.tid // 2: WayMask.contiguous(split.fg_ways, 0, llc_ways),
+            spec.bg.tid // 2: WayMask.contiguous(
+                split.bg_ways, llc_ways - split.bg_ways, llc_ways
+            ),
+        },
+        total_accesses=int(cell.geometry_dict["accesses"]),
+    ), spec, split
+
+
+@dataclass
+class ShardPlan:
+    """The execution plan: roster shards plus fallback shards.
+
+    Each entry is a list of :class:`~repro.campaign.manifest.CampaignCell`;
+    roster shards execute as one batched native call, fallback shards as
+    a ``parallel_map`` over per-cell execution. ``skipped`` counts cells
+    the store already held (resume hits).
+    """
+
+    roster_shards: list = field(default_factory=list)
+    fallback_shards: list = field(default_factory=list)
+    skipped: list = field(default_factory=list)
+
+    @property
+    def batchable_cells(self):
+        return sum(len(shard) for shard in self.roster_shards)
+
+    @property
+    def fallback_cells(self):
+        return sum(len(shard) for shard in self.fallback_shards)
+
+    @property
+    def total_shards(self):
+        return len(self.roster_shards) + len(self.fallback_shards)
+
+    def shards(self):
+        """All shards in deterministic execution order, tagged by kind."""
+        for shard in self.roster_shards:
+            yield "roster", shard
+        for shard in self.fallback_shards:
+            yield "fallback", shard
+
+
+def plan_shards(cells, done_ids=(), shard_size=DEFAULT_SHARD_SIZE,
+                fallback_shard_size=DEFAULT_FALLBACK_SHARD_SIZE):
+    """Split the remaining cells into roster and fallback shards.
+
+    ``done_ids`` holds content addresses already present in the store;
+    those cells are skipped without executing anything. The split and
+    the shard boundaries are deterministic functions of the cell list,
+    so two planners over the same manifest and store agree exactly.
+    """
+    if shard_size < 1 or fallback_shard_size < 1:
+        raise ValidationError("shard sizes must be >= 1")
+    done_ids = set(done_ids)
+    plan = ShardPlan()
+    batchable = []
+    fallback = []
+    for cell in cells:
+        if cell.cell_id in done_ids:
+            plan.skipped.append(cell)
+        elif is_batchable(cell):
+            batchable.append(cell)
+        else:
+            fallback.append(cell)
+    plan.roster_shards = [
+        batchable[i:i + shard_size]
+        for i in range(0, len(batchable), shard_size)
+    ]
+    plan.fallback_shards = [
+        fallback[i:i + fallback_shard_size]
+        for i in range(0, len(fallback), fallback_shard_size)
+    ]
+    return plan

@@ -1,0 +1,392 @@
+"""Sharded, checkpointed, resumable campaign execution.
+
+``run_campaign`` is the fleet driver: it expands a manifest, drops every
+cell whose content-addressed record already sits in the store, plans the
+remainder into shards (:mod:`repro.campaign.planner`), and executes
+shard by shard — roster shards as ONE batched native call each,
+fallback shards over the exec pool. After each shard the records land
+in a uniquely named, atomically written RunSet shard file
+(:func:`repro.analysis.store.save_runset_shard`), so a campaign killed
+at any point resumes by re-running only what is missing; a completed
+campaign resumed again replays zero cells (counter-verifiable via
+``campaign-cells-run`` / ``trace-accesses``).
+
+Failures are retried with bounded attempts; the attempt count that
+finally succeeded is recorded in every record's provenance, AutoPerf
+style, so flaky hosts are visible in the data rather than silently
+absorbed.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.analysis.store import (
+    RunRecord,
+    RunSet,
+    load_runset_dir,
+    record_from_outcome,
+    save_runset_shard,
+)
+from repro.campaign.manifest import expand_manifest, static_policy_ways
+from repro.campaign.planner import (
+    backend_for,
+    is_batchable,
+    plan_shards,
+    roster_cell_for,
+    split_for,
+    trace_spec_for,
+)
+from repro.perf import engine_counters as ec
+from repro.util.errors import ReproError, ValidationError
+
+DEFAULT_MAX_ATTEMPTS = 2
+
+
+@dataclass
+class CampaignResult:
+    """What one ``run_campaign`` invocation did."""
+
+    manifest_name: str
+    store_dir: str
+    cells_total: int = 0
+    cells_skipped: int = 0
+    cells_run: int = 0
+    roster_shards: int = 0
+    fallback_shards: int = 0
+    shards_written: int = 0
+    retries: int = 0
+    stopped_early: bool = False
+    records: dict = field(default_factory=dict)  # cell_id -> RunRecord
+
+    @property
+    def complete(self):
+        return self.cells_skipped + self.cells_run == self.cells_total
+
+
+def _units_for(cell):
+    if cell.backend == "trace":
+        return {"fg_cost": "cycles/access", "bg_rate": "accesses/kcycle"}
+    return {"fg_cost": "s", "bg_rate": "instr/s"}
+
+
+def _cell_provenance(cell, source, attempts=1):
+    prov = {
+        "cell_id": cell.cell_id,
+        "source": source,
+        "attempts": attempts,
+        "geometry": cell.geometry_dict,
+    }
+    if cell.policy == "dynamic":
+        prov["controller"] = cell.controller_dict
+    return prov
+
+
+def _record_from_stats(cell, spec, split, stats, source):
+    """A RunRecord from roster-replayed per-cell ``{name: TraceStats}``.
+
+    Mirrors ``record_from_outcome`` over ``TraceBackend.co_run`` exactly
+    (same metric sources, same float coercion), so roster records and
+    per-cell reference records are comparable bit for bit.
+    """
+    fg_cost = stats[spec.fg_name].avg_latency
+    bg_rate = stats[spec.bg_name].access_rate_per_kilocycle
+    return RunRecord(
+        policy=cell.policy,
+        backend=cell.backend,
+        fg=spec.fg_name,
+        bg=spec.bg_name,
+        fg_ways=split.fg_ways,
+        bg_ways=split.bg_ways,
+        metrics={
+            "fg_cost": float(fg_cost),
+            "bg_rate": float(bg_rate),
+            "fg_ways": float(split.fg_ways),
+            "bg_ways": float(split.bg_ways),
+        },
+        units=_units_for(cell),
+        provenance=_cell_provenance(cell, source),
+    )
+
+
+def run_campaign_cell(cell):
+    """Execute ONE cell on a fresh backend; returns its RunRecord.
+
+    This is the sequential per-cell reference path — module-level and
+    picklable, so fallback shards can fan it out over the exec pool —
+    and the ground truth the roster shards must match bit for bit.
+    """
+    from repro.core.policies import run_policy_on
+
+    backend = backend_for(cell)
+    if cell.backend == "trace":
+        spec = trace_spec_for(cell)
+    else:
+        from repro.backend import AnalyticalBackend
+
+        spec = AnalyticalBackend.pair_spec(cell.fg, cell.bg)
+    static_ways = static_policy_ways(cell.policy)
+    if static_ways is not None:
+        split = split_for(cell, backend.capabilities().llc_ways)
+        measurement = backend.co_run(spec, split)
+        return _record_from_stats(
+            cell, spec, split, measurement.raw, source="cell"
+        )
+    outcome = run_policy_on(backend, spec, cell.policy)
+    return record_from_outcome(
+        outcome,
+        units=_units_for(cell),
+        provenance=_cell_provenance(cell, source="cell"),
+    )
+
+
+def _execute_roster_shard(shard, threads):
+    """One batched native call for a whole shard of fixed-mask cells."""
+    from repro.sim.trace_engine import run_packed_roster
+
+    built = [roster_cell_for(cell) for cell in shard]
+    outcomes = run_packed_roster(
+        [roster for roster, _, _ in built],
+        prefetchers_on=False,
+        backend="kernel",
+        threads=threads,
+    )
+    return [
+        _record_from_stats(cell, spec, split, stats, source="roster")
+        for cell, (_, spec, split), stats in zip(shard, built, outcomes)
+    ]
+
+
+def _execute_fallback_shard(shard, workers, pack_paths):
+    from repro.exec import parallel_map
+
+    return parallel_map(
+        run_campaign_cell, shard, workers=workers, pack_paths=pack_paths
+    )
+
+
+def _materialize_packs(cells):
+    """Compile/load every trace pack the campaign will replay, ONCE.
+
+    Packs are content-addressed on disk, so this is the single point
+    where trace compilation happens; roster shards then hit the
+    in-process pack memo and fallback workers memmap the persisted
+    directories shipped via ``pack_paths`` — no worker regenerates or
+    receives a trace array.
+    """
+    from repro.exec import persisted_pack_paths
+    from repro.workloads.tracepack import get_pack
+
+    packs = {}
+    for cell in cells:
+        if cell.backend != "trace":
+            continue
+        key = (cell.fg, cell.bg, cell.geometry)
+        if key in packs:
+            continue
+        spec = trace_spec_for(cell)
+        packs[key] = [
+            get_pack(w.trace_factory()) for w in (spec.fg, spec.bg)
+        ]
+    flat = [pack for pair in packs.values() for pack in pair]
+    return persisted_pack_paths(flat)
+
+
+def _existing_records(store_dir):
+    """``{cell_id: record}`` for everything already persisted."""
+    import os
+
+    if not os.path.isdir(store_dir):
+        return {}
+    from repro.analysis.store import list_runset_shards
+
+    if not list_runset_shards(store_dir):
+        return {}
+    merged = load_runset_dir(store_dir)
+    out = {}
+    for record in merged.records:
+        cell_id = record.provenance.get("cell_id")
+        if cell_id:
+            out[cell_id] = record
+    return out
+
+
+def _retrying(execute, shard, max_attempts):
+    """Run ``execute()`` with bounded retries; returns (records, attempts)."""
+    last = None
+    for attempt in range(1, max_attempts + 1):
+        try:
+            return execute(), attempt
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except ReproError:
+            # Deterministic misconfiguration: retrying cannot change it.
+            raise
+        except Exception as exc:
+            last = exc
+            ec.add(ec.CAMPAIGN_RETRIES)
+    raise ValidationError(
+        f"shard of {len(shard)} cells failed after {max_attempts} "
+        f"attempts; last error: {last!r}"
+    ) from last
+
+
+def run_campaign(manifest, store_dir, cells=None, resume=False,
+                 shard_size=None, fallback_shard_size=None, threads=None,
+                 workers=None, max_attempts=DEFAULT_MAX_ATTEMPTS,
+                 no_roster=False, stop_after_shards=None):
+    """Execute a campaign into a multi-shard RunSet store.
+
+    ``resume=True`` loads the store first and skips every cell whose
+    content address is already present (a fully persisted campaign
+    replays nothing); ``resume=False`` insists on an empty store so a
+    stale directory can never silently absorb a new campaign.
+    ``no_roster=True`` forces every cell down the sequential per-cell
+    path (the benchmark baseline). ``stop_after_shards`` ends the run
+    early after N persisted shards — a graceful preemption used by the
+    resume tests and operable as a time-slicing knob.
+    """
+    from repro.campaign.planner import (
+        DEFAULT_FALLBACK_SHARD_SIZE,
+        DEFAULT_SHARD_SIZE,
+    )
+
+    if cells is None:
+        cells = expand_manifest(manifest)
+    done = _existing_records(store_dir)
+    if done and not resume:
+        raise ValidationError(
+            f"store {store_dir} already holds {len(done)} records; pass "
+            "resume=True (--resume) to continue it, or use a fresh "
+            "directory"
+        )
+
+    plan = plan_shards(
+        cells,
+        done_ids=done if resume else (),
+        shard_size=(
+            shard_size if shard_size is not None else DEFAULT_SHARD_SIZE
+        ),
+        fallback_shard_size=(
+            fallback_shard_size
+            if fallback_shard_size is not None
+            else DEFAULT_FALLBACK_SHARD_SIZE
+        ),
+    )
+    if no_roster:
+        merged = [
+            cell for _, shard in plan.shards() for cell in shard
+        ]
+        fallback_size = (
+            fallback_shard_size
+            if fallback_shard_size is not None
+            else DEFAULT_FALLBACK_SHARD_SIZE
+        )
+        plan.roster_shards = []
+        plan.fallback_shards = [
+            merged[i:i + fallback_size]
+            for i in range(0, len(merged), fallback_size)
+        ]
+
+    result = CampaignResult(
+        manifest_name=manifest.name,
+        store_dir=store_dir,
+        cells_total=len(cells),
+        cells_skipped=len(plan.skipped),
+        roster_shards=len(plan.roster_shards),
+        fallback_shards=len(plan.fallback_shards),
+    )
+    for cell in plan.skipped:
+        result.records[cell.cell_id] = done[cell.cell_id]
+    ec.add(ec.CAMPAIGN_CELLS_SKIPPED, len(plan.skipped))
+
+    pending = [cell for _, shard in plan.shards() for cell in shard]
+    pack_paths = _materialize_packs(pending) if pending else ()
+
+    for kind, shard in plan.shards():
+        if kind == "roster":
+            records, attempts = _retrying(
+                lambda: _execute_roster_shard(shard, threads),
+                shard,
+                max_attempts,
+            )
+        else:
+            records, attempts = _retrying(
+                lambda: _execute_fallback_shard(shard, workers, pack_paths),
+                shard,
+                max_attempts,
+            )
+        if attempts > 1:
+            for record in records:
+                record.provenance["attempts"] = attempts
+        result.retries += attempts - 1
+        shard_set = RunSet(
+            records=records,
+            backend="|".join(sorted({r.backend for r in records})),
+            model_version=_model_version(),
+            meta={
+                "campaign": manifest.name,
+                "shard_kind": kind,
+                "cells": len(records),
+            },
+        )
+        save_runset_shard(shard_set, store_dir)
+        for record in records:
+            result.records[record.provenance["cell_id"]] = record
+        result.cells_run += len(records)
+        result.shards_written += 1
+        ec.add(ec.CAMPAIGN_SHARDS)
+        ec.add(ec.CAMPAIGN_CELLS_RUN, len(records))
+        if (
+            stop_after_shards is not None
+            and result.shards_written >= stop_after_shards
+            and result.cells_skipped + result.cells_run < result.cells_total
+        ):
+            result.stopped_early = True
+            break
+    return result
+
+
+def _model_version():
+    from repro import __version__
+
+    return __version__
+
+
+def verify_campaign(manifest, store_dir, cells=None, stride=1):
+    """Re-run cells sequentially and compare against stored records.
+
+    Every ``stride``-th cell (all by default) is executed through the
+    per-cell reference path on a fresh backend and its metrics compared
+    *exactly* — both paths are deterministic, so any drift means the
+    roster translation broke. Returns the number of cells verified;
+    raises :class:`ValidationError` on the first mismatch or missing
+    record.
+    """
+    if cells is None:
+        cells = expand_manifest(manifest)
+    stored = _existing_records(store_dir)
+    checked = 0
+    for cell in cells[::max(1, stride)]:
+        record = stored.get(cell.cell_id)
+        if record is None:
+            raise ValidationError(
+                f"store {store_dir} has no record for cell "
+                f"{cell.cell_id} ({cell.policy} {cell.fg}+{cell.bg})"
+            )
+        reference = run_campaign_cell(cell)
+        if reference.metrics != record.metrics:
+            raise ValidationError(
+                f"cell {cell.cell_id} ({cell.policy} {cell.fg}+{cell.bg}): "
+                f"stored metrics {record.metrics} != reference "
+                f"{reference.metrics}"
+            )
+        checked += 1
+    return checked
+
+
+__all__ = [
+    "CampaignResult",
+    "is_batchable",
+    "run_campaign",
+    "run_campaign_cell",
+    "verify_campaign",
+]

@@ -1,0 +1,140 @@
+"""Reduce a multi-shard campaign store into comparable summaries.
+
+The store is just RunSet shards, so everything downstream of a campaign
+speaks the existing run-record schema: ``load_campaign_store`` merges
+the shards (``repro compare`` accepts the directory directly), and
+``summarize_campaign`` reduces the merged records into the per-axis
+counts and per-pair policy winners the render/compare pipeline reports.
+"""
+
+from repro.analysis.store import load_runset_dir
+from repro.util.errors import ValidationError
+
+
+def load_campaign_store(store_dir):
+    """``(merged RunSet, {cell_id: record})`` for a campaign store."""
+    merged = load_runset_dir(store_dir)
+    by_cell = {}
+    for record in merged.records:
+        cell_id = record.provenance.get("cell_id")
+        if cell_id:
+            by_cell[cell_id] = record
+    return merged, by_cell
+
+
+def summarize_campaign(store_dir):
+    """A plain-data summary of everything a campaign store holds.
+
+    Returns a dict with the record/shard counts, per-axis record
+    counts, retry totals, and — per (backend, fg, bg, geometry) group —
+    the policy with the lowest foreground cost and the one with the
+    highest background rate, the reduction ``repro consolidate``
+    renders for a single pair.
+    """
+    merged, by_cell = load_campaign_store(store_dir)
+    if not by_cell:
+        raise ValidationError(
+            f"store {store_dir} holds no campaign records (no cell_id "
+            "provenance)"
+        )
+    records = list(by_cell.values())
+
+    axes = {"backend": {}, "policy": {}, "pair": {}}
+    retried = 0
+    groups = {}
+    for record in records:
+        axes["backend"][record.backend] = (
+            axes["backend"].get(record.backend, 0) + 1
+        )
+        axes["policy"][record.policy] = axes["policy"].get(record.policy, 0) + 1
+        pair = f"{record.fg}+{record.bg}"
+        axes["pair"][pair] = axes["pair"].get(pair, 0) + 1
+        if record.provenance.get("attempts", 1) > 1:
+            retried += 1
+        geometry = tuple(
+            sorted((record.provenance.get("geometry") or {}).items())
+        )
+        groups.setdefault(
+            (record.backend, record.fg, record.bg, geometry), []
+        ).append(record)
+
+    best = []
+    for (backend, fg, bg, geometry), members in sorted(groups.items()):
+        lowest_cost = min(members, key=lambda r: r.metrics["fg_cost"])
+        highest_rate = max(members, key=lambda r: r.metrics["bg_rate"])
+        best.append(
+            {
+                "backend": backend,
+                "fg": fg,
+                "bg": bg,
+                "geometry": dict(geometry),
+                "policies": sorted({r.policy for r in members}),
+                "lowest_fg_cost": {
+                    "policy": lowest_cost.policy,
+                    "fg_cost": lowest_cost.metrics["fg_cost"],
+                    "unit": lowest_cost.units.get("fg_cost", ""),
+                },
+                "highest_bg_rate": {
+                    "policy": highest_rate.policy,
+                    "bg_rate": highest_rate.metrics["bg_rate"],
+                    "unit": highest_rate.units.get("bg_rate", ""),
+                },
+            }
+        )
+
+    return {
+        "records": len(records),
+        "shards": merged.meta.get("shards", 0),
+        "retried_cells": retried,
+        "axes": axes,
+        "groups": best,
+    }
+
+
+def format_campaign_summary(summary):
+    """Render ``summarize_campaign``'s output as a text report."""
+    from repro.util.tables import format_table
+
+    lines = [
+        f"campaign store: {summary['records']} records in "
+        f"{summary['shards']} shards"
+        + (
+            f" ({summary['retried_cells']} cells needed retries)"
+            if summary["retried_cells"]
+            else ""
+        )
+    ]
+    for axis in ("backend", "policy", "pair"):
+        counts = summary["axes"][axis]
+        rendered = ", ".join(
+            f"{value}={count}" for value, count in sorted(counts.items())
+        )
+        lines.append(f"  by {axis}: {rendered}")
+    rows = [
+        (
+            f"{group['fg']}+{group['bg']}",
+            group["backend"],
+            str(len(group["policies"])),
+            f"{group['lowest_fg_cost']['policy']} "
+            f"({group['lowest_fg_cost']['fg_cost']:.4f})",
+            f"{group['highest_bg_rate']['policy']} "
+            f"({group['highest_bg_rate']['bg_rate']:.4f})",
+        )
+        for group in summary["groups"]
+    ]
+    lines.append("")
+    lines.append(
+        format_table(
+            ["pair", "backend", "policies", "best fg cost", "best bg rate"],
+            rows,
+            title="Per-pair policy winners",
+        )
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "format_campaign_summary",
+    "load_campaign_store",
+    "summarize_campaign",
+]

@@ -14,6 +14,10 @@ Commands mirror the workflows of the paper's evaluation:
 - ``trace-sweep`` — way-allocation utility curves from one profiled replay.
 - ``trace-dynamic`` — the dynamic controller driving an address-level
   trace co-run through the epoch-resumable replay kernel.
+- ``campaign plan|run|summarize`` — fleet-scale experiment grids:
+  expand a JSON manifest into content-addressed cells, execute them as
+  batched roster shards into a resumable multi-shard store, reduce the
+  store back into the compare/render pipeline.
 """
 
 import argparse
@@ -240,13 +244,104 @@ def _build_parser():
 
     cmp_ = sub.add_parser(
         "compare",
-        help="diff two evaluate artifact directories, or two run-set "
-        "JSON files (e.g. one per backend)",
+        help="diff two evaluate artifact directories, run-set JSON "
+        "files, or multi-shard campaign stores",
     )
     cmp_.add_argument("before")
     cmp_.add_argument("after")
     cmp_.add_argument("--stages", nargs="*", default=["headline"])
     cmp_.add_argument("--tolerance", type=float, default=0.02)
+    cmp_.add_argument(
+        "--fail-on-moved",
+        action="store_true",
+        help="exit non-zero when any metric moved beyond tolerance (or "
+        "any record exists on only one side) — the CI regression gate",
+    )
+
+    camp = sub.add_parser(
+        "campaign",
+        help="fleet-scale experiment campaigns (plan / run / summarize)",
+    )
+    campsub = camp.add_subparsers(dest="campaign_command", required=True)
+
+    cplan = campsub.add_parser(
+        "plan", help="expand a manifest and report the shard plan"
+    )
+    cplan.add_argument("manifest", help="campaign manifest JSON")
+    cplan.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="planning never executes cells; this flag is accepted for "
+        "symmetry with 'campaign run'",
+    )
+    cplan.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="count cells already persisted in this store as skipped",
+    )
+    cplan.add_argument("--shard-size", type=int, default=None)
+    cplan.add_argument("--fallback-shard-size", type=int, default=None)
+
+    crun = campsub.add_parser(
+        "run", help="execute a campaign into a multi-shard run-set store"
+    )
+    crun.add_argument("manifest", help="campaign manifest JSON")
+    crun.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="directory of RunSet shard files (the checkpoint store)",
+    )
+    crun.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip every cell whose record the store already holds",
+    )
+    crun.add_argument(
+        "--check",
+        action="store_true",
+        help="after running, re-execute every cell sequentially and "
+        "require exact metric agreement (non-zero on mismatch)",
+    )
+    crun.add_argument(
+        "--check-stride", type=int, default=1,
+        help="with --check, verify every Nth cell (default: all)",
+    )
+    crun.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the merged records as one run-set JSON",
+    )
+    crun.add_argument("--workers", type=int, default=None)
+    crun.add_argument(
+        "--threads", type=int, default=None,
+        help="native kernel threads per roster shard "
+        "(default: REPRO_NATIVE_THREADS or all usable CPUs)",
+    )
+    crun.add_argument("--shard-size", type=int, default=None)
+    crun.add_argument("--fallback-shard-size", type=int, default=None)
+    crun.add_argument("--max-attempts", type=int, default=None)
+    crun.add_argument(
+        "--no-roster",
+        action="store_true",
+        help="force the sequential per-cell path (the benchmark baseline)",
+    )
+    crun.add_argument(
+        "--stop-after-shards", type=int, default=None,
+        help="checkpoint and exit after N shards (resume later)",
+    )
+    crun.add_argument(
+        "--engine-stat",
+        action="store_true",
+        help="print the engine's own perf-stat block afterwards",
+    )
+
+    csum = campsub.add_parser(
+        "summarize", help="reduce a campaign store into a report"
+    )
+    csum.add_argument("store", help="campaign store directory")
+    csum.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the summary as JSON instead of text",
+    )
 
     return parser
 
@@ -794,13 +889,33 @@ def _cmd_trace_dynamic(args, out):
         out.write(format_engine_stat() + "\n")
 
 
-def _cmd_compare(args, out):
+def _is_runset_side(path):
+    """True when ``path`` is run-set shaped: a run-set JSON file, or a
+    directory of run-set shard files (a campaign store)."""
+    import json
     import os
 
+    if os.path.isfile(path):
+        return True
+    if not os.path.isdir(path):
+        return False
+    from repro.analysis.store import list_runset_shards
+
+    for shard in list_runset_shards(path):
+        try:
+            with open(shard) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return False
+        return isinstance(payload, dict) and "runset_version" in payload
+    return False
+
+
+def _cmd_compare(args, out):
     from repro.analysis.compare import diff_runsets, format_deltas, regressions
 
-    if os.path.isfile(args.before) or os.path.isfile(args.after):
-        # Two run-set JSON files (possibly from different backends).
+    if _is_runset_side(args.before) or _is_runset_side(args.after):
+        # Run-set JSON files or campaign stores (possibly mixed).
         moved, checked, unmatched = diff_runsets(
             args.before, args.after, tolerance=args.tolerance
         )
@@ -821,6 +936,8 @@ def _cmd_compare(args, out):
                 f"all {checked} comparable metrics agree within "
                 f"{args.tolerance:.0%}\n"
             )
+        if args.fail_on_moved and (moved or unmatched):
+            raise SystemExit(1)
         return
     moved, checked = regressions(
         args.before, args.after, stages=args.stages, tolerance=args.tolerance
@@ -830,9 +947,160 @@ def _cmd_compare(args, out):
         out.write(f"{len(moved)} of {checked} metrics moved beyond tolerance\n")
     else:
         out.write(f"all {checked} metrics agree within {args.tolerance:.0%}\n")
+    if args.fail_on_moved and moved:
+        raise SystemExit(1)
+
+
+def _load_campaign_manifest(path):
+    """Load a manifest; unknown keys are a *usage* error (exit 2), the
+    same contract as ``bench_smoke --only`` with an unknown arm."""
+    from repro.campaign import UnknownManifestKey, load_manifest
+
+    try:
+        return load_manifest(path)
+    except UnknownManifestKey as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
+
+
+def _campaign_axis_lines(cells):
+    from repro.campaign.manifest import axis_counts
+
+    lines = []
+    counts = axis_counts(cells)
+    for axis in ("backend", "policy", "pair", "geometry"):
+        rendered = ", ".join(
+            f"{value}={count}" for value, count in sorted(counts[axis].items())
+        )
+        lines.append(f"  by {axis}: {rendered}")
+    return lines
+
+
+def _cmd_campaign_plan(args, out):
+    from repro.campaign import expand_manifest, plan_shards
+    from repro.campaign.planner import (
+        DEFAULT_FALLBACK_SHARD_SIZE,
+        DEFAULT_SHARD_SIZE,
+    )
+
+    manifest = _load_campaign_manifest(args.manifest)
+    cells = expand_manifest(manifest)
+    done_ids = ()
+    if args.store:
+        from repro.campaign.runner import _existing_records
+
+        done_ids = _existing_records(args.store)
+    plan = plan_shards(
+        cells,
+        done_ids=done_ids,
+        shard_size=args.shard_size or DEFAULT_SHARD_SIZE,
+        fallback_shard_size=(
+            args.fallback_shard_size or DEFAULT_FALLBACK_SHARD_SIZE
+        ),
+    )
+    out.write(f"campaign '{manifest.name}': {len(cells)} cells\n")
+    for line in _campaign_axis_lines(cells):
+        out.write(line + "\n")
+    out.write(
+        f"  batchable: {plan.batchable_cells} cells in "
+        f"{len(plan.roster_shards)} roster shards (one native call each)\n"
+    )
+    out.write(
+        f"  fallback: {plan.fallback_cells} cells in "
+        f"{len(plan.fallback_shards)} shards (exec-pool per-cell)\n"
+    )
+    if args.store:
+        out.write(f"  already stored: {len(plan.skipped)} cells skipped\n")
+    out.write(f"  estimated shards: {plan.total_shards}\n")
+
+
+def _cmd_campaign_run(args, out):
+    import time
+
+    from repro.campaign import expand_manifest, run_campaign, verify_campaign
+    from repro.campaign.runner import DEFAULT_MAX_ATTEMPTS
+
+    manifest = _load_campaign_manifest(args.manifest)
+    cells = expand_manifest(manifest)
+    start = time.perf_counter()
+    result = run_campaign(
+        manifest,
+        args.store,
+        cells=cells,
+        resume=args.resume,
+        shard_size=args.shard_size,
+        fallback_shard_size=args.fallback_shard_size,
+        threads=args.threads,
+        workers=args.workers,
+        max_attempts=(
+            args.max_attempts
+            if args.max_attempts is not None
+            else DEFAULT_MAX_ATTEMPTS
+        ),
+        no_roster=args.no_roster,
+        stop_after_shards=args.stop_after_shards,
+    )
+    elapsed = time.perf_counter() - start
+    out.write(
+        f"campaign '{manifest.name}': {result.cells_run} cells run, "
+        f"{result.cells_skipped} skipped, {result.shards_written} shards "
+        f"written in {elapsed:.2f}s"
+        + (f" ({result.retries} retries)" if result.retries else "")
+        + (" [stopped early]" if result.stopped_early else "")
+        + "\n"
+    )
+    if args.json:
+        from repro.analysis.store import load_runset_dir, save_runset
+
+        merged = load_runset_dir(args.store)
+        merged.meta["campaign"] = manifest.name
+        count = save_runset(merged, args.json)
+        out.write(f"run set: {count} records -> {args.json}\n")
+    if args.check:
+        if result.stopped_early:
+            raise ValidationError(
+                "--check requires a complete campaign; this run stopped "
+                "early (resume it first)"
+            )
+        checked = verify_campaign(
+            manifest, args.store, cells=cells, stride=args.check_stride
+        )
+        out.write(
+            f"check: {checked} cells re-run sequentially, all metrics "
+            "exact\n"
+        )
+    if args.engine_stat:
+        from repro.perf.stat import format_engine_stat
+
+        out.write(format_engine_stat() + "\n")
+
+
+def _cmd_campaign_summarize(args, out):
+    from repro.campaign import summarize_campaign
+    from repro.campaign.summary import format_campaign_summary
+
+    summary = summarize_campaign(args.store)
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+        out.write(f"summary -> {args.json}\n")
+        return
+    out.write(format_campaign_summary(summary) + "\n")
+
+
+def _cmd_campaign(args, out):
+    handler = {
+        "plan": _cmd_campaign_plan,
+        "run": _cmd_campaign_run,
+        "summarize": _cmd_campaign_summarize,
+    }[args.campaign_command]
+    handler(args, out)
 
 
 _COMMANDS = {
+    "campaign": _cmd_campaign,
     "compare": _cmd_compare,
     "describe": _cmd_describe,
     "evaluate": _cmd_evaluate,

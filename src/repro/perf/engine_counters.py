@@ -25,6 +25,10 @@ PACK_COMPILED_ACCESSES = "pack_compiled_accesses"
 PACK_REPLAYS = "pack_replays"
 BATCH_CALLS = "batch_calls"
 BATCH_CELLS = "batch_cells"
+CAMPAIGN_SHARDS = "campaign_shards"
+CAMPAIGN_CELLS_RUN = "campaign_cells_run"
+CAMPAIGN_CELLS_SKIPPED = "campaign_cells_skipped"
+CAMPAIGN_RETRIES = "campaign_retries"
 
 ENGINE_EVENTS = (
     MEMO_HITS,
@@ -42,6 +46,10 @@ ENGINE_EVENTS = (
     PACK_REPLAYS,
     BATCH_CALLS,
     BATCH_CELLS,
+    CAMPAIGN_SHARDS,
+    CAMPAIGN_CELLS_RUN,
+    CAMPAIGN_CELLS_SKIPPED,
+    CAMPAIGN_RETRIES,
 )
 
 _counters = CounterSet(ENGINE_EVENTS)

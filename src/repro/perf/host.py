@@ -1,0 +1,40 @@
+"""Host provenance for benchmark artifacts.
+
+A perf number without its host context is unreviewable: the batch
+speedup depends on CPU count, the native gate, and the thread knobs.
+``host_provenance`` captures the execution environment in plain data so
+every ``BENCH_*.json`` payload records where its numbers came from —
+including every ``REPRO_NATIVE*`` variable and the per-kernel
+compile/disable status, so "why was native off on that run?" is
+answerable from the artifact alone.
+"""
+
+import os
+import platform
+
+
+def host_provenance():
+    """A JSON-ready description of the measuring host."""
+    from repro.cache import native
+    from repro.exec.pool import usable_cpus
+
+    env = {
+        key: value
+        for key, value in sorted(os.environ.items())
+        if key.startswith("REPRO_NATIVE") or key == "REPRO_WORKERS"
+    }
+    threading = native.threading_status()
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": usable_cpus(),
+        "native_enabled": native.enabled(),
+        "threading_mode": threading["mode"],
+        "threading_reason": threading["reason"],
+        "kernel_status": dict(native.kernel_status()),
+        "env": env,
+    }
+
+
+__all__ = ["host_provenance"]

@@ -78,6 +78,11 @@ def format_engine_stat(counters=None):
     pack_replays = counters.get(ec.PACK_REPLAYS, 0.0)
     batch_calls = counters.get(ec.BATCH_CALLS, 0.0)
     batch_cells = counters.get(ec.BATCH_CELLS, 0.0)
+    campaign_shards = counters.get(ec.CAMPAIGN_SHARDS, 0.0)
+    campaign_run = counters.get(ec.CAMPAIGN_CELLS_RUN, 0.0)
+    campaign_skipped = counters.get(ec.CAMPAIGN_CELLS_SKIPPED, 0.0)
+    campaign_retries = counters.get(ec.CAMPAIGN_RETRIES, 0.0)
+    campaign_planned = campaign_run + campaign_skipped
     lookups = hits + misses
     pack_lookups = pack_hits + pack_misses
     iterated = solves - fast
@@ -125,6 +130,23 @@ def format_engine_stat(counters=None):
             if batch_calls
             else None,
         ),
+        (
+            "campaign-shards",
+            campaign_shards,
+            f"{campaign_run / campaign_shards:,.1f} cells per shard"
+            if campaign_shards
+            else None,
+        ),
+        ("campaign-cells-run", campaign_run, None),
+        (
+            "campaign-cells-skipped",
+            campaign_skipped,
+            f"{100 * campaign_skipped / campaign_planned:.2f}% of planned "
+            "cells already stored"
+            if campaign_planned
+            else None,
+        ),
+        ("campaign-retries", campaign_retries, None),
     ]
     lines = [" Performance counter stats for 'engine':", ""]
     for event, value, note in rows:

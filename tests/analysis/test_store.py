@@ -10,10 +10,15 @@ from repro.analysis.store import (
     RUNSET_VERSION,
     RunRecord,
     RunSet,
+    list_runset_shards,
     load_characterizer,
     load_runset,
+    load_runset_dir,
+    merge_runsets,
     save_characterizer,
     save_runset,
+    save_runset_shard,
+    shard_path,
 )
 from repro.util.errors import ValidationError
 from repro.workloads import get_application
@@ -208,3 +213,53 @@ class TestRunSetInvalidation:
         path.write_text(json.dumps(payload))
         with pytest.raises(ValidationError, match="malformed run record"):
             load_runset(path)
+
+
+class TestRunSetShards:
+    def test_shard_paths_are_unique_within_a_process(self, tmp_path):
+        names = {shard_path(str(tmp_path)) for _ in range(50)}
+        assert len(names) == 50
+        assert all(f"-{os.getpid()}-" in name for name in names)
+
+    def test_shard_writes_are_atomic_and_leave_no_droppings(self, tmp_path):
+        save_runset_shard(RunSet(records=[_record()]), str(tmp_path))
+        save_runset_shard(RunSet(records=[_record(policy="fair")]),
+                          str(tmp_path))
+        names = sorted(os.listdir(tmp_path))
+        assert len(names) == 2
+        assert all(n.startswith("shard-") and n.endswith(".json")
+                   for n in names)
+
+    def test_merge_preserves_input_order_and_joins_backends(self):
+        a = RunSet(records=[_record(policy="shared")], backend="analytical",
+                   model_version="1.0.0")
+        b = RunSet(records=[_record(policy="fair")], backend="trace",
+                   model_version="1.0.0")
+        merged = merge_runsets([a, b])
+        assert [r.policy for r in merged.records] == ["shared", "fair"]
+        assert merged.backend == "analytical|trace"
+        assert merged.model_version == "1.0.0"
+
+    def test_load_runset_dir_round_trips_all_shards(self, tmp_path):
+        save_runset_shard(RunSet(records=[_record(policy="shared")]),
+                          str(tmp_path))
+        save_runset_shard(RunSet(records=[_record(policy="fair")]),
+                          str(tmp_path))
+        assert len(list_runset_shards(str(tmp_path))) == 2
+        merged = load_runset_dir(str(tmp_path))
+        assert {r.policy for r in merged.records} == {"shared", "fair"}
+
+    def test_load_runset_dir_missing_directory(self, tmp_path):
+        with pytest.raises(ValidationError, match="no run-set directory"):
+            load_runset_dir(str(tmp_path / "absent"))
+
+    def test_load_runset_dir_empty_directory(self, tmp_path):
+        with pytest.raises(ValidationError, match="no run-set shards"):
+            load_runset_dir(str(tmp_path))
+
+    def test_corrupt_shard_error_names_the_file(self, tmp_path):
+        save_runset_shard(RunSet(records=[_record()]), str(tmp_path))
+        bad = tmp_path / "shard-1-999999.json"
+        bad.write_text("{nope")
+        with pytest.raises(ValidationError, match="shard-1-999999.json"):
+            load_runset_dir(str(tmp_path))

@@ -150,3 +150,19 @@ class TestCrossBackendDiff:
         before = RunSet(records=[record], backend="analytical")
         moved, _, _ = diff_runsets(before, after, tolerance=0.02)
         assert [delta.metric for delta in moved] == ["fg_cost"]
+
+    def test_diff_accepts_multi_shard_store_directories(
+        self, analytical_set, tmp_path
+    ):
+        from repro.analysis.store import save_runset_shard
+
+        store = tmp_path / "store"
+        for record in analytical_set.records:
+            save_runset_shard(
+                RunSet(records=[record], backend="analytical"), str(store)
+            )
+        single = tmp_path / "runs.json"
+        save_runset(analytical_set, single)
+        moved, checked, unmatched = diff_runsets(str(store), single)
+        assert (moved, unmatched) == ([], [])
+        assert checked == 8

@@ -1,0 +1,145 @@
+"""The ``repro campaign`` command group and campaign-aware ``compare``."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+from .test_manifest import small_manifest  # noqa: F401  (idiom anchor)
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def write_manifest(tmp_path, **overrides):
+    data = {
+        "name": "cli-grid",
+        "backends": ["trace"],
+        "policies": ["shared", "fair", "biased"],
+        "pairs": [["zipf", "stream"]],
+        "geometries": [{"accesses": 900}, {"accesses": 900, "seed": 2}],
+    }
+    data.update(overrides)
+    path = tmp_path / "manifest.json"
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+class TestPlan:
+    def test_dry_run_reports_counts_and_split(self, tmp_path):
+        manifest = write_manifest(tmp_path)
+        code, text = run_cli("campaign", "plan", manifest, "--dry-run")
+        assert code == 0
+        assert "campaign 'cli-grid': 6 cells" in text
+        assert "batchable" in text and "fallback" in text
+        assert "policy" in text and "shared" in text
+
+    def test_store_aware_plan_reports_skips(self, tmp_path):
+        manifest = write_manifest(tmp_path)
+        store = str(tmp_path / "store")
+        run_cli("campaign", "run", manifest, "--store", store)
+        code, text = run_cli(
+            "campaign", "plan", manifest, "--store", store
+        )
+        assert code == 0
+        assert "already stored: 6 cells skipped" in text
+
+    def test_unknown_manifest_key_exits_2_listing_valid_keys(
+        self, tmp_path, capsys
+    ):
+        manifest = write_manifest(tmp_path, polcies=["shared"])
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("campaign", "plan", manifest)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "polcies" in err
+        assert "policies" in err
+
+    def test_missing_manifest_is_exit_1(self, tmp_path):
+        code, _ = run_cli(
+            "campaign", "plan", str(tmp_path / "absent.json")
+        )
+        assert code == 1
+
+
+class TestRunAndSummarize:
+    def test_run_check_resume_summarize_round_trip(self, tmp_path):
+        manifest = write_manifest(tmp_path)
+        store = str(tmp_path / "store")
+        runset = str(tmp_path / "merged.json")
+
+        code, text = run_cli(
+            "campaign", "run", manifest, "--store", store,
+            "--check", "--json", runset,
+        )
+        assert code == 0
+        assert "6 cells run, 0 skipped" in text
+        assert "check: 6 cells re-run sequentially, all metrics exact" in text
+
+        code, text = run_cli(
+            "campaign", "run", manifest, "--store", store, "--resume"
+        )
+        assert code == 0
+        assert "0 cells run, 6 skipped" in text
+
+        code, text = run_cli("campaign", "summarize", store)
+        assert code == 0
+        assert "Per-pair policy winners" in text
+        assert "zipf" in text and "stream" in text
+
+        with open(runset) as handle:
+            merged = json.load(handle)
+        assert len(merged["records"]) == 6
+
+    def test_run_without_resume_on_full_store_fails(self, tmp_path):
+        manifest = write_manifest(tmp_path)
+        store = str(tmp_path / "store")
+        run_cli("campaign", "run", manifest, "--store", store)
+        code, _ = run_cli("campaign", "run", manifest, "--store", store)
+        assert code == 1
+
+    def test_summarize_json(self, tmp_path):
+        manifest = write_manifest(tmp_path)
+        store = str(tmp_path / "store")
+        run_cli("campaign", "run", manifest, "--store", store)
+        summary_path = tmp_path / "summary.json"
+        code, text = run_cli(
+            "campaign", "summarize", store, "--json", str(summary_path)
+        )
+        assert code == 0
+        summary = json.loads(summary_path.read_text())
+        assert summary["records"] == 6
+        assert summary["axes"]["policy"]["shared"] == 2
+
+
+class TestCompareStores:
+    def test_compare_accepts_campaign_store_dirs(self, tmp_path):
+        manifest = write_manifest(tmp_path)
+        a = str(tmp_path / "a")
+        b = str(tmp_path / "b")
+        run_cli("campaign", "run", manifest, "--store", a)
+        run_cli("campaign", "run", manifest, "--store", b)
+        code, text = run_cli(
+            "compare", a, b, "--tolerance", "0", "--fail-on-moved"
+        )
+        assert code == 0
+        assert "moved" not in text.lower() or "0 moved" in text
+
+    def test_fail_on_moved_exits_nonzero_on_drift(self, tmp_path):
+        manifest = write_manifest(tmp_path)
+        a = str(tmp_path / "a")
+        b = str(tmp_path / "b")
+        run_cli("campaign", "run", manifest, "--store", a)
+        run_cli(
+            "campaign", "run",
+            write_manifest(tmp_path, geometries=[{"accesses": 1100}]),
+            "--store", b,
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("compare", a, b, "--tolerance", "0", "--fail-on-moved")
+        assert excinfo.value.code == 1

@@ -1,0 +1,146 @@
+"""Manifest validation, expansion, and content addressing."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    UnknownManifestKey,
+    expand_manifest,
+    load_manifest,
+    manifest_from_dict,
+)
+from repro.campaign.manifest import axis_counts, static_policy_ways
+from repro.util.errors import ValidationError
+
+
+def small_manifest(**overrides):
+    data = {
+        "name": "grid",
+        "backends": ["trace"],
+        "policies": ["shared", "fair", "static-3"],
+        "pairs": [["zipf", "stream"], ["stride", "zipf"]],
+        "geometries": [{"accesses": 2000}, {"accesses": 2000, "seed": 2}],
+    }
+    data.update(overrides)
+    return manifest_from_dict(data)
+
+
+class TestValidation:
+    def test_unknown_top_level_key_lists_vocabulary(self):
+        with pytest.raises(UnknownManifestKey) as excinfo:
+            manifest_from_dict({"name": "x", "pairs": [["a", "b"]],
+                                "polices": ["shared"]})
+        assert excinfo.value.unknown == ("polices",)
+        assert "policies" in excinfo.value.valid
+        assert "valid keys" in str(excinfo.value)
+
+    def test_unknown_geometry_key_rejected(self):
+        with pytest.raises(UnknownManifestKey, match="geometry #0"):
+            manifest_from_dict(
+                {
+                    "name": "x",
+                    "pairs": [["a", "b"]],
+                    "geometries": [{"acceses": 100}],
+                }
+            )
+
+    def test_unknown_key_is_a_validation_error(self):
+        # The CLI maps UnknownManifestKey to exit 2; everything else in
+        # main() catches ReproError, so the subclassing must hold.
+        with pytest.raises(ValidationError):
+            manifest_from_dict({"name": "x", "pairs": [["a", "b"]],
+                                "nope": 1})
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValidationError, match="unknown backend"):
+            small_manifest(backends=["gpu"])
+
+    def test_pairs_required(self):
+        with pytest.raises(ValidationError, match="pairs"):
+            manifest_from_dict({"name": "x"})
+
+    def test_malformed_static_policy(self):
+        with pytest.raises(ValidationError, match="static-<fg ways>"):
+            small_manifest(policies=["static-lots"])
+
+    def test_static_policy_range(self):
+        with pytest.raises(ValidationError, match="1..11"):
+            small_manifest(policies=["static-12"])
+
+    def test_static_policy_parse(self):
+        assert static_policy_ways("static-9") == 9
+        assert static_policy_ways("shared") is None
+
+    def test_load_manifest_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError, match="no manifest"):
+            load_manifest(tmp_path / "absent.json")
+
+    def test_load_manifest_corrupt_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ValidationError, match="corrupt manifest"):
+            load_manifest(path)
+
+
+class TestExpansion:
+    def test_grid_size_and_determinism(self):
+        manifest = small_manifest()
+        cells = expand_manifest(manifest)
+        # 3 policies x 2 pairs x 2 geometries.
+        assert len(cells) == 12
+        again = expand_manifest(small_manifest())
+        assert [c.cell_id for c in cells] == [c.cell_id for c in again]
+
+    def test_cell_ids_are_unique(self):
+        cells = expand_manifest(small_manifest())
+        assert len({c.cell_id for c in cells}) == len(cells)
+
+    def test_non_dynamic_cells_collapse_controller_axis(self):
+        manifest = small_manifest(
+            policies=["shared", "dynamic"],
+            controllers=[{"epoch_accesses": 500}, {"epoch_accesses": 1000}],
+        )
+        cells = expand_manifest(manifest)
+        shared = [c for c in cells if c.policy == "shared"]
+        dynamic = [c for c in cells if c.policy == "dynamic"]
+        # shared: 2 pairs x 2 geometries; dynamic gets the x2 controllers.
+        assert len(shared) == 4
+        assert len(dynamic) == 8
+        assert all(c.controller == () for c in shared)
+
+    def test_analytical_cells_collapse_geometry_axis(self):
+        manifest = small_manifest(
+            backends=["analytical"], policies=["shared"],
+            pairs=[["fop", "batik"]],
+        )
+        cells = expand_manifest(manifest)
+        assert len(cells) == 1
+        assert cells[0].geometry == ()
+
+    def test_analytical_rejects_static_policies(self):
+        manifest = small_manifest(
+            backends=["analytical"], pairs=[["fop", "batik"]]
+        )
+        with pytest.raises(ValidationError, match="not supported"):
+            expand_manifest(manifest)
+
+    def test_cell_id_tracks_axis_values(self):
+        base, other = (
+            expand_manifest(small_manifest(geometries=[{"seed": s}]))[0]
+            for s in (1, 2)
+        )
+        assert base.cell_id != other.cell_id
+
+    def test_axis_counts_shape(self):
+        counts = axis_counts(expand_manifest(small_manifest()))
+        assert counts["policy"] == {"shared": 4, "fair": 4, "static-3": 4}
+        assert sum(counts["backend"].values()) == 12
+
+    def test_cells_are_picklable_and_json_addressable(self):
+        import pickle
+
+        cell = expand_manifest(small_manifest())[0]
+        clone = pickle.loads(pickle.dumps(cell))
+        assert clone.cell_id == cell.cell_id
+        json.dumps(cell.geometry_dict)

@@ -1,0 +1,97 @@
+"""Shard planning: batchability, mask fidelity, and chunking."""
+
+import pytest
+
+from repro.campaign import expand_manifest, is_batchable, plan_shards
+from repro.campaign.planner import roster_cell_for, split_for
+from repro.util.errors import ValidationError
+
+from .test_manifest import small_manifest
+
+
+def cells_for(**overrides):
+    return expand_manifest(small_manifest(**overrides))
+
+
+class TestBatchability:
+    def test_fixed_mask_trace_policies_are_batchable(self):
+        for cell in cells_for(policies=["shared", "fair", "static-7"]):
+            assert is_batchable(cell)
+
+    def test_search_policies_are_not(self):
+        for cell in cells_for(policies=["biased", "dynamic"]):
+            assert not is_batchable(cell)
+
+    def test_analytical_cells_are_not(self):
+        cells = cells_for(
+            backends=["analytical"], policies=["shared"],
+            pairs=[["fop", "batik"]],
+        )
+        assert not any(is_batchable(c) for c in cells)
+
+
+class TestSplits:
+    def test_split_shapes(self):
+        shared, fair, static = (
+            split_for(c)
+            for c in cells_for(
+                policies=["shared", "fair", "static-3"],
+                pairs=[["zipf", "stream"]], geometries=[{}],
+            )
+        )
+        assert (shared.fg_ways, shared.bg_ways) == (12, 12)
+        assert (fair.fg_ways, fair.bg_ways) == (6, 6)
+        assert (static.fg_ways, static.bg_ways) == (3, 9)
+
+    def test_roster_masks_match_backend_co_run(self):
+        # The roster cell must apply the exact masks TraceBackend.co_run
+        # applies, or batch replay silently measures a different machine.
+        from repro.cache.llc import WayMask
+
+        cell = cells_for(
+            policies=["static-4"], pairs=[["zipf", "stream"]],
+            geometries=[{}],
+        )[0]
+        roster, spec, split = roster_cell_for(cell)
+        assert split.fg_ways == 4
+        assert roster.masks[spec.fg.tid // 2] == WayMask.contiguous(4, 0, 12)
+        assert roster.masks[spec.bg.tid // 2] == WayMask.contiguous(8, 4, 12)
+        assert roster.total_accesses == cell.geometry_dict["accesses"]
+
+    def test_non_batchable_cell_has_no_roster(self):
+        cell = cells_for(policies=["biased"])[0]
+        with pytest.raises(ValidationError, match="not batchable"):
+            roster_cell_for(cell)
+
+
+class TestPlanning:
+    def test_chunking_is_deterministic(self):
+        cells = cells_for(policies=["shared", "fair", "biased"])
+        plan = plan_shards(cells, shard_size=3, fallback_shard_size=2)
+        again = plan_shards(cells, shard_size=3, fallback_shard_size=2)
+        assert [
+            [c.cell_id for c in shard] for shard in plan.roster_shards
+        ] == [[c.cell_id for c in shard] for shard in again.roster_shards]
+        # 8 batchable cells in shards of 3, 4 fallback cells in shards of 2.
+        assert [len(s) for s in plan.roster_shards] == [3, 3, 2]
+        assert [len(s) for s in plan.fallback_shards] == [2, 2]
+        assert plan.batchable_cells == 8
+        assert plan.fallback_cells == 4
+        assert plan.total_shards == 5
+
+    def test_done_ids_are_skipped(self):
+        cells = cells_for()
+        done = {cells[0].cell_id, cells[5].cell_id}
+        plan = plan_shards(cells, done_ids=done)
+        assert {c.cell_id for c in plan.skipped} == done
+        assert plan.batchable_cells == len(cells) - 2
+
+    def test_shards_iterates_roster_then_fallback(self):
+        cells = cells_for(policies=["shared", "biased"])
+        plan = plan_shards(cells, shard_size=2, fallback_shard_size=2)
+        kinds = [kind for kind, _ in plan.shards()]
+        assert kinds == ["roster", "roster", "fallback", "fallback"]
+
+    def test_shard_size_must_be_positive(self):
+        with pytest.raises(ValidationError, match=">= 1"):
+            plan_shards(cells_for(), shard_size=0)

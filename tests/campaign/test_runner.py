@@ -1,0 +1,279 @@
+"""Campaign execution: resume semantics, retries, and record fidelity."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.store import list_runset_shards, load_runset_dir
+from repro.campaign import (
+    expand_manifest,
+    manifest_from_dict,
+    run_campaign,
+    run_campaign_cell,
+    verify_campaign,
+)
+from repro.campaign import runner as runner_mod
+from repro.perf import engine_counters as ec
+from repro.util.errors import ValidationError
+
+from .test_manifest import small_manifest
+
+ACCESSES = 800
+
+
+def fast_manifest(**overrides):
+    data = dict(
+        policies=["shared", "fair", "static-3"],
+        geometries=[{"accesses": ACCESSES}, {"accesses": ACCESSES, "seed": 2}],
+    )
+    data.update(overrides)
+    return small_manifest(**data)
+
+
+def replay_delta(snapshot):
+    """The counters that prove cells actually executed."""
+    delta = ec.engine_counters().delta(snapshot)
+    return (
+        delta.get(ec.TRACE_ACCESSES, 0)
+        + delta.get(ec.BATCH_CELLS, 0)
+        + delta.get(ec.CAMPAIGN_CELLS_RUN, 0)
+    )
+
+
+class TestExecution:
+    def test_full_run_persists_every_cell(self, tmp_path):
+        manifest = fast_manifest()
+        store = tmp_path / "store"
+        result = run_campaign(manifest, str(store), shard_size=4)
+        cells = expand_manifest(manifest)
+        assert result.complete
+        assert result.cells_run == len(cells)
+        merged = load_runset_dir(str(store))
+        assert {
+            r.provenance["cell_id"] for r in merged.records
+        } == {c.cell_id for c in cells}
+        # One shard file per executed shard, each a valid RunSet.
+        assert len(list_runset_shards(str(store))) == result.shards_written
+
+    def test_roster_records_match_per_cell_reference(self, tmp_path):
+        manifest = fast_manifest()
+        store = tmp_path / "store"
+        result = run_campaign(manifest, str(store), shard_size=4)
+        for cell in expand_manifest(manifest):
+            reference = run_campaign_cell(cell)
+            assert result.records[cell.cell_id].metrics == reference.metrics
+
+    def test_verify_campaign_passes_and_counts(self, tmp_path):
+        manifest = fast_manifest()
+        store = tmp_path / "store"
+        run_campaign(manifest, str(store))
+        assert verify_campaign(manifest, str(store)) == len(
+            expand_manifest(manifest)
+        )
+
+    def test_verify_campaign_names_a_missing_cell(self, tmp_path):
+        manifest = fast_manifest()
+        store = tmp_path / "store"
+        run_campaign(
+            manifest, str(store), shard_size=4, stop_after_shards=1
+        )
+        with pytest.raises(ValidationError, match="no record for cell"):
+            verify_campaign(manifest, str(store))
+
+    def test_fallback_cells_run_through_the_pool(self, tmp_path):
+        manifest = fast_manifest(
+            policies=["biased"], pairs=[["zipf", "stream"]],
+            geometries=[{"accesses": ACCESSES}],
+        )
+        store = tmp_path / "store"
+        result = run_campaign(manifest, str(store), workers=1)
+        assert result.roster_shards == 0
+        assert result.fallback_shards == 1
+        assert verify_campaign(manifest, str(store)) == 1
+
+    def test_no_roster_forces_the_sequential_path(self, tmp_path):
+        manifest = fast_manifest()
+        store = tmp_path / "store"
+        snapshot = ec.engine_counters().snapshot()
+        result = run_campaign(
+            manifest, str(store), no_roster=True, workers=1
+        )
+        delta = ec.engine_counters().delta(snapshot)
+        assert result.complete
+        assert delta.get(ec.BATCH_CALLS, 0) == 0
+        assert verify_campaign(manifest, str(store)) == result.cells_run
+
+
+class TestResume:
+    def test_killed_campaign_resumes_without_replaying(self, tmp_path):
+        manifest = fast_manifest()
+        cells = expand_manifest(manifest)
+        store = tmp_path / "store"
+
+        # "Kill" the campaign after its first shard checkpoint.
+        partial = run_campaign(
+            manifest, str(store), shard_size=4, stop_after_shards=1
+        )
+        assert partial.stopped_early
+        assert 0 < partial.cells_run < len(cells)
+        persisted = {
+            r.provenance["cell_id"]
+            for r in load_runset_dir(str(store)).records
+        }
+
+        # Restart with resume: every persisted cell is skipped, only the
+        # remainder executes.
+        resumed = run_campaign(
+            manifest, str(store), resume=True, shard_size=4
+        )
+        assert resumed.cells_skipped == len(persisted)
+        assert resumed.cells_run == len(cells) - len(persisted)
+        assert resumed.complete
+
+    def test_complete_campaign_resumes_with_zero_replays(self, tmp_path):
+        manifest = fast_manifest()
+        store = tmp_path / "store"
+        run_campaign(manifest, str(store), shard_size=4)
+
+        snapshot = ec.engine_counters().snapshot()
+        resumed = run_campaign(
+            manifest, str(store), resume=True, shard_size=4
+        )
+        assert resumed.cells_run == 0
+        assert resumed.shards_written == 0
+        assert resumed.cells_skipped == len(expand_manifest(manifest))
+        # Counter-proven: no trace access, batch cell, or campaign cell
+        # executed during the resume.
+        assert replay_delta(snapshot) == 0
+
+    def test_nonempty_store_without_resume_is_refused(self, tmp_path):
+        manifest = fast_manifest()
+        store = tmp_path / "store"
+        run_campaign(manifest, str(store), shard_size=4)
+        with pytest.raises(ValidationError, match="resume"):
+            run_campaign(manifest, str(store), shard_size=4)
+
+    def test_resume_result_carries_the_stored_records(self, tmp_path):
+        manifest = fast_manifest()
+        store = tmp_path / "store"
+        first = run_campaign(manifest, str(store))
+        resumed = run_campaign(manifest, str(store), resume=True)
+        assert set(resumed.records) == set(first.records)
+
+    def test_corrupt_shard_is_a_validation_error_naming_the_file(
+        self, tmp_path
+    ):
+        manifest = fast_manifest()
+        store = tmp_path / "store"
+        run_campaign(manifest, str(store), shard_size=4)
+        bad = os.path.join(str(store), "shard-999-000000.json")
+        with open(bad, "w") as handle:
+            handle.write("{definitely not json")
+        with pytest.raises(ValidationError, match="shard-999-000000.json"):
+            run_campaign(manifest, str(store), resume=True, shard_size=4)
+
+    def test_truncated_shard_payload_is_a_validation_error(self, tmp_path):
+        # A syntactically valid shard missing record fields must raise
+        # ValidationError, never a bare KeyError.
+        manifest = fast_manifest()
+        store = tmp_path / "store"
+        run_campaign(manifest, str(store), shard_size=4)
+        path = list_runset_shards(str(store))[0]
+        with open(path) as handle:
+            payload = json.load(handle)
+        del payload["records"][0]["policy"]
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        try:
+            run_campaign(manifest, str(store), resume=True, shard_size=4)
+        except ValidationError:
+            pass
+        else:  # pragma: no cover
+            pytest.fail("corrupt record silently accepted")
+
+
+class TestRetry:
+    def test_transient_failure_is_retried_and_recorded(
+        self, tmp_path, monkeypatch
+    ):
+        manifest = fast_manifest(
+            policies=["shared"], pairs=[["zipf", "stream"]],
+            geometries=[{"accesses": ACCESSES}],
+        )
+        original = runner_mod._execute_roster_shard
+        calls = []
+
+        def flaky(shard, threads):
+            calls.append(len(shard))
+            if len(calls) == 1:
+                raise RuntimeError("spurious host failure")
+            return original(shard, threads)
+
+        monkeypatch.setattr(runner_mod, "_execute_roster_shard", flaky)
+        snapshot = ec.engine_counters().snapshot()
+        store = tmp_path / "store"
+        result = run_campaign(manifest, str(store), max_attempts=2)
+        delta = ec.engine_counters().delta(snapshot)
+        assert len(calls) == 2
+        assert result.retries == 1
+        assert delta.get(ec.CAMPAIGN_RETRIES, 0) == 1
+        record = next(iter(result.records.values()))
+        assert record.provenance["attempts"] == 2
+
+    def test_attempts_are_bounded(self, tmp_path, monkeypatch):
+        manifest = fast_manifest(
+            policies=["shared"], pairs=[["zipf", "stream"]],
+            geometries=[{"accesses": ACCESSES}],
+        )
+        calls = []
+
+        def always_fails(shard, threads):
+            calls.append(1)
+            raise RuntimeError("dead host")
+
+        monkeypatch.setattr(
+            runner_mod, "_execute_roster_shard", always_fails
+        )
+        with pytest.raises(ValidationError, match="failed after 3 attempts"):
+            run_campaign(manifest, str(tmp_path / "store"), max_attempts=3)
+        assert len(calls) == 3
+
+    def test_deterministic_errors_are_not_retried(
+        self, tmp_path, monkeypatch
+    ):
+        manifest = fast_manifest(
+            policies=["shared"], pairs=[["zipf", "stream"]],
+            geometries=[{"accesses": ACCESSES}],
+        )
+        calls = []
+
+        def misconfigured(shard, threads):
+            calls.append(1)
+            raise ValidationError("bad geometry")
+
+        monkeypatch.setattr(
+            runner_mod, "_execute_roster_shard", misconfigured
+        )
+        with pytest.raises(ValidationError, match="bad geometry"):
+            run_campaign(manifest, str(tmp_path / "store"), max_attempts=5)
+        assert len(calls) == 1
+
+
+class TestAnalyticalCells:
+    def test_analytical_campaign_runs_and_verifies(self, tmp_path):
+        manifest = manifest_from_dict(
+            {
+                "name": "analytical",
+                "backends": ["analytical"],
+                "policies": ["shared", "fair"],
+                "pairs": [["fop", "batik"]],
+            }
+        )
+        store = tmp_path / "store"
+        result = run_campaign(manifest, str(store), workers=1)
+        assert result.complete
+        assert result.roster_shards == 0
+        assert verify_campaign(manifest, str(store)) == 2
+        record = next(iter(result.records.values()))
+        assert record.units == {"fg_cost": "s", "bg_rate": "instr/s"}
