@@ -64,6 +64,13 @@ call per shard, checkpointed to a multi-shard store) — every record
 metric-identical to its per-cell reference by content address, and a
 resume over the completed store counter-verified to replay zero cells.
 
+And it benchmarks the vectorized analytical grid solver into
+``BENCH_gridsolve.json``: every disjoint split of six multi-phase pairs
+across a six-point frequency ladder (396 cells) at ``occupancy_tol=0``,
+solved cell by cell on memoizing scalar Machines (the sequential
+reference) vs ONE ``run_pair_grid`` call over the whole plane — every
+reported field of every cell bit-identical.
+
 ``--check`` runs every benchmark at reduced size, enforces the
 equivalence contracts, and writes no artifacts (CI mode). ``--only``
 restricts either mode to one benchmark; an unknown arm name exits
@@ -971,8 +978,142 @@ def run_campaign_bench(repeats=1, accesses=3_000, geometries=10,
     }
 
 
+# -- vectorized analytical grid solver (BENCH_gridsolve.json) -----------------
+
+
+_GRID_PAIRS = (
+    ("x264", "429.mcf"),
+    ("429.mcf", "459.GemsFDTD"),
+    ("459.GemsFDTD", "h2"),
+    ("h2", "x264"),
+    ("x264", "459.GemsFDTD"),
+    ("429.mcf", "h2"),
+)
+_GRID_FREQS = (1.6e9, 2.0e9, 2.3e9, 2.7e9, 3.0e9, 3.4e9)
+
+_GRID_PAIR_FIELDS = (
+    "makespan_s", "socket_energy_j", "wall_energy_j", "pp0_energy_j",
+    "bg_rate_ips",
+)
+_GRID_RUN_FIELDS = (
+    "name", "runtime_s", "instructions", "llc_misses", "llc_accesses",
+    "socket_energy_j", "wall_energy_j", "avg_power_w", "pp0_energy_j",
+)
+
+
+def _grid_cells(pairs, splits, freqs):
+    from repro.cpu.config import SandyBridgeConfig
+    from repro.runtime.harness import paper_pair_allocations
+    from repro.sim.gridsolve import GridCell
+    from repro.workloads import get_application
+
+    base = SandyBridgeConfig()
+    cells = []
+    for freq in freqs:
+        config = base.at_frequency(freq)
+        for fg_name, bg_name in pairs:
+            fg = get_application(fg_name)
+            bg = get_application(bg_name)
+            for fg_ways in splits:
+                fg_alloc, bg_alloc = paper_pair_allocations(
+                    fg, bg, fg_ways, 12 - fg_ways, 12
+                )
+                cells.append(
+                    GridCell(fg, bg, fg_alloc, bg_alloc, config=config)
+                )
+    return cells
+
+
+def _grid_identical(scalar, grid):
+    for expected, got in zip(scalar, grid):
+        for field in _GRID_PAIR_FIELDS:
+            if getattr(expected, field) != getattr(got, field):
+                return False
+        for run_field in _GRID_RUN_FIELDS:
+            if getattr(expected.fg, run_field) != getattr(got.fg, run_field):
+                return False
+            if getattr(expected.bg, run_field) != getattr(got.bg, run_field):
+                return False
+    return len(scalar) == len(grid)
+
+
+def run_gridsolve(repeats=3, pairs=_GRID_PAIRS, splits=tuple(range(1, 12)),
+                  freqs=_GRID_FREQS):
+    """Benchmark the vectorized grid solver; BENCH_gridsolve.json payload.
+
+    The workload is the shape the campaign planner batches: every
+    disjoint split of several multi-phase pairs across a frequency
+    ladder, at ``occupancy_tol=0`` (the strictest schedule — no early
+    exit, no closed forms, every cell runs the fixed 40-iteration damped
+    occupancy loop). The scalar baseline is one memoizing ``Machine``
+    per operating point driving ``run_pair`` cell by cell — the best
+    pre-existing methodology — and the grid arm is ONE
+    ``run_pair_grid`` call for the whole plane. The contract is
+    bit-identity on every reported field of every cell.
+    """
+    from repro.sim.gridsolve import run_pair_grid
+
+    cells = _grid_cells(pairs, splits, freqs)
+
+    def scalar_pass():
+        machines = {}
+        results = []
+        for cell in cells:
+            machine = machines.get(id(cell.config))
+            if machine is None:
+                machine = Machine(
+                    config=cell.config, tuning=SEED_TUNING, memoize=True
+                )
+                machines[id(cell.config)] = machine
+            results.append(
+                machine.run_pair(
+                    cell.fg, cell.bg, cell.fg_allocation, cell.bg_allocation
+                )
+            )
+        return results
+
+    # Untimed warm-up absorbs registry and phase-table construction.
+    run_pair_grid(cells[: len(pairs)], tuning=SEED_TUNING)
+
+    scalar_t = scalar_res = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        scalar_res = scalar_pass()
+        elapsed = time.perf_counter() - start
+        scalar_t = elapsed if scalar_t is None else min(scalar_t, elapsed)
+
+    grid_t = grid_res = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        grid_res = run_pair_grid(cells, tuning=SEED_TUNING)
+        elapsed = time.perf_counter() - start
+        grid_t = elapsed if grid_t is None else min(grid_t, elapsed)
+
+    if not _grid_identical(scalar_res, grid_res):
+        raise SystemExit(
+            "FAIL: vectorized grid is not bit-identical to the scalar "
+            "engine at tol=0"
+        )
+
+    return {
+        "benchmark": "gridsolve",
+        "repeats": repeats,
+        "cells": len(cells),
+        "pairs": len(pairs),
+        "splits": len(splits),
+        "operating_points": len(freqs),
+        "occupancy_tol": 0.0,
+        "wall_s": {
+            "scalar": round(scalar_t, 4),
+            "grid": round(grid_t, 4),
+        },
+        "speedup": round(scalar_t / grid_t, 2),
+        "identical": True,
+    }
+
+
 ARMS = ("engine", "trace", "tracepack", "dynamic", "policy", "batch",
-        "campaign")
+        "campaign", "gridsolve")
 
 
 def main(argv=None):
@@ -998,6 +1139,10 @@ def main(argv=None):
     )
     parser.add_argument(
         "--campaign-output", default=os.path.join(root, "BENCH_campaign.json")
+    )
+    parser.add_argument(
+        "--gridsolve-output",
+        default=os.path.join(root, "BENCH_gridsolve.json"),
     )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--workers", type=int, default=4)
@@ -1080,6 +1225,15 @@ def main(argv=None):
                 f"per-cell reference, resume replayed "
                 f"{campaign_summary['resume_cells_replayed']} cells"
             )
+        if "gridsolve" in wanted:
+            grid_summary = run_gridsolve(
+                repeats=1, pairs=_GRID_PAIRS[:2], splits=(1, 4, 6, 11),
+                freqs=_GRID_FREQS[:2],
+            )
+            notes.append(
+                f"{grid_summary['cells']}-cell analytical grid "
+                f"{grid_summary['speedup']}x, bit-identical at tol=0"
+            )
         print(format_engine_stat(ec.engine_counters().snapshot()))
         print("\ncheck PASS: " + "; ".join(notes))
         return 0
@@ -1106,6 +1260,10 @@ def main(argv=None):
     if "campaign" in wanted:
         outputs.append(
             (args.campaign_output, run_campaign_bench(repeats=args.repeats))
+        )
+    if "gridsolve" in wanted:
+        outputs.append(
+            (args.gridsolve_output, run_gridsolve(repeats=args.repeats))
         )
 
     # Every artifact records where its numbers came from: CPU budget,

@@ -16,6 +16,7 @@ from repro.backend.protocol import (
     WaySplit,
 )
 from repro.runtime.harness import paper_pair_allocations
+from repro.util.errors import ValidationError
 
 PAPER_THREADS = 4
 
@@ -45,7 +46,25 @@ class AnalyticalBackend(SimBackend):
             sweep_is_measured=True,
             supports_dynamic=True,
             supports_energy=True,
+            supports_operating_points=True,
         )
+
+    @staticmethod
+    def _grid_options(options):
+        """The grid solver's supported option subset, or None.
+
+        ``run_pair_grid`` covers the continuous-background, uncontrolled
+        steady-state case (what sweeps and campaigns run). Anything else
+        — a finite background, the dynamic controller, timelines, or
+        custom step sizes — falls back to the scalar engine.
+        """
+        known = {"bg_continuous": True, "prefetchers_on": True}
+        merged = dict(known, **options)
+        if set(merged) != set(known) or merged["bg_continuous"] is not True:
+            return None
+        if not isinstance(merged["prefetchers_on"], bool):
+            return None
+        return merged
 
     def solo(self, app, threads=None):
         """The app alone in the paper's co-run slot, via the solo cache."""
@@ -77,6 +96,91 @@ class AnalyticalBackend(SimBackend):
             bg_rate=pair.bg_rate_ips,
             raw=pair,
         )
+
+    def co_run_grid(self, items):
+        """Vectorized batch of co-runs via :mod:`repro.sim.gridsolve`.
+
+        ``items`` are ``(spec, split)`` pairs or ``(spec, split, config)``
+        triples (per-cell operating points). Cells whose options the
+        grid solver covers are solved in one vectorized call; the rest
+        run through the scalar :meth:`co_run`. Results are returned in
+        item order and are bit-identical to the sequential walk.
+        """
+        from repro.sim.gridsolve import GridCell, run_pair_grid
+
+        items = list(items)
+        cells = {}
+        for i, item in enumerate(items):
+            spec, split = item[0], item[1]
+            config = item[2] if len(item) == 3 else None
+            options = self._grid_options(spec.options)
+            if options is None:
+                continue
+            cfg = config or self.machine.config
+            fg_alloc, bg_alloc = paper_pair_allocations(
+                spec.fg, spec.bg, split.fg_ways, split.bg_ways, cfg.llc_ways
+            )
+            cells[i] = GridCell(
+                fg=spec.fg,
+                bg=spec.bg,
+                fg_allocation=fg_alloc,
+                bg_allocation=bg_alloc,
+                config=config,
+                prefetchers_on=options["prefetchers_on"],
+            )
+        order = sorted(cells)
+        pairs = run_pair_grid(
+            [cells[i] for i in order],
+            tuning=self.machine.tuning,
+            config=self.machine.config,
+        )
+        solved = dict(zip(order, pairs))
+
+        results = []
+        for i, item in enumerate(items):
+            spec, split = item[0], item[1]
+            pair = solved.get(i)
+            if pair is None:
+                config = item[2] if len(item) == 3 else None
+                if config is not None:
+                    raise ValidationError(
+                        "per-cell operating points require grid-solvable "
+                        f"options; got {spec.options!r}"
+                    )
+                results.append(self.co_run(spec, split))
+                continue
+            results.append(
+                CoRunMeasurement(
+                    backend="analytical",
+                    fg_name=spec.fg_name,
+                    bg_name=spec.bg_name,
+                    fg_ways=split.fg_ways,
+                    bg_ways=split.bg_ways,
+                    fg_cost=pair.fg.runtime_s,
+                    bg_rate=pair.bg_rate_ips,
+                    raw=pair,
+                )
+            )
+        return results
+
+    def sweep(self, spec):
+        """All disjoint splits in one vectorized grid call.
+
+        Falls back to the per-split default when ``spec.options`` asks
+        for something the grid solver does not model (finite
+        backgrounds, controllers, timelines).
+        """
+        if self._grid_options(spec.options) is None:
+            return super().sweep(spec)
+        llc_ways = self.machine.config.llc_ways
+        splits = [
+            WaySplit.disjoint(fg_ways, llc_ways)
+            for fg_ways in range(1, llc_ways)
+        ]
+        measurements = self.co_run_grid([(spec, split) for split in splits])
+        return [
+            (split.fg_ways, m) for split, m in zip(splits, measurements)
+        ]
 
     def dynamic(self, spec, controller=None):
         """One dynamic-controller co-run (Algorithm 6.2, 100 ms periods).

@@ -82,6 +82,10 @@ class BackendCapabilities:
     sweep_is_measured: bool = True
     supports_dynamic: bool = True
     supports_energy: bool = False
+    # Whether co_run_grid accepts a per-item platform config (an
+    # operating point) — the joint (frequency x allocation) searches
+    # need this; backends without it only take (spec, split) items.
+    supports_operating_points: bool = False
 
 
 @dataclass
@@ -178,6 +182,28 @@ class SimBackend:
             (fg_ways, self.co_run(spec, WaySplit.disjoint(fg_ways, llc_ways)))
             for fg_ways in range(1, llc_ways)
         ]
+
+    def co_run_grid(self, items):
+        """Measure a batch of co-run cells; returns ``[CoRunMeasurement]``.
+
+        ``items`` is a sequence of ``(spec, split)`` pairs, optionally
+        ``(spec, split, config)`` triples naming a per-cell operating
+        point for backends whose capabilities set
+        ``supports_operating_points``. The default walks the batch
+        through :meth:`co_run` one cell at a time; vectorized backends
+        override this with a single batched solve that must return
+        results bit-identical to the sequential walk.
+        """
+        results = []
+        for item in items:
+            if len(item) == 3 and item[2] is not None:
+                raise ValidationError(
+                    f"backend {self.capabilities().name!r} does not support "
+                    "per-cell operating points"
+                )
+            spec, split = item[0], item[1]
+            results.append(self.co_run(spec, split))
+        return results
 
     def dynamic(self, spec, controller=None):
         """Run ``spec`` under the dynamic controller.

@@ -1,14 +1,17 @@
 """Shard planning: pack batchable cells into native roster calls.
 
-The perf contract of a campaign is that its inner loop is C, not
-Python. A cell is *batchable* when its outcome is one fixed-mask co-run
-on the trace backend — the ``shared``/``fair``/``static-N`` policies,
-whose split is known before anything executes. Those cells are grouped
-into roster shards, each replayed by ONE
+The perf contract of a campaign is that its inner loop is C — or, for
+the analytical backend, NumPy — not per-cell Python. A cell is
+*batchable* when its outcome is one fixed-split co-run whose allocation
+is known before anything executes: ``shared``/``fair``/``static-N`` on
+the trace backend, ``shared``/``fair`` on the analytical backend. Trace
+batchable cells group into roster shards, each replayed by ONE
 :func:`repro.sim.trace_engine.run_packed_roster` call (threaded inside
-the kernel per ``REPRO_NATIVE_THREADS``). Everything else — ``biased``
-(needs a sweep and an argmax before its final co-run), ``dynamic``
-(epoch feedback loop), and all analytical cells — falls back to
+the kernel per ``REPRO_NATIVE_THREADS``); analytical batchable cells
+group into grid shards, each solved by ONE vectorized
+:meth:`repro.backend.analytical.AnalyticalBackend.co_run_grid` call.
+Everything else — ``biased`` (needs a sweep and an argmax before its
+final co-run) and ``dynamic`` (epoch feedback loop) — falls back to
 per-cell execution fanned out over the exec pool's ``parallel_map``.
 
 Shards are also the checkpoint unit: the runner persists one atomic
@@ -31,13 +34,22 @@ BG_TID = 4
 
 
 def is_batchable(cell):
-    """True when the cell is one fixed-mask trace co-run."""
-    if cell.backend != "trace":
-        return False
-    return (
-        cell.policy in ("shared", "fair")
-        or static_policy_ways(cell.policy) is not None
-    )
+    """True when the cell is one fixed-split co-run (no feedback loop).
+
+    Trace cells batch into native roster shards (one
+    ``run_packed_roster`` call each); analytical cells batch into
+    vectorized grid shards (one ``co_run_grid`` call each). ``biased``
+    and ``dynamic`` stay per-cell on both backends — their splits are
+    decided by a sweep argmax or epoch feedback, not by the manifest.
+    """
+    if cell.backend == "trace":
+        return (
+            cell.policy in ("shared", "fair")
+            or static_policy_ways(cell.policy) is not None
+        )
+    if cell.backend == "analytical":
+        return cell.policy in ("shared", "fair")
+    return False
 
 
 def split_for(cell, llc_ways=12):
@@ -121,15 +133,17 @@ def roster_cell_for(cell, llc_ways=12):
 
 @dataclass
 class ShardPlan:
-    """The execution plan: roster shards plus fallback shards.
+    """The execution plan: roster, grid, and fallback shards.
 
     Each entry is a list of :class:`~repro.campaign.manifest.CampaignCell`;
-    roster shards execute as one batched native call, fallback shards as
-    a ``parallel_map`` over per-cell execution. ``skipped`` counts cells
+    roster shards execute as one batched native call, grid shards as one
+    vectorized analytical solve, and fallback shards as a
+    ``parallel_map`` over per-cell execution. ``skipped`` counts cells
     the store already held (resume hits).
     """
 
     roster_shards: list = field(default_factory=list)
+    grid_shards: list = field(default_factory=list)
     fallback_shards: list = field(default_factory=list)
     skipped: list = field(default_factory=list)
 
@@ -138,17 +152,27 @@ class ShardPlan:
         return sum(len(shard) for shard in self.roster_shards)
 
     @property
+    def grid_cells(self):
+        return sum(len(shard) for shard in self.grid_shards)
+
+    @property
     def fallback_cells(self):
         return sum(len(shard) for shard in self.fallback_shards)
 
     @property
     def total_shards(self):
-        return len(self.roster_shards) + len(self.fallback_shards)
+        return (
+            len(self.roster_shards)
+            + len(self.grid_shards)
+            + len(self.fallback_shards)
+        )
 
     def shards(self):
         """All shards in deterministic execution order, tagged by kind."""
         for shard in self.roster_shards:
             yield "roster", shard
+        for shard in self.grid_shards:
+            yield "grid", shard
         for shard in self.fallback_shards:
             yield "fallback", shard
 
@@ -167,17 +191,24 @@ def plan_shards(cells, done_ids=(), shard_size=DEFAULT_SHARD_SIZE,
     done_ids = set(done_ids)
     plan = ShardPlan()
     batchable = []
+    grid = []
     fallback = []
     for cell in cells:
         if cell.cell_id in done_ids:
             plan.skipped.append(cell)
-        elif is_batchable(cell):
+        elif not is_batchable(cell):
+            fallback.append(cell)
+        elif cell.backend == "trace":
             batchable.append(cell)
         else:
-            fallback.append(cell)
+            grid.append(cell)
     plan.roster_shards = [
         batchable[i:i + shard_size]
         for i in range(0, len(batchable), shard_size)
+    ]
+    plan.grid_shards = [
+        grid[i:i + shard_size]
+        for i in range(0, len(grid), shard_size)
     ]
     plan.fallback_shards = [
         fallback[i:i + fallback_shard_size]

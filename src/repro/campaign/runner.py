@@ -3,8 +3,9 @@
 ``run_campaign`` is the fleet driver: it expands a manifest, drops every
 cell whose content-addressed record already sits in the store, plans the
 remainder into shards (:mod:`repro.campaign.planner`), and executes
-shard by shard — roster shards as ONE batched native call each,
-fallback shards over the exec pool. After each shard the records land
+shard by shard — roster shards as ONE batched native call each, grid
+shards as ONE vectorized analytical solve each, fallback shards over
+the exec pool. After each shard the records land
 in a uniquely named, atomically written RunSet shard file
 (:func:`repro.analysis.store.save_runset_shard`), so a campaign killed
 at any point resumes by re-running only what is missing; a completed
@@ -51,6 +52,7 @@ class CampaignResult:
     cells_skipped: int = 0
     cells_run: int = 0
     roster_shards: int = 0
+    grid_shards: int = 0
     fallback_shards: int = 0
     shards_written: int = 0
     retries: int = 0
@@ -152,6 +154,45 @@ def _execute_roster_shard(shard, threads):
     return [
         _record_from_stats(cell, spec, split, stats, source="roster")
         for cell, (_, spec, split), stats in zip(shard, built, outcomes)
+    ]
+
+
+def _execute_grid_shard(shard):
+    """One vectorized analytical solve for a whole shard of cells.
+
+    Builds the same ``(spec, split)`` items the per-cell reference path
+    would measure one at a time and hands them to ``co_run_grid``; the
+    records mirror ``record_from_outcome`` over ``run_policy_on`` field
+    for field, so grid records and per-cell reference records are
+    comparable bit for bit.
+    """
+    from repro.backend import AnalyticalBackend
+
+    backend = AnalyticalBackend()
+    llc_ways = backend.capabilities().llc_ways
+    items = []
+    for cell in shard:
+        spec = AnalyticalBackend.pair_spec(cell.fg, cell.bg)
+        items.append((spec, split_for(cell, llc_ways)))
+    measurements = backend.co_run_grid(items)
+    return [
+        RunRecord(
+            policy=cell.policy,
+            backend=cell.backend,
+            fg=m.fg_name,
+            bg=m.bg_name,
+            fg_ways=m.fg_ways,
+            bg_ways=m.bg_ways,
+            metrics={
+                "fg_cost": float(m.fg_cost),
+                "bg_rate": float(m.bg_rate),
+                "fg_ways": float(m.fg_ways),
+                "bg_ways": float(m.bg_ways),
+            },
+            units=_units_for(cell),
+            provenance=_cell_provenance(cell, source="grid"),
+        )
+        for cell, m in zip(shard, measurements)
     ]
 
 
@@ -281,6 +322,7 @@ def run_campaign(manifest, store_dir, cells=None, resume=False,
             else DEFAULT_FALLBACK_SHARD_SIZE
         )
         plan.roster_shards = []
+        plan.grid_shards = []
         plan.fallback_shards = [
             merged[i:i + fallback_size]
             for i in range(0, len(merged), fallback_size)
@@ -292,6 +334,7 @@ def run_campaign(manifest, store_dir, cells=None, resume=False,
         cells_total=len(cells),
         cells_skipped=len(plan.skipped),
         roster_shards=len(plan.roster_shards),
+        grid_shards=len(plan.grid_shards),
         fallback_shards=len(plan.fallback_shards),
     )
     for cell in plan.skipped:
@@ -305,6 +348,12 @@ def run_campaign(manifest, store_dir, cells=None, resume=False,
         if kind == "roster":
             records, attempts = _retrying(
                 lambda: _execute_roster_shard(shard, threads),
+                shard,
+                max_attempts,
+            )
+        elif kind == "grid":
+            records, attempts = _retrying(
+                lambda: _execute_grid_shard(shard),
                 shard,
                 max_attempts,
             )

@@ -1006,6 +1006,11 @@ def _cmd_campaign_plan(args, out):
         f"{len(plan.roster_shards)} roster shards (one native call each)\n"
     )
     out.write(
+        f"  grid: {plan.grid_cells} cells in "
+        f"{len(plan.grid_shards)} analytical grid shards "
+        "(one vectorized solve each)\n"
+    )
+    out.write(
         f"  fallback: {plan.fallback_cells} cells in "
         f"{len(plan.fallback_shards)} shards (exec-pool per-cell)\n"
     )

@@ -25,6 +25,8 @@ PACK_COMPILED_ACCESSES = "pack_compiled_accesses"
 PACK_REPLAYS = "pack_replays"
 BATCH_CALLS = "batch_calls"
 BATCH_CELLS = "batch_cells"
+GRID_CALLS = "grid_calls"
+GRID_CELLS = "grid_cells"
 CAMPAIGN_SHARDS = "campaign_shards"
 CAMPAIGN_CELLS_RUN = "campaign_cells_run"
 CAMPAIGN_CELLS_SKIPPED = "campaign_cells_skipped"
@@ -46,6 +48,8 @@ ENGINE_EVENTS = (
     PACK_REPLAYS,
     BATCH_CALLS,
     BATCH_CELLS,
+    GRID_CALLS,
+    GRID_CELLS,
     CAMPAIGN_SHARDS,
     CAMPAIGN_CELLS_RUN,
     CAMPAIGN_CELLS_SKIPPED,

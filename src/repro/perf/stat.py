@@ -78,6 +78,8 @@ def format_engine_stat(counters=None):
     pack_replays = counters.get(ec.PACK_REPLAYS, 0.0)
     batch_calls = counters.get(ec.BATCH_CALLS, 0.0)
     batch_cells = counters.get(ec.BATCH_CELLS, 0.0)
+    grid_calls = counters.get(ec.GRID_CALLS, 0.0)
+    grid_cells = counters.get(ec.GRID_CELLS, 0.0)
     campaign_shards = counters.get(ec.CAMPAIGN_SHARDS, 0.0)
     campaign_run = counters.get(ec.CAMPAIGN_CELLS_RUN, 0.0)
     campaign_skipped = counters.get(ec.CAMPAIGN_CELLS_SKIPPED, 0.0)
@@ -130,6 +132,14 @@ def format_engine_stat(counters=None):
             if batch_calls
             else None,
         ),
+        (
+            "grid-calls",
+            grid_calls,
+            f"{grid_cells / grid_calls:,.1f} cells per call"
+            if grid_calls
+            else None,
+        ),
+        ("grid-cells", grid_cells, None),
         (
             "campaign-shards",
             campaign_shards,

@@ -212,8 +212,12 @@ def solve_occupancy(
     # Initial guess: even split of each region among its writers, unless
     # the caller brought shares from a previous, related solve (pinned
     # regions never enter ``shares`` — they are already at their answer).
+    # tol=0 replays the fixed schedule from the canonical even-split
+    # start, so warm starts are ignored there: a warm tol=0 solve is
+    # bit-identical to a cold one, never a 40-iteration walk from
+    # whatever state the caller happened to carry.
     shares = {}
-    if initial_shares:
+    if initial_shares and tol > 0:
         shares = {k: v for k, v in initial_shares.items() if k[1] in iter_caps}
     for writers, cap in iter_caps.items():
         for name in writers:

@@ -319,3 +319,16 @@ class TestBenchArmSelection:
         assert "unknown benchmark arm 'bogus'" in err
         for arm in bench.ARMS:
             assert arm in err
+
+    def test_gridsolve_arm_enforces_bit_identity(self):
+        bench = self._main()
+        assert "gridsolve" in bench.ARMS
+        payload = bench.run_gridsolve(
+            repeats=1,
+            pairs=(("x264", "429.mcf"),),
+            splits=(1, 6),
+            freqs=(2.0e9,),
+        )
+        assert payload["identical"] is True
+        assert payload["cells"] == 2
+        assert payload["occupancy_tol"] == 0.0

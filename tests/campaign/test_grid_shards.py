@@ -1,0 +1,204 @@
+"""Analytical grid shards: planning, execution fidelity, resume, CLI.
+
+Mirror of the trace roster-shard suite for the vectorized analytical
+path: shared/fair analytical cells must land in grid shards (one
+``co_run_grid`` call each), produce records bit-identical to the
+per-cell reference path, and participate in the same resume/retry/shard
+checkpointing as every other shard kind.
+"""
+
+import io
+import json
+
+from repro.analysis.store import list_runset_shards, load_runset
+from repro.campaign import (
+    expand_manifest,
+    manifest_from_dict,
+    run_campaign,
+    run_campaign_cell,
+    verify_campaign,
+)
+from repro.campaign.planner import is_batchable, plan_shards
+from repro.cli import main
+from repro.perf import engine_counters as ec
+
+
+def analytical_manifest(**overrides):
+    data = {
+        "name": "analytical-grid",
+        "backends": ["analytical"],
+        "policies": ["shared", "fair"],
+        "pairs": [
+            ["canneal", "streamcluster"],
+            ["blackscholes", "canneal"],
+        ],
+    }
+    data.update(overrides)
+    return manifest_from_dict(data)
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestPlanning:
+    def test_analytical_shared_and_fair_are_batchable(self):
+        cells = expand_manifest(analytical_manifest())
+        assert all(is_batchable(cell) for cell in cells)
+
+    def test_analytical_feedback_policies_fall_back(self):
+        cells = expand_manifest(
+            analytical_manifest(policies=["biased", "dynamic"])
+        )
+        assert not any(is_batchable(cell) for cell in cells)
+
+    def test_plan_routes_analytical_to_grid_shards(self):
+        cells = expand_manifest(
+            analytical_manifest(policies=["shared", "fair", "biased"])
+        )
+        plan = plan_shards(cells, shard_size=3, fallback_shard_size=2)
+        assert plan.grid_cells == 4
+        assert plan.batchable_cells == 0  # no trace cells at all
+        assert plan.fallback_cells == 2
+        assert len(plan.grid_shards) == 2  # 4 cells at shard_size=3
+        kinds = [kind for kind, _ in plan.shards()]
+        assert kinds == ["grid", "grid", "fallback"]
+
+    def test_mixed_backends_split_by_shard_kind(self):
+        cells = expand_manifest(
+            analytical_manifest(
+                backends=["trace", "analytical"],
+                pairs=[["zipf", "stream"]],
+                geometries=[{"accesses": 900}],
+            )
+        )
+        plan = plan_shards(cells)
+        assert plan.batchable_cells == 2  # trace shared+fair
+        assert plan.grid_cells == 2  # analytical shared+fair
+        assert plan.fallback_cells == 0
+
+
+class TestExecution:
+    def test_grid_records_match_per_cell_reference(self, tmp_path):
+        manifest = analytical_manifest()
+        result = run_campaign(manifest, str(tmp_path / "store"))
+        assert result.complete
+        assert result.grid_shards == 1
+        for cell in expand_manifest(manifest):
+            reference = run_campaign_cell(cell)
+            record = result.records[cell.cell_id]
+            assert record.metrics == reference.metrics
+            assert record.provenance["source"] == "grid"
+            assert record.units == {"fg_cost": "s", "bg_rate": "instr/s"}
+
+    def test_shard_files_tag_grid_kind(self, tmp_path):
+        store = tmp_path / "store"
+        run_campaign(analytical_manifest(), str(store))
+        shards = list_runset_shards(str(store))
+        assert len(shards) == 1
+        shard = load_runset(shards[0])
+        assert shard.meta["shard_kind"] == "grid"
+        assert shard.meta["cells"] == 4
+
+    def test_sequential_verification_passes(self, tmp_path):
+        manifest = analytical_manifest()
+        store = str(tmp_path / "store")
+        run_campaign(manifest, store)
+        assert verify_campaign(manifest, store) == 4
+
+    def test_resume_replays_zero_cells(self, tmp_path):
+        manifest = analytical_manifest()
+        store = str(tmp_path / "store")
+        run_campaign(manifest, store)
+        before = ec.engine_counters().snapshot()
+        again = run_campaign(manifest, store, resume=True)
+        delta = ec.engine_counters().delta(before)
+        assert again.cells_run == 0
+        assert again.cells_skipped == 4
+        assert delta.get(ec.CAMPAIGN_CELLS_RUN, 0) == 0
+        assert delta.get(ec.GRID_CELLS, 0) == 0
+
+    def test_no_roster_forces_grid_cells_to_fallback(self, tmp_path):
+        manifest = analytical_manifest()
+        result = run_campaign(
+            manifest, str(tmp_path / "store"), no_roster=True, workers=1
+        )
+        assert result.complete
+        assert result.grid_shards == 0
+        for record in result.records.values():
+            assert record.provenance["source"] == "cell"
+
+    def test_grid_counters_tick_once_per_shard(self, tmp_path):
+        before = ec.engine_counters().snapshot()
+        run_campaign(analytical_manifest(), str(tmp_path / "store"))
+        delta = ec.engine_counters().delta(before)
+        assert delta.get(ec.GRID_CALLS, 0) == 1
+        assert delta.get(ec.GRID_CELLS, 0) == 4
+
+
+class TestCli:
+    def write_manifest(self, tmp_path, **overrides):
+        data = {
+            "name": "cli-analytical",
+            "backends": ["analytical"],
+            "policies": ["shared", "fair"],
+            "pairs": [["canneal", "streamcluster"]],
+        }
+        data.update(overrides)
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_plan_reports_grid_shards(self, tmp_path):
+        code, text = run_cli(
+            "campaign", "plan", self.write_manifest(tmp_path), "--dry-run"
+        )
+        assert code == 0
+        assert "grid: 2 cells in 1 analytical grid shards" in text
+
+    def test_run_and_resume_via_cli(self, tmp_path):
+        manifest = self.write_manifest(tmp_path)
+        store = str(tmp_path / "store")
+        code, text = run_cli(
+            "campaign", "run", manifest, "--store", store, "--check"
+        )
+        assert code == 0
+        assert "2 cells run" in text
+        assert "all metrics exact" in text
+        code, text = run_cli(
+            "campaign", "run", manifest, "--store", store, "--resume"
+        )
+        assert code == 0
+        assert "0 cells run, 2 skipped" in text
+
+    def test_fallback_shard_size_flag_reaches_planner(self, tmp_path):
+        manifest = self.write_manifest(
+            tmp_path, policies=["biased", "dynamic"]
+        )
+        code, text = run_cli(
+            "campaign", "plan", manifest, "--fallback-shard-size", "1",
+            "--dry-run",
+        )
+        assert code == 0
+        assert "fallback: 2 cells in 2 shards" in text
+        code, text = run_cli(
+            "campaign", "plan", manifest, "--fallback-shard-size", "2",
+            "--dry-run",
+        )
+        assert code == 0
+        assert "fallback: 2 cells in 1 shards" in text
+
+    def test_fallback_shard_size_on_run_controls_checkpoints(self, tmp_path):
+        manifest = self.write_manifest(
+            tmp_path, policies=["biased"],
+            pairs=[["canneal", "streamcluster"], ["blackscholes", "canneal"]],
+        )
+        store = str(tmp_path / "store")
+        code, text = run_cli(
+            "campaign", "run", manifest, "--store", store,
+            "--fallback-shard-size", "1", "--workers", "1",
+        )
+        assert code == 0
+        assert "2 shards written" in text

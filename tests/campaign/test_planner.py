@@ -22,9 +22,16 @@ class TestBatchability:
         for cell in cells_for(policies=["biased", "dynamic"]):
             assert not is_batchable(cell)
 
-    def test_analytical_cells_are_not(self):
+    def test_analytical_fixed_splits_are_grid_batchable(self):
         cells = cells_for(
-            backends=["analytical"], policies=["shared"],
+            backends=["analytical"], policies=["shared", "fair"],
+            pairs=[["fop", "batik"]],
+        )
+        assert all(is_batchable(c) for c in cells)
+
+    def test_analytical_search_policies_are_not(self):
+        cells = cells_for(
+            backends=["analytical"], policies=["biased", "dynamic"],
             pairs=[["fop", "batik"]],
         )
         assert not any(is_batchable(c) for c in cells)

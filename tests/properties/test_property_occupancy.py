@@ -1,5 +1,6 @@
 """Property-based tests over the LLC occupancy solver."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -69,3 +70,34 @@ class TestOccupancyInvariants:
         a = solve_occupancy(requests)
         b = solve_occupancy(requests)
         assert a == b
+
+
+class TestWarmStartContract:
+    """``initial_shares`` may help convergence, never change tol=0 bits.
+
+    The tol=0 schedule is the replay contract every batched path is
+    verified against, so it must be a pure function of the requests: a
+    warm solve carrying shares from any earlier state is bit-identical
+    to a cold one.
+    """
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        requests=occupancy_scenarios(),
+        scale=st.floats(0.0, 4.0, allow_nan=False),
+    )
+    def test_warm_start_equals_cold_start_at_tol0(self, requests, scale):
+        cold, shares = solve_occupancy(requests, tol=0.0, return_shares=True)
+        perturbed = {key: value * scale for key, value in shares.items()}
+        warm = solve_occupancy(
+            requests, tol=0.0, initial_shares=perturbed
+        )
+        assert warm == cold
+
+    @settings(max_examples=50, deadline=None)
+    @given(requests=occupancy_scenarios())
+    def test_warm_start_from_own_solution_is_stable(self, requests):
+        solved, shares = solve_occupancy(requests, return_shares=True)
+        warm = solve_occupancy(requests, initial_shares=shares)
+        for name, value in solved.items():
+            assert warm[name] == pytest.approx(value, rel=1e-6, abs=1e-6)
