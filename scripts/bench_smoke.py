@@ -56,6 +56,15 @@ ONE ``repro_batch_walk`` call over contiguous per-cell state banks —
 per-cell stats bit-identical, and additionally invariant across
 ``REPRO_NATIVE_THREADS=1`` / ``=4`` / ``REPRO_NATIVE=0``.
 
+And it benchmarks the epoch-batched dynamic rosters into
+``BENCH_dynbatch.json``: a 16-cell roster of independent dynamically
+partitioned co-runs, each cell replayed alone through ``run_dynamic``
+(the sequential reference) vs the whole roster advanced one epoch per
+``repro_epoch_batch`` call with every controller stepped host-side
+between calls — per-cell stats bit-identical, reallocation timelines
+byte-equal, and invariant across ``REPRO_NATIVE_THREADS=1`` / ``=4`` /
+``REPRO_NATIVE=0``.
+
 And it benchmarks the fleet-scale campaign engine into
 ``BENCH_campaign.json``: a 200-cell batchable grid (5 fixed-mask
 policies x 4 trace pairs x 10 geometries) executed by the sequential
@@ -757,6 +766,180 @@ def run_batch(repeats=3, accesses=120_000):
     }
 
 
+# -- epoch-batched dynamic rosters (BENCH_dynbatch.json) ----------------------
+
+
+def _dynbatch_roster(n, epoch_accesses, total_accesses):
+    """N independent dynamic-controller cells.
+
+    Chase/zipf foregrounds with staggered footprints: their MPKI moves
+    when the controller reallocates, so the roster produces non-empty
+    timelines — without reallocations the bench would prove nothing
+    about the banked mask writes. Controllers are stateful, so every
+    arm builds the roster fresh through this factory.
+    """
+    from repro.core.dynamic import DynamicPartitionController
+    from repro.sim.trace_engine import DynamicRosterCell, TraceWorkload
+    from repro.util.units import MB
+    from repro.workloads.trace import make_trace
+
+    def pair(i, length=5_000):
+        fg_kind = ("chase", "zipf", "chase")[i % 3]
+        fg_kw = (
+            {"alpha": 0.9, "seed": 7 + i}
+            if fg_kind == "zipf"
+            else {"seed": 7 + i}
+        )
+        fg_mb = (1 + i % 4) * MB
+        return [
+            TraceWorkload(
+                "fg",
+                lambda k=fg_kind, n=length, m=fg_mb, kw=fg_kw: make_trace(
+                    k, n, m, tid=0, **kw
+                ),
+                tid=0,
+                think_cycles=6,
+            ),
+            TraceWorkload(
+                "bg",
+                lambda n=length: make_trace("stream", n, 8 * MB, tid=4),
+                tid=4,
+                think_cycles=2,
+            ),
+        ]
+
+    return [
+        DynamicRosterCell(
+            workloads=pair(i),
+            controller=DynamicPartitionController("fg", "bg"),
+            epoch_accesses=epoch_accesses,
+            total_accesses=total_accesses,
+        )
+        for i in range(n)
+    ]
+
+
+def _dynbatch_signature(results):
+    """Everything observable, JSON-canonical: per-cell stats, the full
+    reallocation timeline, actions, epoch counts."""
+    return json.dumps(
+        [
+            {
+                "stats": {
+                    name: [
+                        s.accesses,
+                        s.cycles,
+                        s.total_latency,
+                        s.llc_misses,
+                        sorted(s.hits_by_level.items()),
+                    ]
+                    for name, s in sorted(r.stats.items())
+                },
+                "timeline": r.timeline,
+                "actions": [
+                    [a.time_s, a.fg_ways, a.reason, a.mpki] for a in r.actions
+                ],
+                "epochs": r.epochs,
+            }
+            for r in results
+        ],
+        sort_keys=True,
+    )
+
+
+def run_dynbatch(repeats=3, cells=16, epoch_accesses=1_000,
+                 total_accesses=20_000):
+    """Benchmark the epoch-batched dynamic roster; BENCH_dynbatch.json.
+
+    The sequential reference is the PR-7 methodology: each cell on its
+    own fresh engine via ``run_dynamic`` (one native call per cell per
+    epoch). The batched arm advances the whole roster one epoch per
+    ``repro_epoch_batch`` call and steps every controller host-side
+    between calls. Contracts: per-cell stats bit-identical, reallocation
+    timelines byte-equal, and the bytes invariant across
+    ``REPRO_NATIVE_THREADS=1`` / ``=4`` / ``REPRO_NATIVE=0``.
+    """
+    from repro.cache import native
+    from repro.sim.trace_engine import run_dynamic_roster
+
+    def roster():
+        return _dynbatch_roster(cells, epoch_accesses, total_accesses)
+
+    # Untimed warm-ups absorb pack compiles and the epoch-batch build.
+    warm = 4 * epoch_accesses
+    run_dynamic_roster(
+        _dynbatch_roster(2, epoch_accesses, warm), sequential=True
+    )
+    run_dynamic_roster(_dynbatch_roster(2, epoch_accesses, warm))
+
+    seq_t = batch_t = seq_res = batch_res = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        seq_res = run_dynamic_roster(roster(), sequential=True)
+        elapsed = time.perf_counter() - start
+        seq_t = elapsed if seq_t is None else min(seq_t, elapsed)
+
+        start = time.perf_counter()
+        batch_res = run_dynamic_roster(roster())
+        elapsed = time.perf_counter() - start
+        batch_t = elapsed if batch_t is None else min(batch_t, elapsed)
+
+    seq_sig = _dynbatch_signature(seq_res)
+    batch_sig = _dynbatch_signature(batch_res)
+    if batch_sig != seq_sig:
+        raise SystemExit(
+            "FAIL: batched dynamic roster is not bit-identical to the "
+            "sequential per-cell run_dynamic"
+        )
+    seq_timelines = json.dumps([r.timeline for r in seq_res], sort_keys=True)
+    batch_timelines = json.dumps(
+        [r.timeline for r in batch_res], sort_keys=True
+    )
+    if batch_timelines != seq_timelines:
+        raise SystemExit(
+            "FAIL: reallocation timelines diverge between the batched and "
+            "sequential dynamic paths"
+        )
+    reallocations = sum(len(r.timeline) for r in batch_res)
+    if not reallocations:
+        raise SystemExit(
+            "FAIL: no cell reallocated; the roster exercises nothing about "
+            "the banked mask writes"
+        )
+
+    one = _dynbatch_signature(run_dynamic_roster(roster(), threads=1))
+    four = _dynbatch_signature(run_dynamic_roster(roster(), threads=4))
+    off = _dynbatch_signature(
+        _without_native(lambda: run_dynamic_roster(roster()))
+    )
+    if not (one == batch_sig and four == batch_sig and off == batch_sig):
+        raise SystemExit(
+            "FAIL: dynamic roster varies with thread count or REPRO_NATIVE"
+        )
+
+    threading = native.threading_status("epochbatch")
+    return {
+        "benchmark": "dynbatch_roster",
+        "repeats": repeats,
+        "cells": cells,
+        "epoch_accesses": epoch_accesses,
+        "total_accesses_per_cell": total_accesses,
+        "epochs_per_cell": max(r.epochs for r in batch_res),
+        "reallocations": reallocations,
+        "native_kernel": native.epoch_batch_fn() is not None,
+        "threading": threading["mode"],
+        "kernel_status": native.kernel_status().get("epochbatch"),
+        "wall_s": {
+            "sequential": round(seq_t, 4),
+            "batched": round(batch_t, 4),
+        },
+        "speedup": round(seq_t / batch_t, 2),
+        "identical": True,
+        "timeline_identical": True,
+        "thread_invariant": True,
+    }
+
+
 # -- policy layer on the trace backend (BENCH_policy.json) --------------------
 
 
@@ -1113,7 +1296,7 @@ def run_gridsolve(repeats=3, pairs=_GRID_PAIRS, splits=tuple(range(1, 12)),
 
 
 ARMS = ("engine", "trace", "tracepack", "dynamic", "policy", "batch",
-        "campaign", "gridsolve")
+        "dynbatch", "campaign", "gridsolve")
 
 
 def main(argv=None):
@@ -1136,6 +1319,9 @@ def main(argv=None):
     )
     parser.add_argument(
         "--batch-output", default=os.path.join(root, "BENCH_batch.json")
+    )
+    parser.add_argument(
+        "--dynbatch-output", default=os.path.join(root, "BENCH_dynbatch.json")
     )
     parser.add_argument(
         "--campaign-output", default=os.path.join(root, "BENCH_campaign.json")
@@ -1216,6 +1402,17 @@ def main(argv=None):
                 f"(native={batch_summary['native_kernel']}, "
                 f"threading={batch_summary['threading']})"
             )
+        if "dynbatch" in wanted:
+            dynbatch_summary = run_dynbatch(
+                repeats=1, cells=6, epoch_accesses=500, total_accesses=8_000
+            )
+            notes.append(
+                f"{dynbatch_summary['cells']}-cell dynamic roster "
+                f"bit-identical, timelines byte-equal, thread-invariant "
+                f"(native={dynbatch_summary['native_kernel']}, "
+                f"threading={dynbatch_summary['threading']}, "
+                f"{dynbatch_summary['reallocations']} reallocations)"
+            )
         if "campaign" in wanted:
             campaign_summary = run_campaign_bench(
                 repeats=1, accesses=1_500, geometries=2
@@ -1257,6 +1454,10 @@ def main(argv=None):
         )
     if "batch" in wanted:
         outputs.append((args.batch_output, run_batch(repeats=args.repeats)))
+    if "dynbatch" in wanted:
+        outputs.append(
+            (args.dynbatch_output, run_dynbatch(repeats=args.repeats))
+        )
     if "campaign" in wanted:
         outputs.append(
             (args.campaign_output, run_campaign_bench(repeats=args.repeats))

@@ -133,19 +133,16 @@ class TraceBackend(SimBackend):
             raw=stats,
         )
 
-    def _measured_sweep(self, spec):
-        """Every disjoint split actually replayed, in ONE native call.
+    def sweep_roster_cells(self, spec):
+        """``(splits, RosterCells)`` for the measured sweep's roster.
 
-        The batched kernel runs all 11 allocations as independent cells
-        of a roster — each with its own fresh hierarchy copy and its own
-        way masks — so the entries are true measurements, bit-identical
-        to calling :meth:`co_run` per split, at roughly the cost of one
-        replay's Python overhead. Falls back (inside
-        ``run_packed_roster``) to the sequential per-split path when the
-        batch kernel is unavailable; results are identical either way.
+        One RosterCell per disjoint split, masks built exactly as
+        :meth:`co_run` builds them. Exposed separately so the campaign
+        runner can concatenate many cells' sweeps into ONE batched
+        native call; :meth:`_measured_sweep` replays just this pair's.
         """
         from repro.cache.llc import WayMask
-        from repro.sim.trace_engine import RosterCell, run_packed_roster
+        from repro.sim.trace_engine import RosterCell
 
         llc_ways = self.capabilities().llc_ways
         fg_core = spec.fg.tid // 2
@@ -167,12 +164,10 @@ class TraceBackend(SimBackend):
             )
             for s in splits
         ]
-        outcomes = run_packed_roster(
-            cells,
-            prefetchers_on=self.prefetchers_on,
-            backend=self.cache_backend,
-            threads=self.native_threads,
-        )
+        return splits, cells
+
+    def sweep_entries(self, spec, splits, outcomes):
+        """``[(fg_ways, CoRunMeasurement)]`` from replayed sweep stats."""
         out = []
         for split, stats in zip(splits, outcomes):
             out.append(
@@ -192,6 +187,28 @@ class TraceBackend(SimBackend):
                 )
             )
         return out
+
+    def _measured_sweep(self, spec):
+        """Every disjoint split actually replayed, in ONE native call.
+
+        The batched kernel runs all 11 allocations as independent cells
+        of a roster — each with its own fresh hierarchy copy and its own
+        way masks — so the entries are true measurements, bit-identical
+        to calling :meth:`co_run` per split, at roughly the cost of one
+        replay's Python overhead. Falls back (inside
+        ``run_packed_roster``) to the sequential per-split path when the
+        batch kernel is unavailable; results are identical either way.
+        """
+        from repro.sim.trace_engine import run_packed_roster
+
+        splits, cells = self.sweep_roster_cells(spec)
+        outcomes = run_packed_roster(
+            cells,
+            prefetchers_on=self.prefetchers_on,
+            backend=self.cache_backend,
+            threads=self.native_threads,
+        )
+        return self.sweep_entries(spec, splits, outcomes)
 
     def sweep(self, spec):
         """Every disjoint split, scored from ONE profiled co-run.
@@ -249,21 +266,29 @@ class TraceBackend(SimBackend):
             )
         return out
 
-    def dynamic(self, spec, controller=None):
-        """Epoch-resumable replay under the dynamic controller."""
+    def dynamic_roster_cell(self, spec, controller=None):
+        """The :class:`~repro.sim.trace_engine.DynamicRosterCell`
+        realizing one dynamic cell, with the default controller the
+        per-cell reference path would build — the campaign runner packs
+        many of these into one :func:`run_dynamic_roster` call."""
         from repro.core.dynamic import DynamicPartitionController
+        from repro.sim.trace_engine import DynamicRosterCell
 
         if controller is None:
             controller = DynamicPartitionController(
                 fg_name=spec.fg_name, bg_name=spec.bg_name
             )
-        engine = self._fresh_engine()
-        result = engine.run_dynamic(
-            [spec.fg, spec.bg],
-            controller,
+        return DynamicRosterCell(
+            workloads=[spec.fg, spec.bg],
+            controller=controller,
             epoch_accesses=self.epoch_accesses,
             total_accesses=self.dynamic_total_accesses,
         )
+
+    def dynamic_measurement(self, spec, controller, result):
+        """The CoRunMeasurement for one finished dynamic replay —
+        shared by :meth:`dynamic` and the campaign's dynamic-roster
+        shard executor, so both produce field-identical records."""
         llc_ways = self.capabilities().llc_ways
         return CoRunMeasurement(
             backend="trace",
@@ -283,6 +308,27 @@ class TraceBackend(SimBackend):
                 "result": result,
             },
         )
+
+    def dynamic(self, spec, controller=None):
+        """Epoch-resumable replay under the dynamic controller.
+
+        Runs as a one-cell dynamic roster through the batched epoch
+        kernel (:func:`~repro.sim.trace_engine.run_dynamic_roster`),
+        which falls back to the sequential ``run_dynamic`` driver —
+        bit-identical either way — when the epoch-batch kernel is
+        unavailable or the cell is not batchable.
+        """
+        from repro.sim.trace_engine import run_dynamic_roster
+
+        cell = self.dynamic_roster_cell(spec, controller)
+        result = run_dynamic_roster(
+            [cell],
+            prefetchers_on=self.prefetchers_on,
+            backend=self.cache_backend,
+            threads=self.native_threads,
+            sequential=not self.use_packs,
+        )[0]
+        return self.dynamic_measurement(spec, cell.controller, result)
 
     # Convenience used by the CLI, bench, and tests.
     @staticmethod

@@ -145,6 +145,48 @@ typedef struct {
     i64 bi_s;
 } WalkBatch;
 
+/* Build the batch view over the caller-owned banks.  The cell strides
+ * are pure functions of bcfg, so every entry point that shares the
+ * cell-major layout (repro_batch_walk, epochbatch.c's
+ * repro_epoch_batch) sees exactly the same per-cell slices. */
+static WalkBatch
+make_walk_batch(
+    const i64 *bcfg,
+    const i64 *cfg,
+    i64 *dom,
+    const i64 *const *lines, const i64 *const *sets,
+    i64 *llc_tags, i64 *llc_sharers, i64 *llc_valid, i64 *llc_plru,
+    const i64 *pset, const i64 *pclr, const i64 *pleft, const i64 *pright,
+    const i32 *l1_touch, const i32 *l1_fill,
+    const i32 *l2_touch, const i32 *l2_fill,
+    i64 *l1_tags, i64 *l1_valid, i64 *l1_state,
+    i64 *l2_tags, i64 *l2_valid, i64 *l2_plru,
+    i64 *bi,
+    i64 *sched)
+{
+    i64 nmax = bcfg[B_NMAX];
+    i64 llc_sets = bcfg[B_LLC_SETS];
+    i64 W = bcfg[B_W];
+    i64 l1_sets = bcfg[B_L1_SETS];
+    i64 l2_sets = bcfg[B_L2_SETS];
+    i64 num_cores = bcfg[B_NUM_CORES];
+    WalkBatch B = {
+        cfg, dom, lines, sets,
+        llc_tags, llc_sharers, llc_valid, llc_plru,
+        pset, pclr, pleft, pright,
+        l1_touch, l1_fill, l2_touch, l2_fill,
+        l1_tags, l1_valid, l1_state,
+        l2_tags, l2_valid, l2_plru,
+        bi, sched,
+        nmax, nmax * DOM_STRIDE,
+        llc_sets * W, llc_sets,
+        num_cores * l1_sets * 8, num_cores * l1_sets,
+        num_cores * l2_sets * 8, num_cores * l2_sets,
+        2 * num_cores,
+    };
+    return B;
+}
+
 static void
 walk_cell(void *arg, i64 r)
 {
@@ -182,12 +224,6 @@ repro_batch_walk(
 {
     i64 R = bcfg[B_CELLS];
     i64 threads = bcfg[B_THREADS];
-    i64 nmax = bcfg[B_NMAX];
-    i64 llc_sets = bcfg[B_LLC_SETS];
-    i64 W = bcfg[B_W];
-    i64 l1_sets = bcfg[B_L1_SETS];
-    i64 l2_sets = bcfg[B_L2_SETS];
-    i64 num_cores = bcfg[B_NUM_CORES];
     if (R < 1)
         return 0;
     if (threads < 1)
@@ -195,20 +231,14 @@ repro_batch_walk(
     if (threads > R)
         threads = R;
 
-    WalkBatch B = {
-        cfg, dom, lines, sets,
+    WalkBatch B = make_walk_batch(
+        bcfg, cfg, dom, lines, sets,
         llc_tags, llc_sharers, llc_valid, llc_plru,
         pset, pclr, pleft, pright,
         l1_touch, l1_fill, l2_touch, l2_fill,
         l1_tags, l1_valid, l1_state,
         l2_tags, l2_valid, l2_plru,
-        bi, sched,
-        nmax, nmax * DOM_STRIDE,
-        llc_sets * W, llc_sets,
-        num_cores * l1_sets * 8, num_cores * l1_sets,
-        num_cores * l2_sets * 8, num_cores * l2_sets,
-        2 * num_cores,
-    };
+        bi, sched);
     run_items(&B, walk_cell, R, threads);
 
     i64 issued = 0;

@@ -1862,6 +1862,9 @@ _D_MASK = 2
 _D_POS, _D_LIVE, _D_VTIME = 9, 10, 11
 _D_H1 = 12  # h1, h2, h3, m3, e1, e2, e3 follow contiguously
 _D_E1 = 16
+# cfg[] per-cell scalars; must match the CFG_* enum in multiwalk.c.
+_CFG_SLOTS = 8
+_CFG_STOP = 6
 
 
 def _epoch_replay_supported(hierarchy, cores):
@@ -2354,7 +2357,7 @@ class NativeBatchReplay:
         l2_sets = h.l2[first_core].num_sets
         l1_state = np.zeros(R * num_cores * l1_sets, dtype=i64)
         l2_plru = np.zeros(R * num_cores * l2_sets, dtype=i64)
-        cfg = np.zeros(R * 8, dtype=i64)
+        cfg = np.zeros(R * _CFG_SLOTS, dtype=i64)
         dom = np.zeros(R * n_max * _DOM_STRIDE, dtype=i64)
         self._line_cols = []
         self._set_cols = []
@@ -2368,7 +2371,7 @@ class NativeBatchReplay:
         for r, cell in enumerate(cells):
             cores = cell["cores"]
             cell_masks = cell.get("mask_bits")
-            cbase = r * 8
+            cbase = r * _CFG_SLOTS
             cfg[cbase + 0] = len(cores)
             cfg[cbase + 1] = llc._leaves
             cfg[cbase + 2] = llc.num_ways
@@ -2414,7 +2417,7 @@ class NativeBatchReplay:
              l1_sets, l2_sets, num_cores],
             dtype=i64,
         )
-        self._dom, self._sched = dom, sched
+        self._cfg, self._dom, self._sched = cfg, dom, sched
 
         arrays = (
             bcfg, cfg, dom, line_ptrs, set_ptrs,
@@ -2428,29 +2431,58 @@ class NativeBatchReplay:
         self._keep = arrays
         self._args = [ctypes.c_void_p(a.ctypes.data) for a in arrays]
 
-    def run(self):
-        """One ctypes call; returns ``[(counts, vtimes), ...]`` per cell,
+    def cell_result(self, r):
+        """Cell ``r``'s ``(counts, vtimes)`` read from its dom bank,
         where ``counts`` is a per-domain tuple of ``(l1_hits, l2_hits,
         llc_hits, llc_misses)`` — the same shape ``NativeEpochReplay``'s
         ``finish`` reports, without any hierarchy writeback."""
-        self._fn(*self._args)
         dom = self._dom
-        results = []
-        for r, cell in enumerate(self._cells):
-            counts = []
-            vtimes = []
-            for slot in range(len(cell["cores"])):
-                base = (r * self._n_max + slot) * _DOM_STRIDE
-                counts.append(tuple(
-                    int(x) for x in dom[base + _D_H1:base + _D_H1 + 4]
-                ))
-                vtimes.append(int(dom[base + _D_VTIME]))
-            results.append((tuple(counts), tuple(vtimes)))
-        return results
+        counts = []
+        vtimes = []
+        for slot in range(len(self._cells[r]["cores"])):
+            base = (r * self._n_max + slot) * _DOM_STRIDE
+            counts.append(tuple(
+                int(x) for x in dom[base + _D_H1:base + _D_H1 + 4]
+            ))
+            vtimes.append(int(dom[base + _D_VTIME]))
+        return tuple(counts), tuple(vtimes)
+
+    def run(self):
+        """One ctypes call; returns ``[(counts, vtimes), ...]`` per cell."""
+        self._fn(*self._args)
+        return [self.cell_result(r) for r in range(len(self._cells))]
 
     @property
     def issued(self):
         return int(self._sched.sum())
+
+
+def _batch_cells_supported(hierarchy, cells):
+    """Shared preconditions of the batched builders (one bank layout)."""
+    h = hierarchy
+    llc = h.llc.storage
+    if llc.num_ways > 62:
+        return False
+    for cell in cells:
+        cores = cell["cores"]
+        if not cores or len(cores) > 16:
+            return False
+        if not _epoch_replay_supported(h, cores):
+            return False
+    l1_mod = h.l1[0]._mod_mask
+    l2_mod = h.l2[0]._mod_mask
+    for c in range(h.num_cores):
+        l1 = h.l1[c]
+        l2 = h.l2[c]
+        if not isinstance(l1, KernelCacheLevel) or not isinstance(
+            l2, KernelCacheLevel
+        ):
+            return False
+        if l1.num_ways != 8 or l2.num_ways != 8:
+            return False
+        if l1._mod_mask != l1_mod or l2._mod_mask != l2_mod:
+            return False
+    return True
 
 
 def build_native_batch_replay(hierarchy, cells, threads=None):
@@ -2465,31 +2497,8 @@ def build_native_batch_replay(hierarchy, cells, threads=None):
     ``REPRO_NATIVE_THREADS`` values raise, they never silently fall
     back.
     """
-    if not cells:
+    if not cells or not _batch_cells_supported(hierarchy, cells):
         return None
-    h = hierarchy
-    llc = h.llc.storage
-    if llc.num_ways > 62:
-        return None
-    for cell in cells:
-        cores = cell["cores"]
-        if not cores or len(cores) > 16:
-            return None
-        if not _epoch_replay_supported(h, cores):
-            return None
-    l1_mod = h.l1[0]._mod_mask
-    l2_mod = h.l2[0]._mod_mask
-    for c in range(h.num_cores):
-        l1 = h.l1[c]
-        l2 = h.l2[c]
-        if not isinstance(l1, KernelCacheLevel) or not isinstance(
-            l2, KernelCacheLevel
-        ):
-            return None
-        if l1.num_ways != 8 or l2.num_ways != 8:
-            return None
-        if l1._mod_mask != l1_mod or l2._mod_mask != l2_mod:
-            return None
 
     from repro.cache import native
 
@@ -2497,7 +2506,95 @@ def build_native_batch_replay(hierarchy, cells, threads=None):
     if fn is None:
         return None
     threads = native.resolve_native_threads(len(cells), threads)
-    return NativeBatchReplay(h, cells, threads, fn)
+    return NativeBatchReplay(hierarchy, cells, threads, fn)
+
+
+class NativeEpochBatchReplay(NativeBatchReplay):
+    """Epoch-resumable batched driver over ``epochbatch.c``.
+
+    The same per-cell state banks as :class:`NativeBatchReplay`, kept
+    alive between calls: :meth:`run_active` is ONE ctypes call that
+    advances only the named cells, each to its own per-cell stop target
+    (:meth:`set_stop`), and returns with every cell's walk state — LLC
+    and inner-cache tags and recency, per-domain counters, cursors,
+    virtual times, scheduler frontiers — resting in the Python-owned
+    banks. Between calls the host reads the banked counters
+    (:meth:`counter_bank`, a zero-copy view sliced for vectorized MPKI
+    windows), runs each cell's controller decision, and rewrites that
+    cell's dom way-mask words flush-free (:meth:`set_mask_bits`) — the
+    batched generalization of ``NativeEpochReplay``'s ``run_epoch`` +
+    ``refresh_masks`` loop. Each work item writes only its own cell's
+    banks, so the replay is bit-identical to the sequential epoch
+    driver for any thread count and any active-set schedule.
+    """
+
+    def __init__(self, hierarchy, cells, threads, fn):
+        import ctypes
+
+        import numpy as np
+
+        super().__init__(hierarchy, cells, threads, fn)
+        active = np.zeros(len(cells) + 1, dtype=np.int64)
+        self._active = active
+        self._keep = (*self._keep, active)
+        args = list(self._args)
+        args.insert(1, ctypes.c_void_p(active.ctypes.data))
+        self._args = args
+
+    def issued_of(self, r):
+        """Cell ``r``'s scheduler frontier (total issued accesses)."""
+        return int(self._sched[r])
+
+    def set_stop(self, r, stop):
+        """Cell ``r``'s next absolute issued-access target."""
+        self._cfg[r * _CFG_SLOTS + _CFG_STOP] = stop
+
+    def set_mask_bits(self, r, slot, bits):
+        """Rewrite one domain's LLC way-mask word — a flush-free
+        reallocation, exactly ``NativeEpochReplay.refresh_masks`` for
+        one (cell, domain)."""
+        self._dom[(r * self._n_max + slot) * _DOM_STRIDE + _D_MASK] = bits
+
+    def counter_bank(self):
+        """``(R, n_max, 4)`` int64 view of the cumulative per-domain
+        ``(l1_hits, l2_hits, llc_hits, llc_misses)`` counters, zero-copy
+        into the dom bank; slots past a cell's domain count stay zero."""
+        R = len(self._cells)
+        return self._dom.reshape(R, self._n_max, _DOM_STRIDE)[
+            :, :, _D_H1:_D_H1 + 4
+        ]
+
+    def run_active(self, active_cells):
+        """ONE ctypes call advancing ``active_cells`` to their stops."""
+        a = self._active
+        n = len(active_cells)
+        a[0] = n
+        a[1:1 + n] = active_cells
+        self._fn(*self._args)
+
+
+def build_native_epoch_batch_replay(hierarchy, cells, threads=None):
+    """Batched epoch driver over ``epochbatch.c``, or ``None`` when any
+    cell fails the epoch-replay preconditions or the kernel is
+    unavailable.
+
+    ``cells`` carries the same keys as
+    :func:`build_native_batch_replay`; ``stop`` is the first epoch
+    target (0 means nothing runs until the host raises it via
+    ``set_stop``). ``threads`` resolves like the one-shot batch driver;
+    each call's worker count further clamps to the active cell count
+    inside the kernel.
+    """
+    if not cells or not _batch_cells_supported(hierarchy, cells):
+        return None
+
+    from repro.cache import native
+
+    fn = native.epoch_batch_fn()
+    if fn is None:
+        return None
+    threads = native.resolve_native_threads(len(cells), threads)
+    return NativeEpochBatchReplay(hierarchy, cells, threads, fn)
 
 
 def _build_general_pack_walk(hierarchy, core, think_cycles):

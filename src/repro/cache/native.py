@@ -1,9 +1,12 @@
 """On-demand compilation of the native pack-replay kernels.
 
 ``pairwalk.c`` (the fused two-domain lean replay loop), ``multiwalk.c``
-(its N-domain, epoch-resumable generalization) and ``batchwalk.c`` (the
+(its N-domain, epoch-resumable generalization), ``batchwalk.c`` (the
 batched, multi-threaded driver that replays a whole roster of
-independent cells in one call) live next to this module. Each is
+independent cells in one call) and ``epochbatch.c`` (the batched driver
+made epoch-resumable: one threaded call advances every *active* cell by
+one epoch, host-side controller logic in between) live next to this
+module. Each is
 compiled once per (source revision, flag set) with whatever
 ``cc``/``gcc`` the host offers, cached as a shared object under the
 trace-pack cache directory, and loaded with :mod:`ctypes`. Everything is
@@ -42,7 +45,22 @@ _KERNELS = {
         "batchwalk.c",
         ("repro_batch_walk", "repro_batch_profile", "repro_batch_threading"),
     ),
+    "epochbatch": (
+        "epochbatch.c",
+        ("repro_epoch_batch", "repro_batch_threading"),
+    ),
 }
+
+# kernel name -> sources it textually #includes: folded into the cache
+# digest so an edit to an included file rebuilds the including object.
+_INCLUDED = {
+    "batchwalk": ("multiwalk.c",),
+    "epochbatch": ("batchwalk.c", "multiwalk.c"),
+}
+
+# Kernels built on batchwalk.c's run_items worker pool: compiled with
+# the probed threading flags, annotated with their mode in kernel_status.
+_THREADED_KERNELS = ("batchwalk", "epochbatch")
 
 # Tri-state memo per kernel: absent -> not tried, None -> unavailable,
 # else {symbol: ctypes function}. Per-process, like the kernel's table
@@ -166,8 +184,8 @@ def _threading_probe():
 
 
 def _kernel_flags(name):
-    """Extra compile flags for one kernel (probed, for batchwalk)."""
-    if name == "batchwalk":
+    """Extra compile flags for one kernel (probed, for batched ones)."""
+    if name in _THREADED_KERNELS:
         return tuple(_threading_probe()["flags"])
     return ()
 
@@ -191,11 +209,9 @@ def _build_library(name):
     hasher = hashlib.sha256(source)
     for flag in flags:
         hasher.update(flag.encode("utf-8"))
-    if name == "batchwalk":
-        # batchwalk textually includes multiwalk.c: fold it in so a
-        # multiwalk edit rebuilds the batch object too.
+    for included in _INCLUDED.get(name, ()):
         try:
-            with open(os.path.join(_HERE, "multiwalk.c"), "rb") as fh:
+            with open(os.path.join(_HERE, included), "rb") as fh:
                 hasher.update(fh.read())
         except OSError as exc:
             return None, f"source unreadable: {exc}"
@@ -300,15 +316,29 @@ def batch_profile_fn():
     return _symbol("batchwalk", "repro_batch_profile")
 
 
-def threading_status():
-    """``{"mode": ..., "reason": ...}`` for the batch kernel's threading.
+def epoch_batch_fn():
+    """The compiled ``repro_epoch_batch`` entry point, or ``None``.
+
+    Advances only the cells named by the ``active`` index list, each to
+    its own per-cell ``cfg[CFG_STOP]`` target, leaving all resumable
+    walk state in the caller-owned banks between calls; see
+    epochbatch.c for the argument list and
+    :func:`repro.cache.kernel.build_native_epoch_batch_replay` for the
+    Python owner of the banks.
+    """
+    return _symbol("epochbatch", "repro_epoch_batch")
+
+
+def threading_status(kernel="batchwalk"):
+    """``{"mode": ..., "reason": ...}`` for a batched kernel's threading.
 
     ``mode`` is ``"openmp"``, ``"pthreads"`` or ``"serial"``; ``reason``
     explains any fallback (``None`` when OpenMP won cleanly). When the
-    batch kernel actually loaded, the compiled object's own
+    named kernel actually loaded, the compiled object's own
     ``repro_batch_threading()`` report wins over the probe's prediction,
     so the answer describes the code that will run, not the flags that
-    were requested.
+    were requested. ``kernel`` may be any of the run_items-pool kernels
+    (``batchwalk``, ``epochbatch``).
     """
     if not enabled():
         return {
@@ -319,7 +349,7 @@ def threading_status():
         }
     probe = _threading_probe()
     mode, reason = probe["mode"], probe["reason"]
-    fn = _symbol("batchwalk", "repro_batch_threading")
+    fn = _symbol(kernel, "repro_batch_threading")
     if fn is not None:
         compiled = {2: "openmp", 1: "pthreads", 0: "serial"}.get(
             int(fn()), "unknown"
@@ -373,8 +403,8 @@ def kernel_status():
     status = {}
     for name in _KERNELS:
         if _load(name) is not None:
-            if name == "batchwalk":
-                threading = threading_status()
+            if name in _THREADED_KERNELS:
+                threading = threading_status(name)
                 if threading["reason"]:
                     status[name] = (
                         f"ok [{threading['mode']}; {threading['reason']}]"

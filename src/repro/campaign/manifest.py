@@ -23,7 +23,10 @@ from repro.util.errors import ValidationError
 
 # Bump when the cell execution semantics change incompatibly, so stored
 # records from older campaign engines stop matching by content address.
-CAMPAIGN_VERSION = 1
+# v2: trace `biased` cells choose from a *measured* 11-allocation sweep
+# (one batched roster call) instead of profile-derived scores, which can
+# move the chosen split.
+CAMPAIGN_VERSION = 2
 
 MANIFEST_KEYS = (
     "name",

@@ -1,17 +1,28 @@
 """Shard planning: pack batchable cells into native roster calls.
 
 The perf contract of a campaign is that its inner loop is C — or, for
-the analytical backend, NumPy — not per-cell Python. A cell is
-*batchable* when its outcome is one fixed-split co-run whose allocation
-is known before anything executes: ``shared``/``fair``/``static-N`` on
-the trace backend, ``shared``/``fair`` on the analytical backend. Trace
-batchable cells group into roster shards, each replayed by ONE
-:func:`repro.sim.trace_engine.run_packed_roster` call (threaded inside
-the kernel per ``REPRO_NATIVE_THREADS``); analytical batchable cells
-group into grid shards, each solved by ONE vectorized
+the analytical backend, NumPy — not per-cell Python. Every trace cell
+is batchable, each policy through the shard kind that fits its control
+structure:
+
+- ``shared``/``fair``/``static-N`` (one fixed-split co-run known before
+  anything executes) group into **roster** shards, each replayed by ONE
+  :func:`repro.sim.trace_engine.run_packed_roster` call;
+- ``biased`` (measure every split, then argmax) groups into **sweep**
+  shards: each cell contributes its 11-allocation measured sweep to one
+  batched roster call, and the winner is chosen from the measured
+  entries — no separate re-measure co-run is needed, because the
+  entries *are* co-run measurements and replay is deterministic;
+- ``dynamic`` (epoch feedback loop) groups into **dynamic-roster**
+  shards, each driven by :func:`repro.sim.trace_engine.run_dynamic_roster`
+  — one threaded epoch-batch C call per control period for the whole
+  shard, controller decisions stepped host-side between calls.
+
+Analytical ``shared``/``fair`` cells group into **grid** shards, each
+solved by ONE vectorized
 :meth:`repro.backend.analytical.AnalyticalBackend.co_run_grid` call.
-Everything else — ``biased`` (needs a sweep and an argmax before its
-final co-run) and ``dynamic`` (epoch feedback loop) — falls back to
+Only the genuinely unbatchable remainder (analytical ``biased``/
+``dynamic``, whose inner loop is the scalar engine) falls back to
 per-cell execution fanned out over the exec pool's ``parallel_map``.
 
 Shards are also the checkpoint unit: the runner persists one atomic
@@ -33,23 +44,41 @@ FG_TID = 0
 BG_TID = 4
 
 
-def is_batchable(cell):
-    """True when the cell is one fixed-split co-run (no feedback loop).
+def shard_kind_for(cell):
+    """The batched shard kind executing this cell, or ``None``.
 
-    Trace cells batch into native roster shards (one
-    ``run_packed_roster`` call each); analytical cells batch into
-    vectorized grid shards (one ``co_run_grid`` call each). ``biased``
-    and ``dynamic`` stay per-cell on both backends — their splits are
-    decided by a sweep argmax or epoch feedback, not by the manifest.
+    ``"roster"`` for fixed-split trace cells, ``"sweep"`` for trace
+    ``biased`` (an 11-allocation measured-sweep roster per cell),
+    ``"dynamic"`` for trace ``dynamic`` (the epoch-batch kernel driving
+    a controller per cell), ``"grid"`` for analytical fixed splits.
+    ``None`` means per-cell fallback over the exec pool.
     """
     if cell.backend == "trace":
-        return (
+        if cell.policy == "biased":
+            return "sweep"
+        if cell.policy == "dynamic":
+            return "dynamic"
+        if (
             cell.policy in ("shared", "fair")
             or static_policy_ways(cell.policy) is not None
-        )
+        ):
+            return "roster"
+        return None
     if cell.backend == "analytical":
-        return cell.policy in ("shared", "fair")
-    return False
+        return "grid" if cell.policy in ("shared", "fair") else None
+    return None
+
+
+def is_batchable(cell):
+    """True when the cell executes inside a batched shard kind.
+
+    Every trace policy is batchable — fixed splits as roster shards,
+    ``biased`` as measured-sweep roster shards, ``dynamic`` as
+    epoch-batched dynamic-roster shards. Analytical ``shared``/``fair``
+    batch into vectorized grid shards; analytical ``biased``/``dynamic``
+    stay per-cell (their inner loop is the scalar engine).
+    """
+    return shard_kind_for(cell) is not None
 
 
 def split_for(cell, llc_ways=12):
@@ -89,12 +118,16 @@ def backend_for(cell, threads=None):
 
         geometry = cell.geometry_dict
         controller = cell.controller_dict
+        # measured_sweep: biased cells choose from *replayed* splits
+        # (one batched roster call), so the per-cell reference path and
+        # the sweep-shard path score identical measurements.
         return TraceBackend(
             total_accesses=int(geometry["accesses"]),
             epoch_accesses=int(
                 controller.get("epoch_accesses") or 4_000
             ),
             dynamic_total_accesses=controller.get("total_accesses"),
+            measured_sweep=True,
             native_threads=threads,
         )
     if cell.backend == "analytical":
@@ -133,17 +166,22 @@ def roster_cell_for(cell, llc_ways=12):
 
 @dataclass
 class ShardPlan:
-    """The execution plan: roster, grid, and fallback shards.
+    """The execution plan: roster, grid, sweep, dynamic, and fallback
+    shards.
 
     Each entry is a list of :class:`~repro.campaign.manifest.CampaignCell`;
     roster shards execute as one batched native call, grid shards as one
-    vectorized analytical solve, and fallback shards as a
-    ``parallel_map`` over per-cell execution. ``skipped`` counts cells
-    the store already held (resume hits).
+    vectorized analytical solve, sweep shards as one batched
+    measured-sweep call covering every member cell's 11 allocations,
+    dynamic shards as one epoch-batched controller roster, and fallback
+    shards as a ``parallel_map`` over per-cell execution. ``skipped``
+    counts cells the store already held (resume hits).
     """
 
     roster_shards: list = field(default_factory=list)
     grid_shards: list = field(default_factory=list)
+    sweep_shards: list = field(default_factory=list)
+    dynamic_shards: list = field(default_factory=list)
     fallback_shards: list = field(default_factory=list)
     skipped: list = field(default_factory=list)
 
@@ -156,6 +194,14 @@ class ShardPlan:
         return sum(len(shard) for shard in self.grid_shards)
 
     @property
+    def sweep_cells(self):
+        return sum(len(shard) for shard in self.sweep_shards)
+
+    @property
+    def dynamic_cells(self):
+        return sum(len(shard) for shard in self.dynamic_shards)
+
+    @property
     def fallback_cells(self):
         return sum(len(shard) for shard in self.fallback_shards)
 
@@ -164,6 +210,8 @@ class ShardPlan:
         return (
             len(self.roster_shards)
             + len(self.grid_shards)
+            + len(self.sweep_shards)
+            + len(self.dynamic_shards)
             + len(self.fallback_shards)
         )
 
@@ -173,45 +221,46 @@ class ShardPlan:
             yield "roster", shard
         for shard in self.grid_shards:
             yield "grid", shard
+        for shard in self.sweep_shards:
+            yield "sweep", shard
+        for shard in self.dynamic_shards:
+            yield "dynamic", shard
         for shard in self.fallback_shards:
             yield "fallback", shard
 
 
 def plan_shards(cells, done_ids=(), shard_size=DEFAULT_SHARD_SIZE,
                 fallback_shard_size=DEFAULT_FALLBACK_SHARD_SIZE):
-    """Split the remaining cells into roster and fallback shards.
+    """Split the remaining cells into shards by kind.
 
     ``done_ids`` holds content addresses already present in the store;
     those cells are skipped without executing anything. The split and
     the shard boundaries are deterministic functions of the cell list,
     so two planners over the same manifest and store agree exactly.
+    Sweep shards chunk at ``shard_size // 11`` cells (floor 1), since
+    every member contributes an 11-allocation roster to the one batched
+    call — a shard's native call stays near ``shard_size`` replay
+    cells regardless of kind.
     """
     if shard_size < 1 or fallback_shard_size < 1:
         raise ValidationError("shard sizes must be >= 1")
     done_ids = set(done_ids)
     plan = ShardPlan()
-    batchable = []
-    grid = []
-    fallback = []
+    by_kind = {
+        "roster": [], "grid": [], "sweep": [], "dynamic": [], None: [],
+    }
     for cell in cells:
         if cell.cell_id in done_ids:
             plan.skipped.append(cell)
-        elif not is_batchable(cell):
-            fallback.append(cell)
-        elif cell.backend == "trace":
-            batchable.append(cell)
         else:
-            grid.append(cell)
-    plan.roster_shards = [
-        batchable[i:i + shard_size]
-        for i in range(0, len(batchable), shard_size)
-    ]
-    plan.grid_shards = [
-        grid[i:i + shard_size]
-        for i in range(0, len(grid), shard_size)
-    ]
-    plan.fallback_shards = [
-        fallback[i:i + fallback_shard_size]
-        for i in range(0, len(fallback), fallback_shard_size)
-    ]
+            by_kind[shard_kind_for(cell)].append(cell)
+
+    def chunk(items, size):
+        return [items[i:i + size] for i in range(0, len(items), size)]
+
+    plan.roster_shards = chunk(by_kind["roster"], shard_size)
+    plan.grid_shards = chunk(by_kind["grid"], shard_size)
+    plan.sweep_shards = chunk(by_kind["sweep"], max(1, shard_size // 11))
+    plan.dynamic_shards = chunk(by_kind["dynamic"], shard_size)
+    plan.fallback_shards = chunk(by_kind[None], fallback_shard_size)
     return plan

@@ -3,7 +3,8 @@
 ``run_campaign`` is the fleet driver: it expands a manifest, drops every
 cell whose content-addressed record already sits in the store, plans the
 remainder into shards (:mod:`repro.campaign.planner`), and executes
-shard by shard — roster shards as ONE batched native call each, grid
+shard by shard — roster and sweep shards as ONE batched native call
+each, dynamic shards as one epoch-batched controller roster, grid
 shards as ONE vectorized analytical solve each, fallback shards over
 the exec pool. After each shard the records land
 in a uniquely named, atomically written RunSet shard file
@@ -53,6 +54,8 @@ class CampaignResult:
     cells_run: int = 0
     roster_shards: int = 0
     grid_shards: int = 0
+    sweep_shards: int = 0
+    dynamic_shards: int = 0
     fallback_shards: int = 0
     shards_written: int = 0
     retries: int = 0
@@ -196,6 +199,98 @@ def _execute_grid_shard(shard):
     ]
 
 
+def _execute_sweep_shard(shard, threads):
+    """One batched native call for a whole shard of biased cells.
+
+    Every cell contributes its 11-allocation measured sweep to one
+    concatenated roster; the winner is then chosen from the measured
+    entries by the ordinary ``policy_biased`` selection rule. Because
+    the entries carry real co-run stats (``raw`` is set), no re-measure
+    replay happens — the records are field-identical to the per-cell
+    reference path, which scores the same measured sweep.
+    """
+    from repro.core.policies import policy_biased
+    from repro.sim.trace_engine import run_packed_roster
+
+    built = []
+    roster = []
+    for cell in shard:
+        backend = backend_for(cell, threads)
+        spec = trace_spec_for(cell)
+        splits, cells = backend.sweep_roster_cells(spec)
+        built.append((backend, spec, splits, len(cells)))
+        roster.extend(cells)
+    outcomes = run_packed_roster(
+        roster, prefetchers_on=False, backend="kernel", threads=threads
+    )
+    records = []
+    offset = 0
+    for cell, (backend, spec, splits, width) in zip(shard, built):
+        entries = backend.sweep_entries(
+            spec, splits, outcomes[offset:offset + width]
+        )
+        offset += width
+        outcome = policy_biased(backend, spec, sweep=entries)
+        records.append(
+            record_from_outcome(
+                outcome,
+                units=_units_for(cell),
+                provenance=_cell_provenance(cell, source="sweep"),
+            )
+        )
+    return records
+
+
+def _execute_dynamic_shard(shard, threads):
+    """One epoch-batched dynamic roster for a whole shard of cells.
+
+    All cells advance one control period per threaded C call; between
+    calls every cell's controller steps host-side in one vectorized
+    pass (see :func:`repro.sim.trace_engine.run_dynamic_roster`). Each
+    cell gets its own fresh controller, so records — including the
+    reallocation timeline length in provenance — are field-identical
+    to the per-cell reference path.
+    """
+    from repro.core.policies import PolicyOutcome
+    from repro.sim.trace_engine import run_dynamic_roster
+
+    built = []
+    for cell in shard:
+        backend = backend_for(cell, threads)
+        spec = trace_spec_for(cell)
+        built.append((backend, spec, backend.dynamic_roster_cell(spec)))
+    results = run_dynamic_roster(
+        [roster_cell for _, _, roster_cell in built],
+        prefetchers_on=False,
+        backend="kernel",
+        threads=threads,
+    )
+    records = []
+    for cell, (backend, spec, roster_cell), result in zip(
+        shard, built, results
+    ):
+        m = backend.dynamic_measurement(spec, roster_cell.controller, result)
+        outcome = PolicyOutcome(
+            policy="dynamic",
+            fg_name=m.fg_name,
+            bg_name=m.bg_name,
+            fg_ways=m.fg_ways,
+            bg_ways=m.bg_ways,
+            pair=m.raw,
+            sweep=[],
+            measurement=m,
+            backend=m.backend,
+        )
+        records.append(
+            record_from_outcome(
+                outcome,
+                units=_units_for(cell),
+                provenance=_cell_provenance(cell, source="dynamic"),
+            )
+        )
+    return records
+
+
 def _execute_fallback_shard(shard, workers, pack_paths):
     from repro.exec import parallel_map
 
@@ -323,6 +418,8 @@ def run_campaign(manifest, store_dir, cells=None, resume=False,
         )
         plan.roster_shards = []
         plan.grid_shards = []
+        plan.sweep_shards = []
+        plan.dynamic_shards = []
         plan.fallback_shards = [
             merged[i:i + fallback_size]
             for i in range(0, len(merged), fallback_size)
@@ -335,6 +432,8 @@ def run_campaign(manifest, store_dir, cells=None, resume=False,
         cells_skipped=len(plan.skipped),
         roster_shards=len(plan.roster_shards),
         grid_shards=len(plan.grid_shards),
+        sweep_shards=len(plan.sweep_shards),
+        dynamic_shards=len(plan.dynamic_shards),
         fallback_shards=len(plan.fallback_shards),
     )
     for cell in plan.skipped:
@@ -354,6 +453,18 @@ def run_campaign(manifest, store_dir, cells=None, resume=False,
         elif kind == "grid":
             records, attempts = _retrying(
                 lambda: _execute_grid_shard(shard),
+                shard,
+                max_attempts,
+            )
+        elif kind == "sweep":
+            records, attempts = _retrying(
+                lambda: _execute_sweep_shard(shard, threads),
+                shard,
+                max_attempts,
+            )
+        elif kind == "dynamic":
+            records, attempts = _retrying(
+                lambda: _execute_dynamic_shard(shard, threads),
                 shard,
                 max_attempts,
             )

@@ -26,10 +26,11 @@ def summarize_campaign(store_dir):
     """A plain-data summary of everything a campaign store holds.
 
     Returns a dict with the record/shard counts, per-axis record
-    counts, retry totals, and — per (backend, fg, bg, geometry) group —
-    the policy with the lowest foreground cost and the one with the
-    highest background rate, the reduction ``repro consolidate``
-    renders for a single pair.
+    counts, retry totals, per-cell reallocation counts for dynamic
+    cells (from the controller's recorded action trail), and — per
+    (backend, fg, bg, geometry) group — the policy with the lowest
+    foreground cost and the one with the highest background rate, the
+    reduction ``repro consolidate`` renders for a single pair.
     """
     merged, by_cell = load_campaign_store(store_dir)
     if not by_cell:
@@ -42,7 +43,19 @@ def summarize_campaign(store_dir):
     axes = {"backend": {}, "policy": {}, "pair": {}}
     retried = 0
     groups = {}
+    dynamic_cells = []
     for record in records:
+        if record.policy == "dynamic":
+            dynamic_cells.append(
+                {
+                    "pair": f"{record.fg}+{record.bg}",
+                    "backend": record.backend,
+                    "fg_ways": record.fg_ways,
+                    "reallocations": record.provenance.get(
+                        "dynamic_actions"
+                    ),
+                }
+            )
         axes["backend"][record.backend] = (
             axes["backend"].get(record.backend, 0) + 1
         )
@@ -88,6 +101,9 @@ def summarize_campaign(store_dir):
         "retried_cells": retried,
         "axes": axes,
         "groups": best,
+        "dynamic_cells": sorted(
+            dynamic_cells, key=lambda c: (c["backend"], c["pair"])
+        ),
     }
 
 
@@ -130,6 +146,28 @@ def format_campaign_summary(summary):
             title="Per-pair policy winners",
         )
     )
+    dynamic = summary.get("dynamic_cells") or ()
+    if dynamic:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["pair", "backend", "final fg ways", "reallocations"],
+                [
+                    (
+                        cell["pair"],
+                        cell["backend"],
+                        str(cell["fg_ways"]),
+                        (
+                            "?"
+                            if cell["reallocations"] is None
+                            else str(cell["reallocations"])
+                        ),
+                    )
+                    for cell in dynamic
+                ],
+                title="Dynamic controller cells",
+            )
+        )
     return "\n".join(lines)
 
 

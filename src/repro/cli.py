@@ -1011,6 +1011,16 @@ def _cmd_campaign_plan(args, out):
         "(one vectorized solve each)\n"
     )
     out.write(
+        f"  sweep: {plan.sweep_cells} biased cells in "
+        f"{len(plan.sweep_shards)} measured-sweep shards "
+        "(11 allocations per cell, one native call each)\n"
+    )
+    out.write(
+        f"  dynamic: {plan.dynamic_cells} cells in "
+        f"{len(plan.dynamic_shards)} dynamic-roster shards "
+        "(one epoch-batched controller roster each)\n"
+    )
+    out.write(
         f"  fallback: {plan.fallback_cells} cells in "
         f"{len(plan.fallback_shards)} shards (exec-pool per-cell)\n"
     )

@@ -40,6 +40,25 @@ def mpki_window(misses, accesses):
     return 1000.0 * misses / accesses if accesses else 0.0
 
 
+def mpki_windows(misses, accesses):
+    """Vectorized :func:`mpki_window` over banked counter deltas.
+
+    ``misses`` and ``accesses`` are integer arrays (any matching shape —
+    the batched dynamic roster passes ``(cells, domains)`` banks); the
+    result is float64 with zeros where a window saw no accesses. Counter
+    deltas are far below 2**53, so the int->float conversion is exact
+    and each element is bit-identical to the scalar
+    ``mpki_window(misses[i], accesses[i])``.
+    """
+    import numpy as np
+
+    m = np.asarray(misses, dtype=np.float64)
+    a = np.asarray(accesses, dtype=np.float64)
+    out = np.zeros(np.broadcast(m, a).shape, dtype=np.float64)
+    np.divide(1000.0 * m, a, out=out, where=a != 0.0)
+    return out
+
+
 class DynamicPartitionController:
     """Algorithm 6.2, driving fg/bg way masks from foreground MPKI."""
 

@@ -25,6 +25,8 @@ PACK_COMPILED_ACCESSES = "pack_compiled_accesses"
 PACK_REPLAYS = "pack_replays"
 BATCH_CALLS = "batch_calls"
 BATCH_CELLS = "batch_cells"
+DYNBATCH_CALLS = "dynbatch_calls"
+DYNBATCH_CELLS = "dynbatch_cells"
 GRID_CALLS = "grid_calls"
 GRID_CELLS = "grid_cells"
 CAMPAIGN_SHARDS = "campaign_shards"
@@ -48,6 +50,8 @@ ENGINE_EVENTS = (
     PACK_REPLAYS,
     BATCH_CALLS,
     BATCH_CELLS,
+    DYNBATCH_CALLS,
+    DYNBATCH_CELLS,
     GRID_CALLS,
     GRID_CELLS,
     CAMPAIGN_SHARDS,

@@ -78,6 +78,8 @@ def format_engine_stat(counters=None):
     pack_replays = counters.get(ec.PACK_REPLAYS, 0.0)
     batch_calls = counters.get(ec.BATCH_CALLS, 0.0)
     batch_cells = counters.get(ec.BATCH_CELLS, 0.0)
+    dynbatch_calls = counters.get(ec.DYNBATCH_CALLS, 0.0)
+    dynbatch_cells = counters.get(ec.DYNBATCH_CELLS, 0.0)
     grid_calls = counters.get(ec.GRID_CALLS, 0.0)
     grid_cells = counters.get(ec.GRID_CELLS, 0.0)
     campaign_shards = counters.get(ec.CAMPAIGN_SHARDS, 0.0)
@@ -133,6 +135,14 @@ def format_engine_stat(counters=None):
             else None,
         ),
         (
+            "dynbatch-calls",
+            dynbatch_calls,
+            f"{dynbatch_cells / dynbatch_calls:,.1f} cells per epoch call"
+            if dynbatch_calls
+            else None,
+        ),
+        ("dynbatch-cells", dynbatch_cells, None),
+        (
             "grid-calls",
             grid_calls,
             f"{grid_cells / grid_calls:,.1f} cells per call"
@@ -174,6 +184,9 @@ def format_engine_stat(counters=None):
     threading = native.threading_status()
     detail = f"; {threading['reason']}" if threading["reason"] else ""
     lines.append(f"  native-batch/threading: {threading['mode']}{detail}")
+    epoch = native.threading_status("epochbatch")
+    detail = f"; {epoch['reason']}" if epoch["reason"] else ""
+    lines.append(f"  native-epochbatch/threading: {epoch['mode']}{detail}")
     return "\n".join(lines)
 
 

@@ -901,6 +901,233 @@ def run_packed_roster(cells, prefetchers_on=False, backend="kernel",
     ]
 
 
+@dataclass
+class DynamicRosterCell:
+    """One controller-driven co-run in a batched dynamic roster.
+
+    ``controller`` must be a fresh controller instance per cell
+    (:class:`~repro.core.dynamic.DynamicPartitionController` or
+    compatible) — controllers are stateful, and each cell's exact
+    decision timeline is preserved.
+    """
+
+    workloads: list
+    controller: object
+    epoch_accesses: int = 5_000
+    total_accesses: int = 100_000
+
+
+def _run_dynamic_roster_sequential(cells, prefetchers_on, backend,
+                                   pack_cache, pack_store):
+    """The reference path: one fresh engine + ``run_dynamic`` per cell."""
+    results = []
+    for cell in cells:
+        engine = TraceEngine(prefetchers_on=prefetchers_on, backend=backend)
+        results.append(engine.run_dynamic(
+            cell.workloads,
+            cell.controller,
+            epoch_accesses=cell.epoch_accesses,
+            total_accesses=cell.total_accesses,
+            pack_cache=pack_cache,
+            pack_store=pack_store,
+        ))
+    return results
+
+
+def run_dynamic_roster(cells, prefetchers_on=False, backend="kernel",
+                       threads=None, pack_cache=None, pack_store=True,
+                       sequential=False):
+    """Run a roster of dynamic-partitioning co-runs, batched.
+
+    Every :class:`DynamicRosterCell` gets its own fresh hierarchy state
+    (the template engine's state, tiled inside
+    :func:`~repro.cache.kernel.build_native_epoch_batch_replay`), its
+    own initial controller masks, and its own epoch/total budgets. Each
+    round of the host loop advances every still-active cell by one
+    epoch in ONE threaded ctypes call, then steps *all* cells'
+    controllers in one pass — per-epoch MPKI windows computed vectorized
+    over the banked counters (:func:`repro.core.dynamic.mpki_windows`)
+    — and writes any returned way masks straight back into the dom
+    banks, flush-free. Cells whose domains retire early simply drop out
+    of the active set; the rest keep their exact epoch cadence.
+
+    Returns a list of :class:`DynamicTraceResult` aligned with
+    ``cells``, with stats bit-identical and per-cell reallocation
+    timelines byte-equal — for any thread count, and with
+    ``REPRO_NATIVE=0`` — to running each cell on a fresh
+    :class:`TraceEngine` via :meth:`TraceEngine.run_dynamic` (which is
+    exactly what the fallback does whenever a cell is not batchable or
+    the epoch-batch kernel is unavailable). ``sequential=True`` forces
+    that reference path, which the bench harness times as the baseline.
+    """
+    if not cells:
+        return []
+    seen_controllers = set()
+    for cell in cells:
+        if not cell.workloads:
+            raise ValidationError("every roster cell needs workloads")
+        if id(cell.controller) in seen_controllers:
+            raise ValidationError(
+                "each dynamic roster cell needs its own controller "
+                "instance (controllers are stateful)"
+            )
+        seen_controllers.add(id(cell.controller))
+
+    def fallback():
+        return _run_dynamic_roster_sequential(
+            cells, prefetchers_on, backend, pack_cache, pack_store
+        )
+
+    if sequential or prefetchers_on:
+        return fallback()
+
+    from repro.workloads.trace import _TraceBase
+    from repro.workloads.tracepack import get_pack
+
+    cell_packs = []
+    for cell in cells:
+        names = [w.name for w in cell.workloads]
+        if (
+            len(cell.workloads) < 2
+            or len(set(names)) != len(names)
+            or cell.epoch_accesses < 1
+        ):
+            return fallback()
+        packs = []
+        for w in cell.workloads:
+            source = w.trace_factory()
+            if not isinstance(source, _TraceBase):
+                packs = None
+                break
+            packs.append(
+                get_pack(source, cache=pack_cache, store=pack_store)
+            )
+        if packs is None or any(p.writes_list() is not None for p in packs):
+            return fallback()
+        cell_packs.append(packs)
+
+    from repro.cache.kernel import build_native_epoch_batch_replay
+    from repro.core.dynamic import mpki_windows
+
+    template = TraceEngine(prefetchers_on=False, backend=backend)
+    h = template.hierarchy
+    llc = h.llc.storage
+    llc_indexing = "mod" if llc._mod_mask >= 0 else "hash"
+    core_of = h.core_of_tid
+
+    cell_dicts = []
+    for cell, packs in zip(cells, cell_packs):
+        names = [w.name for w in cell.workloads]
+        cores = [core_of(w.tid) for w in cell.workloads]
+        if len(set(cores)) != len(cores):
+            return fallback()
+        initial = cell.controller.masks()
+        if set(initial) != set(names):
+            return fallback()
+        cell_dicts.append({
+            "cores": cores,
+            "thinks": [w.think_cycles for w in cell.workloads],
+            "mask_bits": [initial[name].bits for name in names],
+            "lines": [p.line for p in packs],
+            "sets": [
+                p.set_column(llc.num_sets, llc_indexing) for p in packs
+            ],
+            "lengths": [len(p.line) for p in packs],
+            "repeats": [w.repeat for w in cell.workloads],
+            "stop": 0,  # nothing runs until the host loop sets targets
+        })
+
+    batch = build_native_epoch_batch_replay(h, cell_dicts, threads=threads)
+    if batch is None:
+        return fallback()
+
+    import numpy as np
+
+    R = len(cells)
+    issued = [0] * R
+    epochs = [0] * R
+    timelines = [[] for _ in range(R)]
+    totals = [cell.total_accesses for cell in cells]
+    bank = batch.counter_bank()
+    prev = np.zeros_like(bank)
+    active = [r for r in range(R) if issued[r] < totals[r]]
+
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        while active:
+            for r in active:
+                target = issued[r] + cells[r].epoch_accesses
+                if target > totals[r]:
+                    target = totals[r]
+                batch.set_stop(r, target)
+            batch.run_active(active)
+            ec.add(ec.DYNBATCH_CALLS)
+            ec.add(ec.DYNBATCH_CELLS, len(active))
+            cur = bank.copy()
+            delta = cur - prev
+            prev = cur
+            # Vectorized controller inputs for every cell at once; each
+            # element is bit-identical to the scalar mpki_window the
+            # sequential driver computes.
+            mpki = mpki_windows(delta[:, :, 3], delta.sum(axis=2))
+            still = []
+            for r in active:
+                progressed = batch.issued_of(r)
+                if progressed == issued[r]:
+                    continue  # every domain retired
+                issued[r] = progressed
+                epochs[r] += 1
+                cell = cells[r]
+                controller = cell.controller
+                names = [w.name for w in cell.workloads]
+                metrics = {
+                    name: {"mpki": float(mpki[r, i])}
+                    for i, name in enumerate(names)
+                }
+                period_s = controller.period_s
+                now_s = epochs[r] * period_s
+                new_masks = controller.on_tick(now_s, period_s, metrics)
+                if new_masks:
+                    slot_of = {name: i for i, name in enumerate(names)}
+                    for name, mask in new_masks.items():
+                        batch.set_mask_bits(r, slot_of[name], mask.bits)
+                    act = controller.actions[-1]
+                    timelines[r].append({
+                        "epoch": epochs[r],
+                        "time_s": act.time_s,
+                        "fg_ways": act.fg_ways,
+                        "reason": act.reason,
+                        "mpki": act.mpki,
+                        "masks": {
+                            n: m.bits
+                            for n, m in sorted(new_masks.items())
+                        },
+                    })
+                if issued[r] < totals[r]:
+                    still.append(r)
+            active = still
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    results = []
+    for r, (cell, packs) in enumerate(zip(cells, cell_packs)):
+        counts, vtimes = batch.cell_result(r)
+        stats = TraceEngine._packed_stats(
+            cell.workloads, list(counts), list(vtimes), packs
+        )
+        results.append(DynamicTraceResult(
+            stats=stats,
+            timeline=timelines[r],
+            actions=list(cell.controller.actions),
+            epochs=epochs[r],
+            native=True,
+        ))
+    return results
+
+
 def way_allocation_sweep(workloads, total_accesses=100_000, prefetchers_on=False,
                          backend="kernel", warmup_accesses=0, use_packs=True):
     """Per-domain ``hits(ways)`` utility curves from ONE co-run.

@@ -22,7 +22,9 @@ def _fresh_loader(monkeypatch, tmp_path):
 class TestKernelStatus:
     def test_reports_every_kernel(self):
         status = native.kernel_status()
-        assert set(status) == {"pairwalk", "multiwalk", "batchwalk"}
+        assert set(status) == {
+            "pairwalk", "multiwalk", "batchwalk", "epochbatch"
+        }
 
     def test_ok_when_compiled(self):
         if native.multi_walk_fn() is None:
@@ -30,11 +32,12 @@ class TestKernelStatus:
         status = native.kernel_status()
         assert status["pairwalk"] == "ok"
         assert status["multiwalk"] == "ok"
-        # The batch kernel's ok carries its threading mode, e.g.
-        # "ok [openmp]" or "ok [serial; openmp probe failed: ...]".
-        assert status["batchwalk"].startswith("ok [")
-        mode = status["batchwalk"][len("ok ["):].split("]")[0].split(";")[0]
-        assert mode in ("openmp", "pthreads", "serial")
+        # The run_items-pool kernels' ok carries their threading mode,
+        # e.g. "ok [openmp]" or "ok [serial; openmp probe failed: ...]".
+        for name in ("batchwalk", "epochbatch"):
+            assert status[name].startswith("ok [")
+            mode = status[name][len("ok ["):].split("]")[0].split(";")[0]
+            assert mode in ("openmp", "pthreads", "serial")
 
     def test_disabled_reason_names_the_gate(self, monkeypatch):
         monkeypatch.setenv("REPRO_NATIVE", "0")
@@ -83,7 +86,9 @@ class TestKernelStatus:
         assert "native-kernel/pairwalk:" in text
         assert "native-kernel/multiwalk:" in text
         assert "native-kernel/batchwalk:" in text
+        assert "native-kernel/epochbatch:" in text
         assert "native-batch/threading:" in text
+        assert "native-epochbatch/threading:" in text
         assert "REPRO_NATIVE" in text
 
 

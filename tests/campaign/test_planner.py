@@ -3,7 +3,7 @@
 import pytest
 
 from repro.campaign import expand_manifest, is_batchable, plan_shards
-from repro.campaign.planner import roster_cell_for, split_for
+from repro.campaign.planner import roster_cell_for, shard_kind_for, split_for
 from repro.util.errors import ValidationError
 
 from .test_manifest import small_manifest
@@ -17,10 +17,15 @@ class TestBatchability:
     def test_fixed_mask_trace_policies_are_batchable(self):
         for cell in cells_for(policies=["shared", "fair", "static-7"]):
             assert is_batchable(cell)
+            assert shard_kind_for(cell) == "roster"
 
-    def test_search_policies_are_not(self):
+    def test_trace_search_policies_batch_by_kind(self):
+        # biased batches as a measured-sweep roster, dynamic as an
+        # epoch-batched dynamic roster — every trace cell is batchable.
         for cell in cells_for(policies=["biased", "dynamic"]):
-            assert not is_batchable(cell)
+            assert is_batchable(cell)
+            expected = "sweep" if cell.policy == "biased" else "dynamic"
+            assert shard_kind_for(cell) == expected
 
     def test_analytical_fixed_splits_are_grid_batchable(self):
         cells = cells_for(
@@ -28,6 +33,7 @@ class TestBatchability:
             pairs=[["fop", "batik"]],
         )
         assert all(is_batchable(c) for c in cells)
+        assert all(shard_kind_for(c) == "grid" for c in cells)
 
     def test_analytical_search_policies_are_not(self):
         cells = cells_for(
@@ -35,6 +41,7 @@ class TestBatchability:
             pairs=[["fop", "batik"]],
         )
         assert not any(is_batchable(c) for c in cells)
+        assert all(shard_kind_for(c) is None for c in cells)
 
 
 class TestSplits:
@@ -79,12 +86,29 @@ class TestPlanning:
         assert [
             [c.cell_id for c in shard] for shard in plan.roster_shards
         ] == [[c.cell_id for c in shard] for shard in again.roster_shards]
-        # 8 batchable cells in shards of 3, 4 fallback cells in shards of 2.
+        # 8 roster cells in shards of 3; the 4 biased cells become sweep
+        # shards chunked at shard_size // 11 (floor 1); nothing falls back.
         assert [len(s) for s in plan.roster_shards] == [3, 3, 2]
-        assert [len(s) for s in plan.fallback_shards] == [2, 2]
+        assert [len(s) for s in plan.sweep_shards] == [1, 1, 1, 1]
+        assert plan.fallback_shards == []
         assert plan.batchable_cells == 8
-        assert plan.fallback_cells == 4
-        assert plan.total_shards == 5
+        assert plan.sweep_cells == 4
+        assert plan.fallback_cells == 0
+        assert plan.total_shards == 7
+
+    def test_sweep_shards_chunk_by_native_call_width(self):
+        # shard_size counts replay cells in the one native call, and a
+        # sweep cell contributes 11 of them.
+        cells = cells_for(policies=["biased"])
+        plan = plan_shards(cells, shard_size=33)
+        assert [len(s) for s in plan.sweep_shards] == [3, 1]
+
+    def test_dynamic_cells_plan_as_dynamic_shards(self):
+        cells = cells_for(policies=["dynamic"])
+        plan = plan_shards(cells, shard_size=3)
+        assert [len(s) for s in plan.dynamic_shards] == [3, 1]
+        assert plan.dynamic_cells == 4
+        assert plan.fallback_cells == 0
 
     def test_done_ids_are_skipped(self):
         cells = cells_for()
@@ -93,11 +117,11 @@ class TestPlanning:
         assert {c.cell_id for c in plan.skipped} == done
         assert plan.batchable_cells == len(cells) - 2
 
-    def test_shards_iterates_roster_then_fallback(self):
-        cells = cells_for(policies=["shared", "biased"])
-        plan = plan_shards(cells, shard_size=2, fallback_shard_size=2)
+    def test_shards_iterates_kinds_in_order(self):
+        cells = cells_for(policies=["shared", "biased", "dynamic"])
+        plan = plan_shards(cells, shard_size=22, fallback_shard_size=2)
         kinds = [kind for kind, _ in plan.shards()]
-        assert kinds == ["roster", "roster", "fallback", "fallback"]
+        assert kinds == ["roster", "sweep", "sweep", "dynamic"]
 
     def test_shard_size_must_be_positive(self):
         with pytest.raises(ValidationError, match=">= 1"):

@@ -81,10 +81,47 @@ class TestExecution:
         with pytest.raises(ValidationError, match="no record for cell"):
             verify_campaign(manifest, str(store))
 
-    def test_fallback_cells_run_through_the_pool(self, tmp_path):
+    def test_biased_cells_run_as_sweep_shards(self, tmp_path):
         manifest = fast_manifest(
             policies=["biased"], pairs=[["zipf", "stream"]],
             geometries=[{"accesses": ACCESSES}],
+        )
+        store = tmp_path / "store"
+        result = run_campaign(manifest, str(store), workers=1)
+        assert result.roster_shards == 0
+        assert result.fallback_shards == 0
+        assert result.sweep_shards == 1
+        record = next(iter(result.records.values()))
+        assert record.provenance["source"] == "sweep"
+        assert record.provenance["sweep_points"] == 11
+        assert verify_campaign(manifest, str(store)) == 1
+
+    def test_dynamic_cells_run_as_dynamic_shards(self, tmp_path):
+        manifest = fast_manifest(
+            policies=["dynamic"],
+            geometries=[{"accesses": ACCESSES}],
+            controllers=[
+                {"epoch_accesses": 200, "total_accesses": ACCESSES}
+            ],
+        )
+        store = tmp_path / "store"
+        result = run_campaign(manifest, str(store), workers=1)
+        assert result.roster_shards == 0
+        assert result.fallback_shards == 0
+        assert result.dynamic_shards == 1
+        for record in result.records.values():
+            assert record.provenance["source"] == "dynamic"
+            assert "dynamic_actions" in record.provenance
+        assert verify_campaign(manifest, str(store)) == 2
+
+    def test_fallback_cells_run_through_the_pool(self, tmp_path):
+        manifest = manifest_from_dict(
+            {
+                "name": "fallback",
+                "backends": ["analytical"],
+                "policies": ["biased"],
+                "pairs": [["fop", "batik"]],
+            }
         )
         store = tmp_path / "store"
         result = run_campaign(manifest, str(store), workers=1)

@@ -32,3 +32,15 @@ class TestHostProvenance:
         payload = host_provenance()
         assert "threading_mode" in payload
         assert isinstance(payload["kernel_status"], dict)
+
+    def test_epochbatch_kernel_status_is_reported(self):
+        """dynbatch artifacts must record the epoch-batch kernel's
+        compile status and its own threading mode."""
+        payload = host_provenance()
+        assert "epochbatch" in payload["kernel_status"]
+        by_kernel = payload["threading_by_kernel"]
+        assert set(by_kernel) == {"batchwalk", "epochbatch"}
+        assert all(
+            mode in ("openmp", "pthreads", "serial")
+            for mode in by_kernel.values()
+        )
