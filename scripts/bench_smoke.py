@@ -1295,8 +1295,110 @@ def run_gridsolve(repeats=3, pairs=_GRID_PAIRS, splits=tuple(range(1, 12)),
     }
 
 
+# -- LFOC-style cluster policy over N-tenant groups (BENCH_cluster.json) ------
+
+
+def run_cluster(repeats=3, cells=4, accesses=30_000):
+    """Benchmark the N-tenant group replay behind the cluster policy.
+
+    Each cell is a 4-tenant group (zipf/stream/chase/stream, staggered
+    seeds). Way-utility profiling and the LFOC-style lookup-table
+    apportioning run once per cell; the bench then replays every cell's
+    planned GroupSplit two ways — ONE batched multi-domain
+    ``run_packed_roster`` call for the whole roster, and the sequential
+    per-cell reference (fresh engine per cell, the pre-group
+    methodology). Contracts: per-tenant stats bit-identical, the first
+    cell additionally verified against a hand-built sequential engine
+    (``verify_trace_group_replay``), and the batched bytes invariant
+    across ``REPRO_NATIVE_THREADS=1`` / ``=4`` / ``REPRO_NATIVE=0``.
+    """
+    from repro.analysis.experiments import (
+        trace_group_spec,
+        verify_trace_group_replay,
+    )
+    from repro.backend import TraceBackend
+    from repro.cache import native
+    from repro.core.clustering import cluster_tenants
+    from repro.core.policies import run_group_policy
+    from repro.sim.trace_engine import run_packed_roster
+
+    backend = TraceBackend(total_accesses=accesses)
+    llc_ways = backend.capabilities().llc_ways
+    kinds = ("zipf", "stream", "chase", "stream")
+    groups = [
+        trace_group_spec(kinds, accesses=accesses, seed=1 + i)
+        for i in range(cells)
+    ]
+    plans = []
+    for group in groups:
+        utilities = backend.way_utility(group)
+        plans.append(
+            cluster_tenants(utilities, names=group.names, llc_ways=llc_ways)
+        )
+
+    def roster():
+        return [
+            backend.group_roster_cell(group, plan.split)
+            for group, plan in zip(groups, plans)
+        ]
+
+    # Untimed passes absorb pack compiles, kernel builds, table memos.
+    run_packed_roster(roster()[:1], sequential=True)
+    run_packed_roster(roster()[:1])
+
+    seq_t = batch_t = seq_res = batch_res = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        seq_res = run_packed_roster(roster(), sequential=True)
+        elapsed = time.perf_counter() - start
+        seq_t = elapsed if seq_t is None else min(seq_t, elapsed)
+
+        start = time.perf_counter()
+        batch_res = run_packed_roster(roster())
+        elapsed = time.perf_counter() - start
+        batch_t = elapsed if batch_t is None else min(batch_t, elapsed)
+    if batch_res != seq_res:
+        raise SystemExit(
+            "FAIL: batched group roster is not bit-identical to the "
+            "sequential per-cell replay"
+        )
+
+    outcome = run_group_policy(backend, groups[0], "cluster")
+    compared = verify_trace_group_replay(backend, groups[0], outcome)
+
+    one = run_packed_roster(roster(), threads=1)
+    four = run_packed_roster(roster(), threads=4)
+    off = _without_native(lambda: run_packed_roster(roster()))
+    if not (one == batch_res and four == batch_res and off == batch_res):
+        raise SystemExit(
+            "FAIL: group roster varies with thread count or REPRO_NATIVE"
+        )
+
+    threading = native.threading_status()
+    return {
+        "benchmark": "cluster_group",
+        "repeats": repeats,
+        "cells": cells,
+        "tenants": len(kinds),
+        "total_accesses_per_cell": accesses,
+        "classes": dict(plans[0].classes),
+        "way_counts": list(plans[0].split.way_counts),
+        "reference_comparisons": compared,
+        "native_kernel": native.batch_walk_fn() is not None,
+        "threading": threading["mode"],
+        "kernel_status": native.kernel_status().get("batchwalk"),
+        "wall_s": {
+            "sequential": round(seq_t, 4),
+            "batch": round(batch_t, 4),
+        },
+        "speedup": round(seq_t / batch_t, 2),
+        "identical": True,
+        "thread_invariant": True,
+    }
+
+
 ARMS = ("engine", "trace", "tracepack", "dynamic", "policy", "batch",
-        "dynbatch", "campaign", "gridsolve")
+        "dynbatch", "campaign", "gridsolve", "cluster")
 
 
 def main(argv=None):
@@ -1329,6 +1431,9 @@ def main(argv=None):
     parser.add_argument(
         "--gridsolve-output",
         default=os.path.join(root, "BENCH_gridsolve.json"),
+    )
+    parser.add_argument(
+        "--cluster-output", default=os.path.join(root, "BENCH_cluster.json")
     )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--workers", type=int, default=4)
@@ -1431,6 +1536,15 @@ def main(argv=None):
                 f"{grid_summary['cells']}-cell analytical grid "
                 f"{grid_summary['speedup']}x, bit-identical at tol=0"
             )
+        if "cluster" in wanted:
+            cluster_summary = run_cluster(repeats=1, cells=2, accesses=10_000)
+            notes.append(
+                f"{cluster_summary['cells']}x{cluster_summary['tenants']}-"
+                f"tenant group roster bit-identical and thread-invariant "
+                f"(native={cluster_summary['native_kernel']}, "
+                f"{cluster_summary['reference_comparisons']} reference "
+                "comparisons)"
+            )
         print(format_engine_stat(ec.engine_counters().snapshot()))
         print("\ncheck PASS: " + "; ".join(notes))
         return 0
@@ -1465,6 +1579,10 @@ def main(argv=None):
     if "gridsolve" in wanted:
         outputs.append(
             (args.gridsolve_output, run_gridsolve(repeats=args.repeats))
+        )
+    if "cluster" in wanted:
+        outputs.append(
+            (args.cluster_output, run_cluster(repeats=args.repeats))
         )
 
     # Every artifact records where its numbers came from: CPU budget,

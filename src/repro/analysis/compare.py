@@ -93,7 +93,8 @@ def diff_runsets(before, after, tolerance=0.02):
     ``before``/``after`` are :class:`~repro.analysis.store.RunSet`
     instances, paths to saved run-set JSON, or directories of run-set
     shard files (a multi-shard campaign store merges before diffing).
-    Records pair up by ``(policy, fg, bg)``. Split choices
+    Records pair up by ``(policy, fg, bg)`` — or, for N-tenant group
+    records, by ``(policy, *tenants)``. Split choices
     (``fg_ways``/``bg_ways``) are always compared; ``fg_cost``/
     ``bg_rate`` only when both records label them with the same unit
     (so an analytical-vs-trace diff reports allocation agreement
@@ -123,7 +124,9 @@ def diff_runsets(before, after, tolerance=0.02):
     checked = 0
     for key in sorted(set(before_by_key) & set(after_by_key)):
         rec_before, rec_after = before_by_key[key], after_by_key[key]
-        stage = "{}:{}+{}".format(*key)
+        # Keys are (policy, fg, bg) for pairs and (policy, *tenants)
+        # for N-tenant group records — format length-agnostically.
+        stage = "{}:{}".format(key[0], "+".join(key[1:]))
         for metric in sorted(set(rec_before.metrics) & set(rec_after.metrics)):
             if metric not in ("fg_ways", "bg_ways"):
                 unit_before = rec_before.units.get(metric)

@@ -375,6 +375,99 @@ def trace_pair_spec(fg_kind="zipf", bg_kind="stream", accesses=60_000,
     )
 
 
+_GROUP_TIDS = (0, 4, 2, 6)  # cores 0, 2, 1, 3 under tid // 2
+_GROUP_THINKS = (6, 2, 2, 2)
+
+
+def trace_group_spec(kinds, accesses=60_000, footprint_mb=4.0, alpha=0.9,
+                     seed=1, bg_footprint_mb=8.0):
+    """A backend :class:`~repro.backend.protocol.TenantSet` from 2..4
+    synthetic trace kinds (what ``repro trace-cluster`` and
+    ``consolidate --tenants`` run the group policy suite on).
+
+    Tenant 0 is the primary (the pair protocol's foreground: same tid,
+    think cycles, footprint, and seed as :func:`trace_pair_spec`); the
+    rest are peers on their own cores. Repeated kinds are aliased
+    ("#2", "#3") so tenant names stay unique.
+    """
+    from repro.backend import TenantSet
+    from repro.sim.trace_engine import TraceWorkload
+    from repro.util.errors import ValidationError
+
+    kinds = list(kinds)
+    if not 2 <= len(kinds) <= len(_GROUP_TIDS):
+        raise ValidationError(
+            f"a trace group takes 2..{len(_GROUP_TIDS)} tenants (one per "
+            f"core), got {len(kinds)}"
+        )
+    counts = {}
+    tenants = []
+    for i, kind in enumerate(kinds):
+        counts[kind] = counts.get(kind, 0) + 1
+        name = kind if counts[kind] == 1 else f"{kind}#{counts[kind]}"
+        tid = _GROUP_TIDS[i]
+        tenants.append(TraceWorkload(
+            name,
+            trace_kind_factory(
+                kind, accesses,
+                footprint_mb=footprint_mb if i == 0 else bg_footprint_mb,
+                alpha=alpha, seed=seed + i, tid=tid,
+            ),
+            tid=tid,
+            think_cycles=_GROUP_THINKS[i],
+        ))
+    return TenantSet(tenants=tenants)
+
+
+def verify_trace_group_replay(backend, group, outcome):
+    """Cross-check one group outcome against direct per-mask replay.
+
+    Rebuilds the chosen split's masks on a hand-built engine — the
+    sequential per-tenant reference — and requires every tenant's cost
+    and rate to match *exactly*. Returns the number of comparisons;
+    raises ValidationError on the first mismatch.
+    """
+    from repro.cache.llc import WayMask
+    from repro.sim.trace_engine import TraceEngine
+    from repro.util.errors import ValidationError
+
+    llc_ways = backend.capabilities().llc_ways
+    engine = TraceEngine(
+        prefetchers_on=backend.prefetchers_on,
+        backend=backend.cache_backend,
+    )
+    for tenant, bits in zip(group.tenants, outcome.split.mask_bits):
+        engine.hierarchy.set_way_mask(
+            tenant.tid // 2, WayMask.from_bits(bits, llc_ways)
+        )
+    workloads = list(group.tenants)
+    if backend.use_packs:
+        stats = engine.run_packed(
+            workloads, total_accesses=backend.total_accesses
+        )
+    else:
+        stats = engine.run(
+            workloads, total_accesses=backend.total_accesses
+        )
+    checked = 0
+    for i, name in enumerate(group.names):
+        direct = (
+            stats[name].avg_latency,
+            stats[name].access_rate_per_kilocycle,
+        )
+        via_group = (
+            outcome.measurement.costs[i],
+            outcome.measurement.rates[i],
+        )
+        if direct != via_group:
+            raise ValidationError(
+                f"{name}: group path {via_group} != direct mask replay "
+                f"{direct}"
+            )
+        checked += 2
+    return checked
+
+
 def verify_trace_policy_replay(backend, spec, policies=("shared", "fair")):
     """Cross-check TraceBackend policy runs against direct mask replay.
 

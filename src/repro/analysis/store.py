@@ -151,14 +151,23 @@ class RunRecord:
     metrics: dict
     units: dict = field(default_factory=dict)
     provenance: dict = field(default_factory=dict)
+    # Resolved tenant names for N-tenant group records; empty for pair
+    # records (whose on-disk shape is unchanged).
+    tenants: tuple = ()
 
     @property
     def key(self):
-        """The identity a diff matches records on."""
+        """The identity a diff matches records on.
+
+        Pair records keep the historical ``(policy, fg, bg)`` triple;
+        group records key on the full tenant tuple.
+        """
+        if self.tenants:
+            return (self.policy,) + tuple(self.tenants)
         return (self.policy, self.fg, self.bg)
 
     def to_dict(self):
-        return {
+        data = {
             "policy": self.policy,
             "backend": self.backend,
             "fg": self.fg,
@@ -169,11 +178,22 @@ class RunRecord:
             "units": dict(self.units),
             "provenance": dict(self.provenance),
         }
+        if self.tenants:
+            data["tenants"] = list(self.tenants)
+        return data
 
     @classmethod
     def from_dict(cls, data):
         if not isinstance(data, dict):
             raise ValidationError(f"run record is not a mapping: {data!r}")
+        tenants = data.get("tenants", ())
+        if isinstance(tenants, (str, bytes, dict)) or not all(
+            isinstance(t, str) for t in tenants
+        ):
+            raise ValidationError(
+                f"malformed run record: 'tenants' must be a list of "
+                f"names, got {tenants!r}"
+            )
         try:
             return cls(
                 policy=data["policy"],
@@ -185,6 +205,7 @@ class RunRecord:
                 metrics={k: float(v) for k, v in data["metrics"].items()},
                 units=dict(data.get("units", {})),
                 provenance=dict(data.get("provenance", {})),
+                tenants=tuple(tenants),
             )
         except (KeyError, TypeError, ValueError, AttributeError) as exc:
             raise ValidationError(f"malformed run record: {exc!r}") from exc
@@ -240,8 +261,47 @@ def record_from_outcome(outcome, units=None, provenance=None):
     )
 
 
+def record_from_group_outcome(outcome, units=None, provenance=None):
+    """A :class:`RunRecord` from a policy-layer ``GroupOutcome``.
+
+    ``fg``/``bg`` summarize the group (primary name, "+"-joined peers)
+    for display; the record's identity is the full ``tenants`` tuple.
+    """
+    metrics = {
+        "fg_cost": float(outcome.fg_cost),
+        "bg_rate": float(outcome.bg_rate),
+        "fg_ways": float(outcome.fg_ways),
+        "bg_ways": float(outcome.bg_ways),
+    }
+    prov = dict(provenance or {})
+    measurement = outcome.measurement
+    if measurement is not None and measurement.extra.get("actions") is not None:
+        prov.setdefault("dynamic_actions", len(measurement.extra["actions"]))
+    if outcome.sweep:
+        prov.setdefault("sweep_points", len(outcome.sweep))
+    if outcome.plan is not None:
+        prov.setdefault("tenant_classes", dict(outcome.plan.classes))
+    names = tuple(outcome.names)
+    return RunRecord(
+        policy=outcome.policy,
+        backend=outcome.backend,
+        fg=names[0],
+        bg="+".join(names[1:]),
+        fg_ways=outcome.fg_ways,
+        bg_ways=outcome.bg_ways,
+        metrics=metrics,
+        units=dict(units or {}),
+        provenance=prov,
+        tenants=names,
+    )
+
+
 def runset_from_outcomes(outcomes, backend=None, capabilities=None, meta=None):
-    """A :class:`RunSet` from policy outcomes (one backend per set)."""
+    """A :class:`RunSet` from policy outcomes (one backend per set).
+
+    Accepts a mix of pair ``PolicyOutcome`` and N-tenant
+    ``GroupOutcome`` entries (the latter carry a ``names`` roster).
+    """
     from repro import __version__
 
     units = {}
@@ -250,7 +310,12 @@ def runset_from_outcomes(outcomes, backend=None, capabilities=None, meta=None):
             "fg_cost": capabilities.fg_cost_unit,
             "bg_rate": capabilities.bg_rate_unit,
         }
-    records = [record_from_outcome(o, units=units) for o in outcomes]
+    records = [
+        record_from_group_outcome(o, units=units)
+        if hasattr(o, "names")
+        else record_from_outcome(o, units=units)
+        for o in outcomes
+    ]
     names = {record.backend for record in records}
     if backend is None:
         backend = capabilities.name if capabilities else "|".join(sorted(names))

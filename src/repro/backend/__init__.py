@@ -16,12 +16,17 @@ instance.
 
 from repro.backend.analytical import AnalyticalBackend
 from repro.backend.protocol import (
+    MAX_TENANTS,
     BackendCapabilities,
     CoRunMeasurement,
+    GroupMeasurement,
+    GroupSplit,
     PairSpec,
     SimBackend,
     SoloMeasurement,
+    TenantSet,
     WaySplit,
+    WayUtility,
 )
 from repro.backend.trace import TraceBackend
 from repro.util.errors import ValidationError
@@ -45,10 +50,15 @@ __all__ = [
     "BACKEND_NAMES",
     "BackendCapabilities",
     "CoRunMeasurement",
+    "GroupMeasurement",
+    "GroupSplit",
+    "MAX_TENANTS",
     "PairSpec",
     "SimBackend",
     "SoloMeasurement",
+    "TenantSet",
     "TraceBackend",
     "WaySplit",
+    "WayUtility",
     "get_backend",
 ]

@@ -11,9 +11,13 @@ to the seed implementation.
 from repro.backend.protocol import (
     BackendCapabilities,
     CoRunMeasurement,
+    GroupMeasurement,
+    GroupSplit,
     SimBackend,
     SoloMeasurement,
+    TenantSet,
     WaySplit,
+    WayUtility,
 )
 from repro.runtime.harness import paper_pair_allocations
 from repro.util.errors import ValidationError
@@ -225,6 +229,152 @@ class AnalyticalBackend(SimBackend):
             extra={"controller": controller, "actions": controller.actions},
         )
 
+    # -- N-tenant groups ----------------------------------------------------
+
+    def _group_allocations(self, group, mask_bits):
+        """One :class:`~repro.sim.allocation.Allocation` per tenant.
+
+        Each tenant is pinned to its own physical core (up to the
+        machine's core count) with ``1`` thread for single-threaded
+        models and ``2`` (both hyperthreads) otherwise, and its fills
+        restricted to its mask.
+        """
+        from repro.cache.llc import WayMask
+        from repro.sim.allocation import Allocation
+
+        num_cores = self.machine.config.num_cores
+        if len(group.tenants) > num_cores:
+            raise ValidationError(
+                f"the analytical machine has {num_cores} cores; cannot "
+                f"pin {len(group.tenants)} tenants"
+            )
+        llc_ways = self.machine.config.llc_ways
+        allocations = []
+        for core, (app, bits) in enumerate(zip(group.tenants, mask_bits)):
+            threads = 1 if app.scalability.single_threaded else 2
+            allocations.append(Allocation(
+                threads=threads,
+                cores=(core,),
+                mask=WayMask.from_bits(bits, llc_ways),
+            ))
+        return allocations
+
+    def _group_run_options(self, group):
+        allowed = {"step_s", "timeline"}
+        unknown = set(group.options) - allowed
+        if unknown:
+            raise ValidationError(
+                f"group runs do not support options {sorted(unknown)}"
+            )
+        return dict(group.options)
+
+    def group_measurement(self, group, split, result, extra=None):
+        """The GroupMeasurement for one finished ``Machine.run_group``."""
+        fg_runtime = result.fg.runtime_s
+        names = tuple(group.names)
+        costs = [result.fg.runtime_s]
+        rates = [None]
+        for name in names[1:]:
+            bg = result.backgrounds[name]
+            costs.append(bg.runtime_s)
+            rates.append(
+                bg.instructions / fg_runtime if fg_runtime else 0.0
+            )
+        return GroupMeasurement(
+            backend="analytical",
+            names=names,
+            split=split,
+            costs=tuple(costs),
+            rates=tuple(rates),
+            raw=result,
+            extra=extra or {},
+        )
+
+    def co_run_group(self, group, split):
+        """Co-run N tenants under per-tenant way masks.
+
+        Pair-shaped 2-tenant groups delegate to :meth:`co_run` (the
+        grid-capable pair machinery, bit-identical to the seed path);
+        larger groups run through ``Machine.run_group`` — the scalar
+        N-tenant interval solve.
+        """
+        measurement = self._pair_group_measurement(group, split)
+        if measurement is not None:
+            return measurement
+        allocations = self._group_allocations(group, split.mask_bits)
+        options = self._group_run_options(group)
+        result = self.machine.run_group(
+            group.tenants[0], group.tenants[1:],
+            allocations[0], allocations[1:], **options
+        )
+        return self.group_measurement(group, split, result)
+
+    def dynamic_group(self, group, controller=None):
+        """N tenants under a dynamic controller via ``Machine.run_group``.
+
+        2-tenant groups delegate to :meth:`dynamic` (the seed pair
+        path). For larger groups the default controller treats tenant 0
+        as the foreground and the rest as peers sharing the complement.
+        """
+        if len(group.tenants) == 2:
+            return SimBackend.dynamic_group(self, group, controller=controller)
+        from repro.core.dynamic import DynamicPartitionController
+
+        names = tuple(group.names)
+        if controller is None:
+            controller = DynamicPartitionController(
+                fg_name=names[0],
+                bg_name=names[1:],
+                llc_ways=self.machine.config.llc_ways,
+                way_mb=self.machine.config.way_mb,
+            )
+        masks = controller.masks()
+        llc_ways = self.machine.config.llc_ways
+        split = GroupSplit(
+            tuple(masks[name].bits for name in names), llc_ways
+        )
+        allocations = self._group_allocations(group, split.mask_bits)
+        options = self._group_run_options(group)
+        result = self.machine.run_group(
+            group.tenants[0], group.tenants[1:],
+            allocations[0], allocations[1:],
+            controller=controller, **options
+        )
+        final = controller.masks()
+        final_split = GroupSplit(
+            tuple(final[name].bits for name in names), llc_ways
+        )
+        return self.group_measurement(
+            group, final_split, result,
+            extra={"controller": controller, "actions": controller.actions},
+        )
+
+    def way_utility(self, group):
+        """Per-tenant way-utility curves from cached solo runs at each
+        allocation (the backend's solo methodology, one run per way
+        count)."""
+        llc_ways = self.machine.config.llc_ways
+        out = {}
+        for app, name in zip(group.tenants, group.names):
+            threads = 1 if app.scalability.single_threaded else PAPER_THREADS
+            hits = []
+            for ways in range(1, llc_ways + 1):
+                result = self.machine.run_solo_cached(
+                    app, threads=threads, ways=ways
+                )
+                hits.append(
+                    max(0.0, result.llc_accesses - result.llc_misses)
+                )
+            full = self.machine.run_solo_cached(
+                app, threads=threads, ways=llc_ways
+            )
+            out[name] = WayUtility(
+                name=name,
+                hits_by_ways=tuple(hits),
+                accesses=float(full.llc_accesses),
+            )
+        return out
+
     # Convenience used by the CLI and tests: a spec from application names.
     @staticmethod
     def pair_spec(fg, bg, **options):
@@ -237,5 +387,25 @@ class AnalyticalBackend(SimBackend):
             bg = get_application(bg)
         return PairSpec(fg=fg, bg=bg, options=options)
 
+    @staticmethod
+    def group_spec(names, **options):
+        """A TenantSet from application names (or models), aliasing
+        duplicates exactly as ``Machine.run_group`` does ("#2", ...)."""
+        from repro.workloads import get_application
 
-__all__ = ["AnalyticalBackend", "WaySplit"]
+        apps = [
+            get_application(n) if isinstance(n, str) else n for n in names
+        ]
+        seen, aliased = set(), []
+        for app in apps:
+            name = app.name
+            suffix = 2
+            while name in seen:
+                name = f"{app.name}#{suffix}"
+                suffix += 1
+            seen.add(name)
+            aliased.append(name)
+        return TenantSet(tenants=apps, options=options, names=tuple(aliased))
+
+
+__all__ = ["AnalyticalBackend", "GroupSplit", "TenantSet", "WaySplit"]

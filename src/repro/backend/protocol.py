@@ -27,6 +27,10 @@ from dataclasses import dataclass, field
 
 from repro.util.errors import ValidationError
 
+# The native replay kernels bank counters for up to 16 partition
+# domains per cell; the group protocol inherits that ceiling.
+MAX_TENANTS = 16
+
 
 @dataclass(frozen=True)
 class WaySplit:
@@ -148,12 +152,271 @@ class CoRunMeasurement:
     extra: dict = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class GroupSplit:
+    """An LLC allocation for an N-tenant group.
+
+    ``mask_bits[i]`` is tenant *i*'s way mask as an integer bit pattern
+    over ``llc_ways`` ways (bit 0 = way 0). Unlike :class:`WaySplit`,
+    masks are arbitrary — tenants may share a mask (a cluster), overlap
+    partially, or own disjoint contiguous regions. The pair case remains
+    a view: every split a pair policy can produce (shared, fair, or
+    disjoint fg-bottom/bg-top) round-trips through
+    :meth:`from_pair`/:meth:`pair_view` without loss.
+    """
+
+    mask_bits: tuple
+    llc_ways: int = 12
+
+    def __post_init__(self):
+        object.__setattr__(self, "mask_bits", tuple(int(b) for b in self.mask_bits))
+        n = len(self.mask_bits)
+        if not 1 <= n <= MAX_TENANTS:
+            raise ValidationError(
+                f"a group split needs 1..{MAX_TENANTS} tenants, got {n}"
+            )
+        if self.llc_ways < 1:
+            raise ValidationError("the cache needs at least one way")
+        full = (1 << self.llc_ways) - 1
+        for i, bits in enumerate(self.mask_bits):
+            if bits <= 0:
+                raise ValidationError(f"tenant {i} has an empty way mask")
+            if bits & ~full:
+                raise ValidationError(
+                    f"tenant {i} mask {bits:#x} exceeds {self.llc_ways} ways"
+                )
+
+    @classmethod
+    def shared(cls, tenants, llc_ways):
+        """Every tenant sees the whole cache (no partitioning)."""
+        full = (1 << llc_ways) - 1
+        return cls(tuple(full for _ in range(tenants)), llc_ways)
+
+    @classmethod
+    def fair(cls, tenants, llc_ways):
+        """Contiguous even apportioning, remainder to the earliest tenants."""
+        base, extra = divmod(llc_ways, tenants)
+        if base < 1:
+            raise ValidationError(
+                f"cannot fairly split {llc_ways} ways across {tenants} tenants"
+            )
+        counts = [base + (1 if i < extra else 0) for i in range(tenants)]
+        return cls.from_way_counts(counts, llc_ways)
+
+    @classmethod
+    def from_way_counts(cls, counts, llc_ways):
+        """Pack disjoint contiguous regions bottom-up from way 0."""
+        counts = [int(c) for c in counts]
+        if sum(counts) > llc_ways:
+            raise ValidationError(
+                f"way counts {counts} exceed the {llc_ways}-way cache"
+            )
+        bits, offset = [], 0
+        for count in counts:
+            if count < 1:
+                raise ValidationError("every tenant needs at least one way")
+            bits.append(((1 << count) - 1) << offset)
+            offset += count
+        return cls(tuple(bits), llc_ways)
+
+    @classmethod
+    def from_pair(cls, split, llc_ways):
+        """Realize a :class:`WaySplit` the way both backends do: the
+        foreground takes the first ``fg_ways`` ways, the background the
+        last ``bg_ways``."""
+        if split.fg_ways > llc_ways or split.bg_ways > llc_ways:
+            raise ValidationError(
+                f"pair split {split} exceeds the {llc_ways}-way cache"
+            )
+        fg = (1 << split.fg_ways) - 1
+        bg = ((1 << split.bg_ways) - 1) << (llc_ways - split.bg_ways)
+        return cls((fg, bg), llc_ways)
+
+    @property
+    def tenants(self):
+        return len(self.mask_bits)
+
+    @property
+    def way_counts(self):
+        return tuple(bin(bits).count("1") for bits in self.mask_bits)
+
+    def pair_view(self):
+        """The equivalent :class:`WaySplit` when this is a 2-tenant split
+        in the canonical pair shape (fg bottom-contiguous, bg
+        top-contiguous), else ``None``."""
+        if len(self.mask_bits) != 2:
+            return None
+        fg_bits, bg_bits = self.mask_bits
+        fg_ways, bg_ways = self.way_counts
+        if fg_bits != (1 << fg_ways) - 1:
+            return None
+        if bg_bits != ((1 << bg_ways) - 1) << (self.llc_ways - bg_ways):
+            return None
+        return WaySplit(fg_ways, bg_ways)
+
+
+@dataclass
+class TenantSet:
+    """An N-tenant workload group in backend-native terms.
+
+    ``tenants`` are whatever the backend runs (application models or
+    :class:`~repro.sim.trace_engine.TraceWorkload` instances), in
+    priority order: tenant 0 is the primary (the latency-sensitive
+    foreground of the pair protocol), the rest are peers. ``names``
+    may be given explicitly to alias duplicate workloads; it defaults
+    to each tenant's own ``name``. A group built with :meth:`from_pair`
+    keeps the original :class:`PairSpec` so 2-tenant delegation hands
+    the backend the exact object a seed call site would have.
+    """
+
+    tenants: list
+    options: dict = field(default_factory=dict)
+    names: tuple = None
+    pair: object = None
+
+    def __post_init__(self):
+        self.tenants = list(self.tenants)
+        n = len(self.tenants)
+        if not 2 <= n <= MAX_TENANTS:
+            raise ValidationError(
+                f"a tenant group needs 2..{MAX_TENANTS} tenants, got {n}"
+            )
+        if self.names is None:
+            self.names = tuple(t.name for t in self.tenants)
+        else:
+            self.names = tuple(str(name) for name in self.names)
+        if len(self.names) != n:
+            raise ValidationError(
+                f"{n} tenants but {len(self.names)} names"
+            )
+        if len(set(self.names)) != n:
+            raise ValidationError(
+                f"tenant names must be unique, got {list(self.names)}"
+            )
+
+    @classmethod
+    def from_pair(cls, spec):
+        # A pair may legitimately co-run a workload with itself; alias
+        # the background so group names stay unique.
+        fg_name, bg_name = spec.fg_name, spec.bg_name
+        if bg_name == fg_name:
+            bg_name = f"{bg_name}#2"
+        return cls(
+            tenants=[spec.fg, spec.bg],
+            options=spec.options,
+            names=(fg_name, bg_name),
+            pair=spec,
+        )
+
+    @property
+    def primary(self):
+        return self.tenants[0]
+
+    def pair_spec(self):
+        """The 2-tenant view as a :class:`PairSpec` (the original object
+        when this group was built from one)."""
+        if self.pair is not None:
+            return self.pair
+        if len(self.tenants) != 2:
+            raise ValidationError(
+                f"a {len(self.tenants)}-tenant group has no pair view"
+            )
+        return PairSpec(fg=self.tenants[0], bg=self.tenants[1], options=self.options)
+
+
+@dataclass
+class GroupMeasurement:
+    """The backend-neutral outcome of one N-tenant co-run.
+
+    ``costs[i]``/``rates[i]`` are tenant *i*'s degradation metric and
+    progress rate in the backend's units (``None`` when the substrate
+    did not measure that axis for that tenant). When the measurement
+    came through the 2-tenant pair delegation, ``pair`` holds the
+    wrapped :class:`CoRunMeasurement` and the ``fg_*``/``bg_*``
+    properties read from it — byte-identical to the pre-group protocol.
+    """
+
+    backend: str
+    names: tuple
+    split: GroupSplit
+    costs: tuple
+    rates: tuple
+    raw: object = None
+    pair: object = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def fg_name(self):
+        return self.names[0]
+
+    @property
+    def fg_cost(self):
+        if self.pair is not None:
+            return self.pair.fg_cost
+        return self.costs[0]
+
+    @property
+    def bg_rate(self):
+        if self.pair is not None:
+            return self.pair.bg_rate
+        return sum(rate for rate in self.rates[1:] if rate is not None)
+
+    @property
+    def fg_ways(self):
+        if self.pair is not None:
+            return self.pair.fg_ways
+        return self.split.way_counts[0]
+
+    @property
+    def bg_ways(self):
+        if self.pair is not None:
+            return self.pair.bg_ways
+        counts = self.split.way_counts
+        return max(counts[1:]) if len(counts) > 1 else 0
+
+
+@dataclass(frozen=True)
+class WayUtility:
+    """A tenant's way-utility curve: LLC hits at 1..N allocated ways.
+
+    This is the classification signal for LFOC-style clustering — the
+    trace backend derives it from the single-pass way profile (an MRC),
+    the analytical backend from cached solo runs at each allocation.
+    """
+
+    name: str
+    hits_by_ways: tuple
+    accesses: float
+
+    @property
+    def llc_ways(self):
+        return len(self.hits_by_ways)
+
+    def hits_at(self, ways):
+        if not 1 <= ways <= self.llc_ways:
+            raise ValidationError(
+                f"ways must be 1..{self.llc_ways}, got {ways}"
+            )
+        return self.hits_by_ways[ways - 1]
+
+    def misses_at(self, ways):
+        return max(0.0, self.accesses - self.hits_at(ways))
+
+    def miss_ratio_at(self, ways):
+        if not self.accesses:
+            return 0.0
+        return self.misses_at(ways) / self.accesses
+
+
 class SimBackend:
     """The protocol every simulation substrate implements.
 
     Concrete backends override :meth:`capabilities`, :meth:`solo` and
     :meth:`co_run`; :meth:`sweep` has a generic per-split default, and
     :meth:`dynamic` raises unless the backend supports a controller.
+    The group methods (:meth:`co_run_group`, :meth:`dynamic_group`,
+    :meth:`way_utility`) default to the 2-tenant pair delegation so a
+    backend that only speaks pairs still serves pair-shaped groups.
     """
 
     def capabilities(self):
@@ -215,4 +478,78 @@ class SimBackend:
         raise ValidationError(
             f"backend {self.capabilities().name!r} does not support the "
             "dynamic controller"
+        )
+
+    def _pair_group_measurement(self, group, split):
+        """Serve a pair-shaped 2-tenant group through :meth:`co_run`.
+
+        Returns ``None`` when the group is not pair-shaped. The wrapped
+        :class:`CoRunMeasurement` comes from the exact call a seed pair
+        site would make, so delegated results are bit-identical.
+        """
+        if len(group.tenants) != 2:
+            return None
+        pair_split = split.pair_view()
+        if pair_split is None:
+            return None
+        measurement = self.co_run(group.pair_spec(), pair_split)
+        return GroupMeasurement(
+            backend=measurement.backend,
+            names=(measurement.fg_name, measurement.bg_name),
+            split=split,
+            costs=(measurement.fg_cost, None),
+            rates=(None, measurement.bg_rate),
+            raw=measurement.raw,
+            pair=measurement,
+            extra=measurement.extra,
+        )
+
+    def co_run_group(self, group, split):
+        """Co-run an N-tenant ``group`` under a :class:`GroupSplit`.
+
+        Returns a :class:`GroupMeasurement`. The default serves
+        pair-shaped 2-tenant groups via :meth:`co_run` and raises for
+        anything larger; N-native backends override this.
+        """
+        measurement = self._pair_group_measurement(group, split)
+        if measurement is None:
+            raise ValidationError(
+                f"backend {self.capabilities().name!r} only supports "
+                "pair-shaped 2-tenant groups"
+            )
+        return measurement
+
+    def dynamic_group(self, group, controller=None):
+        """Run an N-tenant group under a dynamic controller.
+
+        Returns a :class:`GroupMeasurement` whose ``extra`` carries at
+        least ``actions`` and ``controller``. The default delegates
+        2-tenant groups to :meth:`dynamic` and raises for larger ones.
+        """
+        if len(group.tenants) == 2:
+            measurement = self.dynamic(group.pair_spec(), controller=controller)
+            llc_ways = self.capabilities().llc_ways
+            split = GroupSplit.from_pair(
+                WaySplit(measurement.fg_ways, measurement.bg_ways), llc_ways
+            )
+            return GroupMeasurement(
+                backend=measurement.backend,
+                names=(measurement.fg_name, measurement.bg_name),
+                split=split,
+                costs=(measurement.fg_cost, None),
+                rates=(None, measurement.bg_rate),
+                raw=measurement.raw,
+                pair=measurement,
+                extra=measurement.extra,
+            )
+        raise ValidationError(
+            f"backend {self.capabilities().name!r} does not support "
+            "dynamic groups beyond pairs"
+        )
+
+    def way_utility(self, group):
+        """Per-tenant way-utility curves: ``{name: WayUtility}``."""
+        raise ValidationError(
+            f"backend {self.capabilities().name!r} does not expose "
+            "way-utility curves"
         )

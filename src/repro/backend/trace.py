@@ -27,10 +27,14 @@ and pure-Python kernels.
 from repro.backend.protocol import (
     BackendCapabilities,
     CoRunMeasurement,
+    GroupMeasurement,
+    GroupSplit,
     PairSpec,
     SimBackend,
     SoloMeasurement,
+    TenantSet,
     WaySplit,
+    WayUtility,
 )
 from repro.util.errors import ValidationError
 
@@ -330,6 +334,165 @@ class TraceBackend(SimBackend):
         )[0]
         return self.dynamic_measurement(spec, cell.controller, result)
 
+    # -- N-tenant groups ----------------------------------------------------
+
+    def _group_masks(self, group, split):
+        """``{core: WayMask}`` for a group cell, one distinct core per
+        tenant (the trace hierarchy maps ``tid // 2`` to a core)."""
+        from repro.cache.llc import WayMask
+
+        llc_ways = self.capabilities().llc_ways
+        masks = {}
+        for tenant, bits in zip(group.tenants, split.mask_bits):
+            core = tenant.tid // 2
+            if core in masks:
+                raise ValidationError(
+                    f"group tenants must live on distinct cores; core "
+                    f"{core} is claimed twice (tid {tenant.tid})"
+                )
+            masks[core] = WayMask.from_bits(bits, llc_ways)
+        return masks
+
+    def group_roster_cell(self, group, split):
+        """The :class:`~repro.sim.trace_engine.RosterCell` realizing one
+        N-tenant co-run — the campaign planner packs many of these into
+        one :func:`run_packed_roster` call."""
+        from repro.sim.trace_engine import RosterCell
+
+        return RosterCell(
+            workloads=list(group.tenants),
+            masks=self._group_masks(group, split),
+            total_accesses=self.total_accesses,
+        )
+
+    def group_measurement(self, group, split, stats):
+        """The GroupMeasurement for one finished group replay — shared
+        by :meth:`co_run_group` and the campaign's roster/cluster shard
+        executors, so both produce field-identical records."""
+        return GroupMeasurement(
+            backend="trace",
+            names=tuple(group.names),
+            split=split,
+            costs=tuple(stats[n].avg_latency for n in group.names),
+            rates=tuple(self._rate(stats[n]) for n in group.names),
+            raw=stats,
+        )
+
+    def co_run_group(self, group, split):
+        """Co-run N tenants under per-tenant way masks.
+
+        Pair-shaped 2-tenant groups delegate to :meth:`co_run` (bit-
+        identical to the seed pair path). Larger groups replay as a
+        one-cell roster through the batched native kernel; without
+        packs the address-level engine runs them directly.
+        """
+        measurement = self._pair_group_measurement(group, split)
+        if measurement is not None:
+            return measurement
+        if not self.use_packs:
+            engine = self._fresh_engine()
+            for core, mask in self._group_masks(group, split).items():
+                engine.hierarchy.set_way_mask(core, mask)
+            stats = self._run(engine, list(group.tenants),
+                              self.total_accesses)
+        else:
+            from repro.sim.trace_engine import run_packed_roster
+
+            cell = self.group_roster_cell(group, split)
+            stats = run_packed_roster(
+                [cell],
+                prefetchers_on=self.prefetchers_on,
+                backend=self.cache_backend,
+                threads=self.native_threads,
+            )[0]
+        return self.group_measurement(group, split, stats)
+
+    def group_dynamic_roster_cell(self, group, controller=None):
+        """The DynamicRosterCell realizing one dynamic group cell, with
+        the default controller treating tenant 0 as the foreground and
+        the rest as peers sharing the complement mask."""
+        from repro.core.dynamic import DynamicPartitionController
+        from repro.sim.trace_engine import DynamicRosterCell
+
+        if controller is None:
+            controller = DynamicPartitionController(
+                fg_name=group.names[0], bg_name=tuple(group.names[1:])
+            )
+        return DynamicRosterCell(
+            workloads=list(group.tenants),
+            controller=controller,
+            epoch_accesses=self.epoch_accesses,
+            total_accesses=self.dynamic_total_accesses,
+        )
+
+    def group_dynamic_measurement(self, group, controller, result):
+        llc_ways = self.capabilities().llc_ways
+        masks = controller.masks()
+        split = GroupSplit(
+            tuple(masks[name].bits for name in group.names), llc_ways
+        )
+        extra = {
+            "controller": controller,
+            "actions": result.actions,
+            "timeline": result.timeline,
+            "epochs": result.epochs,
+            "native": result.native,
+            "result": result,
+        }
+        lifetime = getattr(controller, "lifetime", None)
+        if lifetime is not None:
+            extra["lifetime"] = lifetime
+        measurement = self.group_measurement(group, split, result.stats)
+        measurement.extra = extra
+        return measurement
+
+    def dynamic_group(self, group, controller=None):
+        """N-tenant epoch-resumable replay under a dynamic controller
+        (the Algorithm 6.2 controller with peers, or a churn schedule),
+        through the flush-free mask hand-off of the epoch-batch kernel.
+        """
+        if len(group.tenants) == 2 and controller is None:
+            return SimBackend.dynamic_group(self, group, controller=None)
+        from repro.sim.trace_engine import run_dynamic_roster
+
+        self._group_masks(group, GroupSplit.shared(
+            len(group.tenants), self.capabilities().llc_ways
+        ))  # distinct-core validation up front
+        cell = self.group_dynamic_roster_cell(group, controller)
+        result = run_dynamic_roster(
+            [cell],
+            prefetchers_on=self.prefetchers_on,
+            backend=self.cache_backend,
+            threads=self.native_threads,
+            sequential=not self.use_packs,
+        )[0]
+        return self.group_dynamic_measurement(group, cell.controller, result)
+
+    def way_utility(self, group):
+        """Per-tenant way-utility curves from ONE profiled group co-run
+        (the same single-pass UMON directories :meth:`sweep` uses)."""
+        from repro.sim.trace_engine import way_allocation_sweep
+
+        llc_ways = self.capabilities().llc_ways
+        stats, curves = way_allocation_sweep(
+            list(group.tenants),
+            total_accesses=self.total_accesses,
+            prefetchers_on=self.prefetchers_on,
+            backend=self.cache_backend,
+            use_packs=self.use_packs,
+        )
+        out = {}
+        for tenant, name in zip(group.tenants, group.names):
+            curve = curves[tenant.tid // 2]
+            hits = tuple(
+                float(curve.hits(w)) for w in range(1, llc_ways + 1)
+            )
+            accesses = float(curve.hits(llc_ways) + curve.misses(llc_ways))
+            out[name] = WayUtility(
+                name=name, hits_by_ways=hits, accesses=accesses
+            )
+        return out
+
     # Convenience used by the CLI, bench, and tests.
     @staticmethod
     def pair_spec(fg_factory, bg_factory, fg_name="fg", bg_name="bg",
@@ -346,4 +509,4 @@ class TraceBackend(SimBackend):
         )
 
 
-__all__ = ["TraceBackend", "WaySplit"]
+__all__ = ["GroupSplit", "TenantSet", "TraceBackend", "WaySplit"]

@@ -35,6 +35,8 @@ MANIFEST_KEYS = (
     "pairs",
     "geometries",
     "controllers",
+    "tenants",
+    "churn",
 )
 GEOMETRY_KEYS = (
     "accesses",
@@ -49,6 +51,10 @@ BACKEND_NAMES = ("trace", "analytical")
 # "static-N" (an explicit disjoint split giving the foreground N ways)
 # is accepted in addition to the Section 5 policy names.
 BASE_POLICIES = ("shared", "fair", "biased", "dynamic")
+# Policies that expand over the N-tenant `tenants` axis. static-N stays
+# a pair axis; `cluster` (LFOC-style) is tenant-only.
+GROUP_POLICIES = ("shared", "fair", "biased", "dynamic", "cluster")
+MAX_MANIFEST_TENANTS = 4  # one trace core per tenant
 
 DEFAULT_GEOMETRY = {
     "accesses": 60_000,
@@ -106,12 +112,24 @@ class CampaignManifest:
     pairs: tuple = ()  # ((fg, bg), ...)
     geometries: tuple = ()  # (frozen geometry dicts as sorted item tuples)
     controllers: tuple = ()
+    tenants: tuple = ()  # ((kind, kind, ...), ...) N-tenant rosters
+    churn: tuple = ()  # (((tenant, epoch, action), ...), ...) schedules
 
     def geometry_dicts(self):
         return [dict(g) for g in self.geometries]
 
     def controller_dicts(self):
         return [dict(c) for c in self.controllers]
+
+    def churn_specs(self):
+        """Each schedule as the declarative event-dict list."""
+        return [
+            [
+                {"tenant": tenant, "epoch": epoch, "action": action}
+                for tenant, epoch, action in schedule
+            ]
+            for schedule in self.churn
+        ]
 
 
 @dataclass(frozen=True)
@@ -130,6 +148,12 @@ class CampaignCell:
     bg: str
     geometry: tuple = ()
     controller: tuple = ()
+    # N-tenant group cells: the roster of trace kinds (in tenant order)
+    # and, for dynamic cells, the churn schedule. Pair cells leave both
+    # empty, which also keeps them OUT of the cell_id payload — pair
+    # content addresses are unchanged from campaign v2 stores.
+    tenants: tuple = ()
+    churn: tuple = ()
     index: int = 0
 
     @property
@@ -139,6 +163,13 @@ class CampaignCell:
     @property
     def controller_dict(self):
         return dict(self.controller)
+
+    @property
+    def churn_spec(self):
+        return [
+            {"tenant": tenant, "epoch": epoch, "action": action}
+            for tenant, epoch, action in self.churn
+        ]
 
     @property
     def cell_id(self):
@@ -154,6 +185,10 @@ class CampaignCell:
             "geometry": dict(self.geometry),
             "controller": dict(self.controller),
         }
+        if self.tenants:
+            payload["tenants"] = list(self.tenants)
+        if self.churn:
+            payload["churn"] = self.churn_spec
         digest = hashlib.sha256(
             json.dumps(payload, sort_keys=True).encode()
         ).hexdigest()
@@ -182,16 +217,46 @@ def manifest_from_dict(data, where="manifest"):
                 f"valid backends: {', '.join(BACKEND_NAMES)}"
             )
 
+    tenants = data.get("tenants", ())
+    frozen_tenants = []
+    for i, roster in enumerate(tenants):
+        if not isinstance(roster, (list, tuple)):
+            raise ValidationError(
+                f"{where}: tenants #{i} must be a list of 2.."
+                f"{MAX_MANIFEST_TENANTS} trace kinds, got {roster!r}"
+            )
+        if not 2 <= len(roster) <= MAX_MANIFEST_TENANTS:
+            raise ValidationError(
+                f"{where}: tenants #{i} must name 2.."
+                f"{MAX_MANIFEST_TENANTS} tenants (one trace core each), "
+                f"got {len(roster)}"
+            )
+        frozen_tenants.append(tuple(str(kind) for kind in roster))
+    if frozen_tenants and "analytical" in backends:
+        raise ValidationError(
+            f"{where}: the 'tenants' axis names synthetic trace kinds "
+            "and expands on the trace backend only"
+        )
+
     policies = tuple(data.get("policies", ("shared", "fair", "biased")))
     if not policies:
         raise ValidationError(f"{where}: 'policies' must not be empty")
     for policy in policies:
+        if policy == "cluster":
+            if not frozen_tenants:
+                raise ValidationError(
+                    f"{where}: the 'cluster' policy needs a 'tenants' axis"
+                )
+            continue
         if policy not in BASE_POLICIES:
             static_policy_ways(policy)  # raises unless a valid static-N
 
     pairs = data.get("pairs", ())
-    if not pairs:
-        raise ValidationError(f"{where}: 'pairs' must list [fg, bg] entries")
+    if not pairs and not frozen_tenants:
+        raise ValidationError(
+            f"{where}: 'pairs' must list [fg, bg] entries (or a "
+            "'tenants' axis must be given)"
+        )
     frozen_pairs = []
     for pair in pairs:
         if not (isinstance(pair, (list, tuple)) and len(pair) == 2):
@@ -199,6 +264,38 @@ def manifest_from_dict(data, where="manifest"):
                 f"{where}: each pair must be a [fg, bg] list, got {pair!r}"
             )
         frozen_pairs.append((str(pair[0]), str(pair[1])))
+    if not frozen_pairs:
+        for policy in policies:
+            if static_policy_ways(policy) is not None:
+                raise ValidationError(
+                    f"{where}: static policy {policy!r} expands over "
+                    "'pairs', which is empty"
+                )
+
+    churn = data.get("churn", ())
+    frozen_churn = []
+    if churn:
+        from repro.workloads.churn import ChurnSchedule
+
+        if not frozen_tenants:
+            raise ValidationError(
+                f"{where}: the 'churn' axis needs a 'tenants' axis"
+            )
+        if "dynamic" not in policies:
+            raise ValidationError(
+                f"{where}: the 'churn' axis only applies to the "
+                "'dynamic' policy, which is not listed"
+            )
+        for i, spec in enumerate(churn):
+            if not isinstance(spec, (list, tuple)):
+                raise ValidationError(
+                    f"{where}: churn #{i} must be a list of "
+                    "{tenant, epoch, action} events"
+                )
+            schedule = ChurnSchedule.from_spec(spec)  # validates events
+            frozen_churn.append(tuple(
+                (e.tenant, e.epoch, e.action) for e in schedule.events
+            ))
 
     geometries = data.get("geometries", ()) or [{}]
     frozen_geometries = []
@@ -235,6 +332,8 @@ def manifest_from_dict(data, where="manifest"):
         pairs=tuple(frozen_pairs),
         geometries=tuple(frozen_geometries),
         controllers=tuple(frozen_controllers),
+        tenants=tuple(frozen_tenants),
+        churn=tuple(frozen_churn),
     )
 
 
@@ -261,8 +360,8 @@ def expand_manifest(manifest):
     engine does not consume).
     """
     cells = []
-    for backend, policy, pair in itertools.product(
-        manifest.backends, manifest.policies, manifest.pairs
+    for backend, policy in itertools.product(
+        manifest.backends, manifest.policies
     ):
         if backend == "analytical" and static_policy_ways(policy) is not None:
             # Static splits are a trace-grid axis; the analytical grid
@@ -271,25 +370,52 @@ def expand_manifest(manifest):
                 f"policy {policy!r} is not supported on the analytical "
                 "backend"
             )
-        geometries = (
-            manifest.geometries if backend == "trace" else ((),)
-        )
-        for geometry in geometries:
-            controllers = (
-                manifest.controllers if policy == "dynamic" else ((),)
+        # The combined workload axis: pairs first (unchanged order, so
+        # existing pair campaigns keep their cell sequence), then the
+        # N-tenant rosters. `cluster` is tenant-only; static-N is
+        # pair-only; the tenants axis itself is trace-only.
+        workloads = []
+        if policy != "cluster":
+            workloads.extend(("pair", pair) for pair in manifest.pairs)
+        if backend == "trace" and static_policy_ways(policy) is None:
+            workloads.extend(("group", roster) for roster in manifest.tenants)
+        for kind, workload in workloads:
+            geometries = (
+                manifest.geometries if backend == "trace" else ((),)
             )
-            for controller in controllers:
-                cells.append(
-                    CampaignCell(
-                        backend=backend,
-                        policy=policy,
-                        fg=pair[0],
-                        bg=pair[1],
-                        geometry=geometry,
-                        controller=controller,
-                        index=len(cells),
-                    )
+            for geometry in geometries:
+                controllers = (
+                    manifest.controllers if policy == "dynamic" else ((),)
                 )
+                for controller in controllers:
+                    # The churn axis only varies dynamic group cells;
+                    # everything else collapses it (a schedule cannot
+                    # change a static cell's outcome).
+                    if kind == "group" and policy == "dynamic":
+                        churns = ((),) + tuple(manifest.churn)
+                    else:
+                        churns = ((),)
+                    for churn in churns:
+                        if kind == "pair":
+                            fg, bg = workload
+                            tenants = ()
+                        else:
+                            fg = workload[0]
+                            bg = "+".join(workload[1:])
+                            tenants = workload
+                        cells.append(
+                            CampaignCell(
+                                backend=backend,
+                                policy=policy,
+                                fg=fg,
+                                bg=bg,
+                                geometry=geometry,
+                                controller=controller,
+                                tenants=tenants,
+                                churn=churn,
+                                index=len(cells),
+                            )
+                        )
     ids = [cell.cell_id for cell in cells]
     if len(set(ids)) != len(ids):
         raise ValidationError(
@@ -312,8 +438,13 @@ def axis_counts(cells):
             counts["backend"].get(cell.backend, 0) + 1
         )
         counts["policy"][cell.policy] = counts["policy"].get(cell.policy, 0) + 1
-        pair = f"{cell.fg}+{cell.bg}"
-        counts["pair"][pair] = counts["pair"].get(pair, 0) + 1
+        if cell.tenants:
+            counts.setdefault("tenants", {})
+            label = "+".join(cell.tenants)
+            counts["tenants"][label] = counts["tenants"].get(label, 0) + 1
+        else:
+            pair = f"{cell.fg}+{cell.bg}"
+            counts["pair"][pair] = counts["pair"].get(pair, 0) + 1
         geometry = json.dumps(dict(cell.geometry), sort_keys=True)
         counts["geometry"][geometry] = counts["geometry"].get(geometry, 0) + 1
     return counts

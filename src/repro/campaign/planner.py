@@ -16,7 +16,14 @@ structure:
 - ``dynamic`` (epoch feedback loop) groups into **dynamic-roster**
   shards, each driven by :func:`repro.sim.trace_engine.run_dynamic_roster`
   — one threaded epoch-batch C call per control period for the whole
-  shard, controller decisions stepped host-side between calls.
+  shard, controller decisions stepped host-side between calls;
+- N-tenant group cells batch too: fixed-split groups join **roster**
+  shards (masks straight from their ``GroupSplit``), and ``cluster``
+  cells form **cluster** shards — each cell profiles its tenants' way
+  utility (one batched sweep call), then every planned split in the
+  shard replays in ONE batched roster call. Group ``biased``/``dynamic``
+  cells fall back per-cell; their control loops already run one batched
+  native call per cell.
 
 Analytical ``shared``/``fair`` cells group into **grid** shards, each
 solved by ONE vectorized
@@ -54,6 +61,17 @@ def shard_kind_for(cell):
     ``None`` means per-cell fallback over the exec pool.
     """
     if cell.backend == "trace":
+        if cell.tenants:
+            # N-tenant group cells: fixed splits replay as roster
+            # shards; `cluster` profiles then replays (its own shard
+            # kind); group biased/dynamic stay per-cell — their control
+            # loops (utility scoring, churn-aware epoch feedback) run
+            # one batched native call per cell already.
+            if cell.policy in ("shared", "fair"):
+                return "roster"
+            if cell.policy == "cluster":
+                return "cluster"
+            return None
         if cell.policy == "biased":
             return "sweep"
         if cell.policy == "dynamic":
@@ -109,6 +127,41 @@ def trace_spec_for(cell):
         seed=int(geometry["seed"]),
         bg_footprint_mb=float(geometry["bg_footprint_mb"]),
     )
+
+
+def trace_group_for(cell):
+    """The backend TenantSet for an N-tenant trace cell."""
+    from repro.analysis.experiments import trace_group_spec
+
+    geometry = cell.geometry_dict
+    return trace_group_spec(
+        cell.tenants,
+        accesses=int(geometry["accesses"]),
+        footprint_mb=float(geometry["footprint_mb"]),
+        alpha=float(geometry["alpha"]),
+        seed=int(geometry["seed"]),
+        bg_footprint_mb=float(geometry["bg_footprint_mb"]),
+    )
+
+
+def group_split_for(cell, llc_ways=12):
+    """The GroupSplit a fixed-split group cell runs under.
+
+    Mirrors ``group_shared``/``group_fair`` exactly — including the
+    two-tenant fair case, which follows ``WaySplit.fair``'s remainder
+    convention — so a roster-replayed group cell is bit-identical to
+    the per-cell reference path.
+    """
+    from repro.backend.protocol import GroupSplit, WaySplit
+
+    n = len(cell.tenants)
+    if cell.policy == "shared":
+        return GroupSplit.shared(n, llc_ways)
+    if cell.policy == "fair":
+        if n == 2:
+            return GroupSplit.from_pair(WaySplit.fair(llc_ways), llc_ways)
+        return GroupSplit.fair(n, llc_ways)
+    return None
 
 
 def backend_for(cell, threads=None):
@@ -182,6 +235,7 @@ class ShardPlan:
     grid_shards: list = field(default_factory=list)
     sweep_shards: list = field(default_factory=list)
     dynamic_shards: list = field(default_factory=list)
+    cluster_shards: list = field(default_factory=list)
     fallback_shards: list = field(default_factory=list)
     skipped: list = field(default_factory=list)
 
@@ -202,6 +256,10 @@ class ShardPlan:
         return sum(len(shard) for shard in self.dynamic_shards)
 
     @property
+    def cluster_cells(self):
+        return sum(len(shard) for shard in self.cluster_shards)
+
+    @property
     def fallback_cells(self):
         return sum(len(shard) for shard in self.fallback_shards)
 
@@ -212,6 +270,7 @@ class ShardPlan:
             + len(self.grid_shards)
             + len(self.sweep_shards)
             + len(self.dynamic_shards)
+            + len(self.cluster_shards)
             + len(self.fallback_shards)
         )
 
@@ -225,6 +284,8 @@ class ShardPlan:
             yield "sweep", shard
         for shard in self.dynamic_shards:
             yield "dynamic", shard
+        for shard in self.cluster_shards:
+            yield "cluster", shard
         for shard in self.fallback_shards:
             yield "fallback", shard
 
@@ -247,7 +308,8 @@ def plan_shards(cells, done_ids=(), shard_size=DEFAULT_SHARD_SIZE,
     done_ids = set(done_ids)
     plan = ShardPlan()
     by_kind = {
-        "roster": [], "grid": [], "sweep": [], "dynamic": [], None: [],
+        "roster": [], "grid": [], "sweep": [], "dynamic": [],
+        "cluster": [], None: [],
     }
     for cell in cells:
         if cell.cell_id in done_ids:
@@ -262,5 +324,8 @@ def plan_shards(cells, done_ids=(), shard_size=DEFAULT_SHARD_SIZE,
     plan.grid_shards = chunk(by_kind["grid"], shard_size)
     plan.sweep_shards = chunk(by_kind["sweep"], max(1, shard_size // 11))
     plan.dynamic_shards = chunk(by_kind["dynamic"], shard_size)
+    # A cluster cell profiles (one 12-allocation sweep call) before its
+    # final replay joins the shard's one batched roster call.
+    plan.cluster_shards = chunk(by_kind["cluster"], max(1, shard_size // 12))
     plan.fallback_shards = chunk(by_kind[None], fallback_shard_size)
     return plan

@@ -25,16 +25,19 @@ from repro.analysis.store import (
     RunRecord,
     RunSet,
     load_runset_dir,
+    record_from_group_outcome,
     record_from_outcome,
     save_runset_shard,
 )
 from repro.campaign.manifest import expand_manifest, static_policy_ways
 from repro.campaign.planner import (
     backend_for,
+    group_split_for,
     is_batchable,
     plan_shards,
     roster_cell_for,
     split_for,
+    trace_group_for,
     trace_spec_for,
 )
 from repro.perf import engine_counters as ec
@@ -56,6 +59,7 @@ class CampaignResult:
     grid_shards: int = 0
     sweep_shards: int = 0
     dynamic_shards: int = 0
+    cluster_shards: int = 0
     fallback_shards: int = 0
     shards_written: int = 0
     retries: int = 0
@@ -82,6 +86,8 @@ def _cell_provenance(cell, source, attempts=1):
     }
     if cell.policy == "dynamic":
         prov["controller"] = cell.controller_dict
+    if cell.churn:
+        prov["churn"] = cell.churn_spec
     return prov
 
 
@@ -112,6 +118,19 @@ def _record_from_stats(cell, spec, split, stats, source):
     )
 
 
+def _group_controller_for(cell, backend, group):
+    """The churn controller for a dynamic group cell (None otherwise)."""
+    if not cell.churn:
+        return None
+    from repro.workloads.churn import ChurnController, ChurnSchedule
+
+    return ChurnController(
+        group.names,
+        ChurnSchedule.from_spec(cell.churn_spec),
+        llc_ways=backend.capabilities().llc_ways,
+    )
+
+
 def run_campaign_cell(cell):
     """Execute ONE cell on a fresh backend; returns its RunRecord.
 
@@ -119,9 +138,22 @@ def run_campaign_cell(cell):
     picklable, so fallback shards can fan it out over the exec pool —
     and the ground truth the roster shards must match bit for bit.
     """
-    from repro.core.policies import run_policy_on
+    from repro.core.policies import run_group_policy, run_policy_on
 
     backend = backend_for(cell)
+    if cell.tenants:
+        group = trace_group_for(cell)
+        outcome = run_group_policy(
+            backend,
+            group,
+            cell.policy,
+            controller=_group_controller_for(cell, backend, group),
+        )
+        return record_from_group_outcome(
+            outcome,
+            units=_units_for(cell),
+            provenance=_cell_provenance(cell, source="cell"),
+        )
     if cell.backend == "trace":
         spec = trace_spec_for(cell)
     else:
@@ -143,20 +175,101 @@ def run_campaign_cell(cell):
     )
 
 
+def _group_record_from_stats(cell, backend, group, split, stats, source,
+                             plan=None):
+    """A RunRecord from roster-replayed stats for one group cell.
+
+    Builds the same GroupMeasurement the per-cell reference path's
+    ``co_run_group`` would, so group roster (and cluster) records are
+    comparable bit for bit with ``run_campaign_cell``.
+    """
+    from repro.core.policies import _group_outcome
+
+    m = backend.group_measurement(group, split, stats)
+    outcome = _group_outcome(cell.policy, m, plan=plan)
+    return record_from_group_outcome(
+        outcome,
+        units=_units_for(cell),
+        provenance=_cell_provenance(cell, source=source),
+    )
+
+
 def _execute_roster_shard(shard, threads):
-    """One batched native call for a whole shard of fixed-mask cells."""
+    """One batched native call for a whole shard of fixed-mask cells.
+
+    Pair cells and N-tenant group cells share the roster: each group
+    cell contributes one multi-domain RosterCell with masks straight
+    from its GroupSplit.
+    """
     from repro.sim.trace_engine import run_packed_roster
 
-    built = [roster_cell_for(cell) for cell in shard]
+    built = []
+    for cell in shard:
+        if cell.tenants:
+            backend = backend_for(cell, threads)
+            group = trace_group_for(cell)
+            split = group_split_for(cell, backend.capabilities().llc_ways)
+            roster = backend.group_roster_cell(group, split)
+            built.append(("group", roster, (backend, group, split)))
+        else:
+            roster, spec, split = roster_cell_for(cell)
+            built.append(("pair", roster, (spec, split)))
     outcomes = run_packed_roster(
-        [roster for roster, _, _ in built],
+        [roster for _, roster, _ in built],
+        prefetchers_on=False,
+        backend="kernel",
+        threads=threads,
+    )
+    records = []
+    for cell, (kind, _, extra), stats in zip(shard, built, outcomes):
+        if kind == "group":
+            backend, group, split = extra
+            records.append(_group_record_from_stats(
+                cell, backend, group, split, stats, source="roster"
+            ))
+        else:
+            spec, split = extra
+            records.append(
+                _record_from_stats(cell, spec, split, stats, source="roster")
+            )
+    return records
+
+
+def _execute_cluster_shard(shard, threads):
+    """Profile-then-replay for a whole shard of cluster cells.
+
+    Each cell profiles its tenants' way-utility curves (one batched
+    sweep call per cell, exactly what the reference path measures),
+    plans the LFOC-style split host-side, and then every planned split
+    in the shard replays in ONE batched roster call.
+    """
+    from repro.core.clustering import cluster_tenants
+    from repro.sim.trace_engine import run_packed_roster
+
+    built = []
+    for cell in shard:
+        backend = backend_for(cell, threads)
+        group = trace_group_for(cell)
+        llc_ways = backend.capabilities().llc_ways
+        utilities = backend.way_utility(group)
+        plan = cluster_tenants(utilities, names=group.names,
+                               llc_ways=llc_ways)
+        built.append((backend, group, plan))
+    outcomes = run_packed_roster(
+        [
+            backend.group_roster_cell(group, plan.split)
+            for backend, group, plan in built
+        ],
         prefetchers_on=False,
         backend="kernel",
         threads=threads,
     )
     return [
-        _record_from_stats(cell, spec, split, stats, source="roster")
-        for cell, (_, spec, split), stats in zip(shard, built, outcomes)
+        _group_record_from_stats(
+            cell, backend, group, plan.split, stats,
+            source="cluster", plan=plan,
+        )
+        for cell, (backend, group, plan), stats in zip(shard, built, outcomes)
     ]
 
 
@@ -315,14 +428,16 @@ def _materialize_packs(cells):
     for cell in cells:
         if cell.backend != "trace":
             continue
-        key = (cell.fg, cell.bg, cell.geometry)
+        key = (cell.tenants or (cell.fg, cell.bg), cell.geometry)
         if key in packs:
             continue
-        spec = trace_spec_for(cell)
-        packs[key] = [
-            get_pack(w.trace_factory()) for w in (spec.fg, spec.bg)
-        ]
-    flat = [pack for pair in packs.values() for pack in pair]
+        if cell.tenants:
+            workloads = trace_group_for(cell).tenants
+        else:
+            spec = trace_spec_for(cell)
+            workloads = (spec.fg, spec.bg)
+        packs[key] = [get_pack(w.trace_factory()) for w in workloads]
+    flat = [pack for group in packs.values() for pack in group]
     return persisted_pack_paths(flat)
 
 
@@ -420,6 +535,7 @@ def run_campaign(manifest, store_dir, cells=None, resume=False,
         plan.grid_shards = []
         plan.sweep_shards = []
         plan.dynamic_shards = []
+        plan.cluster_shards = []
         plan.fallback_shards = [
             merged[i:i + fallback_size]
             for i in range(0, len(merged), fallback_size)
@@ -434,6 +550,7 @@ def run_campaign(manifest, store_dir, cells=None, resume=False,
         grid_shards=len(plan.grid_shards),
         sweep_shards=len(plan.sweep_shards),
         dynamic_shards=len(plan.dynamic_shards),
+        cluster_shards=len(plan.cluster_shards),
         fallback_shards=len(plan.fallback_shards),
     )
     for cell in plan.skipped:
@@ -465,6 +582,12 @@ def run_campaign(manifest, store_dir, cells=None, resume=False,
         elif kind == "dynamic":
             records, attempts = _retrying(
                 lambda: _execute_dynamic_shard(shard, threads),
+                shard,
+                max_attempts,
+            )
+        elif kind == "cluster":
+            records, attempts = _retrying(
+                lambda: _execute_cluster_shard(shard, threads),
                 shard,
                 max_attempts,
             )

@@ -28,9 +28,11 @@ def summarize_campaign(store_dir):
     Returns a dict with the record/shard counts, per-axis record
     counts, retry totals, per-cell reallocation counts for dynamic
     cells (from the controller's recorded action trail), and — per
-    (backend, fg, bg, geometry) group — the policy with the lowest
-    foreground cost and the one with the highest background rate, the
-    reduction ``repro consolidate`` renders for a single pair.
+    (backend, workload, geometry) group, where the workload is the
+    fg/bg pair or the full N-tenant roster — the policy with the
+    lowest foreground cost and the one with the highest background
+    rate, the reduction ``repro consolidate`` renders for a single
+    pair.
     """
     merged, by_cell = load_campaign_store(store_dir)
     if not by_cell:
@@ -40,15 +42,20 @@ def summarize_campaign(store_dir):
         )
     records = list(by_cell.values())
 
-    axes = {"backend": {}, "policy": {}, "pair": {}}
+    axes = {"backend": {}, "policy": {}, "pair": {}, "tenants": {}}
     retried = 0
     groups = {}
     dynamic_cells = []
     for record in records:
+        # N-tenant records carry the full roster; the workload key (and
+        # the winner-table grouping) is the tenant tuple, so a 3-tenant
+        # group never merges with a pair that happens to share fg+bg.
+        tenants = tuple(getattr(record, "tenants", ()) or ())
+        workload = tenants if tenants else (record.fg, record.bg)
         if record.policy == "dynamic":
             dynamic_cells.append(
                 {
-                    "pair": f"{record.fg}+{record.bg}",
+                    "pair": "+".join(workload),
                     "backend": record.backend,
                     "fg_ways": record.fg_ways,
                     "reallocations": record.provenance.get(
@@ -60,26 +67,30 @@ def summarize_campaign(store_dir):
             axes["backend"].get(record.backend, 0) + 1
         )
         axes["policy"][record.policy] = axes["policy"].get(record.policy, 0) + 1
-        pair = f"{record.fg}+{record.bg}"
-        axes["pair"][pair] = axes["pair"].get(pair, 0) + 1
+        label = "+".join(workload)
+        axis = "tenants" if tenants else "pair"
+        axes[axis][label] = axes[axis].get(label, 0) + 1
         if record.provenance.get("attempts", 1) > 1:
             retried += 1
         geometry = tuple(
             sorted((record.provenance.get("geometry") or {}).items())
         )
         groups.setdefault(
-            (record.backend, record.fg, record.bg, geometry), []
+            (record.backend, workload, geometry), []
         ).append(record)
 
     best = []
-    for (backend, fg, bg, geometry), members in sorted(groups.items()):
+    for (backend, workload, geometry), members in sorted(groups.items()):
         lowest_cost = min(members, key=lambda r: r.metrics["fg_cost"])
         highest_rate = max(members, key=lambda r: r.metrics["bg_rate"])
         best.append(
             {
                 "backend": backend,
-                "fg": fg,
-                "bg": bg,
+                "fg": workload[0],
+                "bg": "+".join(workload[1:]),
+                "tenants": (
+                    list(workload) if len(workload) > 2 else []
+                ),
                 "geometry": dict(geometry),
                 "policies": sorted({r.policy for r in members}),
                 "lowest_fg_cost": {
@@ -120,15 +131,17 @@ def format_campaign_summary(summary):
             else ""
         )
     ]
-    for axis in ("backend", "policy", "pair"):
-        counts = summary["axes"][axis]
+    for axis in ("backend", "policy", "pair", "tenants"):
+        counts = summary["axes"].get(axis) or {}
+        if axis in ("pair", "tenants") and not counts:
+            continue
         rendered = ", ".join(
             f"{value}={count}" for value, count in sorted(counts.items())
         )
         lines.append(f"  by {axis}: {rendered}")
     rows = [
         (
-            f"{group['fg']}+{group['bg']}",
+            "+".join(group["tenants"]) or f"{group['fg']}+{group['bg']}",
             group["backend"],
             str(len(group["policies"])),
             f"{group['lowest_fg_cost']['policy']} "

@@ -101,6 +101,15 @@ def _build_parser():
     cons.add_argument(
         "--seed", type=int, default=1, help="(trace backend) trace seed"
     )
+    cons.add_argument(
+        "--tenants",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="additional co-running tenants beyond fg/bg: the policies "
+        "run over the full N-tenant group (group way-partitioning) "
+        "instead of the two-tenant pair",
+    )
 
     dyn = sub.add_parser("dynamic", help="run the dynamic controller")
     dyn.add_argument("fg")
@@ -240,6 +249,41 @@ def _build_parser():
         default=None,
         metavar="PATH",
         help="write the dynamic outcome as a versioned run-set JSON",
+    )
+
+    tclu = sub.add_parser(
+        "trace-cluster",
+        help="LFOC-style clustering policy over an N-tenant trace group "
+        "(profile way utility, classify, apportion, replay)",
+    )
+    tclu.add_argument(
+        "--tenants",
+        nargs="+",
+        default=["zipf", "stream", "chase", "stream"],
+        metavar="KIND",
+        choices=tuple(trace_kinds()),
+        help="2-4 synthetic trace kinds, one replay domain each "
+        "(repeats allowed; the first is the primary tenant)",
+    )
+    tclu.add_argument("--accesses", type=int, default=60_000)
+    tclu.add_argument("--footprint-mb", type=float, default=4.0)
+    tclu.add_argument(
+        "--bg-footprint-mb", type=float, default=8.0,
+        help="footprint of every tenant after the first",
+    )
+    tclu.add_argument("--alpha", type=float, default=0.9, help="zipf skew")
+    tclu.add_argument("--seed", type=int, default=1)
+    tclu.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the batched group replay bit-identically against a "
+        "sequential per-tenant reference engine (non-zero on mismatch)",
+    )
+    tclu.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the cluster outcome as a versioned run-set JSON",
     )
 
     cmp_ = sub.add_parser(
@@ -442,7 +486,100 @@ def _write_runset(outcomes, capabilities, path, out, meta=None):
     out.write(f"run set: {count} records -> {path}\n")
 
 
+def _group_policy_list(args, include_cluster=True):
+    policies = ["shared", "fair", "biased"]
+    if include_cluster:
+        policies.append("cluster")
+    if args.dynamic:
+        policies.append("dynamic")
+    return policies
+
+
+def _consolidate_group(args, out):
+    """``consolidate --tenants``: run the policies over an N-tenant
+    group (fg, bg, and the extra tenants) instead of the pair."""
+    from repro.core.policies import run_group_policy
+
+    names = [args.fg, args.bg] + list(args.tenants)
+    if args.backend == "trace":
+        from repro.analysis.experiments import trace_group_spec
+        from repro.backend import TraceBackend
+        from repro.workloads.trace import trace_kinds
+
+        kinds = tuple(trace_kinds())
+        for name in names:
+            if name not in kinds:
+                raise ValidationError(
+                    f"--backend trace takes synthetic trace kinds {kinds}; "
+                    f"got {name!r}"
+                )
+        backend = TraceBackend(total_accesses=args.accesses)
+        group = trace_group_spec(
+            names,
+            accesses=args.accesses,
+            footprint_mb=args.footprint_mb,
+            alpha=args.alpha,
+            seed=args.seed,
+        )
+    else:
+        from repro.backend import AnalyticalBackend
+
+        backend = AnalyticalBackend()
+        group = AnalyticalBackend.group_spec(names)
+    outcomes = [
+        run_group_policy(backend, group, p) for p in _group_policy_list(args)
+    ]
+    caps = backend.capabilities()
+    rows = [
+        (
+            o.policy,
+            "/".join(str(c) for c in o.split.way_counts),
+            f"{o.fg_cost:.4g}",
+            f"{o.bg_rate:.4g}",
+        )
+        for o in outcomes
+    ]
+    out.write(
+        format_table(
+            [
+                "policy",
+                "ways per tenant",
+                f"fg cost ({caps.fg_cost_unit})",
+                f"peers ({caps.bg_rate_unit})",
+            ],
+            rows,
+            title=" + ".join(group.names) + f" — {args.backend} backend",
+        )
+        + "\n"
+    )
+    if args.check:
+        if args.backend != "trace":
+            raise ValidationError("--check needs --backend trace")
+        from repro.analysis.experiments import verify_trace_group_replay
+
+        checked = sum(
+            verify_trace_group_replay(backend, group, o)
+            for o in outcomes
+            if o.policy != "dynamic"  # timeline-driven, not one fixed split
+        )
+        out.write(
+            f"check: group replay agrees with sequential per-tenant "
+            f"reference ({checked} comparisons)\n"
+        )
+    if args.json:
+        _write_runset(
+            outcomes,
+            caps,
+            args.json,
+            out,
+            meta={"source": "consolidate", "tenants": list(group.names)},
+        )
+
+
 def _cmd_consolidate(args, out):
+    if args.tenants:
+        _consolidate_group(args, out)
+        return
     if args.backend == "trace":
         _consolidate_trace(args, out)
         return
@@ -889,6 +1026,79 @@ def _cmd_trace_dynamic(args, out):
         out.write(format_engine_stat() + "\n")
 
 
+def _cmd_trace_cluster(args, out):
+    from repro.analysis.experiments import (
+        trace_group_spec,
+        verify_trace_group_replay,
+    )
+    from repro.backend import TraceBackend
+    from repro.core.policies import run_group_policy
+
+    backend = TraceBackend(total_accesses=args.accesses)
+    group = trace_group_spec(
+        args.tenants,
+        accesses=args.accesses,
+        footprint_mb=args.footprint_mb,
+        alpha=args.alpha,
+        seed=args.seed,
+        bg_footprint_mb=args.bg_footprint_mb,
+    )
+    outcome = run_group_policy(backend, group, "cluster")
+    plan = outcome.plan
+    split = outcome.split
+    m = outcome.measurement
+    rows = [
+        (
+            name,
+            plan.classes[name] if plan else "?",
+            str(split.way_counts[i]),
+            f"0x{split.mask_bits[i]:03x}",
+            f"{m.costs[i]:.4f}",
+            f"{m.rates[i]:.4f}",
+        )
+        for i, name in enumerate(outcome.names)
+    ]
+    out.write(
+        format_table(
+            [
+                "tenant",
+                "class",
+                "ways",
+                "mask",
+                "cyc/access",
+                "acc/kcycle",
+            ],
+            rows,
+            title="LFOC-style cluster apportioning — trace backend",
+        )
+        + "\n"
+    )
+    if plan:
+        clusters = ", ".join(
+            f"{label}[{'+'.join(members)}]={ways}w"
+            for label, members, ways in plan.clusters
+        )
+        out.write(f"clusters (bottom-up): {clusters}\n")
+    if args.check:
+        checked = verify_trace_group_replay(backend, group, outcome)
+        out.write(
+            f"check: batched group replay agrees with sequential "
+            f"per-tenant reference ({checked} comparisons)\n"
+        )
+    if args.json:
+        _write_runset(
+            [outcome],
+            backend.capabilities(),
+            args.json,
+            out,
+            meta={
+                "source": "trace-cluster",
+                "tenants": list(group.names),
+                "accesses": args.accesses,
+            },
+        )
+
+
 def _is_runset_side(path):
     """True when ``path`` is run-set shaped: a run-set JSON file, or a
     directory of run-set shard files (a campaign store)."""
@@ -922,7 +1132,10 @@ def _cmd_compare(args, out):
         if unmatched:
             out.write(
                 "only on one side: "
-                + ", ".join("{}:{}+{}".format(*key) for key in unmatched)
+                + ", ".join(
+                    "{}:{}".format(key[0], "+".join(key[1:]))
+                    for key in unmatched
+                )
                 + "\n"
             )
         if moved:
@@ -968,7 +1181,9 @@ def _campaign_axis_lines(cells):
 
     lines = []
     counts = axis_counts(cells)
-    for axis in ("backend", "policy", "pair", "geometry"):
+    for axis in ("backend", "policy", "pair", "tenants", "geometry"):
+        if axis not in counts:
+            continue
         rendered = ", ".join(
             f"{value}={count}" for value, count in sorted(counts[axis].items())
         )
@@ -1019,6 +1234,11 @@ def _cmd_campaign_plan(args, out):
         f"  dynamic: {plan.dynamic_cells} cells in "
         f"{len(plan.dynamic_shards)} dynamic-roster shards "
         "(one epoch-batched controller roster each)\n"
+    )
+    out.write(
+        f"  cluster: {plan.cluster_cells} cells in "
+        f"{len(plan.cluster_shards)} profile-then-replay shards "
+        "(one batched final replay each)\n"
     )
     out.write(
         f"  fallback: {plan.fallback_cells} cells in "
@@ -1128,6 +1348,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "trace-sweep": _cmd_trace_sweep,
     "trace-dynamic": _cmd_trace_dynamic,
+    "trace-cluster": _cmd_trace_cluster,
 }
 
 

@@ -141,3 +141,155 @@ def _representatives(result):
         distances = np.linalg.norm(rows - centroid, axis=1)
         reps[cluster_id] = members[int(np.argmin(distances))]
     return reps
+
+
+# -- LFOC-style tenant clustering (the N-tenant partitioning policy) ----------
+#
+# LFOC ("A Lightweight Fairness-Oriented Cache Clustering Policy for
+# Commodity Multicores") classifies each co-running program by its
+# way-utility curve, groups programs of the same class into partition
+# clusters, and sizes each cluster from a small lookup table rather
+# than an online search. The policy here follows that shape over the
+# repo's exact :class:`~repro.backend.protocol.WayUtility` curves (UMON
+# stack distances on the trace backend, cached solo runs analytically).
+
+TENANT_CLASSES = ("squanderer", "insensitive", "sensitive")
+
+# The lookup-table apportioning: ways reserved for the shared cluster
+# of each non-sensitive class; sensitive tenants split the remainder.
+CLUSTER_RESERVED_WAYS = {"squanderer": 1, "insensitive": 2}
+
+
+def classify_tenant(utility, llc_ways=None, squander_hit_fraction=0.002,
+                    saturate_fraction=0.9, saturate_ways=2):
+    """One tenant's LFOC class from its way-utility curve.
+
+    - ``squanderer``: even the whole cache yields almost no hits
+      (below ``squander_hit_fraction`` of its accesses) — streaming;
+      extra ways are wasted on it;
+    - ``insensitive``: reaches ``saturate_fraction`` of its full-cache
+      hits within ``saturate_ways`` ways — a small cluster suffices;
+    - ``sensitive``: everything else — hits keep growing with ways.
+    """
+    if llc_ways is None:
+        llc_ways = utility.llc_ways
+    full_hits = utility.hits_at(llc_ways)
+    if full_hits <= squander_hit_fraction * utility.accesses:
+        return "squanderer"
+    if utility.hits_at(min(saturate_ways, llc_ways)) >= (
+        saturate_fraction * full_hits
+    ):
+        return "insensitive"
+    return "sensitive"
+
+
+@dataclass
+class ClusterPlan:
+    """An LFOC-style partition plan over one tenant group.
+
+    ``clusters`` lists ``(label, member names, ways)`` bottom-up in
+    mask order; every member of a cluster shares the same way mask in
+    ``split``.
+    """
+
+    names: tuple
+    classes: dict  # name -> class label
+    clusters: tuple  # ((label, (names...), ways), ...)
+    split: object  # GroupSplit
+
+
+def cluster_tenants(utilities, names=None, llc_ways=None, **classify_kwargs):
+    """Cluster tenants by way-utility class and apportion the cache.
+
+    Sensitive tenants get one cluster each; all insensitive tenants
+    share one cluster, all squanderers another. Shared clusters take
+    their lookup-table reservation (:data:`CLUSTER_RESERVED_WAYS`);
+    sensitive clusters split the remaining ways evenly, remainder to
+    the earliest. With no sensitive tenant the leftover goes to the
+    insensitive cluster (or the squanderers when there is none).
+    Masks are contiguous, packed bottom-up: sensitive clusters first
+    (tenant order), then insensitive, squanderers on top.
+    """
+    from repro.backend.protocol import GroupSplit
+
+    if names is None:
+        names = tuple(sorted(utilities))
+    names = tuple(names)
+    if not names:
+        raise ValidationError("need at least one tenant to cluster")
+    missing = [n for n in names if n not in utilities]
+    if missing:
+        raise ValidationError(f"no way-utility curve for {missing}")
+    if llc_ways is None:
+        llc_ways = utilities[names[0]].llc_ways
+
+    classes = {
+        name: classify_tenant(utilities[name], llc_ways, **classify_kwargs)
+        for name in names
+    }
+    sensitive = [n for n in names if classes[n] == "sensitive"]
+    insensitive = [n for n in names if classes[n] == "insensitive"]
+    squanderers = [n for n in names if classes[n] == "squanderer"]
+
+    reserved = 0
+    if insensitive:
+        reserved += CLUSTER_RESERVED_WAYS["insensitive"]
+    if squanderers:
+        reserved += CLUSTER_RESERVED_WAYS["squanderer"]
+    available = llc_ways - reserved
+
+    clusters = []  # (label, members, ways) bottom-up
+    if sensitive:
+        if available < len(sensitive):
+            raise ValidationError(
+                f"{len(sensitive)} sensitive tenants need at least one way "
+                f"each; only {available} of {llc_ways} remain after the "
+                "lookup-table reservations"
+            )
+        base, extra = divmod(available, len(sensitive))
+        for i, name in enumerate(sensitive):
+            clusters.append(
+                ("sensitive", (name,), base + (1 if i < extra else 0))
+            )
+        leftover = 0
+    else:
+        leftover = available
+    if insensitive:
+        ways = CLUSTER_RESERVED_WAYS["insensitive"] + leftover
+        clusters.append(("insensitive", tuple(insensitive), ways))
+        leftover = 0
+    if squanderers:
+        ways = CLUSTER_RESERVED_WAYS["squanderer"] + leftover
+        clusters.append(("squanderer", tuple(squanderers), ways))
+        leftover = 0
+
+    bits_of = {}
+    offset = 0
+    for label, members, ways in clusters:
+        mask = ((1 << ways) - 1) << offset
+        for member in members:
+            bits_of[member] = mask
+        offset += ways
+    split = GroupSplit(tuple(bits_of[n] for n in names), llc_ways)
+    return ClusterPlan(
+        names=names,
+        classes=classes,
+        clusters=tuple(clusters),
+        split=split,
+    )
+
+
+def group_cluster(backend, group):
+    """The 'cluster' group policy: profile, classify, apportion, run.
+
+    One way-utility pass per tenant (the backend's cheapest exact
+    source), one :meth:`co_run_group` at the planned split. Works on
+    any backend implementing the group protocol.
+    """
+    from repro.core.policies import _group_outcome
+
+    llc_ways = backend.capabilities().llc_ways
+    utilities = backend.way_utility(group)
+    plan = cluster_tenants(utilities, names=group.names, llc_ways=llc_ways)
+    m = backend.co_run_group(group, plan.split)
+    return _group_outcome("cluster", m, plan=plan)

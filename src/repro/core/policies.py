@@ -21,7 +21,15 @@ bit-identical to the pre-backend implementation.
 
 from dataclasses import dataclass, field
 
-from repro.backend import AnalyticalBackend, CoRunMeasurement, PairSpec, SimBackend, WaySplit
+from repro.backend import (
+    AnalyticalBackend,
+    CoRunMeasurement,
+    GroupSplit,
+    PairSpec,
+    SimBackend,
+    TenantSet,
+    WaySplit,
+)
 from repro.util.errors import ValidationError
 
 # Foreground degradations within this tolerance count as "minimum
@@ -29,6 +37,9 @@ from repro.util.errors import ValidationError
 _BIAS_TOLERANCE = 0.005
 
 POLICY_NAMES = ("shared", "fair", "biased", "dynamic")
+# The N-tenant plane adds LFOC-style clustering; the pair plane keeps
+# the paper's original four.
+GROUP_POLICY_NAMES = POLICY_NAMES + ("cluster",)
 
 
 @dataclass
@@ -77,21 +88,72 @@ class PolicyOutcome:
         return self.bg_rate
 
 
+@dataclass
+class GroupOutcome:
+    """An N-tenant policy run: the chosen split and the measurements.
+
+    ``measurement`` is the backend-neutral
+    :class:`~repro.backend.protocol.GroupMeasurement`. When the group
+    was a 2-tenant pair-shaped view, :meth:`pair_outcome` recovers the
+    exact :class:`PolicyOutcome` the pair entry point would have built —
+    the pair wrappers delegate through here bit-identically.
+    """
+
+    policy: str
+    names: tuple
+    split: GroupSplit
+    measurement: object  # GroupMeasurement
+    sweep: list = field(default_factory=list)
+    backend: str = "analytical"
+    plan: object = None  # ClusterPlan for the 'cluster' policy
+    pair_delegate: object = None  # PolicyOutcome when 2-tenant delegated
+
+    @property
+    def fg_name(self):
+        return self.names[0]
+
+    @property
+    def peer_names(self):
+        return self.names[1:]
+
+    @property
+    def fg_cost(self):
+        return self.measurement.fg_cost
+
+    @property
+    def bg_rate(self):
+        return self.measurement.bg_rate
+
+    @property
+    def fg_ways(self):
+        return self.measurement.fg_ways
+
+    @property
+    def bg_ways(self):
+        return self.measurement.bg_ways
+
+    def pair_outcome(self):
+        """The equivalent pair :class:`PolicyOutcome`."""
+        if self.pair_delegate is not None:
+            return self.pair_delegate
+        if self.measurement.pair is None:
+            raise ValidationError(
+                f"a {len(self.names)}-tenant outcome has no pair view"
+            )
+        return _outcome(self.policy, self.measurement.pair, sweep=self.sweep)
+
+
 # -- the single policy implementation (any SimBackend) -----------------------
 
 
 def policy_shared(backend, spec):
     """No partitioning: overlapping full masks."""
-    ways = backend.capabilities().llc_ways
-    m = backend.co_run(spec, WaySplit.shared(ways))
-    return _outcome("shared", m)
+    return group_shared(backend, TenantSet.from_pair(spec)).pair_outcome()
 
 
 def policy_fair(backend, spec):
     """Even static split."""
-    ways = backend.capabilities().llc_ways
-    m = backend.co_run(spec, WaySplit.fair(ways))
-    return _outcome("fair", m)
+    return group_fair(backend, TenantSet.from_pair(spec)).pair_outcome()
 
 
 def sweep_splits(backend, spec):
@@ -205,6 +267,152 @@ def _compat_sweep(sweep):
     return [
         (w, m.raw if m.raw is not None else m) for w, m in sweep
     ]
+
+
+# -- the N-tenant group plane -------------------------------------------------
+
+
+def _group_outcome(policy, m, sweep=(), plan=None, pair_delegate=None):
+    return GroupOutcome(
+        policy=policy,
+        names=tuple(m.names),
+        split=m.split,
+        measurement=m,
+        sweep=list(sweep),
+        backend=m.backend,
+        plan=plan,
+        pair_delegate=pair_delegate,
+    )
+
+
+def _delegated_group_outcome(policy, backend, group, outcome):
+    """Wrap a pair :class:`PolicyOutcome` as a GroupOutcome (2-tenant
+    delegation: the pair entry point already ran, bit-identically)."""
+    from repro.backend import GroupMeasurement
+
+    ways = backend.capabilities().llc_ways
+    m = outcome.measurement
+    split = GroupSplit.from_pair(WaySplit(m.fg_ways, m.bg_ways), ways)
+    wrapped = GroupMeasurement(
+        backend=m.backend,
+        names=(m.fg_name, m.bg_name),
+        split=split,
+        costs=(m.fg_cost, None),
+        rates=(None, m.bg_rate),
+        raw=m.raw,
+        pair=m,
+        extra=m.extra,
+    )
+    return _group_outcome(
+        policy, wrapped, sweep=outcome.sweep, pair_delegate=outcome
+    )
+
+
+def group_shared(backend, group):
+    """No partitioning: every tenant sees the whole cache."""
+    ways = backend.capabilities().llc_ways
+    split = GroupSplit.shared(len(group.tenants), ways)
+    m = backend.co_run_group(group, split)
+    return _group_outcome("shared", m)
+
+
+def group_fair(backend, group):
+    """Even static apportioning across all N tenants."""
+    ways = backend.capabilities().llc_ways
+    if len(group.tenants) == 2:
+        # The pair realization (fg bottom, bg top) — identical masks,
+        # and the exact split object the seed pair path used.
+        split = GroupSplit.from_pair(WaySplit.fair(ways), ways)
+    else:
+        split = GroupSplit.fair(len(group.tenants), ways)
+    m = backend.co_run_group(group, split)
+    return _group_outcome("fair", m)
+
+
+def _even_counts(total, slots):
+    base, extra = divmod(total, slots)
+    return [base + (1 if i < extra else 0) for i in range(slots)]
+
+
+def group_biased(backend, group, sweep=None, tolerance=_BIAS_TOLERANCE):
+    """The best static split favoring the primary tenant.
+
+    2-tenant groups delegate to :func:`policy_biased` (the exact seed
+    sweep-and-choose path). Larger groups score each primary allocation
+    from the backend's way-utility curves — primary cost as its misses
+    at the allocation, peer rate as their aggregate hits at an even
+    apportioning of the complement — then re-measure the winner with
+    one :meth:`co_run_group`.
+    """
+    if len(group.tenants) == 2:
+        outcome = policy_biased(backend, group.pair_spec(), sweep=sweep)
+        return _delegated_group_outcome("biased", backend, group, outcome)
+
+    caps = backend.capabilities()
+    ways = caps.llc_ways
+    names = tuple(group.names)
+    peers = len(names) - 1
+    utilities = backend.way_utility(group)
+    scored = []
+    splits_by_ways = {}
+    for fg_ways in range(1, ways - peers + 1):
+        counts = [fg_ways] + _even_counts(ways - fg_ways, peers)
+        split = GroupSplit.from_way_counts(counts, ways)
+        splits_by_ways[fg_ways] = split
+        fg_cost = float(utilities[names[0]].misses_at(fg_ways))
+        bg_rate = sum(
+            float(utilities[name].hits_at(count))
+            for name, count in zip(names[1:], counts[1:])
+        )
+        scored.append((
+            fg_ways,
+            CoRunMeasurement(
+                backend=caps.name,
+                fg_name=names[0],
+                bg_name="+".join(names[1:]),
+                fg_ways=fg_ways,
+                bg_ways=ways - fg_ways,
+                fg_cost=fg_cost,
+                bg_rate=bg_rate,
+                raw=None,
+                extra={"source": "utility"},
+            ),
+        ))
+    fg_ways, _ = choose_biased_split(scored, tolerance)
+    m = backend.co_run_group(group, splits_by_ways[fg_ways])
+    return _group_outcome("biased", m, sweep=scored)
+
+
+def group_dynamic(backend, group, controller=None):
+    """The dynamic controller over an N-tenant group.
+
+    2-tenant groups delegate to :func:`policy_dynamic`; larger groups
+    run the backend's native group-dynamic path (the Algorithm 6.2
+    controller with peers, or any controller speaking the ``masks()`` /
+    ``on_tick()`` protocol — churn schedules included).
+    """
+    if len(group.tenants) == 2 and controller is None:
+        outcome = policy_dynamic(backend, group.pair_spec())
+        return _delegated_group_outcome("dynamic", backend, group, outcome)
+    m = backend.dynamic_group(group, controller=controller)
+    return _group_outcome("dynamic", m)
+
+
+def run_group_policy(backend, group, policy, sweep=None, controller=None):
+    """Dispatch by group policy name (:data:`GROUP_POLICY_NAMES`)."""
+    if policy == "shared":
+        return group_shared(backend, group)
+    if policy == "fair":
+        return group_fair(backend, group)
+    if policy == "biased":
+        return group_biased(backend, group, sweep=sweep)
+    if policy == "dynamic":
+        return group_dynamic(backend, group, controller=controller)
+    if policy == "cluster":
+        from repro.core.clustering import group_cluster
+
+        return group_cluster(backend, group)
+    raise ValidationError(f"unknown group policy {policy!r}")
 
 
 # -- historical machine-first entry points -----------------------------------

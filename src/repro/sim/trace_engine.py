@@ -473,7 +473,9 @@ class TraceEngine:
                     delta_miss = cur[3] - prev[i][3]
                     prev[i] = cur
                     metrics[name] = {"mpki": mpki_window(delta_miss,
-                                                         delta_acc)}
+                                                         delta_acc),
+                                     "accesses": delta_acc,
+                                     "misses": delta_miss}
                 now_s = epoch * period_s
                 new_masks = controller.on_tick(now_s, period_s, metrics)
                 if new_masks:
@@ -1071,7 +1073,8 @@ def run_dynamic_roster(cells, prefetchers_on=False, backend="kernel",
             # Vectorized controller inputs for every cell at once; each
             # element is bit-identical to the scalar mpki_window the
             # sequential driver computes.
-            mpki = mpki_windows(delta[:, :, 3], delta.sum(axis=2))
+            accesses = delta.sum(axis=2)
+            mpki = mpki_windows(delta[:, :, 3], accesses)
             still = []
             for r in active:
                 progressed = batch.issued_of(r)
@@ -1083,7 +1086,9 @@ def run_dynamic_roster(cells, prefetchers_on=False, backend="kernel",
                 controller = cell.controller
                 names = [w.name for w in cell.workloads]
                 metrics = {
-                    name: {"mpki": float(mpki[r, i])}
+                    name: {"mpki": float(mpki[r, i]),
+                           "accesses": int(accesses[r, i]),
+                           "misses": int(delta[r, i, 3])}
                     for i, name in enumerate(names)
                 }
                 period_s = controller.period_s

@@ -1,0 +1,248 @@
+"""Declarative tenant arrival/departure schedules (churn).
+
+A consolidation host does not see a fixed roster: tenants join and
+leave while the others keep running. The paper's dynamic mechanism —
+reallocating way masks between control periods without flushing the
+cache — is exactly what makes that cheap, and this module exercises it:
+
+- :class:`ChurnSchedule` — a validated, declarative list of
+  :class:`ChurnEvent` (``tenant`` joins or leaves at an epoch
+  boundary), serializable for campaign manifests;
+- :class:`ChurnController` — speaks the same ``masks()`` /
+  ``on_tick()`` protocol as the Algorithm 6.2 controller, so a
+  schedule replays through :func:`~repro.sim.trace_engine.run_dynamic`
+  / :func:`~repro.sim.trace_engine.run_dynamic_roster` unchanged. At
+  each membership change the active tenants re-apportion the working
+  region flush-free; departed (and not-yet-arrived) tenants are parked
+  on a single reserved way so every replay domain stays resident.
+
+The controller also accumulates per-tenant lifetime statistics
+(epochs active, accesses and misses while active) from the per-epoch
+counter windows the replay drivers pass to ``on_tick``.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.cache.llc import WayMask
+from repro.core.dynamic import ControllerAction
+from repro.util.errors import ValidationError
+
+CHURN_ACTIONS = ("join", "leave")
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership change: ``tenant`` joins or leaves at the end of
+    epoch ``epoch`` (1-based; epoch 0 is the initial roster)."""
+
+    tenant: str
+    epoch: int
+    action: str
+
+    def __post_init__(self):
+        if not self.tenant:
+            raise ValidationError("a churn event needs a tenant name")
+        if self.epoch < 1:
+            raise ValidationError(
+                "churn events fire at epoch boundaries >= 1; tenants "
+                "active from the start simply have no join event"
+            )
+        if self.action not in CHURN_ACTIONS:
+            raise ValidationError(
+                f"churn action must be one of {CHURN_ACTIONS}, "
+                f"got {self.action!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ChurnSchedule:
+    """An ordered, validated set of churn events."""
+
+    events: tuple
+
+    def __post_init__(self):
+        events = tuple(self.events)
+        object.__setattr__(self, "events", events)
+        for event in events:
+            if not isinstance(event, ChurnEvent):
+                raise ValidationError(
+                    f"expected ChurnEvent entries, got {type(event).__name__}"
+                )
+        seen = set()
+        for event in events:
+            key = (event.tenant, event.epoch)
+            if key in seen:
+                raise ValidationError(
+                    f"tenant {event.tenant!r} has two events at epoch "
+                    f"{event.epoch}"
+                )
+            seen.add(key)
+
+    @classmethod
+    def from_spec(cls, spec):
+        """Build from a declarative list of ``{tenant, epoch, action}``
+        dicts (the campaign manifest's ``churn`` axis shape)."""
+        events = []
+        for i, entry in enumerate(spec):
+            if not isinstance(entry, dict):
+                raise ValidationError(
+                    f"churn event {i} must be an object, got "
+                    f"{type(entry).__name__}"
+                )
+            unknown = set(entry) - {"tenant", "epoch", "action"}
+            if unknown:
+                raise ValidationError(
+                    f"churn event {i} has unknown keys {sorted(unknown)}"
+                )
+            try:
+                events.append(ChurnEvent(
+                    tenant=str(entry["tenant"]),
+                    epoch=int(entry["epoch"]),
+                    action=str(entry["action"]),
+                ))
+            except KeyError as exc:
+                raise ValidationError(
+                    f"churn event {i} is missing {exc.args[0]!r}"
+                ) from None
+        return cls(events=tuple(events))
+
+    def to_payload(self):
+        """The canonical JSON shape (stable for cell-id hashing)."""
+        return [
+            {"tenant": e.tenant, "epoch": e.epoch, "action": e.action}
+            for e in self.events
+        ]
+
+    @property
+    def joined_tenants(self):
+        return {e.tenant for e in self.events if e.action == "join"}
+
+    def membership(self, epoch, names):
+        """The active tenant set after all events up to ``epoch``.
+
+        Tenants with no join event are active from epoch 0; a join
+        event means the tenant starts parked and arrives later.
+        """
+        joined = self.joined_tenants
+        active = {n for n in names if n not in joined}
+        for event in sorted(self.events, key=lambda e: e.epoch):
+            if event.epoch > epoch or event.tenant not in names:
+                continue
+            if event.action == "join":
+                active.add(event.tenant)
+            else:
+                active.discard(event.tenant)
+        return active
+
+
+class ChurnController:
+    """Replays a churn schedule through the dynamic-replay protocol.
+
+    The bottom ``llc_ways - 1`` ways form the working region, evenly
+    re-apportioned (contiguous, remainder to the earliest tenant in
+    roster order) across whoever is active; the top way parks every
+    inactive tenant — a mask can never be empty, and parked domains
+    keep replaying so a later join resumes them flush-free.
+    """
+
+    def __init__(self, names, schedule, llc_ways=12, period_s=0.1):
+        names = tuple(names)
+        if len(names) < 2:
+            raise ValidationError("churn needs at least two tenants")
+        if llc_ways < 2:
+            raise ValidationError(
+                "churn needs a parking way on top of the working region"
+            )
+        for event in schedule.events:
+            if event.tenant not in names:
+                raise ValidationError(
+                    f"churn event names unknown tenant {event.tenant!r}"
+                )
+        self.names = names
+        self.schedule = schedule
+        self.llc_ways = llc_ways
+        self.period_s = period_s
+        self.epoch = 0
+        self.active = schedule.membership(0, names)
+        if not self.active:
+            raise ValidationError(
+                "at least one tenant must be active at epoch 0"
+            )
+        horizon = max((e.epoch for e in schedule.events), default=0)
+        for epoch in range(1, horizon + 1):
+            if not schedule.membership(epoch, names):
+                raise ValidationError(
+                    f"the schedule empties the roster at epoch {epoch}"
+                )
+        self.actions = []
+        self.lifetime = {
+            name: {
+                "epochs_active": 0,
+                "accesses": 0,
+                "misses": 0,
+                "joined_epoch": 0 if name in self.active else None,
+                "left_epoch": None,
+            }
+            for name in names
+        }
+
+    def masks(self):
+        working = self.llc_ways - 1
+        park = WayMask.contiguous(1, working, self.llc_ways)
+        ordered = [n for n in self.names if n in self.active]
+        base, extra = divmod(working, len(ordered))
+        masks = {}
+        offset = 0
+        for i, name in enumerate(ordered):
+            count = base + (1 if i < extra else 0)
+            masks[name] = WayMask.contiguous(count, offset, self.llc_ways)
+            offset += count
+        for name in self.names:
+            if name not in self.active:
+                masks[name] = park
+        return masks
+
+    @property
+    def fg_ways(self):
+        """The primary tenant's current way count (parked -> 1)."""
+        return self.masks()[self.names[0]].count
+
+    def on_tick(self, now_s, dt_s, metrics):
+        self.epoch += 1
+        for name in self.active:
+            window = metrics.get(name)
+            if window is None:
+                continue
+            stats = self.lifetime[name]
+            stats["epochs_active"] += 1
+            stats["accesses"] += int(window.get("accesses", 0))
+            stats["misses"] += int(window.get("misses", 0))
+        new_active = self.schedule.membership(self.epoch, self.names)
+        if new_active == self.active:
+            return None
+        changes = []
+        for name in self.names:
+            if name in new_active and name not in self.active:
+                changes.append(f"join:{name}")
+                self.lifetime[name]["joined_epoch"] = self.epoch
+                self.lifetime[name]["left_epoch"] = None
+            elif name in self.active and name not in new_active:
+                changes.append(f"leave:{name}")
+                self.lifetime[name]["left_epoch"] = self.epoch
+        self.active = new_active
+        primary = metrics.get(self.names[0], {})
+        self.actions.append(ControllerAction(
+            time_s=now_s,
+            fg_ways=self.fg_ways,
+            reason=",".join(changes),
+            mpki=float(primary.get("mpki", 0.0)),
+        ))
+        return self.masks()
+
+
+__all__ = [
+    "CHURN_ACTIONS",
+    "ChurnController",
+    "ChurnEvent",
+    "ChurnSchedule",
+]

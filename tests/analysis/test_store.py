@@ -215,6 +215,56 @@ class TestRunSetInvalidation:
             load_runset(path)
 
 
+class TestGroupRecords:
+    """N-tenant records: identity is the tenant tuple, not fg/bg."""
+
+    def _group_record(self, tenants=("zipf", "stream", "chase")):
+        return RunRecord(
+            policy="fair",
+            backend="trace",
+            fg=tenants[0],
+            bg="+".join(tenants[1:]),
+            fg_ways=4,
+            bg_ways=4,
+            metrics={"fg_cost": 2.0, "bg_rate": 30.0},
+            tenants=tuple(tenants),
+        )
+
+    def test_key_is_the_full_tenant_tuple(self):
+        record = self._group_record()
+        assert record.key == ("fair", "zipf", "stream", "chase")
+        # A pair record with the same fg/bg display fields keys
+        # differently, so the two never collide in a diff.
+        pair = _record(policy="fair", fg="zipf", bg="stream+chase")
+        assert pair.key == ("fair", "zipf", "stream+chase")
+        assert record.key != pair.key
+
+    def test_round_trip_preserves_tenants(self, tmp_path):
+        path = tmp_path / "runs.json"
+        save_runset(RunSet(records=[self._group_record()]), path)
+        loaded = load_runset(path)
+        assert loaded.records[0].tenants == ("zipf", "stream", "chase")
+        assert loaded.records[0].key == ("fair", "zipf", "stream", "chase")
+
+    def test_pair_records_keep_their_on_disk_shape(self, tmp_path):
+        # Pair payloads must not grow a 'tenants' field, or old tooling
+        # sees a schema it never wrote.
+        path = tmp_path / "runs.json"
+        save_runset(RunSet(records=[_record()]), path)
+        payload = json.loads(path.read_text())
+        assert "tenants" not in payload["records"][0]
+
+    def test_malformed_tenants_key_is_a_validation_error(self, tmp_path):
+        path = tmp_path / "runs.json"
+        save_runset(RunSet(records=[self._group_record()]), path)
+        payload = json.loads(path.read_text())
+        for bad in ("zipf,stream", [1, 2, 3], {"a": 1}):
+            payload["records"][0]["tenants"] = bad
+            path.write_text(json.dumps(payload))
+            with pytest.raises(ValidationError, match="tenants"):
+                load_runset(path)
+
+
 class TestRunSetShards:
     def test_shard_paths_are_unique_within_a_process(self, tmp_path):
         names = {shard_path(str(tmp_path)) for _ in range(50)}

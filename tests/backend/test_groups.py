@@ -1,0 +1,268 @@
+"""The N-tenant group protocol: splits, tenant sets, pair lockstep.
+
+The group plane must be a strict generalization — every pair entry
+point keeps producing bit-identical results (2-tenant groups delegate
+to the exact seed ``co_run``/``dynamic`` calls), and N-tenant group
+replay must agree exactly with the sequential per-tenant reference.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.experiments import (
+    trace_group_spec,
+    trace_pair_spec,
+    verify_trace_group_replay,
+)
+from repro.backend import (
+    AnalyticalBackend,
+    GroupSplit,
+    TenantSet,
+    TraceBackend,
+    WaySplit,
+)
+from repro.backend.protocol import MAX_TENANTS, WayUtility
+from repro.core.policies import run_group_policy, run_policy_on
+from repro.util.errors import ValidationError
+
+from .test_protocol import _FakeBackend, _fake_spec
+
+ACCESSES = 8_000
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _module_pack_cache(tmp_path_factory):
+    from repro.workloads import tracepack
+
+    saved_packs = tracepack._OPEN_PACKS
+    saved_env = os.environ.get("REPRO_TRACE_CACHE")
+    tracepack._OPEN_PACKS = {}
+    os.environ["REPRO_TRACE_CACHE"] = str(tmp_path_factory.mktemp("traces"))
+    yield
+    tracepack._OPEN_PACKS = saved_packs
+    if saved_env is None:
+        os.environ.pop("REPRO_TRACE_CACHE", None)
+    else:
+        os.environ["REPRO_TRACE_CACHE"] = saved_env
+
+
+def _trace_backend():
+    return TraceBackend(total_accesses=ACCESSES)
+
+
+def _pair_spec():
+    return trace_pair_spec(
+        "zipf", "stream", accesses=ACCESSES,
+        footprint_mb=1.0, bg_footprint_mb=2.0,
+    )
+
+
+def _group(kinds=("zipf", "stream", "chase")):
+    return trace_group_spec(
+        kinds, accesses=ACCESSES, footprint_mb=1.0, bg_footprint_mb=2.0,
+    )
+
+
+class TestGroupSplit:
+    def test_shared_gives_everyone_the_full_mask(self):
+        split = GroupSplit.shared(3, 12)
+        assert split.mask_bits == (0xFFF, 0xFFF, 0xFFF)
+        assert split.way_counts == (12, 12, 12)
+
+    def test_fair_apportioning_remainder_to_earliest(self):
+        split = GroupSplit.fair(5, 12)
+        assert split.way_counts == (3, 3, 2, 2, 2)
+        # Contiguous bottom-up, disjoint.
+        combined = 0
+        for bits in split.mask_bits:
+            assert combined & bits == 0
+            combined |= bits
+        assert combined == 0xFFF
+
+    def test_fair_needs_a_way_per_tenant(self):
+        with pytest.raises(ValidationError, match="fairly split"):
+            GroupSplit.fair(13, 12)
+
+    def test_from_way_counts_packs_bottom_up(self):
+        split = GroupSplit.from_way_counts([9, 1, 2], 12)
+        assert split.mask_bits == (0x1FF, 0x200, 0xC00)
+
+    def test_from_way_counts_rejects_overflow_and_empty(self):
+        with pytest.raises(ValidationError, match="exceed"):
+            GroupSplit.from_way_counts([9, 4], 12)
+        with pytest.raises(ValidationError, match="at least one way"):
+            GroupSplit.from_way_counts([12, 0], 12)
+
+    def test_pair_round_trip_for_every_pair_realization(self):
+        # Every split a pair policy can produce survives
+        # from_pair -> pair_view unchanged.
+        pair_splits = [WaySplit.shared(12), WaySplit.fair(12)] + [
+            WaySplit.disjoint(fg, 12) for fg in range(1, 12)
+        ]
+        for split in pair_splits:
+            assert GroupSplit.from_pair(split, 12).pair_view() == split
+
+    def test_non_pair_shapes_have_no_pair_view(self):
+        assert GroupSplit.shared(3, 12).pair_view() is None
+        # fg mask not bottom-contiguous.
+        assert GroupSplit((0x00C, 0xC00), 12).pair_view() is None
+
+    def test_mask_validation(self):
+        with pytest.raises(ValidationError, match="empty way mask"):
+            GroupSplit((0xFFF, 0), 12)
+        with pytest.raises(ValidationError, match="exceeds"):
+            GroupSplit((0x1FFF,), 12)
+        with pytest.raises(ValidationError, match="1..16"):
+            GroupSplit(tuple([1] * (MAX_TENANTS + 1)), 12)
+
+
+class TestTenantSet:
+    def test_names_default_to_workload_names(self):
+        group = _group()
+        assert group.names == ("zipf", "stream", "chase")
+        assert group.primary is group.tenants[0]
+
+    def test_duplicate_kinds_are_aliased(self):
+        assert _group(("zipf", "stream", "chase", "stream")).names == (
+            "zipf", "stream", "chase", "stream#2"
+        )
+
+    def test_group_size_bounds(self):
+        tenant = _group().tenants[0]
+        with pytest.raises(ValidationError, match="2..16"):
+            TenantSet(tenants=[tenant])
+
+    def test_duplicate_names_rejected(self):
+        a, b = _group().tenants[:2]
+        with pytest.raises(ValidationError, match="unique"):
+            TenantSet(tenants=[a, b], names=("same", "same"))
+
+    def test_from_pair_keeps_the_original_spec(self):
+        spec = _pair_spec()
+        group = TenantSet.from_pair(spec)
+        assert group.pair_spec() is spec
+        assert group.names == (spec.fg_name, spec.bg_name)
+
+    def test_big_groups_have_no_pair_view(self):
+        with pytest.raises(ValidationError, match="no pair view"):
+            _group().pair_spec()
+
+
+class TestWayUtility:
+    def test_lookup_and_bounds(self):
+        utility = WayUtility(
+            name="t", hits_by_ways=tuple(float(10 * w) for w in range(1, 13)),
+            accesses=1000.0,
+        )
+        assert utility.llc_ways == 12
+        assert utility.hits_at(1) == 10.0
+        assert utility.misses_at(12) == 880.0
+        assert utility.miss_ratio_at(12) == 0.88
+        with pytest.raises(ValidationError, match="1..12"):
+            utility.hits_at(0)
+        with pytest.raises(ValidationError, match="1..12"):
+            utility.hits_at(13)
+
+    def test_zero_access_curve_is_all_zero_ratio(self):
+        utility = WayUtility(name="t", hits_by_ways=(0.0,) * 12, accesses=0.0)
+        assert utility.miss_ratio_at(6) == 0.0
+
+
+class TestDefaultHooks:
+    """A pairs-only backend still serves pair-shaped groups."""
+
+    def test_pair_shaped_group_delegates_to_co_run(self):
+        backend = _FakeBackend()
+        group = TenantSet.from_pair(_fake_spec())
+        split = GroupSplit.from_pair(WaySplit(3, 1), 4)
+        m = backend.co_run_group(group, split)
+        # The delegation issued the exact seed co_run call.
+        assert backend.co_runs == [WaySplit(3, 1)]
+        assert m.pair is not None
+        assert m.fg_cost == m.pair.fg_cost
+        assert m.bg_rate == m.pair.bg_rate
+        assert (m.fg_ways, m.bg_ways) == (3, 1)
+
+    def test_non_pair_shapes_are_rejected(self):
+        backend = _FakeBackend()
+        group = TenantSet.from_pair(_fake_spec())
+        with pytest.raises(ValidationError, match="pair-shaped"):
+            backend.co_run_group(group, GroupSplit((0x3, 0x3), 4))
+
+    def test_way_utility_default_is_rejected(self):
+        with pytest.raises(ValidationError, match="way-utility"):
+            _FakeBackend().way_utility(TenantSet.from_pair(_fake_spec()))
+
+
+class TestPairLockstep:
+    """run_group_policy on a pair == run_policy_on, bit for bit."""
+
+    @pytest.mark.parametrize("policy", ["shared", "fair", "biased"])
+    def test_trace_pairs_are_bit_identical(self, policy):
+        backend = _trace_backend()
+        reference = run_policy_on(backend, _pair_spec(), policy)
+        group = run_group_policy(
+            _trace_backend(), TenantSet.from_pair(_pair_spec()), policy
+        )
+        assert group.fg_cost == reference.fg_cost
+        assert group.bg_rate == reference.bg_rate
+        assert (group.fg_ways, group.bg_ways) == (
+            reference.fg_ways, reference.bg_ways
+        )
+        pair_outcome = group.pair_outcome()
+        assert pair_outcome.policy == reference.policy
+        assert pair_outcome.measurement.fg_cost == (
+            reference.measurement.fg_cost
+        )
+        assert pair_outcome.measurement.bg_rate == (
+            reference.measurement.bg_rate
+        )
+
+    @pytest.mark.parametrize("policy", ["shared", "fair"])
+    def test_analytical_pairs_are_bit_identical(self, machine, policy):
+        backend = AnalyticalBackend(machine)
+        spec = AnalyticalBackend.pair_spec("fop", "batik")
+        reference = run_policy_on(backend, spec, policy)
+        group = run_group_policy(backend, TenantSet.from_pair(spec), policy)
+        assert group.fg_cost == reference.fg_cost
+        assert group.bg_rate == reference.bg_rate
+        assert group.pair_outcome().measurement == reference.measurement
+
+
+class TestGroupReference:
+    """N-tenant group replay == sequential per-tenant reference."""
+
+    @pytest.mark.parametrize("policy", ["shared", "fair", "cluster"])
+    def test_static_group_policies_verify_exactly(self, policy):
+        backend = _trace_backend()
+        outcome = run_group_policy(backend, _group(), policy)
+        assert len(outcome.names) == 3
+        assert verify_trace_group_replay(backend, _group(), outcome) == 6
+
+    def test_four_tenant_cluster_verifies_exactly(self):
+        backend = _trace_backend()
+        group = _group(("zipf", "stream", "chase", "stream"))
+        outcome = run_group_policy(backend, group, "cluster")
+        assert outcome.plan is not None
+        assert sum(
+            ways for _, _, ways in outcome.plan.clusters
+        ) == backend.capabilities().llc_ways
+        assert verify_trace_group_replay(backend, group, outcome) == 8
+
+    def test_group_fair_masks_are_disjoint_and_cover(self):
+        outcome = run_group_policy(_trace_backend(), _group(), "fair")
+        combined = 0
+        for bits in outcome.split.mask_bits:
+            assert combined & bits == 0
+            combined |= bits
+        assert combined == 0xFFF
+
+    def test_analytical_groups_run_the_same_policies(self, machine):
+        backend = AnalyticalBackend(machine)
+        group = AnalyticalBackend.group_spec(["fop", "batik", "dedup"])
+        for policy in ("shared", "fair", "cluster"):
+            outcome = run_group_policy(backend, group, policy)
+            assert outcome.backend == "analytical"
+            assert len(outcome.measurement.costs) == 3
+            assert outcome.fg_cost > 0

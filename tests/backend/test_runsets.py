@@ -151,6 +151,60 @@ class TestCrossBackendDiff:
         moved, _, _ = diff_runsets(before, after, tolerance=0.02)
         assert [delta.metric for delta in moved] == ["fg_cost"]
 
+    def test_group_records_pair_by_the_full_tenant_tuple(self, tmp_path):
+        def group_set(fg_cost):
+            record = RunRecord(
+                policy="cluster", backend="trace",
+                fg="zipf", bg="stream+chase",
+                fg_ways=9, bg_ways=2,
+                metrics={"fg_cost": fg_cost, "bg_rate": 40.0,
+                         "fg_ways": 9.0, "bg_ways": 2.0},
+                units={"fg_cost": "cycles/access",
+                       "bg_rate": "accesses/kcycle"},
+                tenants=("zipf", "stream", "chase"),
+            )
+            return RunSet(records=[record], backend="trace")
+
+        before = tmp_path / "before.json"
+        after = tmp_path / "after.json"
+        save_runset(group_set(2.0), before)
+        save_runset(group_set(2.0), after)
+        moved, checked, unmatched = diff_runsets(before, after)
+        assert (moved, unmatched) == ([], [])
+        assert checked == 4  # splits + both metrics, units match
+
+        save_runset(group_set(3.0), after)
+        moved, _, _ = diff_runsets(before, after, tolerance=0.01)
+        # The reported stage names the whole roster, not just fg/bg.
+        assert [(d.stage, d.metric) for d in moved] == [
+            ("cluster:zipf+stream+chase", "fg_cost")
+        ]
+
+    def test_group_and_pair_records_never_cross_match(self, tmp_path):
+        group = RunRecord(
+            policy="fair", backend="trace", fg="zipf", bg="stream+chase",
+            fg_ways=4, bg_ways=4,
+            metrics={"fg_cost": 2.0, "bg_rate": 30.0},
+            tenants=("zipf", "stream", "chase"),
+        )
+        pair = RunRecord(
+            policy="fair", backend="trace", fg="zipf", bg="stream+chase",
+            fg_ways=6, bg_ways=6,
+            metrics={"fg_cost": 9.0, "bg_rate": 1.0},
+        )
+        before = tmp_path / "group.json"
+        after = tmp_path / "pair.json"
+        save_runset(RunSet(records=[group], backend="trace"), before)
+        save_runset(RunSet(records=[pair], backend="trace"), after)
+        moved, checked, unmatched = diff_runsets(before, after)
+        # Nothing pairs up: both keys are unmatched, no metric is
+        # compared, and the differing splits never get flagged.
+        assert checked == 0 and moved == []
+        assert unmatched == [
+            ("fair", "zipf", "stream", "chase"),
+            ("fair", "zipf", "stream+chase"),
+        ]
+
     def test_diff_accepts_multi_shard_store_directories(
         self, analytical_set, tmp_path
     ):

@@ -144,3 +144,142 @@ class TestExpansion:
         clone = pickle.loads(pickle.dumps(cell))
         assert clone.cell_id == cell.cell_id
         json.dumps(cell.geometry_dict)
+
+
+GROUP_ROSTER = ["zipf", "stream", "chase"]
+CHURN = [
+    {"tenant": "chase", "epoch": 1, "action": "join"},
+    {"tenant": "stream", "epoch": 3, "action": "leave"},
+]
+
+
+def group_manifest(**overrides):
+    data = {
+        "name": "groups",
+        "backends": ["trace"],
+        "policies": ["shared", "fair", "cluster", "dynamic"],
+        "pairs": [],
+        "tenants": [GROUP_ROSTER],
+        "geometries": [{"accesses": 2000}],
+        "controllers": [{"epoch_accesses": 500}],
+        "churn": [CHURN],
+    }
+    data.update(overrides)
+    return manifest_from_dict(data)
+
+
+class TestTenantAxisValidation:
+    def test_tenants_roster_size_bounds(self):
+        with pytest.raises(ValidationError, match="2..4"):
+            group_manifest(tenants=[["zipf"]])
+        with pytest.raises(ValidationError, match="2..4"):
+            group_manifest(
+                tenants=[["zipf", "stream", "chase", "stride", "zipf"]]
+            )
+        with pytest.raises(ValidationError, match="list of 2..4"):
+            group_manifest(tenants=["zipf"])
+
+    def test_tenants_axis_is_trace_only(self):
+        with pytest.raises(ValidationError, match="trace backend only"):
+            group_manifest(backends=["trace", "analytical"],
+                           policies=["shared"], churn=[])
+
+    def test_cluster_policy_needs_tenants(self):
+        with pytest.raises(ValidationError, match="'tenants' axis"):
+            small_manifest(policies=["cluster"])
+
+    def test_churn_needs_tenants_and_dynamic(self):
+        with pytest.raises(ValidationError, match="'tenants' axis"):
+            small_manifest(policies=["dynamic"], churn=[CHURN])
+        with pytest.raises(ValidationError, match="'dynamic' policy"):
+            group_manifest(policies=["shared"], churn=[CHURN])
+
+    def test_churn_events_are_validated_up_front(self):
+        with pytest.raises(ValidationError, match="churn action"):
+            group_manifest(churn=[[{"tenant": "zipf", "epoch": 1,
+                                    "action": "restart"}]])
+        with pytest.raises(ValidationError, match="events"):
+            group_manifest(churn=[{"tenant": "zipf"}])
+
+    def test_static_policies_need_pairs(self):
+        with pytest.raises(ValidationError, match="which is empty"):
+            group_manifest(policies=["static-3"], churn=[])
+
+    def test_tenants_axis_alone_satisfies_the_workload_requirement(self):
+        manifest = group_manifest()
+        assert manifest.pairs == ()
+        assert manifest.tenants == (("zipf", "stream", "chase"),)
+        assert manifest.churn == (
+            (("chase", 1, "join"), ("stream", 3, "leave")),
+        )
+
+
+class TestGroupExpansion:
+    def test_group_cells_carry_the_roster(self):
+        cells = expand_manifest(group_manifest())
+        # shared, fair, cluster, dynamic, dynamic+churn.
+        assert len(cells) == 5
+        for cell in cells:
+            assert cell.tenants == ("zipf", "stream", "chase")
+            assert cell.fg == "zipf"
+            assert cell.bg == "stream+chase"
+        churned = [c for c in cells if c.churn]
+        assert len(churned) == 1
+        assert churned[0].policy == "dynamic"
+        assert churned[0].churn_spec == CHURN
+
+    def test_pair_cells_keep_their_ids_when_tenants_are_added(self):
+        # Content addresses must not move for existing pair campaigns:
+        # adding a tenants axis introduces group cells without renaming
+        # the pair cells or changing their relative order.
+        before = expand_manifest(small_manifest(policies=["shared", "fair"]))
+        after = expand_manifest(small_manifest(
+            policies=["shared", "fair"], tenants=[GROUP_ROSTER]
+        ))
+        pair_ids = [c.cell_id for c in before]
+        assert [c.cell_id for c in after if not c.tenants] == pair_ids
+        # 2 policies x 1 roster x 2 geometries of new group cells.
+        assert sum(1 for c in after if c.tenants) == 4
+
+    def test_static_and_cluster_policies_do_not_cross_axes(self):
+        cells = expand_manifest(small_manifest(
+            policies=["static-3", "cluster"], tenants=[GROUP_ROSTER],
+        ))
+        static = [c for c in cells if c.policy == "static-3"]
+        cluster = [c for c in cells if c.policy == "cluster"]
+        assert static and all(not c.tenants for c in static)
+        assert cluster and all(c.tenants for c in cluster)
+
+    def test_churn_only_varies_dynamic_group_cells(self):
+        cells = expand_manifest(group_manifest(
+            pairs=[["zipf", "stream"]],
+        ))
+        for cell in cells:
+            if cell.churn:
+                assert cell.policy == "dynamic" and cell.tenants
+        # The pair dynamic cell collapsed the churn axis.
+        pair_dynamic = [
+            c for c in cells if c.policy == "dynamic" and not c.tenants
+        ]
+        assert len(pair_dynamic) == 1
+
+    def test_group_cell_ids_track_roster_and_churn(self):
+        base = expand_manifest(group_manifest())
+        other_roster = expand_manifest(
+            group_manifest(tenants=[["zipf", "stream", "stride"]], churn=[])
+        )
+        assert not {c.cell_id for c in base} & {
+            c.cell_id for c in other_roster
+        }
+        churned, quiet = (
+            [c for c in base if c.policy == "dynamic" and bool(c.churn) == flag][0]
+            for flag in (True, False)
+        )
+        assert churned.cell_id != quiet.cell_id
+
+    def test_axis_counts_report_tenants_separately(self):
+        counts = axis_counts(expand_manifest(group_manifest(
+            pairs=[["zipf", "stream"]],
+        )))
+        assert counts["tenants"] == {"zipf+stream+chase": 5}
+        assert counts["pair"] == {"zipf+stream": 3}  # no cluster pair cell

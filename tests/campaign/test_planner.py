@@ -3,10 +3,16 @@
 import pytest
 
 from repro.campaign import expand_manifest, is_batchable, plan_shards
-from repro.campaign.planner import roster_cell_for, shard_kind_for, split_for
+from repro.campaign.planner import (
+    group_split_for,
+    roster_cell_for,
+    shard_kind_for,
+    split_for,
+    trace_group_for,
+)
 from repro.util.errors import ValidationError
 
-from .test_manifest import small_manifest
+from .test_manifest import group_manifest, small_manifest
 
 
 def cells_for(**overrides):
@@ -126,3 +132,81 @@ class TestPlanning:
     def test_shard_size_must_be_positive(self):
         with pytest.raises(ValidationError, match=">= 1"):
             plan_shards(cells_for(), shard_size=0)
+
+
+def group_cells_for(**overrides):
+    return expand_manifest(group_manifest(**overrides))
+
+
+class TestGroupBatchability:
+    def test_fixed_split_group_cells_join_roster_shards(self):
+        cells = group_cells_for(policies=["shared", "fair"], churn=[])
+        assert cells and all(shard_kind_for(c) == "roster" for c in cells)
+
+    def test_cluster_cells_get_their_own_shard_kind(self):
+        cells = group_cells_for(policies=["cluster"], churn=[])
+        assert [shard_kind_for(c) for c in cells] == ["cluster"]
+        assert all(is_batchable(c) for c in cells)
+
+    def test_group_search_policies_fall_back_per_cell(self):
+        # Their control loops (utility scoring, churn-aware epoch
+        # feedback) already make one batched native call per cell.
+        cells = group_cells_for(policies=["biased", "dynamic"])
+        assert cells and all(shard_kind_for(c) is None for c in cells)
+        assert not any(is_batchable(c) for c in cells)
+
+
+class TestGroupSplits:
+    def test_group_split_shapes(self):
+        shared, fair = (
+            group_split_for(c)
+            for c in group_cells_for(policies=["shared", "fair"], churn=[])
+        )
+        assert shared.mask_bits == (0xFFF, 0xFFF, 0xFFF)
+        assert fair.way_counts == (4, 4, 4)
+
+    def test_two_tenant_fair_follows_the_pair_convention(self):
+        # A 2-tenant fair roster cell must replay the exact WaySplit the
+        # pair path applies, remainder convention included.
+        from repro.backend import WaySplit
+
+        cell = group_cells_for(
+            policies=["fair"], churn=[], tenants=[["zipf", "stream"]]
+        )[0]
+        assert group_split_for(cell).pair_view() == WaySplit.fair(12)
+
+    def test_search_policies_have_no_precomputed_split(self):
+        cell = group_cells_for(policies=["dynamic"], churn=[])[0]
+        assert group_split_for(cell) is None
+
+    def test_trace_group_for_builds_the_roster(self):
+        cell = group_cells_for(policies=["shared"], churn=[])[0]
+        group = trace_group_for(cell)
+        assert group.names == ("zipf", "stream", "chase")
+        # One trace core per tenant, distinct domains.
+        tids = [t.tid for t in group.tenants]
+        assert len(set(tids)) == len(tids)
+
+
+class TestGroupPlanning:
+    def test_cluster_shards_chunk_by_profile_width(self):
+        # A cluster cell contributes a 12-allocation profiling sweep, so
+        # shards chunk at shard_size // 12.
+        cells = group_cells_for(
+            policies=["cluster"], churn=[],
+            geometries=[{"accesses": 2000, "seed": s} for s in (1, 2, 3)],
+        )
+        assert len(cells) == 3
+        plan = plan_shards(cells, shard_size=24)
+        assert [len(s) for s in plan.cluster_shards] == [2, 1]
+        assert plan.cluster_cells == 3
+        assert plan.total_shards == 2
+
+    def test_shards_order_includes_cluster_before_fallback(self):
+        cells = group_cells_for(
+            policies=["shared", "cluster", "dynamic"], churn=[]
+        )
+        plan = plan_shards(cells, shard_size=24)
+        assert [kind for kind, _ in plan.shards()] == [
+            "roster", "cluster", "fallback"
+        ]

@@ -297,6 +297,87 @@ class TestRetry:
         assert len(calls) == 1
 
 
+class TestGroupCampaign:
+    CHURN = [
+        {"tenant": "chase", "epoch": 1, "action": "join"},
+        {"tenant": "stream", "epoch": 2, "action": "leave"},
+    ]
+
+    def _manifest(self, **overrides):
+        data = {
+            "name": "groups",
+            "backends": ["trace"],
+            "policies": ["shared", "fair", "cluster", "dynamic"],
+            "pairs": [["zipf", "stream"]],
+            "tenants": [["zipf", "stream", "chase"]],
+            "geometries": [{"accesses": ACCESSES}],
+            "controllers": [
+                {"epoch_accesses": 200, "total_accesses": ACCESSES}
+            ],
+            "churn": [self.CHURN],
+        }
+        data.update(overrides)
+        return manifest_from_dict(data)
+
+    def test_group_campaign_runs_every_shard_kind(self, tmp_path):
+        manifest = self._manifest()
+        cells = expand_manifest(manifest)
+        store = tmp_path / "store"
+        result = run_campaign(manifest, str(store), workers=1)
+        assert result.complete
+        assert result.cells_run == len(cells) == 8
+        # Pair shared/fair and group shared/fair share the roster; the
+        # cluster cell gets its own shard; group dynamic (with and
+        # without churn) falls back per-cell.
+        assert result.roster_shards == 1
+        assert result.dynamic_shards == 1
+        assert result.cluster_shards == 1
+        assert result.fallback_shards == 1
+        assert verify_campaign(manifest, str(store)) == 8
+
+    def test_group_records_carry_roster_and_provenance(self, tmp_path):
+        manifest = self._manifest()
+        store = tmp_path / "store"
+        result = run_campaign(manifest, str(store), workers=1)
+        by_cell = {
+            c.cell_id: c for c in expand_manifest(manifest)
+        }
+        sources = {}
+        for cell_id, record in result.records.items():
+            cell = by_cell[cell_id]
+            if cell.tenants:
+                assert record.tenants == ("zipf", "stream", "chase")
+                assert record.bg == "stream+chase"
+                sources[(cell.policy, bool(cell.churn))] = (
+                    record.provenance["source"]
+                )
+                if cell.churn:
+                    assert record.provenance["churn"] == self.CHURN
+            else:
+                assert not record.tenants
+        assert sources == {
+            ("shared", False): "roster",
+            ("fair", False): "roster",
+            ("cluster", False): "cluster",
+            ("dynamic", False): "cell",
+            ("dynamic", True): "cell",
+        }
+
+    def test_sharded_group_records_match_per_cell_reference(self, tmp_path):
+        # Roster- and cluster-shard replay must be bit-identical to the
+        # sequential run_campaign_cell path.
+        manifest = self._manifest(
+            policies=["shared", "fair", "cluster"], pairs=[], churn=[]
+        )
+        store = tmp_path / "store"
+        result = run_campaign(manifest, str(store), workers=1)
+        for cell in expand_manifest(manifest):
+            reference = run_campaign_cell(cell)
+            record = result.records[cell.cell_id]
+            assert record.metrics == reference.metrics
+            assert record.tenants == reference.tenants
+
+
 class TestAnalyticalCells:
     def test_analytical_campaign_runs_and_verifies(self, tmp_path):
         manifest = manifest_from_dict(

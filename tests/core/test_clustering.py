@@ -1,8 +1,27 @@
 import numpy as np
 import pytest
 
-from repro.core.clustering import cluster_applications, normalize_features
+from repro.backend.protocol import WayUtility
+from repro.core.clustering import (
+    CLUSTER_RESERVED_WAYS,
+    classify_tenant,
+    cluster_applications,
+    cluster_tenants,
+    normalize_features,
+)
 from repro.util.errors import ValidationError
+
+
+def _utility(name, full_hits, saturate_at=None, accesses=10_000.0):
+    """A synthetic way-utility curve. ``saturate_at`` caps growth so the
+    curve reaches its full-cache hits at that allocation."""
+    hits = []
+    for ways in range(1, 13):
+        if saturate_at is None:
+            hits.append(full_hits * ways / 12.0)
+        else:
+            hits.append(full_hits * min(1.0, ways / saturate_at))
+    return WayUtility(name=name, hits_by_ways=tuple(hits), accesses=accesses)
 
 
 class TestNormalization:
@@ -77,6 +96,103 @@ class TestValidation:
         result = cluster_applications(features)
         assert result.linkage_matrix.shape == (7, 4)
         assert isinstance(result.features, np.ndarray)
+
+
+class TestClassifyTenant:
+    def test_squanderer_by_hit_yield_not_miss_ratio(self):
+        # LLC-filtered traces are inherently miss-heavy; the rule is
+        # "full cache yields almost no hits", not an absolute ratio.
+        assert classify_tenant(_utility("s", full_hits=10.0)) == "squanderer"
+        assert classify_tenant(_utility("s", full_hits=0.0)) == "squanderer"
+
+    def test_insensitive_saturates_early(self):
+        utility = _utility("i", full_hits=5_000.0, saturate_at=2)
+        assert classify_tenant(utility) == "insensitive"
+
+    def test_sensitive_keeps_growing(self):
+        utility = _utility("g", full_hits=5_000.0)  # linear in ways
+        assert classify_tenant(utility) == "sensitive"
+
+    def test_thresholds_are_tunable(self):
+        utility = _utility("s", full_hits=10.0)
+        assert classify_tenant(
+            utility, squander_hit_fraction=0.0001
+        ) != "squanderer"
+
+
+class TestClusterTenants:
+    def _utilities(self):
+        return {
+            "hot": _utility("hot", 5_000.0),
+            "warm": _utility("warm", 4_000.0),
+            "early": _utility("early", 3_000.0, saturate_at=2),
+            "cold": _utility("cold", 5.0),
+        }
+
+    def test_sensitive_tenants_get_one_cluster_each(self):
+        plan = cluster_tenants(
+            self._utilities(), names=("hot", "warm", "early", "cold")
+        )
+        assert plan.classes == {
+            "hot": "sensitive", "warm": "sensitive",
+            "early": "insensitive", "cold": "squanderer",
+        }
+        # 12 - 2 (insensitive) - 1 (squanderer) = 9 ways for two
+        # sensitive clusters, remainder to the earliest.
+        assert [c[2] for c in plan.clusters] == [5, 4, 2, 1]
+        assert plan.split.way_counts == (5, 4, 2, 1)
+
+    def test_shared_clusters_share_one_mask(self):
+        utilities = {
+            "a": _utility("a", 5_000.0),
+            "b": _utility("b", 3_000.0, saturate_at=2),
+            "c": _utility("c", 2_000.0, saturate_at=2),
+        }
+        plan = cluster_tenants(utilities, names=("a", "b", "c"))
+        bits = dict(zip(plan.names, plan.split.mask_bits))
+        assert bits["b"] == bits["c"]
+        assert bits["a"] & bits["b"] == 0
+
+    def test_masks_pack_bottom_up_and_cover_the_cache(self):
+        plan = cluster_tenants(
+            self._utilities(), names=("hot", "warm", "early", "cold")
+        )
+        covered = 0
+        for _, _, ways in plan.clusters:
+            covered += ways
+        assert covered == 12
+        assert plan.split.mask_bits[0] == 0x1F  # hot: bottom 5 ways
+
+    def test_no_sensitive_tenant_leftover_goes_to_insensitive(self):
+        utilities = {
+            "early": _utility("early", 3_000.0, saturate_at=2),
+            "cold": _utility("cold", 0.0),
+        }
+        plan = cluster_tenants(utilities, names=("early", "cold"))
+        reserved = CLUSTER_RESERVED_WAYS["squanderer"]
+        assert plan.split.way_counts == (12 - reserved, reserved)
+
+    def test_all_squanderers_share_everything(self):
+        utilities = {
+            "c1": _utility("c1", 0.0), "c2": _utility("c2", 1.0),
+        }
+        plan = cluster_tenants(utilities, names=("c1", "c2"))
+        assert plan.split.way_counts == (12, 12)
+        assert plan.split.mask_bits[0] == plan.split.mask_bits[1]
+
+    def test_missing_curve_rejected(self):
+        with pytest.raises(ValidationError, match="no way-utility"):
+            cluster_tenants({"a": _utility("a", 1.0)}, names=("a", "b"))
+
+    def test_too_many_sensitive_tenants_rejected(self):
+        utilities = {
+            f"t{i:02d}": _utility(f"t{i:02d}", 5_000.0) for i in range(12)
+        }
+        utilities["cold"] = _utility("cold", 0.0)
+        with pytest.raises(ValidationError, match="sensitive tenants"):
+            cluster_tenants(
+                utilities, names=tuple(sorted(utilities))
+            )
 
 
 class TestDendrogram:

@@ -3,7 +3,11 @@ with synthetic MPKI streams (no engine involved)."""
 
 import pytest
 
-from repro.core.dynamic import DynamicPartitionController
+from repro.core.dynamic import (
+    DynamicPartitionController,
+    mpki_window,
+    mpki_windows,
+)
 from repro.runtime.resctrl import ResctrlFilesystem
 from repro.util.errors import ValidationError
 
@@ -119,6 +123,38 @@ class TestResctrlIntegration:
         drive(ctrl, lambda w: 5.0, steps=40)
         assert fs.group("fg").mask.count == ctrl.fg_ways
         assert fs.group("bg").mask.count == 12 - ctrl.fg_ways
+
+
+class TestMpkiWindows:
+    """The vectorized window metric must be bit-identical to the scalar."""
+
+    def test_matches_scalar_elementwise(self):
+        misses = [[0, 7, 123], [999, 1, 50_000]]
+        accesses = [[100, 1000, 4096], [1000, 3, 1_000_000]]
+        out = mpki_windows(misses, accesses)
+        for i in range(2):
+            for j in range(3):
+                assert out[i][j] == mpki_window(misses[i][j], accesses[i][j])
+
+    def test_all_zero_access_window_matches_the_scalar_guard(self):
+        # A cell that retired before the epoch contributes an all-zero
+        # counter delta; the vectorized divide must hit its guard and
+        # produce exactly the scalar's 0.0, not nan or inf.
+        out = mpki_windows([[0, 5], [0, 0]], [[0, 0], [0, 0]])
+        assert out.tolist() == [
+            [mpki_window(0, 0), mpki_window(5, 0)],
+            [0.0, 0.0],
+        ]
+        assert out.tolist() == [[0.0, 0.0], [0.0, 0.0]]
+
+    def test_mixed_zero_and_live_windows(self):
+        out = mpki_windows([3, 0, 12], [0, 600, 800])
+        assert out.tolist() == [0.0, 0.0, 15.0]
+
+    def test_broadcasting_matches_numpy_shape_rules(self):
+        out = mpki_windows([[1], [2]], [100, 200])
+        assert out.shape == (2, 2)
+        assert out[1][1] == mpki_window(2, 200)
 
 
 class TestAuditTrail:

@@ -296,6 +296,29 @@ class TestEarlyFinish:
         assert batched[0].stats["fg"].accesses == 1_200
 
 
+class TestSingleEpoch:
+    """A roster whose budget fits in exactly one epoch window.
+
+    The controller never gets a second sample, so the banked counter
+    deltas see one window per cell — the degenerate shape that feeds
+    ``mpki_windows`` a single bank row — and the batched path must
+    still match per-cell replay byte for byte.
+    """
+
+    def _roster(self):
+        return _roster(n=3, epoch_accesses=4_000, total_accesses=4_000)
+
+    def test_single_epoch_roster_matches_sequential(self):
+        reference = run_dynamic_roster(self._roster(), sequential=True)
+        assert all(r.epochs == 1 for r in reference)
+        assert all(r.timeline == [] for r in reference)
+        batched = run_dynamic_roster(self._roster(), threads=2)
+        assert _payload(batched) == _payload(reference)
+        assert _payload(_without_native(
+            lambda: run_dynamic_roster(self._roster())
+        )) == _payload(reference)
+
+
 class TestValidation:
     def test_shared_controller_instance_rejected(self):
         controller = DynamicPartitionController("fg", "bg")
